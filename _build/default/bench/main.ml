@@ -1,0 +1,462 @@
+(* Regenerates every table and figure of the paper's evaluation (§9).
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- --quick      -- fewer points, shorter runs
+     dune exec bench/main.exe -- --only fig4,fig14,recovery
+     dune exec bench/main.exe -- --list       -- available sections *)
+
+open Harness
+
+let quick = ref false
+let only : string list ref = ref []
+let seconds = ref 10.
+let list_only = ref false
+
+let all_sections =
+  [
+    "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
+    "ablation"; "micro";
+  ]
+
+let () =
+  let set_only s = only := String.split_on_char ',' s in
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " fewer replica counts and shorter windows");
+      ("--only", Arg.String set_only, "SECTIONS comma-separated subset to run");
+      ("--seconds", Arg.Set_float seconds, "S measurement window per point (default 10)");
+      ("--list", Arg.Set list_only, " list section names and exit");
+    ]
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "tashkent benchmark harness"
+
+let wants name = !only = [] || List.mem name !only
+
+let replicas () = if !quick then [ 1; 4; 8; 15 ] else [ 1; 2; 4; 6; 8; 10; 12; 15 ]
+let abort_replicas () = if !quick then [ 2; 8; 15 ] else [ 1; 2; 4; 8; 12; 15 ]
+
+let measure () = Sim.Time.of_sec (if !quick then Float.min !seconds 6. else !seconds)
+let warmup () = Sim.Time.of_sec (if !quick then 3. else 4.)
+
+let base_cfg workload io =
+  {
+    Experiment.default with
+    Experiment.workload;
+    io;
+    warmup = warmup ();
+    measure = measure ();
+  }
+
+let systems_for = function
+  | Experiment.All_updates | Experiment.Tpc_b ->
+      [
+        Experiment.Replicated Tashkent.Types.Base;
+        Experiment.Replicated Tashkent.Types.Tashkent_api;
+        Experiment.Replicated_nocert Tashkent.Types.Tashkent_api;
+        Experiment.Replicated Tashkent.Types.Tashkent_mw;
+      ]
+  | Experiment.Tpc_w ->
+      [
+        Experiment.Replicated Tashkent.Types.Base;
+        Experiment.Replicated Tashkent.Types.Tashkent_api;
+        Experiment.Replicated Tashkent.Types.Tashkent_mw;
+      ]
+
+let io_name = function
+  | Tashkent.Replica.Shared_io -> "shared IO"
+  | Tashkent.Replica.Dedicated_io -> "dedicated IO"
+
+(* Run one (workload, io) sweep over systems x replica counts. *)
+let sweep workload io =
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun system ->
+      List.iter
+        (fun n ->
+          let cfg = { (base_cfg workload io) with Experiment.system; n_replicas = n } in
+          let r = Experiment.run cfg in
+          Hashtbl.replace results (Experiment.system_name system, n) r)
+        (replicas ()))
+    (systems_for workload);
+  results
+
+let get results sys n : Experiment.result = Hashtbl.find results (sys, n)
+
+let print_throughput_table ~title ~workload results =
+  Report.subsection title;
+  let syss = List.map Experiment.system_name (systems_for workload) in
+  let t = Report.table ~columns:("replicas" :: syss) in
+  List.iter
+    (fun n ->
+      Report.row t
+        (string_of_int n :: List.map (fun s -> Report.f1 (get results s n).goodput) syss))
+    (replicas ());
+  Report.print t
+
+let print_response_table ~title ~workload results =
+  Report.subsection title;
+  let syss = List.map Experiment.system_name (systems_for workload) in
+  let t = Report.table ~columns:("replicas" :: syss) in
+  List.iter
+    (fun n ->
+      Report.row t
+        (string_of_int n :: List.map (fun s -> Report.f1 (get results s n).resp_ms) syss))
+    (replicas ());
+  Report.print t
+
+let nmax () = List.fold_left max 1 (replicas ())
+
+let speedup results a b n =
+  let ga = (get results a n).Experiment.goodput
+  and gb = (get results b n).Experiment.goodput in
+  if gb <= 0. then 0. else ga /. gb
+
+(* ------------------------------------------------------------------ *)
+
+let fig_allupdates ~io ~figt ~figr ~paper_factors () =
+  Report.section (Printf.sprintf "Figures %s & %s: AllUpdates (%s)" figt figr (io_name io));
+  let results = sweep Experiment.All_updates io in
+  print_throughput_table
+    ~title:(Printf.sprintf "Figure %s: throughput (req/sec)" figt)
+    ~workload:Experiment.All_updates results;
+  print_response_table
+    ~title:(Printf.sprintf "Figure %s: response time (ms)" figr)
+    ~workload:Experiment.All_updates results;
+  let n = nmax () in
+  let mw_x, api_x = paper_factors in
+  Report.paper_vs
+    ~what:(Printf.sprintf "tashkent-mw / base speedup at %d replicas" n)
+    ~paper:mw_x
+    ~measured:(Printf.sprintf "%.1fx" (speedup results "tashkent-mw" "base" n));
+  Report.paper_vs
+    ~what:(Printf.sprintf "tashkent-api / base speedup at %d replicas" n)
+    ~paper:api_x
+    ~measured:(Printf.sprintf "%.1fx" (speedup results "tashkent-api" "base" n));
+  Report.paper_vs ~what:"base throughput per replica (req/s)" ~paper:"~49"
+    ~measured:(Report.f1 ((get results "base" n).goodput /. float_of_int n));
+  Report.paper_vs
+    ~what:(Printf.sprintf "writesets per certifier fsync (mw, %d replicas)" n)
+    ~paper:"~29"
+    ~measured:(Report.f1 (get results "tashkent-mw" n).cert_ws_per_fsync);
+  let two = if List.mem 2 (replicas ()) then 2 else 4 in
+  Report.paper_vs ~what:"base response-time jump from 1 to 2 replicas" ~paper:"~2x"
+    ~measured:
+      (Printf.sprintf "%.1fx"
+         (let r1 = (get results "base" 1).resp_ms in
+          if r1 <= 0. then 0. else (get results "base" two).resp_ms /. r1))
+
+let fig_tpcb ~io ~figt ~figr () =
+  Report.section (Printf.sprintf "Figures %s & %s: TPC-B (%s)" figt figr (io_name io));
+  let results = sweep Experiment.Tpc_b io in
+  print_throughput_table
+    ~title:(Printf.sprintf "Figure %s: throughput (req/sec)" figt)
+    ~workload:Experiment.Tpc_b results;
+  print_response_table
+    ~title:(Printf.sprintf "Figure %s: response time (ms)" figr)
+    ~workload:Experiment.Tpc_b results;
+  let n = nmax () in
+  Report.paper_vs ~what:"tashkent-mw / base speedup" ~paper:"2.6x"
+    ~measured:(Printf.sprintf "%.1fx" (speedup results "tashkent-mw" "base" n));
+  Report.paper_vs ~what:"tashkent-api / base speedup" ~paper:"1.3x"
+    ~measured:(Printf.sprintf "%.1fx" (speedup results "tashkent-api" "base" n));
+  Report.paper_vs ~what:"artificial conflict rate (remote writesets)" ~paper:"35%"
+    ~measured:(Report.pct (get results "tashkent-api" n).artificial_conflict_pct)
+
+let fig_tpcw () =
+  Report.section "Figures 12 & 13: TPC-W shopping mix (shared IO)";
+  let io = Tashkent.Replica.Shared_io in
+  let results = sweep Experiment.Tpc_w io in
+  print_throughput_table ~title:"Figure 12: throughput (tps)" ~workload:Experiment.Tpc_w
+    results;
+  Report.subsection "Figure 13: response times (ms), update / read-only";
+  let syss = List.map Experiment.system_name (systems_for Experiment.Tpc_w) in
+  let t =
+    Report.table
+      ~columns:("replicas" :: List.concat_map (fun s -> [ s ^ " upd"; s ^ " ro" ]) syss)
+  in
+  List.iter
+    (fun n ->
+      Report.row t
+        (string_of_int n
+        :: List.concat_map
+             (fun s ->
+               let r = get results s n in
+               [ Report.f1 r.resp_ms; Report.f1 r.ro_resp_ms ])
+             syss))
+    (replicas ());
+  Report.print t;
+  let n = nmax () in
+  Report.paper_vs ~what:"base vs tashkent-api throughput" ~paper:"equal"
+    ~measured:(Printf.sprintf "%.2fx" (speedup results "tashkent-api" "base" n));
+  Report.paper_vs ~what:"tashkent-mw vs base throughput" ~paper:"mw higher"
+    ~measured:(Printf.sprintf "%.2fx" (speedup results "tashkent-mw" "base" n));
+  Report.paper_vs ~what:"read-only response times across systems" ~paper:"similar"
+    ~measured:
+      (String.concat " / " (List.map (fun s -> Report.f1 (get results s n).ro_resp_ms) syss))
+
+let fig14 () =
+  Report.section "Figure 14: goodput under forced abort rates (dedicated IO)";
+  let io = Tashkent.Replica.Dedicated_io in
+  let sys_names = [ "tashkent-mw"; "tashkent-api"; "base" ] in
+  let system_of = function
+    | "tashkent-mw" -> Experiment.Replicated Tashkent.Types.Tashkent_mw
+    | "tashkent-api" -> Experiment.Replicated Tashkent.Types.Tashkent_api
+    | _ -> Experiment.Replicated Tashkent.Types.Base
+  in
+  let rates = [ 0.0; 0.2; 0.4 ] in
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun rate ->
+          List.iter
+            (fun n ->
+              let cfg =
+                {
+                  (base_cfg Experiment.All_updates io) with
+                  Experiment.system = system_of s;
+                  n_replicas = n;
+                  abort_rate = rate;
+                }
+              in
+              Hashtbl.replace results (s, rate, n) (Experiment.run cfg))
+            (abort_replicas ()))
+        rates)
+    sys_names;
+  Report.subsection "goodput (committed req/sec)";
+  let t =
+    Report.table
+      ~columns:
+        ("replicas"
+        :: List.concat_map
+             (fun s -> List.map (fun r -> Printf.sprintf "%s@%.0f%%" s (100. *. r)) rates)
+             sys_names)
+  in
+  List.iter
+    (fun n ->
+      Report.row t
+        (string_of_int n
+        :: List.concat_map
+             (fun s ->
+               List.map
+                 (fun rate ->
+                   Report.f1 (Hashtbl.find results (s, rate, n) : Experiment.result).goodput)
+                 rates)
+             sys_names))
+    (abort_replicas ());
+  Report.print t;
+  let n = List.fold_left max 1 (abort_replicas ()) in
+  let g s rate = (Hashtbl.find results (s, rate, n) : Experiment.result).goodput in
+  Report.paper_vs ~what:"ordering at 40% forced aborts" ~paper:"mw > api > base"
+    ~measured:
+      (Printf.sprintf "%s (%.0f > %.0f > %.0f)"
+         (if g "tashkent-mw" 0.4 > g "tashkent-api" 0.4 && g "tashkent-api" 0.4 > g "base" 0.4
+          then "holds"
+          else "violated")
+         (g "tashkent-mw" 0.4) (g "tashkent-api" 0.4) (g "base" 0.4));
+  Report.paper_vs ~what:"abort rate actually measured at 40% knob" ~paper:"40%"
+    ~measured:
+      (Report.pct
+         (Hashtbl.find results ("tashkent-mw", 0.4, n) : Experiment.result)
+           .abort_rate_measured)
+
+let standalone () =
+  Report.section "Section 9.2: standalone vs 1-replica Tashkent-MW";
+  let t = Report.table ~columns:[ "config"; "io"; "req/sec"; "resp (ms)" ] in
+  let do_one system io =
+    let cfg =
+      { (base_cfg Experiment.All_updates io) with Experiment.system; n_replicas = 1 }
+    in
+    let r = Experiment.run cfg in
+    Report.row t
+      [ Experiment.system_name system; io_name io; Report.f1 r.goodput; Report.f1 r.resp_ms ];
+    r
+  in
+  let s_sh = do_one Experiment.Standalone Tashkent.Replica.Shared_io in
+  let m_sh =
+    do_one (Experiment.Replicated Tashkent.Types.Tashkent_mw) Tashkent.Replica.Shared_io
+  in
+  let s_de = do_one Experiment.Standalone Tashkent.Replica.Dedicated_io in
+  let m_de =
+    do_one (Experiment.Replicated Tashkent.Types.Tashkent_mw) Tashkent.Replica.Dedicated_io
+  in
+  Report.print t;
+  Report.paper_vs ~what:"shared IO: standalone vs 1-replica mw" ~paper:"517 vs 490"
+    ~measured:(Printf.sprintf "%.0f vs %.0f" s_sh.goodput m_sh.goodput);
+  Report.paper_vs ~what:"dedicated IO: standalone vs 1-replica mw" ~paper:"515 vs 491"
+    ~measured:(Printf.sprintf "%.0f vs %.0f" s_de.goodput m_de.goodput);
+  Report.paper_vs ~what:"replication overhead at 1 replica" ~paper:"within ~5%"
+    ~measured:
+      (Printf.sprintf "%.0f%%" (100. *. abs_float (1. -. (m_sh.goodput /. s_sh.goodput))))
+
+let recovery () =
+  Report.section "Section 9.6: recovery times (TPC-W, Tashkent-MW, 15 replicas)";
+  let r = Recovery_exp.run () in
+  Report.kv "system-wide update rate (writesets/s)" (Report.f1 r.update_rate);
+  Report.paper_vs ~what:"dump duration" ~paper:"~230 s"
+    ~measured:(Printf.sprintf "%.0f s" (Sim.Time.to_sec r.dump_duration));
+  Report.paper_vs ~what:"throughput degradation during dump" ~paper:"~13%"
+    ~measured:(Report.pct r.dump_degradation);
+  Report.paper_vs ~what:"restore from dump" ~paper:"~140 s"
+    ~measured:(Printf.sprintf "%.0f s" (Sim.Time.to_sec r.mw_restore_duration));
+  Report.paper_vs ~what:"database-internal recovery (base/api)" ~paper:"2-4 s"
+    ~measured:(Printf.sprintf "%.1f s" (Sim.Time.to_sec r.db_recovery_duration));
+  Report.paper_vs ~what:"writeset replay rate (ws/s)" ~paper:"~900"
+    ~measured:
+      (Printf.sprintf "%.0f (%d ws in %.2f s)" r.replay_rate r.mw_replayed
+         (Sim.Time.to_sec r.mw_replay_duration));
+  Report.paper_vs ~what:"certifier log growth" ~paper:"~56 MB/hour"
+    ~measured:(Printf.sprintf "%.1f MB/hour" (r.cert_log_bytes_per_hour /. 1.0e6));
+  Report.paper_vs ~what:"certifier log bytes per writeset" ~paper:"~275 B"
+    ~measured:(Printf.sprintf "%.0f B" r.cert_bytes_per_ws);
+  Report.paper_vs ~what:"certifier recovery after 60 s down" ~paper:"~1 s per hour down"
+    ~measured:(Printf.sprintf "%.2f s" (Sim.Time.to_sec r.cert_recovery_duration))
+
+let ablation () =
+  Report.section "Ablations: the design choices called out in DESIGN.md";
+  let run_with ?(system = Experiment.Replicated Tashkent.Types.Base)
+      ?(workload = Experiment.All_updates) ?(n = 8) ?(certifiers = 3)
+      ?(eager_precert = true) ?(grouping = true) () =
+    Experiment.run
+      {
+        (base_cfg workload Tashkent.Replica.Shared_io) with
+        Experiment.system;
+        n_replicas = n;
+        n_certifiers = certifiers;
+        eager_precert;
+        group_remote_batches = grouping;
+      }
+  in
+  Report.subsection
+    "a) grouping remote writesets (\xc2\xa73): Base with vs without the T1_2_3 batching";
+  let grouped = run_with ~grouping:true () in
+  let naive = run_with ~grouping:false () in
+  let t = Report.table ~columns:[ "variant"; "req/sec"; "resp (ms)"; "db recs/fsync" ] in
+  Report.row t
+    [ "grouped (2M writes)"; Report.f1 grouped.goodput; Report.f1 grouped.resp_ms;
+      Report.f1 grouped.db_ws_per_fsync ];
+  Report.row t
+    [ "naive (1 tx per writeset)"; Report.f1 naive.goodput; Report.f1 naive.resp_ms;
+      Report.f1 naive.db_ws_per_fsync ];
+  Report.print t;
+  Report.kv "grouping speedup"
+    (Printf.sprintf "%.2fx" (if naive.goodput > 0. then grouped.goodput /. naive.goodput else 0.));
+  Report.subsection
+    "b) eager pre-certification / priority writes (\xc2\xa78.2) vs soft recovery (TPC-B, mw)";
+  let eager = run_with ~system:(Experiment.Replicated Tashkent.Types.Tashkent_mw)
+      ~workload:Experiment.Tpc_b ~eager_precert:true () in
+  let lazy_ = run_with ~system:(Experiment.Replicated Tashkent.Types.Tashkent_mw)
+      ~workload:Experiment.Tpc_b ~eager_precert:false () in
+  let t = Report.table ~columns:[ "variant"; "req/sec"; "resp (ms)"; "abort rate" ] in
+  Report.row t
+    [ "priority writes"; Report.f1 eager.goodput; Report.f1 eager.resp_ms;
+      Report.pct eager.abort_rate_measured ];
+  Report.row t
+    [ "queue + soft recovery"; Report.f1 lazy_.goodput; Report.f1 lazy_.resp_ms;
+      Report.pct lazy_.abort_rate_measured ];
+  Report.print t;
+  Report.subsection "c) certifier replication degree (Paxos group size, mw AllUpdates)";
+  let t = Report.table ~columns:[ "certifiers"; "req/sec"; "resp (ms)"; "cert recs/fsync" ] in
+  List.iter
+    (fun k ->
+      let r =
+        run_with ~system:(Experiment.Replicated Tashkent.Types.Tashkent_mw) ~certifiers:k ()
+      in
+      Report.row t
+        [ string_of_int k; Report.f1 r.goodput; Report.f1 r.resp_ms;
+          Report.f1 r.cert_ws_per_fsync ])
+    [ 1; 3; 5 ];
+  Report.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot certification paths. *)
+
+let micro () =
+  Report.section "Microbenchmarks (Bechamel): certification hot paths";
+  let open Bechamel in
+  let key i = Mvcc.Key.make ~table:"t" ~row:(string_of_int i) in
+  let ws_of n base =
+    Mvcc.Writeset.of_list
+      (List.init n (fun i -> (key (base + i), Mvcc.Writeset.Update (Mvcc.Value.int i))))
+  in
+  let ws_a = ws_of 4 0 and ws_b = ws_of 4 2 and ws_c = ws_of 4 100 in
+  let loaded_log =
+    let log = Tashkent.Cert_log.create () in
+    for v = 1 to 10_000 do
+      Tashkent.Cert_log.append log
+        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997) }
+    done;
+    log
+  in
+  let store =
+    let s = Mvcc.Store.create () in
+    for v = 1 to 10_000 do
+      Mvcc.Store.install s ~version:v (ws_of 2 (v mod 997))
+    done;
+    s
+  in
+  let tests =
+    [
+      Test.make ~name:"writeset-intersect-hit"
+        (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Writeset.intersects ws_a ws_b)));
+      Test.make ~name:"writeset-intersect-miss"
+        (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Writeset.intersects ws_a ws_c)));
+      Test.make ~name:"certify-vs-10k-log"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Tashkent.Cert_log.certify loaded_log ws_a ~start_version:9_000)));
+      Test.make ~name:"store-snapshot-read"
+        (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Store.read store ~at:5_000 (key 10))));
+      Test.make ~name:"writeset-union-4+4"
+        (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Writeset.union ws_a ws_b)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raws = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let result = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> est
+            | Some _ | None -> nan
+          in
+          Report.kv name (Printf.sprintf "%.1f ns/op" ns))
+        raws)
+    tests
+
+let () =
+  if !list_only then begin
+    List.iter print_endline all_sections;
+    exit 0
+  end;
+  List.iter
+    (fun bad ->
+      if not (List.mem bad all_sections) then begin
+        Printf.eprintf "unknown section %S; use --list\n" bad;
+        exit 2
+      end)
+    !only;
+  Printf.printf
+    "Tashkent reproduction benchmark harness (%s mode, %.0fs windows)\n"
+    (if !quick then "quick" else "full")
+    (Sim.Time.to_sec (measure ()));
+  if wants "fig4" then
+    fig_allupdates ~io:Tashkent.Replica.Shared_io ~figt:"4" ~figr:"5"
+      ~paper_factors:("5.0x", "3.0x") ();
+  if wants "fig6" then
+    fig_allupdates ~io:Tashkent.Replica.Dedicated_io ~figt:"6" ~figr:"7"
+      ~paper_factors:("5.0x", "3.2x") ();
+  if wants "fig8" then fig_tpcb ~io:Tashkent.Replica.Shared_io ~figt:"8" ~figr:"9" ();
+  if wants "fig10" then fig_tpcb ~io:Tashkent.Replica.Dedicated_io ~figt:"10" ~figr:"11" ();
+  if wants "fig12" then fig_tpcw ();
+  if wants "fig14" then fig14 ();
+  if wants "standalone" then standalone ();
+  if wants "recovery" then recovery ();
+  if wants "ablation" then ablation ();
+  if wants "micro" then micro ();
+  print_newline ()

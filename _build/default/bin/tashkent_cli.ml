@@ -1,0 +1,179 @@
+(* Command-line front end: run a single measured experiment, the recovery
+   experiment, or a consistency stress check. *)
+
+open Cmdliner
+
+let system_conv =
+  let parse = function
+    | "base" -> Ok (Harness.Experiment.Replicated Tashkent.Types.Base)
+    | "mw" | "tashkent-mw" -> Ok (Harness.Experiment.Replicated Tashkent.Types.Tashkent_mw)
+    | "api" | "tashkent-api" ->
+        Ok (Harness.Experiment.Replicated Tashkent.Types.Tashkent_api)
+    | "api-nocert" ->
+        Ok (Harness.Experiment.Replicated_nocert Tashkent.Types.Tashkent_api)
+    | "standalone" -> Ok Harness.Experiment.Standalone
+    | s -> Error (`Msg (Printf.sprintf "unknown system %S" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Harness.Experiment.system_name s) in
+  Arg.conv (parse, print)
+
+let workload_conv =
+  let parse = function
+    | "allupdates" -> Ok Harness.Experiment.All_updates
+    | "tpcb" | "tpc-b" -> Ok Harness.Experiment.Tpc_b
+    | "tpcw" | "tpc-w" -> Ok Harness.Experiment.Tpc_w
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print fmt w = Format.pp_print_string fmt (Harness.Experiment.workload_name w) in
+  Arg.conv (parse, print)
+
+let io_conv =
+  let parse = function
+    | "shared" -> Ok Tashkent.Replica.Shared_io
+    | "dedicated" -> Ok Tashkent.Replica.Dedicated_io
+    | s -> Error (`Msg (Printf.sprintf "unknown io layout %S" s))
+  in
+  let print fmt = function
+    | Tashkent.Replica.Shared_io -> Format.pp_print_string fmt "shared"
+    | Tashkent.Replica.Dedicated_io -> Format.pp_print_string fmt "dedicated"
+  in
+  Arg.conv (parse, print)
+
+let system_t =
+  Arg.(
+    value
+    & opt system_conv (Harness.Experiment.Replicated Tashkent.Types.Tashkent_mw)
+    & info [ "s"; "system" ] ~docv:"SYSTEM"
+        ~doc:"System to run: base, mw, api, api-nocert, standalone.")
+
+let workload_t =
+  Arg.(
+    value
+    & opt workload_conv Harness.Experiment.All_updates
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"allupdates, tpcb or tpcw.")
+
+let io_t =
+  Arg.(
+    value
+    & opt io_conv Tashkent.Replica.Shared_io
+    & info [ "io" ] ~docv:"IO" ~doc:"Disk layout: shared or dedicated.")
+
+let replicas_t =
+  Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Database replicas.")
+
+let certifiers_t =
+  Arg.(value & opt int 3 & info [ "certifiers" ] ~docv:"N" ~doc:"Certifier nodes.")
+
+let seconds_t =
+  Arg.(value & opt float 10. & info [ "seconds" ] ~docv:"S" ~doc:"Measurement window.")
+
+let abort_rate_t =
+  Arg.(
+    value & opt float 0. & info [ "abort-rate" ] ~docv:"R" ~doc:"Forced abort rate (0..1).")
+
+let seed_t = Arg.(value & opt int 20060418 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let run_cmd =
+  let run system workload io n certifiers seconds abort_rate seed =
+    let cfg =
+      {
+        Harness.Experiment.system;
+        io;
+        n_replicas = n;
+        n_certifiers = certifiers;
+        workload;
+        abort_rate;
+        eager_precert = true;
+        group_remote_batches = true;
+        seed;
+        warmup = Sim.Time.of_sec (Float.min 5. (seconds /. 2.));
+        measure = Sim.Time.of_sec seconds;
+      }
+    in
+    let r = Harness.Experiment.run cfg in
+    let open Harness.Report in
+    kv "system" (Harness.Experiment.system_name system);
+    kv "workload" (Harness.Experiment.workload_name workload);
+    kv "replicas" (string_of_int n);
+    kv "throughput (committed+aborted req/s)" (f1 r.throughput);
+    kv "goodput (committed req/s)" (f1 r.goodput);
+    kv "update response time (ms)" (f1 r.resp_ms);
+    kv "read-only response time (ms)" (f1 r.ro_resp_ms);
+    kv "abort rate" (pct r.abort_rate_measured);
+    kv "writesets per certifier fsync" (f1 r.cert_ws_per_fsync);
+    kv "commit records per database fsync" (f1 r.db_ws_per_fsync);
+    kv "artificial conflict rate" (pct r.artificial_conflict_pct);
+    kv "replica CPU utilization" (pct r.replica_cpu_util);
+    kv "replica log-disk utilization" (pct r.replica_disk_util);
+    kv "certifier CPU utilization" (pct r.cert_cpu_util);
+    kv "certifier disk utilization" (pct r.cert_disk_util)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one measured experiment and print its metrics.")
+    Term.(
+      const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t $ seconds_t
+      $ abort_rate_t $ seed_t)
+
+let recovery_cmd =
+  let run n seed =
+    let r = Harness.Recovery_exp.run ~n_replicas:n ~seed () in
+    let open Harness.Report in
+    kv "update rate (writesets/s)" (f1 r.update_rate);
+    kv "dump duration (s)" (f1 (Sim.Time.to_sec r.dump_duration));
+    kv "throughput degradation during dump" (pct r.dump_degradation);
+    kv "restore from dump (s)" (f1 (Sim.Time.to_sec r.mw_restore_duration));
+    kv "replay rate (writesets/s)" (f1 r.replay_rate);
+    kv "database-internal recovery (s)" (f1 (Sim.Time.to_sec r.db_recovery_duration));
+    kv "certifier log growth (MB/hour)" (f1 (r.cert_log_bytes_per_hour /. 1.0e6));
+    kv "certifier recovery after 60s down (s)"
+      (f2 (Sim.Time.to_sec r.cert_recovery_duration))
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc:"Run the 9.6 recovery-time experiments.")
+    Term.(const run $ replicas_t $ seed_t)
+
+let consistency_cmd =
+  let run n seconds seed =
+    let spec = Workload.Allupdates.profile () in
+    let cfg =
+      {
+        Tashkent.Cluster.mode = Tashkent.Types.Tashkent_api;
+        n_replicas = n;
+        n_certifiers = 3;
+        certifier = Tashkent.Certifier.default_config;
+        replica = Tashkent.Replica.default_config Tashkent.Types.Tashkent_api;
+        seed;
+      }
+    in
+    let cluster = Tashkent.Cluster.create cfg in
+    let engine = Tashkent.Cluster.engine cluster in
+    Tashkent.Cluster.load_all cluster (spec.Workload.Spec.initial_rows ~n_replicas:n);
+    Tashkent.Cluster.settle cluster;
+    let collector = Workload.Driver.Collector.create () in
+    let rng = Sim.Rng.create (seed + 1) in
+    List.iteri
+      (fun replica_ix replica ->
+        Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+          ~rng:(Sim.Rng.split rng) ~collector ~replica_ix ~n_replicas:n)
+      (Tashkent.Cluster.replicas cluster);
+    Sim.Engine.run ~until:(Sim.Time.of_sec seconds) engine;
+    match Tashkent.Cluster.check_consistency cluster with
+    | Ok () ->
+        Printf.printf "OK: %d commits, every replica is a consistent prefix\n"
+          (Tashkent.Cluster.total_commits cluster)
+    | Error msg ->
+        Printf.printf "VIOLATION: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "consistency" ~doc:"Stress the cluster and verify the GSI safety invariant.")
+    Term.(const run $ replicas_t $ seconds_t $ seed_t)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "tashkent-cli" ~version:"1.0.0"
+             ~doc:"Tashkent (EuroSys 2006) reproduction toolkit")
+          [ run_cmd; recovery_cmd; consistency_cmd ]))

@@ -1,0 +1,1 @@
+examples/api_ordering.ml: Engine Format Ivar List Mvcc Printf Rng Sim Storage Time

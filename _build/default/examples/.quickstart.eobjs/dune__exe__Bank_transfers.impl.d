@@ -1,0 +1,1 @@
+examples/bank_transfers.ml: Cluster Engine Fun List Mvcc Printf Proxy Replica Rng Sim Tashkent Time Types

@@ -1,0 +1,1 @@
+examples/failover.ml: Certifier Cluster Engine List Mvcc Printf Proxy Replica Rng Sim Tashkent Time Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Certifier Cluster Engine Format List Mvcc Printf Proxy Replica Sim Tashkent Time Types

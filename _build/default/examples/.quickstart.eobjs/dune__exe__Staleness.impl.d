@@ -1,0 +1,1 @@
+examples/staleness.ml: Cluster Engine Mvcc Printf Proxy Replica Sim Tashkent Time Types

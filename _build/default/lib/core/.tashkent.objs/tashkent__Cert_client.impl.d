@@ -1,0 +1,1 @@
+lib/core/cert_client.ml: Array Engine Hashtbl Ivar Net Sim Stats String Time Types

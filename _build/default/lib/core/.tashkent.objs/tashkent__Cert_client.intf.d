@@ -1,0 +1,1 @@
+lib/core/cert_client.mli: Mvcc Net Sim Types

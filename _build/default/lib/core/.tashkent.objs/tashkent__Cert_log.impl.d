@@ -1,0 +1,1 @@
+lib/core/cert_log.ml: Array Key List Mvcc Printf Types Writeset

@@ -1,0 +1,1 @@
+lib/core/cert_log.mli: Mvcc Types

@@ -1,0 +1,1 @@
+lib/core/certifier.ml: Cert_log Engine Hashtbl Lazy List Mailbox Mvcc Net Paxos Resource Rng Sim Stats Storage String Time Types

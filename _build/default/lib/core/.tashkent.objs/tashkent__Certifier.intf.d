@@ -1,0 +1,1 @@
+lib/core/certifier.mli: Cert_log Net Paxos Sim Types

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Cert_log Certifier Engine List Mvcc Net Printf Proxy Replica Rng Sim Storage String Time Types

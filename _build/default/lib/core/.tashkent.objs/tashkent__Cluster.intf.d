@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Certifier Mvcc Net Replica Sim Types

@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Cert_client Engine Format Hashtbl Ivar List Mailbox Mvcc Net Option Resource Sim Stats Time Types

@@ -1,0 +1,1 @@
+lib/core/proxy.mli: Format Mvcc Net Sim Types

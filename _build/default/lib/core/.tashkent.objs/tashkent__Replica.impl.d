@@ -1,0 +1,1 @@
+lib/core/replica.ml: Engine List Mvcc Proxy Resource Rng Sim Storage Time Types

@@ -1,0 +1,102 @@
+open Sim
+
+type outcome = Reply of Types.cert_reply | Redirect of string option | Timed_out
+
+type t = {
+  engine : Engine.t;
+  net : Types.message Net.Network.t;
+  my_addr : string;
+  certifiers : string array;
+  mutable target : int; (* index into certifiers *)
+  timeout : Time.t;
+  pending : (int, outcome Ivar.t) Hashtbl.t;
+  mutable fetch_waiter : Types.fetch_reply option Ivar.t option;
+  mutable next_req : int;
+  sent : Stats.Counter.t;
+  retry_count : Stats.Counter.t;
+}
+
+let create engine ~net ~my_addr ~certifiers ?(timeout = Time.of_ms 500.) ~req_id_base () =
+  if certifiers = [] then invalid_arg "Cert_client.create: no certifiers";
+  {
+    engine;
+    net;
+    my_addr;
+    certifiers = Array.of_list certifiers;
+    target = 0;
+    timeout;
+    pending = Hashtbl.create 16;
+    fetch_waiter = None;
+    next_req = req_id_base;
+    sent = Stats.Counter.create ();
+    retry_count = Stats.Counter.create ();
+  }
+
+let send t ~dst msg =
+  Net.Network.send t.net ~src:t.my_addr ~dst ~size:(Types.message_bytes msg) msg
+
+let rotate_target t hint =
+  match hint with
+  | Some leader ->
+      Array.iteri (fun i c -> if String.equal c leader then t.target <- i) t.certifiers
+  | None -> t.target <- (t.target + 1) mod Array.length t.certifiers
+
+let certify t ~start_version ~replica_version ws =
+  t.next_req <- t.next_req + 1;
+  let req_id = t.next_req in
+  let request =
+    Types.Cert_request
+      { req_id; replica = t.my_addr; start_version; replica_version; writeset = ws }
+  in
+  let rec attempt n =
+    if n > 0 then Stats.Counter.incr t.retry_count;
+    let ivar = Ivar.create t.engine () in
+    Hashtbl.replace t.pending req_id ivar;
+    Stats.Counter.incr t.sent;
+    send t ~dst:t.certifiers.(t.target) request;
+    Engine.schedule_after t.engine t.timeout (fun () ->
+        ignore (Ivar.try_fill ivar Timed_out));
+    match Ivar.read ivar with
+    | Reply reply ->
+        Hashtbl.remove t.pending req_id;
+        reply
+    | Redirect hint ->
+        rotate_target t hint;
+        Engine.sleep t.engine (Time.of_ms 1.);
+        attempt (n + 1)
+    | Timed_out ->
+        rotate_target t None;
+        attempt (n + 1)
+  in
+  attempt 0
+
+let fetch t ~replica ~from_version =
+  let ivar = Ivar.create t.engine () in
+  t.fetch_waiter <- Some ivar;
+  send t
+    ~dst:t.certifiers.(t.target)
+    (Types.Fetch_request { fetch_replica = replica; from_version });
+  Engine.schedule_after t.engine t.timeout (fun () -> ignore (Ivar.try_fill ivar None));
+  let result = Ivar.read ivar in
+  t.fetch_waiter <- None;
+  if result = None then rotate_target t None;
+  result
+
+let handle t msg =
+  match msg with
+  | Types.Cert_reply reply -> (
+      match Hashtbl.find_opt t.pending reply.req_id with
+      | Some ivar -> ignore (Ivar.try_fill ivar (Reply reply))
+      | None -> ())
+  | Types.Cert_redirect { req_id; leader } -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | Some ivar -> ignore (Ivar.try_fill ivar (Redirect leader))
+      | None -> ())
+  | Types.Fetch_reply reply -> (
+      match t.fetch_waiter with
+      | Some ivar -> ignore (Ivar.try_fill ivar (Some reply))
+      | None -> ())
+  | Types.Cert_request _ | Types.Fetch_request _ | Types.Paxos _ -> ()
+
+let requests_sent t = Stats.Counter.value t.sent
+let retries t = Stats.Counter.value t.retry_count

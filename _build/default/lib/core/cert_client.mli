@@ -1,0 +1,34 @@
+(** Proxy-side client for the certifier group: leader discovery, retries
+    with timeouts (surviving certifier crashes and elections), and routing
+    of replies back to waiting fibers. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  net:Types.message Net.Network.t ->
+  my_addr:string ->
+  certifiers:string list ->
+  ?timeout:Sim.Time.t ->
+  req_id_base:int ->
+  unit ->
+  t
+(** [req_id_base] makes request ids globally unique across replicas (ids
+    are [req_id_base + n]). Does not register any endpoint: the owner must
+    route {!Types.Cert_reply}, {!Types.Cert_redirect} and
+    {!Types.Fetch_reply} messages arriving at [my_addr] to {!handle}. *)
+
+val certify :
+  t -> start_version:int -> replica_version:int -> Mvcc.Writeset.t -> Types.cert_reply
+(** Blocking: sends the certification request to the presumed leader and
+    keeps retrying (same request id, so retries are idempotent) across
+    redirects, timeouts and certifier failovers until a reply arrives. *)
+
+val fetch : t -> replica:string -> from_version:int -> Types.fetch_reply option
+(** Blocking, single timeout: used by the bounded-staleness refresher;
+    [None] on timeout. *)
+
+val handle : t -> Types.message -> unit
+
+val requests_sent : t -> int
+val retries : t -> int

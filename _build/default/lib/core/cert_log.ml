@@ -1,0 +1,100 @@
+open Mvcc
+
+type slot = { entry : Types.entry; mutable certified_back_to : int }
+
+type t = {
+  mutable slots : slot array;
+  mutable size : int;
+  writers : int list ref Key.Tbl.t; (* key -> versions that wrote it, newest first *)
+  mutable bytes : int;
+  mutable extra_scans : int;
+}
+
+let dummy_entry =
+  { Types.version = 0; origin = ""; req_id = 0; ws = Writeset.empty }
+
+let create () =
+  {
+    slots = Array.make 256 { entry = dummy_entry; certified_back_to = 0 };
+    size = 0;
+    writers = Key.Tbl.create 1024;
+    bytes = 0;
+    extra_scans = 0;
+  }
+
+let version t = t.size
+
+let get t v =
+  if v < 1 || v > t.size then invalid_arg (Printf.sprintf "Cert_log.get: version %d" v);
+  t.slots.(v - 1).entry
+
+let append t (entry : Types.entry) =
+  if entry.version <> t.size + 1 then
+    invalid_arg
+      (Printf.sprintf "Cert_log.append: version %d, expected %d" entry.version (t.size + 1));
+  if t.size = Array.length t.slots then begin
+    let bigger = Array.make (2 * t.size) t.slots.(0) in
+    Array.blit t.slots 0 bigger 0 t.size;
+    t.slots <- bigger
+  end;
+  (* A fresh entry is known conflict-free back to the transaction's own
+     certification window start; callers record it via certified_back_to
+     when they need more. We initialise pessimistically to version-1: the
+     normal certification already covered (start_version, version), but the
+     start version is not stored here, so the first back-certification pays
+     the scan and memoises. *)
+  t.slots.(t.size) <- { entry; certified_back_to = entry.version - 1 };
+  t.size <- t.size + 1;
+  t.bytes <- t.bytes + Types.entry_bytes entry;
+  List.iter
+    (fun key ->
+      match Key.Tbl.find_opt t.writers key with
+      | Some versions -> versions := entry.version :: !versions
+      | None -> Key.Tbl.replace t.writers key (ref [ entry.version ]))
+    (Writeset.keys entry.ws)
+
+let conflict_in_window t ws ~lo ~hi =
+  if hi <= lo then None
+  else
+    List.fold_left
+      (fun best key ->
+        match Key.Tbl.find_opt t.writers key with
+        | None -> best
+        | Some versions ->
+            let rec scan = function
+              | [] -> best
+              | v :: rest ->
+                  if v > hi then scan rest
+                  else if v > lo then
+                    (match best with Some b when b >= v -> best | _ -> Some v)
+                  else best
+            in
+            scan !versions)
+      None (Writeset.keys ws)
+
+let certify t ws ~start_version = conflict_in_window t ws ~lo:start_version ~hi:t.size
+
+let back_certify t ~version ~down_to =
+  let slot = t.slots.(version - 1) in
+  if down_to >= slot.certified_back_to then None
+  else begin
+    t.extra_scans <- t.extra_scans + 1;
+    let ws = slot.entry.ws in
+    let conflict = conflict_in_window t ws ~lo:down_to ~hi:slot.certified_back_to in
+    (match conflict with
+    | None -> slot.certified_back_to <- down_to
+    | Some v ->
+        (* Conflict-free strictly above v. *)
+        slot.certified_back_to <- v);
+    conflict
+  end
+
+let entries_between t ~lo ~hi =
+  let hi = min hi t.size in
+  let rec collect v acc =
+    if v <= lo then acc else collect (v - 1) (t.slots.(v - 1).entry :: acc)
+  in
+  collect hi []
+
+let bytes_total t = t.bytes
+let back_certifications t = t.extra_scans

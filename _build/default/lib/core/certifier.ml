@@ -1,0 +1,341 @@
+open Sim
+
+type config = {
+  durable : bool;
+  forced_abort_rate : float;
+  certify_cpu : Time.t;
+  paxos : Paxos.Node.config;
+}
+
+let default_config =
+  {
+    durable = true;
+    forced_abort_rate = 0.;
+    certify_cpu = Time.us 40;
+    paxos = Paxos.Node.default_config;
+  }
+
+type stats = {
+  requests : int;
+  commits : int;
+  aborts_ww : int;
+  aborts_forced : int;
+  fetches : int;
+  log_bytes : int;
+  log_fsyncs : int;
+  log_records : int;
+  mean_group_size : float;
+  back_certifications : int;
+  artificial_conflicts : int;
+  cpu_utilization : float;
+  disk_utilization : float;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  node_id : string;
+  net : Types.message Net.Network.t;
+  cfg : config;
+  mutable forced_abort_rate : float;
+  cpu : Resource.t;
+  disk : Storage.Disk.t;
+  paxos_node : Types.entry Paxos.Node.t;
+  mutable clog : Cert_log.t;
+  (* Leader-side speculative overlay: certified entries proposed to Paxos
+     but not yet delivered, in version order. *)
+  mutable overlay : Types.entry list;
+  pending_replies : (int, Types.cert_request) Hashtbl.t; (* version -> request *)
+  decided : (int, int) Hashtbl.t; (* req_id -> version, for retry idempotency *)
+  mutable was_leader : bool;
+  mutable up : bool;
+  (* counters *)
+  c_requests : Stats.Counter.t;
+  c_commits : Stats.Counter.t;
+  c_aborts_ww : Stats.Counter.t;
+  c_aborts_forced : Stats.Counter.t;
+  c_fetches : Stats.Counter.t;
+  c_artificial : Stats.Counter.t;
+}
+
+let id t = t.node_id
+let is_leader t = Paxos.Node.is_leader t.paxos_node
+let leader_hint t = Paxos.Node.leader_hint t.paxos_node
+let system_version t = Cert_log.version t.clog
+let log t = t.clog
+let is_up t = t.up
+let set_forced_abort_rate t rate = t.forced_abort_rate <- rate
+
+let send t ~dst msg =
+  Net.Network.send t.net ~src:t.node_id ~dst ~size:(Types.message_bytes msg) msg
+
+(* ------------------------------------------------------------------ *)
+(* Certification *)
+
+let overlay_conflict t ws ~start_version =
+  List.fold_left
+    (fun best (entry : Types.entry) ->
+      if entry.version > start_version && Mvcc.Writeset.intersects entry.ws ws then
+        match best with Some b when b >= entry.version -> best | _ -> Some entry.version
+      else best)
+    None t.overlay
+
+let next_version t = Cert_log.version t.clog + List.length t.overlay + 1
+
+(* Compose the remote writesets for a reply: everything the replica has not
+   seen between its reported version and the commit version, excluding its
+   own transactions, each annotated with artificial-conflict info. *)
+let compose_remotes t ~(req : Types.cert_request) ~upto =
+  let entries = Cert_log.entries_between t.clog ~lo:req.replica_version ~hi:upto in
+  List.filter_map
+    (fun (entry : Types.entry) ->
+      if String.equal entry.origin req.replica then None
+      else begin
+        let conflict_with =
+          Cert_log.back_certify t.clog ~version:entry.version ~down_to:req.replica_version
+        in
+        (match conflict_with with
+        | Some _ -> Stats.Counter.incr t.c_artificial
+        | None -> ());
+        Some { Types.version = entry.version; ws = entry.ws; conflict_with }
+      end)
+    entries
+
+let reply_commit t ~(req : Types.cert_request) ~version =
+  let remotes = compose_remotes t ~req ~upto:(version - 1) in
+  send t ~dst:req.replica
+    (Types.Cert_reply
+       { req_id = req.req_id; decision = Types.Commit; commit_version = version; remotes })
+
+let reply_abort t ~(req : Types.cert_request) ~cause =
+  (match cause with
+  | Types.Ww_conflict -> Stats.Counter.incr t.c_aborts_ww
+  | Types.Forced -> Stats.Counter.incr t.c_aborts_forced);
+  send t ~dst:req.replica
+    (Types.Cert_reply
+       {
+         req_id = req.req_id;
+         decision = Types.Abort cause;
+         commit_version = 0;
+         remotes = [];
+       })
+
+let handle_request t (req : Types.cert_request) =
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".certify") (fun () ->
+         Resource.use t.cpu t.cfg.certify_cpu;
+         if t.up then begin
+           if not (is_leader t) then
+             send t ~dst:req.replica
+               (Types.Cert_redirect { req_id = req.req_id; leader = leader_hint t })
+           else
+             match Hashtbl.find_opt t.decided req.req_id with
+             | Some version ->
+                 (* Retried request whose transaction already committed. *)
+                 reply_commit t ~req ~version
+             | None -> (
+                 Stats.Counter.incr t.c_requests;
+                 let conflict =
+                   match
+                     Cert_log.certify t.clog req.writeset ~start_version:req.start_version
+                   with
+                   | Some v -> Some v
+                   | None -> overlay_conflict t req.writeset ~start_version:req.start_version
+                 in
+                 match conflict with
+                 | Some _ -> reply_abort t ~req ~cause:Types.Ww_conflict
+                 | None ->
+                     if
+                       t.forced_abort_rate > 0.
+                       && Rng.chance t.rng t.forced_abort_rate
+                     then reply_abort t ~req ~cause:Types.Forced
+                     else begin
+                       let version = next_version t in
+                       let entry =
+                         {
+                           Types.version;
+                           origin = req.replica;
+                           req_id = req.req_id;
+                           ws = req.writeset;
+                         }
+                       in
+                       if t.cfg.durable then begin
+                         t.overlay <- t.overlay @ [ entry ];
+                         Hashtbl.replace t.pending_replies version req;
+                         if not (Paxos.Node.propose t.paxos_node entry) then begin
+                           (* Lost leadership in the meantime; drop, the
+                              proxy retries. *)
+                           t.overlay <-
+                             List.filter
+                               (fun (e : Types.entry) -> e.version <> version)
+                               t.overlay;
+                           Hashtbl.remove t.pending_replies version
+                         end
+                       end
+                       else begin
+                         (* tashAPInoCERT: no disk write, apply and answer. *)
+                         Cert_log.append t.clog entry;
+                         Hashtbl.replace t.decided entry.req_id version;
+                         Stats.Counter.incr t.c_commits;
+                         reply_commit t ~req ~version
+                       end
+                     end)
+         end))
+
+let handle_fetch t (freq : Types.fetch_request) =
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".fetch") (fun () ->
+         Resource.use t.cpu t.cfg.certify_cpu;
+         if t.up then begin
+           Stats.Counter.incr t.c_fetches;
+           let entries =
+             Cert_log.entries_between t.clog ~lo:freq.from_version
+               ~hi:(Cert_log.version t.clog)
+           in
+           let remotes =
+             List.filter_map
+               (fun (entry : Types.entry) ->
+                 if String.equal entry.origin freq.fetch_replica then None
+                 else
+                   let conflict_with =
+                     Cert_log.back_certify t.clog ~version:entry.version
+                       ~down_to:freq.from_version
+                   in
+                   Some { Types.version = entry.version; ws = entry.ws; conflict_with })
+               entries
+           in
+           send t ~dst:freq.fetch_replica
+             (Types.Fetch_reply
+                { fetch_remotes = remotes; certifier_version = Cert_log.version t.clog })
+         end))
+
+(* ------------------------------------------------------------------ *)
+(* Delivery from Paxos: the replicated state machine *)
+
+let on_deliver t _slot (entry : Types.entry) =
+  Cert_log.append t.clog entry;
+  Hashtbl.replace t.decided entry.req_id entry.version;
+  (match t.overlay with
+  | e :: rest when e.Types.version = entry.version -> t.overlay <- rest
+  | _ -> ());
+  match Hashtbl.find_opt t.pending_replies entry.version with
+  | Some req when is_leader t ->
+      Hashtbl.remove t.pending_replies entry.version;
+      Stats.Counter.incr t.c_commits;
+      reply_commit t ~req ~version:entry.version
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Wiring *)
+
+let spawn_role_watch t =
+  (* Clear speculative state when leadership is lost; outstanding requests
+     will time out at the proxies and be retried at the new leader. *)
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".rolewatch") (fun () ->
+         let rec loop () =
+           Engine.sleep t.engine (Time.of_ms 5.);
+           let now_leader = is_leader t in
+           if t.was_leader && not now_leader then begin
+             t.overlay <- [];
+             Hashtbl.reset t.pending_replies
+           end;
+           t.was_leader <- now_leader;
+           loop ()
+         in
+         loop ()))
+
+let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
+  let mailbox = Net.Network.register net node_id in
+  let disk = Storage.Disk.create engine ~rng:(Rng.split rng) ~name:(node_id ^ ".disk") () in
+  let rec t =
+    lazy
+      {
+        engine;
+        rng;
+        node_id;
+        net;
+        cfg = config;
+        forced_abort_rate = config.forced_abort_rate;
+        cpu = Resource.create engine ~name:(node_id ^ ".cpu") ~capacity:1 ();
+        disk;
+        paxos_node =
+          Paxos.Node.create engine ~rng:(Rng.split rng) ~id:node_id ~peers ~disk
+            ~send:(fun ~dst msg ->
+              let wrapped = Types.Paxos msg in
+              Net.Network.send net ~src:node_id ~dst
+                ~size:(Types.message_bytes wrapped) wrapped)
+            ~on_deliver:(fun slot entry -> on_deliver (Lazy.force t) slot entry)
+            ~config:config.paxos ();
+        clog = Cert_log.create ();
+        overlay = [];
+        pending_replies = Hashtbl.create 64;
+        decided = Hashtbl.create 1024;
+        was_leader = false;
+        up = true;
+        c_requests = Stats.Counter.create ();
+        c_commits = Stats.Counter.create ();
+        c_aborts_ww = Stats.Counter.create ();
+        c_aborts_forced = Stats.Counter.create ();
+        c_fetches = Stats.Counter.create ();
+        c_artificial = Stats.Counter.create ();
+      }
+  in
+  let t = Lazy.force t in
+  ignore
+    (Engine.spawn engine ~name:(node_id ^ ".pump") (fun () ->
+         let rec loop () =
+           (match Mailbox.recv mailbox with
+           | Types.Paxos msg -> if t.up then Paxos.Node.handle t.paxos_node msg
+           | Types.Cert_request req -> if t.up then handle_request t req
+           | Types.Fetch_request freq -> if t.up then handle_fetch t freq
+           | Types.Cert_reply _ | Types.Cert_redirect _ | Types.Fetch_reply _ -> ());
+           loop ()
+         in
+         loop ()));
+  spawn_role_watch t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Faults *)
+
+let crash t =
+  t.up <- false;
+  Paxos.Node.crash t.paxos_node;
+  (* Volatile certifier state is lost; the log is rebuilt from the durable
+     Paxos log on recovery: redelivery re-appends from version 1. *)
+  t.clog <- Cert_log.create ();
+  t.overlay <- [];
+  Hashtbl.reset t.pending_replies;
+  Hashtbl.reset t.decided
+
+let recover t =
+  t.up <- true;
+  Paxos.Node.recover t.paxos_node
+
+let stats t =
+  let wal = Paxos.Node.wal t.paxos_node in
+  {
+    requests = Stats.Counter.value t.c_requests;
+    commits = Stats.Counter.value t.c_commits;
+    aborts_ww = Stats.Counter.value t.c_aborts_ww;
+    aborts_forced = Stats.Counter.value t.c_aborts_forced;
+    fetches = Stats.Counter.value t.c_fetches;
+    log_bytes = Cert_log.bytes_total t.clog;
+    log_fsyncs = Storage.Wal.sync_count wal;
+    log_records = Storage.Wal.records_synced wal;
+    mean_group_size = Storage.Wal.mean_group_size wal;
+    back_certifications = Cert_log.back_certifications t.clog;
+    artificial_conflicts = Stats.Counter.value t.c_artificial;
+    cpu_utilization = Resource.utilization t.cpu;
+    disk_utilization = Storage.Disk.utilization t.disk;
+  }
+
+let reset_stats t =
+  Stats.Counter.reset t.c_requests;
+  Stats.Counter.reset t.c_commits;
+  Stats.Counter.reset t.c_aborts_ww;
+  Stats.Counter.reset t.c_aborts_forced;
+  Stats.Counter.reset t.c_fetches;
+  Stats.Counter.reset t.c_artificial;
+  Storage.Wal.reset_stats (Paxos.Node.wal t.paxos_node)

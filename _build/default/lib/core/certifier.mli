@@ -1,0 +1,82 @@
+(** The certifier: certification service + ordered durable log (§6.1, §7.3).
+
+    A group of certifier nodes replicates the log of certified writesets
+    with {!Paxos}. The elected leader serves certification requests:
+
+    + intersect the incoming writeset against every writeset committed
+      after the transaction's start version (fast, via {!Cert_log});
+    + on success assign the next global version and replicate the log
+      entry — every certifier appends it to its disk-backed WAL (batched
+      into few fsyncs by {!Storage.Wal}), and a majority of acks commits it;
+    + reply with the decision, the commit version, and the remote writesets
+      the replica has not seen, each carrying the §5.2.1
+      artificial-conflict annotation (computed by back-certification).
+
+    Durability can be disabled ([durable = false]) to reproduce the paper's
+    [tashAPInoCERT] configuration: certification happens as usual but
+    nothing is written to disk and replies return immediately.
+
+    Forced aborts at a configurable rate reproduce §9.5: the request pays
+    the full certification cost, then aborts. *)
+
+type config = {
+  durable : bool;
+  forced_abort_rate : float;
+  certify_cpu : Sim.Time.t;  (** CPU per certification request *)
+  paxos : Paxos.Node.config;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  net:Types.message Net.Network.t ->
+  id:string ->
+  peers:string list ->
+  ?config:config ->
+  unit ->
+  t
+(** Registers the network endpoint [id], creates the node's log disk and
+    Paxos node, and spawns the message pump. *)
+
+val id : t -> string
+val is_leader : t -> bool
+val leader_hint : t -> string option
+val system_version : t -> int
+(** Version of the newest {e delivered} (majority-committed) entry on this
+    node. *)
+
+val log : t -> Cert_log.t
+
+(** {1 Fault injection} *)
+
+val crash : t -> unit
+val recover : t -> unit
+val is_up : t -> bool
+
+val set_forced_abort_rate : t -> float -> unit
+
+(** {1 Statistics (meaningful on the leader)} *)
+
+type stats = {
+  requests : int;
+  commits : int;
+  aborts_ww : int;
+  aborts_forced : int;
+  fetches : int;
+  log_bytes : int;
+  log_fsyncs : int;
+  log_records : int;
+  mean_group_size : float;
+  back_certifications : int;
+  artificial_conflicts : int;
+      (** remote writesets annotated with a conflict in some reply *)
+  cpu_utilization : float;
+  disk_utilization : float;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,154 @@
+open Sim
+
+type config = {
+  mode : Types.mode;
+  n_replicas : int;
+  n_certifiers : int;
+  certifier : Certifier.config;
+  replica : Replica.config;
+  seed : int;
+}
+
+let default_config mode =
+  {
+    mode;
+    n_replicas = 3;
+    n_certifiers = 3;
+    certifier = Certifier.default_config;
+    replica = Replica.default_config mode;
+    seed = 42;
+  }
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  net : Types.message Net.Network.t;
+  certifier_nodes : Certifier.t list;
+  replica_nodes : Replica.t list;
+  mutable initial_rows : (Mvcc.Key.t * Mvcc.Value.t) list;
+}
+
+let certifier_name i = Printf.sprintf "cert%d" i
+let replica_name i = Printf.sprintf "replica%d" i
+
+let create ?engine cfg =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let rng = Rng.create cfg.seed in
+  let net = Net.Network.create engine ~rng:(Rng.split rng) () in
+  let cert_ids = List.init cfg.n_certifiers certifier_name in
+  let certifier_nodes =
+    List.map
+      (fun id ->
+        Certifier.create engine ~rng:(Rng.split rng) ~net ~id
+          ~peers:(List.filter (fun p -> p <> id) cert_ids)
+          ~config:cfg.certifier ())
+      cert_ids
+  in
+  let replica_nodes =
+    List.init cfg.n_replicas (fun i ->
+        Replica.create engine ~rng:(Rng.split rng) ~net ~name:(replica_name i)
+          ~certifiers:cert_ids
+          ~req_id_base:((i + 1) * 100_000_000)
+          ~config:{ cfg.replica with mode = cfg.mode }
+          ())
+  in
+  { engine; cfg; net; certifier_nodes; replica_nodes; initial_rows = [] }
+
+let engine t = t.engine
+let network t = t.net
+let config t = t.cfg
+let replicas t = t.replica_nodes
+let replica t i = List.nth t.replica_nodes i
+let certifiers t = t.certifier_nodes
+let certifier_ids t = List.map Certifier.id t.certifier_nodes
+
+let leader t = List.find_opt (fun c -> Certifier.is_up c && Certifier.is_leader c) t.certifier_nodes
+
+let settle t =
+  let deadline = Time.add (Engine.now t.engine) (Time.sec 10) in
+  let rec wait () =
+    if leader t = None && Time.(Engine.now t.engine < deadline) then begin
+      Engine.run ~until:(Time.add (Engine.now t.engine) (Time.of_ms 50.)) t.engine;
+      wait ()
+    end
+  in
+  wait ();
+  if leader t = None then failwith "Cluster.settle: no certifier leader elected"
+
+let load_all t rows =
+  t.initial_rows <- rows;
+  List.iter (fun r -> Replica.load r rows) t.replica_nodes
+
+let check_consistency t =
+  match leader t with
+  | None -> Error "no certifier leader to check against"
+  | Some cert ->
+      let clog = Certifier.log cert in
+      let problems = ref [] in
+      List.iter
+        (fun r ->
+          if Replica.is_up r then begin
+            let store = Mvcc.Db.store (Replica.db r) in
+            let v = Mvcc.Store.current_version store in
+            if v > Cert_log.version clog then
+              problems :=
+                Printf.sprintf "%s at version %d beyond certifier log %d" (Replica.name r)
+                  v (Cert_log.version clog)
+                :: !problems
+            else begin
+              (* Rebuild the reference state for version v and compare every
+                 key ever touched. *)
+              let reference = Mvcc.Store.create () in
+              List.iter
+                (fun (key, value) -> Mvcc.Store.preload reference key value)
+                t.initial_rows;
+              List.iter
+                (fun (entry : Types.entry) ->
+                  Mvcc.Store.install reference ~version:entry.version entry.ws)
+                (Cert_log.entries_between clog ~lo:0 ~hi:v);
+              Mvcc.Store.force_version reference v;
+              let check key =
+                let expected = Mvcc.Store.read_latest reference key in
+                let actual = Mvcc.Store.read store ~at:v key in
+                let same =
+                  match (expected, actual) with
+                  | None, None -> true
+                  | Some a, Some b -> Mvcc.Value.equal a b
+                  | None, Some _ | Some _, None -> false
+                in
+                if not same then
+                  problems :=
+                    Printf.sprintf "%s: key %s diverges at version %d" (Replica.name r)
+                      (Mvcc.Key.to_string key) v
+                    :: !problems
+              in
+              List.iter (fun (key, _) -> check key) t.initial_rows;
+              List.iter
+                (fun (entry : Types.entry) ->
+                  List.iter check (Mvcc.Writeset.keys entry.ws))
+                (Cert_log.entries_between clog ~lo:0 ~hi:v)
+            end
+          end)
+        t.replica_nodes;
+      if !problems = [] then Ok () else Error (String.concat "; " !problems)
+
+let total_commits t =
+  List.fold_left
+    (fun acc r -> acc + (Proxy.stats (Replica.proxy r)).commits)
+    0 t.replica_nodes
+
+let total_aborts t =
+  List.fold_left
+    (fun acc r ->
+      let s = Proxy.stats (Replica.proxy r) in
+      acc + s.cert_aborts + s.local_aborts)
+    0 t.replica_nodes
+
+let reset_stats t =
+  List.iter (fun r -> Proxy.reset_stats (Replica.proxy r)) t.replica_nodes;
+  List.iter Certifier.reset_stats t.certifier_nodes;
+  List.iter
+    (fun r ->
+      Mvcc.Db.reset_stats (Replica.db r);
+      Storage.Disk.reset_stats (Replica.log_disk r))
+    t.replica_nodes

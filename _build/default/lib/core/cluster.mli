@@ -1,0 +1,43 @@
+(** Whole-system wiring: a certifier group and a set of database replicas
+    on one simulated LAN — the architecture of Figure 2. *)
+
+type config = {
+  mode : Types.mode;
+  n_replicas : int;
+  n_certifiers : int;
+  certifier : Certifier.config;
+  replica : Replica.config;
+  seed : int;
+}
+
+val default_config : Types.mode -> config
+
+type t
+
+val create : ?engine:Sim.Engine.t -> config -> t
+val engine : t -> Sim.Engine.t
+val network : t -> Types.message Net.Network.t
+val config : t -> config
+val replicas : t -> Replica.t list
+val replica : t -> int -> Replica.t
+val certifiers : t -> Certifier.t list
+val certifier_ids : t -> string list
+
+val leader : t -> Certifier.t option
+(** The certifier currently claiming leadership, if any. *)
+
+val settle : t -> unit
+(** Run the engine until a certifier leader exists (bounded wait);
+    call once after {!create} before submitting work. *)
+
+val load_all : t -> (Mvcc.Key.t * Mvcc.Value.t) list -> unit
+(** Install the same initial rows on every replica (version 0). *)
+
+val check_consistency : t -> (unit, string) result
+(** Safety invariant (§7): every up replica's database state equals the
+    certifier log applied up to that replica's version — i.e. each replica
+    is a consistent prefix of the global history. *)
+
+val total_commits : t -> int
+val total_aborts : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,424 @@
+open Sim
+
+type config = {
+  mode : Types.mode;
+  apply_cpu_per_ws : Time.t;
+  apply_cpu_per_op : Time.t;
+  staleness_bound : Time.t option;
+  soft_recovery : bool;
+  group_remote_batches : bool;
+  local_certification : bool;
+}
+
+let default_config mode =
+  {
+    mode;
+    apply_cpu_per_ws = Time.us 65;
+    apply_cpu_per_op = Time.us 35;
+    staleness_bound = Some (Time.sec 1);
+    soft_recovery = true;
+    group_remote_batches = true;
+    local_certification = true;
+  }
+
+type tx = { db_tx : Mvcc.Db.tx; start_version : int }
+
+type failure = Cert_abort of Types.abort_cause | Local_abort of Mvcc.Db.abort_reason
+
+let pp_failure fmt = function
+  | Cert_abort Types.Ww_conflict -> Format.pp_print_string fmt "certification conflict"
+  | Cert_abort Types.Forced -> Format.pp_print_string fmt "forced abort"
+  | Local_abort r -> Format.fprintf fmt "local abort: %a" Mvcc.Db.pp_abort_reason r
+
+type work =
+  | Commit_reply of {
+      reply : Types.cert_reply;
+      w_tx : tx;
+      done_ : (unit, failure) result Ivar.t;
+    }
+  | Refresh_batch of { remotes : Types.remote_ws list; done_ : unit Ivar.t }
+
+type stats = {
+  commits : int;
+  cert_aborts : int;
+  local_aborts : int;
+  read_only_commits : int;
+  remote_ws_applied : int;
+  apply_batches : int;
+  artificial_serializations : int;
+  refreshes : int;
+  local_cert_promotions : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  address : string;
+  database : Mvcc.Db.t;
+  cpu : Resource.t;
+  client : Cert_client.t;
+  work : work Mailbox.t;
+  version_done : (int, unit Ivar.t) Hashtbl.t;
+  mutable rv : int;
+  mutable inflight : int;
+  mutable last_activity : Time.t;
+  mutable paused : bool;
+  mutable applier : Engine.fiber option;
+  mutable refresher : Engine.fiber option;
+  c_commits : Stats.Counter.t;
+  c_cert_aborts : Stats.Counter.t;
+  c_local_aborts : Stats.Counter.t;
+  c_ro_commits : Stats.Counter.t;
+  c_applied : Stats.Counter.t;
+  c_batches : Stats.Counter.t;
+  c_artificial : Stats.Counter.t;
+  c_refreshes : Stats.Counter.t;
+  c_promotions : Stats.Counter.t;
+  c_invariant : Stats.Counter.t;
+}
+
+let addr t = t.address
+let mode t = t.cfg.mode
+let replica_version t = t.rv
+let db t = t.database
+
+(* ------------------------------------------------------------------ *)
+(* Remote writeset application *)
+
+(* Retry a certified writeset through local deadlocks: doom the local cycle
+   members (soft recovery, §8.1) and re-apply under the same order. *)
+let rec apply_certified t ~version ~order ws =
+  match Mvcc.Db.apply_writeset t.database ~version ~order ws with
+  | Ok () -> ()
+  | Error (Mvcc.Db.Deadlock cycle) when t.cfg.soft_recovery ->
+      List.iter (fun txid -> Mvcc.Db.doom t.database txid) cycle;
+      apply_certified t ~version ~order ws
+  | Error reason ->
+      (* A certified writeset can only fail through a deadlock; anything
+         else is a model invariant violation. *)
+      Stats.Counter.incr t.c_invariant;
+      Mvcc.Db.skip_order t.database order;
+      failwith
+        (Format.asprintf "proxy %s: certified writeset failed: %a" t.address
+           Mvcc.Db.pp_abort_reason reason)
+
+let fresh_remotes t remotes =
+  List.filter (fun (r : Types.remote_ws) -> r.version > t.rv) remotes
+
+let charge_apply_cpu t remotes =
+  let cost =
+    List.fold_left
+      (fun acc (r : Types.remote_ws) ->
+        Time.add acc
+          (Time.add t.cfg.apply_cpu_per_ws
+             (Time.mul t.cfg.apply_cpu_per_op (Mvcc.Writeset.cardinal r.ws))))
+      Time.zero remotes
+  in
+  if not (Time.is_zero cost) then Resource.use t.cpu cost
+
+(* Serial application (Base, Tashkent-MW, refreshes): batch every fresh
+   remote writeset into one transaction (the T1_2_3 grouping of §3) and wait
+   for it to commit. With [group_remote_batches = false] this degenerates to
+   the paper's naive implementation — one transaction (and one fsync, when
+   the log is synchronous) per remote writeset. *)
+let apply_one_serial t (r : Types.remote_ws) =
+  t.rv <- max t.rv r.version;
+  charge_apply_cpu t [ r ];
+  let order = Mvcc.Db.next_order t.database in
+  apply_certified t ~version:r.version ~order r.ws;
+  Stats.Counter.incr t.c_applied;
+  Stats.Counter.incr t.c_batches
+
+let apply_serial t remotes =
+  match fresh_remotes t remotes with
+  | [] -> ()
+  | fresh when not t.cfg.group_remote_batches -> List.iter (apply_one_serial t) fresh
+  | fresh ->
+      let vmax = List.fold_left (fun a (r : Types.remote_ws) -> max a r.version) 0 fresh in
+      let merged =
+        List.fold_left
+          (fun acc (r : Types.remote_ws) -> Mvcc.Writeset.union acc r.ws)
+          Mvcc.Writeset.empty fresh
+      in
+      t.rv <- vmax;
+      charge_apply_cpu t fresh;
+      let order = Mvcc.Db.next_order t.database in
+      apply_certified t ~version:vmax ~order merged;
+      Stats.Counter.add t.c_applied (List.length fresh);
+      Stats.Counter.incr t.c_batches
+
+(* Concurrent application (Tashkent-API): each remote writeset is its own
+   transaction with its own commit sequence number, submitted without
+   waiting — except when the certifier flagged an artificial conflict with
+   a version still in flight, which must commit first (§5.2.1). *)
+let apply_concurrent t remotes =
+  List.iter
+    (fun (r : Types.remote_ws) ->
+      let order = Mvcc.Db.next_order t.database in
+      let ivar = Ivar.create t.engine () in
+      let dep =
+        match r.conflict_with with
+        | Some w when w > 0 -> (
+            match Hashtbl.find_opt t.version_done w with
+            | Some div when not (Ivar.is_filled div) ->
+                Stats.Counter.incr t.c_artificial;
+                Some div
+            | Some _ | None -> None)
+        | Some _ | None -> None
+      in
+      Hashtbl.replace t.version_done r.version ivar;
+      t.rv <- max t.rv r.version;
+      ignore
+        (Engine.spawn t.engine ~name:(t.address ^ ".apply") (fun () ->
+             (match dep with Some div -> Ivar.read div | None -> ());
+             charge_apply_cpu t [ r ];
+             apply_certified t ~version:r.version ~order r.ws;
+             Stats.Counter.incr t.c_applied;
+             Stats.Counter.incr t.c_batches;
+             Ivar.fill ivar ())))
+    (fresh_remotes t remotes)
+
+(* ------------------------------------------------------------------ *)
+(* The applier fiber: consumes certifier replies in version order. *)
+
+let finish_local_commit t w_tx ~version ~order done_ =
+  match Mvcc.Db.commit_replicated w_tx.db_tx ~version ~order with
+  | Ok () ->
+      Stats.Counter.incr t.c_commits;
+      Ivar.fill done_ (Ok ())
+  | Error reason ->
+      (* See apply_certified: a certified local transaction cannot abort. *)
+      Stats.Counter.incr t.c_invariant;
+      Ivar.fill done_ (Error (Local_abort reason))
+
+let process_commit_serial t reply w_tx done_ =
+  apply_serial t reply.Types.remotes;
+  let order = Mvcc.Db.next_order t.database in
+  t.rv <- max t.rv reply.commit_version;
+  finish_local_commit t w_tx ~version:reply.commit_version ~order done_
+
+let process_commit_api t reply w_tx done_ =
+  apply_concurrent t reply.Types.remotes;
+  let version = reply.commit_version in
+  let order = Mvcc.Db.next_order t.database in
+  let civar = Ivar.create t.engine () in
+  Hashtbl.replace t.version_done version civar;
+  t.rv <- max t.rv version;
+  ignore
+    (Engine.spawn t.engine ~name:(t.address ^ ".commit") (fun () ->
+         finish_local_commit t w_tx ~version ~order done_;
+         Ivar.fill civar ()))
+
+let spawn_applier t =
+  let fiber =
+    Engine.spawn t.engine ~name:(t.address ^ ".applier") (fun () ->
+        let rec loop () =
+          (match Mailbox.recv t.work with
+          | Commit_reply { reply; w_tx; done_ } -> (
+              match t.cfg.mode with
+              | Types.Base | Types.Tashkent_mw -> process_commit_serial t reply w_tx done_
+              | Types.Tashkent_api -> process_commit_api t reply w_tx done_)
+          | Refresh_batch { remotes; done_ } ->
+              apply_serial t remotes;
+              Stats.Counter.incr t.c_refreshes;
+              Ivar.fill done_ ());
+          loop ()
+        in
+        loop ())
+  in
+  t.applier <- Some fiber
+
+(* ------------------------------------------------------------------ *)
+(* Client interface *)
+
+let begin_tx t = { db_tx = Mvcc.Db.begin_tx t.database; start_version = t.rv }
+let read t w_tx key = ignore t; Mvcc.Db.read w_tx.db_tx key
+
+let write t w_tx key op =
+  match Mvcc.Db.write w_tx.db_tx key op with
+  | Ok () -> Ok ()
+  | Error reason ->
+      Stats.Counter.incr t.c_local_aborts;
+      Error (Local_abort reason)
+
+let abort _t w_tx = Mvcc.Db.abort w_tx.db_tx
+
+let commit t w_tx =
+  let ws = Mvcc.Db.writeset w_tx.db_tx in
+  if Mvcc.Writeset.is_empty ws then begin
+    Mvcc.Db.commit_readonly w_tx.db_tx;
+    Stats.Counter.incr t.c_ro_commits;
+    Ok ()
+  end
+  else
+    match Mvcc.Db.is_doomed w_tx.db_tx with
+    | Some reason ->
+        Mvcc.Db.abort w_tx.db_tx;
+        Stats.Counter.incr t.c_local_aborts;
+        Error (Local_abort reason)
+    | None ->
+        if t.paused then begin
+          Mvcc.Db.abort w_tx.db_tx;
+          Stats.Counter.incr t.c_local_aborts;
+          Error (Local_abort Mvcc.Db.Preempted)
+        end
+        else begin
+          t.inflight <- t.inflight + 1;
+          t.last_activity <- Engine.now t.engine;
+          (* The paper (5.2.1): the version submitted to the certifier is
+             the current version of the database — i.e. what has actually
+             been announced, not the versions merely in flight — so that
+             back-certification covers every writeset this replica has not
+             yet committed. *)
+          let db_version = Mvcc.Db.current_version t.database in
+          (* Local certification (6.2): this transaction held write locks on
+             all its keys since it wrote them, and the first-updater check
+             passed against everything announced locally — so the writeset
+             is already known conflict-free up to [db_version], and the
+             effective start version can be raised, shrinking the
+             certifier's intersection window. *)
+          let start_version =
+            if t.cfg.local_certification && db_version > w_tx.start_version then begin
+              Stats.Counter.incr t.c_promotions;
+              db_version
+            end
+            else w_tx.start_version
+          in
+          let reply =
+            Cert_client.certify t.client ~start_version ~replica_version:db_version ws
+          in
+          t.last_activity <- Engine.now t.engine;
+          let result =
+            match reply.decision with
+            | Types.Abort cause ->
+                Mvcc.Db.abort w_tx.db_tx;
+                Stats.Counter.incr t.c_cert_aborts;
+                Error (Cert_abort cause)
+            | Types.Commit ->
+                let done_ = Ivar.create t.engine () in
+                Mailbox.send t.work (Commit_reply { reply; w_tx; done_ });
+                Ivar.read done_
+          in
+          t.inflight <- t.inflight - 1;
+          result
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Bounded staleness (§6.2) *)
+
+let refresh t =
+  if (not t.paused) && t.inflight = 0 && Mailbox.is_empty t.work then begin
+    match Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv with
+    | Some { fetch_remotes; certifier_version = _ } when t.inflight = 0 ->
+        let done_ = Ivar.create t.engine () in
+        Mailbox.send t.work (Refresh_batch { remotes = fetch_remotes; done_ });
+        Ivar.read done_
+    | Some _ | None -> ()
+  end
+
+let spawn_refresher t bound =
+  let fiber =
+    Engine.spawn t.engine ~name:(t.address ^ ".refresher") (fun () ->
+        let rec loop () =
+          Engine.sleep t.engine bound;
+          if
+            (not t.paused)
+            && Time.(Time.diff (Engine.now t.engine) t.last_activity >= bound)
+          then refresh t;
+          loop ()
+        in
+        loop ())
+  in
+  t.refresher <- Some fiber
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
+    ?config () =
+  let cfg = Option.value ~default:(default_config Types.Base) config in
+  let mailbox = Net.Network.register net address in
+  let client =
+    Cert_client.create engine ~net ~my_addr:address ~certifiers ~req_id_base ()
+  in
+  let t =
+    {
+      engine;
+      cfg;
+      address;
+      database;
+      cpu;
+      client;
+      work = Mailbox.create engine ~name:(address ^ ".work") ();
+      version_done = Hashtbl.create 256;
+      rv = 0;
+      inflight = 0;
+      last_activity = Engine.now engine;
+      paused = false;
+      applier = None;
+      refresher = None;
+      c_commits = Stats.Counter.create ();
+      c_cert_aborts = Stats.Counter.create ();
+      c_local_aborts = Stats.Counter.create ();
+      c_ro_commits = Stats.Counter.create ();
+      c_applied = Stats.Counter.create ();
+      c_batches = Stats.Counter.create ();
+      c_artificial = Stats.Counter.create ();
+      c_refreshes = Stats.Counter.create ();
+      c_promotions = Stats.Counter.create ();
+      c_invariant = Stats.Counter.create ();
+    }
+  in
+  (* Reply dispatcher: long-lived, routes certifier messages to waiters. *)
+  ignore
+    (Engine.spawn engine ~name:(address ^ ".dispatch") (fun () ->
+         let rec loop () =
+           Cert_client.handle client (Mailbox.recv mailbox);
+           loop ()
+         in
+         loop ()));
+  spawn_applier t;
+  (match cfg.staleness_bound with Some bound -> spawn_refresher t bound | None -> ());
+  t
+
+let pause t =
+  t.paused <- true;
+  (match t.applier with Some f -> Engine.cancel t.engine f | None -> ());
+  (match t.refresher with Some f -> Engine.cancel t.engine f | None -> ());
+  t.applier <- None;
+  t.refresher <- None;
+  Mailbox.clear t.work;
+  Hashtbl.reset t.version_done
+
+let resume t =
+  t.paused <- false;
+  t.rv <- Mvcc.Db.current_version t.database;
+  t.last_activity <- Engine.now t.engine;
+  spawn_applier t;
+  (match t.cfg.staleness_bound with Some bound -> spawn_refresher t bound | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let stats t =
+  {
+    commits = Stats.Counter.value t.c_commits;
+    cert_aborts = Stats.Counter.value t.c_cert_aborts;
+    local_aborts = Stats.Counter.value t.c_local_aborts;
+    read_only_commits = Stats.Counter.value t.c_ro_commits;
+    remote_ws_applied = Stats.Counter.value t.c_applied;
+    apply_batches = Stats.Counter.value t.c_batches;
+    artificial_serializations = Stats.Counter.value t.c_artificial;
+    refreshes = Stats.Counter.value t.c_refreshes;
+    local_cert_promotions = Stats.Counter.value t.c_promotions;
+  }
+
+let reset_stats t =
+  Stats.Counter.reset t.c_commits;
+  Stats.Counter.reset t.c_cert_aborts;
+  Stats.Counter.reset t.c_local_aborts;
+  Stats.Counter.reset t.c_ro_commits;
+  Stats.Counter.reset t.c_applied;
+  Stats.Counter.reset t.c_batches;
+  Stats.Counter.reset t.c_artificial;
+  Stats.Counter.reset t.c_refreshes

@@ -1,0 +1,118 @@
+(** The transparent replication proxy (§6.2).
+
+    Sits in front of one database replica: clients open transactions through
+    it, it tracks [replica_version], invokes certification on commit, and
+    applies remote writesets — serially in Base and Tashkent-MW, or
+    concurrently with commit-order sequence numbers in Tashkent-API, where
+    it also detects artificial conflicts between remote writesets (§5.2.1)
+    and serialises exactly the conflicting ones.
+
+    Ordering discipline: commit replies from the certifier arrive in global
+    version order (the certifier answers at log-apply time, links are FIFO);
+    a single {e applier} fiber consumes them in that order, so versions are
+    installed monotonically. Abort replies are handled directly by the
+    client's fiber — they touch no versioned state and must not queue behind
+    a blocked application (that is what lets a lock held by a
+    doomed-to-abort local transaction drain, §8.2). *)
+
+type config = {
+  mode : Types.mode;
+  apply_cpu_per_ws : Sim.Time.t;
+      (** fixed CPU to re-apply one remote writeset — together with
+          {!apply_cpu_per_op} roughly an order of magnitude below executing
+          the original transaction (§10.3) *)
+  apply_cpu_per_op : Sim.Time.t;  (** additional CPU per row operation *)
+  staleness_bound : Sim.Time.t option;
+      (** idle refresh interval (§6.2 "bounding staleness"); [None]
+          disables the refresher *)
+  soft_recovery : bool;
+      (** resolve remote-vs-local deadlocks by aborting the local cycle
+          members and retrying the writeset (only relevant when the
+          database lacks priority writes) *)
+  group_remote_batches : bool;
+      (** merge a reply's remote writesets into one transaction (§3,
+          "grouping remote writesets"). Disabling reproduces the paper's
+          naive strawman: one commit per remote writeset. *)
+  local_certification : bool;
+      (** §6.2: raise a transaction's effective start version to the
+          locally-verified point before asking the certifier, reducing its
+          intersection work. Safe because the transaction's write locks
+          guarantee no announced conflict exists. *)
+}
+
+val default_config : Types.mode -> config
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  net:Types.message Net.Network.t ->
+  addr:string ->
+  db:Mvcc.Db.t ->
+  cpu:Sim.Resource.t ->
+  certifiers:string list ->
+  req_id_base:int ->
+  ?config:config ->
+  unit ->
+  t
+(** Registers endpoint [addr] and spawns the reply dispatcher, the applier,
+    and (if configured) the staleness refresher. *)
+
+val addr : t -> string
+val mode : t -> Types.mode
+val replica_version : t -> int
+val db : t -> Mvcc.Db.t
+
+(** {1 Client interface (the "JDBC" face)} *)
+
+type tx
+
+type failure =
+  | Cert_abort of Types.abort_cause  (** certifier found a write–write conflict *)
+  | Local_abort of Mvcc.Db.abort_reason  (** aborted at the replica before
+                                             certification *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val begin_tx : t -> tx
+val read : t -> tx -> Mvcc.Key.t -> Mvcc.Value.t option
+val write : t -> tx -> Mvcc.Key.t -> Mvcc.Writeset.op -> (unit, failure) result
+val abort : t -> tx -> unit
+
+val commit : t -> tx -> (unit, failure) result
+(** Blocking. Read-only transactions commit immediately; update
+    transactions go through certification, remote-writeset application and
+    the local ordered commit. *)
+
+(** {1 Maintenance} *)
+
+val refresh : t -> unit
+(** Fetch and apply remote writesets the replica is missing (used by the
+    staleness refresher and by recovery). Blocking; no-op if busy. *)
+
+val pause : t -> unit
+(** Stop issuing new work (replica crash). In-flight client transactions
+    fail. *)
+
+val resume : t -> unit
+
+(** {1 Statistics} *)
+
+type stats = {
+  commits : int;
+  cert_aborts : int;
+  local_aborts : int;
+  read_only_commits : int;
+  remote_ws_applied : int;
+  apply_batches : int;
+  artificial_serializations : int;
+      (** remote-writeset chunks that had to wait for a conflicting
+          predecessor (Tashkent-API) *)
+  refreshes : int;
+  local_cert_promotions : int;
+      (** commits whose effective start version was raised by local
+          certification (§6.2) *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

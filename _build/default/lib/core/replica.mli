@@ -1,0 +1,96 @@
+(** One database replica: CPU, disks, the {!Mvcc.Db} engine and its
+    {!Proxy}, wired for the chosen system ({!Types.mode}) and IO layout,
+    plus the crash/recovery procedures of §7.1–7.2 and §8.1. *)
+
+(** Where the database log lives relative to the data pages (§9.2):
+    [Shared_io] puts WAL fsyncs, page reads and page write-backs on one
+    device (the paper's single-disk servers); [Dedicated_io] gives the log
+    its own device and serves data from RAM (the paper's ramdisk runs). *)
+type io_layout = Shared_io | Dedicated_io
+
+(** How a Tashkent-MW replica arranges recovery (§7.1). *)
+type mw_recovery =
+  | Dump_based of { interval : Sim.Time.t }
+      (** case 1: all WAL sync writes disabled; periodic full dumps *)
+  | Integrity_kept of { wal_sync_interval : Sim.Time.t }
+      (** case 2: WAL synced in the background but not on commits *)
+
+type config = {
+  mode : Types.mode;
+  io : io_layout;
+  mw_recovery : mw_recovery;
+  eager_precert : bool;
+      (** give remote writesets priority over local lock holders (§8.2);
+          when false, deadlocks are resolved by proxy soft recovery *)
+  exec_cpu : Sim.Time.t;  (** CPU to execute one transaction (charged by
+                              {!use_cpu} from the workload driver) *)
+  apply_cpu_per_ws : Sim.Time.t;
+  commit_record_bytes : int;
+  page_read_miss : float;
+  page_writeback_per_op : float;
+  bg_page_writes_per_sec : float;
+  staleness_bound : Sim.Time.t option;
+  group_remote_batches : bool;  (** §3's grouping optimisation (ablation knob) *)
+  db_size_bytes : int;  (** logical database size, for dump/restore time *)
+  dump_bandwidth : float;  (** bytes/s while dumping (paper: ~3 MB/s) *)
+  restore_bandwidth : float;  (** bytes/s while restoring (paper: ~5 MB/s) *)
+}
+
+val default_config : Types.mode -> config
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  net:Types.message Net.Network.t ->
+  name:string ->
+  certifiers:string list ->
+  req_id_base:int ->
+  config:config ->
+  unit ->
+  t
+
+val name : t -> string
+val proxy : t -> Proxy.t
+val db : t -> Mvcc.Db.t
+val cpu : t -> Sim.Resource.t
+val log_disk : t -> Storage.Disk.t
+val data_disk : t -> Storage.Disk.t
+val is_up : t -> bool
+val config : t -> config
+
+val load : t -> (Mvcc.Key.t * Mvcc.Value.t) list -> unit
+
+val use_cpu : t -> Sim.Time.t -> unit
+(** Charge transaction-execution CPU (blocking fiber op). *)
+
+(** {1 Clients} *)
+
+val register_client : t -> Sim.Engine.fiber -> unit
+(** Client fibers registered here are cancelled when the replica crashes. *)
+
+val set_respawn_clients : t -> (unit -> unit) -> unit
+(** Called after a successful recovery so the workload can restart its
+    clients. *)
+
+(** {1 Crash and recovery} *)
+
+type recovery_report = {
+  took : Sim.Time.t;  (** total downtime-to-resume duration *)
+  restore_took : Sim.Time.t;  (** local redo / dump-restore phase *)
+  replay_took : Sim.Time.t;  (** fetch-and-apply phase *)
+  restored_version : int;  (** version recovered from local durable state *)
+  writesets_replayed : int;  (** remote writesets fetched from the certifier *)
+  final_version : int;
+}
+
+val crash : t -> unit
+
+val recover : t -> recovery_report
+(** Blocking fiber op. Base/Tashkent-API: database-internal redo (§7.2).
+    Tashkent-MW case 1: restore from the newest intact dump; case 2:
+    database redo of the synced WAL prefix. All modes then fetch and apply
+    the missing remote writesets from the certifier. *)
+
+val dumps_taken : t -> int

@@ -1,0 +1,59 @@
+type mode = Base | Tashkent_mw | Tashkent_api
+
+let mode_name = function
+  | Base -> "base"
+  | Tashkent_mw -> "tashkent-mw"
+  | Tashkent_api -> "tashkent-api"
+
+let pp_mode fmt mode = Format.pp_print_string fmt (mode_name mode)
+
+type entry = { version : int; origin : string; req_id : int; ws : Mvcc.Writeset.t }
+
+let entry_bytes e = 24 + Mvcc.Writeset.encoded_bytes e.ws
+
+type decision = Commit | Abort of abort_cause
+and abort_cause = Ww_conflict | Forced
+
+let pp_decision fmt = function
+  | Commit -> Format.pp_print_string fmt "commit"
+  | Abort Ww_conflict -> Format.pp_print_string fmt "abort(ww)"
+  | Abort Forced -> Format.pp_print_string fmt "abort(forced)"
+
+type remote_ws = { version : int; ws : Mvcc.Writeset.t; conflict_with : int option }
+
+let remote_ws_bytes r = 12 + Mvcc.Writeset.encoded_bytes r.ws
+
+type cert_request = {
+  req_id : int;
+  replica : string;
+  start_version : int;
+  replica_version : int;
+  writeset : Mvcc.Writeset.t;
+}
+
+type cert_reply = {
+  req_id : int;
+  decision : decision;
+  commit_version : int;
+  remotes : remote_ws list;
+}
+
+type fetch_request = { fetch_replica : string; from_version : int }
+
+type fetch_reply = { fetch_remotes : remote_ws list; certifier_version : int }
+
+type message =
+  | Cert_request of cert_request
+  | Cert_reply of cert_reply
+  | Cert_redirect of { req_id : int; leader : string option }
+  | Fetch_request of fetch_request
+  | Fetch_reply of fetch_reply
+  | Paxos of entry Paxos.Node.message
+
+let message_bytes = function
+  | Cert_request r -> 40 + Mvcc.Writeset.encoded_bytes r.writeset
+  | Cert_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 32 r.remotes
+  | Cert_redirect _ -> 24
+  | Fetch_request _ -> 24
+  | Fetch_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 24 r.fetch_remotes
+  | Paxos m -> Paxos.Node.message_bytes entry_bytes m

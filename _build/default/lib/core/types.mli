@@ -1,0 +1,71 @@
+(** Shared vocabulary of the replication middleware. *)
+
+(** Which of the paper's three systems is running (§4, §5). *)
+type mode =
+  | Base  (** ordering in middleware, durability in the database, serial commits *)
+  | Tashkent_mw  (** durability moved to the certifier; replica commits in memory *)
+  | Tashkent_api  (** durability in the database, commit order passed via COMMIT n *)
+
+val pp_mode : Format.formatter -> mode -> unit
+val mode_name : mode -> string
+
+(** A certified update transaction in the global log. *)
+type entry = {
+  version : int;  (** global commit version (dense, 1-based) *)
+  origin : string;  (** replica that executed the transaction *)
+  req_id : int;  (** idempotency token for request retries *)
+  ws : Mvcc.Writeset.t;
+}
+
+val entry_bytes : entry -> int
+
+type decision = Commit | Abort of abort_cause
+and abort_cause = Ww_conflict | Forced
+(** [Forced] aborts come from the injection knob used by the paper's §9.5
+    goodput experiment. *)
+
+val pp_decision : Format.formatter -> decision -> unit
+
+(** A remote writeset shipped to a replica, with the artificial-conflict
+    information of §5.2.1: [conflict_with] names the newest earlier version
+    whose writeset intersects this one within the checked window (so the
+    proxy must commit that version before submitting this writeset). *)
+type remote_ws = { version : int; ws : Mvcc.Writeset.t; conflict_with : int option }
+
+val remote_ws_bytes : remote_ws -> int
+
+type cert_request = {
+  req_id : int;
+  replica : string;  (** requesting replica (= message reply address) *)
+  start_version : int;  (** [tx_start_version] *)
+  replica_version : int;  (** replica state at request time, for trimming
+                              and back-certification (§5.2.1) *)
+  writeset : Mvcc.Writeset.t;
+}
+
+type cert_reply = {
+  req_id : int;
+  decision : decision;
+  commit_version : int;  (** valid when [decision = Commit] *)
+  remotes : remote_ws list;
+      (** intervening remote writesets in [(replica_version, commit_version)],
+          oldest first *)
+}
+
+type fetch_request = {
+  fetch_replica : string;
+  from_version : int;
+}
+
+type fetch_reply = { fetch_remotes : remote_ws list; certifier_version : int }
+
+(** Everything that travels on the wire. *)
+type message =
+  | Cert_request of cert_request
+  | Cert_reply of cert_reply
+  | Cert_redirect of { req_id : int; leader : string option }
+  | Fetch_request of fetch_request
+  | Fetch_reply of fetch_reply
+  | Paxos of entry Paxos.Node.message
+
+val message_bytes : message -> int

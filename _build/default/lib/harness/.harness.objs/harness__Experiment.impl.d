@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Engine List Mvcc Resource Rng Sim Storage Tashkent Time Workload

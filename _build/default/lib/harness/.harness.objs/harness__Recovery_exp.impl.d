@@ -1,0 +1,1 @@
+lib/harness/recovery_exp.ml: Engine List Rng Sim Tashkent Time Workload

@@ -1,0 +1,1 @@
+lib/harness/recovery_exp.mli: Sim

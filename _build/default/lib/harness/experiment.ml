@@ -1,0 +1,220 @@
+open Sim
+
+type workload_kind = All_updates | Tpc_b | Tpc_w
+
+let workload_name = function
+  | All_updates -> "allupdates"
+  | Tpc_b -> "tpc-b"
+  | Tpc_w -> "tpc-w"
+
+let spec_of = function
+  | All_updates -> Workload.Allupdates.profile ()
+  | Tpc_b -> Workload.Tpcb.profile ()
+  | Tpc_w -> Workload.Tpcw.profile ()
+
+type system =
+  | Standalone
+  | Replicated of Tashkent.Types.mode
+  | Replicated_nocert of Tashkent.Types.mode
+
+let system_name = function
+  | Standalone -> "standalone"
+  | Replicated mode -> Tashkent.Types.mode_name mode
+  | Replicated_nocert mode -> Tashkent.Types.mode_name mode ^ "-nocert"
+
+type config = {
+  system : system;
+  io : Tashkent.Replica.io_layout;
+  n_replicas : int;
+  n_certifiers : int;
+  workload : workload_kind;
+  abort_rate : float;
+  eager_precert : bool;
+  group_remote_batches : bool;
+  seed : int;
+  warmup : Time.t;
+  measure : Time.t;
+}
+
+let default =
+  {
+    system = Replicated Tashkent.Types.Tashkent_mw;
+    io = Tashkent.Replica.Shared_io;
+    n_replicas = 3;
+    n_certifiers = 3;
+    workload = All_updates;
+    abort_rate = 0.;
+    eager_precert = true;
+    group_remote_batches = true;
+    seed = 20060418;
+    warmup = Time.sec 5;
+    measure = Time.sec 20;
+  }
+
+type result = {
+  throughput : float;
+  goodput : float;
+  resp_ms : float;
+  ro_resp_ms : float;
+  commits : int;
+  aborts : int;
+  abort_rate_measured : float;
+  cert_ws_per_fsync : float;
+  db_ws_per_fsync : float;
+  artificial_conflict_pct : float;
+  cert_cpu_util : float;
+  cert_disk_util : float;
+  replica_cpu_util : float;
+  replica_disk_util : float;
+}
+
+let replica_config_of cfg (spec : Workload.Spec.t) mode =
+  {
+    (Tashkent.Replica.default_config mode) with
+    Tashkent.Replica.io = cfg.io;
+    (* performance runs do not take periodic dumps; recovery experiments
+       configure them explicitly *)
+    mw_recovery = Tashkent.Replica.Dump_based { interval = Time.sec 1_000_000 };
+    eager_precert = cfg.eager_precert;
+    group_remote_batches = cfg.group_remote_batches;
+    page_read_miss = spec.Workload.Spec.page_read_miss;
+    page_writeback_per_op = spec.Workload.Spec.page_writeback_per_op;
+    bg_page_writes_per_sec = spec.Workload.Spec.bg_page_writes_per_sec;
+    db_size_bytes = spec.Workload.Spec.db_size_bytes;
+    staleness_bound = Some (Time.sec 1);
+  }
+
+let run_replicated cfg mode ~durable_cert =
+  let spec = spec_of cfg.workload in
+  let cluster_cfg =
+    {
+      Tashkent.Cluster.mode;
+      n_replicas = cfg.n_replicas;
+      n_certifiers = (if durable_cert then cfg.n_certifiers else 1);
+      certifier =
+        {
+          Tashkent.Certifier.default_config with
+          durable = durable_cert;
+          forced_abort_rate = cfg.abort_rate;
+        };
+      replica = replica_config_of cfg spec mode;
+      seed = cfg.seed;
+    }
+  in
+  let cluster = Tashkent.Cluster.create cluster_cfg in
+  let engine = Tashkent.Cluster.engine cluster in
+  Tashkent.Cluster.load_all cluster (spec.Workload.Spec.initial_rows ~n_replicas:cfg.n_replicas);
+  Tashkent.Cluster.settle cluster;
+  let collector = Workload.Driver.Collector.create () in
+  let rng = Rng.create (cfg.seed + 1) in
+  List.iteri
+    (fun replica_ix replica ->
+      Workload.Driver.spawn_replicated_clients engine ~replica ~spec ~rng:(Rng.split rng)
+        ~collector ~replica_ix ~n_replicas:cfg.n_replicas)
+    (Tashkent.Cluster.replicas cluster);
+  (* Warm up, then measure. *)
+  Engine.run ~until:(Time.add (Engine.now engine) cfg.warmup) engine;
+  Workload.Driver.Collector.enable collector;
+  Tashkent.Cluster.reset_stats cluster;
+  let measure_start = Engine.now engine in
+  Engine.run ~until:(Time.add measure_start cfg.measure) engine;
+  let window = Time.diff (Engine.now engine) measure_start in
+  let leader_stats =
+    match Tashkent.Cluster.leader cluster with
+    | Some leader -> Tashkent.Certifier.stats leader
+    | None -> failwith "experiment: certifier leader lost during measurement"
+  in
+  let replicas = Tashkent.Cluster.replicas cluster in
+  let nf = float_of_int (List.length replicas) in
+  let avg f = List.fold_left (fun a r -> a +. f r) 0. replicas /. nf in
+  let commits = Workload.Driver.Collector.committed collector in
+  let aborts = Workload.Driver.Collector.aborted collector in
+  let remote_shipped =
+    List.fold_left
+      (fun a r -> a + (Tashkent.Proxy.stats (Tashkent.Replica.proxy r)).remote_ws_applied)
+      0 replicas
+  in
+  {
+    throughput = Workload.Driver.Collector.throughput_all collector ~window;
+    goodput = Workload.Driver.Collector.goodput collector ~window;
+    resp_ms = Workload.Driver.Collector.mean_response_ms collector;
+    ro_resp_ms = Workload.Driver.Collector.mean_ro_response_ms collector;
+    commits;
+    aborts;
+    abort_rate_measured =
+      (if commits + aborts = 0 then 0.
+       else float_of_int aborts /. float_of_int (commits + aborts));
+    cert_ws_per_fsync = leader_stats.mean_group_size;
+    db_ws_per_fsync =
+      avg (fun r -> Storage.Wal.mean_group_size (Mvcc.Db.wal (Tashkent.Replica.db r)));
+    artificial_conflict_pct =
+      (if remote_shipped = 0 then 0.
+       else
+         float_of_int leader_stats.artificial_conflicts /. float_of_int remote_shipped);
+    cert_cpu_util = leader_stats.cpu_utilization;
+    cert_disk_util = leader_stats.disk_utilization;
+    replica_cpu_util =
+      avg (fun r -> Resource.utilization (Tashkent.Replica.cpu r));
+    replica_disk_util =
+      avg (fun r -> Storage.Disk.utilization (Tashkent.Replica.log_disk r));
+  }
+
+let run_standalone cfg =
+  let spec = spec_of cfg.workload in
+  let engine = Engine.create () in
+  let rng = Rng.create cfg.seed in
+  let cpu = Resource.create engine ~name:"standalone.cpu" ~capacity:1 () in
+  let hdd = Storage.Disk.create engine ~rng:(Rng.split rng) ~name:"standalone.disk" () in
+  let log_disk, data_disk =
+    match cfg.io with
+    | Tashkent.Replica.Shared_io -> (hdd, hdd)
+    | Tashkent.Replica.Dedicated_io ->
+        (hdd, Storage.Disk.create_ram engine ~rng:(Rng.split rng) ())
+  in
+  let db_config =
+    {
+      Mvcc.Db.default_config with
+      commit_record_bytes = 8192;
+      page_read_miss = spec.Workload.Spec.page_read_miss;
+      page_writeback_per_op = spec.Workload.Spec.page_writeback_per_op;
+      background_page_writes_per_sec = spec.Workload.Spec.bg_page_writes_per_sec;
+    }
+  in
+  let db =
+    Mvcc.Db.create engine ~rng:(Rng.split rng) ~log_disk ~data_disk ~cpu
+      ~config:db_config ()
+  in
+  Mvcc.Db.load db (spec.Workload.Spec.initial_rows ~n_replicas:1);
+  let collector = Workload.Driver.Collector.create () in
+  Workload.Driver.spawn_standalone_clients engine ~db ~cpu ~spec ~rng:(Rng.split rng) ~collector;
+  Engine.run ~until:(Time.add (Engine.now engine) cfg.warmup) engine;
+  Workload.Driver.Collector.enable collector;
+  let measure_start = Engine.now engine in
+  Engine.run ~until:(Time.add measure_start cfg.measure) engine;
+  let window = Time.diff (Engine.now engine) measure_start in
+  let commits = Workload.Driver.Collector.committed collector in
+  let aborts = Workload.Driver.Collector.aborted collector in
+  {
+    throughput = Workload.Driver.Collector.throughput_all collector ~window;
+    goodput = Workload.Driver.Collector.goodput collector ~window;
+    resp_ms = Workload.Driver.Collector.mean_response_ms collector;
+    ro_resp_ms = Workload.Driver.Collector.mean_ro_response_ms collector;
+    commits;
+    aborts;
+    abort_rate_measured =
+      (if commits + aborts = 0 then 0.
+       else float_of_int aborts /. float_of_int (commits + aborts));
+    cert_ws_per_fsync = 0.;
+    db_ws_per_fsync = Storage.Wal.mean_group_size (Mvcc.Db.wal db);
+    artificial_conflict_pct = 0.;
+    cert_cpu_util = 0.;
+    cert_disk_util = 0.;
+    replica_cpu_util = Resource.utilization cpu;
+    replica_disk_util = Storage.Disk.utilization hdd;
+  }
+
+let run cfg =
+  match cfg.system with
+  | Standalone -> run_standalone cfg
+  | Replicated mode -> run_replicated cfg mode ~durable_cert:true
+  | Replicated_nocert mode -> run_replicated cfg mode ~durable_cert:false

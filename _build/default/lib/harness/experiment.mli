@@ -1,0 +1,54 @@
+(** One measured run: build a system, warm it up, measure a steady-state
+    window, and report the metrics the paper plots. *)
+
+type workload_kind = All_updates | Tpc_b | Tpc_w
+
+val workload_name : workload_kind -> string
+val spec_of : workload_kind -> Workload.Spec.t
+
+type system =
+  | Standalone  (** a single unreplicated database (§9.2's control) *)
+  | Replicated of Tashkent.Types.mode
+  | Replicated_nocert of Tashkent.Types.mode
+      (** certifier certification without disk writes — the paper's
+          [tashAPInoCERT] curve *)
+
+val system_name : system -> string
+
+type config = {
+  system : system;
+  io : Tashkent.Replica.io_layout;
+  n_replicas : int;
+  n_certifiers : int;
+  workload : workload_kind;
+  abort_rate : float;  (** forced aborts at the certifier (§9.5) *)
+  eager_precert : bool;  (** §8.2 eager pre-certification (ablation knob) *)
+  group_remote_batches : bool;  (** §3 remote-writeset grouping (ablation knob) *)
+  seed : int;
+  warmup : Sim.Time.t;
+  measure : Sim.Time.t;
+}
+
+val default : config
+
+type result = {
+  throughput : float;  (** requests (committed + aborted) per second *)
+  goodput : float;  (** committed requests per second *)
+  resp_ms : float;  (** mean response time of committed update txs *)
+  ro_resp_ms : float;  (** mean response time of read-only txs *)
+  commits : int;
+  aborts : int;
+  abort_rate_measured : float;
+  cert_ws_per_fsync : float;  (** writesets grouped per certifier-log fsync *)
+  db_ws_per_fsync : float;  (** commit records grouped per database-log fsync,
+                                averaged over replicas *)
+  artificial_conflict_pct : float;
+      (** fraction of shipped remote writesets flagged as artificially
+          conflicting (§5.2.1 / §9.3) *)
+  cert_cpu_util : float;
+  cert_disk_util : float;
+  replica_cpu_util : float;
+  replica_disk_util : float;
+}
+
+val run : config -> result

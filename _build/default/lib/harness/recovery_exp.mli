@@ -1,0 +1,26 @@
+(** The §9.6 recovery-time experiments: dump cost and degradation,
+    restore-from-dump, database-internal recovery, writeset replay rate,
+    and certifier log growth / recovery. *)
+
+type result = {
+  baseline_tput : float;  (** replica-0 goodput before the dump starts *)
+  during_dump_tput : float;
+  dump_degradation : float;  (** fractional throughput drop during the dump *)
+  dump_duration : Sim.Time.t;
+  mw_restore_duration : Sim.Time.t;  (** restore a crashed MW replica from its dump *)
+  mw_replayed : int;
+  mw_replay_duration : Sim.Time.t;
+  replay_rate : float;  (** writesets per second during catch-up *)
+  db_recovery_duration : Sim.Time.t;  (** Base internal redo (§7.2) *)
+  db_replayed : int;
+  cert_bytes_per_ws : float;
+  cert_log_bytes_per_hour : float;  (** at the measured update rate *)
+  cert_recovery_duration : Sim.Time.t;  (** state transfer after 60 s down *)
+  update_rate : float;  (** system-wide certified writesets per second *)
+}
+
+val run : ?n_replicas:int -> ?seed:int -> unit -> result
+(** Runs a Tashkent-MW TPC-W cluster through a full dump cycle, a replica
+    crash/restore/replay, a certifier crash/recovery — then a Base cluster
+    for the database-internal recovery number. Takes a few hundred
+    simulated seconds. *)

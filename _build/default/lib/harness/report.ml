@@ -1,0 +1,42 @@
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n%!" bar title bar
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+type table = { columns : string list; mutable rows : string list list }
+
+let table ~columns = { columns; rows = [] }
+let row t cells = t.rows <- cells :: t.rows
+
+let print t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let n = List.length t.columns in
+  let widths = Array.make n 0 in
+  List.iter
+    (fun cells ->
+      List.iteri
+        (fun i cell -> if i < n then widths.(i) <- max widths.(i) (String.length cell))
+        cells)
+    all;
+  let print_cells cells =
+    List.iteri
+      (fun i cell ->
+        if i < n then Printf.printf "%s%s  " cell (String.make (widths.(i) - String.length cell) ' '))
+      cells;
+    print_newline ()
+  in
+  print_cells t.columns;
+  Printf.printf "%s\n" (String.make (Array.fold_left ( + ) (2 * n) widths) '-');
+  List.iter print_cells rows;
+  flush stdout
+
+let kv key value = Printf.printf "  %-46s %s\n" (key ^ ":") value
+
+let paper_vs ~what ~paper ~measured =
+  Printf.printf "  %-46s paper %-14s measured %s\n" what paper measured
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)

@@ -1,0 +1,25 @@
+(** Plain-text reporting for the experiment harness: aligned tables and
+    paper-vs-measured comparison lines. *)
+
+val section : string -> unit
+(** Print a banner. *)
+
+val subsection : string -> unit
+
+type table
+
+val table : columns:string list -> table
+val row : table -> string list -> unit
+val print : table -> unit
+
+val kv : string -> string -> unit
+(** An indented [key: value] line. *)
+
+val paper_vs : what:string -> paper:string -> measured:string -> unit
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f2 : float -> string
+val pct : float -> string
+(** A [0,1] fraction rendered as a percentage. *)

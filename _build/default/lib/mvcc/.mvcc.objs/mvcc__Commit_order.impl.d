@@ -1,0 +1,1 @@
+lib/mvcc/commit_order.ml: Engine Printf Sim Waitq

@@ -1,0 +1,1 @@
+lib/mvcc/db.ml: Commit_order Engine Format Hashtbl Int Key List Locks Option Resource Rng Sim Stats Storage Store Time Value Writeset

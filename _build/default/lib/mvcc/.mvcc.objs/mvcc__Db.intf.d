@@ -1,0 +1,1 @@
+lib/mvcc/db.mli: Format Key Sim Storage Store Value Writeset

@@ -1,0 +1,1 @@
+lib/mvcc/key.ml: Format Hashtbl Set String

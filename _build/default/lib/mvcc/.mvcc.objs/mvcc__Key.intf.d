@@ -1,0 +1,1 @@
+lib/mvcc/key.mli: Format Hashtbl Set

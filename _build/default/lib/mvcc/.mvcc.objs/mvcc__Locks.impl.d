@@ -1,0 +1,1 @@
+lib/mvcc/locks.ml: Hashtbl Key List Option

@@ -1,0 +1,1 @@
+lib/mvcc/locks.mli: Key

@@ -1,0 +1,1 @@
+lib/mvcc/store.ml: Format Key List Option Printf Value Writeset

@@ -1,0 +1,1 @@
+lib/mvcc/store.mli: Format Key Value Writeset

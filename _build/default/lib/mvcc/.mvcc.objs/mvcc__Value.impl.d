@@ -1,0 +1,1 @@
+lib/mvcc/value.ml: Format Printf String

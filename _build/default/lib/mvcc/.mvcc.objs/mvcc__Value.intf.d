@@ -1,0 +1,1 @@
+lib/mvcc/value.mli: Format

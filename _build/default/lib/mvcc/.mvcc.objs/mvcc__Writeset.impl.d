@@ -1,0 +1,1 @@
+lib/mvcc/writeset.ml: Format Key List Value

@@ -1,0 +1,1 @@
+lib/mvcc/writeset.mli: Format Key Value

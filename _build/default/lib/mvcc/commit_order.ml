@@ -1,0 +1,38 @@
+open Sim
+
+type t = {
+  engine : Engine.t;
+  mutable allocated : int;
+  mutable announced_upto : int;
+  mutable turnstile : Waitq.t;
+}
+
+let create engine () =
+  { engine; allocated = 0; announced_upto = 0; turnstile = Waitq.create engine () }
+
+let next_seq t =
+  t.allocated <- t.allocated + 1;
+  t.allocated
+
+let rec wait_turn t n =
+  if n <= 0 then invalid_arg "Commit_order.wait_turn: sequence numbers are 1-based";
+  if t.announced_upto < n - 1 then begin
+    Waitq.wait t.turnstile;
+    wait_turn t n
+  end
+
+let announce t n =
+  if n <> t.announced_upto + 1 then
+    invalid_arg
+      (Printf.sprintf "Commit_order.announce: got %d, expected %d" n
+         (t.announced_upto + 1));
+  t.announced_upto <- n;
+  Waitq.broadcast t.turnstile
+
+let announced t = t.announced_upto
+let waiting t = Waitq.waiters t.turnstile
+
+let reset t =
+  t.allocated <- 0;
+  t.announced_upto <- 0;
+  t.turnstile <- Waitq.create t.engine ()

@@ -1,0 +1,33 @@
+(** Ordered commit announcement — the Tashkent-API database extension.
+
+    The paper's 20-line PostgreSQL change (§8.3): commit records may reach
+    disk in any (grouped) order, but transactions are {e announced} as
+    committed strictly by the sequence number supplied with [COMMIT n].
+    A semaphore starts at 0; the commit carrying sequence [n] blocks until
+    [n-1] announcements have happened, then announces and increments.
+
+    Sequence numbers are dense and 1-based per database instance. Misusing
+    the interface (announcing [n] without ever submitting [n-1]) blocks
+    forever — the deadlock the paper warns about. *)
+
+type t
+
+val create : Sim.Engine.t -> unit -> t
+
+val next_seq : t -> int
+(** Allocate the next sequence number (what the proxy attaches to
+    [COMMIT n]). *)
+
+val wait_turn : t -> int -> unit
+(** Block until all sequence numbers below [n] have been announced. *)
+
+val announce : t -> int -> unit
+(** Mark [n] announced. Must be called with the exact next number —
+    i.e. after [wait_turn t n] — otherwise raises. *)
+
+val announced : t -> int
+val waiting : t -> int
+
+val reset : t -> unit
+(** Forget allocations and announcements (database restart). Parked
+    waiters are abandoned. *)

@@ -1,0 +1,463 @@
+open Sim
+
+type txid = int
+
+type durability = Synchronous | Asynchronous | Periodic of Time.t
+
+type config = {
+  durability : durability;
+  commit_record_bytes : int;
+  page_bytes : int;
+  page_read_miss : float;
+  page_writeback_per_op : float;
+  background_page_writes_per_sec : float;
+  commit_cpu : Time.t;
+  remote_priority : bool;
+  gc_interval : Time.t option;
+}
+
+let default_config =
+  {
+    durability = Synchronous;
+    commit_record_bytes = 8192;
+    page_bytes = 8192;
+    page_read_miss = 0.;
+    page_writeback_per_op = 0.;
+    background_page_writes_per_sec = 0.;
+    commit_cpu = Time.zero;
+    remote_priority = false;
+    gc_interval = None;
+  }
+
+type abort_reason = Ww_conflict of Key.t | Deadlock of txid list | Preempted
+
+let pp_abort_reason fmt = function
+  | Ww_conflict key -> Format.fprintf fmt "ww-conflict on %a" Key.pp key
+  | Deadlock cycle ->
+      Format.fprintf fmt "deadlock [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+           Format.pp_print_int)
+        cycle
+  | Preempted -> Format.pp_print_string fmt "preempted"
+
+type tx_state = Active | Doomed of abort_reason | Committing | Committed | Aborted
+
+type tx = {
+  db : t;
+  id : txid;
+  snapshot : int;
+  remote : bool;
+  mutable buffer : Writeset.t;
+  mutable state : tx_state;
+  mutable parked : ((unit, abort_reason) result -> unit) option;
+  mutable parked_key : Key.t option;
+}
+
+and t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  label : string;
+  cfg : config;
+  cpu : Resource.t option;
+  data_disk : Storage.Disk.t option;
+  mutable db_store : Store.t;
+  mutable locks : Locks.t;
+  mutable order : Commit_order.t;
+  db_wal : (int * Writeset.t) Storage.Wal.t;
+  active : (txid, tx) Hashtbl.t;
+  mutable initial_rows : (Key.t * Value.t) list;
+  mutable next_txid : int;
+  commit_count : Stats.Counter.t;
+  abort_count : Stats.Counter.t;
+  deadlock_count : Stats.Counter.t;
+}
+
+let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
+    ?(name = "db") () =
+  let db =
+    {
+      engine;
+      rng;
+      label = name;
+      cfg = config;
+      cpu;
+      data_disk;
+      db_store = Store.create ();
+      locks = Locks.create ();
+      order = Commit_order.create engine ();
+      db_wal = Storage.Wal.create engine ~disk:log_disk ~name:(name ^ ".wal") ();
+      active = Hashtbl.create 32;
+      initial_rows = [];
+      next_txid = 0;
+      commit_count = Stats.Counter.create ();
+      abort_count = Stats.Counter.create ();
+      deadlock_count = Stats.Counter.create ();
+    }
+  in
+  (match (config.background_page_writes_per_sec, data_disk) with
+  | rate, Some disk when rate > 0. ->
+      (* A small hot page set coalesces dirty writes into a steady
+         background stream (checkpointer/bgwriter), independent of the
+         transaction rate. *)
+      let interval = Time.of_sec (1. /. rate) in
+      ignore
+        (Engine.spawn engine ~name:(name ^ ".bgwriter") (fun () ->
+             let rec loop () =
+               Engine.sleep engine interval;
+               if Stats.Counter.value db.commit_count > 0 then
+                 Storage.Disk.write disk ~bytes:config.page_bytes;
+               loop ()
+             in
+             loop ()))
+  | _, (Some _ | None) -> ());
+  (match config.durability with
+  | Periodic interval ->
+      ignore
+        (Engine.spawn engine ~name:(name ^ ".walsync") (fun () ->
+             let rec loop () =
+               Engine.sleep engine interval;
+               Storage.Wal.sync db.db_wal;
+               loop ()
+             in
+             loop ()))
+  | Synchronous | Asynchronous -> ());
+  (match config.gc_interval with
+  | Some interval ->
+      (* Vacuum: drop row versions no active snapshot can still see. *)
+      ignore
+        (Engine.spawn engine ~name:(name ^ ".vacuum") (fun () ->
+             let rec loop () =
+               Engine.sleep engine interval;
+               let oldest_snapshot =
+                 Hashtbl.fold
+                   (fun _ tx acc -> min acc tx.snapshot)
+                   db.active
+                   (Store.current_version db.db_store)
+               in
+               Store.gc db.db_store ~keep_after:oldest_snapshot;
+               loop ()
+             in
+             loop ()))
+  | None -> ());
+  db
+
+let name t = t.label
+let config t = t.cfg
+let engine t = t.engine
+let current_version t = Store.current_version t.db_store
+
+let load t rows =
+  (* The initial population lives in the data files, which survive a crash
+     (only WAL-recent state is at risk), so recovery re-seeds it. *)
+  t.initial_rows <- t.initial_rows @ rows;
+  List.iter (fun (key, value) -> Store.preload t.db_store key value) rows
+
+(* ------------------------------------------------------------------ *)
+(* Transaction lifecycle *)
+
+let begin_tx_internal t ~remote =
+  t.next_txid <- t.next_txid + 1;
+  let tx =
+    {
+      db = t;
+      id = t.next_txid;
+      snapshot = Store.current_version t.db_store;
+      remote;
+      buffer = Writeset.empty;
+      state = Active;
+      parked = None;
+      parked_key = None;
+    }
+  in
+  Hashtbl.replace t.active tx.id tx;
+  tx
+
+let begin_tx t = begin_tx_internal t ~remote:false
+let tx_id tx = tx.id
+let snapshot_version tx = tx.snapshot
+
+let wake_grants t grants =
+  (* Locks freed by a release were handed to queued waiters; wake their
+     fibers so they can re-run their acquisition check. *)
+  List.iter
+    (fun (_key, holder) ->
+      match Hashtbl.find_opt t.active holder with
+      | Some waiter -> (
+          match waiter.parked with
+          | Some resume ->
+              Engine.schedule_after t.engine Time.zero (fun () -> resume (Ok ()))
+          | None -> ())
+      | None -> ())
+    grants
+
+let release_locks tx =
+  let grants = Locks.release_all tx.db.locks tx.id in
+  wake_grants tx.db grants
+
+(* Final transition out of Active/Doomed/Committing into Aborted. *)
+let rollback tx =
+  match tx.state with
+  | Aborted | Committed -> ()
+  | Active | Doomed _ | Committing ->
+      tx.state <- Aborted;
+      (match tx.parked_key with
+      | Some key -> Locks.cancel_wait tx.db.locks tx.id key
+      | None -> ());
+      release_locks tx;
+      Hashtbl.remove tx.db.active tx.id;
+      Stats.Counter.incr tx.db.abort_count
+
+let abort tx = rollback tx
+
+let commit_readonly tx =
+  if not (Writeset.is_empty tx.buffer) then
+    invalid_arg "Db.commit_readonly: transaction has writes";
+  match tx.state with
+  | Committed | Aborted -> ()
+  | Active | Doomed _ | Committing ->
+      tx.state <- Committed;
+      Hashtbl.remove tx.db.active tx.id
+
+let is_doomed tx = match tx.state with Doomed r -> Some r | _ -> None
+
+let doom t txid =
+  match Hashtbl.find_opt t.active txid with
+  | None -> ()
+  (* Remote transactions carry certified writesets: they must commit, so
+     they are never victims. *)
+  | Some tx when tx.remote -> ()
+  | Some tx -> (
+      match tx.state with
+      | Active ->
+          tx.state <- Doomed Preempted;
+          (* Stop waiting and free locks immediately so the preemptor can
+             proceed; the owner fiber observes the doom at its next step. *)
+          (match (tx.parked, tx.parked_key) with
+          | Some resume, Some key ->
+              Locks.cancel_wait t.locks tx.id key;
+              Engine.schedule_after t.engine Time.zero (fun () ->
+                  resume (Error Preempted))
+          | Some resume, None ->
+              Engine.schedule_after t.engine Time.zero (fun () ->
+                  resume (Error Preempted))
+          | None, _ -> ());
+          let grants = Locks.release_all t.locks tx.id in
+          wake_grants t grants
+      | Doomed _ | Committing | Committed | Aborted -> ())
+
+let fail tx reason =
+  rollback tx;
+  Error reason
+
+(* ------------------------------------------------------------------ *)
+(* Reads and writes *)
+
+let maybe_page_in t =
+  match t.data_disk with
+  | Some disk when t.cfg.page_read_miss > 0. && Rng.chance t.rng t.cfg.page_read_miss ->
+      Storage.Disk.read disk ~bytes:t.cfg.page_bytes
+  | Some _ | None -> ()
+
+let read tx key =
+  maybe_page_in tx.db;
+  (* Read-your-own-writes from the buffer first. *)
+  match
+    List.find_opt (fun e -> Key.equal e.Writeset.key key) (Writeset.entries tx.buffer)
+  with
+  | Some { op = Writeset.Insert v | Writeset.Update v; _ } -> Some v
+  | Some { op = Writeset.Delete; _ } -> None
+  | None -> Store.read tx.db.db_store ~at:tx.snapshot key
+
+let park tx =
+  let result =
+    Engine.suspend tx.db.engine (fun resume -> tx.parked <- Some resume)
+  in
+  tx.parked <- None;
+  tx.parked_key <- None;
+  result
+
+let rec write tx key op =
+  match tx.state with
+  | Doomed r -> fail tx r
+  | Aborted | Committed | Committing -> invalid_arg "Db.write: transaction is finished"
+  | Active -> (
+      (* First-updater-wins against already-committed concurrent writers. *)
+      if (not tx.remote) && Store.latest_writer tx.db.db_store key > tx.snapshot then
+        fail tx (Ww_conflict key)
+      else
+        match Locks.acquire tx.db.locks tx.id key with
+        | Locks.Granted ->
+            tx.buffer <- Writeset.add tx.buffer key op;
+            Ok ()
+        | Locks.Deadlock cycle ->
+            Stats.Counter.incr tx.db.deadlock_count;
+            fail tx (Deadlock cycle)
+        | Locks.Would_block holder ->
+            let park_and_retry () =
+              Locks.enqueue tx.db.locks tx.id key;
+              tx.parked_key <- Some key;
+              match park tx with
+              | Ok () -> write tx key op
+              | Error r -> fail tx r
+            in
+            if tx.remote && tx.db.cfg.remote_priority then begin
+              (* Priority write: evict an active holder and retry. A holder
+                 already in its commit phase cannot be evicted — it will
+                 release the lock when it announces, so queue behind it. *)
+              doom tx.db holder;
+              if Locks.holder tx.db.locks key = Some holder then park_and_retry ()
+              else write tx key op
+            end
+            else park_and_retry ())
+
+let writeset tx = tx.buffer
+
+(* ------------------------------------------------------------------ *)
+(* Commit machinery *)
+
+let next_order t = Commit_order.next_seq t.order
+
+let skip_order t order =
+  ignore
+    (Engine.spawn t.engine ~name:(t.label ^ ".skip") (fun () ->
+         Commit_order.wait_turn t.order order;
+         Commit_order.announce t.order order))
+
+let charge_commit_cpu t =
+  match t.cpu with
+  | Some cpu when not (Time.is_zero t.cfg.commit_cpu) -> Resource.use cpu t.cfg.commit_cpu
+  | Some _ | None -> ()
+
+let schedule_writebacks t ws =
+  match t.data_disk with
+  | Some disk when t.cfg.page_writeback_per_op > 0. ->
+      let expected = t.cfg.page_writeback_per_op *. float_of_int (Writeset.cardinal ws) in
+      let whole = int_of_float expected in
+      let pages = whole + if Rng.chance t.rng (expected -. float_of_int whole) then 1 else 0 in
+      if pages > 0 then
+        ignore
+          (Engine.spawn t.engine ~name:(t.label ^ ".bgwriter") (fun () ->
+               for _ = 1 to pages do
+                 Storage.Disk.write disk ~bytes:t.cfg.page_bytes
+               done))
+  | Some _ | None -> ()
+
+let log_commit t ~version ws =
+  let bytes = max (Writeset.encoded_bytes ws) t.cfg.commit_record_bytes in
+  match t.cfg.durability with
+  | Synchronous -> ignore (Storage.Wal.append_and_sync t.db_wal ~bytes (version, ws))
+  | Asynchronous | Periodic _ -> ignore (Storage.Wal.append t.db_wal ~bytes (version, ws))
+
+let finish_commit tx ~version ~order =
+  let t = tx.db in
+  let ws = tx.buffer in
+  charge_commit_cpu t;
+  log_commit t ~version ws;
+  Commit_order.wait_turn t.order order;
+  Store.install t.db_store ~version ws;
+  Commit_order.announce t.order order;
+  tx.state <- Committed;
+  release_locks tx;
+  Hashtbl.remove t.active tx.id;
+  Stats.Counter.incr t.commit_count;
+  schedule_writebacks t ws
+
+let commit_replicated tx ~version ~order =
+  match tx.state with
+  | Doomed r ->
+      skip_order tx.db order;
+      fail tx r
+  | Aborted | Committed | Committing ->
+      invalid_arg "Db.commit_replicated: transaction is finished"
+  | Active ->
+      tx.state <- Committing;
+      finish_commit tx ~version ~order;
+      Ok ()
+
+let commit_standalone tx =
+  match tx.state with
+  | Doomed r -> fail tx r
+  | Aborted | Committed | Committing ->
+      invalid_arg "Db.commit_standalone: transaction is finished"
+  | Active ->
+      tx.state <- Committing;
+      let order = next_order tx.db in
+      (* In a centralised database the announce sequence *is* the version
+         sequence. *)
+      finish_commit tx ~version:order ~order;
+      Ok order
+
+let apply_writeset t ~version ~order ws =
+  let tx = begin_tx_internal t ~remote:true in
+  let rec apply_entries = function
+    | [] ->
+        tx.state <- Committing;
+        finish_commit tx ~version ~order;
+        Ok ()
+    | { Writeset.key; op } :: rest -> (
+        match write tx key op with
+        | Ok () -> apply_entries rest
+        | Error r -> Error r)
+  in
+  apply_entries (Writeset.entries ws)
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let read_committed t ?at key =
+  let at = Option.value ~default:(Store.current_version t.db_store) at in
+  Store.read t.db_store ~at key
+
+let store t = t.db_store
+let active_txids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.active []
+let lock_holder t key = Locks.holder t.locks key
+
+(* ------------------------------------------------------------------ *)
+(* Crash and recovery *)
+
+let crash t =
+  ignore (Storage.Wal.crash t.db_wal);
+  t.db_store <- Store.create ();
+  (* Data files survive; only logged state needs recovery. *)
+  List.iter (fun (key, value) -> Store.preload t.db_store key value) t.initial_rows;
+  t.locks <- Locks.create ();
+  Commit_order.reset t.order;
+  t.order <- Commit_order.create t.engine ();
+  Hashtbl.reset t.active
+
+let recover t =
+  let records = Storage.Wal.records_from t.db_wal 0 in
+  let by_version = List.sort (fun (a, _) (b, _) -> Int.compare a b) records in
+  let fresh = Store.create () in
+  List.iter (fun (key, value) -> Store.preload fresh key value) t.initial_rows;
+  List.iter
+    (fun (version, ws) ->
+      if version > Store.current_version fresh then Store.install fresh ~version ws)
+    by_version;
+  t.db_store <- fresh;
+  (* Announce sequence restarts after recovery. *)
+  t.order <- Commit_order.create t.engine ();
+  Store.current_version fresh
+
+let restore_from_dump t ~version dump =
+  let copy = Store.copy dump in
+  Store.force_version copy version;
+  t.db_store <- copy;
+  t.order <- Commit_order.create t.engine ()
+
+let dump t = (Store.current_version t.db_store, Store.copy t.db_store)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let commits t = Stats.Counter.value t.commit_count
+let aborts t = Stats.Counter.value t.abort_count
+let deadlocks_detected t = Stats.Counter.value t.deadlock_count
+let wal t = t.db_wal
+
+let reset_stats t =
+  Stats.Counter.reset t.commit_count;
+  Stats.Counter.reset t.abort_count;
+  Stats.Counter.reset t.deadlock_count;
+  Storage.Wal.reset_stats t.db_wal

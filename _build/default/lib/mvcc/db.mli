@@ -1,0 +1,198 @@
+(** A snapshot-isolation database replica engine.
+
+    Stands in for the paper's PostgreSQL 8.0.3: multi-version rows, eager
+    row write locks with first-updater-wins and deadlock detection, writeset
+    extraction, a WAL whose commit records are group-committed to a log
+    disk, and the Tashkent-API extension — commit records may be flushed in
+    any grouped order while transactions are {e announced} strictly by a
+    supplied sequence number ([COMMIT n], paper §8.3).
+
+    Blocking operations (lock waits, WAL flushes, page-in reads) must run in
+    a fiber. All state transitions are otherwise synchronous and
+    deterministic. *)
+
+type t
+
+type txid = int
+
+(** How the WAL treats synchronous writes (paper §7.1). *)
+type durability =
+  | Synchronous  (** fsync on every commit — standalone, Base, Tashkent-API *)
+  | Asynchronous
+      (** all WAL synchronous writes disabled — Tashkent-MW "case 1":
+          neither durability nor physical integrity survives a crash *)
+  | Periodic of Sim.Time.t
+      (** background syncs only — Tashkent-MW "case 2": integrity kept,
+          recent commits lost *)
+
+type config = {
+  durability : durability;
+  commit_record_bytes : int;
+      (** WAL bytes per commit. PostgreSQL logs before/after page images
+          (paper §9.2 credits part of the Tashkent-MW vs Tashkent-API gap
+          to this), so the default is a page-sized 8192. *)
+  page_bytes : int;
+  page_read_miss : float;
+      (** Probability that a logical row read must fetch a page from the
+          data disk (0 for a database that fits in RAM). *)
+  page_writeback_per_op : float;
+      (** Expected dirty-page writebacks per modified row, performed by a
+          background writer on the data disk. Use for workloads whose
+          dirty pages coalesce poorly (large key spaces). *)
+  background_page_writes_per_sec : float;
+      (** Constant-rate background page flushing — the right model when a
+          small hot page set absorbs all writes. Active once the database
+          has committed something. *)
+  commit_cpu : Sim.Time.t;  (** CPU bookkeeping cost of a commit *)
+  remote_priority : bool;
+      (** If true, writes made through {!apply_writeset} preempt
+          conflicting local lock holders (the "priority tagging" some
+          databases offer, §8.2); if false, conflicts queue and can
+          deadlock, to be resolved by the middleware's soft recovery. *)
+  gc_interval : Sim.Time.t option;
+      (** Periodic vacuum of row versions older than the oldest active
+          snapshot (PostgreSQL's "garbage collection to delete old
+          snapshots", §8.1). *)
+}
+
+val default_config : config
+
+val create :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  log_disk:Storage.Disk.t ->
+  ?data_disk:Storage.Disk.t ->
+  ?cpu:Sim.Resource.t ->
+  ?config:config ->
+  ?name:string ->
+  unit ->
+  t
+
+val name : t -> string
+val config : t -> config
+val engine : t -> Sim.Engine.t
+
+val current_version : t -> int
+(** Version of the newest announced snapshot. *)
+
+val load : t -> (Key.t * Value.t) list -> unit
+(** Populate initial data as part of version 0 (identical on every
+    replica; no logging). *)
+
+(** {1 Transactions} *)
+
+type tx
+
+type abort_reason =
+  | Ww_conflict of Key.t
+      (** first-updater-wins: a concurrent transaction committed a write
+          to this key *)
+  | Deadlock of txid list  (** the wait would close this cycle *)
+  | Preempted  (** force-aborted (priority writeset or soft recovery) *)
+
+val pp_abort_reason : Format.formatter -> abort_reason -> unit
+
+val begin_tx : t -> tx
+val tx_id : tx -> txid
+val snapshot_version : tx -> int
+
+val read : tx -> Key.t -> Value.t option
+(** Snapshot read (sees the transaction's own writes). May block on a
+    page-in. *)
+
+val write : tx -> Key.t -> Writeset.op -> (unit, abort_reason) result
+(** Buffer a write, taking the row lock eagerly. May block behind the
+    current holder. On [Error] the transaction has been aborted and its
+    locks released. *)
+
+val writeset : tx -> Writeset.t
+(** The extracted writeset so far (the paper's trigger mechanism). *)
+
+val abort : tx -> unit
+(** Roll back; idempotent, also safe on doomed transactions. *)
+
+val commit_readonly : tx -> unit
+(** Finish a transaction that wrote nothing: no version is created, no log
+    record written, nothing counted. @raise Invalid_argument if the
+    transaction has a non-empty writeset. *)
+
+val is_doomed : tx -> abort_reason option
+(** A transaction force-aborted while its owner fiber was elsewhere learns
+    about it here (or via the [Error] of its next operation). *)
+
+(** {1 Committing} *)
+
+val commit_standalone : tx -> (int, abort_reason) result
+(** Centralised-database commit: assigns the next version itself, makes
+    the commit durable per the configured {!durability}, announces, and
+    returns the new version. *)
+
+val commit_replicated : tx -> version:int -> order:int -> (unit, abort_reason) result
+(** Replicated commit: the certifier chose the global [version]; [order]
+    is this database's dense announce sequence (from {!next_order}). The
+    commit record is written (and grouped) immediately; the announcement
+    waits for its turn. *)
+
+val next_order : t -> int
+(** Allocate the next announce sequence number ([COMMIT n]'s [n]). The
+    caller must eventually commit (or {!skip_order}) every allocated
+    number, in any submission order — gaps block later announcements
+    (the abuse deadlock of §5.2). *)
+
+val skip_order : t -> int -> unit
+(** Release an allocated-but-unused sequence number (the transaction it
+    was meant for aborted after allocation). *)
+
+val apply_writeset :
+  t -> version:int -> order:int -> Writeset.t -> (unit, abort_reason) result
+(** Apply a remote transaction's writeset as a local transaction ([C4] of
+    the proxy pseudo-code). Takes locks like any writer; with
+    [remote_priority] it preempts conflicting holders, otherwise a
+    detected deadlock aborts the application (no effects) and the caller
+    must resolve the cycle and retry — with the {e same} [order], which is
+    not consumed on failure (call {!skip_order} when giving up). *)
+
+val doom : t -> txid -> unit
+(** Force-abort an active transaction (soft recovery / eager
+    pre-certification). Its locks are released immediately; its owner
+    learns via [Error Preempted] / {!is_doomed}. Unknown ids are
+    ignored. *)
+
+val active_txids : t -> txid list
+val lock_holder : t -> Key.t -> txid option
+
+(** {1 Snapshot reads for the store} *)
+
+val read_committed : t -> ?at:int -> Key.t -> Value.t option
+val store : t -> Store.t
+
+(** {1 Crash and recovery} *)
+
+val crash : t -> unit
+(** Power-cut: volatile state (un-synced WAL tail, memory store, active
+    transactions, allocated orders) is lost. *)
+
+val recover : t -> int
+(** Standard recovery (paper §7.2): rebuild the store by redoing the
+    durable WAL, in version order. Returns the recovered version. With
+    [Asynchronous] durability this recovers an {e empty} database —
+    that is why Tashkent-MW needs dumps (§7.1). *)
+
+val restore_from_dump : t -> version:int -> Store.t -> unit
+(** Tashkent-MW recovery: replace the store with a dump copy taken at
+    [version]; the middleware then replays newer remote writesets. *)
+
+val dump : t -> int * Store.t
+(** [(version, copy)] of the latest announced snapshot ("DUMP DATA"). The
+    time/IO cost of dumping is charged by the caller. *)
+
+(** {1 Statistics} *)
+
+val commits : t -> int
+val aborts : t -> int
+val deadlocks_detected : t -> int
+val wal : t -> (int * Writeset.t) Storage.Wal.t
+(** Exposed for fsync/group statistics. The record is
+    [(version, writeset)]. *)
+
+val reset_stats : t -> unit

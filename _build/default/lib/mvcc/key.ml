@@ -1,0 +1,25 @@
+type t = { table : string; row : string }
+
+let make ~table ~row = { table; row }
+let equal a b = String.equal a.table b.table && String.equal a.row b.row
+
+let compare a b =
+  match String.compare a.table b.table with
+  | 0 -> String.compare a.row b.row
+  | c -> c
+
+let hash t = Hashtbl.hash (t.table, t.row)
+let encoded_bytes t = String.length t.table + String.length t.row + 2
+let pp fmt t = Format.fprintf fmt "%s/%s" t.table t.row
+let to_string t = t.table ^ "/" ^ t.row
+
+module Key_ops = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key_ops)
+module Set = Set.Make (Key_ops)

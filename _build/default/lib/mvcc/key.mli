@@ -1,0 +1,17 @@
+(** Identity of a row: table name plus primary key. *)
+
+type t = { table : string; row : string }
+
+val make : table:string -> row:string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val encoded_bytes : t -> int
+(** Size of the identity when serialised into a writeset. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

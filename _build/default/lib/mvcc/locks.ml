@@ -1,0 +1,91 @@
+type txid = int
+
+type lock = { mutable owner : txid; mutable queue : txid list (* oldest first *) }
+
+type t = {
+  locks : lock Key.Tbl.t;
+  held : (txid, Key.Set.t) Hashtbl.t;
+  (* wait-for edge: waiter -> (key it waits on). The holder is looked up
+     through the lock so the edge stays correct as ownership changes. *)
+  waits : (txid, Key.t) Hashtbl.t;
+}
+
+let create () = { locks = Key.Tbl.create 256; held = Hashtbl.create 64; waits = Hashtbl.create 16 }
+
+let holder t key =
+  match Key.Tbl.find_opt t.locks key with Some l -> Some l.owner | None -> None
+
+type acquire_result = Granted | Would_block of txid | Deadlock of txid list
+
+let note_held t txid key =
+  let set = Option.value ~default:Key.Set.empty (Hashtbl.find_opt t.held txid) in
+  Hashtbl.replace t.held txid (Key.Set.add key set)
+
+let waiting_for t txid =
+  match Hashtbl.find_opt t.waits txid with
+  | None -> None
+  | Some key -> holder t key
+
+(* Walk holder-of(wait-of(...)) chains from [start]; a return to [me] is a
+   cycle. Chains are short (bounded by active transactions). *)
+let find_cycle t ~me ~start =
+  let rec walk tx acc steps =
+    if steps > 10_000 then None
+    else if tx = me then Some (List.rev acc)
+    else
+      match waiting_for t tx with
+      | None -> None
+      | Some next -> walk next (next :: acc) (steps + 1)
+  in
+  walk start [ start ] 0
+
+let acquire t txid key =
+  match Key.Tbl.find_opt t.locks key with
+  | None ->
+      Key.Tbl.replace t.locks key { owner = txid; queue = [] };
+      note_held t txid key;
+      Granted
+  | Some lock when lock.owner = txid -> Granted
+  | Some lock -> (
+      match find_cycle t ~me:txid ~start:lock.owner with
+      | Some cycle -> Deadlock (txid :: cycle)
+      | None -> Would_block lock.owner)
+
+let enqueue t txid key =
+  match Key.Tbl.find_opt t.locks key with
+  | None -> invalid_arg "Locks.enqueue: lock not held by anyone"
+  | Some lock ->
+      lock.queue <- lock.queue @ [ txid ];
+      Hashtbl.replace t.waits txid key
+
+let cancel_wait t txid key =
+  Hashtbl.remove t.waits txid;
+  match Key.Tbl.find_opt t.locks key with
+  | None -> ()
+  | Some lock -> lock.queue <- List.filter (fun w -> w <> txid) lock.queue
+
+let release_all t txid =
+  let keys = Option.value ~default:Key.Set.empty (Hashtbl.find_opt t.held txid) in
+  Hashtbl.remove t.held txid;
+  Key.Set.fold
+    (fun key grants ->
+      match Key.Tbl.find_opt t.locks key with
+      | None -> grants
+      | Some lock when lock.owner <> txid -> grants
+      | Some lock -> (
+          match lock.queue with
+          | [] ->
+              Key.Tbl.remove t.locks key;
+              grants
+          | next :: rest ->
+              lock.owner <- next;
+              lock.queue <- rest;
+              Hashtbl.remove t.waits next;
+              note_held t next key;
+              (key, next) :: grants))
+    keys []
+
+let held_by t txid =
+  Key.Set.elements (Option.value ~default:Key.Set.empty (Hashtbl.find_opt t.held txid))
+
+let lock_count t = Key.Tbl.length t.locks

@@ -1,0 +1,45 @@
+(** Row write-lock table with wait-for-graph deadlock detection.
+
+    PostgreSQL-style eager write locking (paper §8.2): the first active
+    transaction to write a row holds its lock until commit/abort;
+    competitors queue. A cycle in the wait-for graph is a deadlock; the
+    requester that would close the cycle is told so and becomes the victim.
+
+    This module is purely logical (no blocking): the database layer parks
+    fibers and calls back in here as locks are granted/released. *)
+
+type txid = int
+
+type t
+
+val create : unit -> t
+
+val holder : t -> Key.t -> txid option
+
+type acquire_result =
+  | Granted
+  | Would_block of txid  (** current holder *)
+  | Deadlock of txid list  (** the cycle that granting the wait would close *)
+
+val acquire : t -> txid -> Key.t -> acquire_result
+(** Grant the lock if free or already held by [txid]. Otherwise report the
+    holder, or a deadlock if queueing behind that holder closes a cycle.
+    [Would_block] does {e not} enqueue — call {!enqueue} to commit to
+    waiting. *)
+
+val enqueue : t -> txid -> Key.t -> unit
+(** Register [txid] as waiting for the lock on [key] (FIFO). *)
+
+val cancel_wait : t -> txid -> Key.t -> unit
+
+val release_all : t -> txid -> (Key.t * txid) list
+(** Release every lock held by [txid], granting each freed lock to its
+    longest-waiting live waiter. Returns the (key, new holder) grants so
+    the caller can wake the corresponding fibers. Waiters cancelled via
+    {!cancel_wait} are skipped. *)
+
+val held_by : t -> txid -> Key.t list
+val waiting_for : t -> txid -> txid option
+(** Which transaction [txid] is currently queued behind, if any. *)
+
+val lock_count : t -> int

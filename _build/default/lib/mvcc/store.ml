@@ -1,0 +1,89 @@
+(* Version chains are newest-first lists of (commit_version, value option);
+   [None] marks a deletion tombstone. *)
+
+type chain = (int * Value.t option) list
+
+type t = { rows : chain Key.Tbl.t; mutable version : int }
+
+let create () = { rows = Key.Tbl.create 1024; version = 0 }
+let current_version t = t.version
+
+let read t ~at key =
+  match Key.Tbl.find_opt t.rows key with
+  | None -> None
+  | Some chain -> (
+      match List.find_opt (fun (v, _) -> v <= at) chain with
+      | Some (_, value) -> value
+      | None -> None)
+
+let read_latest t key = read t ~at:max_int key
+
+let latest_writer t key =
+  match Key.Tbl.find_opt t.rows key with
+  | None | Some [] -> 0
+  | Some ((v, _) :: _) -> v
+
+let install t ~version ws =
+  if version <= t.version then
+    invalid_arg
+      (Printf.sprintf "Store.install: version %d not beyond current %d" version t.version);
+  List.iter
+    (fun { Writeset.key; op } ->
+      let value =
+        match op with
+        | Writeset.Insert v | Writeset.Update v -> Some v
+        | Writeset.Delete -> None
+      in
+      let chain = Option.value ~default:[] (Key.Tbl.find_opt t.rows key) in
+      Key.Tbl.replace t.rows key ((version, value) :: chain))
+    (Writeset.entries ws);
+  t.version <- version
+
+let preload t key value = Key.Tbl.replace t.rows key [ (0, Some value) ]
+let force_version t v = t.version <- v
+let row_count t = Key.Tbl.length t.rows
+
+let version_records t =
+  Key.Tbl.fold (fun _ chain acc -> acc + List.length chain) t.rows 0
+
+let estimated_bytes t =
+  Key.Tbl.fold
+    (fun key chain acc ->
+      let per_version =
+        List.fold_left
+          (fun a (_, v) ->
+            a + 16 + match v with Some v -> Value.encoded_bytes v | None -> 0)
+          0 chain
+      in
+      acc + Key.encoded_bytes key + per_version)
+    t.rows 0
+
+let copy t =
+  let fresh = { rows = Key.Tbl.create (Key.Tbl.length t.rows); version = t.version } in
+  Key.Tbl.iter
+    (fun key chain ->
+      match chain with
+      | [] -> ()
+      | (v, value) :: _ -> Key.Tbl.replace fresh.rows key [ (v, value) ])
+    t.rows;
+  fresh
+
+let gc t ~keep_after =
+  let prune chain =
+    (* Keep every version newer than [keep_after] plus the newest one at or
+       below it (still visible to snapshots in (keep_after, now]). *)
+    let rec loop = function
+      | [] -> []
+      | (v, value) :: rest ->
+          if v > keep_after then (v, value) :: loop rest else [ (v, value) ]
+    in
+    loop chain
+  in
+  let updates =
+    Key.Tbl.fold (fun key chain acc -> (key, prune chain) :: acc) t.rows []
+  in
+  List.iter (fun (key, chain) -> Key.Tbl.replace t.rows key chain) updates
+
+let pp_stats fmt t =
+  Format.fprintf fmt "store{version=%d rows=%d records=%d ~%dB}" t.version (row_count t)
+    (version_records t) (estimated_bytes t)

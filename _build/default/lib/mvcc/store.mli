@@ -1,0 +1,53 @@
+(** Multi-version row store.
+
+    Each row carries a chain of versions tagged with the global commit
+    version that created them; a snapshot read at version [v] sees the
+    newest version [<= v]. Versions need not be dense at a replica: a
+    replica that applies a batched remote writeset jumps straight from,
+    say, version 0 to version 3 (paper §3, "grouping remote writesets"). *)
+
+type t
+
+val create : unit -> t
+
+val current_version : t -> int
+(** Version of the newest installed snapshot. *)
+
+val read : t -> at:int -> Key.t -> Value.t option
+(** Snapshot read: newest committed value with version [<= at], or [None]
+    if the row does not exist (never inserted, or deleted) in that
+    snapshot. *)
+
+val read_latest : t -> Key.t -> Value.t option
+
+val latest_writer : t -> Key.t -> int
+(** Commit version of the newest committed write to this key; 0 if never
+    written. This is what the first-updater-wins check compares against a
+    transaction's snapshot. *)
+
+val install : t -> version:int -> Writeset.t -> unit
+(** Commit a writeset, creating snapshot [version]. [version] must exceed
+    {!current_version}; the store advances to it. *)
+
+val preload : t -> Key.t -> Value.t -> unit
+(** Insert a row as part of version 0 (initial database population). *)
+
+val force_version : t -> int -> unit
+(** Set the snapshot version without installing rows (used when restoring
+    from a dump taken at that version). *)
+
+val row_count : t -> int
+val version_records : t -> int
+(** Total version-chain entries, across all rows. *)
+
+val estimated_bytes : t -> int
+
+val copy : t -> t
+(** Deep copy of the latest snapshot only — the "DUMP DATA" operation. The
+    copy's chains are flattened to single versions. *)
+
+val gc : t -> keep_after:int -> unit
+(** Drop version-chain entries made obsolete by a newer version [<=]
+    [keep_after] (no active snapshot older than [keep_after] exists). *)
+
+val pp_stats : Format.formatter -> t -> unit

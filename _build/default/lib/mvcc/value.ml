@@ -1,0 +1,22 @@
+type t = Int of int | Text of string
+
+let int n = Int n
+let text s = Text s
+
+let as_int = function
+  | Int n -> n
+  | Text s -> invalid_arg (Printf.sprintf "Value.as_int: %S is text" s)
+
+let as_text = function Text s -> s | Int n -> string_of_int n
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Text x, Text y -> String.equal x y
+  | Int _, Text _ | Text _, Int _ -> false
+
+let encoded_bytes = function Int _ -> 8 | Text s -> String.length s
+
+let pp fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Text s -> Format.fprintf fmt "%S" s

@@ -1,0 +1,15 @@
+(** Row payloads. A single typed column is enough for the paper's
+    workloads (balances are integers, history/cart rows are opaque text). *)
+
+type t = Int of int | Text of string
+
+val int : int -> t
+val text : string -> t
+
+val as_int : t -> int
+(** @raise Invalid_argument on a non-integer value. *)
+
+val as_text : t -> string
+val equal : t -> t -> bool
+val encoded_bytes : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type op = Insert of Value.t | Update of Value.t | Delete
+
+type entry = { key : Key.t; op : op }
+
+(* Entries kept in reverse insertion order; a Key.Set mirrors them for O(1)
+   membership. Writesets are small (a handful of rows), so list operations
+   are fine, but intersection over two writesets uses the set. *)
+type t = { rev_entries : entry list; keyset : Key.Set.t }
+
+let empty = { rev_entries = []; keyset = Key.Set.empty }
+let is_empty t = t.rev_entries = []
+
+let add t key op =
+  if Key.Set.mem key t.keyset then
+    (* Supersede: replace the op in place, keeping original position. *)
+    let rev_entries =
+      List.map (fun e -> if Key.equal e.key key then { e with op } else e) t.rev_entries
+    in
+    { t with rev_entries }
+  else { rev_entries = { key; op } :: t.rev_entries; keyset = Key.Set.add key t.keyset }
+
+let singleton key op = add empty key op
+let of_list l = List.fold_left (fun t (key, op) -> add t key op) empty l
+let entries t = List.rev t.rev_entries
+let cardinal t = List.length t.rev_entries
+let keys t = List.rev_map (fun e -> e.key) t.rev_entries
+let mem t key = Key.Set.mem key t.keyset
+
+let intersects a b =
+  (* Iterate the smaller writeset against the other's set. *)
+  let small, large =
+    if Key.Set.cardinal a.keyset <= Key.Set.cardinal b.keyset then (a, b) else (b, a)
+  in
+  List.exists (fun e -> Key.Set.mem e.key large.keyset) small.rev_entries
+
+let inter_keys a b = Key.Set.elements (Key.Set.inter a.keyset b.keyset)
+
+let union earlier later =
+  List.fold_left (fun acc e -> add acc e.key e.op) earlier (entries later)
+
+let op_bytes = function
+  | Insert v | Update v -> 1 + Value.encoded_bytes v
+  | Delete -> 1
+
+let encoded_bytes t =
+  List.fold_left
+    (fun acc e -> acc + Key.encoded_bytes e.key + op_bytes e.op)
+    8 (* header: version + count *)
+    t.rev_entries
+
+let pp_op fmt = function
+  | Insert v -> Format.fprintf fmt "ins %a" Value.pp v
+  | Update v -> Format.fprintf fmt "upd %a" Value.pp v
+  | Delete -> Format.pp_print_string fmt "del"
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt e -> Format.fprintf fmt "%a:%a" Key.pp e.key pp_op e.op))
+    (entries t)

@@ -1,0 +1,43 @@
+(** Writesets: the minimal description of a transaction's modifications.
+
+    Extracted at the replica (the paper uses triggers in PostgreSQL),
+    shipped to the certifier for write–write conflict detection, and
+    re-applied at the other replicas. Order of operations within a writeset
+    is preserved; a later operation on the same key supersedes the earlier
+    one (only the final image is shipped). *)
+
+type op = Insert of Value.t | Update of Value.t | Delete
+
+type entry = { key : Key.t; op : op }
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : Key.t -> op -> t
+val add : t -> Key.t -> op -> t
+val of_list : (Key.t * op) list -> t
+
+val entries : t -> entry list
+(** In first-write order (with superseded duplicates removed). *)
+
+val cardinal : t -> int
+val keys : t -> Key.t list
+val mem : t -> Key.t -> bool
+
+val intersects : t -> t -> bool
+(** True when the two writesets touch a common key — the certification
+    test. *)
+
+val inter_keys : t -> t -> Key.t list
+
+val union : t -> t -> t
+(** [union earlier later]: combined effects, [later] winning on shared
+    keys. Used to batch several remote writesets into one transaction
+    (T1_2_3 in paper §3). *)
+
+val encoded_bytes : t -> int
+(** Wire/log size; the paper reports 54 B (AllUpdates), 158 B (TPC-B),
+    275 B (TPC-W) averages. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/net/network.ml: Engine Hashtbl Mailbox Printf Rng Sim Stats Time

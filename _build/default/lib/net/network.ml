@@ -1,0 +1,91 @@
+open Sim
+
+type config = {
+  latency_lo : Time.t;
+  latency_hi : Time.t;
+  bandwidth_bytes_per_sec : float;
+}
+
+let default_lan =
+  {
+    latency_lo = Time.us 40;
+    latency_hi = Time.us 80;
+    bandwidth_bytes_per_sec = 125_000_000.; (* 1 Gb/s *)
+  }
+
+type 'a t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  endpoints : (string, 'a Mailbox.t) Hashtbl.t;
+  last_delivery : (string * string, Time.t) Hashtbl.t;
+  partitions : (string * string, unit) Hashtbl.t;
+  mutable drop_rate : float;
+  sent : Stats.Counter.t;
+  delivered : Stats.Counter.t;
+  dropped : Stats.Counter.t;
+}
+
+let create engine ~rng ?(config = default_lan) () =
+  {
+    engine;
+    rng;
+    config;
+    endpoints = Hashtbl.create 32;
+    last_delivery = Hashtbl.create 64;
+    partitions = Hashtbl.create 8;
+    drop_rate = 0.;
+    sent = Stats.Counter.create ();
+    delivered = Stats.Counter.create ();
+    dropped = Stats.Counter.create ();
+  }
+
+let engine t = t.engine
+
+let register t addr =
+  if Hashtbl.mem t.endpoints addr then
+    invalid_arg (Printf.sprintf "Network.register: address %S already taken" addr);
+  let mb = Mailbox.create t.engine ~name:addr () in
+  Hashtbl.replace t.endpoints addr mb;
+  mb
+
+let unregister t addr = Hashtbl.remove t.endpoints addr
+
+let link_key a b = if a <= b then (a, b) else (b, a)
+let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
+let heal t a b = Hashtbl.remove t.partitions (link_key a b)
+let set_drop_rate t rate = t.drop_rate <- rate
+
+let transfer_time t size =
+  Time.of_sec (float_of_int size /. t.config.bandwidth_bytes_per_sec)
+
+let send t ~src ~dst ?(size = 256) msg =
+  Stats.Counter.incr t.sent;
+  let drop () = Stats.Counter.incr t.dropped in
+  if Hashtbl.mem t.partitions (link_key src dst) then drop ()
+  else if t.drop_rate > 0. && Rng.chance t.rng t.drop_rate then drop ()
+  else begin
+    let latency =
+      Rng.time_uniform t.rng ~lo:t.config.latency_lo ~hi:t.config.latency_hi
+    in
+    let arrival =
+      Time.add (Engine.now t.engine) (Time.add latency (transfer_time t size))
+    in
+    (* FIFO per directed link: never deliver before an earlier message. *)
+    let arrival =
+      match Hashtbl.find_opt t.last_delivery (src, dst) with
+      | Some prev when Time.( < ) arrival prev -> prev
+      | _ -> arrival
+    in
+    Hashtbl.replace t.last_delivery (src, dst) arrival;
+    Engine.schedule t.engine ~at:arrival (fun () ->
+        match Hashtbl.find_opt t.endpoints dst with
+        | Some mb ->
+            Stats.Counter.incr t.delivered;
+            Mailbox.send mb msg
+        | None -> Stats.Counter.incr t.dropped)
+  end
+
+let messages_sent t = Stats.Counter.value t.sent
+let messages_delivered t = Stats.Counter.value t.delivered
+let messages_dropped t = Stats.Counter.value t.dropped

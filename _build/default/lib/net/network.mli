@@ -1,0 +1,42 @@
+(** Simulated switched LAN.
+
+    Nodes register under string addresses and receive messages through a
+    mailbox. Delivery on each directed link is FIFO (as over a TCP
+    connection): a message never overtakes an earlier one on the same link,
+    even when random latencies would allow it. Links can be partitioned and
+    lossy for fault-tolerance experiments. *)
+
+type 'a t
+
+type config = {
+  latency_lo : Sim.Time.t;  (** one-way latency lower bound *)
+  latency_hi : Sim.Time.t;  (** one-way latency upper bound *)
+  bandwidth_bytes_per_sec : float;  (** per-message transfer rate *)
+}
+
+val default_lan : config
+(** 1 Gb/s switched Ethernet: 40–80 µs one way. *)
+
+val create : Sim.Engine.t -> rng:Sim.Rng.t -> ?config:config -> unit -> 'a t
+val engine : 'a t -> Sim.Engine.t
+
+val register : 'a t -> string -> 'a Sim.Mailbox.t
+(** Create an endpoint. @raise Invalid_argument if the address is taken. *)
+
+val unregister : 'a t -> string -> unit
+(** Remove an endpoint; in-flight messages to it are dropped on arrival.
+    Used to model a crashed node. Re-registering yields a fresh mailbox. *)
+
+val send : 'a t -> src:string -> dst:string -> ?size:int -> 'a -> unit
+(** Fire-and-forget. [size] in bytes adds transfer time (default 256). If
+    [dst] is unknown or unreachable the message is silently dropped. *)
+
+val partition : 'a t -> string -> string -> unit
+(** Cut both directions between two addresses. *)
+
+val heal : 'a t -> string -> string -> unit
+val set_drop_rate : 'a t -> float -> unit
+
+val messages_sent : 'a t -> int
+val messages_delivered : 'a t -> int
+val messages_dropped : 'a t -> int

@@ -1,0 +1,1 @@
+lib/paxos/node.ml: Ballot Engine Format Hashtbl List Rng Sim Storage Time Wal_record

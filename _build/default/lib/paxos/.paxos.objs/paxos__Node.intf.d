@@ -1,0 +1,1 @@
+lib/paxos/node.mli: Ballot Format Sim Storage Wal_record

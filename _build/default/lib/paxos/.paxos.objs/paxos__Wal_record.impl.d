@@ -1,0 +1,1 @@
+lib/paxos/wal_record.ml: Ballot

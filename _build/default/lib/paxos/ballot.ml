@@ -1,0 +1,17 @@
+type t = { round : int; node : string }
+
+let initial = { round = 0; node = "" }
+let make ~round ~node = { round; node }
+let next t ~node = { round = t.round + 1; node }
+
+let compare a b =
+  match Int.compare a.round b.round with
+  | 0 -> String.compare a.node b.node
+  | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let pp fmt t = Format.fprintf fmt "%d.%s" t.round t.node

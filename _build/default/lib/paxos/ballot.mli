@@ -1,0 +1,19 @@
+(** Paxos ballot numbers: a round counter with the proposing node's id as a
+    tie-breaker, totally ordered. *)
+
+type t = { round : int; node : string }
+
+val initial : t
+(** Smaller than any ballot a node can propose. *)
+
+val make : round:int -> node:string -> t
+val next : t -> node:string -> t
+(** A ballot strictly greater than [t], owned by [node]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,437 @@
+open Sim
+
+type 'v entry_value = 'v Wal_record.entry_value = Noop | Value of 'v
+
+type 'v slot_value = { slot : int; ballot : Ballot.t; value : 'v entry_value }
+
+type 'v message =
+  | Prepare of { ballot : Ballot.t; from : string; commit_index : int }
+  | Promise of {
+      ballot : Ballot.t;
+      from : string;
+      accepted : 'v slot_value list;
+      commit_index : int;
+    }
+  | Prepare_reject of { from : string; higher : Ballot.t }
+  | Accept of { ballot : Ballot.t; from : string; entries : 'v slot_value list }
+  | Accept_ok of { ballot : Ballot.t; from : string; slots : int list }
+  | Accept_reject of { from : string; higher : Ballot.t }
+  | Commit of { from : string; entries : (int * 'v entry_value) list; commit_index : int }
+  | Heartbeat of { ballot : Ballot.t; from : string; commit_index : int }
+  | Ask_transfer of { from : string; applied : int }
+
+let entry_value_bytes value_bytes = function Noop -> 4 | Value v -> 4 + value_bytes v
+
+let message_bytes value_bytes = function
+  | Prepare _ | Prepare_reject _ | Accept_reject _ | Heartbeat _ -> 32
+  | Accept_ok { slots; _ } -> 32 + (8 * List.length slots)
+  | Promise { accepted; _ } ->
+      List.fold_left (fun a sv -> a + 24 + entry_value_bytes value_bytes sv.value) 32 accepted
+  | Accept { entries; _ } ->
+      List.fold_left (fun a sv -> a + 24 + entry_value_bytes value_bytes sv.value) 32 entries
+  | Commit { entries; _ } ->
+      List.fold_left (fun a (_, v) -> a + 12 + entry_value_bytes value_bytes v) 32 entries
+  | Ask_transfer _ -> 16
+
+let pp_message_kind fmt = function
+  | Prepare _ -> Format.pp_print_string fmt "prepare"
+  | Promise _ -> Format.pp_print_string fmt "promise"
+  | Prepare_reject _ -> Format.pp_print_string fmt "prepare-reject"
+  | Accept _ -> Format.pp_print_string fmt "accept"
+  | Accept_ok _ -> Format.pp_print_string fmt "accept-ok"
+  | Accept_reject _ -> Format.pp_print_string fmt "accept-reject"
+  | Commit _ -> Format.pp_print_string fmt "commit"
+  | Heartbeat _ -> Format.pp_print_string fmt "heartbeat"
+  | Ask_transfer _ -> Format.pp_print_string fmt "ask-transfer"
+
+type config = {
+  heartbeat_interval : Time.t;
+  election_timeout_lo : Time.t;
+  election_timeout_hi : Time.t;
+}
+
+let default_config =
+  {
+    heartbeat_interval = Time.of_ms 20.;
+    election_timeout_lo = Time.of_ms 80.;
+    election_timeout_hi = Time.of_ms 160.;
+  }
+
+type 'v role =
+  | Follower
+  | Candidate of { ballot : Ballot.t; mutable promises : (string * 'v slot_value list) list }
+  | Leader of {
+      ballot : Ballot.t;
+      mutable next_slot : int;
+      acks : (int, string list ref) Hashtbl.t;
+    }
+
+type 'v t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  node_id : string;
+  peers : string list;
+  cluster_size : int;
+  cfg : config;
+  send : dst:string -> 'v message -> unit;
+  on_deliver : int -> 'v -> unit;
+  node_wal : 'v Wal_record.t Storage.Wal.t;
+  value_bytes_hint : int; (* only for wal accounting of unknown values *)
+  mutable up : bool;
+  mutable promised : Ballot.t;
+  accepted : (int, 'v slot_value) Hashtbl.t;
+  chosen : (int, 'v entry_value) Hashtbl.t;
+  mutable commit : int;
+  mutable applied : int;
+  mutable role : 'v role;
+  mutable leader_seen : string option;
+  mutable election_deadline : Time.t;
+}
+
+let majority t = (t.cluster_size / 2) + 1
+let id t = t.node_id
+let is_up t = t.up
+let commit_index t = t.commit
+let applied_index t = t.applied
+let current_ballot t = t.promised
+let wal t = t.node_wal
+
+let is_leader t = match t.role with Leader _ -> true | Follower | Candidate _ -> false
+
+let leader_hint t =
+  match t.role with Leader _ -> Some t.node_id | Follower | Candidate _ -> t.leader_seen
+
+let broadcast t msg = List.iter (fun peer -> t.send ~dst:peer msg) t.peers
+
+let fresh_deadline t =
+  Time.add (Engine.now t.engine)
+    (Rng.time_uniform t.rng ~lo:t.cfg.election_timeout_lo ~hi:t.cfg.election_timeout_hi)
+
+let record_bytes t r = Wal_record.bytes (fun _ -> t.value_bytes_hint) r
+
+let persist t record = ignore (Storage.Wal.append_and_sync t.node_wal ~bytes:(record_bytes t record) record)
+
+let deliver_ready t =
+  let rec loop () =
+    match Hashtbl.find_opt t.chosen (t.applied + 1) with
+    | None -> ()
+    | Some value ->
+        t.applied <- t.applied + 1;
+        (match value with Value v -> t.on_deliver t.applied v | Noop -> ());
+        loop ()
+  in
+  loop ()
+
+let learn t slot value =
+  if not (Hashtbl.mem t.chosen slot) then Hashtbl.replace t.chosen slot value
+
+(* ------------------------------------------------------------------ *)
+(* Leader side *)
+
+let newly_chosen_entries t ~from_slot =
+  let rec collect s acc =
+    if s > t.commit then List.rev acc
+    else collect (s + 1) ((s, Hashtbl.find t.chosen s) :: acc)
+  in
+  collect from_slot []
+
+let advance_commit t =
+  match t.role with
+  | Leader l ->
+      let start = t.commit + 1 in
+      let rec advance () =
+        match Hashtbl.find_opt l.acks (t.commit + 1) with
+        | Some acks when List.length !acks >= majority t -> (
+            match Hashtbl.find_opt t.accepted (t.commit + 1) with
+            | Some sv ->
+                t.commit <- t.commit + 1;
+                learn t t.commit sv.value;
+                Hashtbl.remove l.acks t.commit;
+                advance ()
+            | None -> ())
+        | Some _ | None -> ()
+      in
+      advance ();
+      if t.commit >= start then begin
+        deliver_ready t;
+        let entries = newly_chosen_entries t ~from_slot:start in
+        broadcast t (Commit { from = t.node_id; entries; commit_index = t.commit })
+      end
+  | Follower | Candidate _ -> ()
+
+let leader_ack t ballot slot ~from =
+  match t.role with
+  | Leader l when Ballot.equal l.ballot ballot ->
+      let acks =
+        match Hashtbl.find_opt l.acks slot with
+        | Some acks -> acks
+        | None ->
+            let acks = ref [] in
+            Hashtbl.replace l.acks slot acks;
+            acks
+      in
+      if not (List.mem from !acks) then acks := from :: !acks;
+      advance_commit t
+  | Leader _ | Follower | Candidate _ -> ()
+
+let send_accepts t ballot entries =
+  (* Replicate then self-accept; the self-accept's fsync groups with any
+     other in-flight proposal on this node's log disk. *)
+  broadcast t (Accept { ballot; from = t.node_id; entries });
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".selfaccept") (fun () ->
+         List.iter (fun sv -> Hashtbl.replace t.accepted sv.slot sv) entries;
+         List.iter
+           (fun sv ->
+             let record =
+               Wal_record.Accepted { slot = sv.slot; ballot = sv.ballot; value = sv.value }
+             in
+             ignore (Storage.Wal.append t.node_wal ~bytes:(record_bytes t record) record))
+           entries;
+         Storage.Wal.sync t.node_wal;
+         if t.up then
+           List.iter (fun sv -> leader_ack t ballot sv.slot ~from:t.node_id) entries))
+
+let propose t v =
+  match t.role with
+  | Leader l ->
+      let slot = l.next_slot in
+      l.next_slot <- slot + 1;
+      send_accepts t l.ballot [ { slot; ballot = l.ballot; value = Value v } ];
+      true
+  | Follower | Candidate _ -> false
+
+let become_leader t ballot promises =
+  (* Merge the highest-ballot accepted value per slot above our commit
+     point, from our own table and every promise. *)
+  let best : (int, 'v slot_value) Hashtbl.t = Hashtbl.create 16 in
+  let consider sv =
+    if sv.slot > t.commit then
+      match Hashtbl.find_opt best sv.slot with
+      | Some cur when Ballot.(cur.ballot >= sv.ballot) -> ()
+      | Some _ | None -> Hashtbl.replace best sv.slot sv
+  in
+  Hashtbl.iter (fun _ sv -> consider sv) t.accepted;
+  List.iter (fun (_, accepted) -> List.iter consider accepted) promises;
+  let max_slot = Hashtbl.fold (fun slot _ acc -> max slot acc) best t.commit in
+  let entries =
+    List.init (max_slot - t.commit) (fun i ->
+        let slot = t.commit + 1 + i in
+        match Hashtbl.find_opt best slot with
+        | Some sv -> { sv with ballot }
+        | None -> { slot; ballot; value = Noop })
+  in
+  t.role <- Leader { ballot; next_slot = max_slot + 1; acks = Hashtbl.create 16 };
+  t.leader_seen <- Some t.node_id;
+  broadcast t (Heartbeat { ballot; from = t.node_id; commit_index = t.commit });
+  if entries <> [] then send_accepts t ballot entries
+
+let start_election t =
+  let ballot = Ballot.next t.promised ~node:t.node_id in
+  t.promised <- ballot;
+  t.election_deadline <- fresh_deadline t;
+  let own_accepted = Hashtbl.fold (fun _ sv acc -> sv :: acc) t.accepted [] in
+  t.role <- Candidate { ballot; promises = [ (t.node_id, own_accepted) ] };
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".election") (fun () ->
+         persist t (Wal_record.Promised ballot);
+         if t.up then begin
+           match t.role with
+           | Candidate c when Ballot.equal c.ballot ballot ->
+               broadcast t (Prepare { ballot; from = t.node_id; commit_index = t.commit });
+               if majority t = 1 then become_leader t ballot c.promises
+           | _ -> ()
+         end))
+
+let step_down t ~higher =
+  if Ballot.(higher > t.promised) then t.promised <- higher;
+  (match t.role with
+  | Leader _ | Candidate _ ->
+      t.role <- Follower;
+      t.election_deadline <- fresh_deadline t
+  | Follower -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor / learner side *)
+
+let handle_prepare t ~ballot ~from ~commit_index =
+  if Ballot.(ballot > t.promised) then begin
+    t.promised <- ballot;
+    (match t.role with Leader _ | Candidate _ -> t.role <- Follower | Follower -> ());
+    t.election_deadline <- fresh_deadline t;
+    ignore
+      (Engine.spawn t.engine ~name:(t.node_id ^ ".promise") (fun () ->
+           persist t (Wal_record.Promised ballot);
+           if t.up then begin
+             let accepted =
+               Hashtbl.fold
+                 (fun slot sv acc -> if slot > commit_index then sv :: acc else acc)
+                 t.accepted []
+             in
+             t.send ~dst:from
+               (Promise { ballot; from = t.node_id; accepted; commit_index = t.commit })
+           end))
+  end
+  else t.send ~dst:from (Prepare_reject { from = t.node_id; higher = t.promised })
+
+let handle_promise t ~ballot ~from ~accepted =
+  match t.role with
+  | Candidate c when Ballot.equal c.ballot ballot ->
+      if not (List.mem_assoc from c.promises) then
+        c.promises <- (from, accepted) :: c.promises;
+      if List.length c.promises >= majority t then become_leader t ballot c.promises
+  | Candidate _ | Leader _ | Follower -> ()
+
+let handle_accept t ~ballot ~from ~entries =
+  if Ballot.(ballot >= t.promised) then begin
+    t.promised <- ballot;
+    (match t.role with
+    | Leader l when not (Ballot.equal l.ballot ballot) -> t.role <- Follower
+    | Candidate _ -> t.role <- Follower
+    | Leader _ | Follower -> ());
+    t.leader_seen <- Some from;
+    t.election_deadline <- fresh_deadline t;
+    ignore
+      (Engine.spawn t.engine ~name:(t.node_id ^ ".accept") (fun () ->
+           List.iter (fun sv -> Hashtbl.replace t.accepted sv.slot sv) entries;
+           List.iter
+             (fun sv ->
+               let record =
+                 Wal_record.Accepted { slot = sv.slot; ballot = sv.ballot; value = sv.value }
+               in
+               ignore (Storage.Wal.append t.node_wal ~bytes:(record_bytes t record) record))
+             entries;
+           Storage.Wal.sync t.node_wal;
+           if t.up then
+             t.send ~dst:from
+               (Accept_ok
+                  { ballot; from = t.node_id; slots = List.map (fun sv -> sv.slot) entries })))
+  end
+  else t.send ~dst:from (Accept_reject { from = t.node_id; higher = t.promised })
+
+let request_transfer_if_behind t ~from ~commit_index =
+  if commit_index > t.applied then
+    t.send ~dst:from (Ask_transfer { from = t.node_id; applied = t.applied })
+
+let handle_commit t ~from ~entries ~commit_index =
+  List.iter (fun (slot, value) -> learn t slot value) entries;
+  if commit_index > t.commit then t.commit <- commit_index;
+  deliver_ready t;
+  (* A gap means we missed earlier Commit messages: fetch them. *)
+  if t.applied < t.commit && not (Hashtbl.mem t.chosen (t.applied + 1)) then
+    t.send ~dst:from (Ask_transfer { from = t.node_id; applied = t.applied })
+
+let handle_ask_transfer t ~from ~applied =
+  let entries =
+    let rec collect s acc =
+      if s > t.commit then List.rev acc
+      else
+        match Hashtbl.find_opt t.chosen s with
+        | Some v -> collect (s + 1) ((s, v) :: acc)
+        | None -> List.rev acc
+    in
+    collect (applied + 1) []
+  in
+  if entries <> [] then
+    t.send ~dst:from (Commit { from = t.node_id; entries; commit_index = t.commit })
+
+let handle t msg =
+  if t.up then
+    match msg with
+    | Prepare { ballot; from; commit_index } -> handle_prepare t ~ballot ~from ~commit_index
+    | Promise { ballot; from; accepted; commit_index = _ } ->
+        handle_promise t ~ballot ~from ~accepted
+    | Prepare_reject { higher; _ } -> step_down t ~higher
+    | Accept { ballot; from; entries } -> handle_accept t ~ballot ~from ~entries
+    | Accept_ok { ballot; from; slots } ->
+        List.iter (fun slot -> leader_ack t ballot slot ~from) slots
+    | Accept_reject { higher; _ } -> step_down t ~higher
+    | Commit { from; entries; commit_index } -> handle_commit t ~from ~entries ~commit_index
+    | Heartbeat { ballot; from; commit_index } ->
+        if Ballot.(ballot >= t.promised) then begin
+          t.promised <- ballot;
+          (match t.role with
+          | Leader l when not (Ballot.equal l.ballot ballot) -> t.role <- Follower
+          | Candidate _ -> t.role <- Follower
+          | Leader _ | Follower -> ());
+          t.leader_seen <- Some from;
+          t.election_deadline <- fresh_deadline t;
+          request_transfer_if_behind t ~from ~commit_index
+        end
+    | Ask_transfer { from; applied } -> handle_ask_transfer t ~from ~applied
+
+(* ------------------------------------------------------------------ *)
+(* Timers, creation, crash/recovery *)
+
+let spawn_timers t =
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".timers") (fun () ->
+         let rec loop () =
+           Engine.sleep t.engine t.cfg.heartbeat_interval;
+           if t.up then begin
+             (match t.role with
+             | Leader l ->
+                 broadcast t
+                   (Heartbeat { ballot = l.ballot; from = t.node_id; commit_index = t.commit })
+             | Follower | Candidate _ ->
+                 if Time.(Engine.now t.engine >= t.election_deadline) then start_election t)
+           end;
+           loop ()
+         in
+         loop ()))
+
+let create engine ~rng ~id:node_id ~peers ~disk ~send ~on_deliver
+    ?(config = default_config) () =
+  let t =
+    {
+      engine;
+      rng;
+      node_id;
+      peers;
+      cluster_size = 1 + List.length peers;
+      cfg = config;
+      send;
+      on_deliver;
+      node_wal = Storage.Wal.create engine ~disk ~name:(node_id ^ ".wal") ();
+      value_bytes_hint = 256;
+      up = true;
+      promised = Ballot.initial;
+      accepted = Hashtbl.create 64;
+      chosen = Hashtbl.create 64;
+      commit = 0;
+      applied = 0;
+      role = Follower;
+      leader_seen = None;
+      election_deadline = Time.zero;
+    }
+  in
+  t.election_deadline <- fresh_deadline t;
+  spawn_timers t;
+  t
+
+let crash t =
+  t.up <- false;
+  ignore (Storage.Wal.crash t.node_wal);
+  Hashtbl.reset t.accepted;
+  Hashtbl.reset t.chosen;
+  t.commit <- 0;
+  t.applied <- 0;
+  t.promised <- Ballot.initial;
+  t.role <- Follower;
+  t.leader_seen <- None
+
+let recover t =
+  List.iter
+    (fun record ->
+      match record with
+      | Wal_record.Promised b -> if Ballot.(b > t.promised) then t.promised <- b
+      | Wal_record.Accepted { slot; ballot; value } -> (
+          match Hashtbl.find_opt t.accepted slot with
+          | Some sv when Ballot.(sv.ballot >= ballot) -> ()
+          | Some _ | None -> Hashtbl.replace t.accepted slot { slot; ballot; value }))
+    (Storage.Wal.records_from t.node_wal 0);
+  t.up <- true;
+  t.role <- Follower;
+  t.election_deadline <- fresh_deadline t;
+  (* Catch up on the chosen log from whoever leads now. *)
+  broadcast t (Ask_transfer { from = t.node_id; applied = 0 })

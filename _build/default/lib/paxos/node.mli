@@ -1,0 +1,87 @@
+(** A multi-Paxos node: proposer, acceptor and learner combined.
+
+    The paper (§7.3) replicates the certifier over a small set of nodes
+    with an elected leader: the leader certifies, sends the new state (log
+    records) to all certifiers, everyone writes it to disk, and once a
+    majority has acknowledged, the records are committed. This module is
+    that replication layer, generic in the value type.
+
+    Integration contract: the owner gives the node a [send] function and
+    feeds every incoming wire message to {!handle}. Acceptor state
+    (promises and accepted slot values) is persisted in a {!Storage.Wal}
+    whose disk is the node's log device, so a leader proposing many values
+    concurrently groups their disk writes into few fsyncs — the behaviour
+    the whole paper hinges on. Values committed by the group are delivered
+    to [on_deliver] exactly once per node, in slot order.
+
+    Leadership: heartbeat timeouts trigger an election (Prepare/Promise
+    with accepted-value recovery, then re-proposal under the new ballot).
+    A node that crashes loses its un-synced WAL tail and rejoins via state
+    transfer from the current leader. *)
+
+type 'v message
+
+val message_bytes : ('v -> int) -> 'v message -> int
+(** Wire size estimate, given a value sizer. *)
+
+val pp_message_kind : Format.formatter -> 'v message -> unit
+
+type 'v t
+
+type config = {
+  heartbeat_interval : Sim.Time.t;
+  election_timeout_lo : Sim.Time.t;  (** randomised per election attempt *)
+  election_timeout_hi : Sim.Time.t;
+}
+
+val default_config : config
+
+val create :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  id:string ->
+  peers:string list ->
+  disk:Storage.Disk.t ->
+  send:(dst:string -> 'v message -> unit) ->
+  on_deliver:(int -> 'v -> unit) ->
+  ?config:config ->
+  unit ->
+  'v t
+(** [peers] excludes [id]. The node starts as a follower; the node with the
+    lowest id typically wins the first election. Spawns its timer fibers
+    immediately. *)
+
+val id : 'v t -> string
+val handle : 'v t -> 'v message -> unit
+(** Feed an incoming message. Cheap; heavy work (disk writes) runs in
+    internal fibers. *)
+
+(** {1 Proposing} *)
+
+val is_leader : 'v t -> bool
+val leader_hint : 'v t -> string option
+
+val propose : 'v t -> 'v -> bool
+(** Submit a value for replication. Returns false (value dropped) if this
+    node is not currently leader — the caller should retry via
+    {!leader_hint}. Delivery to [on_deliver] across the group signals
+    success. *)
+
+(** {1 Introspection} *)
+
+val commit_index : 'v t -> int
+val applied_index : 'v t -> int
+val current_ballot : 'v t -> Ballot.t
+val wal : 'v t -> 'v Wal_record.t Storage.Wal.t
+
+(** {1 Crash and recovery} *)
+
+val crash : 'v t -> unit
+(** Lose volatile state and the un-synced WAL tail; the node stops
+    reacting to messages and timers until {!recover}. *)
+
+val recover : 'v t -> unit
+(** Rebuild promises/accepted values from the durable WAL, resume as a
+    follower, and catch up via state transfer. *)
+
+val is_up : 'v t -> bool

@@ -1,0 +1,10 @@
+type 'v entry_value = Noop | Value of 'v
+
+type 'v t =
+  | Promised of Ballot.t
+  | Accepted of { slot : int; ballot : Ballot.t; value : 'v entry_value }
+
+let bytes value_bytes = function
+  | Promised _ -> 16
+  | Accepted { value = Noop; _ } -> 24
+  | Accepted { value = Value v; _ } -> 24 + value_bytes v

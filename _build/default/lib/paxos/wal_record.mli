@@ -1,0 +1,11 @@
+(** Durable acceptor state records. *)
+
+type 'v entry_value = Noop | Value of 'v
+(** What a consensus slot can hold: a client value, or a no-op used by a
+    new leader to fill gaps. *)
+
+type 'v t =
+  | Promised of Ballot.t
+  | Accepted of { slot : int; ballot : Ballot.t; value : 'v entry_value }
+
+val bytes : ('v -> int) -> 'v t -> int

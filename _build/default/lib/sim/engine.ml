@@ -1,0 +1,137 @@
+open Effect
+open Effect.Deep
+
+exception Cancelled
+exception Stalled of string
+
+type fiber = {
+  fid : int;
+  name : string;
+  mutable cancelled : bool;
+  mutable finished : bool;
+  mutable join_waiters : (unit -> unit) list;
+}
+
+type event = { time : Time.t; seq : int; run : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable next_fid : int;
+  mutable processed : int;
+  mutable blocked_fibers : int;
+  queue : event Heap.t;
+}
+
+(* The effect performed by all blocking operations: [register] receives the
+   current fiber and a one-shot resume function. *)
+type _ Effect.t += Suspend : (fiber -> ('a -> unit) -> unit) -> 'a Effect.t
+
+let event_leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+let create () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    next_fid = 0;
+    processed = 0;
+    blocked_fibers = 0;
+    queue = Heap.create ~leq:event_leq ();
+  }
+
+let now t = t.clock
+let events_processed t = t.processed
+let pending_events t = Heap.length t.queue
+
+let schedule t ~at run =
+  if Time.( < ) at t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%s is before now=%s" (Time.to_string at)
+         (Time.to_string t.clock));
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time = at; seq = t.seq; run }
+
+let schedule_after t span run = schedule t ~at:(Time.add t.clock span) run
+
+let finish_fiber t fiber =
+  fiber.finished <- true;
+  let waiters = List.rev fiber.join_waiters in
+  fiber.join_waiters <- [];
+  List.iter (fun w -> schedule t ~at:t.clock w) waiters
+
+let spawn t ?(name = "fiber") body =
+  t.next_fid <- t.next_fid + 1;
+  let fiber =
+    { fid = t.next_fid; name; cancelled = false; finished = false; join_waiters = [] }
+  in
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> finish_fiber t fiber);
+      exnc =
+        (fun e ->
+          match e with
+          | Cancelled -> finish_fiber t fiber
+          | e ->
+              finish_fiber t fiber;
+              raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  t.blocked_fibers <- t.blocked_fibers + 1;
+                  let resume (v : a) =
+                    if not !resumed then begin
+                      resumed := true;
+                      t.blocked_fibers <- t.blocked_fibers - 1;
+                      if fiber.cancelled then discontinue k Cancelled else continue k v
+                    end
+                  in
+                  register fiber resume)
+          | _ -> None);
+    }
+  in
+  let start () = if not fiber.cancelled then match_with body () handler in
+  schedule t ~at:t.clock start;
+  fiber
+
+let cancel _t fiber = if not fiber.finished then fiber.cancelled <- true
+let fiber_alive fiber = not (fiber.finished || fiber.cancelled)
+let fiber_name fiber = Printf.sprintf "%s#%d" fiber.name fiber.fid
+let suspend2 (_ : t) register = perform (Suspend register)
+let suspend t register = suspend2 t (fun _fiber resume -> register resume)
+
+let sleep t span =
+  if Time.is_zero span then ()
+  else suspend t (fun resume -> schedule_after t span (fun () -> resume ()))
+
+let yield t = suspend t (fun resume -> schedule t ~at:t.clock (fun () -> resume ()))
+
+let join t fiber =
+  if not fiber.finished then
+    suspend t (fun resume -> fiber.join_waiters <- (fun () -> resume ()) :: fiber.join_waiters)
+
+let run ?until ?(stop_when_idle = true) t =
+  let within_limit time =
+    match until with None -> true | Some limit -> Time.( <= ) time limit
+  in
+  let rec loop () =
+    match Heap.peek t.queue with
+    | None ->
+        if (not stop_when_idle) && t.blocked_fibers > 0 then
+          raise
+            (Stalled
+               (Printf.sprintf "event queue empty with %d fiber(s) still blocked"
+                  t.blocked_fibers))
+    | Some ev when not (within_limit ev.time) -> (
+        (* Leave future events queued; advance the clock to the limit. *)
+        match until with None -> () | Some limit -> t.clock <- Time.max t.clock limit)
+    | Some _ ->
+        let ev = Heap.pop_exn t.queue in
+        t.clock <- ev.time;
+        t.processed <- t.processed + 1;
+        ev.run ();
+        loop ()
+  in
+  loop ()

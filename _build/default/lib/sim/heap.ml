@@ -1,0 +1,80 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable items : 'a array;
+  mutable size : int;
+}
+
+(* Empty slots hold an inert dummy ([Obj.magic 0]) so the array can exist
+   before any element is pushed; slots beyond [size] are never read. The
+   dummy is an immediate, so the array is never specialised as a float
+   array. *)
+let create ?(initial_capacity = 64) ~leq () =
+  { leq; items = Array.make (max 1 initial_capacity) (Obj.magic 0); size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let items = Array.make (2 * Array.length t.items) t.items.(0) in
+  Array.blit t.items 0 items 0 t.size;
+  t.items <- items
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if not (t.leq t.items.(parent) t.items.(i)) then begin
+      let tmp = t.items.(parent) in
+      t.items.(parent) <- t.items.(i);
+      t.items.(i) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let push t x =
+  if t.size = Array.length t.items then grow t;
+  t.items.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && not (t.leq t.items.(i) t.items.(l)) then l else i in
+  let smallest =
+    if r < t.size && not (t.leq t.items.(smallest) t.items.(r)) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.items.(smallest) in
+    t.items.(smallest) <- t.items.(i);
+    t.items.(i) <- tmp;
+    sift_down t smallest
+  end
+
+let peek t = if t.size = 0 then None else Some t.items.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.items.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.items.(0) <- t.items.(t.size);
+      sift_down t 0
+    end;
+    t.items.(t.size) <- Obj.magic 0;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.items.(i) <- Obj.magic 0
+  done;
+  t.size <- 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.items.(i) :: acc) in
+  loop (t.size - 1) []

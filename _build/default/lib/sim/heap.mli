@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap.
+
+    The ordering function is supplied at creation time. Used by the event
+    queue; kept generic so other components (e.g. timer wheels in tests) can
+    reuse it. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [leq a b] must hold when [a] sorts no later than [b]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in arbitrary order. *)

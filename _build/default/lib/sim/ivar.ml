@@ -1,0 +1,28 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+let create engine () = { engine; state = Empty [] }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+      t.state <- Full v;
+      List.iter
+        (fun resume -> Engine.schedule_after t.engine Time.zero (fun () -> resume v))
+        (List.rev waiters);
+      true
+
+let fill t v = if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+      Engine.suspend t.engine (fun resume ->
+          match t.state with
+          | Full v -> resume v
+          | Empty waiters -> t.state <- Empty (resume :: waiters))

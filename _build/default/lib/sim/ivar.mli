@@ -1,0 +1,20 @@
+(** Write-once synchronisation variable (future/promise).
+
+    The canonical request/reply device: a client embeds a fresh ivar in a
+    request message and blocks on {!read}; the server {!fill}s it. *)
+
+type 'a t
+
+val create : Engine.t -> unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** @raise Invalid_argument if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising. *)
+
+val is_filled : 'a t -> bool
+val peek : 'a t -> 'a option
+
+val read : 'a t -> 'a
+(** Block until filled (immediate if already filled). *)

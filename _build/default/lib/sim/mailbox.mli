@@ -1,0 +1,28 @@
+(** Unbounded FIFO message queue between fibers.
+
+    [send] never blocks; [recv] blocks until a message is available. Messages
+    are delivered in send order; competing receivers are served in arrival
+    order. Cancelled receivers are skipped without consuming a message. *)
+
+type 'a t
+
+val create : Engine.t -> ?name:string -> unit -> 'a t
+val name : 'a t -> string
+
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Blocking; must run inside a fiber. *)
+
+val try_recv : 'a t -> 'a option
+
+val recv_batch : 'a t -> 'a list
+(** Blocks until at least one message is available, then drains the queue.
+    Used to model batching servers (group commit, certifier). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Drop all queued messages (crash modelling). Parked receivers stay
+    parked. *)

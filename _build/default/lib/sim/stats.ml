@@ -1,0 +1,134 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+  let reset t = t.n <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable total : float;
+    mutable mean_acc : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () =
+    { n = 0; total = 0.; mean_acc = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+  let observe t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean_acc in
+    t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let sum t = t.total
+  let mean t = if t.n = 0 then 0. else t.mean_acc
+  let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = if t.n = 0 then 0. else t.lo
+  let max t = if t.n = 0 then 0. else t.hi
+
+  let reset t =
+    t.n <- 0;
+    t.total <- 0.;
+    t.mean_acc <- 0.;
+    t.m2 <- 0.;
+    t.lo <- infinity;
+    t.hi <- neg_infinity
+end
+
+module Histogram = struct
+  (* Bucket i covers [base^i, base^(i+1)); values below 1.0 land in a
+     dedicated underflow bucket. *)
+  type t = {
+    base : float;
+    log_base : float;
+    mutable buckets : int array;
+    mutable underflow : int;
+    mutable n : int;
+    mutable total : float;
+  }
+
+  let create ?(precision = 0.05) () =
+    let base = 1. +. (2. *. precision) in
+    { base; log_base = log base; buckets = Array.make 64 0; underflow = 0; n = 0; total = 0. }
+
+  let bucket_of t x = int_of_float (log x /. t.log_base)
+
+  let ensure t i =
+    if i >= Array.length t.buckets then begin
+      let bigger = Array.make (max (i + 1) (2 * Array.length t.buckets)) 0 in
+      Array.blit t.buckets 0 bigger 0 (Array.length t.buckets);
+      t.buckets <- bigger
+    end
+
+  let observe t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    if x < 1. then t.underflow <- t.underflow + 1
+    else begin
+      let i = bucket_of t x in
+      ensure t i;
+      t.buckets.(i) <- t.buckets.(i) + 1
+    end
+
+  let observe_time t span = observe t (float_of_int (Time.to_us span))
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+
+  let percentile t p =
+    if t.n = 0 then 0.
+    else begin
+      let target = Float.max 1. (Float.round (p *. float_of_int t.n)) in
+      let target = int_of_float target in
+      if t.underflow >= target then 0.5
+      else begin
+        let seen = ref t.underflow in
+        let result = ref 0. in
+        (try
+           Array.iteri
+             (fun i c ->
+               seen := !seen + c;
+               if !seen >= target then begin
+                 (* Midpoint of bucket i. *)
+                 result := (t.base ** float_of_int i) *. (1. +. t.base) /. 2.;
+                 raise Exit
+               end)
+             t.buckets
+         with Exit -> ());
+        !result
+      end
+    end
+
+  let median t = percentile t 0.5
+
+  let reset t =
+    Array.fill t.buckets 0 (Array.length t.buckets) 0;
+    t.underflow <- 0;
+    t.n <- 0;
+    t.total <- 0.
+end
+
+module Rate = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let tick t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let count t = t.n
+
+  let per_sec t ~window =
+    let secs = Time.to_sec window in
+    if secs <= 0. then 0. else float_of_int t.n /. secs
+
+  let reset t = t.n <- 0
+end

@@ -1,0 +1,65 @@
+(** Measurement primitives: counters, summaries, latency histograms.
+
+    All are cheap enough to keep on hot paths of the simulation. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Summary : sig
+  (** Online mean/min/max/variance (Welford). *)
+
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  (** Exponentially-bucketed histogram of positive values (e.g. response
+      times in µs). Relative bucket error is bounded by [precision]. *)
+
+  type t
+
+  val create : ?precision:float -> unit -> t
+  (** [precision] is the per-decade growth control; default gives ~5%
+      relative error. *)
+
+  val observe : t -> float -> unit
+  val observe_time : t -> Time.t -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99]; 0 when empty. *)
+
+  val median : t -> float
+  val reset : t -> unit
+end
+
+module Rate : sig
+  (** Events per second over an explicit observation window. *)
+
+  type t
+
+  val create : unit -> t
+  val tick : t -> unit
+  val add : t -> int -> unit
+  val count : t -> int
+
+  val per_sec : t -> window:Time.t -> float
+  val reset : t -> unit
+end

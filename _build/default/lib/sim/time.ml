@@ -1,0 +1,39 @@
+type t = int
+
+let zero = 0
+let is_zero t = t = 0
+let of_us us = us
+let of_ms msec = int_of_float (msec *. 1_000.)
+let of_sec s = int_of_float (s *. 1_000_000.)
+let us n = n
+let ms n = n * 1_000
+let sec n = n * 1_000_000
+let to_us t = t
+let to_ms t = float_of_int t /. 1_000.
+let to_sec t = float_of_int t /. 1_000_000.
+let add = ( + )
+let sub = ( - )
+let diff later earlier = later - earlier
+let scale t f = int_of_float (float_of_int t *. f)
+let mul t n = t * n
+let div t n = t / n
+
+let ratio a b =
+  assert (b <> 0);
+  float_of_int a /. float_of_int b
+
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+
+let pp fmt t =
+  if t >= 1_000_000 then Format.fprintf fmt "%.3fs" (to_sec t)
+  else if t >= 1_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else Format.fprintf fmt "%dus" t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,15 @@
+(** Condition-variable-style wait queue.
+
+    Fibers park with {!wait}; other code wakes one or all of them. Unlike a
+    mailbox there is no value transfer and no memory: a signal with no waiter
+    is lost, so callers must re-check their predicate after waking. *)
+
+type t
+
+val create : Engine.t -> ?name:string -> unit -> t
+val name : t -> string
+val wait : t -> unit
+val signal : t -> unit
+
+val broadcast : t -> unit
+val waiters : t -> int

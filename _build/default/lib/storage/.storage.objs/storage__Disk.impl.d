@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Engine Resource Rng Sim Stats Time

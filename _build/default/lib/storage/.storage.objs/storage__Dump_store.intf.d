@@ -1,0 +1,1 @@
+lib/storage/dump_store.mli:

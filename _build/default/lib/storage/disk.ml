@@ -1,0 +1,94 @@
+open Sim
+
+type config = {
+  fsync_lo : Time.t;
+  fsync_hi : Time.t;
+  position_lo : Time.t;
+  position_hi : Time.t;
+  bandwidth_bytes_per_sec : float;
+}
+
+let default_hdd =
+  {
+    fsync_lo = Time.of_ms 6.;
+    fsync_hi = Time.of_ms 12.;
+    position_lo = Time.of_ms 4.;
+    position_hi = Time.of_ms 9.;
+    bandwidth_bytes_per_sec = 55_000_000.;
+  }
+
+let ram_config =
+  {
+    fsync_lo = Time.us 3;
+    fsync_hi = Time.us 6;
+    position_lo = Time.us 1;
+    position_hi = Time.us 2;
+    bandwidth_bytes_per_sec = 2_000_000_000.;
+  }
+
+type t = {
+  rng : Rng.t;
+  config : config;
+  channel : Resource.t;
+  engine : Engine.t;
+  label : string;
+  ram : bool;
+  fsync_count : Stats.Counter.t;
+  read_count : Stats.Counter.t;
+  write_count : Stats.Counter.t;
+  synced_bytes : Stats.Counter.t;
+}
+
+let create engine ~rng ?(config = default_hdd) ?(name = "disk") () =
+  {
+    rng;
+    config;
+    channel = Resource.create engine ~name ~capacity:1 ();
+    engine;
+    label = name;
+    ram = false;
+    fsync_count = Stats.Counter.create ();
+    read_count = Stats.Counter.create ();
+    write_count = Stats.Counter.create ();
+    synced_bytes = Stats.Counter.create ();
+  }
+
+let create_ram engine ~rng ?(name = "ramdisk") () =
+  { (create engine ~rng ~config:ram_config ~name ()) with ram = true }
+
+let name t = t.label
+let is_ram t = t.ram
+
+let transfer_time t bytes =
+  Time.of_sec (float_of_int bytes /. t.config.bandwidth_bytes_per_sec)
+
+let occupy t duration = Resource.use t.channel duration
+
+let fsync t ~bytes =
+  let latency = Rng.time_uniform t.rng ~lo:t.config.fsync_lo ~hi:t.config.fsync_hi in
+  occupy t (Time.add latency (transfer_time t bytes));
+  Stats.Counter.incr t.fsync_count;
+  Stats.Counter.add t.synced_bytes bytes
+
+let page_io t counter ~bytes =
+  let latency =
+    Rng.time_uniform t.rng ~lo:t.config.position_lo ~hi:t.config.position_hi
+  in
+  occupy t (Time.add latency (transfer_time t bytes));
+  Stats.Counter.incr counter
+
+let read t ~bytes = page_io t t.read_count ~bytes
+let write t ~bytes = page_io t t.write_count ~bytes
+
+let fsyncs t = Stats.Counter.value t.fsync_count
+let reads t = Stats.Counter.value t.read_count
+let writes t = Stats.Counter.value t.write_count
+let bytes_synced t = Stats.Counter.value t.synced_bytes
+let utilization t = Resource.utilization t.channel
+let queue_length t = Resource.queue_length t.channel
+
+let reset_stats t =
+  Stats.Counter.reset t.fsync_count;
+  Stats.Counter.reset t.read_count;
+  Stats.Counter.reset t.write_count;
+  Stats.Counter.reset t.synced_bytes

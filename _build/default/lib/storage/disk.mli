@@ -1,0 +1,55 @@
+(** Disk device model.
+
+    A single-channel FIFO device: one operation at a time, in request order
+    — this is exactly what makes a "shared IO channel" (paper §9.2) hurt:
+    page reads and log fsyncs queue behind each other. Three operation kinds
+    are distinguished so benchmarks can report their mix:
+
+    - [fsync]: synchronous log flush. Cost = a random latency drawn from the
+      configured range (the paper measured 6–12 ms, ~8 ms typical) plus the
+      transfer time of the bytes being flushed.
+    - [read]/[write]: data-page IO. Cost = positioning latency + transfer.
+
+    A [ram] disk (paper: database in ramdisk) has microsecond costs, used to
+    model a dedicated logging channel by moving page IO off the real disk. *)
+
+type t
+
+type config = {
+  fsync_lo : Sim.Time.t;
+  fsync_hi : Sim.Time.t;
+  position_lo : Sim.Time.t;  (** seek+rotate for a page IO *)
+  position_hi : Sim.Time.t;
+  bandwidth_bytes_per_sec : float;
+}
+
+val default_hdd : config
+(** The paper's 120 GB 7200 rpm drive: fsync 6–12 ms, page IO 4–9 ms,
+    ~55 MB/s sequential. *)
+
+val ram_config : config
+
+val create : Sim.Engine.t -> rng:Sim.Rng.t -> ?config:config -> ?name:string -> unit -> t
+val create_ram : Sim.Engine.t -> rng:Sim.Rng.t -> ?name:string -> unit -> t
+
+val name : t -> string
+val is_ram : t -> bool
+
+(** {1 Blocking operations (fiber context)} *)
+
+val fsync : t -> bytes:int -> unit
+val read : t -> bytes:int -> unit
+val write : t -> bytes:int -> unit
+
+(** {1 Statistics} *)
+
+val fsyncs : t -> int
+val reads : t -> int
+val writes : t -> int
+val bytes_synced : t -> int
+val utilization : t -> float
+val queue_length : t -> int
+
+val reset_stats : t -> unit
+(** Clear the operation counters (e.g. after warm-up); utilisation keeps
+    integrating from creation. *)

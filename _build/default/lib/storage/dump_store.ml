@@ -1,0 +1,30 @@
+type 'state copy = { version : int; bytes : int; state : 'state; mutable intact : bool }
+
+type 'state t = { keep : int; mutable copies : 'state copy list (* newest first *) }
+
+let create ?(keep = 2) () =
+  if keep < 1 then invalid_arg "Dump_store.create: keep must be >= 1";
+  { keep; copies = [] }
+
+let take n xs =
+  let rec loop n xs acc =
+    match (n, xs) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> loop (n - 1) rest (x :: acc)
+  in
+  loop n xs []
+
+let put t ~version ~bytes state =
+  t.copies <- take t.keep ({ version; bytes; state; intact = true } :: t.copies)
+
+let invalidate_latest t =
+  match t.copies with [] -> () | newest :: _ -> newest.intact <- false
+
+let latest t =
+  let rec first_intact = function
+    | [] -> None
+    | c :: rest -> if c.intact then Some (c.version, c.bytes, c.state) else first_intact rest
+  in
+  first_intact t.copies
+
+let count t = List.length t.copies

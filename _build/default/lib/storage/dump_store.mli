@@ -1,0 +1,25 @@
+(** Backup copies of a database for middleware-driven recovery.
+
+    Tashkent-MW (paper §7.1 case 1) periodically asks the replica database
+    for a complete dump and keeps the last two copies: if the database
+    crashes while writing the newest dump, the previous one is still intact.
+    Each dump records the replica version it reflects so that recovery knows
+    which remote writesets to replay afterwards. *)
+
+type 'state t
+
+val create : ?keep:int -> unit -> 'state t
+(** [keep] is the number of retained copies, default 2 (the paper's
+    scheme). *)
+
+val put : 'state t -> version:int -> bytes:int -> 'state -> unit
+(** Store a completed dump. Older copies beyond [keep] are discarded. *)
+
+val invalidate_latest : 'state t -> unit
+(** Mark the newest copy corrupt — models a crash in the middle of taking a
+    dump; recovery then falls back to the previous copy. *)
+
+val latest : 'state t -> (int * int * 'state) option
+(** [(version, bytes, state)] of the newest intact copy. *)
+
+val count : 'state t -> int

@@ -1,0 +1,113 @@
+open Sim
+
+type 'r t = {
+  engine : Engine.t;
+  disk : Disk.t;
+  label : string;
+  mutable sync_writes : bool;
+  mutable records : 'r array; (* dense, index = lsn - 1 *)
+  mutable size : int;
+  mutable durable : int; (* durable lsn *)
+  mutable unsynced_bytes : int;
+  mutable syncing : bool;
+  mutable waiters : (int * (unit -> unit)) list; (* target lsn, resume *)
+  syncs : Stats.Counter.t;
+  synced_records : Stats.Counter.t;
+  group_sizes : Stats.Summary.t;
+}
+
+let create engine ~disk ?(synchronous = true) ?(name = "wal") () =
+  {
+    engine;
+    disk;
+    label = name;
+    sync_writes = synchronous;
+    (* slots beyond [size] are never read; see Sim.Heap for the idiom *)
+    records = Array.make 64 (Obj.magic 0);
+    size = 0;
+    durable = 0;
+    unsynced_bytes = 0;
+    syncing = false;
+    waiters = [];
+    syncs = Stats.Counter.create ();
+    synced_records = Stats.Counter.create ();
+    group_sizes = Stats.Summary.create ();
+  }
+
+let name t = t.label
+let synchronous t = t.sync_writes
+let set_synchronous t flag = t.sync_writes <- flag
+let last_lsn t = t.size
+let durable_lsn t = t.durable
+
+let append t ~bytes r =
+  if t.size = Array.length t.records then begin
+    let bigger = Array.make (2 * t.size) t.records.(0) in
+    Array.blit t.records 0 bigger 0 t.size;
+    t.records <- bigger
+  end;
+  t.records.(t.size) <- r;
+  t.size <- t.size + 1;
+  t.unsynced_bytes <- t.unsynced_bytes + bytes;
+  t.size
+
+(* Flush loop: one in-flight fsync at a time; each flush covers everything
+   appended before it starts, so concurrent committers group naturally. *)
+let rec start_flush t =
+  if (not t.syncing) && t.durable < t.size then begin
+    t.syncing <- true;
+    ignore
+      (Engine.spawn t.engine ~name:(t.label ^ ".writer") (fun () ->
+           (* Capture the batch when the writer actually runs, so appends
+              made at the same instant share this fsync. *)
+           let target = t.size in
+           let bytes = t.unsynced_bytes in
+           t.unsynced_bytes <- 0;
+           Disk.fsync t.disk ~bytes;
+           let group = target - t.durable in
+           t.durable <- target;
+           Stats.Counter.incr t.syncs;
+           Stats.Counter.add t.synced_records group;
+           Stats.Summary.observe t.group_sizes (float_of_int group);
+           let ready, blocked = List.partition (fun (lsn, _) -> lsn <= target) t.waiters in
+           t.waiters <- blocked;
+           List.iter
+             (fun (_, resume) -> Engine.schedule_after t.engine Time.zero resume)
+             (List.rev ready);
+           t.syncing <- false;
+           if t.waiters <> [] then start_flush t))
+  end
+
+let wait_durable t target =
+  if target > t.durable then begin
+    Engine.suspend t.engine (fun resume ->
+        t.waiters <- (target, fun () -> resume ()) :: t.waiters;
+        start_flush t)
+  end
+
+let append_and_sync t ~bytes r =
+  let lsn = append t ~bytes r in
+  if t.sync_writes then wait_durable t lsn;
+  lsn
+
+let sync t = if t.sync_writes then wait_durable t t.size
+
+let records_from t lsn =
+  let rec collect i acc = if i <= lsn then acc else collect (i - 1) (t.records.(i - 1) :: acc) in
+  collect t.durable []
+
+let crash t =
+  let lost = t.size - t.durable in
+  t.size <- t.durable;
+  t.unsynced_bytes <- 0;
+  t.waiters <- [];
+  lost
+
+let sync_count t = Stats.Counter.value t.syncs
+let records_synced t = Stats.Counter.value t.synced_records
+let mean_group_size t = Stats.Summary.mean t.group_sizes
+
+let reset_stats t =
+  Stats.Counter.reset t.syncs;
+  Stats.Counter.reset t.synced_records;
+  Stats.Summary.reset t.group_sizes

@@ -1,0 +1,57 @@
+(** Write-ahead log with group commit.
+
+    Carries typed records so that recovery can actually redo them. Appends
+    are in-memory; durability happens on [sync]/[append_and_sync], where the
+    single-writer discipline batches every record appended since the last
+    flush into one device [fsync] — the group-commit optimisation whose loss
+    is the subject of the paper.
+
+    With [synchronous = false] the log never touches the device (PostgreSQL
+    with WAL synchronous writes disabled, paper §7.1 case 1): commits are
+    fast but the un-synced tail — which is everything — is lost on {!crash}. *)
+
+type 'r t
+
+val create :
+  Sim.Engine.t -> disk:Disk.t -> ?synchronous:bool -> ?name:string -> unit -> 'r t
+
+val name : 'r t -> string
+val synchronous : 'r t -> bool
+val set_synchronous : 'r t -> bool -> unit
+
+(** {1 Appending} *)
+
+val append : 'r t -> bytes:int -> 'r -> int
+(** Buffer a record, returning its LSN (1-based, dense). Non-blocking. *)
+
+val append_and_sync : 'r t -> bytes:int -> 'r -> int
+(** Append, then block until the record is durable (or return immediately
+    in asynchronous mode). Concurrent callers share fsyncs. *)
+
+val sync : 'r t -> unit
+(** Block until everything appended so far is durable. No-op in
+    asynchronous mode or when already durable. *)
+
+(** {1 State} *)
+
+val last_lsn : 'r t -> int
+val durable_lsn : 'r t -> int
+
+val records_from : 'r t -> int -> 'r list
+(** [records_from t lsn] returns the durable records with LSN > [lsn] in
+    append order — the redo stream. *)
+
+val crash : 'r t -> int
+(** Lose the un-synced tail, returning how many records were dropped. The
+    durable prefix survives and remains readable. *)
+
+(** {1 Statistics} *)
+
+val sync_count : 'r t -> int
+val records_synced : 'r t -> int
+
+val mean_group_size : 'r t -> float
+(** Mean number of records made durable per fsync — the paper's
+    "writesets per fsync" metric (§9.2 reports ~29 for Tashkent-MW). *)
+
+val reset_stats : 'r t -> unit

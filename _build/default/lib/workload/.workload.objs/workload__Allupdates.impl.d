@@ -1,0 +1,1 @@
+lib/workload/allupdates.ml: List Mvcc Printf Rng Sim Spec Time

@@ -1,0 +1,1 @@
+lib/workload/allupdates.mli: Spec

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Engine Mvcc Printf Resource Rng Sim Spec Stats Tashkent Time

@@ -1,0 +1,1 @@
+lib/workload/tpcb.ml: Hashtbl List Mvcc Option Printf Rng Sim Spec String Time

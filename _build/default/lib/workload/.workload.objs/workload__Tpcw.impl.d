@@ -1,0 +1,1 @@
+lib/workload/tpcw.ml: Hashtbl List Mvcc Option Printf Rng Sim Spec String Time

@@ -1,0 +1,40 @@
+open Sim
+
+let rows_per_client = 64
+
+let key ~replica_ix ~client ~row =
+  Mvcc.Key.make ~table:"au" ~row:(Printf.sprintf "%d.%d.%d" replica_ix client row)
+
+let profile ?(clients_per_replica = 10) () =
+  {
+    Spec.name = "allupdates";
+    clients_per_replica;
+    think_time = Time.zero;
+    exec_cpu = (fun _ -> Time.of_ms 1.65);
+    page_read_miss = 0.;
+    page_writeback_per_op = 0.;
+    bg_page_writes_per_sec = 12.;
+    db_size_bytes = 30_000_000;
+    initial_rows =
+      (fun ~n_replicas ->
+        List.concat
+          (List.init n_replicas (fun replica_ix ->
+               List.concat
+                 (List.init clients_per_replica (fun client ->
+                      List.init rows_per_client (fun row ->
+                          (key ~replica_ix ~client ~row, Mvcc.Value.int 0)))))));
+    new_tx =
+      (fun ~rng ~client ~replica_ix ~n_replicas:_ ->
+        let row1 = Rng.int rng rows_per_client in
+        let row2 = (row1 + 1 + Rng.int rng (rows_per_client - 1)) mod rows_per_client in
+        let value = Rng.int rng 1_000_000 in
+        {
+          Spec.kind = Spec.Update;
+          run =
+            (fun ctx ->
+              ctx.Spec.write (key ~replica_ix ~client ~row:row1)
+                (Mvcc.Writeset.Update (Mvcc.Value.int value));
+              ctx.Spec.write (key ~replica_ix ~client ~row:row2)
+                (Mvcc.Writeset.Update (Mvcc.Value.int (value + 1))));
+        });
+  }

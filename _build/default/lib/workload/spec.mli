@@ -1,0 +1,33 @@
+(** Workload descriptions, decoupled from what executes them (a replicated
+    proxy or a standalone database). *)
+
+(** The operations a transaction body may perform. [abort_requested] lets a
+    body roll itself back (unused by the paper's benchmarks but part of a
+    complete client API). *)
+type txctx = {
+  read : Mvcc.Key.t -> Mvcc.Value.t option;
+  write : Mvcc.Key.t -> Mvcc.Writeset.op -> unit;
+      (** raises {!Tx_failed} when the executor reports an abort *)
+  client_rng : Sim.Rng.t;
+}
+
+exception Tx_failed
+
+type kind = Read_only | Update
+
+type tx_body = { kind : kind; run : txctx -> unit }
+
+type t = {
+  name : string;
+  clients_per_replica : int;
+  think_time : Sim.Time.t;
+  exec_cpu : Sim.Rng.t -> Sim.Time.t;
+      (** CPU service demand of one transaction, drawn per transaction *)
+  page_read_miss : float;
+  page_writeback_per_op : float;
+  bg_page_writes_per_sec : float;
+  db_size_bytes : int;
+  initial_rows : n_replicas:int -> (Mvcc.Key.t * Mvcc.Value.t) list;
+  new_tx :
+    rng:Sim.Rng.t -> client:int -> replica_ix:int -> n_replicas:int -> tx_body;
+}

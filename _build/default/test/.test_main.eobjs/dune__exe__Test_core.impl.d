@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cert_log Certifier Cluster Engine Format List Mvcc Net Option Proxy QCheck QCheck_alcotest Replica Rng Sim Tashkent Time Types

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Cert_client Certifier Engine Format Hashtbl List Mailbox Mvcc Net Printf Proxy QCheck QCheck_alcotest Rng Sim Tashkent Time Types

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_core_units Test_harness Test_mvcc Test_net Test_paxos Test_sim Test_storage Test_workload

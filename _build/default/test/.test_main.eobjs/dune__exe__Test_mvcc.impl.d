@@ -1,0 +1,1 @@
+test/test_mvcc.ml: Alcotest Commit_order Db Engine Fmt Format Gen Key List Locks Mvcc Option QCheck QCheck_alcotest Rng Sim Storage Store Time Value Writeset

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Hashtbl List Mailbox Net QCheck QCheck_alcotest Rng Sim Time

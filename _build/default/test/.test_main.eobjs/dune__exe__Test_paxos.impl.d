@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Engine Hashtbl List Mailbox Net Paxos Printf QCheck QCheck_alcotest Rng Sim Storage String Time

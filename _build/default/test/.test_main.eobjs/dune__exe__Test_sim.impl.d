@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine Fun Heap Ivar List Mailbox Printf QCheck QCheck_alcotest Resource Rng Sim Stats Time Waitq

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Engine List QCheck QCheck_alcotest Rng Sim Storage Time

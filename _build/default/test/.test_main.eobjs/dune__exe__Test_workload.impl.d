@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Engine Hashtbl List Mvcc Printf Resource Rng Sim Storage Time Workload

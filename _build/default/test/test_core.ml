@@ -1,0 +1,524 @@
+(* End-to-end tests of the replication middleware: certification log,
+   certifier group, proxy behaviour, the three system modes, fault
+   tolerance and the prefix-consistency safety invariant. *)
+
+open Sim
+open Tashkent
+
+let k table row = Mvcc.Key.make ~table ~row
+let vi n = Mvcc.Value.int n
+let upd n = Mvcc.Writeset.Update (vi n)
+let ws1 key n = Mvcc.Writeset.singleton key (upd n)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Cert_log *)
+
+let entry version origin req_id ws = { Types.version; origin; req_id; ws }
+
+let test_cert_log_append_and_certify () =
+  let log = Cert_log.create () in
+  Cert_log.append log (entry 1 "r0" 1 (ws1 (k "t" "a") 1));
+  Cert_log.append log (entry 2 "r1" 2 (ws1 (k "t" "b") 2));
+  Cert_log.append log (entry 3 "r0" 3 (ws1 (k "t" "a") 3));
+  check_int "version" 3 (Cert_log.version log);
+  (* conflicting writeset started at version 0 *)
+  Alcotest.(check (option int)) "conflict newest" (Some 3)
+    (Cert_log.certify log (ws1 (k "t" "a") 9) ~start_version:0);
+  Alcotest.(check (option int)) "no conflict after 3" None
+    (Cert_log.certify log (ws1 (k "t" "a") 9) ~start_version:3);
+  Alcotest.(check (option int)) "disjoint key passes" None
+    (Cert_log.certify log (ws1 (k "t" "zz") 9) ~start_version:0);
+  (* dense version check *)
+  match Cert_log.append log (entry 5 "r0" 9 (ws1 (k "t" "c") 1)) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "gap in versions must be rejected"
+
+let test_cert_log_entries_between () =
+  let log = Cert_log.create () in
+  for v = 1 to 5 do
+    Cert_log.append log (entry v "r0" v (ws1 (k "t" (string_of_int v)) v))
+  done;
+  let versions lo hi =
+    List.map (fun (e : Types.entry) -> e.version) (Cert_log.entries_between log ~lo ~hi)
+  in
+  Alcotest.(check (list int)) "window (2,4]" [ 3; 4 ] (versions 2 4);
+  Alcotest.(check (list int)) "clamped hi" [ 5 ] (versions 4 99);
+  Alcotest.(check (list int)) "empty window" [] (versions 5 5)
+
+let test_cert_log_back_certify () =
+  let log = Cert_log.create () in
+  Cert_log.append log (entry 1 "r0" 1 (ws1 (k "t" "x") 1));
+  Cert_log.append log (entry 2 "r1" 2 (ws1 (k "t" "y") 2));
+  Cert_log.append log (entry 3 "r2" 3 (ws1 (k "t" "x") 3));
+  (* entry 3 conflicts with entry 1 when checked back to version 0 *)
+  Alcotest.(check (option int)) "finds older conflict" (Some 1)
+    (Cert_log.back_certify log ~version:3 ~down_to:0);
+  (* entry 2 is conflict-free all the way down *)
+  Alcotest.(check (option int)) "no conflict" None
+    (Cert_log.back_certify log ~version:2 ~down_to:0);
+  let scans = Cert_log.back_certifications log in
+  (* repeating the same check is memoised *)
+  ignore (Cert_log.back_certify log ~version:2 ~down_to:0);
+  check_int "memoised" scans (Cert_log.back_certifications log)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster helpers *)
+
+let quick_replica mode =
+  {
+    (Replica.default_config mode) with
+    Replica.exec_cpu = Time.us 200;
+    staleness_bound = Some (Time.of_ms 200.);
+  }
+
+let make_cluster ?(mode = Types.Base) ?(n_replicas = 3) ?(n_certifiers = 3) ?(seed = 7)
+    ?(certifier = Certifier.default_config) ?replica () =
+  let replica = Option.value ~default:(quick_replica mode) replica in
+  let cfg =
+    { Cluster.mode; n_replicas; n_certifiers; certifier; replica; seed }
+  in
+  let c = Cluster.create cfg in
+  Cluster.load_all c
+    [ (k "t" "a", vi 0); (k "t" "b", vi 0); (k "t" "c", vi 0); (k "t" "d", vi 0) ];
+  Cluster.settle c;
+  c
+
+let run_for c span =
+  Engine.run ~until:(Time.add (Engine.now (Cluster.engine c)) span) (Cluster.engine c)
+
+(* Run one update transaction on replica [i]; store the outcome. *)
+let submit_tx c i ~key ~value outcome =
+  let r = Cluster.replica c i in
+  let p = Replica.proxy r in
+  ignore
+    (Engine.spawn (Cluster.engine c) ~name:"client" (fun () ->
+         let tx = Proxy.begin_tx p in
+         Replica.use_cpu r (Replica.config r).Replica.exec_cpu;
+         match Proxy.write p tx key (upd value) with
+         | Error f ->
+             Proxy.abort p tx;
+             outcome := Some (Error f)
+         | Ok () -> outcome := Some (Proxy.commit p tx)))
+
+let expect_commit msg = function
+  | Some (Ok ()) -> ()
+  | Some (Error f) -> Alcotest.fail (Format.asprintf "%s: failed: %a" msg Proxy.pp_failure f)
+  | None -> Alcotest.fail (msg ^ ": transaction never finished")
+
+let check_consistent c =
+  match Cluster.check_consistency c with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("inconsistent: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end per mode *)
+
+let test_mode_replicates mode () =
+  let c = make_cluster ~mode () in
+  let o1 = ref None and o2 = ref None and o3 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:10 o1;
+  submit_tx c 1 ~key:(k "t" "b") ~value:20 o2;
+  submit_tx c 2 ~key:(k "t" "c") ~value:30 o3;
+  run_for c (Time.sec 3);
+  expect_commit "tx1" !o1;
+  expect_commit "tx2" !o2;
+  expect_commit "tx3" !o3;
+  (* staleness bound has propagated everything everywhere *)
+  List.iter
+    (fun r ->
+      let db = Replica.db r in
+      let got key =
+        match Mvcc.Db.read_committed db key with
+        | Some v -> Mvcc.Value.as_int v
+        | None -> -1
+      in
+      check_int (Replica.name r ^ " a") 10 (got (k "t" "a"));
+      check_int (Replica.name r ^ " b") 20 (got (k "t" "b"));
+      check_int (Replica.name r ^ " c") 30 (got (k "t" "c")))
+    (Cluster.replicas c);
+  check_consistent c
+
+let test_conflict_aborts_one () =
+  let c = make_cluster () in
+  let o1 = ref None and o2 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:1 o1;
+  submit_tx c 1 ~key:(k "t" "a") ~value:2 o2;
+  run_for c (Time.sec 3);
+  let commits =
+    List.length
+      (List.filter (fun o -> match !o with Some (Ok ()) -> true | _ -> false) [ o1; o2 ])
+  in
+  let cert_aborts =
+    List.length
+      (List.filter
+         (fun o ->
+           match !o with
+           | Some (Error (Proxy.Cert_abort Types.Ww_conflict)) -> true
+           | _ -> false)
+         [ o1; o2 ])
+  in
+  check_int "one committed" 1 commits;
+  check_int "one certification abort" 1 cert_aborts;
+  check_consistent c
+
+let test_sequential_same_key_both_commit () =
+  (* Non-concurrent writers to the same key never conflict. *)
+  let c = make_cluster () in
+  let o1 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:1 o1;
+  run_for c (Time.sec 2);
+  expect_commit "first" !o1;
+  let o2 = ref None in
+  submit_tx c 1 ~key:(k "t" "a") ~value:2 o2;
+  run_for c (Time.sec 2);
+  expect_commit "second" !o2;
+  check_consistent c
+
+let test_read_only_never_blocks () =
+  let c = make_cluster () in
+  let p = Replica.proxy (Cluster.replica c 0) in
+  let elapsed = ref Time.zero in
+  ignore
+    (Engine.spawn (Cluster.engine c) (fun () ->
+         let started = Engine.now (Cluster.engine c) in
+         let tx = Proxy.begin_tx p in
+         ignore (Proxy.read p tx (k "t" "a"));
+         (match Proxy.commit p tx with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "read-only transactions always commit");
+         elapsed := Time.diff (Engine.now (Cluster.engine c)) started));
+  run_for c (Time.sec 1);
+  check_bool "no certifier round-trip" true Time.(!elapsed < Time.of_ms 1.);
+  check_int "counted as read-only" 1 (Proxy.stats p).Proxy.read_only_commits
+
+let test_snapshot_reads_at_replica () =
+  (* A transaction reads its snapshot even while newer versions land. *)
+  let c = make_cluster () in
+  let p0 = Replica.proxy (Cluster.replica c 0) in
+  let observed = ref (-1) in
+  ignore
+    (Engine.spawn (Cluster.engine c) (fun () ->
+         let tx = Proxy.begin_tx p0 in
+         ignore (Proxy.read p0 tx (k "t" "a"));
+         Engine.sleep (Cluster.engine c) (Time.sec 1);
+         (match Proxy.read p0 tx (k "t" "a") with
+         | Some v -> observed := Mvcc.Value.as_int v
+         | None -> ());
+         Proxy.abort p0 tx));
+  let o = ref None in
+  submit_tx c 1 ~key:(k "t" "a") ~value:99 o;
+  run_for c (Time.sec 3);
+  expect_commit "writer" !o;
+  check_int "snapshot unchanged" 0 !observed
+
+let test_api_artificial_conflict_serialized () =
+  (* Two sequential commits to the same key on replica 1 produce remote
+     writesets that artificially conflict at replica 0 (Tashkent-API). *)
+  let c = make_cluster ~mode:Types.Tashkent_api () in
+  (* Disable the refresher on replica 0? Not needed: the conflict info
+     travels with fetch replies too. Make replica 1 commit twice, then have
+     replica 0 commit once so the reply carries both remotes. *)
+  let o1 = ref None and o2 = ref None in
+  submit_tx c 1 ~key:(k "t" "a") ~value:1 o1;
+  run_for c (Time.of_ms 300.);
+  submit_tx c 1 ~key:(k "t" "a") ~value:2 o2;
+  run_for c (Time.of_ms 300.);
+  expect_commit "first" !o1;
+  expect_commit "second" !o2;
+  let o3 = ref None in
+  submit_tx c 0 ~key:(k "t" "b") ~value:3 o3;
+  run_for c (Time.sec 2);
+  expect_commit "third" !o3;
+  check_consistent c;
+  let applied = (Proxy.stats (Replica.proxy (Cluster.replica c 0))).Proxy.remote_ws_applied in
+  check_bool "replica0 applied both remotes" true (applied >= 2)
+
+let test_certifier_leader_crash_progress () =
+  let c = make_cluster () in
+  let o1 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:1 o1;
+  run_for c (Time.sec 2);
+  expect_commit "before crash" !o1;
+  (match Cluster.leader c with
+  | Some leader -> Certifier.crash leader
+  | None -> Alcotest.fail "no leader");
+  (* new transactions keep committing after failover (retries) *)
+  let o2 = ref None in
+  submit_tx c 1 ~key:(k "t" "b") ~value:2 o2;
+  run_for c (Time.sec 5);
+  expect_commit "after failover" !o2;
+  check_consistent c
+
+let test_certifier_recover_rejoins () =
+  let c = make_cluster () in
+  let victim = List.hd (Cluster.certifiers c) in
+  Certifier.crash victim;
+  let o = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:5 o;
+  run_for c (Time.sec 4);
+  expect_commit "with one certifier down" !o;
+  Certifier.recover victim;
+  run_for c (Time.sec 4);
+  (* the recovered certifier catches up on the log via state transfer *)
+  check_int "log caught up" (Certifier.system_version victim)
+    (match Cluster.leader c with
+    | Some l -> Certifier.system_version l
+    | None -> -1)
+
+let test_replica_crash_recover_base () =
+  let c = make_cluster ~mode:Types.Base () in
+  let o1 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:7 o1;
+  run_for c (Time.sec 2);
+  expect_commit "committed before crash" !o1;
+  let r0 = Cluster.replica c 0 in
+  Replica.crash r0;
+  (* other replicas continue *)
+  let o2 = ref None in
+  submit_tx c 1 ~key:(k "t" "b") ~value:8 o2;
+  run_for c (Time.sec 2);
+  expect_commit "progress while down" !o2;
+  let report = ref None in
+  ignore
+    (Engine.spawn (Cluster.engine c) (fun () -> report := Some (Replica.recover r0)));
+  run_for c (Time.sec 10);
+  (match !report with
+  | Some rep ->
+      check_bool "restored own commit from WAL" true (rep.Replica.restored_version >= 1);
+      check_bool "replayed missed writesets" true (rep.Replica.writesets_replayed >= 1)
+  | None -> Alcotest.fail "recovery did not finish");
+  check_consistent c;
+  (* no committed transaction was lost *)
+  let got key =
+    match Mvcc.Db.read_committed (Replica.db r0) key with
+    | Some v -> Mvcc.Value.as_int v
+    | None -> -1
+  in
+  check_int "own commit survived" 7 (got (k "t" "a"));
+  check_int "missed commit replayed" 8 (got (k "t" "b"))
+
+let test_replica_crash_recover_mw_dump () =
+  let replica =
+    {
+      (quick_replica Types.Tashkent_mw) with
+      Replica.mw_recovery = Replica.Dump_based { interval = Time.sec 2 };
+      db_size_bytes = 1_000_000;
+    }
+  in
+  let c = make_cluster ~mode:Types.Tashkent_mw ~replica () in
+  let o1 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:7 o1;
+  run_for c (Time.sec 3);
+  expect_commit "committed" !o1;
+  (* wait for a dump to be taken *)
+  run_for c (Time.sec 3);
+  let r0 = Cluster.replica c 0 in
+  check_bool "dump taken" true (Replica.dumps_taken r0 >= 1);
+  let o2 = ref None in
+  submit_tx c 1 ~key:(k "t" "b") ~value:9 o2;
+  run_for c (Time.sec 2);
+  expect_commit "second" !o2;
+  Replica.crash r0;
+  let report = ref None in
+  ignore
+    (Engine.spawn (Cluster.engine c) (fun () -> report := Some (Replica.recover r0)));
+  run_for c (Time.sec 30);
+  (match !report with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recovery did not finish");
+  check_consistent c;
+  let got key =
+    match Mvcc.Db.read_committed (Replica.db r0) key with
+    | Some v -> Mvcc.Value.as_int v
+    | None -> -1
+  in
+  check_int "pre-crash commit survives (durability in middleware)" 7 (got (k "t" "a"));
+  check_int "missed commit replayed" 9 (got (k "t" "b"))
+
+let test_replica_crash_recover_mw_integrity_kept () =
+  let replica =
+    {
+      (quick_replica Types.Tashkent_mw) with
+      Replica.mw_recovery = Replica.Integrity_kept { wal_sync_interval = Time.of_ms 100. };
+    }
+  in
+  let c = make_cluster ~mode:Types.Tashkent_mw ~replica () in
+  let o1 = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:7 o1;
+  run_for c (Time.sec 2);
+  expect_commit "committed" !o1;
+  run_for c (Time.sec 1);
+  let r0 = Cluster.replica c 0 in
+  Replica.crash r0;
+  let report = ref None in
+  ignore
+    (Engine.spawn (Cluster.engine c) (fun () -> report := Some (Replica.recover r0)));
+  run_for c (Time.sec 10);
+  check_consistent c;
+  check_int "commit recovered from synced WAL prefix" 7
+    (match Mvcc.Db.read_committed (Replica.db r0) (k "t" "a") with
+    | Some v -> Mvcc.Value.as_int v
+    | None -> -1)
+
+let test_staleness_bound_refreshes_idle_replica () =
+  let c = make_cluster () in
+  let o = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:42 o;
+  run_for c (Time.sec 2);
+  expect_commit "writer" !o;
+  (* replica 2 received nothing directly; the refresher must pull it *)
+  run_for c (Time.sec 2);
+  let r2 = Cluster.replica c 2 in
+  check_int "idle replica caught up" 42
+    (match Mvcc.Db.read_committed (Replica.db r2) (k "t" "a") with
+    | Some v -> Mvcc.Value.as_int v
+    | None -> -1);
+  check_bool "used a fetch" true ((Proxy.stats (Replica.proxy r2)).Proxy.refreshes >= 1)
+
+let test_forced_abort_rate () =
+  let certifier = { Certifier.default_config with forced_abort_rate = 1.0 } in
+  let c = make_cluster ~certifier () in
+  let o = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:1 o;
+  run_for c (Time.sec 2);
+  (match !o with
+  | Some (Error (Proxy.Cert_abort Types.Forced)) -> ()
+  | _ -> Alcotest.fail "expected forced abort");
+  check_consistent c
+
+
+let test_partitioned_replica_retries_until_heal () =
+  let c = make_cluster () in
+  let net = Cluster.network c in
+  let r0 = Replica.name (Cluster.replica c 0) in
+  List.iter (fun cert -> Net.Network.partition net r0 cert) (Cluster.certifier_ids c);
+  let o = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:1 o;
+  run_for c (Time.sec 2);
+  check_bool "commit stuck while partitioned" true (!o = None);
+  List.iter (fun cert -> Net.Network.heal net r0 cert) (Cluster.certifier_ids c);
+  run_for c (Time.sec 3);
+  expect_commit "commits after heal" !o;
+  check_consistent c
+
+let test_local_certification_promotes_start () =
+  let c = make_cluster () in
+  let p0 = Replica.proxy (Cluster.replica c 0) in
+  (* Client A opens a transaction, then B commits while A is still open; by
+     A's commit time the database is ahead of A's start version, so the
+     proxy promotes A's effective start (6.2). *)
+  ignore
+    (Engine.spawn (Cluster.engine c) (fun () ->
+         let txa = Proxy.begin_tx p0 in
+         ignore (Proxy.write p0 txa (k "t" "c") (upd 1));
+         Engine.sleep (Cluster.engine c) (Time.sec 1);
+         match Proxy.commit p0 txa with
+         | Ok () -> ()
+         | Error f -> Alcotest.fail (Format.asprintf "A failed: %a" Proxy.pp_failure f)));
+  let ob = ref None in
+  submit_tx c 0 ~key:(k "t" "b") ~value:2 ob;
+  run_for c (Time.sec 3);
+  expect_commit "B" !ob;
+  check_bool "a start-version promotion happened" true
+    ((Proxy.stats p0).Proxy.local_cert_promotions >= 1);
+  check_consistent c
+
+let test_consistency_checker_detects_corruption () =
+  let c = make_cluster () in
+  let o = ref None in
+  submit_tx c 0 ~key:(k "t" "a") ~value:5 o;
+  run_for c (Time.sec 2);
+  expect_commit "setup" !o;
+  check_consistent c;
+  (* corrupt replica 1 behind the middleware's back *)
+  let store = Mvcc.Db.store (Replica.db (Cluster.replica c 1)) in
+  Mvcc.Store.install store
+    ~version:(Mvcc.Store.current_version store + 1)
+    (ws1 (k "t" "a") 666);
+  match Cluster.check_consistency c with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker must flag a corrupted replica"
+
+(* Property: random non-conflicting and conflicting traffic across random
+   modes keeps every replica a consistent prefix, and conflicting
+   concurrent writers never both commit. *)
+let prop_prefix_consistency_under_traffic =
+  QCheck.Test.make ~name:"replicas stay prefix-consistent under traffic" ~count:10
+    QCheck.(pair (int_range 0 1000) (int_range 0 2))
+    (fun (seed, mode_ix) ->
+      let mode =
+        match mode_ix with
+        | 0 -> Types.Base
+        | 1 -> Types.Tashkent_mw
+        | _ -> Types.Tashkent_api
+      in
+      let c = make_cluster ~mode ~seed () in
+      let rng = Rng.create (seed + 13) in
+      let outcomes = ref [] in
+      for _round = 1 to 8 do
+        let n = 1 + Rng.int rng 4 in
+        for _ = 1 to n do
+          let o = ref None in
+          outcomes := o :: !outcomes;
+          let key = k "t" (Rng.pick rng [| "a"; "b"; "c"; "d" |]) in
+          submit_tx c (Rng.int rng 3) ~key ~value:(Rng.int rng 1000) o
+        done;
+        run_for c (Time.of_ms 400.)
+      done;
+      run_for c (Time.sec 3);
+      let finished =
+        List.for_all (fun o -> !o <> None) !outcomes
+      in
+      finished && Cluster.check_consistency c = Ok ())
+
+let suites =
+  [
+    ( "core.cert_log",
+      [
+        Alcotest.test_case "append and certify" `Quick test_cert_log_append_and_certify;
+        Alcotest.test_case "entries_between" `Quick test_cert_log_entries_between;
+        Alcotest.test_case "back-certification memoised" `Quick test_cert_log_back_certify;
+      ] );
+    ( "core.end_to_end",
+      [
+        Alcotest.test_case "base replicates" `Quick (test_mode_replicates Types.Base);
+        Alcotest.test_case "tashkent-mw replicates" `Quick
+          (test_mode_replicates Types.Tashkent_mw);
+        Alcotest.test_case "tashkent-api replicates" `Quick
+          (test_mode_replicates Types.Tashkent_api);
+        Alcotest.test_case "concurrent conflict aborts exactly one" `Quick
+          test_conflict_aborts_one;
+        Alcotest.test_case "sequential writers both commit" `Quick
+          test_sequential_same_key_both_commit;
+        Alcotest.test_case "read-only commits locally" `Quick test_read_only_never_blocks;
+        Alcotest.test_case "snapshot stability at replica" `Quick
+          test_snapshot_reads_at_replica;
+        Alcotest.test_case "api applies conflicting remotes correctly" `Quick
+          test_api_artificial_conflict_serialized;
+        Alcotest.test_case "forced aborts (9.5 knob)" `Quick test_forced_abort_rate;
+        Alcotest.test_case "staleness bound refreshes idle replica" `Quick
+          test_staleness_bound_refreshes_idle_replica;
+        Alcotest.test_case "consistency checker detects corruption" `Quick
+          test_consistency_checker_detects_corruption;
+        Alcotest.test_case "partitioned replica retries until heal" `Quick
+          test_partitioned_replica_retries_until_heal;
+        Alcotest.test_case "local certification promotes start version" `Quick
+          test_local_certification_promotes_start;
+      ] );
+    ( "core.fault_tolerance",
+      [
+        Alcotest.test_case "certifier leader crash: progress" `Quick
+          test_certifier_leader_crash_progress;
+        Alcotest.test_case "certifier recovery: state transfer" `Quick
+          test_certifier_recover_rejoins;
+        Alcotest.test_case "replica crash/recover (base)" `Quick
+          test_replica_crash_recover_base;
+        Alcotest.test_case "replica crash/recover (mw, dumps)" `Quick
+          test_replica_crash_recover_mw_dump;
+        Alcotest.test_case "replica crash/recover (mw, integrity kept)" `Quick
+          test_replica_crash_recover_mw_integrity_kept;
+      ]
+      @ [ QCheck_alcotest.to_alcotest prop_prefix_consistency_under_traffic ] );
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the experiment harness: each system configuration runs and
+   reports sane, paper-shaped metrics. These use short windows, so they
+   assert robust orderings rather than point values. *)
+
+let check_bool = Alcotest.(check bool)
+
+let quick_cfg system workload n =
+  {
+    Harness.Experiment.default with
+    Harness.Experiment.system;
+    workload;
+    n_replicas = n;
+    warmup = Sim.Time.sec 2;
+    measure = Sim.Time.sec 4;
+  }
+
+let test_each_system_runs () =
+  List.iter
+    (fun system ->
+      let r = Harness.Experiment.run (quick_cfg system Harness.Experiment.All_updates 2) in
+      check_bool
+        (Harness.Experiment.system_name system ^ " produces throughput")
+        true (r.goodput > 10.);
+      check_bool "response time positive" true (r.resp_ms > 0.))
+    [
+      Harness.Experiment.Standalone;
+      Harness.Experiment.Replicated Tashkent.Types.Base;
+      Harness.Experiment.Replicated Tashkent.Types.Tashkent_mw;
+      Harness.Experiment.Replicated Tashkent.Types.Tashkent_api;
+      Harness.Experiment.Replicated_nocert Tashkent.Types.Tashkent_api;
+    ]
+
+let test_headline_ordering () =
+  (* The paper's core claim at any non-trivial replica count: both Tashkent
+     systems clearly beat Base on AllUpdates. *)
+  let run system =
+    (Harness.Experiment.run (quick_cfg system Harness.Experiment.All_updates 6)).goodput
+  in
+  let base = run (Harness.Experiment.Replicated Tashkent.Types.Base) in
+  let mw = run (Harness.Experiment.Replicated Tashkent.Types.Tashkent_mw) in
+  let api = run (Harness.Experiment.Replicated Tashkent.Types.Tashkent_api) in
+  check_bool
+    (Printf.sprintf "mw (%.0f) > 2x base (%.0f)" mw base)
+    true (mw > 2. *. base);
+  check_bool (Printf.sprintf "api (%.0f) > 1.5x base (%.0f)" api base) true
+    (api > 1.5 *. base);
+  check_bool "mw >= api" true (mw >= api)
+
+let test_base_serial_commit_ceiling () =
+  (* Base's replicas commit serially: ~50-60 local commits/s/replica. *)
+  let r =
+    Harness.Experiment.run
+      (quick_cfg (Harness.Experiment.Replicated Tashkent.Types.Base)
+         Harness.Experiment.All_updates 4)
+  in
+  let per_replica = r.goodput /. 4. in
+  check_bool
+    (Printf.sprintf "base %.0f/replica within [30, 75]" per_replica)
+    true
+    (per_replica > 30. && per_replica < 75.)
+
+let test_forced_abort_rate_respected () =
+  let cfg =
+    {
+      (quick_cfg (Harness.Experiment.Replicated Tashkent.Types.Tashkent_mw)
+         Harness.Experiment.All_updates 3)
+      with
+      Harness.Experiment.abort_rate = 0.3;
+    }
+  in
+  let r = Harness.Experiment.run cfg in
+  check_bool
+    (Printf.sprintf "measured abort rate %.2f near 0.3" r.abort_rate_measured)
+    true
+    (r.abort_rate_measured > 0.22 && r.abort_rate_measured < 0.38);
+  check_bool "goodput < throughput" true (r.goodput < r.throughput)
+
+let test_grouping_ablation_direction () =
+  let with_grouping grouping =
+    Harness.Experiment.run
+      {
+        (quick_cfg (Harness.Experiment.Replicated Tashkent.Types.Base)
+           Harness.Experiment.All_updates 4)
+        with
+        Harness.Experiment.group_remote_batches = grouping;
+      }
+  in
+  let grouped = with_grouping true and naive = with_grouping false in
+  check_bool
+    (Printf.sprintf "grouping helps (%.0f vs %.0f)" grouped.goodput naive.goodput)
+    true
+    (grouped.goodput > naive.goodput)
+
+let test_dedicated_io_not_worse () =
+  let run io =
+    Harness.Experiment.run
+      {
+        (quick_cfg (Harness.Experiment.Replicated Tashkent.Types.Tashkent_api)
+           Harness.Experiment.All_updates 4)
+        with
+        Harness.Experiment.io;
+      }
+  in
+  let shared = run Tashkent.Replica.Shared_io in
+  let dedicated = run Tashkent.Replica.Dedicated_io in
+  check_bool "dedicated >= 0.9x shared" true (dedicated.goodput >= 0.9 *. shared.goodput)
+
+let test_certifier_group_size_free () =
+  (* Replicating the certifier for availability costs ~nothing in
+     throughput (fsyncs happen in parallel, majority = leader + 1). *)
+  let run n_certifiers =
+    Harness.Experiment.run
+      {
+        (quick_cfg (Harness.Experiment.Replicated Tashkent.Types.Tashkent_mw)
+           Harness.Experiment.All_updates 4)
+        with
+        Harness.Experiment.n_certifiers;
+      }
+  in
+  let one = run 1 and three = run 3 in
+  check_bool
+    (Printf.sprintf "3 certifiers within 15%% of 1 (%.0f vs %.0f)" three.goodput one.goodput)
+    true
+    (three.goodput > 0.85 *. one.goodput)
+
+let test_recovery_experiment_smoke () =
+  let r = Harness.Recovery_exp.run ~n_replicas:4 ~seed:77 () in
+  check_bool "dump took minutes" true Sim.Time.(r.dump_duration > Sim.Time.sec 60);
+  check_bool "restore took ~2 minutes" true
+    Sim.Time.(r.mw_restore_duration > Sim.Time.sec 60);
+  (* degradation is load-dependent and noisy in this short smoke window at
+     small n; just require a sane fraction (the full-size measurement is the
+     bench's `recovery` section, which lands near the paper's 13%) *)
+  check_bool "degradation is a sane fraction" true
+    (r.dump_degradation > -0.5 && r.dump_degradation < 0.9);
+  check_bool "db recovery seconds" true
+    Sim.Time.(
+      r.db_recovery_duration >= Sim.Time.sec 2 && r.db_recovery_duration <= Sim.Time.sec 5);
+  check_bool "replay happened" true (r.mw_replayed > 0);
+  check_bool "cert log grows" true (r.cert_log_bytes_per_hour > 0.);
+  check_bool "cert recovery fast" true Sim.Time.(r.cert_recovery_duration < Sim.Time.sec 10)
+
+let test_report_table_renders () =
+  let t = Harness.Report.table ~columns:[ "a"; "bbbb" ] in
+  Harness.Report.row t [ "1"; "2" ];
+  Harness.Report.row t [ "333"; "4" ];
+  (* smoke: must not raise on ragged/odd input *)
+  Harness.Report.print t;
+  Harness.Report.kv "key" "value";
+  Harness.Report.paper_vs ~what:"x" ~paper:"1" ~measured:"2";
+  Alcotest.(check string) "f1" "1.2" (Harness.Report.f1 1.25);
+  Alcotest.(check string) "pct" "50%" (Harness.Report.pct 0.5)
+
+let suites =
+  [
+    ( "harness.experiment",
+      [
+        Alcotest.test_case "every system runs" `Quick test_each_system_runs;
+        Alcotest.test_case "headline ordering (mw > api > base)" `Quick
+          test_headline_ordering;
+        Alcotest.test_case "base serial-commit ceiling" `Quick
+          test_base_serial_commit_ceiling;
+        Alcotest.test_case "forced abort knob respected" `Quick
+          test_forced_abort_rate_respected;
+        Alcotest.test_case "grouping ablation direction" `Quick
+          test_grouping_ablation_direction;
+        Alcotest.test_case "dedicated io not worse" `Quick test_dedicated_io_not_worse;
+        Alcotest.test_case "certifier replication is cheap" `Quick
+          test_certifier_group_size_free;
+      ] );
+    ( "harness.recovery",
+      [ Alcotest.test_case "recovery experiment smoke" `Slow test_recovery_experiment_smoke ]
+    );
+    ( "harness.report",
+      [ Alcotest.test_case "table rendering" `Quick test_report_table_renders ] );
+  ]

@@ -1,0 +1,868 @@
+(* Tests for the snapshot-isolation engine: writesets, the versioned store,
+   locks, ordered announcement and the full database. *)
+
+open Sim
+open Mvcc
+
+let k table row = Key.make ~table ~row
+let vi n = Value.int n
+let upd n = Writeset.Update (vi n)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let value_opt : Value.t option Alcotest.testable =
+  Alcotest.testable
+    (Fmt.option Value.pp)
+    (fun a b ->
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y -> Value.equal x y
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Writeset *)
+
+let test_writeset_basics () =
+  let ws = Writeset.of_list [ (k "t" "a", upd 1); (k "t" "b", upd 2) ] in
+  check_int "cardinal" 2 (Writeset.cardinal ws);
+  check_bool "mem" true (Writeset.mem ws (k "t" "a"));
+  check_bool "not mem" false (Writeset.mem ws (k "t" "c"));
+  check_bool "empty" true (Writeset.is_empty Writeset.empty);
+  check_bool "non-empty" false (Writeset.is_empty ws)
+
+let test_writeset_supersede () =
+  let ws = Writeset.of_list [ (k "t" "a", upd 1); (k "t" "b", upd 2); (k "t" "a", upd 9) ] in
+  check_int "no duplicate entry" 2 (Writeset.cardinal ws);
+  match Writeset.entries ws with
+  | [ e1; e2 ] ->
+      check_bool "order preserved" true (Key.equal e1.key (k "t" "a"));
+      (match e1.op with
+      | Writeset.Update v -> check_int "latest op wins" 9 (Value.as_int v)
+      | _ -> Alcotest.fail "expected update");
+      check_bool "second entry" true (Key.equal e2.key (k "t" "b"))
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_writeset_intersects () =
+  let a = Writeset.of_list [ (k "t" "x", upd 1); (k "t" "y", upd 2) ] in
+  let b = Writeset.of_list [ (k "t" "y", upd 3); (k "t" "z", upd 4) ] in
+  let c = Writeset.of_list [ (k "t" "z", upd 5) ] in
+  check_bool "a/b intersect" true (Writeset.intersects a b);
+  check_bool "b/a symmetric" true (Writeset.intersects b a);
+  check_bool "a/c disjoint" false (Writeset.intersects a c);
+  check_bool "empty never intersects" false (Writeset.intersects a Writeset.empty);
+  Alcotest.(check (list string))
+    "inter_keys" [ "t/y" ]
+    (List.map Key.to_string (Writeset.inter_keys a b))
+
+let test_writeset_union_later_wins () =
+  let a = Writeset.of_list [ (k "t" "x", upd 1); (k "t" "y", upd 2) ] in
+  let b = Writeset.of_list [ (k "t" "y", upd 9); (k "t" "z", Writeset.Delete) ] in
+  let u = Writeset.union a b in
+  check_int "union size" 3 (Writeset.cardinal u);
+  let find key =
+    List.find (fun e -> Key.equal e.Writeset.key key) (Writeset.entries u)
+  in
+  (match (find (k "t" "y")).op with
+  | Writeset.Update v -> check_int "later wins" 9 (Value.as_int v)
+  | _ -> Alcotest.fail "expected update");
+  match (find (k "t" "z")).op with
+  | Writeset.Delete -> ()
+  | _ -> Alcotest.fail "expected delete"
+
+let test_writeset_encoded_bytes () =
+  let ws = Writeset.singleton (k "accounts" "42") (upd 7) in
+  (* 8 header + (8+2+2) key + 1 op + 8 int *)
+  check_int "size" 29 (Writeset.encoded_bytes ws);
+  check_int "empty size" 8 (Writeset.encoded_bytes Writeset.empty)
+
+let writeset_gen =
+  let open QCheck in
+  let key_gen = Gen.map (fun i -> k "t" (string_of_int i)) (Gen.int_bound 20) in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map (fun n -> Writeset.Insert (vi n)) Gen.small_int;
+        Gen.map (fun n -> upd n) Gen.small_int;
+        Gen.return Writeset.Delete;
+      ]
+  in
+  make
+    ~print:(fun ws -> Format.asprintf "%a" Writeset.pp ws)
+    Gen.(map Writeset.of_list (small_list (pair key_gen op_gen)))
+
+let prop_intersects_symmetric =
+  QCheck.Test.make ~name:"writeset intersection is symmetric" ~count:200
+    (QCheck.pair writeset_gen writeset_gen) (fun (a, b) ->
+      Writeset.intersects a b = Writeset.intersects b a)
+
+let prop_intersects_iff_inter_keys =
+  QCheck.Test.make ~name:"intersects agrees with inter_keys" ~count:200
+    (QCheck.pair writeset_gen writeset_gen) (fun (a, b) ->
+      Writeset.intersects a b = (Writeset.inter_keys a b <> []))
+
+let prop_union_keys =
+  QCheck.Test.make ~name:"union covers both key sets" ~count:200
+    (QCheck.pair writeset_gen writeset_gen) (fun (a, b) ->
+      let u = Writeset.union a b in
+      List.for_all (Writeset.mem u) (Writeset.keys a)
+      && List.for_all (Writeset.mem u) (Writeset.keys b))
+
+(* ------------------------------------------------------------------ *)
+(* Store *)
+
+let test_store_snapshot_reads () =
+  let s = Store.create () in
+  Store.preload s (k "t" "a") (vi 0);
+  Store.install s ~version:3 (Writeset.singleton (k "t" "a") (upd 30));
+  Store.install s ~version:7 (Writeset.singleton (k "t" "a") (upd 70));
+  Alcotest.check value_opt "at 0" (Some (vi 0)) (Store.read s ~at:0 (k "t" "a"));
+  Alcotest.check value_opt "at 2" (Some (vi 0)) (Store.read s ~at:2 (k "t" "a"));
+  Alcotest.check value_opt "at 3" (Some (vi 30)) (Store.read s ~at:3 (k "t" "a"));
+  Alcotest.check value_opt "at 6" (Some (vi 30)) (Store.read s ~at:6 (k "t" "a"));
+  Alcotest.check value_opt "at 7" (Some (vi 70)) (Store.read s ~at:7 (k "t" "a"));
+  Alcotest.check value_opt "latest" (Some (vi 70)) (Store.read_latest s (k "t" "a"));
+  check_int "version" 7 (Store.current_version s)
+
+let test_store_tombstones () =
+  let s = Store.create () in
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (Writeset.Insert (vi 5)));
+  Store.install s ~version:2 (Writeset.singleton (k "t" "a") Writeset.Delete);
+  Alcotest.check value_opt "visible at 1" (Some (vi 5)) (Store.read s ~at:1 (k "t" "a"));
+  Alcotest.check value_opt "deleted at 2" None (Store.read s ~at:2 (k "t" "a"));
+  Alcotest.check value_opt "missing row" None (Store.read s ~at:2 (k "t" "zz"))
+
+let test_store_version_monotonic () =
+  let s = Store.create () in
+  Store.install s ~version:5 (Writeset.singleton (k "t" "a") (upd 1));
+  (match Store.install s ~version:5 (Writeset.singleton (k "t" "b") (upd 2)) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "must reject non-increasing version");
+  check_int "latest_writer" 5 (Store.latest_writer s (k "t" "a"));
+  check_int "latest_writer unknown" 0 (Store.latest_writer s (k "t" "zz"))
+
+let test_store_sparse_versions () =
+  (* A replica jumps 0 -> 3 -> 9 when applying batched remote writesets. *)
+  let s = Store.create () in
+  Store.install s ~version:3 (Writeset.singleton (k "t" "a") (upd 3));
+  Store.install s ~version:9 (Writeset.singleton (k "t" "b") (upd 9));
+  check_int "version 9" 9 (Store.current_version s);
+  Alcotest.check value_opt "a visible at 5" (Some (vi 3)) (Store.read s ~at:5 (k "t" "a"));
+  Alcotest.check value_opt "b invisible at 5" None (Store.read s ~at:5 (k "t" "b"))
+
+let test_store_copy_flattens () =
+  let s = Store.create () in
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (upd 1));
+  Store.install s ~version:2 (Writeset.singleton (k "t" "a") (upd 2));
+  let c = Store.copy s in
+  check_int "copy version" 2 (Store.current_version c);
+  check_int "copy flattened" 1 (Store.version_records c);
+  Alcotest.check value_opt "copy value" (Some (vi 2)) (Store.read_latest c (k "t" "a"));
+  (* the copy is independent *)
+  Store.install s ~version:3 (Writeset.singleton (k "t" "a") (upd 3));
+  Alcotest.check value_opt "copy unaffected" (Some (vi 2)) (Store.read_latest c (k "t" "a"))
+
+let test_store_gc () =
+  let s = Store.create () in
+  for v = 1 to 10 do
+    Store.install s ~version:v (Writeset.singleton (k "t" "a") (upd v))
+  done;
+  check_int "ten records" 10 (Store.version_records s);
+  Store.gc s ~keep_after:8;
+  check_int "pruned to recent + anchor" 3 (Store.version_records s);
+  Alcotest.check value_opt "read at 9 still works" (Some (vi 9))
+    (Store.read s ~at:9 (k "t" "a"));
+  Alcotest.check value_opt "read at 8 sees anchor" (Some (vi 8))
+    (Store.read s ~at:8 (k "t" "a"))
+
+(* ------------------------------------------------------------------ *)
+(* Locks *)
+
+let test_locks_grant_and_reentry () =
+  let l = Locks.create () in
+  (match Locks.acquire l 1 (k "t" "a") with
+  | Locks.Granted -> ()
+  | _ -> Alcotest.fail "fresh lock should be granted");
+  (match Locks.acquire l 1 (k "t" "a") with
+  | Locks.Granted -> ()
+  | _ -> Alcotest.fail "re-entrant acquire");
+  check_bool "holder" true (Locks.holder l (k "t" "a") = Some 1)
+
+let test_locks_block_and_handoff () =
+  let l = Locks.create () in
+  ignore (Locks.acquire l 1 (k "t" "a"));
+  (match Locks.acquire l 2 (k "t" "a") with
+  | Locks.Would_block h -> check_int "holder is 1" 1 h
+  | _ -> Alcotest.fail "expected Would_block");
+  Locks.enqueue l 2 (k "t" "a");
+  (match Locks.acquire l 3 (k "t" "a") with
+  | Locks.Would_block _ -> ()
+  | _ -> Alcotest.fail "expected Would_block");
+  Locks.enqueue l 3 (k "t" "a");
+  let grants = Locks.release_all l 1 in
+  (match grants with
+  | [ (key, 2) ] -> check_bool "handed to first waiter" true (Key.equal key (k "t" "a"))
+  | _ -> Alcotest.fail "expected handoff to tx 2");
+  check_bool "new holder" true (Locks.holder l (k "t" "a") = Some 2)
+
+let test_locks_deadlock_detection () =
+  let l = Locks.create () in
+  ignore (Locks.acquire l 1 (k "t" "a"));
+  ignore (Locks.acquire l 2 (k "t" "b"));
+  (match Locks.acquire l 2 (k "t" "a") with
+  | Locks.Would_block 1 -> Locks.enqueue l 2 (k "t" "a")
+  | _ -> Alcotest.fail "expected block on 1");
+  (* 1 -> b (held by 2), 2 -> a (held by 1): cycle *)
+  match Locks.acquire l 1 (k "t" "b") with
+  | Locks.Deadlock cycle ->
+      check_bool "cycle mentions both" true (List.mem 1 cycle && List.mem 2 cycle)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_locks_no_false_deadlock () =
+  let l = Locks.create () in
+  ignore (Locks.acquire l 1 (k "t" "a"));
+  ignore (Locks.acquire l 2 (k "t" "b"));
+  (match Locks.acquire l 2 (k "t" "a") with
+  | Locks.Would_block _ -> Locks.enqueue l 2 (k "t" "a")
+  | _ -> Alcotest.fail "expected block");
+  (* 3 waits on a chain, no cycle *)
+  match Locks.acquire l 3 (k "t" "b") with
+  | Locks.Would_block 2 -> ()
+  | _ -> Alcotest.fail "expected plain block"
+
+let test_locks_cancel_wait () =
+  let l = Locks.create () in
+  ignore (Locks.acquire l 1 (k "t" "a"));
+  (match Locks.acquire l 2 (k "t" "a") with
+  | Locks.Would_block _ -> Locks.enqueue l 2 (k "t" "a")
+  | _ -> Alcotest.fail "expected block");
+  Locks.cancel_wait l 2 (k "t" "a");
+  let grants = Locks.release_all l 1 in
+  check_bool "no grant to cancelled waiter" true (grants = []);
+  check_bool "lock free" true (Locks.holder l (k "t" "a") = None)
+
+let test_locks_release_frees () =
+  let l = Locks.create () in
+  ignore (Locks.acquire l 1 (k "t" "a"));
+  ignore (Locks.acquire l 1 (k "t" "b"));
+  Alcotest.(check int) "held count" 2 (List.length (Locks.held_by l 1));
+  ignore (Locks.release_all l 1);
+  check_int "no locks" 0 (Locks.lock_count l);
+  match Locks.acquire l 2 (k "t" "a") with
+  | Locks.Granted -> ()
+  | _ -> Alcotest.fail "freed lock should grant"
+
+(* ------------------------------------------------------------------ *)
+(* Commit order *)
+
+let test_commit_order_sequencing () =
+  let e = Engine.create () in
+  let co = Commit_order.create e () in
+  check_int "alloc 1" 1 (Commit_order.next_seq co);
+  check_int "alloc 2" 2 (Commit_order.next_seq co);
+  let log = ref [] in
+  let committer seq delay =
+    ignore
+      (Engine.spawn e (fun () ->
+           Engine.sleep e (Time.us delay);
+           Commit_order.wait_turn co seq;
+           Commit_order.announce co seq;
+           log := seq :: !log))
+  in
+  (* seq 2 is ready long before seq 1; announcement must still be 1, 2 *)
+  committer 2 10;
+  committer 1 500;
+  Engine.run e;
+  Alcotest.(check (list int)) "announce order" [ 1; 2 ] (List.rev !log);
+  check_int "announced" 2 (Commit_order.announced co)
+
+let test_commit_order_abuse_blocks () =
+  (* COMMIT 9 without COMMIT 1..8: blocks forever (paper 5.2). *)
+  let e = Engine.create () in
+  let co = Commit_order.create e () in
+  let reached = ref false in
+  let _ =
+    Engine.spawn e (fun () ->
+        Commit_order.wait_turn co 9;
+        reached := true)
+  in
+  Engine.run ~until:(Time.sec 10) e;
+  check_bool "still blocked" false !reached;
+  check_int "waiting" 1 (Commit_order.waiting co)
+
+let test_commit_order_wrong_announce () =
+  let e = Engine.create () in
+  let co = Commit_order.create e () in
+  match Commit_order.announce co 3 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected rejection of out-of-order announce"
+
+(* ------------------------------------------------------------------ *)
+(* Db *)
+
+let fixed_disk e =
+  Storage.Disk.create e ~rng:(Rng.create 5)
+    ~config:
+      {
+        Storage.Disk.fsync_lo = Time.of_ms 8.;
+        fsync_hi = Time.of_ms 8.;
+        position_lo = Time.of_ms 5.;
+        position_hi = Time.of_ms 5.;
+        bandwidth_bytes_per_sec = 1e9;
+      }
+    ()
+
+let make_db ?(config = Db.default_config) ?(seed = 1) () =
+  let e = Engine.create () in
+  let disk = fixed_disk e in
+  let db = Db.create e ~rng:(Rng.create seed) ~log_disk:disk ~config () in
+  (e, db, disk)
+
+let in_fiber e f =
+  let failure = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        try f () with exn -> failure := Some exn)
+  in
+  Engine.run e;
+  match !failure with Some exn -> raise exn | None -> ()
+
+let test_db_read_your_writes () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 1) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      Alcotest.check value_opt "initial" (Some (vi 1)) (Db.read tx (k "t" "a"));
+      (match Db.write tx (k "t" "a") (upd 42) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "write should succeed");
+      Alcotest.check value_opt "own write visible" (Some (vi 42)) (Db.read tx (k "t" "a"));
+      Alcotest.check value_opt "not committed yet" (Some (vi 1))
+        (Db.read_committed db (k "t" "a"));
+      match Db.commit_standalone tx with
+      | Ok v ->
+          check_int "first version" 1 v;
+          Alcotest.check value_opt "committed" (Some (vi 42))
+            (Db.read_committed db (k "t" "a"))
+      | Error _ -> Alcotest.fail "commit should succeed")
+
+let test_db_snapshot_isolation () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 1) ];
+  in_fiber e (fun () ->
+      let t1 = Db.begin_tx db in
+      let t2 = Db.begin_tx db in
+      (match Db.write t1 (k "t" "a") (upd 10) with Ok () -> () | Error _ -> Alcotest.fail "w");
+      (match Db.commit_standalone t1 with Ok _ -> () | Error _ -> Alcotest.fail "c");
+      (* t2's snapshot predates t1's commit *)
+      Alcotest.check value_opt "t2 sees old value" (Some (vi 1)) (Db.read t2 (k "t" "a"));
+      let t3 = Db.begin_tx db in
+      Alcotest.check value_opt "t3 sees new value" (Some (vi 10)) (Db.read t3 (k "t" "a"));
+      Db.commit_readonly t2;
+      Db.commit_readonly t3)
+
+let test_db_first_updater_wins_committed () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      let t1 = Db.begin_tx db in
+      let t2 = Db.begin_tx db in
+      (match Db.write t1 (k "t" "a") (upd 1) with Ok () -> () | Error _ -> Alcotest.fail "w1");
+      (match Db.commit_standalone t1 with Ok _ -> () | Error _ -> Alcotest.fail "c1");
+      match Db.write t2 (k "t" "a") (upd 2) with
+      | Error (Db.Ww_conflict key) ->
+          check_bool "conflict on a" true (Key.equal key (k "t" "a"));
+          check_int "t2 aborted" 1 (Db.aborts db)
+      | _ -> Alcotest.fail "expected first-updater-wins abort")
+
+let test_db_blocked_writer_aborts_after_holder_commits () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let t2_result = ref (Ok ()) in
+  let _ =
+    Engine.spawn e (fun () ->
+        let t1 = Db.begin_tx db in
+        ignore (Db.write t1 (k "t" "a") (upd 1));
+        Engine.sleep e (Time.of_ms 50.);
+        ignore (Db.commit_standalone t1))
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep e (Time.of_ms 1.);
+        let t2 = Db.begin_tx db in
+        t2_result := Db.write t2 (k "t" "a") (upd 2))
+  in
+  Engine.run e;
+  match !t2_result with
+  | Error (Db.Ww_conflict _) -> ()
+  | _ -> Alcotest.fail "blocked writer must abort once holder commits"
+
+let test_db_blocked_writer_proceeds_after_holder_aborts () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let outcome = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        let t1 = Db.begin_tx db in
+        ignore (Db.write t1 (k "t" "a") (upd 1));
+        Engine.sleep e (Time.of_ms 50.);
+        Db.abort t1)
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep e (Time.of_ms 1.);
+        let t2 = Db.begin_tx db in
+        let r = Db.write t2 (k "t" "a") (upd 2) in
+        outcome := Some (r, Db.commit_standalone t2))
+  in
+  Engine.run e;
+  match !outcome with
+  | Some (Ok (), Ok _) ->
+      Alcotest.check value_opt "t2's write committed" (Some (vi 2))
+        (Db.read_committed db (k "t" "a"))
+  | _ -> Alcotest.fail "waiter should proceed after holder aborts"
+
+let test_db_deadlock_victim () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0); (k "t" "b", vi 0) ];
+  let t1_ok = ref false and t2_err = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        let t1 = Db.begin_tx db in
+        ignore (Db.write t1 (k "t" "a") (upd 1));
+        Engine.sleep e (Time.of_ms 10.);
+        (* t1 waits for b (held by t2) *)
+        match Db.write t1 (k "t" "b") (upd 1) with
+        | Ok () ->
+            ignore (Db.commit_standalone t1);
+            t1_ok := true
+        | Error _ -> ())
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        let t2 = Db.begin_tx db in
+        ignore (Db.write t2 (k "t" "b") (upd 2));
+        Engine.sleep e (Time.of_ms 20.);
+        (* closes the cycle: t2 -> a (t1), t1 -> b (t2) *)
+        match Db.write t2 (k "t" "a") (upd 2) with
+        | Error (Db.Deadlock cycle) -> t2_err := Some cycle
+        | _ -> ())
+  in
+  Engine.run e;
+  (match !t2_err with
+  | Some cycle -> check_bool "cycle found" true (List.length cycle >= 2)
+  | None -> Alcotest.fail "expected deadlock victim");
+  check_bool "survivor committed" true !t1_ok;
+  check_int "one deadlock counted" 1 (Db.deadlocks_detected db)
+
+let test_db_write_skew_allowed () =
+  (* SI is not serializable: disjoint writes based on overlapping reads
+     both commit. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "x", vi 1); (k "t" "y", vi 1) ];
+  in_fiber e (fun () ->
+      let t1 = Db.begin_tx db in
+      let t2 = Db.begin_tx db in
+      let x1 = Value.as_int (Option.get (Db.read t1 (k "t" "x"))) in
+      let y2 = Value.as_int (Option.get (Db.read t2 (k "t" "y"))) in
+      ignore (Db.write t1 (k "t" "y") (upd (-x1)));
+      ignore (Db.write t2 (k "t" "x") (upd (-y2)));
+      (match Db.commit_standalone t1 with Ok _ -> () | Error _ -> Alcotest.fail "t1");
+      (match Db.commit_standalone t2 with Ok _ -> () | Error _ -> Alcotest.fail "t2");
+      Alcotest.check value_opt "x" (Some (vi (-1))) (Db.read_committed db (k "t" "x"));
+      Alcotest.check value_opt "y" (Some (vi (-1))) (Db.read_committed db (k "t" "y")))
+
+let test_db_group_commit_fsyncs () =
+  (* Ten standalone committers at the same instant share fsyncs. *)
+  let e, db, disk = make_db () in
+  Db.load db (List.init 10 (fun i -> (k "t" (string_of_int i), vi 0)));
+  for i = 0 to 9 do
+    ignore
+      (Engine.spawn e (fun () ->
+           let tx = Db.begin_tx db in
+           ignore (Db.write tx (k "t" (string_of_int i)) (upd 1));
+           ignore (Db.commit_standalone tx)))
+  done;
+  Engine.run e;
+  check_int "ten commits" 10 (Db.commits db);
+  check_bool "far fewer fsyncs than commits" true (Storage.Disk.fsyncs disk <= 2);
+  check_int "version advanced to 10" 10 (Db.current_version db)
+
+let test_db_ordered_announce () =
+  (* The Tashkent-API scenario from paper 3: four transactions submitted
+     concurrently with a prescribed order commit in one fsync and are
+     announced 3,4,8,9. *)
+  let e, db, disk = make_db () in
+  Db.load db [ (k "t" "a", vi 0); (k "t" "b", vi 0) ];
+  let announced = ref [] in
+  let submit version order ws =
+    ignore
+      (Engine.spawn e (fun () ->
+           match Db.apply_writeset db ~version ~order ws with
+           | Ok () -> announced := (version, Time.to_us (Engine.now e)) :: !announced
+           | Error _ -> Alcotest.fail "apply failed"))
+  in
+  (* Submitted out of global order, on disjoint keys (conflicting remote
+     writesets must never be submitted concurrently — paper 5.2.1). *)
+  submit 9 4 (Writeset.singleton (k "t" "d") (upd 9));
+  submit 3 1 (Writeset.singleton (k "t" "a") (upd 3));
+  submit 8 3 (Writeset.singleton (k "t" "c") (upd 8));
+  submit 4 2 (Writeset.singleton (k "t" "b") (upd 4));
+  Engine.run e;
+  let versions = List.map fst (List.rev !announced) in
+  Alcotest.(check (list int)) "announced in global order" [ 3; 4; 8; 9 ] versions;
+  check_int "single grouped fsync" 1 (Storage.Disk.fsyncs disk);
+  check_int "replica at version 9" 9 (Db.current_version db);
+  Alcotest.check value_opt "final d" (Some (vi 9)) (Db.read_committed db (k "t" "d"))
+
+let test_db_no_intermediate_snapshot_exposed () =
+  (* While version 9's record is durable before version 4 announces, no
+     snapshot may ever show T9 without T4. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0); (k "t" "b", vi 0) ];
+  let violations = ref 0 in
+  let _ =
+    Engine.spawn e ~name:"observer" (fun () ->
+        for _ = 1 to 200 do
+          let b = Db.read_committed db (k "t" "b") in
+          let a = Db.read_committed db (k "t" "a") in
+          (match (a, b) with
+          | Some a, Some b when Value.as_int b = 9 && Value.as_int a <> 4 -> incr violations
+          | _ -> ());
+          Engine.sleep e (Time.us 100)
+        done)
+  in
+  let submit version order ws =
+    ignore (Engine.spawn e (fun () -> ignore (Db.apply_writeset db ~version ~order ws)))
+  in
+  submit 9 2 (Writeset.singleton (k "t" "b") (upd 9));
+  Engine.schedule e ~at:(Time.of_ms 5.) (fun () ->
+      submit 4 1 (Writeset.singleton (k "t" "a") (upd 4)));
+  Engine.run e;
+  check_int "no inconsistent snapshot" 0 !violations
+
+let test_db_skip_order_unblocks () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let committed = ref false in
+  let o1 = Db.next_order db in
+  let o2 = Db.next_order db in
+  let _ =
+    Engine.spawn e (fun () ->
+        match Db.apply_writeset db ~version:2 ~order:o2 (Writeset.singleton (k "t" "a") (upd 2)) with
+        | Ok () -> committed := true
+        | Error _ -> ())
+  in
+  (* order 1's transaction aborted: release its slot *)
+  Db.skip_order db o1;
+  Engine.run e;
+  check_bool "later order proceeded" true !committed
+
+let test_db_remote_priority_preempts () =
+  let config = { Db.default_config with remote_priority = true } in
+  let e, db, _ = make_db ~config () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let local_result = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        let tx = Db.begin_tx db in
+        ignore (Db.write tx (k "t" "a") (upd 1));
+        Engine.sleep e (Time.of_ms 100.);
+        local_result := Some (Db.commit_standalone tx))
+  in
+  let applied = ref false in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep e (Time.of_ms 1.);
+        let order = Db.next_order db in
+        match Db.apply_writeset db ~version:50 ~order (Writeset.singleton (k "t" "a") (upd 9)) with
+        | Ok () -> applied := true
+        | Error _ -> ())
+  in
+  Engine.run e;
+  check_bool "remote writeset applied" true !applied;
+  check_bool "remote did not wait for local think time" true
+    Time.(Engine.now e < Time.of_ms 200.);
+  (match !local_result with
+  | Some (Error Db.Preempted) -> ()
+  | _ -> Alcotest.fail "local holder should have been preempted");
+  Alcotest.check value_opt "remote value stands" (Some (vi 9))
+    (Db.read_committed db (k "t" "a"))
+
+let test_db_remote_no_priority_waits () =
+  (* Without priorities the remote writeset queues behind the local holder
+     (paper 8.2 option (a)); when the holder aborts, the remote proceeds. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let _ =
+    Engine.spawn e (fun () ->
+        let tx = Db.begin_tx db in
+        ignore (Db.write tx (k "t" "a") (upd 1));
+        Engine.sleep e (Time.of_ms 50.);
+        Db.abort tx)
+  in
+  let applied_at = ref Time.zero in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep e (Time.of_ms 1.);
+        let order = Db.next_order db in
+        match Db.apply_writeset db ~version:50 ~order (Writeset.singleton (k "t" "a") (upd 9)) with
+        | Ok () -> applied_at := Engine.now e
+        | Error _ -> Alcotest.fail "apply failed")
+  in
+  Engine.run e;
+  check_bool "remote waited for local abort" true Time.(!applied_at >= Time.of_ms 50.)
+
+let test_db_artificial_conflict_stalls_concurrent_submission () =
+  (* Conflicting remote writesets submitted concurrently wedge the database
+     (lock queue vs announce order) — the deadlock the paper warns the
+     middleware must avoid by serialising them (5.2.1). *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let finished = ref 0 in
+  let submit version order =
+    ignore
+      (Engine.spawn e (fun () ->
+           match
+             Db.apply_writeset db ~version ~order
+               (Writeset.singleton (k "t" "a") (upd version))
+           with
+           | Ok () | Error _ -> incr finished))
+  in
+  (* order 2 grabs the lock first, then waits for order 1's announce, which
+     is queued behind the lock. *)
+  submit 9 2;
+  Engine.schedule e ~at:(Time.of_ms 1.) (fun () -> submit 8 1);
+  Engine.run ~until:(Time.sec 5) e;
+  check_int "both stuck" 0 !finished
+
+let test_db_doom_parked_transaction () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let blocked_result = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        let t1 = Db.begin_tx db in
+        ignore (Db.write t1 (k "t" "a") (upd 1));
+        Engine.sleep e (Time.of_ms 100.);
+        ignore (Db.commit_standalone t1))
+  in
+  let victim_id = ref 0 in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep e (Time.of_ms 1.);
+        let t2 = Db.begin_tx db in
+        victim_id := Db.tx_id t2;
+        blocked_result := Some (Db.write t2 (k "t" "a") (upd 2)))
+  in
+  Engine.schedule e ~at:(Time.of_ms 10.) (fun () -> Db.doom db !victim_id);
+  Engine.run e;
+  match !blocked_result with
+  | Some (Error Db.Preempted) -> ()
+  | _ -> Alcotest.fail "parked transaction should wake with Preempted"
+
+let test_db_crash_recover_synchronous () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      ignore (Db.write tx (k "t" "a") (upd 11));
+      ignore (Db.commit_standalone tx);
+      let tx2 = Db.begin_tx db in
+      ignore (Db.write tx2 (k "t" "b") (Writeset.Insert (vi 22)));
+      ignore (Db.commit_standalone tx2));
+  Db.crash db;
+  let v = Db.recover db in
+  check_int "recovered to version 2" 2 v;
+  Alcotest.check value_opt "a recovered" (Some (vi 11)) (Db.read_committed db (k "t" "a"));
+  Alcotest.check value_opt "b recovered" (Some (vi 22)) (Db.read_committed db (k "t" "b"))
+
+let test_db_crash_asynchronous_loses_everything () =
+  let config = { Db.default_config with durability = Db.Asynchronous } in
+  let e, db, disk = make_db ~config () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      ignore (Db.write tx (k "t" "a") (upd 1));
+      ignore (Db.commit_standalone tx));
+  check_int "commit did not fsync" 0 (Storage.Disk.fsyncs disk);
+  Db.crash db;
+  let v = Db.recover db in
+  check_int "nothing recovered" 0 v;
+  (* the initial population survives in the data files, the commit is lost *)
+  Alcotest.check value_opt "committed update lost" (Some (vi 0))
+    (Db.read_committed db (k "t" "a"))
+
+let test_db_periodic_durability_prefix () =
+  let config = { Db.default_config with durability = Db.Periodic (Time.of_ms 100.) } in
+  let e, db, _ = make_db ~config () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  (* one commit before the periodic sync, one after *)
+  let _ =
+    Engine.spawn e (fun () ->
+        let tx = Db.begin_tx db in
+        ignore (Db.write tx (k "t" "a") (upd 1));
+        ignore (Db.commit_standalone tx);
+        Engine.sleep e (Time.of_ms 150.);
+        let tx2 = Db.begin_tx db in
+        ignore (Db.write tx2 (k "t" "a") (upd 2));
+        ignore (Db.commit_standalone tx2))
+  in
+  Engine.run ~until:(Time.of_ms 180.) e;
+  Db.crash db;
+  let v = Db.recover db in
+  check_int "prefix recovered" 1 v;
+  Alcotest.check value_opt "first commit survives" (Some (vi 1))
+    (Db.read_committed db (k "t" "a"))
+
+let test_db_restore_from_dump () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      ignore (Db.write tx (k "t" "a") (upd 5));
+      ignore (Db.commit_standalone tx));
+  let version, copy = Db.dump db in
+  check_int "dump version" 1 version;
+  Db.crash db;
+  Db.restore_from_dump db ~version copy;
+  check_int "restored version" 1 (Db.current_version db);
+  Alcotest.check value_opt "restored value" (Some (vi 5)) (Db.read_committed db (k "t" "a"))
+
+let test_db_commit_readonly () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      ignore (Db.read tx (k "t" "a"));
+      Db.commit_readonly tx);
+  check_int "no version created" 0 (Db.current_version db);
+  check_int "no commit counted" 0 (Db.commits db);
+  check_int "no abort counted" 0 (Db.aborts db)
+
+(* Property: N concurrent incrementers of one counter; first-updater-wins
+   means the final value equals the number of successful commits. *)
+let prop_no_lost_updates =
+  QCheck.Test.make ~name:"no lost updates under concurrent increments" ~count:30
+    QCheck.(pair (int_range 2 12) (int_range 0 1000))
+    (fun (n, seed) ->
+      let e, db, _ = make_db ~seed () in
+      Db.load db [ (k "t" "counter", vi 0) ];
+      let successes = ref 0 in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let delay = Rng.int rng 20_000 in
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.us delay);
+               let tx = Db.begin_tx db in
+               match Db.read tx (k "t" "counter") with
+               | None -> ()
+               | Some v -> (
+                   match Db.write tx (k "t" "counter") (upd (Value.as_int v + 1)) with
+                   | Error _ -> ()
+                   | Ok () -> (
+                       match Db.commit_standalone tx with
+                       | Ok _ -> incr successes
+                       | Error _ -> ()))))
+      done;
+      Engine.run e;
+      match Db.read_committed db (k "t" "counter") with
+      | Some v -> Value.as_int v = !successes
+      | None -> false)
+
+let test_db_vacuum_prunes_versions () =
+  let e = Engine.create () in
+  let disk = fixed_disk e in
+  let config = { Db.default_config with gc_interval = Some (Time.of_ms 500.) } in
+  let db = Db.create e ~rng:(Rng.create 1) ~log_disk:disk ~config () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let _ =
+    Engine.spawn e (fun () ->
+        for i = 1 to 50 do
+          let tx = Db.begin_tx db in
+          ignore (Db.write tx (k "t" "a") (upd i));
+          ignore (Db.commit_standalone tx)
+        done)
+  in
+  Engine.run ~until:(Time.sec 2) e;
+  check_int "all committed" 50 (Db.commits db);
+  check_bool "old versions vacuumed" true (Store.version_records (Db.store db) <= 3);
+  Alcotest.check value_opt "latest value intact" (Some (vi 50))
+    (Db.read_committed db (k "t" "a"))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "mvcc.writeset",
+      [
+        Alcotest.test_case "basics" `Quick test_writeset_basics;
+        Alcotest.test_case "supersede keeps position" `Quick test_writeset_supersede;
+        Alcotest.test_case "intersection" `Quick test_writeset_intersects;
+        Alcotest.test_case "union later wins" `Quick test_writeset_union_later_wins;
+        Alcotest.test_case "encoded bytes" `Quick test_writeset_encoded_bytes;
+      ]
+      @ qsuite [ prop_intersects_symmetric; prop_intersects_iff_inter_keys; prop_union_keys ]
+    );
+    ( "mvcc.store",
+      [
+        Alcotest.test_case "snapshot reads" `Quick test_store_snapshot_reads;
+        Alcotest.test_case "tombstones" `Quick test_store_tombstones;
+        Alcotest.test_case "version monotonic" `Quick test_store_version_monotonic;
+        Alcotest.test_case "sparse versions" `Quick test_store_sparse_versions;
+        Alcotest.test_case "copy flattens and isolates" `Quick test_store_copy_flattens;
+        Alcotest.test_case "gc keeps visibility" `Quick test_store_gc;
+      ] );
+    ( "mvcc.locks",
+      [
+        Alcotest.test_case "grant and re-entry" `Quick test_locks_grant_and_reentry;
+        Alcotest.test_case "block and FIFO handoff" `Quick test_locks_block_and_handoff;
+        Alcotest.test_case "deadlock detection" `Quick test_locks_deadlock_detection;
+        Alcotest.test_case "no false deadlock" `Quick test_locks_no_false_deadlock;
+        Alcotest.test_case "cancel wait" `Quick test_locks_cancel_wait;
+        Alcotest.test_case "release frees" `Quick test_locks_release_frees;
+      ] );
+    ( "mvcc.commit_order",
+      [
+        Alcotest.test_case "sequencing" `Quick test_commit_order_sequencing;
+        Alcotest.test_case "abuse blocks forever" `Quick test_commit_order_abuse_blocks;
+        Alcotest.test_case "wrong announce rejected" `Quick test_commit_order_wrong_announce;
+      ] );
+    ( "mvcc.db",
+      [
+        Alcotest.test_case "read your writes" `Quick test_db_read_your_writes;
+        Alcotest.test_case "snapshot isolation" `Quick test_db_snapshot_isolation;
+        Alcotest.test_case "first-updater-wins (committed)" `Quick
+          test_db_first_updater_wins_committed;
+        Alcotest.test_case "blocked writer aborts after holder commits" `Quick
+          test_db_blocked_writer_aborts_after_holder_commits;
+        Alcotest.test_case "blocked writer proceeds after holder aborts" `Quick
+          test_db_blocked_writer_proceeds_after_holder_aborts;
+        Alcotest.test_case "deadlock victim aborted" `Quick test_db_deadlock_victim;
+        Alcotest.test_case "write skew allowed (SI)" `Quick test_db_write_skew_allowed;
+        Alcotest.test_case "group commit shares fsyncs" `Quick test_db_group_commit_fsyncs;
+        Alcotest.test_case "ordered announce (COMMIT n)" `Quick test_db_ordered_announce;
+        Alcotest.test_case "no intermediate snapshot exposed" `Quick
+          test_db_no_intermediate_snapshot_exposed;
+        Alcotest.test_case "skip_order unblocks successors" `Quick
+          test_db_skip_order_unblocks;
+        Alcotest.test_case "remote priority preempts local" `Quick
+          test_db_remote_priority_preempts;
+        Alcotest.test_case "remote without priority waits" `Quick
+          test_db_remote_no_priority_waits;
+        Alcotest.test_case "artificial conflict wedges concurrent submission" `Quick
+          test_db_artificial_conflict_stalls_concurrent_submission;
+        Alcotest.test_case "doom a parked transaction" `Quick
+          test_db_doom_parked_transaction;
+        Alcotest.test_case "crash/recover (synchronous)" `Quick
+          test_db_crash_recover_synchronous;
+        Alcotest.test_case "crash loses all (asynchronous)" `Quick
+          test_db_crash_asynchronous_loses_everything;
+        Alcotest.test_case "periodic durability keeps prefix" `Quick
+          test_db_periodic_durability_prefix;
+        Alcotest.test_case "restore from dump" `Quick test_db_restore_from_dump;
+        Alcotest.test_case "read-only commit is free" `Quick test_db_commit_readonly;
+        Alcotest.test_case "vacuum prunes old versions" `Quick test_db_vacuum_prunes_versions;
+      ]
+      @ qsuite [ prop_no_lost_updates ] );
+  ]

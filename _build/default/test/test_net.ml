@@ -1,0 +1,220 @@
+(* Tests for the simulated network. *)
+
+open Sim
+
+let us = Time.us
+
+let fast_config =
+  {
+    Net.Network.latency_lo = us 50;
+    latency_hi = us 50;
+    bandwidth_bytes_per_sec = 1_000_000_000.;
+  }
+
+let make () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~rng:(Rng.create 1) ~config:fast_config () in
+  (e, net)
+
+let test_delivery () =
+  let e, net = make () in
+  let a = Net.Network.register net "a" in
+  ignore a;
+  let b = Net.Network.register net "b" in
+  let got = ref [] in
+  let _ =
+    Engine.spawn e (fun () ->
+        for _ = 1 to 3 do
+          got := Mailbox.recv b :: !got
+        done)
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        Net.Network.send net ~src:"a" ~dst:"b" 1;
+        Net.Network.send net ~src:"a" ~dst:"b" 2;
+        Net.Network.send net ~src:"a" ~dst:"b" 3)
+  in
+  Engine.run e;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (List.rev !got);
+  Alcotest.(check int) "delivered" 3 (Net.Network.messages_delivered net);
+  Alcotest.(check bool) "latency applied" true Time.(Engine.now e >= us 50)
+
+let test_fifo_per_link_with_jitter () =
+  let e = Engine.create () in
+  let jittery =
+    { Net.Network.latency_lo = us 10; latency_hi = us 500; bandwidth_bytes_per_sec = 1e9 }
+  in
+  let net = Net.Network.create e ~rng:(Rng.create 7) ~config:jittery () in
+  let b = Net.Network.register net "b" in
+  let got = ref [] in
+  let n = 50 in
+  let _ =
+    Engine.spawn e (fun () ->
+        for _ = 1 to n do
+          got := Mailbox.recv b :: !got
+        done)
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        for i = 1 to n do
+          Net.Network.send net ~src:"a" ~dst:"b" i;
+          Engine.sleep e (us 1)
+        done)
+  in
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo despite jitter" (List.init n (fun i -> i + 1))
+    (List.rev !got)
+
+let test_unknown_destination_dropped () =
+  let e, net = make () in
+  Net.Network.send net ~src:"a" ~dst:"ghost" 1;
+  Engine.run e;
+  Alcotest.(check int) "dropped" 1 (Net.Network.messages_dropped net);
+  Alcotest.(check int) "none delivered" 0 (Net.Network.messages_delivered net)
+
+let test_partition_and_heal () =
+  let e, net = make () in
+  let b = Net.Network.register net "b" in
+  let got = ref [] in
+  let _ =
+    Engine.spawn e (fun () ->
+        got := Mailbox.recv b :: !got)
+  in
+  Net.Network.partition net "a" "b";
+  Net.Network.send net ~src:"a" ~dst:"b" 1;
+  Net.Network.send net ~src:"b" ~dst:"a" 2;
+  Engine.schedule e ~at:(us 100) (fun () ->
+      Net.Network.heal net "a" "b";
+      Net.Network.send net ~src:"a" ~dst:"b" 3);
+  Engine.run e;
+  Alcotest.(check (list int)) "only post-heal message" [ 3 ] !got;
+  Alcotest.(check int) "two dropped" 2 (Net.Network.messages_dropped net)
+
+let test_unregister_drops () =
+  let e, net = make () in
+  let _b = Net.Network.register net "b" in
+  Net.Network.send net ~src:"a" ~dst:"b" 1;
+  Net.Network.unregister net "b";
+  Engine.run e;
+  Alcotest.(check int) "in-flight message dropped on arrival" 1
+    (Net.Network.messages_dropped net)
+
+let test_reregister_fresh_mailbox () =
+  let e, net = make () in
+  let _b = Net.Network.register net "b" in
+  Net.Network.unregister net "b";
+  let b2 = Net.Network.register net "b" in
+  let got = ref 0 in
+  let _ = Engine.spawn e (fun () -> got := Mailbox.recv b2) in
+  Net.Network.send net ~src:"a" ~dst:"b" 9;
+  Engine.run e;
+  Alcotest.(check int) "new endpoint receives" 9 !got
+
+let test_duplicate_register_rejected () =
+  let _, net = make () in
+  let _ = Net.Network.register net "a" in
+  match Net.Network.register net "a" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_drop_rate () =
+  let e, net = make () in
+  let b = Net.Network.register net "b" in
+  Net.Network.set_drop_rate net 1.0;
+  for i = 1 to 10 do
+    Net.Network.send net ~src:"a" ~dst:"b" i
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all dropped" 10 (Net.Network.messages_dropped net);
+  Alcotest.(check int) "mailbox empty" 0 (Mailbox.length b)
+
+let test_transfer_time () =
+  let e = Engine.create () in
+  let slow =
+    { Net.Network.latency_lo = us 0; latency_hi = us 0; bandwidth_bytes_per_sec = 1_000_000. }
+  in
+  let net = Net.Network.create e ~rng:(Rng.create 1) ~config:slow () in
+  let b = Net.Network.register net "b" in
+  let arrival = ref Time.zero in
+  let _ =
+    Engine.spawn e (fun () ->
+        ignore (Mailbox.recv b);
+        arrival := Engine.now e)
+  in
+  (* 1 MB over 1 MB/s should take ~1 s *)
+  Net.Network.send net ~src:"a" ~dst:"b" ~size:1_000_000 0;
+  Engine.run e;
+  Alcotest.(check int) "1s transfer" 1_000_000 (Time.to_us !arrival)
+
+
+(* Property: per-link delivery order always matches send order, for random
+   message sizes, latencies and interleavings across several links. *)
+let prop_fifo_per_link =
+  QCheck.Test.make ~name:"network delivery is FIFO per link" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let e = Engine.create () in
+      let rng = Rng.create seed in
+      let jitter =
+        { Net.Network.latency_lo = us 5; latency_hi = us 2_000; bandwidth_bytes_per_sec = 1e7 }
+      in
+      let net = Net.Network.create e ~rng:(Rng.split rng) ~config:jitter () in
+      let dsts = [ "d0"; "d1" ] in
+      let received = Hashtbl.create 8 in
+      List.iter
+        (fun d ->
+          let mb = Net.Network.register net d in
+          Hashtbl.replace received d (ref []);
+          ignore
+            (Engine.spawn e (fun () ->
+                 let log = Hashtbl.find received d in
+                 let rec loop () =
+                   log := Mailbox.recv mb :: !log;
+                   loop ()
+                 in
+                 loop ())))
+        dsts;
+      let sent = Hashtbl.create 8 in
+      List.iter (fun s -> List.iter (fun d -> Hashtbl.replace sent (s, d) []) dsts) [ "s0"; "s1" ];
+      ignore
+        (Engine.spawn e (fun () ->
+             for i = 1 to 60 do
+               let src = if Rng.bool rng then "s0" else "s1" in
+               let dst = Rng.pick rng [| "d0"; "d1" |] in
+               let size = 1 + Rng.int rng 5_000 in
+               Hashtbl.replace sent (src, dst) (Hashtbl.find sent (src, dst) @ [ (src, i) ]);
+               Net.Network.send net ~src ~dst ~size (src, i);
+               Engine.sleep e (us (Rng.int rng 300))
+             done));
+      Engine.run ~until:(Time.sec 10) e;
+      (* for each (src, dst), the subsequence received from src preserves order *)
+      List.for_all
+        (fun d ->
+          let got = List.rev !(Hashtbl.find received d) in
+          List.for_all
+            (fun s ->
+              let from_s = List.filter (fun (src, _) -> src = s) got in
+              from_s = Hashtbl.find sent (s, d))
+            [ "s0"; "s1" ])
+        dsts)
+
+let suites =
+  [
+    ( "net.network",
+      [
+        Alcotest.test_case "basic delivery" `Quick test_delivery;
+        Alcotest.test_case "fifo per link despite jitter" `Quick
+          test_fifo_per_link_with_jitter;
+        Alcotest.test_case "unknown destination dropped" `Quick
+          test_unknown_destination_dropped;
+        Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+        Alcotest.test_case "unregister drops in-flight" `Quick test_unregister_drops;
+        Alcotest.test_case "re-register gets fresh mailbox" `Quick
+          test_reregister_fresh_mailbox;
+        Alcotest.test_case "duplicate register rejected" `Quick
+          test_duplicate_register_rejected;
+        Alcotest.test_case "drop rate" `Quick test_drop_rate;
+        Alcotest.test_case "transfer time" `Quick test_transfer_time;
+        QCheck_alcotest.to_alcotest prop_fifo_per_link;
+      ] );
+  ]

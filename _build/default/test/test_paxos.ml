@@ -1,0 +1,279 @@
+(* Tests for the Paxos-replicated log used by the certifier group. *)
+
+open Sim
+
+type cluster = {
+  engine : Engine.t;
+  net : string Paxos.Node.message Net.Network.t;
+  nodes : (string * string Paxos.Node.t) list;
+  delivered : (string, (int * string) list ref) Hashtbl.t;
+}
+
+let node_ids n = List.init n (fun i -> Printf.sprintf "c%d" i)
+
+let make_cluster ?(n = 3) ?(seed = 1) () =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let net = Net.Network.create engine ~rng:(Rng.split rng) () in
+  let ids = node_ids n in
+  let delivered = Hashtbl.create n in
+  let nodes =
+    List.map
+      (fun id ->
+        let mb = Net.Network.register net id in
+        let disk = Storage.Disk.create engine ~rng:(Rng.split rng) ~name:(id ^ ".disk") () in
+        let log = ref [] in
+        Hashtbl.replace delivered id log;
+        let send ~dst msg =
+          Net.Network.send net ~src:id ~dst
+            ~size:(Paxos.Node.message_bytes String.length msg)
+            msg
+        in
+        let node =
+          Paxos.Node.create engine ~rng:(Rng.split rng) ~id
+            ~peers:(List.filter (fun p -> p <> id) ids)
+            ~disk ~send
+            ~on_deliver:(fun slot v -> log := (slot, v) :: !log)
+            ()
+        in
+        ignore
+          (Engine.spawn engine ~name:(id ^ ".pump") (fun () ->
+               let rec loop () =
+                 Paxos.Node.handle node (Mailbox.recv mb);
+                 loop ()
+               in
+               loop ()));
+        (id, node))
+      ids
+  in
+  { engine; net; nodes; delivered }
+
+let run_for c span = Engine.run ~until:(Time.add (Engine.now c.engine) span) c.engine
+
+let leaders c =
+  List.filter_map
+    (fun (id, node) ->
+      if Paxos.Node.is_up node && Paxos.Node.is_leader node then Some id else None)
+    c.nodes
+
+let the_leader c =
+  match leaders c with
+  | [ id ] -> (id, List.assoc id c.nodes)
+  | [] -> Alcotest.fail "no leader elected"
+  | _ -> Alcotest.fail "multiple leaders claim the same moment"
+
+let log_of c id = List.rev !(Hashtbl.find c.delivered id)
+
+let propose_ok c value =
+  let _, leader = the_leader c in
+  Alcotest.(check bool) ("propose " ^ value) true (Paxos.Node.propose leader value)
+
+let test_leader_election () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  let ls = leaders c in
+  Alcotest.(check int) "exactly one leader" 1 (List.length ls);
+  (* all nodes agree on the hint *)
+  List.iter
+    (fun (_, node) ->
+      Alcotest.(check (option string)) "hint" (Some (List.hd ls)) (Paxos.Node.leader_hint node))
+    c.nodes
+
+let test_replication_basic () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  propose_ok c "a";
+  propose_ok c "b";
+  propose_ok c "c";
+  run_for c (Time.sec 2);
+  List.iter
+    (fun (id, _) ->
+      Alcotest.(check (list (pair int string)))
+        (id ^ " delivered all in order")
+        [ (1, "a"); (2, "b"); (3, "c") ]
+        (log_of c id))
+    c.nodes
+
+let test_propose_on_follower_rejected () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  let leader_id, _ = the_leader c in
+  let follower =
+    snd (List.find (fun (id, _) -> id <> leader_id) c.nodes)
+  in
+  Alcotest.(check bool) "follower refuses" false (Paxos.Node.propose follower "x")
+
+let test_leader_crash_failover () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  propose_ok c "a";
+  run_for c (Time.sec 1);
+  let old_leader_id, old_leader = the_leader c in
+  Paxos.Node.crash old_leader;
+  run_for c (Time.sec 3);
+  let new_leader_id, _ = the_leader c in
+  Alcotest.(check bool) "different node leads" true (new_leader_id <> old_leader_id);
+  propose_ok c "b";
+  run_for c (Time.sec 1);
+  List.iter
+    (fun (id, node) ->
+      if Paxos.Node.is_up node then
+        Alcotest.(check (list (pair int string)))
+          (id ^ " consistent after failover")
+          [ (1, "a"); (2, "b") ]
+          (List.filter (fun (_, v) -> v = "a" || v = "b") (log_of c id)))
+    c.nodes
+
+let test_crash_recover_catches_up () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  propose_ok c "a";
+  run_for c (Time.sec 1);
+  (* crash a follower, commit more, recover it *)
+  let leader_id, _ = the_leader c in
+  let fid, follower = List.find (fun (id, _) -> id <> leader_id) c.nodes in
+  Paxos.Node.crash follower;
+  propose_ok c "b";
+  propose_ok c "c";
+  run_for c (Time.sec 1);
+  (* deliveries before the crash are forgotten with the volatile state *)
+  (Hashtbl.find c.delivered fid) := [];
+  Paxos.Node.recover follower;
+  run_for c (Time.sec 3);
+  Alcotest.(check (list (pair int string)))
+    "recovered node replays the full chosen log"
+    [ (1, "a"); (2, "b"); (3, "c") ]
+    (log_of c fid)
+
+let test_minority_partition_blocks_commit () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  let leader_id, leader = the_leader c in
+  (* cut the leader off from both followers *)
+  List.iter
+    (fun (id, _) -> if id <> leader_id then Net.Network.partition c.net leader_id id)
+    c.nodes;
+  let before = Paxos.Node.commit_index leader in
+  ignore (Paxos.Node.propose leader "lost?");
+  run_for c (Time.sec 1);
+  Alcotest.(check int) "isolated leader cannot commit" before
+    (Paxos.Node.commit_index leader);
+  (* the majority side elects its own leader and can make progress *)
+  let majority_leaders = List.filter (fun id -> id <> leader_id) (leaders c) in
+  Alcotest.(check bool) "majority elected a leader" true (majority_leaders <> []);
+  (* heal: the old leader steps down and learns the new history *)
+  List.iter
+    (fun (id, _) -> if id <> leader_id then Net.Network.heal c.net leader_id id)
+    c.nodes;
+  let new_leader = snd (the_leader { c with nodes = List.filter (fun (id, _) -> id <> leader_id) c.nodes }) in
+  ignore (Paxos.Node.propose new_leader "x");
+  run_for c (Time.sec 3);
+  Alcotest.(check int) "exactly one leader after heal" 1 (List.length (leaders c));
+  let logs =
+    List.map (fun (id, _) -> List.map snd (log_of c id)) c.nodes
+  in
+  List.iter
+    (fun log -> Alcotest.(check bool) "x chosen everywhere" true (List.mem "x" log))
+    logs
+
+let test_single_node_cluster () =
+  let c = make_cluster ~n:1 () in
+  run_for c (Time.sec 1);
+  propose_ok c "solo";
+  run_for c (Time.sec 1);
+  Alcotest.(check (list (pair int string))) "delivered" [ (1, "solo") ] (log_of c "c0")
+
+let test_leader_disk_groups_fsyncs () =
+  (* Many concurrent proposals at the same instant: the leader's WAL groups
+     their accepted-records into very few fsyncs. *)
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  let _, leader = the_leader c in
+  let wal = Paxos.Node.wal leader in
+  Storage.Wal.reset_stats wal;
+  for i = 1 to 30 do
+    ignore (Paxos.Node.propose leader (Printf.sprintf "v%d" i))
+  done;
+  run_for c (Time.sec 2);
+  Alcotest.(check int) "30 records" 30 (Storage.Wal.records_synced wal);
+  Alcotest.(check bool) "few fsyncs" true (Storage.Wal.sync_count wal <= 3);
+  Alcotest.(check bool) "mean group size >= 10" true (Storage.Wal.mean_group_size wal >= 10.)
+
+(* Property: under random crash/recover churn of followers, delivered logs
+   on live nodes are always prefix-consistent. *)
+let prop_prefix_consistency =
+  QCheck.Test.make ~name:"paxos logs are prefix consistent under churn" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = make_cluster ~seed () in
+      let rng = Rng.create (seed + 77) in
+      run_for c (Time.sec 2);
+      let ok = ref true in
+      for round = 1 to 6 do
+        (match leaders c with
+        | [ id ] ->
+            let leader = List.assoc id c.nodes in
+            for i = 1 to 3 do
+              ignore (Paxos.Node.propose leader (Printf.sprintf "r%d-%d" round i))
+            done
+        | _ -> ());
+        (* randomly crash or recover one node *)
+        let victim_id, victim = List.nth c.nodes (Rng.int rng (List.length c.nodes)) in
+        if Paxos.Node.is_up victim then begin
+          if Rng.chance rng 0.4 then begin
+            Paxos.Node.crash victim;
+            (Hashtbl.find c.delivered victim_id) := []
+          end
+        end
+        else Paxos.Node.recover victim;
+        run_for c (Time.sec 2)
+      done;
+      (* recover everyone and settle *)
+      List.iter
+        (fun (_, node) -> if not (Paxos.Node.is_up node) then Paxos.Node.recover node)
+        c.nodes;
+      run_for c (Time.sec 5);
+      let is_prefix a b =
+        let rec loop = function
+          | [], _ -> true
+          | _, [] -> false
+          | x :: xs, y :: ys -> x = y && loop (xs, ys)
+        in
+        loop (a, b)
+      in
+      let logs = List.map (fun (id, _) -> log_of c id) c.nodes in
+      List.iter
+        (fun a ->
+          List.iter (fun b -> if not (is_prefix a b || is_prefix b a) then ok := false) logs)
+        logs;
+      !ok)
+
+let suites =
+  [
+    ( "paxos.ballot",
+      [
+        Alcotest.test_case "ordering" `Quick (fun () ->
+            let a = Paxos.Ballot.make ~round:1 ~node:"b" in
+            let b = Paxos.Ballot.make ~round:1 ~node:"c" in
+            let c' = Paxos.Ballot.make ~round:2 ~node:"a" in
+            Alcotest.(check bool) "same round, node breaks tie" true Paxos.Ballot.(a < b);
+            Alcotest.(check bool) "higher round wins" true Paxos.Ballot.(b < c');
+            Alcotest.(check bool) "next is greater" true
+              Paxos.Ballot.(a < Paxos.Ballot.next a ~node:"a");
+            Alcotest.(check bool) "initial smallest" true Paxos.Ballot.(Paxos.Ballot.initial < a));
+      ] );
+    ( "paxos.node",
+      [
+        Alcotest.test_case "leader election" `Quick test_leader_election;
+        Alcotest.test_case "replication in order" `Quick test_replication_basic;
+        Alcotest.test_case "follower refuses proposals" `Quick
+          test_propose_on_follower_rejected;
+        Alcotest.test_case "leader crash failover" `Quick test_leader_crash_failover;
+        Alcotest.test_case "crash/recover catches up" `Quick test_crash_recover_catches_up;
+        Alcotest.test_case "minority partition blocks commit" `Quick
+          test_minority_partition_blocks_commit;
+        Alcotest.test_case "single-node cluster" `Quick test_single_node_cluster;
+        Alcotest.test_case "leader disk groups fsyncs" `Quick test_leader_disk_groups_fsyncs;
+      ]
+      @ [ QCheck_alcotest.to_alcotest prop_prefix_consistency ] );
+  ]

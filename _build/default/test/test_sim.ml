@@ -1,0 +1,660 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+open Sim
+
+let us = Time.us
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let check_time msg expected actual =
+  Alcotest.(check int) msg (Time.to_us expected) (Time.to_us actual)
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_arithmetic () =
+  check_int "of_ms" 2_500 (Time.to_us (Time.of_ms 2.5));
+  check_int "of_sec" 1_500_000 (Time.to_us (Time.of_sec 1.5));
+  check_time "add" (us 30) (Time.add (us 10) (us 20));
+  check_time "diff" (us 15) (Time.diff (us 40) (us 25));
+  check_time "scale" (us 50) (Time.scale (us 100) 0.5);
+  check_time "mul" (us 300) (Time.mul (us 100) 3);
+  check_time "div" (us 33) (Time.div (us 100) 3);
+  check_bool "lt" true Time.(us 1 < us 2);
+  check_bool "ge" true Time.(us 2 >= us 2);
+  Alcotest.(check (float 1e-9)) "ratio" 0.25 (Time.ratio (us 25) (us 100));
+  Alcotest.(check string) "pp us" "999us" (Time.to_string (us 999));
+  Alcotest.(check string) "pp ms" "1.500ms" (Time.to_string (us 1_500));
+  Alcotest.(check string) "pp s" "2.000s" (Time.to_string (Time.sec 2))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.int parent 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int child 1000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_rng_ranges () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int rng 10 in
+    check_bool "int in [0,10)" true (x >= 0 && x < 10);
+    let y = Rng.int_in_range rng ~lo:5 ~hi:9 in
+    check_bool "range inclusive" true (y >= 5 && y <= 9);
+    let f = Rng.float rng in
+    check_bool "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 99 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.uniform rng ~lo:6. ~hi:12.
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean near 9" true (abs_float (mean -. 9.) < 0.1)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 5 in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:4.
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean near 4" true (abs_float (mean -. 4.) < 0.1)
+
+let test_rng_chance () =
+  let rng = Rng.create 3 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.chance rng 0.3 then incr hits
+  done;
+  check_bool "p=0.3" true (abs (!hits - 3_000) < 200)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~leq:( <= ) () in
+  let rng = Rng.create 11 in
+  let input = List.init 500 (fun _ -> Rng.int rng 10_000) in
+  List.iter (Heap.push h) input;
+  check_int "length" 500 (Heap.length h);
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  let out = drain [] in
+  Alcotest.(check (list int)) "sorted" (List.sort compare input) out;
+  check_bool "empty after drain" true (Heap.is_empty h)
+
+let test_heap_pop_empty () =
+  let h : int Heap.t = Heap.create ~leq:( <= ) () in
+  check_bool "pop empty" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics *)
+
+let test_engine_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:(us 30) (fun () -> log := 3 :: !log);
+  Engine.schedule e ~at:(us 10) (fun () -> log := 1 :: !log);
+  Engine.schedule e ~at:(us 20) (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_time "clock at last event" (us 30) (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    Engine.schedule e ~at:(us 5) (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo among ties" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~at:(us 10) (fun () -> fired := 10 :: !fired);
+  Engine.schedule e ~at:(us 50) (fun () -> fired := 50 :: !fired);
+  Engine.run ~until:(us 20) e;
+  Alcotest.(check (list int)) "only first" [ 10 ] !fired;
+  check_time "clock advanced to limit" (us 20) (Engine.now e);
+  check_int "one pending" 1 (Engine.pending_events e);
+  Engine.run e;
+  Alcotest.(check (list int)) "second fires on resume" [ 50; 10 ] !fired
+
+let test_engine_schedule_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:(us 10) (fun () ->
+      match Engine.schedule e ~at:(us 5) (fun () -> ()) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "scheduling in the past must be rejected");
+  Engine.run e
+
+let test_fiber_sleep () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let _f =
+    Engine.spawn e (fun () ->
+        log := ("a", Engine.now e) :: !log;
+        Engine.sleep e (us 100);
+        log := ("b", Engine.now e) :: !log;
+        Engine.sleep e (us 50);
+        log := ("c", Engine.now e) :: !log)
+  in
+  Engine.run e;
+  match List.rev !log with
+  | [ ("a", t1); ("b", t2); ("c", t3) ] ->
+      check_time "start" Time.zero t1;
+      check_time "after first sleep" (us 100) t2;
+      check_time "after second sleep" (us 150) t3
+  | _ -> Alcotest.fail "unexpected log"
+
+let test_fiber_join () =
+  let e = Engine.create () in
+  let done_child = ref false in
+  let done_parent = ref false in
+  let _p =
+    Engine.spawn e (fun () ->
+        let child =
+          Engine.spawn e (fun () ->
+              Engine.sleep e (us 500);
+              done_child := true)
+        in
+        Engine.join e child;
+        check_bool "child finished before join returns" true !done_child;
+        check_time "joined at child's end" (us 500) (Engine.now e);
+        done_parent := true)
+  in
+  Engine.run e;
+  check_bool "parent ran to completion" true !done_parent
+
+let test_fiber_join_finished () =
+  let e = Engine.create () in
+  let ok = ref false in
+  let _ =
+    Engine.spawn e (fun () ->
+        let child = Engine.spawn e (fun () -> ()) in
+        Engine.sleep e (us 10);
+        (* child long finished; join must not block *)
+        Engine.join e child;
+        ok := true)
+  in
+  Engine.run e;
+  check_bool "join on finished fiber returns" true !ok
+
+let test_fiber_cancel () =
+  let e = Engine.create () in
+  let reached = ref false in
+  let cleaned = ref false in
+  let f =
+    Engine.spawn e (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            Engine.sleep e (us 1000);
+            reached := true))
+  in
+  Engine.schedule e ~at:(us 10) (fun () -> Engine.cancel e f);
+  Engine.run e;
+  check_bool "body after sleep not reached" false !reached;
+  check_bool "finaliser ran" true !cleaned;
+  check_bool "fiber reported dead" false (Engine.fiber_alive f)
+
+let test_engine_stalled_detection () =
+  let e = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create e () in
+  let _ = Engine.spawn e (fun () -> ignore (Mailbox.recv mb)) in
+  (match Engine.run ~stop_when_idle:false e with
+  | exception Engine.Stalled _ -> ()
+  | () -> Alcotest.fail "expected Stalled");
+  (* default tolerates blocked fibers *)
+  let e2 = Engine.create () in
+  let mb2 : int Mailbox.t = Mailbox.create e2 () in
+  let _ = Engine.spawn e2 (fun () -> ignore (Mailbox.recv mb2)) in
+  Engine.run e2
+
+let test_fiber_exception_propagates () =
+  let e = Engine.create () in
+  let _ = Engine.spawn e (fun () -> failwith "boom") in
+  match Engine.run e with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | () -> Alcotest.fail "expected exception to escape run"
+
+let test_determinism_trace () =
+  (* Two identical engines with the same seed produce the same trace. *)
+  let run_once () =
+    let e = Engine.create () in
+    let rng = Rng.create 2024 in
+    let trace = Buffer.create 256 in
+    let mb = Mailbox.create e () in
+    for i = 1 to 3 do
+      ignore
+        (Engine.spawn e ~name:"producer" (fun () ->
+             for j = 1 to 5 do
+               Engine.sleep e (us (Rng.int_in_range rng ~lo:1 ~hi:50));
+               Mailbox.send mb (i * 100 + j)
+             done))
+    done;
+    ignore
+      (Engine.spawn e ~name:"consumer" (fun () ->
+           for _ = 1 to 15 do
+             let v = Mailbox.recv mb in
+             Buffer.add_string trace
+               (Printf.sprintf "%d@%d;" v (Time.to_us (Engine.now e)))
+           done));
+    Engine.run e;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e () in
+  let got = ref [] in
+  let _ =
+    Engine.spawn e (fun () ->
+        for _ = 1 to 5 do
+          got := Mailbox.recv mb :: !got
+        done)
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        for i = 1 to 5 do
+          Mailbox.send mb i;
+          Engine.sleep e (us 1)
+        done)
+  in
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_mailbox_buffering () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e () in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  check_int "buffered" 2 (Mailbox.length mb);
+  check_bool "try_recv" true (Mailbox.try_recv mb = Some 1);
+  let got = ref 0 in
+  let _ = Engine.spawn e (fun () -> got := Mailbox.recv mb) in
+  Engine.run e;
+  check_int "drained in order" 2 !got;
+  check_bool "empty" true (Mailbox.is_empty mb)
+
+let test_mailbox_recv_batch () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e () in
+  let batches = ref [] in
+  let _ =
+    Engine.spawn e ~name:"batcher" (fun () ->
+        for _ = 1 to 2 do
+          batches := Mailbox.recv_batch mb :: !batches
+        done)
+  in
+  let _ =
+    Engine.spawn e ~name:"sender" (fun () ->
+        Engine.sleep e (us 10);
+        (* all three sent at the same instant: batch together *)
+        Mailbox.send mb 1;
+        Mailbox.send mb 2;
+        Mailbox.send mb 3;
+        Engine.sleep e (us 10);
+        Mailbox.send mb 4)
+  in
+  Engine.run e;
+  match List.rev !batches with
+  | [ first; second ] ->
+      (* The blocked receiver wakes with 1, then drains 2 and 3. *)
+      Alcotest.(check (list int)) "first batch" [ 1; 2; 3 ] first;
+      Alcotest.(check (list int)) "second batch" [ 4 ] second
+  | _ -> Alcotest.fail "expected two batches"
+
+let test_mailbox_cancelled_receiver_skipped () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e () in
+  let got = ref [] in
+  let victim = Engine.spawn e ~name:"victim" (fun () -> got := Mailbox.recv mb :: !got) in
+  let _ = Engine.spawn e ~name:"survivor" (fun () -> got := Mailbox.recv mb :: !got) in
+  Engine.schedule e ~at:(us 5) (fun () -> Engine.cancel e victim);
+  Engine.schedule e ~at:(us 10) (fun () -> Mailbox.send mb 42);
+  Engine.run e;
+  Alcotest.(check (list int)) "survivor got message" [ 42 ] !got
+
+(* ------------------------------------------------------------------ *)
+(* Ivar *)
+
+let test_ivar_roundtrip () =
+  let e = Engine.create () in
+  let iv = Ivar.create e () in
+  let got = ref 0 in
+  let _ = Engine.spawn e (fun () -> got := Ivar.read iv) in
+  Engine.schedule e ~at:(us 100) (fun () -> Ivar.fill iv 7);
+  Engine.run e;
+  check_int "value" 7 !got
+
+let test_ivar_read_after_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create e () in
+  Ivar.fill iv 3;
+  check_bool "filled" true (Ivar.is_filled iv);
+  check_bool "peek" true (Ivar.peek iv = Some 3);
+  let got = ref 0 in
+  let _ = Engine.spawn e (fun () -> got := Ivar.read iv) in
+  Engine.run e;
+  check_int "read returns immediately" 3 !got
+
+let test_ivar_double_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create e () in
+  Ivar.fill iv 1;
+  check_bool "try_fill refused" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill raises" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 2)
+
+let test_ivar_multiple_readers () =
+  let e = Engine.create () in
+  let iv = Ivar.create e () in
+  let total = ref 0 in
+  for _ = 1 to 4 do
+    ignore (Engine.spawn e (fun () -> total := !total + Ivar.read iv))
+  done;
+  Engine.schedule e ~at:(us 10) (fun () -> Ivar.fill iv 5);
+  Engine.run e;
+  check_int "all readers woke" 20 !total
+
+(* ------------------------------------------------------------------ *)
+(* Waitq *)
+
+let test_waitq_signal_broadcast () =
+  let e = Engine.create () in
+  let q = Waitq.create e () in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Engine.spawn e (fun () -> Waitq.wait q; incr woke))
+  done;
+  Engine.schedule e ~at:(us 10) (fun () -> Waitq.signal q);
+  Engine.schedule e ~at:(us 20) (fun () ->
+      check_int "one woke" 1 !woke;
+      Waitq.broadcast q);
+  Engine.run e;
+  check_int "all woke" 3 !woke;
+  check_int "no waiters left" 0 (Waitq.waiters q)
+
+let test_waitq_lost_signal () =
+  let e = Engine.create () in
+  let q = Waitq.create e () in
+  Waitq.signal q;
+  (* no memory: a later waiter stays blocked *)
+  let woke = ref false in
+  let _ = Engine.spawn e (fun () -> Waitq.wait q; woke := true) in
+  Engine.run e;
+  check_bool "signal before wait is lost" false !woke
+
+(* ------------------------------------------------------------------ *)
+(* Resource *)
+
+let test_resource_serialises () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 () in
+  let ends = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Resource.use r (us 100);
+           ends := (i, Engine.now e) :: !ends))
+  done;
+  Engine.run e;
+  (match List.rev !ends with
+  | [ (1, t1); (2, t2); (3, t3) ] ->
+      check_time "first" (us 100) t1;
+      check_time "second" (us 200) t2;
+      check_time "third" (us 300) t3
+  | _ -> Alcotest.fail "unexpected completion order");
+  Alcotest.(check (float 0.02)) "fully utilised" 1.0 (Resource.utilization r)
+
+let test_resource_parallel_servers () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:2 () in
+  let finished = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Resource.use r (us 100);
+           finished := (i, Time.to_us (Engine.now e)) :: !finished))
+  done;
+  Engine.run e;
+  let times = List.map snd (List.rev !finished) in
+  Alcotest.(check (list int)) "two waves" [ 100; 100; 200; 200 ] times
+
+let test_resource_with_held_releases_on_exn () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 () in
+  let second_ran = ref false in
+  let _ =
+    Engine.spawn e (fun () ->
+        match Resource.with_held r (fun () -> failwith "inner") with
+        | exception Failure _ -> ()
+        | () -> ())
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep e (us 1);
+        Resource.use r (us 10);
+        second_ran := true)
+  in
+  Engine.run e;
+  check_bool "resource released after exception" true !second_ran
+
+let test_resource_utilization_accounting () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 () in
+  let _ =
+    Engine.spawn e (fun () ->
+        Resource.use r (us 250);
+        Engine.sleep e (us 750))
+  in
+  Engine.run e;
+  check_time "busy time" (us 250) (Resource.busy_time r);
+  Alcotest.(check (float 0.001)) "25% utilised" 0.25 (Resource.utilization r)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.observe s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_int "count" 8 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev (sample)" 2.13809 (Stats.Summary.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max s)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1_000 do
+    Stats.Histogram.observe h (float_of_int i)
+  done;
+  check_int "count" 1_000 (Stats.Histogram.count h);
+  let p50 = Stats.Histogram.percentile h 0.5 in
+  let p99 = Stats.Histogram.percentile h 0.99 in
+  check_bool "p50 within 10%" true (abs_float (p50 -. 500.) < 50.);
+  check_bool "p99 within 10%" true (abs_float (p99 -. 990.) < 99.);
+  check_bool "p50 < p99" true (p50 < p99);
+  Alcotest.(check (float 0.5)) "mean" 500.5 (Stats.Histogram.mean h)
+
+let test_histogram_empty_and_reset () =
+  let h = Stats.Histogram.create () in
+  Alcotest.(check (float 0.)) "empty percentile" 0. (Stats.Histogram.percentile h 0.99);
+  Stats.Histogram.observe h 10.;
+  Stats.Histogram.reset h;
+  check_int "reset count" 0 (Stats.Histogram.count h)
+
+let test_rate () =
+  let r = Stats.Rate.create () in
+  Stats.Rate.add r 500;
+  Stats.Rate.tick r;
+  Alcotest.(check (float 1e-9)) "per sec" 50.1 (Stats.Rate.per_sec r ~window:(Time.sec 10))
+
+
+let test_engine_yield_interleaves () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let worker name =
+    ignore
+      (Engine.spawn e (fun () ->
+           for i = 1 to 3 do
+             log := Printf.sprintf "%s%d" name i :: !log;
+             Engine.yield e
+           done))
+  in
+  worker "a";
+  worker "b";
+  Engine.run e;
+  Alcotest.(check (list string)) "round-robin interleaving"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_suspend_manual_resume () =
+  let e = Engine.create () in
+  let resume_cell = ref None in
+  let got = ref 0 in
+  let _ =
+    Engine.spawn e (fun () -> got := Engine.suspend e (fun r -> resume_cell := Some r))
+  in
+  Engine.schedule e ~at:(us 10) (fun () ->
+      match !resume_cell with Some r -> r 42 | None -> Alcotest.fail "not registered");
+  Engine.run e;
+  check_int "value passed through suspend" 42 !got
+
+let test_suspend_double_resume_ignored () =
+  let e = Engine.create () in
+  let resume_cell = ref None in
+  let wakeups = ref 0 in
+  let _ =
+    Engine.spawn e (fun () ->
+        ignore (Engine.suspend e (fun r -> resume_cell := Some r) : int);
+        incr wakeups)
+  in
+  Engine.schedule e ~at:(us 10) (fun () ->
+      match !resume_cell with
+      | Some r ->
+          r 1;
+          r 2
+      | None -> ());
+  Engine.run e;
+  check_int "resumed exactly once" 1 !wakeups
+
+let test_rng_copy_same_stream () =
+  let a = Rng.create 5 in
+  ignore (Rng.int a 100);
+  let b = Rng.copy a in
+  for _ = 1 to 20 do
+    check_int "copies advance identically" (Rng.int a 1_000) (Rng.int b 1_000)
+  done
+
+let prop_heap_matches_sorted_list =
+  QCheck.Test.make ~name:"heap pops in sorted order for any input" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:( <= ) () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let suites =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "arithmetic and formatting" `Quick test_time_arithmetic;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "ranges" `Quick test_rng_ranges;
+        Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "chance" `Quick test_rng_chance;
+        Alcotest.test_case "copy preserves stream" `Quick test_rng_copy_same_stream;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "heap sort" `Quick test_heap_sorts;
+        Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+        QCheck_alcotest.to_alcotest prop_heap_matches_sorted_list;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "event order" `Quick test_engine_event_order;
+        Alcotest.test_case "fifo among ties" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "no scheduling in the past" `Quick
+          test_engine_schedule_past_rejected;
+        Alcotest.test_case "fiber sleep" `Quick test_fiber_sleep;
+        Alcotest.test_case "fiber join" `Quick test_fiber_join;
+        Alcotest.test_case "join finished fiber" `Quick test_fiber_join_finished;
+        Alcotest.test_case "fiber cancel runs finalisers" `Quick test_fiber_cancel;
+        Alcotest.test_case "stall detection" `Quick test_engine_stalled_detection;
+        Alcotest.test_case "fiber exception propagates" `Quick
+          test_fiber_exception_propagates;
+        Alcotest.test_case "deterministic trace" `Quick test_determinism_trace;
+        Alcotest.test_case "yield interleaves fairly" `Quick test_engine_yield_interleaves;
+        Alcotest.test_case "suspend/manual resume" `Quick test_suspend_manual_resume;
+        Alcotest.test_case "double resume ignored" `Quick test_suspend_double_resume_ignored;
+      ] );
+    ( "sim.mailbox",
+      [
+        Alcotest.test_case "fifo delivery" `Quick test_mailbox_fifo;
+        Alcotest.test_case "buffering and try_recv" `Quick test_mailbox_buffering;
+        Alcotest.test_case "recv_batch groups" `Quick test_mailbox_recv_batch;
+        Alcotest.test_case "cancelled receiver skipped" `Quick
+          test_mailbox_cancelled_receiver_skipped;
+      ] );
+    ( "sim.ivar",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_ivar_roundtrip;
+        Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill;
+        Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill;
+        Alcotest.test_case "multiple readers" `Quick test_ivar_multiple_readers;
+      ] );
+    ( "sim.waitq",
+      [
+        Alcotest.test_case "signal then broadcast" `Quick test_waitq_signal_broadcast;
+        Alcotest.test_case "signals are not remembered" `Quick test_waitq_lost_signal;
+      ] );
+    ( "sim.resource",
+      [
+        Alcotest.test_case "capacity 1 serialises" `Quick test_resource_serialises;
+        Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
+        Alcotest.test_case "with_held releases on exception" `Quick
+          test_resource_with_held_releases_on_exn;
+        Alcotest.test_case "utilization accounting" `Quick
+          test_resource_utilization_accounting;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "summary" `Quick test_summary;
+        Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        Alcotest.test_case "histogram empty/reset" `Quick test_histogram_empty_and_reset;
+        Alcotest.test_case "rate" `Quick test_rate;
+      ] );
+  ]
