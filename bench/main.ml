@@ -139,6 +139,11 @@ let fig_allupdates ~io ~figt ~figr ~paper_factors () =
     ~what:(Printf.sprintf "writesets per certifier fsync (mw, %d replicas)" n)
     ~paper:"~29"
     ~measured:(Report.f1 (get results "tashkent-mw" n).cert_ws_per_fsync);
+  Report.kv
+    (Printf.sprintf "entries per Accept broadcast (mw, %d replicas)" n)
+    (Printf.sprintf "%.1f mean over %d broadcasts"
+       (get results "tashkent-mw" n).cert_mean_accept_batch
+       (get results "tashkent-mw" n).cert_accept_broadcasts);
   let two = if List.mem 2 (replicas ()) then 2 else 4 in
   Report.paper_vs ~what:"base response-time jump from 1 to 2 replicas" ~paper:"~2x"
     ~measured:
@@ -396,15 +401,31 @@ let micro () =
     done;
     s
   in
+  let loaded_overlay =
+    let o = Tashkent.Overlay.create () in
+    for v = 1 to 1_000 do
+      Tashkent.Overlay.add o
+        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997) }
+    done;
+    o
+  in
   let tests =
     [
       Test.make ~name:"writeset-intersect-hit"
         (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Writeset.intersects ws_a ws_b)));
       Test.make ~name:"writeset-intersect-miss"
         (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Writeset.intersects ws_a ws_c)));
+      Test.make ~name:"writeset-add-supersede"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Mvcc.Writeset.add ws_a (key 1) (Mvcc.Writeset.Update (Mvcc.Value.int 9)))));
       Test.make ~name:"certify-vs-10k-log"
         (Staged.stage (fun () ->
              Sys.opaque_identity (Tashkent.Cert_log.certify loaded_log ws_a ~start_version:9_000)));
+      Test.make ~name:"overlay-conflict-1k"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Tashkent.Overlay.conflict loaded_overlay ws_a ~start_version:900)));
       Test.make ~name:"store-snapshot-read"
         (Staged.stage (fun () -> Sys.opaque_identity (Mvcc.Store.read store ~at:5_000 (key 10))));
       Test.make ~name:"writeset-union-4+4"
@@ -414,6 +435,7 @@ let micro () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let measured = ref [] in
   List.iter
     (fun test ->
       let raws = Benchmark.all cfg [ instance ] test in
@@ -425,9 +447,22 @@ let micro () =
             | Some [ est ] -> est
             | Some _ | None -> nan
           in
+          measured := (name, ns) :: !measured;
           Report.kv name (Printf.sprintf "%.1f ns/op" ns))
         raws)
-    tests
+    tests;
+  (* Machine-readable record for regression tracking: test name -> ns/op. *)
+  let oc = open_out "BENCH_micro.json" in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        (if i = List.length !measured - 1 then "" else ","))
+    (List.rev !measured);
+  output_string oc "}\n";
+  close_out oc;
+  Report.kv "BENCH_micro.json" "written"
 
 let () =
   if !list_only then begin

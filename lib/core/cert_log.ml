@@ -46,31 +46,31 @@ let append t (entry : Types.entry) =
   t.slots.(t.size) <- { entry; certified_back_to = entry.version - 1 };
   t.size <- t.size + 1;
   t.bytes <- t.bytes + Types.entry_bytes entry;
-  List.iter
-    (fun key ->
+  Writeset.iter_keys entry.ws (fun key ->
       match Key.Tbl.find_opt t.writers key with
       | Some versions -> versions := entry.version :: !versions
       | None -> Key.Tbl.replace t.writers key (ref [ entry.version ]))
-    (Writeset.keys entry.ws)
 
 let conflict_in_window t ws ~lo ~hi =
   if hi <= lo then None
-  else
-    List.fold_left
-      (fun best key ->
+  else begin
+    let best = ref None in
+    Writeset.iter_keys ws (fun key ->
         match Key.Tbl.find_opt t.writers key with
-        | None -> best
+        | None -> ()
         | Some versions ->
             let rec scan = function
-              | [] -> best
+              | [] -> ()
               | v :: rest ->
                   if v > hi then scan rest
                   else if v > lo then
-                    (match best with Some b when b >= v -> best | _ -> Some v)
-                  else best
+                    match !best with
+                    | Some b when b >= v -> ()
+                    | _ -> best := Some v
             in
-            scan !versions)
-      None (Writeset.keys ws)
+            scan !versions);
+    !best
+  end
 
 let certify t ws ~start_version = conflict_in_window t ws ~lo:start_version ~hi:t.size
 

@@ -27,6 +27,10 @@ type stats = {
   mean_group_size : float;
   back_certifications : int;
   artificial_conflicts : int;
+  cert_batches : int;
+  mean_cert_batch : float;
+  accept_broadcasts : int;
+  mean_accept_batch : float;
   cpu_utilization : float;
   disk_utilization : float;
 }
@@ -43,10 +47,22 @@ type t = {
   paxos_node : Types.entry Paxos.Node.t;
   mutable clog : Cert_log.t;
   (* Leader-side speculative overlay: certified entries proposed to Paxos
-     but not yet delivered, in version order. *)
-  mutable overlay : Types.entry list;
+     but not yet delivered, key-indexed (see Overlay). *)
+  overlay : Overlay.t;
+  (* Requests queued for the certify fiber; it drains the whole queue each
+     round and certifies the drained set as one batch. *)
+  cert_work : Types.cert_request Mailbox.t;
   pending_replies : (int, Types.cert_request) Hashtbl.t; (* version -> request *)
   decided : (int, int) Hashtbl.t; (* req_id -> version, for retry idempotency *)
+  (* Deliveries accumulated within one instant, flushed as one reply batch
+     sharing a single log scan. *)
+  mutable delivered : (Types.cert_request * int) list; (* newest first *)
+  mutable flush_scheduled : bool;
+  (* Round pacing: the certify fiber blocks here until the current batch
+     is locally durable (or the node crashes), so the next batch forms
+     while the disk works. *)
+  round_gate : unit Mailbox.t;
+  mutable round_waiting : bool;
   mutable was_leader : bool;
   mutable up : bool;
   (* counters *)
@@ -56,6 +72,13 @@ type t = {
   c_aborts_forced : Stats.Counter.t;
   c_fetches : Stats.Counter.t;
   c_artificial : Stats.Counter.t;
+  c_cert_batches : Stats.Counter.t;
+  cert_batch_sizes : Stats.Summary.t;
+  (* The log and its back-certification scan counter survive reset_stats
+     (they are state, not statistics), so windowed stats subtract a
+     baseline captured at the last reset. *)
+  mutable base_log_bytes : int;
+  mutable base_back_certs : int;
 }
 
 let id t = t.node_id
@@ -72,15 +95,7 @@ let send t ~dst msg =
 (* ------------------------------------------------------------------ *)
 (* Certification *)
 
-let overlay_conflict t ws ~start_version =
-  List.fold_left
-    (fun best (entry : Types.entry) ->
-      if entry.version > start_version && Mvcc.Writeset.intersects entry.ws ws then
-        match best with Some b when b >= entry.version -> best | _ -> Some entry.version
-      else best)
-    None t.overlay
-
-let next_version t = Cert_log.version t.clog + List.length t.overlay + 1
+let next_version t = Cert_log.version t.clog + Overlay.size t.overlay + 1
 
 (* Compose the remote writesets for a reply: everything the replica has not
    seen between its reported version and the commit version, excluding its
@@ -120,67 +135,97 @@ let reply_abort t ~(req : Types.cert_request) ~cause =
          remotes = [];
        })
 
-let handle_request t (req : Types.cert_request) =
-  ignore
-    (Engine.spawn t.engine ~name:(t.node_id ^ ".certify") (fun () ->
-         Resource.use t.cpu t.cfg.certify_cpu;
-         if t.up then begin
-           if not (is_leader t) then
-             send t ~dst:req.replica
-               (Types.Cert_redirect { req_id = req.req_id; leader = leader_hint t })
-           else
-             match Hashtbl.find_opt t.decided req.req_id with
-             | Some version ->
-                 (* Retried request whose transaction already committed. *)
-                 reply_commit t ~req ~version
-             | None -> (
-                 Stats.Counter.incr t.c_requests;
-                 let conflict =
-                   match
-                     Cert_log.certify t.clog req.writeset ~start_version:req.start_version
-                   with
-                   | Some v -> Some v
-                   | None -> overlay_conflict t req.writeset ~start_version:req.start_version
-                 in
-                 match conflict with
-                 | Some _ -> reply_abort t ~req ~cause:Types.Ww_conflict
-                 | None ->
-                     if
-                       t.forced_abort_rate > 0.
-                       && Rng.chance t.rng t.forced_abort_rate
-                     then reply_abort t ~req ~cause:Types.Forced
-                     else begin
-                       let version = next_version t in
-                       let entry =
-                         {
-                           Types.version;
-                           origin = req.replica;
-                           req_id = req.req_id;
-                           ws = req.writeset;
-                         }
-                       in
-                       if t.cfg.durable then begin
-                         t.overlay <- t.overlay @ [ entry ];
-                         Hashtbl.replace t.pending_replies version req;
-                         if not (Paxos.Node.propose t.paxos_node entry) then begin
-                           (* Lost leadership in the meantime; drop, the
-                              proxy retries. *)
-                           t.overlay <-
-                             List.filter
-                               (fun (e : Types.entry) -> e.version <> version)
-                               t.overlay;
-                           Hashtbl.remove t.pending_replies version
-                         end
-                       end
-                       else begin
-                         (* tashAPInoCERT: no disk write, apply and answer. *)
-                         Cert_log.append t.clog entry;
-                         Hashtbl.replace t.decided entry.req_id version;
-                         Stats.Counter.incr t.c_commits;
-                         reply_commit t ~req ~version
-                       end
-                     end)
-         end))
+(* One scheduling round of the certify fiber: the batch is certified in
+   arrival order against the log plus the overlay (which accumulates the
+   batch's own accepted entries, so intra-batch ww-conflicts abort the
+   later request), then the whole accepted set goes to Paxos as ONE
+   multi-entry proposal: one Accept broadcast, one WAL batch per acceptor. *)
+let process_batch t (reqs : Types.cert_request list) =
+  Resource.use t.cpu (Time.mul t.cfg.certify_cpu (List.length reqs));
+  if t.up then begin
+    if not (is_leader t) then
+      List.iter
+        (fun (req : Types.cert_request) ->
+          send t ~dst:req.replica
+            (Types.Cert_redirect { req_id = req.req_id; leader = leader_hint t }))
+        reqs
+    else begin
+      Stats.Counter.incr t.c_cert_batches;
+      Stats.Summary.observe t.cert_batch_sizes (float_of_int (List.length reqs));
+      let accepted = ref [] in
+      List.iter
+        (fun (req : Types.cert_request) ->
+          match Hashtbl.find_opt t.decided req.req_id with
+          | Some version ->
+              (* Retried request whose transaction already committed. *)
+              reply_commit t ~req ~version
+          | None -> (
+              Stats.Counter.incr t.c_requests;
+              let conflict =
+                match
+                  Cert_log.certify t.clog req.writeset ~start_version:req.start_version
+                with
+                | Some v -> Some v
+                | None ->
+                    Overlay.conflict t.overlay req.writeset
+                      ~start_version:req.start_version
+              in
+              match conflict with
+              | Some _ -> reply_abort t ~req ~cause:Types.Ww_conflict
+              | None ->
+                  if t.forced_abort_rate > 0. && Rng.chance t.rng t.forced_abort_rate
+                  then reply_abort t ~req ~cause:Types.Forced
+                  else begin
+                    let version = next_version t in
+                    let entry =
+                      {
+                        Types.version;
+                        origin = req.replica;
+                        req_id = req.req_id;
+                        ws = req.writeset;
+                      }
+                    in
+                    if t.cfg.durable then begin
+                      Overlay.add t.overlay entry;
+                      Hashtbl.replace t.pending_replies version req;
+                      accepted := entry :: !accepted
+                    end
+                    else begin
+                      (* tashAPInoCERT: no disk write, apply and answer. *)
+                      Cert_log.append t.clog entry;
+                      Hashtbl.replace t.decided entry.req_id version;
+                      Stats.Counter.incr t.c_commits;
+                      reply_commit t ~req ~version
+                    end
+                  end))
+        reqs;
+      match List.rev !accepted with
+      | [] -> ()
+      | batch ->
+          if Paxos.Node.propose_batch t.paxos_node batch then begin
+            (* Group-commit pacing: hold the next round until this batch
+               is locally durable. Arrivals meanwhile queue in cert_work,
+               so the fsync cycle that groups the log records also sets
+               the batch boundary — under load the next batch is the
+               whole pile, not one request. *)
+            let wal = Paxos.Node.wal t.paxos_node in
+            ignore
+              (Engine.spawn t.engine ~name:(t.node_id ^ ".roundsync") (fun () ->
+                   Storage.Wal.sync wal;
+                   Mailbox.send t.round_gate ()));
+            t.round_waiting <- true;
+            Mailbox.recv t.round_gate;
+            t.round_waiting <- false
+          end
+          else
+            (* Lost leadership in the meantime; drop, the proxies retry. *)
+            List.iter
+              (fun (e : Types.entry) ->
+                Overlay.remove t.overlay e.version;
+                Hashtbl.remove t.pending_replies e.version)
+              batch
+    end
+  end
 
 let handle_fetch t (freq : Types.fetch_request) =
   ignore
@@ -212,17 +257,66 @@ let handle_fetch t (freq : Types.fetch_request) =
 (* ------------------------------------------------------------------ *)
 (* Delivery from Paxos: the replicated state machine *)
 
+(* Commit replies for a contiguous delivered run, composed incrementally:
+   ONE entries_between scan covers the union of all reply windows, each
+   reply then indexes into it. Back-certification stays memoised per log
+   slot, so overlapping windows don't re-scan. *)
+let send_commit_replies t (pending : (Types.cert_request * int) list) =
+  let lo =
+    List.fold_left
+      (fun acc ((req : Types.cert_request), _) -> min acc req.replica_version)
+      max_int pending
+  in
+  let hi = List.fold_left (fun acc (_, version) -> max acc (version - 1)) 0 pending in
+  let entries = Array.of_list (Cert_log.entries_between t.clog ~lo ~hi) in
+  (* entries.(i) holds version lo + 1 + i *)
+  List.iter
+    (fun ((req : Types.cert_request), version) ->
+      let remotes = ref [] in
+      for v = min (version - 1) (lo + Array.length entries) downto req.replica_version + 1
+      do
+        let entry = entries.(v - lo - 1) in
+        if not (String.equal entry.origin req.replica) then begin
+          let conflict_with =
+            Cert_log.back_certify t.clog ~version:v ~down_to:req.replica_version
+          in
+          (match conflict_with with
+          | Some _ -> Stats.Counter.incr t.c_artificial
+          | None -> ());
+          remotes := { Types.version = v; ws = entry.ws; conflict_with } :: !remotes
+        end
+      done;
+      send t ~dst:req.replica
+        (Types.Cert_reply
+           {
+             req_id = req.req_id;
+             decision = Types.Commit;
+             commit_version = version;
+             remotes = !remotes;
+           }))
+    pending
+
+let flush_replies t =
+  let pending = List.rev t.delivered in
+  t.delivered <- [];
+  t.flush_scheduled <- false;
+  if t.up && pending <> [] then send_commit_replies t pending
+
 let on_deliver t _slot (entry : Types.entry) =
   Cert_log.append t.clog entry;
   Hashtbl.replace t.decided entry.req_id entry.version;
-  (match t.overlay with
-  | e :: rest when e.Types.version = entry.version -> t.overlay <- rest
-  | _ -> ());
+  Overlay.remove t.overlay entry.version;
   match Hashtbl.find_opt t.pending_replies entry.version with
   | Some req when is_leader t ->
       Hashtbl.remove t.pending_replies entry.version;
       Stats.Counter.incr t.c_commits;
-      reply_commit t ~req ~version:entry.version
+      t.delivered <- (req, entry.version) :: t.delivered;
+      if not t.flush_scheduled then begin
+        t.flush_scheduled <- true;
+        (* Zero delay: runs after the delivering fiber finishes this
+           instant, so a whole committed batch flushes as one. *)
+        Engine.schedule_after t.engine Time.zero (fun () -> flush_replies t)
+      end
   | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -237,7 +331,7 @@ let spawn_role_watch t =
            Engine.sleep t.engine (Time.of_ms 5.);
            let now_leader = is_leader t in
            if t.was_leader && not now_leader then begin
-             t.overlay <- [];
+             Overlay.clear t.overlay;
              Hashtbl.reset t.pending_replies
            end;
            t.was_leader <- now_leader;
@@ -268,9 +362,14 @@ let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
             ~on_deliver:(fun slot entry -> on_deliver (Lazy.force t) slot entry)
             ~config:config.paxos ();
         clog = Cert_log.create ();
-        overlay = [];
+        overlay = Overlay.create ();
+        cert_work = Mailbox.create engine ~name:(node_id ^ ".certwork") ();
         pending_replies = Hashtbl.create 64;
         decided = Hashtbl.create 1024;
+        delivered = [];
+        flush_scheduled = false;
+        round_gate = Mailbox.create engine ~name:(node_id ^ ".roundgate") ();
+        round_waiting = false;
         was_leader = false;
         up = true;
         c_requests = Stats.Counter.create ();
@@ -279,6 +378,10 @@ let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
         c_aborts_forced = Stats.Counter.create ();
         c_fetches = Stats.Counter.create ();
         c_artificial = Stats.Counter.create ();
+        c_cert_batches = Stats.Counter.create ();
+        cert_batch_sizes = Stats.Summary.create ();
+        base_log_bytes = 0;
+        base_back_certs = 0;
       }
   in
   let t = Lazy.force t in
@@ -287,9 +390,20 @@ let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
          let rec loop () =
            (match Mailbox.recv mailbox with
            | Types.Paxos msg -> if t.up then Paxos.Node.handle t.paxos_node msg
-           | Types.Cert_request req -> if t.up then handle_request t req
+           | Types.Cert_request req -> if t.up then Mailbox.send t.cert_work req
            | Types.Fetch_request freq -> if t.up then handle_fetch t freq
            | Types.Cert_reply _ | Types.Cert_redirect _ | Types.Fetch_reply _ -> ());
+           loop ()
+         in
+         loop ()));
+  ignore
+    (Engine.spawn engine ~name:(node_id ^ ".certify") (fun () ->
+         let rec loop () =
+           (* Blocks for the first request, then drains everything queued
+              behind it: the batch formation rule. Under load the queue
+              refills while this round's CPU + proposal happen, so batch
+              size tracks the arrival rate. *)
+           process_batch t (Mailbox.recv_batch t.cert_work);
            loop ()
          in
          loop ()));
@@ -305,9 +419,17 @@ let crash t =
   (* Volatile certifier state is lost; the log is rebuilt from the durable
      Paxos log on recovery: redelivery re-appends from version 1. *)
   t.clog <- Cert_log.create ();
-  t.overlay <- [];
+  Overlay.clear t.overlay;
+  Mailbox.clear t.cert_work;
+  (* The WAL drops its durability waiters on crash, so the roundsync fiber
+     never fires: release the certify fiber here instead. *)
+  Mailbox.clear t.round_gate;
+  if t.round_waiting then Mailbox.send t.round_gate ();
+  t.delivered <- [];
   Hashtbl.reset t.pending_replies;
-  Hashtbl.reset t.decided
+  Hashtbl.reset t.decided;
+  t.base_log_bytes <- 0;
+  t.base_back_certs <- 0
 
 let recover t =
   t.up <- true;
@@ -321,12 +443,16 @@ let stats t =
     aborts_ww = Stats.Counter.value t.c_aborts_ww;
     aborts_forced = Stats.Counter.value t.c_aborts_forced;
     fetches = Stats.Counter.value t.c_fetches;
-    log_bytes = Cert_log.bytes_total t.clog;
+    log_bytes = Cert_log.bytes_total t.clog - t.base_log_bytes;
     log_fsyncs = Storage.Wal.sync_count wal;
     log_records = Storage.Wal.records_synced wal;
     mean_group_size = Storage.Wal.mean_group_size wal;
-    back_certifications = Cert_log.back_certifications t.clog;
+    back_certifications = Cert_log.back_certifications t.clog - t.base_back_certs;
     artificial_conflicts = Stats.Counter.value t.c_artificial;
+    cert_batches = Stats.Counter.value t.c_cert_batches;
+    mean_cert_batch = Stats.Summary.mean t.cert_batch_sizes;
+    accept_broadcasts = Paxos.Node.accept_broadcasts t.paxos_node;
+    mean_accept_batch = Paxos.Node.mean_accept_batch t.paxos_node;
     cpu_utilization = Resource.utilization t.cpu;
     disk_utilization = Storage.Disk.utilization t.disk;
   }
@@ -338,4 +464,10 @@ let reset_stats t =
   Stats.Counter.reset t.c_aborts_forced;
   Stats.Counter.reset t.c_fetches;
   Stats.Counter.reset t.c_artificial;
+  Stats.Counter.reset t.c_cert_batches;
+  Stats.Summary.reset t.cert_batch_sizes;
+  (* Cumulative log state: window it by baseline instead of clearing. *)
+  t.base_log_bytes <- Cert_log.bytes_total t.clog;
+  t.base_back_certs <- Cert_log.back_certifications t.clog;
+  Paxos.Node.reset_batch_stats t.paxos_node;
   Storage.Wal.reset_stats (Paxos.Node.wal t.paxos_node)

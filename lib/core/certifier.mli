@@ -74,6 +74,12 @@ type stats = {
   back_certifications : int;
   artificial_conflicts : int;
       (** remote writesets annotated with a conflict in some reply *)
+  cert_batches : int;  (** certify-fiber scheduling rounds served *)
+  mean_cert_batch : float;
+      (** mean requests certified per round — grows with load *)
+  accept_broadcasts : int;
+  mean_accept_batch : float;
+      (** mean entries per multi-entry Paxos Accept (> 1 under load) *)
   cpu_utilization : float;
   disk_utilization : float;
 }

@@ -1,0 +1,46 @@
+open Mvcc
+
+type t = {
+  entries : (int, Types.entry) Hashtbl.t; (* version -> entry *)
+  writers : int list ref Key.Tbl.t; (* key -> versions that wrote it, newest first *)
+}
+
+let create () = { entries = Hashtbl.create 64; writers = Key.Tbl.create 256 }
+let size t = Hashtbl.length t.entries
+
+let add t (entry : Types.entry) =
+  Hashtbl.replace t.entries entry.version entry;
+  Writeset.iter_keys entry.ws (fun key ->
+      match Key.Tbl.find_opt t.writers key with
+      | Some versions -> versions := entry.version :: !versions
+      | None -> Key.Tbl.replace t.writers key (ref [ entry.version ]))
+
+let conflict t ws ~start_version =
+  let best = ref None in
+  Writeset.iter_keys ws (fun key ->
+      match Key.Tbl.find_opt t.writers key with
+      | None -> ()
+      | Some versions -> (
+          (* Newest first: the head is this key's largest writer, so one
+             comparison per key decides. *)
+          match !versions with
+          | v :: _ when v > start_version -> (
+              match !best with Some b when b >= v -> () | _ -> best := Some v)
+          | _ -> ()));
+  !best
+
+let remove t version =
+  match Hashtbl.find_opt t.entries version with
+  | None -> ()
+  | Some entry ->
+      Hashtbl.remove t.entries version;
+      Writeset.iter_keys entry.ws (fun key ->
+          match Key.Tbl.find_opt t.writers key with
+          | None -> ()
+          | Some versions -> (
+              versions := List.filter (fun v -> v <> version) !versions;
+              match !versions with [] -> Key.Tbl.remove t.writers key | _ -> ()))
+
+let clear t =
+  Hashtbl.reset t.entries;
+  Key.Tbl.reset t.writers

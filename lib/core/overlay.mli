@@ -1,0 +1,26 @@
+(** Leader-side speculative overlay: entries certified and proposed to
+    Paxos but not yet delivered.
+
+    Key-indexed so that certifying against in-flight transactions is one
+    hash lookup per writeset key instead of a writeset intersection per
+    overlay entry — the overlay can hold a full multi-entry Accept batch
+    per round, which made the old linear scan quadratic per batch. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add : t -> Types.entry -> unit
+(** Versions must be added in increasing order (they are: the certifier
+    assigns them densely). *)
+
+val conflict : t -> Mvcc.Writeset.t -> start_version:int -> int option
+(** Largest overlay version above [start_version] writing a key in the
+    writeset, if any. *)
+
+val remove : t -> int -> unit
+(** Drop the entry with this version: on delivery (it is now in the
+    {!Cert_log}) or on proposal rollback. Unknown versions are ignored. *)
+
+val clear : t -> unit

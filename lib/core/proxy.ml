@@ -383,6 +383,10 @@ let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
 
 let pause t =
   t.paused <- true;
+  (* The replica cancels its client fibers before pausing; any of them that
+     died between the inflight increment and decrement in [commit] will
+     never decrement, which would disable [refresh] forever after resume. *)
+  t.inflight <- 0;
   (match t.applier with Some f -> Engine.cancel t.engine f | None -> ());
   (match t.refresher with Some f -> Engine.cancel t.engine f | None -> ());
   t.applier <- None;
@@ -421,4 +425,6 @@ let reset_stats t =
   Stats.Counter.reset t.c_applied;
   Stats.Counter.reset t.c_batches;
   Stats.Counter.reset t.c_artificial;
-  Stats.Counter.reset t.c_refreshes
+  Stats.Counter.reset t.c_refreshes;
+  Stats.Counter.reset t.c_promotions;
+  Stats.Counter.reset t.c_invariant

@@ -60,6 +60,8 @@ type result = {
   aborts : int;
   abort_rate_measured : float;
   cert_ws_per_fsync : float;
+  cert_accept_broadcasts : int;
+  cert_mean_accept_batch : float;
   db_ws_per_fsync : float;
   artificial_conflict_pct : float;
   cert_cpu_util : float;
@@ -145,6 +147,8 @@ let run_replicated cfg mode ~durable_cert =
       (if commits + aborts = 0 then 0.
        else float_of_int aborts /. float_of_int (commits + aborts));
     cert_ws_per_fsync = leader_stats.mean_group_size;
+    cert_accept_broadcasts = leader_stats.accept_broadcasts;
+    cert_mean_accept_batch = leader_stats.mean_accept_batch;
     db_ws_per_fsync =
       avg (fun r -> Storage.Wal.mean_group_size (Mvcc.Db.wal (Tashkent.Replica.db r)));
     artificial_conflict_pct =
@@ -205,6 +209,8 @@ let run_standalone cfg =
       (if commits + aborts = 0 then 0.
        else float_of_int aborts /. float_of_int (commits + aborts));
     cert_ws_per_fsync = 0.;
+    cert_accept_broadcasts = 0;
+    cert_mean_accept_batch = 0.;
     db_ws_per_fsync = Storage.Wal.mean_group_size (Mvcc.Db.wal db);
     artificial_conflict_pct = 0.;
     cert_cpu_util = 0.;

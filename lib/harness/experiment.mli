@@ -40,6 +40,10 @@ type result = {
   aborts : int;
   abort_rate_measured : float;
   cert_ws_per_fsync : float;  (** writesets grouped per certifier-log fsync *)
+  cert_accept_broadcasts : int;
+      (** multi-entry Accept broadcasts sent by the leader *)
+  cert_mean_accept_batch : float;
+      (** mean entries per Accept broadcast (> 1 under load) *)
   db_ws_per_fsync : float;  (** commit records grouped per database-log fsync,
                                 averaged over replicas *)
   artificial_conflict_pct : float;

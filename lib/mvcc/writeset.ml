@@ -2,51 +2,126 @@ type op = Insert of Value.t | Update of Value.t | Delete
 
 type entry = { key : Key.t; op : op }
 
-(* Entries kept in reverse insertion order; a Key.Set mirrors them for O(1)
-   membership. Writesets are small (a handful of rows), so list operations
-   are fine, but intersection over two writesets uses the set. *)
-type t = { rev_entries : entry list; keyset : Key.Set.t }
+(* Writesets are built incrementally while a transaction runs, then read
+   many times on the certification and apply paths (every [intersects],
+   [keys] and [entries] of every certification sits on top of this module).
+   The write side is a plain prepend log — [add] is O(1) even when it
+   supersedes an earlier op on the same key, because duplicates are kept
+   and resolved at seal time. The read side is a lazily computed [sealed]
+   form: a first-write-ordered array of final entries plus a sorted key
+   array, so intersection is a linear merge walk and key iteration is
+   allocation-free. The seal is forced at most once per writeset value:
+   writesets are immutable once the transaction ships them. *)
+type sealed = {
+  ordered : entry array; (* first-write order, final op per key *)
+  sorted_keys : Key.t array; (* ascending by Key.compare *)
+}
 
-let empty = { rev_entries = []; keyset = Key.Set.empty }
-let is_empty t = t.rev_entries = []
+type t = {
+  rev_writes : entry list; (* newest first; may contain superseded ops *)
+  count : int; (* distinct keys *)
+  keyset : Key.Set.t;
+  sealed : sealed Lazy.t;
+}
+
+let seal rev_writes count =
+  match rev_writes with
+  | [] -> { ordered = [||]; sorted_keys = [||] }
+  | e0 :: _ ->
+      let ordered = Array.make count e0 in
+      let slot = Key.Tbl.create (2 * count) in
+      let next = ref 0 in
+      (* Oldest first: the first write of a key fixes its position, later
+         writes overwrite the op in place. *)
+      List.iter
+        (fun e ->
+          match Key.Tbl.find_opt slot e.key with
+          | Some i -> ordered.(i) <- e
+          | None ->
+              let i = !next in
+              incr next;
+              Key.Tbl.replace slot e.key i;
+              ordered.(i) <- e)
+        (List.rev rev_writes);
+      let sorted_keys = Array.map (fun e -> e.key) ordered in
+      Array.sort Key.compare sorted_keys;
+      { ordered; sorted_keys }
+
+let empty =
+  {
+    rev_writes = [];
+    count = 0;
+    keyset = Key.Set.empty;
+    sealed = lazy { ordered = [||]; sorted_keys = [||] };
+  }
+
+let is_empty t = t.count = 0
 
 let add t key op =
-  if Key.Set.mem key t.keyset then
-    (* Supersede: replace the op in place, keeping original position. *)
-    let rev_entries =
-      List.map (fun e -> if Key.equal e.key key then { e with op } else e) t.rev_entries
-    in
-    { t with rev_entries }
-  else { rev_entries = { key; op } :: t.rev_entries; keyset = Key.Set.add key t.keyset }
+  let rev_writes = { key; op } :: t.rev_writes in
+  let count, keyset =
+    if Key.Set.mem key t.keyset then (t.count, t.keyset)
+    else (t.count + 1, Key.Set.add key t.keyset)
+  in
+  { rev_writes; count; keyset; sealed = lazy (seal rev_writes count) }
 
 let singleton key op = add empty key op
 let of_list l = List.fold_left (fun t (key, op) -> add t key op) empty l
-let entries t = List.rev t.rev_entries
-let cardinal t = List.length t.rev_entries
-let keys t = List.rev_map (fun e -> e.key) t.rev_entries
+let entries t = Array.to_list (Lazy.force t.sealed).ordered
+let cardinal t = t.count
+
+let keys t =
+  Array.fold_right (fun e acc -> e.key :: acc) (Lazy.force t.sealed).ordered []
+
+let iter_keys t f = Array.iter (fun e -> f e.key) (Lazy.force t.sealed).ordered
 let mem t key = Key.Set.mem key t.keyset
 
 let intersects a b =
-  (* Iterate the smaller writeset against the other's set. *)
-  let small, large =
-    if Key.Set.cardinal a.keyset <= Key.Set.cardinal b.keyset then (a, b) else (b, a)
-  in
-  List.exists (fun e -> Key.Set.mem e.key large.keyset) small.rev_entries
+  if a.count = 0 || b.count = 0 then false
+  else begin
+    let ka = (Lazy.force a.sealed).sorted_keys in
+    let kb = (Lazy.force b.sealed).sorted_keys in
+    let la = Array.length ka and lb = Array.length kb in
+    let rec walk i j =
+      if i >= la || j >= lb then false
+      else
+        let c = Key.compare ka.(i) kb.(j) in
+        if c = 0 then true else if c < 0 then walk (i + 1) j else walk i (j + 1)
+    in
+    walk 0 0
+  end
 
-let inter_keys a b = Key.Set.elements (Key.Set.inter a.keyset b.keyset)
+let inter_keys a b =
+  if a.count = 0 || b.count = 0 then []
+  else begin
+    let ka = (Lazy.force a.sealed).sorted_keys in
+    let kb = (Lazy.force b.sealed).sorted_keys in
+    let la = Array.length ka and lb = Array.length kb in
+    let rec walk i j acc =
+      if i >= la || j >= lb then List.rev acc
+      else
+        let c = Key.compare ka.(i) kb.(j) in
+        if c = 0 then walk (i + 1) (j + 1) (ka.(i) :: acc)
+        else if c < 0 then walk (i + 1) j acc
+        else walk i (j + 1) acc
+    in
+    walk 0 0 []
+  end
 
 let union earlier later =
-  List.fold_left (fun acc e -> add acc e.key e.op) earlier (entries later)
+  Array.fold_left
+    (fun acc e -> add acc e.key e.op)
+    earlier (Lazy.force later.sealed).ordered
 
 let op_bytes = function
   | Insert v | Update v -> 1 + Value.encoded_bytes v
   | Delete -> 1
 
 let encoded_bytes t =
-  List.fold_left
+  Array.fold_left
     (fun acc e -> acc + Key.encoded_bytes e.key + op_bytes e.op)
     8 (* header: version + count *)
-    t.rev_entries
+    (Lazy.force t.sealed).ordered
 
 let pp_op fmt = function
   | Insert v -> Format.fprintf fmt "ins %a" Value.pp v

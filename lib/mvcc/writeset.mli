@@ -23,6 +23,12 @@ val entries : t -> entry list
 
 val cardinal : t -> int
 val keys : t -> Key.t list
+
+val iter_keys : t -> (Key.t -> unit) -> unit
+(** Allocation-free iteration over the distinct keys, in first-write
+    order. The certification hot path ({!Cert_log}) uses this instead of
+    {!keys} to avoid building a list per conflict check. *)
+
 val mem : t -> Key.t -> bool
 
 val intersects : t -> t -> bool

@@ -63,7 +63,9 @@ type 'v role =
   | Leader of {
       ballot : Ballot.t;
       mutable next_slot : int;
-      acks : (int, string list ref) Hashtbl.t;
+      (* slot -> set of acked peers; Hashtbl.length is O(1), so the
+         majority test never walks the set. *)
+      acks : (int, (string, unit) Hashtbl.t) Hashtbl.t;
     }
 
 type 'v t = {
@@ -86,6 +88,8 @@ type 'v t = {
   mutable role : 'v role;
   mutable leader_seen : string option;
   mutable election_deadline : Time.t;
+  accept_broadcasts : Stats.Counter.t;
+  accept_batch_sizes : Stats.Summary.t;
 }
 
 let majority t = (t.cluster_size / 2) + 1
@@ -141,7 +145,7 @@ let advance_commit t =
       let start = t.commit + 1 in
       let rec advance () =
         match Hashtbl.find_opt l.acks (t.commit + 1) with
-        | Some acks when List.length !acks >= majority t -> (
+        | Some acks when Hashtbl.length acks >= majority t -> (
             match Hashtbl.find_opt t.accepted (t.commit + 1) with
             | Some sv ->
                 t.commit <- t.commit + 1;
@@ -166,40 +170,61 @@ let leader_ack t ballot slot ~from =
         match Hashtbl.find_opt l.acks slot with
         | Some acks -> acks
         | None ->
-            let acks = ref [] in
+            let acks = Hashtbl.create 8 in
             Hashtbl.replace l.acks slot acks;
             acks
       in
-      if not (List.mem from !acks) then acks := from :: !acks;
+      (* A duplicate Accept_ok from the same peer must not double-count
+         toward the majority. *)
+      if not (Hashtbl.mem acks from) then Hashtbl.replace acks from ();
       advance_commit t
   | Leader _ | Follower | Candidate _ -> ()
+
+let accepted_records entries =
+  List.map
+    (fun sv -> Wal_record.Accepted { slot = sv.slot; ballot = sv.ballot; value = sv.value })
+    entries
 
 let send_accepts t ballot entries =
   (* Replicate then self-accept; the self-accept's fsync groups with any
      other in-flight proposal on this node's log disk. *)
+  Stats.Counter.incr t.accept_broadcasts;
+  Stats.Summary.observe t.accept_batch_sizes (float_of_int (List.length entries));
   broadcast t (Accept { ballot; from = t.node_id; entries });
   ignore
     (Engine.spawn t.engine ~name:(t.node_id ^ ".selfaccept") (fun () ->
          List.iter (fun sv -> Hashtbl.replace t.accepted sv.slot sv) entries;
-         List.iter
-           (fun sv ->
-             let record =
-               Wal_record.Accepted { slot = sv.slot; ballot = sv.ballot; value = sv.value }
-             in
-             ignore (Storage.Wal.append t.node_wal ~bytes:(record_bytes t record) record))
-           entries;
+         ignore
+           (Storage.Wal.append_batch t.node_wal ~bytes_of:(record_bytes t)
+              (accepted_records entries));
          Storage.Wal.sync t.node_wal;
          if t.up then
            List.iter (fun sv -> leader_ack t ballot sv.slot ~from:t.node_id) entries))
 
-let propose t v =
+let propose_batch t vs =
   match t.role with
+  | Leader _ when vs = [] -> true
   | Leader l ->
-      let slot = l.next_slot in
-      l.next_slot <- slot + 1;
-      send_accepts t l.ballot [ { slot; ballot = l.ballot; value = Value v } ];
+      let entries =
+        List.map
+          (fun v ->
+            let slot = l.next_slot in
+            l.next_slot <- slot + 1;
+            { slot; ballot = l.ballot; value = Value v })
+          vs
+      in
+      send_accepts t l.ballot entries;
       true
   | Follower | Candidate _ -> false
+
+let propose t v = propose_batch t [ v ]
+
+let accept_broadcasts t = Stats.Counter.value t.accept_broadcasts
+let mean_accept_batch t = Stats.Summary.mean t.accept_batch_sizes
+
+let reset_batch_stats t =
+  Stats.Counter.reset t.accept_broadcasts;
+  Stats.Summary.reset t.accept_batch_sizes
 
 let become_leader t ballot promises =
   (* Merge the highest-ballot accepted value per slot above our commit
@@ -294,13 +319,9 @@ let handle_accept t ~ballot ~from ~entries =
     ignore
       (Engine.spawn t.engine ~name:(t.node_id ^ ".accept") (fun () ->
            List.iter (fun sv -> Hashtbl.replace t.accepted sv.slot sv) entries;
-           List.iter
-             (fun sv ->
-               let record =
-                 Wal_record.Accepted { slot = sv.slot; ballot = sv.ballot; value = sv.value }
-               in
-               ignore (Storage.Wal.append t.node_wal ~bytes:(record_bytes t record) record))
-             entries;
+           ignore
+             (Storage.Wal.append_batch t.node_wal ~bytes_of:(record_bytes t)
+                (accepted_records entries));
            Storage.Wal.sync t.node_wal;
            if t.up then
              t.send ~dst:from
@@ -403,6 +424,8 @@ let create engine ~rng ~id:node_id ~peers ~disk ~send ~on_deliver
       role = Follower;
       leader_seen = None;
       election_deadline = Time.zero;
+      accept_broadcasts = Stats.Counter.create ();
+      accept_batch_sizes = Stats.Summary.create ();
     }
   in
   t.election_deadline <- fresh_deadline t;

@@ -19,7 +19,27 @@
     A node that crashes loses its un-synced WAL tail and rejoins via state
     transfer from the current leader. *)
 
-type 'v message
+type 'v entry_value = 'v Wal_record.entry_value = Noop | Value of 'v
+
+type 'v slot_value = { slot : int; ballot : Ballot.t; value : 'v entry_value }
+
+(** The wire protocol, exposed concretely so tests can inject crafted
+    messages (e.g. duplicate [Accept_ok]s) through {!handle}. *)
+type 'v message =
+  | Prepare of { ballot : Ballot.t; from : string; commit_index : int }
+  | Promise of {
+      ballot : Ballot.t;
+      from : string;
+      accepted : 'v slot_value list;
+      commit_index : int;
+    }
+  | Prepare_reject of { from : string; higher : Ballot.t }
+  | Accept of { ballot : Ballot.t; from : string; entries : 'v slot_value list }
+  | Accept_ok of { ballot : Ballot.t; from : string; slots : int list }
+  | Accept_reject of { from : string; higher : Ballot.t }
+  | Commit of { from : string; entries : (int * 'v entry_value) list; commit_index : int }
+  | Heartbeat of { ballot : Ballot.t; from : string; commit_index : int }
+  | Ask_transfer of { from : string; applied : int }
 
 val message_bytes : ('v -> int) -> 'v message -> int
 (** Wire size estimate, given a value sizer. *)
@@ -67,12 +87,27 @@ val propose : 'v t -> 'v -> bool
     {!leader_hint}. Delivery to [on_deliver] across the group signals
     success. *)
 
+val propose_batch : 'v t -> 'v list -> bool
+(** Submit several values at once: contiguous slots, ONE multi-entry
+    Accept broadcast, and one WAL batch-append (hence at most one fsync)
+    per acceptor for the whole batch. [propose_batch t []] is a no-op that
+    reports leadership. *)
+
 (** {1 Introspection} *)
 
 val commit_index : 'v t -> int
 val applied_index : 'v t -> int
 val current_ballot : 'v t -> Ballot.t
 val wal : 'v t -> 'v Wal_record.t Storage.Wal.t
+
+val accept_broadcasts : 'v t -> int
+(** Accept broadcasts sent while leader — each covers a whole batch. *)
+
+val mean_accept_batch : 'v t -> float
+(** Mean entries per Accept broadcast (> 1 under load once the certifier
+    batches). *)
+
+val reset_batch_stats : 'v t -> unit
 
 (** {1 Crash and recovery} *)
 

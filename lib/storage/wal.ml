@@ -14,6 +14,8 @@ type 'r t = {
   syncs : Stats.Counter.t;
   synced_records : Stats.Counter.t;
   group_sizes : Stats.Summary.t;
+  batch_appends : Stats.Counter.t;
+  append_batch_sizes : Stats.Summary.t;
 }
 
 let create engine ~disk ?(synchronous = true) ?(name = "wal") () =
@@ -32,6 +34,8 @@ let create engine ~disk ?(synchronous = true) ?(name = "wal") () =
     syncs = Stats.Counter.create ();
     synced_records = Stats.Counter.create ();
     group_sizes = Stats.Summary.create ();
+    batch_appends = Stats.Counter.create ();
+    append_batch_sizes = Stats.Summary.create ();
   }
 
 let name t = t.label
@@ -49,6 +53,20 @@ let append t ~bytes r =
   t.records.(t.size) <- r;
   t.size <- t.size + 1;
   t.unsynced_bytes <- t.unsynced_bytes + bytes;
+  t.size
+
+(* A producer handing over several records at once (e.g. a multi-entry
+   Paxos Accept) appends them as one batch, so the log can account for
+   producer-side grouping separately from the fsync-side grouping that
+   [group_sizes] tracks. *)
+let append_batch t ~bytes_of records =
+  List.iter (fun r -> ignore (append t ~bytes:(bytes_of r) r)) records;
+  (match records with
+  | [] -> ()
+  | _ ->
+      Stats.Counter.incr t.batch_appends;
+      Stats.Summary.observe t.append_batch_sizes
+        (float_of_int (List.length records)));
   t.size
 
 (* Flush loop: one in-flight fsync at a time; each flush covers everything
@@ -106,8 +124,12 @@ let crash t =
 let sync_count t = Stats.Counter.value t.syncs
 let records_synced t = Stats.Counter.value t.synced_records
 let mean_group_size t = Stats.Summary.mean t.group_sizes
+let batch_appends t = Stats.Counter.value t.batch_appends
+let mean_append_batch t = Stats.Summary.mean t.append_batch_sizes
 
 let reset_stats t =
   Stats.Counter.reset t.syncs;
   Stats.Counter.reset t.synced_records;
-  Stats.Summary.reset t.group_sizes
+  Stats.Summary.reset t.group_sizes;
+  Stats.Counter.reset t.batch_appends;
+  Stats.Summary.reset t.append_batch_sizes

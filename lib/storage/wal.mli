@@ -28,6 +28,13 @@ val append_and_sync : 'r t -> bytes:int -> 'r -> int
 (** Append, then block until the record is durable (or return immediately
     in asynchronous mode). Concurrent callers share fsyncs. *)
 
+val append_batch : 'r t -> bytes_of:('r -> int) -> 'r list -> int
+(** Buffer a producer-side batch of records in order, returning the last
+    LSN. Equivalent to [append] per record, but additionally counted as
+    one batch in the append-batch statistics, so grouping decided by the
+    producer (a multi-entry Paxos Accept) is visible separately from the
+    fsync-side grouping of {!mean_group_size}. Non-blocking. *)
+
 val sync : 'r t -> unit
 (** Block until everything appended so far is durable. No-op in
     asynchronous mode or when already durable. *)
@@ -53,5 +60,11 @@ val records_synced : 'r t -> int
 val mean_group_size : 'r t -> float
 (** Mean number of records made durable per fsync — the paper's
     "writesets per fsync" metric (§9.2 reports ~29 for Tashkent-MW). *)
+
+val batch_appends : 'r t -> int
+(** Number of {!append_batch} calls with at least one record. *)
+
+val mean_append_batch : 'r t -> float
+(** Mean records per {!append_batch} call. *)
 
 val reset_stats : 'r t -> unit

@@ -199,6 +199,59 @@ let test_leader_disk_groups_fsyncs () =
   Alcotest.(check bool) "few fsyncs" true (Storage.Wal.sync_count wal <= 3);
   Alcotest.(check bool) "mean group size >= 10" true (Storage.Wal.mean_group_size wal >= 10.)
 
+let test_propose_batch_one_broadcast () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  let _, leader = the_leader c in
+  let wal = Paxos.Node.wal leader in
+  Storage.Wal.reset_stats wal;
+  Paxos.Node.reset_batch_stats leader;
+  Alcotest.(check bool) "batch accepted" true
+    (Paxos.Node.propose_batch leader [ "a"; "b"; "c"; "d" ]);
+  run_for c (Time.sec 1);
+  Alcotest.(check int) "one Accept broadcast" 1 (Paxos.Node.accept_broadcasts leader);
+  Alcotest.(check (float 0.01)) "four entries in it" 4.
+    (Paxos.Node.mean_accept_batch leader);
+  Alcotest.(check int) "one WAL batch append" 1 (Storage.Wal.batch_appends wal);
+  Alcotest.(check int) "one fsync for the whole batch" 1 (Storage.Wal.sync_count wal);
+  List.iter
+    (fun (id, _) ->
+      Alcotest.(check (list (pair int string)))
+        (id ^ " delivered in order")
+        [ (1, "a"); (2, "b"); (3, "c"); (4, "d") ]
+        (log_of c id))
+    c.nodes;
+  (* the empty batch is a leadership probe, not a broadcast *)
+  Alcotest.(check bool) "empty batch ok" true (Paxos.Node.propose_batch leader []);
+  Alcotest.(check int) "no extra broadcast" 1 (Paxos.Node.accept_broadcasts leader)
+
+let test_duplicate_accept_ok_not_double_counted () =
+  let c = make_cluster ~n:5 () in
+  run_for c (Time.sec 2);
+  let leader_id, leader = the_leader c in
+  (* Isolate the leader so no real acks arrive; majority is 3, and the
+     self-ack provides 1. *)
+  List.iter
+    (fun (id, _) -> if id <> leader_id then Net.Network.partition c.net leader_id id)
+    c.nodes;
+  let slot = Paxos.Node.commit_index leader + 1 in
+  let ballot = Paxos.Node.current_ballot leader in
+  Alcotest.(check bool) "proposed" true (Paxos.Node.propose leader "v");
+  (* Let the self-accept's fsync land, staying under any election timeout. *)
+  run_for c (Time.of_ms 30.);
+  Alcotest.(check int) "self-ack alone does not commit" 0
+    (Paxos.Node.commit_index leader);
+  let followers = List.filter (fun (id, _) -> id <> leader_id) c.nodes in
+  let f1 = fst (List.nth followers 0) and f2 = fst (List.nth followers 1) in
+  let fake from = Paxos.Node.Accept_ok { ballot; from; slots = [ slot ] } in
+  Paxos.Node.handle leader (fake f1);
+  Paxos.Node.handle leader (fake f1);
+  Alcotest.(check int) "duplicate ack from one peer counts once" 0
+    (Paxos.Node.commit_index leader);
+  Paxos.Node.handle leader (fake f2);
+  Alcotest.(check int) "a distinct third ack commits" slot
+    (Paxos.Node.commit_index leader)
+
 (* Property: under random crash/recover churn of followers, delivered logs
    on live nodes are always prefix-consistent. *)
 let prop_prefix_consistency =
@@ -274,6 +327,10 @@ let suites =
           test_minority_partition_blocks_commit;
         Alcotest.test_case "single-node cluster" `Quick test_single_node_cluster;
         Alcotest.test_case "leader disk groups fsyncs" `Quick test_leader_disk_groups_fsyncs;
+        Alcotest.test_case "propose_batch: one broadcast, one fsync" `Quick
+          test_propose_batch_one_broadcast;
+        Alcotest.test_case "duplicate Accept_ok cannot reach majority" `Quick
+          test_duplicate_accept_ok_not_double_counted;
       ]
       @ [ QCheck_alcotest.to_alcotest prop_prefix_consistency ] );
   ]
