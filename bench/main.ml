@@ -16,8 +16,28 @@ let list_only = ref false
 let all_sections =
   [
     "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
-    "ablation"; "micro";
+    "ablation"; "micro"; "chaos";
   ]
+
+(* Machine-readable metrics for regression tracking, written to
+   BENCH_micro.json after all requested sections ran: micro-benchmark
+   ns/op plus the chaos fault/recovery counters. *)
+let json_metrics : (string * float) list ref = ref []
+let record_metric name v = json_metrics := (name, v) :: !json_metrics
+
+let write_json () =
+  let metrics = List.rev !json_metrics in
+  let oc = open_out "BENCH_micro.json" in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (if Float.is_nan v then "null" else Printf.sprintf "%.1f" v)
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
+  output_string oc "}\n";
+  close_out oc;
+  Report.kv "BENCH_micro.json" "written"
 
 let () =
   let set_only s = only := String.split_on_char ',' s in
@@ -451,18 +471,41 @@ let micro () =
           Report.kv name (Printf.sprintf "%.1f ns/op" ns))
         raws)
     tests;
-  (* Machine-readable record for regression tracking: test name -> ns/op. *)
-  let oc = open_out "BENCH_micro.json" in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "  %S: %s%s\n" name
-        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
-        (if i = List.length !measured - 1 then "" else ","))
-    (List.rev !measured);
-  output_string oc "}\n";
-  close_out oc;
-  Report.kv "BENCH_micro.json" "written"
+  List.iter (fun (name, ns) -> record_metric name ns) (List.rev !measured)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: fault-plan runs with their recovery counters. *)
+
+let chaos () =
+  Report.section "Chaos: TPC-B under fault plans (crashes, partitions, loss)";
+  let plans =
+    if !quick then [ ("scripted", Harness.Chaos_exp.Scripted) ]
+    else
+      [
+        ("scripted", Harness.Chaos_exp.Scripted);
+        ("random-2", Harness.Chaos_exp.Random 2);
+      ]
+  in
+  List.iter
+    (fun (name, plan) ->
+      let config = { (Harness.Chaos_exp.default_config ()) with plan } in
+      let r = Harness.Chaos_exp.run ~config () in
+      Report.kv (name ^ " commits") (string_of_int r.commits);
+      Report.kv (name ^ " cert retries") (string_of_int r.cert_retries);
+      Report.kv (name ^ " cert failovers") (string_of_int r.cert_failovers);
+      Report.kv (name ^ " re-fetches") (string_of_int r.refetches);
+      Report.kv (name ^ " crashes/recoveries")
+        (Printf.sprintf "%d/%d" r.fault.Fault.crashes r.fault.Fault.recoveries);
+      Report.kv (name ^ " violations") (string_of_int (List.length r.violations));
+      let m key v = record_metric (Printf.sprintf "chaos/%s/%s" name key) (float_of_int v) in
+      m "commits" r.commits;
+      m "cert_retries" r.cert_retries;
+      m "cert_failovers" r.cert_failovers;
+      m "refetches" r.refetches;
+      m "crashes" r.fault.Fault.crashes;
+      m "recoveries" r.fault.Fault.recoveries;
+      m "violations" (List.length r.violations))
+    plans
 
 let () =
   if !list_only then begin
@@ -494,4 +537,6 @@ let () =
   if wants "recovery" then recovery ();
   if wants "ablation" then ablation ();
   if wants "micro" then micro ();
+  if wants "chaos" then chaos ();
+  if !json_metrics <> [] then write_json ();
   print_newline ()

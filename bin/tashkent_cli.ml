@@ -169,6 +169,48 @@ let consistency_cmd =
     (Cmd.info "consistency" ~doc:"Stress the cluster and verify the GSI safety invariant.")
     Term.(const run $ replicas_t $ seconds_t $ seed_t)
 
+let chaos_cmd =
+  let run n certifiers seconds seed plan_seed =
+    let plan =
+      match plan_seed with
+      | None -> Harness.Chaos_exp.Scripted
+      | Some s -> Harness.Chaos_exp.Random s
+    in
+    let config =
+      {
+        (Harness.Chaos_exp.default_config ()) with
+        n_replicas = n;
+        n_certifiers = certifiers;
+        duration = Sim.Time.of_sec seconds;
+        seed;
+        plan;
+      }
+    in
+    let r = Harness.Chaos_exp.run ~config () in
+    Format.printf "%a@." Harness.Chaos_exp.pp_result r;
+    if r.violations <> [] then exit 1
+  in
+  let plan_seed_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "plan-seed" ] ~docv:"SEED"
+          ~doc:
+            "Generate a random fault plan from this seed instead of the scripted \
+             acceptance scenario.")
+  in
+  let seconds_t =
+    Arg.(
+      value & opt float 20.
+      & info [ "seconds" ] ~docv:"S" ~doc:"Simulated run length (the plan spans it).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run TPC-B under a fault plan (leader crashes, partitions, loss bursts) and \
+          verify the GSI invariants after every heal; exits 1 on any violation.")
+    Term.(const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -176,4 +218,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "tashkent-cli" ~version:"1.0.0"
              ~doc:"Tashkent (EuroSys 2006) reproduction toolkit")
-          [ run_cmd; recovery_cmd; consistency_cmd ]))
+          [ run_cmd; recovery_cmd; consistency_cmd; chaos_cmd ]))

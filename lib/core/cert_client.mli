@@ -1,6 +1,7 @@
 (** Proxy-side client for the certifier group: leader discovery, retries
-    with timeouts (surviving certifier crashes and elections), and routing
-    of replies back to waiting fibers. *)
+    with timeouts and capped exponential backoff (surviving certifier
+    crashes, partitions and elections), and routing of replies back to
+    waiting fibers by request id. *)
 
 type t
 
@@ -10,25 +11,49 @@ val create :
   my_addr:string ->
   certifiers:string list ->
   ?timeout:Sim.Time.t ->
+  ?backoff_base:Sim.Time.t ->
+  ?backoff_cap:Sim.Time.t ->
+  ?rng:Sim.Rng.t ->
   req_id_base:int ->
   unit ->
   t
 (** [req_id_base] makes request ids globally unique across replicas (ids
-    are [req_id_base + n]). Does not register any endpoint: the owner must
-    route {!Types.Cert_reply}, {!Types.Cert_redirect} and
+    are [req_id_base + n]). Retry pacing: attempt [n] backs off
+    [min (backoff_cap, backoff_base * 2^n)] scaled by a jitter factor in
+    [0.5, 1.5) drawn from [rng] (deterministically derived from
+    [req_id_base] when omitted). Does not register any endpoint: the owner
+    must route {!Types.Cert_reply}, {!Types.Cert_redirect} and
     {!Types.Fetch_reply} messages arriving at [my_addr] to {!handle}. *)
 
 val certify :
   t -> start_version:int -> replica_version:int -> Mvcc.Writeset.t -> Types.cert_reply
 (** Blocking: sends the certification request to the presumed leader and
     keeps retrying (same request id, so retries are idempotent) across
-    redirects, timeouts and certifier failovers until a reply arrives. *)
+    redirects, timeouts and certifier failovers until a reply arrives.
+    Redirect hints naming an unknown certifier fall back to round-robin;
+    repeated timeouts or redirect bounces back off exponentially (with
+    jitter) up to [backoff_cap], so a fully partitioned client probes the
+    group at a decaying rate instead of spinning at a fixed interval. *)
 
 val fetch : t -> replica:string -> from_version:int -> Types.fetch_reply option
-(** Blocking, single timeout: used by the bounded-staleness refresher;
-    [None] on timeout. *)
+(** Blocking: used by the bounded-staleness refresher and recovery replay.
+    Each attempt carries a fresh request id, so a stale reply to an
+    abandoned (timed-out or superseded) fetch is discarded instead of
+    filling a newer fetch's waiter; concurrent fetches are routed
+    independently. Retries a bounded number of times across redirects and
+    timeouts, rotating targets; [None] when every attempt timed out. *)
 
 val handle : t -> Types.message -> unit
 
+(** {1 Fault/robustness counters} *)
+
 val requests_sent : t -> int
+
 val retries : t -> int
+(** Certify attempts beyond the first (redirects + timeouts). *)
+
+val failovers : t -> int
+(** Timeouts that rotated the target certifier (certify and fetch). *)
+
+val refetches : t -> int
+(** Fetch attempts beyond the first. *)

@@ -40,6 +40,7 @@ type t = {
   rng : Rng.t;
   node_id : string;
   net : Types.message Net.Network.t;
+  mailbox : Types.message Mailbox.t;
   cfg : config;
   mutable forced_abort_rate : float;
   cpu : Resource.t;
@@ -98,22 +99,25 @@ let send t ~dst msg =
 let next_version t = Cert_log.version t.clog + Overlay.size t.overlay + 1
 
 (* Compose the remote writesets for a reply: everything the replica has not
-   seen between its reported version and the commit version, excluding its
-   own transactions, each annotated with artificial-conflict info. *)
+   seen between its reported version and the commit version, each annotated
+   with artificial-conflict info. The replica's own entries are included
+   too: under failover a retried commit reply can overtake the reply for an
+   earlier own transaction, and a reply that skipped own-origin versions
+   would advance the replica past a hole it can never fill (its own pending
+   commit's reply is the only other carrier). Self-contained replies keep
+   every applied prefix gap-free; the proxy's staleness filter discards the
+   own entries it has already installed. *)
 let compose_remotes t ~(req : Types.cert_request) ~upto =
   let entries = Cert_log.entries_between t.clog ~lo:req.replica_version ~hi:upto in
-  List.filter_map
+  List.map
     (fun (entry : Types.entry) ->
-      if String.equal entry.origin req.replica then None
-      else begin
-        let conflict_with =
-          Cert_log.back_certify t.clog ~version:entry.version ~down_to:req.replica_version
-        in
-        (match conflict_with with
-        | Some _ -> Stats.Counter.incr t.c_artificial
-        | None -> ());
-        Some { Types.version = entry.version; ws = entry.ws; conflict_with }
-      end)
+      let conflict_with =
+        Cert_log.back_certify t.clog ~version:entry.version ~down_to:req.replica_version
+      in
+      (match conflict_with with
+      | Some _ -> Stats.Counter.incr t.c_artificial
+      | None -> ());
+      { Types.version = entry.version; ws = entry.ws; conflict_with })
     entries
 
 let reply_commit t ~(req : Types.cert_request) ~version =
@@ -142,6 +146,14 @@ let reply_abort t ~(req : Types.cert_request) ~cause =
    multi-entry proposal: one Accept broadcast, one WAL batch per acceptor. *)
 let process_batch t (reqs : Types.cert_request list) =
   Resource.use t.cpu (Time.mul t.cfg.certify_cpu (List.length reqs));
+  (* A freshly elected leader re-proposes entries inherited from the
+     previous term; until those are delivered its log can be missing
+     majority-accepted entries, so certifying now could commit a retried
+     request twice or abort it against its own twin. Hold the batch until
+     the inherited prefix has applied (or leadership/liveness is lost). *)
+  while t.up && is_leader t && not (Paxos.Node.leader_ready t.paxos_node) do
+    Engine.sleep t.engine (Time.of_ms 1.)
+  done;
   if t.up then begin
     if not (is_leader t) then
       List.iter
@@ -159,6 +171,14 @@ let process_batch t (reqs : Types.cert_request list) =
           | Some version ->
               (* Retried request whose transaction already committed. *)
               reply_commit t ~req ~version
+          | None when Overlay.holds_request t.overlay ~origin:req.replica ~req_id:req.req_id
+            ->
+              (* Retried request whose first attempt is proposed but not
+                 yet delivered (the client timed out faster than this
+                 round's fsync + quorum). Certifying it again would abort
+                 it against its own in-flight twin; dropping it is safe —
+                 the reply goes out at delivery. *)
+              ()
           | None -> (
               Stats.Counter.incr t.c_requests;
               let conflict =
@@ -237,21 +257,30 @@ let handle_fetch t (freq : Types.fetch_request) =
              Cert_log.entries_between t.clog ~lo:freq.from_version
                ~hi:(Cert_log.version t.clog)
            in
+           (* Unlike commit replies, fetches do NOT exclude the asking
+              replica's own entries: a replica rebuilding after a crash
+              (dump restore, or a redo that lost the un-synced WAL tail)
+              replays from a version below its own committed writes and
+              must get them back from the global log. The steady-state
+              refresher is unaffected — it fetches from its replica
+              version, which its own commits can never exceed. *)
            let remotes =
-             List.filter_map
+             List.map
                (fun (entry : Types.entry) ->
-                 if String.equal entry.origin freq.fetch_replica then None
-                 else
-                   let conflict_with =
-                     Cert_log.back_certify t.clog ~version:entry.version
-                       ~down_to:freq.from_version
-                   in
-                   Some { Types.version = entry.version; ws = entry.ws; conflict_with })
+                 let conflict_with =
+                   Cert_log.back_certify t.clog ~version:entry.version
+                     ~down_to:freq.from_version
+                 in
+                 { Types.version = entry.version; ws = entry.ws; conflict_with })
                entries
            in
            send t ~dst:freq.fetch_replica
              (Types.Fetch_reply
-                { fetch_remotes = remotes; certifier_version = Cert_log.version t.clog })
+                {
+                  fetch_req_id = freq.fetch_req_id;
+                  fetch_remotes = remotes;
+                  certifier_version = Cert_log.version t.clog;
+                })
          end))
 
 (* ------------------------------------------------------------------ *)
@@ -273,18 +302,18 @@ let send_commit_replies t (pending : (Types.cert_request * int) list) =
   List.iter
     (fun ((req : Types.cert_request), version) ->
       let remotes = ref [] in
+      (* Own-origin entries are deliberately included — see
+         [compose_remotes]. *)
       for v = min (version - 1) (lo + Array.length entries) downto req.replica_version + 1
       do
         let entry = entries.(v - lo - 1) in
-        if not (String.equal entry.origin req.replica) then begin
-          let conflict_with =
-            Cert_log.back_certify t.clog ~version:v ~down_to:req.replica_version
-          in
-          (match conflict_with with
-          | Some _ -> Stats.Counter.incr t.c_artificial
-          | None -> ());
-          remotes := { Types.version = v; ws = entry.ws; conflict_with } :: !remotes
-        end
+        let conflict_with =
+          Cert_log.back_certify t.clog ~version:v ~down_to:req.replica_version
+        in
+        (match conflict_with with
+        | Some _ -> Stats.Counter.incr t.c_artificial
+        | None -> ());
+        remotes := { Types.version = v; ws = entry.ws; conflict_with } :: !remotes
       done;
       send t ~dst:req.replica
         (Types.Cert_reply
@@ -349,6 +378,7 @@ let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
         rng;
         node_id;
         net;
+        mailbox;
         cfg = config;
         forced_abort_rate = config.forced_abort_rate;
         cpu = Resource.create engine ~name:(node_id ^ ".cpu") ~capacity:1 ();
@@ -414,26 +444,37 @@ let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
 (* Faults *)
 
 let crash t =
-  t.up <- false;
-  Paxos.Node.crash t.paxos_node;
-  (* Volatile certifier state is lost; the log is rebuilt from the durable
-     Paxos log on recovery: redelivery re-appends from version 1. *)
-  t.clog <- Cert_log.create ();
-  Overlay.clear t.overlay;
-  Mailbox.clear t.cert_work;
-  (* The WAL drops its durability waiters on crash, so the roundsync fiber
-     never fires: release the certify fiber here instead. *)
-  Mailbox.clear t.round_gate;
-  if t.round_waiting then Mailbox.send t.round_gate ();
-  t.delivered <- [];
-  Hashtbl.reset t.pending_replies;
-  Hashtbl.reset t.decided;
-  t.base_log_bytes <- 0;
-  t.base_back_certs <- 0
+  if t.up then begin
+    t.up <- false;
+    (* A dead node has no network presence: drop the endpoint (so in-flight
+       and future sends to it vanish, and per-link FIFO floors are purged)
+       and discard anything already queued. The mailbox object survives for
+       {!recover} to reattach — the pump fiber stays parked on it. *)
+    Net.Network.unregister t.net t.node_id;
+    Mailbox.clear t.mailbox;
+    Paxos.Node.crash t.paxos_node;
+    (* Volatile certifier state is lost; the log is rebuilt from the durable
+       Paxos log on recovery: redelivery re-appends from version 1. *)
+    t.clog <- Cert_log.create ();
+    Overlay.clear t.overlay;
+    Mailbox.clear t.cert_work;
+    (* The WAL drops its durability waiters on crash, so the roundsync fiber
+       never fires: release the certify fiber here instead. *)
+    Mailbox.clear t.round_gate;
+    if t.round_waiting then Mailbox.send t.round_gate ();
+    t.delivered <- [];
+    Hashtbl.reset t.pending_replies;
+    Hashtbl.reset t.decided;
+    t.base_log_bytes <- 0;
+    t.base_back_certs <- 0
+  end
 
 let recover t =
-  t.up <- true;
-  Paxos.Node.recover t.paxos_node
+  if not t.up then begin
+    Net.Network.reattach t.net t.node_id t.mailbox;
+    t.up <- true;
+    Paxos.Node.recover t.paxos_node
+  end
 
 let stats t =
   let wal = Paxos.Node.wal t.paxos_node in

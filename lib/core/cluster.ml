@@ -132,6 +132,89 @@ let check_consistency t =
         t.replica_nodes;
       if !problems = [] then Ok () else Error (String.concat "; " !problems)
 
+(* Structural invariants on the certification log itself, checked against
+   the current leader: version contiguity, at-most-once certification per
+   (origin, req_id), no acknowledged commit missing from the log, and
+   prefix agreement among up certifiers. Complements [check_consistency]
+   (which checks replica *data* against the log) and is what the chaos
+   harness asserts after every heal. *)
+let check_log_invariants t =
+  match leader t with
+  | None -> Error "no certifier leader to check against"
+  | Some lead ->
+      let problems = ref [] in
+      let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+      let llog = Certifier.log lead in
+      let lv = Cert_log.version llog in
+      let entries = Cert_log.entries_between llog ~lo:0 ~hi:lv in
+      (* 1. Versions are contiguous from 1: a gap means a decided entry was
+         dropped somewhere between Paxos delivery and the log. *)
+      ignore
+        (List.fold_left
+           (fun expect (e : Types.entry) ->
+             if e.version <> expect then
+               add "leader log gap: expected version %d, found %d" expect e.version;
+             e.version + 1)
+           1 entries);
+      (* 2. Each (origin, req_id) appears at most once: a duplicate means a
+         retried request was certified twice (e.g. by a leader that exposed
+         state before finishing recovery). *)
+      let seen = Hashtbl.create 1024 in
+      let by_version = Hashtbl.create 1024 in
+      List.iter
+        (fun (e : Types.entry) ->
+          Hashtbl.replace by_version e.version (e.origin, e.req_id);
+          (match Hashtbl.find_opt seen (e.origin, e.req_id) with
+          | Some v ->
+              add "duplicate certification: (%s, req %d) at versions %d and %d" e.origin
+                e.req_id v e.version
+          | None -> ());
+          Hashtbl.replace seen (e.origin, e.req_id) e.version)
+        entries;
+      (* 3. No lost certified writeset: every commit a replica acknowledged
+         to its clients must be backed by a log entry with that origin.
+         (Assumes proxy stats have not been reset since the run began.) *)
+      let per_origin = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Types.entry) ->
+          Hashtbl.replace per_origin e.origin
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_origin e.origin)))
+        entries;
+      List.iter
+        (fun r ->
+          if Replica.is_up r then begin
+            let commits = (Proxy.stats (Replica.proxy r)).commits in
+            let backed =
+              Option.value ~default:0 (Hashtbl.find_opt per_origin (Replica.name r))
+            in
+            if commits > backed then
+              add "%s acknowledged %d commits but the log backs only %d (lost writeset)"
+                (Replica.name r) commits backed
+          end)
+        t.replica_nodes;
+      (* 4. Prefix agreement: every up certifier's log must match the
+         leader's on the versions both hold — Paxos must never let two
+         certifiers decide different entries for the same slot. *)
+      List.iter
+        (fun c ->
+          if Certifier.is_up c && not (String.equal (Certifier.id c) (Certifier.id lead))
+          then
+            let clog = Certifier.log c in
+            let cv = min (Cert_log.version clog) lv in
+            List.iter
+              (fun (e : Types.entry) ->
+                match Hashtbl.find_opt by_version e.version with
+                | Some (origin, req_id)
+                  when String.equal origin e.origin && req_id = e.req_id ->
+                    ()
+                | Some _ ->
+                    add "%s log diverges from leader at version %d" (Certifier.id c)
+                      e.version
+                | None -> ())
+              (Cert_log.entries_between clog ~lo:0 ~hi:cv))
+        t.certifier_nodes;
+      if !problems = [] then Ok () else Error (String.concat "; " (List.rev !problems))
+
 let total_commits t =
   List.fold_left
     (fun acc r -> acc + (Proxy.stats (Replica.proxy r)).commits)

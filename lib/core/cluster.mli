@@ -38,6 +38,15 @@ val check_consistency : t -> (unit, string) result
     certifier log applied up to that replica's version — i.e. each replica
     is a consistent prefix of the global history. *)
 
+val check_log_invariants : t -> (unit, string) result
+(** Structural invariants on the certification log, checked against the
+    current leader: contiguous versions from 1, at-most-once certification
+    per (origin, req_id), every commit acknowledged by an up replica backed
+    by a log entry of that origin (no lost certified writeset), and prefix
+    agreement between every up certifier's log and the leader's. The chaos
+    harness asserts this after each heal; requires proxy stats untouched
+    by {!reset_stats} since the run began. *)
+
 val total_commits : t -> int
 val total_aborts : t -> int
 val reset_stats : t -> unit

@@ -15,6 +15,12 @@ let add t (entry : Types.entry) =
       | Some versions -> versions := entry.version :: !versions
       | None -> Key.Tbl.replace t.writers key (ref [ entry.version ]))
 
+let holds_request t ~origin ~req_id =
+  Hashtbl.fold
+    (fun _ (entry : Types.entry) acc ->
+      acc || (entry.req_id = req_id && String.equal entry.origin origin))
+    t.entries false
+
 let conflict t ws ~start_version =
   let best = ref None in
   Writeset.iter_keys ws (fun key ->

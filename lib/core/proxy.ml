@@ -48,12 +48,15 @@ type stats = {
   artificial_serializations : int;
   refreshes : int;
   local_cert_promotions : int;
+  preempted_commits : int;
 }
 
 type t = {
   engine : Engine.t;
   cfg : config;
   address : string;
+  net : Types.message Net.Network.t;
+  mailbox : Types.message Mailbox.t;
   database : Mvcc.Db.t;
   cpu : Resource.t;
   client : Cert_client.t;
@@ -74,6 +77,7 @@ type t = {
   c_artificial : Stats.Counter.t;
   c_refreshes : Stats.Counter.t;
   c_promotions : Stats.Counter.t;
+  c_preempted : Stats.Counter.t;
   c_invariant : Stats.Counter.t;
 }
 
@@ -81,6 +85,7 @@ let addr t = t.address
 let mode t = t.cfg.mode
 let replica_version t = t.rv
 let db t = t.database
+let client t = t.client
 
 (* ------------------------------------------------------------------ *)
 (* Remote writeset application *)
@@ -186,10 +191,23 @@ let finish_local_commit t w_tx ~version ~order done_ =
   | Ok () ->
       Stats.Counter.incr t.c_commits;
       Ivar.fill done_ (Ok ())
-  | Error reason ->
-      (* See apply_certified: a certified local transaction cannot abort. *)
-      Stats.Counter.incr t.c_invariant;
-      Ivar.fill done_ (Error (Local_abort reason))
+  | Error _doomed ->
+      (* The certifier committed this transaction, but it was doomed
+         locally while its commit reply was delayed (a remote writeset
+         preempted its locks — a soundness shortcut that assumes the local
+         transaction will fail certification, which this one did not; the
+         window only opens when certification outlasts the remote stream,
+         i.e. under certifier failover). The global decision is
+         authoritative: install the buffered writeset as if it arrived
+         remotely — the store slots it at [version], beneath any later
+         committed overwrites. [commit_replicated] already consumed the
+         caller's order slot via skip_order, so draw a fresh one. *)
+      Stats.Counter.incr t.c_preempted;
+      let ws = Mvcc.Db.writeset w_tx.db_tx in
+      let order = Mvcc.Db.next_order t.database in
+      apply_certified t ~version ~order ws;
+      Stats.Counter.incr t.c_commits;
+      Ivar.fill done_ (Ok ())
 
 let process_commit_serial t reply w_tx done_ =
   apply_serial t reply.Types.remotes;
@@ -309,7 +327,7 @@ let commit t w_tx =
 let refresh t =
   if (not t.paused) && t.inflight = 0 && Mailbox.is_empty t.work then begin
     match Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv with
-    | Some { fetch_remotes; certifier_version = _ } when t.inflight = 0 ->
+    | Some { fetch_req_id = _; fetch_remotes; certifier_version = _ } when t.inflight = 0 ->
         let done_ = Ivar.create t.engine () in
         Mailbox.send t.work (Refresh_batch { remotes = fetch_remotes; done_ });
         Ivar.read done_
@@ -346,6 +364,8 @@ let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
       engine;
       cfg;
       address;
+      net;
+      mailbox;
       database;
       cpu;
       client;
@@ -366,6 +386,7 @@ let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
       c_artificial = Stats.Counter.create ();
       c_refreshes = Stats.Counter.create ();
       c_promotions = Stats.Counter.create ();
+      c_preempted = Stats.Counter.create ();
       c_invariant = Stats.Counter.create ();
     }
   in
@@ -394,6 +415,17 @@ let pause t =
   Mailbox.clear t.work;
   Hashtbl.reset t.version_done
 
+let disconnect t =
+  (* The host replica crashed: its address must vanish from the network so
+     in-flight replies are dropped (instead of queueing across the outage)
+     and the per-link FIFO floors involving it are purged. The mailbox
+     object survives — the dispatcher stays parked on it — and is handed
+     back to the network by {!reconnect}. *)
+  Net.Network.unregister t.net t.address;
+  Mailbox.clear t.mailbox
+
+let reconnect t = Net.Network.reattach t.net t.address t.mailbox
+
 let resume t =
   t.paused <- false;
   t.rv <- Mvcc.Db.current_version t.database;
@@ -415,6 +447,7 @@ let stats t =
     artificial_serializations = Stats.Counter.value t.c_artificial;
     refreshes = Stats.Counter.value t.c_refreshes;
     local_cert_promotions = Stats.Counter.value t.c_promotions;
+    preempted_commits = Stats.Counter.value t.c_preempted;
   }
 
 let reset_stats t =
@@ -427,4 +460,5 @@ let reset_stats t =
   Stats.Counter.reset t.c_artificial;
   Stats.Counter.reset t.c_refreshes;
   Stats.Counter.reset t.c_promotions;
+  Stats.Counter.reset t.c_preempted;
   Stats.Counter.reset t.c_invariant

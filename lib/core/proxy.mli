@@ -63,6 +63,10 @@ val mode : t -> Types.mode
 val replica_version : t -> int
 val db : t -> Mvcc.Db.t
 
+val client : t -> Cert_client.t
+(** The underlying certifier client, exposed for its fault/robustness
+    counters (retries, failovers, re-fetches). *)
+
 (** {1 Client interface (the "JDBC" face)} *)
 
 type tx
@@ -94,6 +98,15 @@ val pause : t -> unit
 (** Stop issuing new work (replica crash). In-flight client transactions
     fail. *)
 
+val disconnect : t -> unit
+(** Drop the proxy's network endpoint and queued messages (crash): replies
+    in flight to it vanish, and the network's FIFO floors for its links are
+    purged so {!reconnect} starts clean. *)
+
+val reconnect : t -> unit
+(** Re-register the endpoint dropped by {!disconnect}, reusing the same
+    mailbox (the dispatcher fiber stays parked across the outage). *)
+
 val resume : t -> unit
 
 (** {1 Statistics} *)
@@ -112,6 +125,11 @@ type stats = {
   local_cert_promotions : int;
       (** commits whose effective start version was raised by local
           certification (§6.2) *)
+  preempted_commits : int;
+      (** certified-commit transactions that were doomed locally (lock
+          preemption by a remote writeset, §8.2) while their commit reply
+          was delayed by a certifier failover; their writesets were
+          installed from the buffer under the certifier's decision *)
 }
 
 val stats : t -> stats

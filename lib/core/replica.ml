@@ -201,6 +201,7 @@ let crash t =
   List.iter (fun fiber -> Engine.cancel t.engine fiber) t.clients;
   t.clients <- [];
   Proxy.pause t.the_proxy;
+  Proxy.disconnect t.the_proxy;
   (* A dump that was still being written is simply lost; only complete
      copies ever enter the store (which is why two are kept, 7.1). *)
   t.dump_in_progress <- false;
@@ -239,6 +240,7 @@ let recover t =
         version
   in
   t.up <- true;
+  Proxy.reconnect t.the_proxy;
   Proxy.resume t.the_proxy;
   let restore_done = Engine.now t.engine in
   (* Fetch and apply everything missed while down (proxy_log replay). *)

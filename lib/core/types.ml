@@ -38,9 +38,13 @@ type cert_reply = {
   remotes : remote_ws list;
 }
 
-type fetch_request = { fetch_replica : string; from_version : int }
+type fetch_request = { fetch_req_id : int; fetch_replica : string; from_version : int }
 
-type fetch_reply = { fetch_remotes : remote_ws list; certifier_version : int }
+type fetch_reply = {
+  fetch_req_id : int;
+  fetch_remotes : remote_ws list;
+  certifier_version : int;
+}
 
 type message =
   | Cert_request of cert_request
@@ -54,6 +58,6 @@ let message_bytes = function
   | Cert_request r -> 40 + Mvcc.Writeset.encoded_bytes r.writeset
   | Cert_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 32 r.remotes
   | Cert_redirect _ -> 24
-  | Fetch_request _ -> 24
-  | Fetch_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 24 r.fetch_remotes
+  | Fetch_request _ -> 28
+  | Fetch_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 28 r.fetch_remotes
   | Paxos m -> Paxos.Node.message_bytes entry_bytes m

@@ -53,11 +53,18 @@ type cert_reply = {
 }
 
 type fetch_request = {
+  fetch_req_id : int;
+      (** matches the reply to the waiting fetch; a reply whose id is no
+          longer pending (a timed-out or superseded fetch) is discarded *)
   fetch_replica : string;
   from_version : int;
 }
 
-type fetch_reply = { fetch_remotes : remote_ws list; certifier_version : int }
+type fetch_reply = {
+  fetch_req_id : int;
+  fetch_remotes : remote_ws list;
+  certifier_version : int;
+}
 
 (** Everything that travels on the wire. *)
 type message =

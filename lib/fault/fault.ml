@@ -1,0 +1,286 @@
+open Sim
+
+type node = Cert of int | Rep of int
+
+let pp_node fmt = function
+  | Cert i -> Format.fprintf fmt "cert%d" i
+  | Rep i -> Format.fprintf fmt "replica%d" i
+
+type action =
+  | Partition of node list * node list
+  | Heal of node list * node list
+  | Heal_all
+  | Drop_burst of { rate : float; duration : Time.t }
+  | Latency_spike of { a : node; b : node; extra : Time.t; duration : Time.t }
+  | Crash_certifier of int
+  | Recover_certifier of int
+  | Crash_leader
+  | Recover_crashed
+  | Crash_replica of int
+  | Recover_replica of int
+
+let pp_action fmt = function
+  | Partition (g1, g2) ->
+      Format.fprintf fmt "partition {%a} | {%a}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
+        g1
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
+        g2
+  | Heal (g1, g2) ->
+      Format.fprintf fmt "heal {%a} | {%a}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
+        g1
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
+        g2
+  | Heal_all -> Format.pp_print_string fmt "heal-all"
+  | Drop_burst { rate; duration } ->
+      Format.fprintf fmt "drop-burst %.2f for %a" rate Time.pp duration
+  | Latency_spike { a; b; extra; duration } ->
+      Format.fprintf fmt "latency-spike %a-%a +%a for %a" pp_node a pp_node b Time.pp
+        extra Time.pp duration
+  | Crash_certifier i -> Format.fprintf fmt "crash cert%d" i
+  | Recover_certifier i -> Format.fprintf fmt "recover cert%d" i
+  | Crash_leader -> Format.pp_print_string fmt "crash leader"
+  | Recover_crashed -> Format.pp_print_string fmt "recover crashed leader"
+  | Crash_replica i -> Format.fprintf fmt "crash replica%d" i
+  | Recover_replica i -> Format.fprintf fmt "recover replica%d" i
+
+type plan = (Time.t * action) list
+
+type stats = {
+  actions_applied : int;
+  partitions_cut : int;
+  heals : int;
+  drop_bursts : int;
+  latency_spikes : int;
+  crashes : int;
+  recoveries : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cluster : Tashkent.Cluster.t;
+  net : Tashkent.Types.message Net.Network.t;
+  (* Undirected address pairs currently cut / spiked by this injector, so
+     Heal / Heal_all can undo exactly what was done. *)
+  mutable cut : (string * string) list;
+  mutable spiked : (string * string) list;
+  (* Crash_leader victims, newest first, for Recover_crashed. *)
+  mutable crashed_leaders : int list;
+  mutable crashed_nodes : int; (* crashes minus recoveries, any kind *)
+  (* Actions scheduled but not yet finished (timed faults count until
+     their revert fires). *)
+  mutable outstanding : int;
+  mutable applied : int;
+  c_cuts : int ref;
+  c_heals : int ref;
+  c_bursts : int ref;
+  c_spikes : int ref;
+  c_crashes : int ref;
+  c_recoveries : int ref;
+}
+
+let addr t = function
+  | Cert i -> List.nth (Tashkent.Cluster.certifier_ids t.cluster) i
+  | Rep i -> Tashkent.Replica.name (Tashkent.Cluster.replica t.cluster i)
+
+let pair_eq (a, b) (c, d) =
+  (String.equal a c && String.equal b d) || (String.equal a d && String.equal b c)
+
+let cut_pair t a b =
+  if not (List.exists (pair_eq (a, b)) t.cut) then begin
+    Net.Network.partition t.net a b;
+    t.cut <- (a, b) :: t.cut;
+    incr t.c_cuts
+  end
+
+let heal_pair t a b =
+  if List.exists (pair_eq (a, b)) t.cut then begin
+    Net.Network.heal t.net a b;
+    t.cut <- List.filter (fun p -> not (pair_eq (a, b) p)) t.cut;
+    incr t.c_heals
+  end
+
+let cross t g1 g2 f =
+  List.iter (fun a -> List.iter (fun b -> f (addr t a) (addr t b)) g2) g1
+
+let certifier_at t i = List.nth (Tashkent.Cluster.certifiers t.cluster) i
+
+let leader_index t =
+  match Tashkent.Cluster.leader t.cluster with
+  | None -> None
+  | Some lead ->
+      let id = Tashkent.Certifier.id lead in
+      let rec find i = function
+        | [] -> None
+        | c :: rest ->
+            if String.equal (Tashkent.Certifier.id c) id then Some i
+            else find (i + 1) rest
+      in
+      find 0 (Tashkent.Cluster.certifiers t.cluster)
+
+(* Apply one action. Runs inside its own fiber: timed faults sleep here
+   until their revert, and replica recovery blocks on restore + replay. *)
+let apply t action =
+  (match action with
+  | Partition (g1, g2) -> cross t g1 g2 (cut_pair t)
+  | Heal (g1, g2) -> cross t g1 g2 (heal_pair t)
+  | Heal_all ->
+      List.iter (fun (a, b) -> Net.Network.heal t.net a b) t.cut;
+      t.c_heals := !(t.c_heals) + List.length t.cut;
+      t.cut <- [];
+      List.iter (fun (a, b) -> Net.Network.restore_link t.net a b) t.spiked;
+      t.spiked <- [];
+      Net.Network.set_drop_rate t.net 0.
+  | Drop_burst { rate; duration } ->
+      incr t.c_bursts;
+      Net.Network.set_drop_rate t.net rate;
+      Engine.sleep t.engine duration;
+      Net.Network.set_drop_rate t.net 0.
+  | Latency_spike { a; b; extra; duration } ->
+      incr t.c_spikes;
+      let a = addr t a and b = addr t b in
+      Net.Network.slow_link t.net a b ~extra;
+      t.spiked <- (a, b) :: t.spiked;
+      Engine.sleep t.engine duration;
+      Net.Network.restore_link t.net a b;
+      t.spiked <- List.filter (fun p -> not (pair_eq (a, b) p)) t.spiked
+  | Crash_certifier i ->
+      incr t.c_crashes;
+      t.crashed_nodes <- t.crashed_nodes + 1;
+      Tashkent.Certifier.crash (certifier_at t i)
+  | Recover_certifier i ->
+      incr t.c_recoveries;
+      t.crashed_nodes <- t.crashed_nodes - 1;
+      Tashkent.Certifier.recover (certifier_at t i)
+  | Crash_leader -> (
+      match leader_index t with
+      | None -> () (* election in progress: nothing to kill *)
+      | Some i ->
+          incr t.c_crashes;
+          t.crashed_nodes <- t.crashed_nodes + 1;
+          t.crashed_leaders <- i :: t.crashed_leaders;
+          Tashkent.Certifier.crash (certifier_at t i))
+  | Recover_crashed -> (
+      match t.crashed_leaders with
+      | [] -> ()
+      | i :: rest ->
+          t.crashed_leaders <- rest;
+          incr t.c_recoveries;
+          t.crashed_nodes <- t.crashed_nodes - 1;
+          Tashkent.Certifier.recover (certifier_at t i))
+  | Crash_replica i ->
+      incr t.c_crashes;
+      t.crashed_nodes <- t.crashed_nodes + 1;
+      Tashkent.Replica.crash (Tashkent.Cluster.replica t.cluster i)
+  | Recover_replica i ->
+      incr t.c_recoveries;
+      t.crashed_nodes <- t.crashed_nodes - 1;
+      ignore (Tashkent.Replica.recover (Tashkent.Cluster.replica t.cluster i)));
+  t.applied <- t.applied + 1;
+  t.outstanding <- t.outstanding - 1
+
+let inject cluster plan =
+  let engine = Tashkent.Cluster.engine cluster in
+  let t =
+    {
+      engine;
+      cluster;
+      net = Tashkent.Cluster.network cluster;
+      cut = [];
+      spiked = [];
+      crashed_leaders = [];
+      crashed_nodes = 0;
+      outstanding = List.length plan;
+      applied = 0;
+      c_cuts = ref 0;
+      c_heals = ref 0;
+      c_bursts = ref 0;
+      c_spikes = ref 0;
+      c_crashes = ref 0;
+      c_recoveries = ref 0;
+    }
+  in
+  let plan = List.sort (fun (a, _) (b, _) -> Time.compare a b) plan in
+  let start = Engine.now engine in
+  ignore
+    (Engine.spawn engine ~name:"fault.injector" (fun () ->
+         List.iter
+           (fun (offset, action) ->
+             let due = Time.add start offset in
+             let now = Engine.now engine in
+             if Time.(due > now) then Engine.sleep engine (Time.diff due now);
+             (* Each action gets its own fiber so a timed fault's revert
+                sleep or a blocking replica recovery never delays the next
+                scheduled action. *)
+             ignore (Engine.spawn engine ~name:"fault.action" (fun () -> apply t action)))
+           plan));
+  t
+
+let stats t =
+  {
+    actions_applied = t.applied;
+    partitions_cut = !(t.c_cuts);
+    heals = !(t.c_heals);
+    drop_bursts = !(t.c_bursts);
+    latency_spikes = !(t.c_spikes);
+    crashes = !(t.c_crashes);
+    recoveries = !(t.c_recoveries);
+  }
+
+let quiescent t =
+  t.outstanding = 0 && t.cut = [] && t.spiked = [] && t.crashed_leaders = []
+  && t.crashed_nodes = 0
+  && Net.Network.drop_rate t.net = 0.
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random plans *)
+
+let random_plan ~seed ~duration ~n_certifiers ~n_replicas () =
+  let rng = Rng.create (0xFA17 lxor seed) in
+  let frac lo hi =
+    Rng.time_uniform rng ~lo:(Time.scale duration lo) ~hi:(Time.scale duration hi)
+  in
+  let plan = ref [] in
+  let add time action = plan := (time, action) :: !plan in
+  (* Certifier-leader crash, recovered well before the horizon. One
+     certifier is down at a time: a minority for any group of >= 3, so the
+     remaining nodes keep a quorum (and n_certifiers = 1 setups simply get
+     an outage window). *)
+  let t_crash = frac 0.12 0.22 in
+  add t_crash Crash_leader;
+  add (Time.add t_crash (frac 0.08 0.15)) Recover_crashed;
+  (* A replica partitioned away from every certifier, then healed. *)
+  if n_replicas > 0 && n_certifiers > 0 then begin
+    let victim = Rep (Rng.int rng n_replicas) in
+    let certs = List.init n_certifiers (fun i -> Cert i) in
+    let t_cut = frac 0.3 0.4 in
+    add t_cut (Partition ([ victim ], certs));
+    add (Time.add t_cut (frac 0.08 0.15)) (Heal ([ victim ], certs))
+  end;
+  (* An independent replica crash + recovery. *)
+  if n_replicas > 0 then begin
+    let i = Rng.int rng n_replicas in
+    let t_down = frac 0.45 0.55 in
+    add t_down (Crash_replica i);
+    add (Time.add t_down (frac 0.1 0.15)) (Recover_replica i)
+  end;
+  (* Message-loss burst and a latency spike on a random certifier link. *)
+  add (frac 0.2 0.6)
+    (Drop_burst
+       { rate = Rng.uniform rng ~lo:0.05 ~hi:0.2; duration = frac 0.05 0.1 });
+  if n_certifiers > 1 then begin
+    let a = Rng.int rng n_certifiers in
+    let b = (a + 1 + Rng.int rng (n_certifiers - 1)) mod n_certifiers in
+    add (frac 0.2 0.6)
+      (Latency_spike
+         {
+           a = Cert a;
+           b = Cert b;
+           extra = Rng.time_uniform rng ~lo:(Time.of_ms 1.) ~hi:(Time.of_ms 5.);
+           duration = frac 0.05 0.1;
+         })
+  end;
+  (* Backstop: whatever is still broken heals before the measurement tail. *)
+  add (Time.scale duration 0.85) Heal_all;
+  List.rev !plan

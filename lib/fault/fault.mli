@@ -1,0 +1,91 @@
+(** Deterministic fault injection for the replicated certifier.
+
+    A fault {e plan} is a list of timed actions — partitions, message-loss
+    bursts, latency spikes, and crash/recover of certifier Paxos nodes or
+    whole replicas — applied to a running {!Tashkent.Cluster} by an
+    injector fiber. Plans are either scripted (regression scenarios) or
+    drawn from a seeded RNG ({!random_plan}), so every chaos run replays
+    bit-identically from its seed.
+
+    The fault model follows the paper's §7: certifier nodes fail by
+    crash-stop and rejoin via Paxos state transfer (a minority may be down
+    at any moment); replicas fail independently and recover via dump
+    restore or redo plus writeset replay (§7.1 cases 1 and 2); the network
+    may partition, lose, or delay messages but does not corrupt them. *)
+
+(** A node of the cluster, by role and index (as in
+    {!Tashkent.Cluster.create}: certifiers [cert0..], replicas
+    [replica0..]). *)
+type node = Cert of int | Rep of int
+
+val pp_node : Format.formatter -> node -> unit
+
+type action =
+  | Partition of node list * node list
+      (** Cut every link between the two groups (both directions). *)
+  | Heal of node list * node list
+      (** Undo exactly the cross-group cuts of a matching {!Partition}. *)
+  | Heal_all
+      (** Heal every outstanding partition, restore spiked links, and
+          clear any drop rate. *)
+  | Drop_burst of { rate : float; duration : Sim.Time.t }
+      (** Uniform message loss on all links for [duration]. *)
+  | Latency_spike of {
+      a : node;
+      b : node;
+      extra : Sim.Time.t;
+      duration : Sim.Time.t;
+    }  (** Extra one-way latency on the [a]–[b] link for [duration]. *)
+  | Crash_certifier of int
+  | Recover_certifier of int
+  | Crash_leader
+      (** Crash whichever certifier currently leads (no-op when no leader
+          is up — e.g. during an election). *)
+  | Recover_crashed
+      (** Recover the most recent {!Crash_leader} victim. *)
+  | Crash_replica of int
+  | Recover_replica of int
+
+val pp_action : Format.formatter -> action -> unit
+
+type plan = (Sim.Time.t * action) list
+(** Times are offsets from injection start; the injector sorts them. *)
+
+type stats = {
+  actions_applied : int;
+  partitions_cut : int;  (** individual directed-pair cuts *)
+  heals : int;
+  drop_bursts : int;
+  latency_spikes : int;
+  crashes : int;
+  recoveries : int;
+}
+
+type t
+
+val inject : Tashkent.Cluster.t -> plan -> t
+(** Spawn the injector fiber; returns immediately. Timed reverts
+    (drop-burst and latency-spike expiry, blocking replica recovery) run
+    in their own fibers, so actions never delay each other. *)
+
+val stats : t -> stats
+
+val quiescent : t -> bool
+(** True once every scheduled action has been applied, every timed fault
+    has expired, no partition or spike remains outstanding, and every node
+    this injector crashed has been recovered — i.e. it is sound to assert
+    cluster invariants. *)
+
+val random_plan :
+  seed:int ->
+  duration:Sim.Time.t ->
+  n_certifiers:int ->
+  n_replicas:int ->
+  unit ->
+  plan
+(** A reproducible plan over [duration]: a certifier-leader crash with
+    later recovery, a replica–certifier partition window, a replica crash
+    with recovery, a drop burst and a latency spike — jittered by [seed],
+    never crashing a certifier majority (one certifier down at a time),
+    with every fault healed by [0.85 * duration] (a final {!Heal_all}
+    backstop). *)

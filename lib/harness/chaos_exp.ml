@@ -1,0 +1,216 @@
+open Sim
+
+(* Chaos harness: TPC-B on a replicated cluster under a fault plan, with
+   the GSI safety invariants asserted after every heal/recovery point and
+   at the end of the run. This is the regression net for the failover
+   paths of §7: a run passes only if the cluster keeps certifying through
+   leader crashes and partitions without duplicating, losing or reordering
+   any certified writeset. *)
+
+type plan_kind = Scripted | Random of int
+
+type config = {
+  mode : Tashkent.Types.mode;
+  n_replicas : int;
+  n_certifiers : int;
+  duration : Time.t;
+  seed : int;
+  plan : plan_kind;
+}
+
+let default_config () =
+  {
+    mode = Tashkent.Types.Tashkent_mw;
+    n_replicas = 3;
+    n_certifiers = 3;
+    duration = Time.sec 20;
+    seed = 1966;
+    plan = Scripted;
+  }
+
+type result = {
+  commits : int;
+  cert_aborts : int;
+  local_aborts : int;
+  cert_requests : int;
+  cert_retries : int;
+  cert_failovers : int;
+  refetches : int;
+  fault : Fault.stats;
+  checks : int;
+  violations : string list;
+  ran_for : Time.t;
+}
+
+(* The acceptance scenario: a certifier-leader crash with later recovery,
+   a replica partitioned away from the whole certifier group and healed,
+   and a message-loss burst — each followed by an invariant checkpoint. *)
+let scripted_plan ~n_certifiers =
+  let certs = List.init n_certifiers (fun i -> Fault.Cert i) in
+  [
+    (Time.sec 2, Fault.Crash_leader);
+    (Time.sec 5, Fault.Recover_crashed);
+    (Time.sec 8, Fault.Partition ([ Fault.Rep 0 ], certs));
+    (Time.sec 10, Fault.Heal ([ Fault.Rep 0 ], certs));
+    (Time.sec 12, Fault.Drop_burst { rate = 0.1; duration = Time.sec 1 });
+    (Time.of_sec 14.5, Fault.Heal_all);
+  ]
+
+(* Offsets at which the plan has just healed or recovered something —
+   each becomes an invariant checkpoint (after a grace period for retries
+   in flight and elections to finish). *)
+let checkpoints_of plan =
+  List.filter_map
+    (fun (time, action) ->
+      match action with
+      | Fault.Heal _ | Fault.Heal_all | Fault.Recover_certifier _
+      | Fault.Recover_crashed | Fault.Recover_replica _ ->
+          Some (Time.add time (Time.sec 2))
+      | Fault.Partition _ | Fault.Drop_burst _ | Fault.Latency_spike _
+      | Fault.Crash_certifier _ | Fault.Crash_leader | Fault.Crash_replica _ ->
+          None)
+    plan
+
+let run_for engine span = Engine.run ~until:(Time.add (Engine.now engine) span) engine
+
+(* A checkpoint is only meaningful once a leader exists and its rebuilt
+   log has caught back up with every up replica (a freshly elected leader
+   can briefly trail while state transfer / redelivery completes). *)
+let wait_checkable cluster engine =
+  let deadline = Time.add (Engine.now engine) (Time.sec 10) in
+  let ready () =
+    match Tashkent.Cluster.leader cluster with
+    | None -> false
+    | Some lead ->
+        let lv = Tashkent.Certifier.system_version lead in
+        List.for_all
+          (fun r ->
+            (not (Tashkent.Replica.is_up r))
+            || Mvcc.Store.current_version (Mvcc.Db.store (Tashkent.Replica.db r))
+               <= lv)
+          (Tashkent.Cluster.replicas cluster)
+  in
+  let rec loop () =
+    if (not (ready ())) && Time.(Engine.now engine < deadline) then begin
+      run_for engine (Time.of_ms 100.);
+      loop ()
+    end
+  in
+  loop ()
+
+let check cluster engine violations =
+  wait_checkable cluster engine;
+  let stamp msg =
+    Printf.sprintf "t=%s: %s" (Time.to_string (Engine.now engine)) msg
+  in
+  (match Tashkent.Cluster.check_log_invariants cluster with
+  | Ok () -> ()
+  | Error msg -> violations := stamp msg :: !violations);
+  match Tashkent.Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> violations := stamp msg :: !violations
+
+let run ?(config = default_config ()) () =
+  let spec = Workload.Tpcb.profile () in
+  let cluster =
+    Tashkent.Cluster.create
+      {
+        Tashkent.Cluster.mode = config.mode;
+        n_replicas = config.n_replicas;
+        n_certifiers = config.n_certifiers;
+        certifier = Tashkent.Certifier.default_config;
+        replica =
+          {
+            (Tashkent.Replica.default_config config.mode) with
+            Tashkent.Replica.staleness_bound = Some (Time.sec 1);
+          };
+        seed = config.seed;
+      }
+  in
+  let engine = Tashkent.Cluster.engine cluster in
+  Tashkent.Cluster.load_all cluster
+    (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);
+  Tashkent.Cluster.settle cluster;
+  let collector = Workload.Driver.Collector.create () in
+  let rng = Rng.create (config.seed + 1) in
+  List.iteri
+    (fun replica_ix replica ->
+      Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+        ~rng:(Rng.split rng) ~collector ~replica_ix ~n_replicas:config.n_replicas)
+    (Tashkent.Cluster.replicas cluster);
+  let plan =
+    match config.plan with
+    | Scripted -> scripted_plan ~n_certifiers:config.n_certifiers
+    | Random seed ->
+        Fault.random_plan ~seed ~duration:config.duration
+          ~n_certifiers:config.n_certifiers ~n_replicas:config.n_replicas ()
+  in
+  let started = Engine.now engine in
+  let injector = Fault.inject cluster plan in
+  let violations = ref [] in
+  let checks = ref 0 in
+  let checkpoints =
+    List.sort_uniq Time.compare (checkpoints_of plan)
+    |> List.filter (fun t -> Time.(t < config.duration))
+  in
+  List.iter
+    (fun offset ->
+      let due = Time.add started offset in
+      let now = Engine.now engine in
+      if Time.(due > now) then run_for engine (Time.diff due now);
+      incr checks;
+      check cluster engine violations)
+    checkpoints;
+  (* Run out the clock, then a final end-to-end checkpoint once the
+     injector is fully quiescent. *)
+  let due = Time.add started config.duration in
+  let now = Engine.now engine in
+  if Time.(due > now) then run_for engine (Time.diff due now);
+  let rec drain limit =
+    if (not (Fault.quiescent injector)) && limit > 0 then begin
+      run_for engine (Time.sec 1);
+      drain (limit - 1)
+    end
+  in
+  drain 30;
+  incr checks;
+  check cluster engine violations;
+  let sum f =
+    List.fold_left
+      (fun acc r -> acc + f (Tashkent.Proxy.client (Tashkent.Replica.proxy r)))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  let proxy_sum f =
+    List.fold_left
+      (fun acc r -> acc + f (Tashkent.Proxy.stats (Tashkent.Replica.proxy r)))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  {
+    commits = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.commits);
+    cert_aborts = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.cert_aborts);
+    local_aborts = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.local_aborts);
+    cert_requests = sum Tashkent.Cert_client.requests_sent;
+    cert_retries = sum Tashkent.Cert_client.retries;
+    cert_failovers = sum Tashkent.Cert_client.failovers;
+    refetches = sum Tashkent.Cert_client.refetches;
+    fault = Fault.stats injector;
+    checks = !checks;
+    violations = List.rev !violations;
+    ran_for = Time.diff (Engine.now engine) started;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>commits              %d@,cert aborts          %d@,local aborts         %d@,\
+     cert requests        %d@,cert retries         %d@,cert failovers       %d@,\
+     re-fetches           %d@,faults: %d crashes, %d recoveries, %d cuts, %d heals, \
+     %d bursts, %d spikes@,invariant checks     %d@,violations           %d%a@]"
+    r.commits r.cert_aborts r.local_aborts r.cert_requests r.cert_retries
+    r.cert_failovers r.refetches r.fault.Fault.crashes r.fault.Fault.recoveries
+    r.fault.Fault.partitions_cut r.fault.Fault.heals r.fault.Fault.drop_bursts
+    r.fault.Fault.latency_spikes r.checks
+    (List.length r.violations)
+    (fun fmt vs -> List.iter (fun v -> Format.fprintf fmt "@,  %s" v) vs)
+    r.violations

@@ -1,0 +1,47 @@
+(** Chaos experiment: TPC-B on a replicated cluster under a fault plan
+    (certifier-leader crashes, partitions, loss bursts, replica outages),
+    asserting the GSI safety invariants after every heal and at the end:
+    no duplicated or lost certified writeset, contiguous log versions,
+    certifier prefix agreement, and replica state equal to the log prefix
+    ({!Tashkent.Cluster.check_log_invariants} and [check_consistency]).
+    Deterministic: the same seed and plan replay bit-identically. *)
+
+type plan_kind =
+  | Scripted  (** the fixed acceptance scenario, see {!scripted_plan} *)
+  | Random of int  (** seeded {!Fault.random_plan} *)
+
+type config = {
+  mode : Tashkent.Types.mode;
+  n_replicas : int;
+  n_certifiers : int;
+  duration : Sim.Time.t;
+  seed : int;  (** cluster/workload seed (the plan seed is separate) *)
+  plan : plan_kind;
+}
+
+val default_config : unit -> config
+(** Tashkent-MW, 3 replicas, 3 certifiers, 20 simulated seconds, the
+    scripted plan. *)
+
+type result = {
+  commits : int;
+  cert_aborts : int;
+  local_aborts : int;
+  cert_requests : int;
+  cert_retries : int;  (** certify attempts beyond the first *)
+  cert_failovers : int;  (** timeouts that rotated the target certifier *)
+  refetches : int;
+  fault : Fault.stats;
+  checks : int;  (** invariant checkpoints performed *)
+  violations : string list;  (** empty on a passing run *)
+  ran_for : Sim.Time.t;
+}
+
+val scripted_plan : n_certifiers:int -> Fault.plan
+(** Leader crash at 2 s (recovered at 5 s), replica0 partitioned from all
+    certifiers at 8 s (healed at 10 s), a 10% drop burst at 12 s, and a
+    final heal-all. *)
+
+val run : ?config:config -> unit -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -71,6 +71,7 @@ and t = {
   commit_count : Stats.Counter.t;
   abort_count : Stats.Counter.t;
   deadlock_count : Stats.Counter.t;
+  backfill_count : Stats.Counter.t;
 }
 
 let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
@@ -93,6 +94,7 @@ let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
       commit_count = Stats.Counter.create ();
       abort_count = Stats.Counter.create ();
       deadlock_count = Stats.Counter.create ();
+      backfill_count = Stats.Counter.create ();
     }
   in
   (match (config.background_page_writes_per_sec, data_disk) with
@@ -355,7 +357,17 @@ let finish_commit tx ~version ~order =
   charge_commit_cpu t;
   log_commit t ~version ws;
   Commit_order.wait_turn t.order order;
-  Store.install t.db_store ~version ws;
+  (* A commit whose global version trails the store happens when the reply
+     overtook the remote-writeset stream (a certifier failover re-answered
+     a retried request from its decided table after this replica already
+     applied later versions): slot the writes in at their version instead
+     of clobbering newer ones. *)
+  if version > Store.current_version t.db_store then
+    Store.install t.db_store ~version ws
+  else begin
+    Stats.Counter.incr t.backfill_count;
+    Store.backfill t.db_store ~version ws
+  end;
   Commit_order.announce t.order order;
   tx.state <- Committed;
   release_locks tx;
@@ -452,6 +464,7 @@ let dump t = (Store.current_version t.db_store, Store.copy t.db_store)
 (* Statistics *)
 
 let commits t = Stats.Counter.value t.commit_count
+let backfills t = Stats.Counter.value t.backfill_count
 let aborts t = Stats.Counter.value t.abort_count
 let deadlocks_detected t = Stats.Counter.value t.deadlock_count
 let wal t = t.db_wal
@@ -460,4 +473,5 @@ let reset_stats t =
   Stats.Counter.reset t.commit_count;
   Stats.Counter.reset t.abort_count;
   Stats.Counter.reset t.deadlock_count;
+  Stats.Counter.reset t.backfill_count;
   Storage.Wal.reset_stats t.db_wal

@@ -191,6 +191,12 @@ val dump : t -> int * Store.t
 val commits : t -> int
 val aborts : t -> int
 val deadlocks_detected : t -> int
+
+val backfills : t -> int
+(** Commits installed below the store's current version: the reply
+    overtook the remote-writeset stream after a certifier failover; see
+    {!Store.backfill}. *)
+
 val wal : t -> (int * Writeset.t) Storage.Wal.t
 (** Exposed for fsync/group statistics. The record is
     [(version, writeset)]. *)

@@ -39,6 +39,33 @@ let install t ~version ws =
     (Writeset.entries ws);
   t.version <- version
 
+(* Install a writeset whose global version is at or below the store's
+   current version: slot each write into its key's chain at the right
+   version position, so writes already overtaken by a newer committed
+   version do not clobber it. Used when a commit reply arrives behind the
+   remote-writeset stream (certifier failover re-answering a retried
+   request from its decided table). *)
+let backfill t ~version ws =
+  List.iter
+    (fun { Writeset.key; op } ->
+      let value =
+        match op with
+        | Writeset.Insert v | Writeset.Update v -> Some v
+        | Writeset.Delete -> None
+      in
+      let chain = Option.value ~default:[] (Key.Tbl.find_opt t.rows key) in
+      (* Chains are newest-first: insert in descending position; an entry
+         already at [version] wins (idempotent re-apply). *)
+      let rec ins = function
+        | (v, _) :: _ as rest when v < version -> (version, value) :: rest
+        | (v, _) :: _ as rest when v = version -> rest
+        | entry :: rest -> entry :: ins rest
+        | [] -> [ (version, value) ]
+      in
+      Key.Tbl.replace t.rows key (ins chain))
+    (Writeset.entries ws);
+  t.version <- max t.version version
+
 let preload t key value = Key.Tbl.replace t.rows key [ (0, Some value) ]
 let force_version t v = t.version <- v
 let row_count t = Key.Tbl.length t.rows

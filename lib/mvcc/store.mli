@@ -29,6 +29,16 @@ val install : t -> version:int -> Writeset.t -> unit
 (** Commit a writeset, creating snapshot [version]. [version] must exceed
     {!current_version}; the store advances to it. *)
 
+val backfill : t -> version:int -> Writeset.t -> unit
+(** Install a writeset at a version at or below {!current_version}: each
+    write slots into its key's chain at the correct version position, and
+    keys already overwritten by a newer committed version keep the newer
+    value (which is the globally-correct state — any later committed write
+    to the same key was certified against a log containing [version]).
+    Needed when a commit reply overtakes the remote-writeset stream, e.g.
+    a certifier failover re-answering a retried request from its decided
+    table after the replica has already applied later versions. *)
+
 val preload : t -> Key.t -> Value.t -> unit
 (** Insert a row as part of version 0 (initial database population). *)
 

@@ -20,6 +20,7 @@ type 'a t = {
   endpoints : (string, 'a Mailbox.t) Hashtbl.t;
   last_delivery : (string * string, Time.t) Hashtbl.t;
   partitions : (string * string, unit) Hashtbl.t;
+  link_extra : (string * string, Time.t) Hashtbl.t;
   mutable drop_rate : float;
   sent : Stats.Counter.t;
   delivered : Stats.Counter.t;
@@ -34,6 +35,7 @@ let create engine ~rng ?(config = default_lan) () =
     endpoints = Hashtbl.create 32;
     last_delivery = Hashtbl.create 64;
     partitions = Hashtbl.create 8;
+    link_extra = Hashtbl.create 8;
     drop_rate = 0.;
     sent = Stats.Counter.create ();
     delivered = Stats.Counter.create ();
@@ -49,12 +51,33 @@ let register t addr =
   Hashtbl.replace t.endpoints addr mb;
   mb
 
-let unregister t addr = Hashtbl.remove t.endpoints addr
+let reattach t addr mb =
+  if Hashtbl.mem t.endpoints addr then
+    invalid_arg (Printf.sprintf "Network.reattach: address %S already taken" addr);
+  Hashtbl.replace t.endpoints addr mb
+
+let unregister t addr =
+  Hashtbl.remove t.endpoints addr;
+  (* Drop the FIFO floors of every link touching this address: a restarted
+     node must not inherit the pre-crash delivery horizon, which would
+     delay its first post-recovery messages by however far ahead the old
+     incarnation's traffic had pushed the link. *)
+  let stale =
+    Hashtbl.fold
+      (fun ((src, dst) as key) _ acc ->
+        if String.equal src addr || String.equal dst addr then key :: acc else acc)
+      t.last_delivery []
+  in
+  List.iter (Hashtbl.remove t.last_delivery) stale
 
 let link_key a b = if a <= b then (a, b) else (b, a)
 let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
 let heal t a b = Hashtbl.remove t.partitions (link_key a b)
+let is_partitioned t a b = Hashtbl.mem t.partitions (link_key a b)
 let set_drop_rate t rate = t.drop_rate <- rate
+let drop_rate t = t.drop_rate
+let slow_link t a b ~extra = Hashtbl.replace t.link_extra (link_key a b) extra
+let restore_link t a b = Hashtbl.remove t.link_extra (link_key a b)
 
 let transfer_time t size =
   Time.of_sec (float_of_int size /. t.config.bandwidth_bytes_per_sec)
@@ -67,6 +90,11 @@ let send t ~src ~dst ?(size = 256) msg =
   else begin
     let latency =
       Rng.time_uniform t.rng ~lo:t.config.latency_lo ~hi:t.config.latency_hi
+    in
+    let latency =
+      match Hashtbl.find_opt t.link_extra (link_key src dst) with
+      | Some extra -> Time.add latency extra
+      | None -> latency
     in
     let arrival =
       Time.add (Engine.now t.engine) (Time.add latency (transfer_time t size))

@@ -25,7 +25,13 @@ val register : 'a t -> string -> 'a Sim.Mailbox.t
 
 val unregister : 'a t -> string -> unit
 (** Remove an endpoint; in-flight messages to it are dropped on arrival.
-    Used to model a crashed node. Re-registering yields a fresh mailbox. *)
+    Used to model a crashed node. Also forgets the FIFO delivery floors of
+    every link touching the address, so a restarted node starts with fresh
+    link state. Re-registering yields a fresh mailbox. *)
+
+val reattach : 'a t -> string -> 'a Sim.Mailbox.t -> unit
+(** Re-register an existing mailbox under an address (a restarted node
+    re-announcing its endpoint). @raise Invalid_argument if taken. *)
 
 val send : 'a t -> src:string -> dst:string -> ?size:int -> 'a -> unit
 (** Fire-and-forget. [size] in bytes adds transfer time (default 256). If
@@ -35,7 +41,18 @@ val partition : 'a t -> string -> string -> unit
 (** Cut both directions between two addresses. *)
 
 val heal : 'a t -> string -> string -> unit
+val is_partitioned : 'a t -> string -> string -> bool
+
 val set_drop_rate : 'a t -> float -> unit
+(** Uniform message loss probability applied to every link (burst faults). *)
+
+val drop_rate : 'a t -> float
+
+val slow_link : 'a t -> string -> string -> extra:Sim.Time.t -> unit
+(** Add [extra] one-way latency to both directions of a link (congestion /
+    WAN-hiccup modelling). Replaces any previous spike on the link. *)
+
+val restore_link : 'a t -> string -> string -> unit
 
 val messages_sent : 'a t -> int
 val messages_delivered : 'a t -> int

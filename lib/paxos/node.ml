@@ -86,6 +86,11 @@ type 'v t = {
   mutable commit : int;
   mutable applied : int;
   mutable role : 'v role;
+  (* Highest slot inherited from previous leaderships at election time; a
+     new leader must not expose state (certify against its log) until these
+     are delivered, or a retried request could be certified against a log
+     missing an accepted-but-undelivered twin of itself. *)
+  mutable recovery_floor : int;
   mutable leader_seen : string option;
   mutable election_deadline : Time.t;
   accept_broadcasts : Stats.Counter.t;
@@ -101,6 +106,11 @@ let current_ballot t = t.promised
 let wal t = t.node_wal
 
 let is_leader t = match t.role with Leader _ -> true | Follower | Candidate _ -> false
+
+let leader_ready t =
+  match t.role with
+  | Leader _ -> t.applied >= t.recovery_floor
+  | Follower | Candidate _ -> false
 
 let leader_hint t =
   match t.role with Leader _ -> Some t.node_id | Follower | Candidate _ -> t.leader_seen
@@ -247,6 +257,7 @@ let become_leader t ballot promises =
         | None -> { slot; ballot; value = Noop })
   in
   t.role <- Leader { ballot; next_slot = max_slot + 1; acks = Hashtbl.create 16 };
+  t.recovery_floor <- max_slot;
   t.leader_seen <- Some t.node_id;
   broadcast t (Heartbeat { ballot; from = t.node_id; commit_index = t.commit });
   if entries <> [] then send_accepts t ballot entries
@@ -422,6 +433,7 @@ let create engine ~rng ~id:node_id ~peers ~disk ~send ~on_deliver
       commit = 0;
       applied = 0;
       role = Follower;
+      recovery_floor = 0;
       leader_seen = None;
       election_deadline = Time.zero;
       accept_broadcasts = Stats.Counter.create ();
@@ -441,6 +453,7 @@ let crash t =
   t.applied <- 0;
   t.promised <- Ballot.initial;
   t.role <- Follower;
+  t.recovery_floor <- 0;
   t.leader_seen <- None
 
 let recover t =

@@ -81,6 +81,13 @@ val handle : 'v t -> 'v message -> unit
 val is_leader : 'v t -> bool
 val leader_hint : 'v t -> string option
 
+val leader_ready : 'v t -> bool
+(** True once this node is leader {e and} has delivered every entry it
+    inherited (re-proposed) from previous leaderships. A state machine
+    layered on the log must not answer reads against it (e.g. certify)
+    before this point: the log may still be missing majority-accepted
+    entries from the previous term. Always false on non-leaders. *)
+
 val propose : 'v t -> 'v -> bool
 (** Submit a value for replication. Returns false (value dropped) if this
     node is not currently leader — the caller should retry via

@@ -1,0 +1,294 @@
+(* Regression tests for the fault-injection subsystem and the failover
+   paths it flushed out: req-id-routed fetches (stale and concurrent
+   replies), redirect handling for unknown leaders, endpoint restart after
+   unregister, bounded certify backoff under a full partition, and the
+   chaos experiment as a smoke test. *)
+
+open Sim
+open Tashkent
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Deterministic fast LAN so timing assertions are exact. *)
+let fast_config =
+  {
+    Net.Network.latency_lo = Time.us 50;
+    latency_hi = Time.us 50;
+    bandwidth_bytes_per_sec = 1e9;
+  }
+
+let make_net () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~rng:(Rng.create 3) ~config:fast_config () in
+  (e, net)
+
+(* A client endpoint: registers [my_addr] and pumps every arriving message
+   into [Cert_client.handle], as the proxy's dispatcher does. *)
+let make_client e net ~certifiers =
+  let mbox = Net.Network.register net "r0" in
+  let client =
+    Cert_client.create e ~net ~my_addr:"r0" ~certifiers ~timeout:(Time.of_ms 5.)
+      ~backoff_base:(Time.of_ms 1.) ~backoff_cap:(Time.of_ms 4.) ~req_id_base:100 ()
+  in
+  ignore
+    (Engine.spawn e ~name:"dispatcher" (fun () ->
+         while true do
+           Cert_client.handle client (Mailbox.recv mbox)
+         done));
+  client
+
+(* ------------------------------------------------------------------ *)
+(* Fetch routing *)
+
+let test_stale_fetch_reply_discarded () =
+  (* The reply to a timed-out fetch arrives AFTER its successor was issued:
+     it must be discarded, not handed to the retry's waiter. *)
+  let e, net = make_net () in
+  let cert = Net.Network.register net "cert0" in
+  let client = make_client e net ~certifiers:[ "cert0" ] in
+  let seen = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"fake-cert" (fun () ->
+         while true do
+           match Mailbox.recv cert with
+           | Types.Fetch_request freq ->
+               incr seen;
+               let reply n =
+                 Net.Network.send net ~src:"cert0" ~dst:"r0"
+                   (Types.Fetch_reply
+                      {
+                        fetch_req_id = freq.fetch_req_id;
+                        fetch_remotes = [];
+                        certifier_version = n;
+                      })
+               in
+               if !seen = 1 then
+                 (* Answer the first attempt well past its timeout, while
+                    the retry is already pending. *)
+                 Engine.schedule_after e (Time.of_ms 8.) (fun () -> reply 111)
+               else reply 222
+           | _ -> ()
+         done));
+  let result = ref None in
+  ignore
+    (Engine.spawn e ~name:"fetcher" (fun () ->
+         result := Cert_client.fetch client ~replica:"r0" ~from_version:0));
+  Engine.run e;
+  (match !result with
+  | Some r -> check_int "retry's reply wins" 222 r.Types.certifier_version
+  | None -> Alcotest.fail "fetch returned None");
+  check_int "one refetch" 1 (Cert_client.refetches client)
+
+let test_concurrent_fetches_routed_independently () =
+  (* Two outstanding fetches; the certifier answers them in reverse order.
+     Each waiter must receive its own reply (a single-slot waiter would
+     cross them). *)
+  let e, net = make_net () in
+  let cert = Net.Network.register net "cert0" in
+  let client = make_client e net ~certifiers:[ "cert0" ] in
+  let held = ref [] in
+  ignore
+    (Engine.spawn e ~name:"fake-cert" (fun () ->
+         while true do
+           (match Mailbox.recv cert with
+           | Types.Fetch_request freq -> held := freq :: !held
+           | _ -> ());
+           if List.length !held = 2 then
+             (* [held] is newest-first: replying in this order reverses
+                arrival order. *)
+             List.iter
+               (fun (freq : Types.fetch_request) ->
+                 Net.Network.send net ~src:"cert0" ~dst:"r0"
+                   (Types.Fetch_reply
+                      {
+                        fetch_req_id = freq.fetch_req_id;
+                        fetch_remotes = [];
+                        certifier_version = freq.from_version + 1;
+                      }))
+               !held
+         done));
+  let ra = ref None and rb = ref None in
+  ignore
+    (Engine.spawn e (fun () ->
+         ra := Cert_client.fetch client ~replica:"r0" ~from_version:10));
+  ignore
+    (Engine.spawn e (fun () ->
+         rb := Cert_client.fetch client ~replica:"r0" ~from_version:20));
+  Engine.run e;
+  (match (!ra, !rb) with
+  | Some a, Some b ->
+      check_int "fetch A got A's reply" 11 a.Types.certifier_version;
+      check_int "fetch B got B's reply" 21 b.Types.certifier_version
+  | _ -> Alcotest.fail "a concurrent fetch returned None")
+
+(* ------------------------------------------------------------------ *)
+(* Certify retry paths *)
+
+let test_redirect_to_unknown_leader_falls_back () =
+  (* A redirect naming a certifier outside the configured group must fall
+     back to round-robin probing instead of sending into the void. *)
+  let e, net = make_net () in
+  let c0 = Net.Network.register net "cert0" in
+  let c1 = Net.Network.register net "cert1" in
+  let client = make_client e net ~certifiers:[ "cert0"; "cert1" ] in
+  ignore
+    (Engine.spawn e ~name:"cert0" (fun () ->
+         while true do
+           match Mailbox.recv c0 with
+           | Types.Cert_request req ->
+               Net.Network.send net ~src:"cert0" ~dst:"r0"
+                 (Types.Cert_redirect { req_id = req.req_id; leader = Some "ghost" })
+           | _ -> ()
+         done));
+  ignore
+    (Engine.spawn e ~name:"cert1" (fun () ->
+         while true do
+           match Mailbox.recv c1 with
+           | Types.Cert_request req ->
+               Net.Network.send net ~src:"cert1" ~dst:"r0"
+                 (Types.Cert_reply
+                    {
+                      req_id = req.req_id;
+                      decision = Types.Commit;
+                      commit_version = 7;
+                      remotes = [];
+                    })
+           | _ -> ()
+         done));
+  let reply = ref None in
+  ignore
+    (Engine.spawn e (fun () ->
+         let ws = Mvcc.Writeset.singleton (Mvcc.Key.make ~table:"t" ~row:"a")
+             (Mvcc.Writeset.Update (Mvcc.Value.int 1)) in
+         reply := Some (Cert_client.certify client ~start_version:0 ~replica_version:0 ws)));
+  Engine.run e;
+  (match !reply with
+  | Some r ->
+      check_bool "committed" true (r.Types.decision = Types.Commit);
+      check_int "at cert1's version" 7 r.Types.commit_version
+  | None -> Alcotest.fail "certify never returned");
+  check_bool "went through a retry" true (Cert_client.retries client >= 1)
+
+let test_bounded_backoff_under_full_partition () =
+  (* With every certifier unreachable the client must probe at a decaying
+     rate (capped exponential backoff), not spin at the timeout interval —
+     and still commit promptly once healed. *)
+  let cfg =
+    {
+      Cluster.mode = Types.Tashkent_mw;
+      n_replicas = 1;
+      n_certifiers = 3;
+      certifier = Certifier.default_config;
+      replica = Replica.default_config Types.Tashkent_mw;
+      seed = 5;
+    }
+  in
+  let c = Cluster.create cfg in
+  let e = Cluster.engine c in
+  let key = Mvcc.Key.make ~table:"t" ~row:"a" in
+  Cluster.load_all c [ (key, Mvcc.Value.int 0) ];
+  Cluster.settle c;
+  let r = Cluster.replica c 0 in
+  let p = Replica.proxy r in
+  let net = Cluster.network c in
+  List.iter
+    (fun cert -> Net.Network.partition net (Proxy.addr p) cert)
+    (Cluster.certifier_ids c);
+  let outcome = ref None in
+  ignore
+    (Engine.spawn e ~name:"client" (fun () ->
+         let tx = Proxy.begin_tx p in
+         match Proxy.write p tx key (Mvcc.Writeset.Update (Mvcc.Value.int 9)) with
+         | Error _ -> Alcotest.fail "local write failed"
+         | Ok () -> outcome := Some (Proxy.commit p tx)));
+  let run_for span = Engine.run ~until:(Time.add (Engine.now e) span) e in
+  run_for (Time.sec 20);
+  check_bool "still blocked while partitioned" true (!outcome = None);
+  let attempts = 1 + Cert_client.retries (Proxy.client p) in
+  check_bool
+    (Printf.sprintf "probed at least thrice (%d)" attempts)
+    true (attempts >= 3);
+  (* A fixed 500 ms retry interval would make ~40 attempts in 20 s. *)
+  check_bool
+    (Printf.sprintf "backoff kept attempts bounded (%d)" attempts)
+    true
+    (attempts < 25);
+  List.iter
+    (fun cert -> Net.Network.heal net (Proxy.addr p) cert)
+    (Cluster.certifier_ids c);
+  run_for (Time.sec 5);
+  (match !outcome with
+  | Some (Ok ()) -> ()
+  | Some (Error f) ->
+      Alcotest.fail (Format.asprintf "commit failed after heal: %a" Proxy.pp_failure f)
+  | None -> Alcotest.fail "commit never completed after heal");
+  match Cluster.check_consistency c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint restart *)
+
+let test_restart_after_unregister_purges_floors () =
+  (* A message in flight on a slowed link sets that link's FIFO floor far
+     in the future. Unregistering the destination must purge the floor so
+     a restarted endpoint gets fresh deliveries promptly. *)
+  let e, net = make_net () in
+  let b = Net.Network.register net "b" in
+  Net.Network.slow_link net "a" "b" ~extra:(Time.sec 10);
+  Net.Network.send net ~src:"a" ~dst:"b" 1;
+  (* crash: the in-flight message will be dropped on arrival *)
+  Net.Network.unregister net "b";
+  Net.Network.restore_link net "a" "b";
+  Net.Network.reattach net "b" b;
+  let got = ref None in
+  let at = ref Time.zero in
+  ignore
+    (Engine.spawn e (fun () ->
+         got := Some (Mailbox.recv b);
+         at := Engine.now e));
+  Net.Network.send net ~src:"a" ~dst:"b" 2;
+  Engine.run e;
+  check_int "fresh message delivered" 2 (Option.value ~default:0 !got);
+  check_bool "not stuck behind the stale floor" true Time.(!at < Time.sec 1)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos smoke *)
+
+let chaos_ok name (r : Harness.Chaos_exp.result) =
+  List.iter (fun v -> Printf.printf "%s violation: %s\n" name v) r.violations;
+  check_int (name ^ ": no invariant violations") 0 (List.length r.violations);
+  check_bool (name ^ ": made progress") true (r.commits > 1000);
+  check_bool (name ^ ": checkpoints ran") true (r.checks >= 3);
+  check_bool (name ^ ": faults actually fired") true (r.fault.Fault.crashes >= 1)
+
+let test_chaos_scripted () = chaos_ok "scripted" (Harness.Chaos_exp.run ())
+
+let test_chaos_random () =
+  let config =
+    { (Harness.Chaos_exp.default_config ()) with plan = Harness.Chaos_exp.Random 1 }
+  in
+  chaos_ok "random-1" (Harness.Chaos_exp.run ~config ())
+
+let suites =
+  [
+    ( "fault.failover",
+      [
+        Alcotest.test_case "stale fetch reply discarded" `Quick
+          test_stale_fetch_reply_discarded;
+        Alcotest.test_case "concurrent fetches routed" `Quick
+          test_concurrent_fetches_routed_independently;
+        Alcotest.test_case "redirect to unknown leader" `Quick
+          test_redirect_to_unknown_leader_falls_back;
+        Alcotest.test_case "bounded backoff under partition" `Quick
+          test_bounded_backoff_under_full_partition;
+        Alcotest.test_case "restart after unregister" `Quick
+          test_restart_after_unregister_purges_floors;
+      ] );
+    ( "fault.chaos",
+      [
+        Alcotest.test_case "scripted plan" `Quick test_chaos_scripted;
+        Alcotest.test_case "random plan (seed 1)" `Quick test_chaos_random;
+      ] );
+  ]
