@@ -16,7 +16,7 @@ let list_only = ref false
 let all_sections =
   [
     "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
-    "ablation"; "micro"; "chaos";
+    "ablation"; "micro"; "chaos"; "latency";
   ]
 
 (* Machine-readable metrics for regression tracking, written to
@@ -474,6 +474,74 @@ let micro () =
   List.iter (fun (name, ns) -> record_metric name ns) (List.rev !measured)
 
 (* ------------------------------------------------------------------ *)
+(* Latency breakdown: per-stage lifecycle percentiles from the tracer. *)
+
+let latency () =
+  Report.section
+    "Latency breakdown: transaction lifecycle stages (TPC-B, 8 replicas)";
+  let n = if !quick then 4 else 8 in
+  let modes =
+    [
+      ("base", Tashkent.Types.Base);
+      ("tashkent-mw", Tashkent.Types.Tashkent_mw);
+      ("tashkent-api", Tashkent.Types.Tashkent_api);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, mode) ->
+        let cfg =
+          {
+            (base_cfg Experiment.Tpc_b Tashkent.Replica.Shared_io) with
+            Experiment.system = Experiment.Replicated mode;
+            n_replicas = n;
+            trace = true;
+          }
+        in
+        (name, Experiment.run cfg))
+      modes
+  in
+  (* One table per mode: every stage the tracer saw, p50/p95/p99 in ms. *)
+  List.iter
+    (fun (name, r) ->
+      Report.subsection (Printf.sprintf "%s: per-stage latency (ms of sim time)" name);
+      let t = Report.table ~columns:[ "stage"; "count"; "p50"; "p95"; "p99" ] in
+      List.iter
+        (fun (stage, (st : Obs.Trace.stage_stats)) ->
+          Report.row t
+            [
+              stage;
+              string_of_int st.Obs.Trace.count;
+              Report.f1 (st.Obs.Trace.p50_us /. 1000.);
+              Report.f1 (st.Obs.Trace.p95_us /. 1000.);
+              Report.f1 (st.Obs.Trace.p99_us /. 1000.);
+            ];
+          List.iter
+            (fun (pname, v) ->
+              record_metric
+                (Printf.sprintf "latency/tpcb/%s/%s/%s" name stage pname)
+                v)
+            [
+              ("p50", st.Obs.Trace.p50_us);
+              ("p95", st.Obs.Trace.p95_us);
+              ("p99", st.Obs.Trace.p99_us);
+            ])
+        r.Experiment.stage_latency;
+      Report.print t)
+    results;
+  let p50 name stage =
+    match List.assoc_opt stage (List.assoc name results).Experiment.stage_latency with
+    | Some (st : Obs.Trace.stage_stats) -> st.Obs.Trace.p50_us /. 1000.
+    | None -> nan
+  in
+  Report.paper_vs
+    ~what:"durability stage p50, base vs mw (ms)"
+    ~paper:"serial fsync vs in-memory commit"
+    ~measured:
+      (Printf.sprintf "%.1f vs %.2f" (p50 "base" "durability")
+         (p50 "tashkent-mw" "durability"))
+
+(* ------------------------------------------------------------------ *)
 (* Chaos: fault-plan runs with their recovery counters. *)
 
 let chaos () =
@@ -538,5 +606,6 @@ let () =
   if wants "ablation" then ablation ();
   if wants "micro" then micro ();
   if wants "chaos" then chaos ();
+  if wants "latency" then latency ();
   if !json_metrics <> [] then write_json ();
   print_newline ()

@@ -88,6 +88,7 @@ let run_cmd =
         seed;
         warmup = Sim.Time.of_sec (Float.min 5. (seconds /. 2.));
         measure = Sim.Time.of_sec seconds;
+        trace = false;
       }
     in
     let r = Harness.Experiment.run cfg in
@@ -211,6 +212,120 @@ let chaos_cmd =
           verify the GSI invariants after every heal; exits 1 on any violation.")
     Term.(const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t)
 
+let trace_cmd =
+  let mode_conv =
+    let parse = function
+      | "base" -> Ok Tashkent.Types.Base
+      | "mw" | "tashkent-mw" -> Ok Tashkent.Types.Tashkent_mw
+      | "api" | "tashkent-api" -> Ok Tashkent.Types.Tashkent_api
+      | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+    in
+    let print fmt m = Format.pp_print_string fmt (Tashkent.Types.mode_name m) in
+    Arg.conv (parse, print)
+  in
+  let run mode n certifiers seconds seed output check =
+    let spec = Workload.Tpcb.profile () in
+    let engine = Sim.Engine.create () in
+    let trace = Obs.Trace.create engine in
+    let cluster =
+      Tashkent.Cluster.create ~engine ~trace
+        {
+          Tashkent.Cluster.mode;
+          n_replicas = n;
+          n_certifiers = certifiers;
+          certifier = Tashkent.Certifier.default_config;
+          replica = Tashkent.Replica.default_config mode;
+          seed;
+        }
+    in
+    Tashkent.Cluster.load_all cluster (spec.Workload.Spec.initial_rows ~n_replicas:n);
+    Tashkent.Cluster.settle cluster;
+    let collector = Workload.Driver.Collector.create () in
+    let rng = Sim.Rng.create (seed + 1) in
+    List.iteri
+      (fun replica_ix replica ->
+        Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+          ~rng:(Sim.Rng.split rng) ~collector ~replica_ix ~n_replicas:n)
+      (Tashkent.Cluster.replicas cluster);
+    Sim.Engine.run
+      ~until:(Sim.Time.add (Sim.Engine.now engine) (Sim.Time.of_sec seconds))
+      engine;
+    let json = Obs.Trace.to_chrome_json trace in
+    let oc = open_out output in
+    output_string oc json;
+    close_out oc;
+    let open Harness.Report in
+    kv "mode" (Tashkent.Types.mode_name mode);
+    kv "spans recorded" (string_of_int (Obs.Trace.recorded trace));
+    kv "spans retained" (string_of_int (List.length (Obs.Trace.events trace)));
+    kv "spans dropped (ring wrap)" (string_of_int (Obs.Trace.dropped trace));
+    kv "trace file" output;
+    List.iter
+      (fun (stage, (s : Obs.Trace.stage_stats)) ->
+        kv
+          (Printf.sprintf "%-16s n=%d" stage s.count)
+          (Printf.sprintf "p50 %.0f µs  p95 %.0f µs  p99 %.0f µs" s.p50_us s.p95_us
+             s.p99_us))
+      (Obs.Trace.all_stage_stats trace);
+    if check then begin
+      let events = Obs.Trace.events trace in
+      let problems = ref [] in
+      let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+      if events = [] then add "no spans recorded";
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          if Sim.Time.(e.finished < e.started) then
+            add "span %s/%d finishes before it starts" e.stage e.id)
+        events;
+      let stages = Obs.Trace.stages trace in
+      List.iter
+        (fun required ->
+          if not (List.mem required stages) then add "missing stage %S" required)
+        [ "txn.commit"; "certify"; "durability" ];
+      if not (String.length json > 0 && json.[0] = '{') then
+        add "trace JSON does not start with an object";
+      match List.rev !problems with
+      | [] -> print_endline "trace check OK"
+      | ps ->
+          List.iter (fun p -> Printf.printf "trace check FAILED: %s\n" p) ps;
+          exit 1
+    end
+  in
+  let mode_t =
+    Arg.(
+      value
+      & opt mode_conv Tashkent.Types.Tashkent_mw
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"base, mw or api.")
+  in
+  let seconds_t =
+    Arg.(
+      value & opt float 5.
+      & info [ "seconds" ] ~docv:"S" ~doc:"Simulated run length to trace.")
+  in
+  let output_t =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the recorded trace (spans present, sim-clock ordering, key \
+             lifecycle stages) and exit 1 on failure.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run TPC-B with the transaction-lifecycle tracer on, write Chrome \
+          trace_event JSON (load in chrome://tracing or Perfetto), and print \
+          per-stage latency percentiles.")
+    Term.(
+      const run $ mode_t $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ output_t
+      $ check_t)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -218,4 +333,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "tashkent-cli" ~version:"1.0.0"
              ~doc:"Tashkent (EuroSys 2006) reproduction toolkit")
-          [ run_cmd; recovery_cmd; consistency_cmd; chaos_cmd ]))
+          [ run_cmd; recovery_cmd; consistency_cmd; chaos_cmd; trace_cmd ]))

@@ -87,12 +87,19 @@ let backoff_delay t n =
   let capped = Time.min t.backoff_cap raw in
   Time.scale capped (Rng.uniform t.rng ~lo:0.5 ~hi:1.5)
 
-let certify t ~start_version ~replica_version ws =
+let certify t ?(trace_id = 0) ~start_version ~replica_version ws =
   t.next_req <- t.next_req + 1;
   let req_id = t.next_req in
   let request =
     Types.Cert_request
-      { req_id; replica = t.my_addr; start_version; replica_version; writeset = ws }
+      {
+        req_id;
+        trace_id;
+        replica = t.my_addr;
+        start_version;
+        replica_version;
+        writeset = ws;
+      }
   in
   let rec attempt n =
     if n > 0 then Stats.Counter.incr t.retry_count;

@@ -26,7 +26,12 @@ val create :
     {!Types.Fetch_reply} messages arriving at [my_addr] to {!handle}. *)
 
 val certify :
-  t -> start_version:int -> replica_version:int -> Mvcc.Writeset.t -> Types.cert_reply
+  t ->
+  ?trace_id:int ->
+  start_version:int ->
+  replica_version:int ->
+  Mvcc.Writeset.t ->
+  Types.cert_reply
 (** Blocking: sends the certification request to the presumed leader and
     keeps retrying (same request id, so retries are idempotent) across
     redirects, timeouts and certifier failovers until a reply arrives.

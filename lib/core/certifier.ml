@@ -66,6 +66,10 @@ type t = {
   mutable round_waiting : bool;
   mutable was_leader : bool;
   mutable up : bool;
+  trace : Obs.Trace.t;
+  (* Open [cert.durability] spans for accepted-but-undelivered entries,
+     version -> span; mirrors [pending_replies]'s lifetime. *)
+  dur_spans : (int, Obs.Trace.span) Hashtbl.t;
   (* counters *)
   c_requests : Stats.Counter.t;
   c_commits : Stats.Counter.t;
@@ -164,6 +168,7 @@ let process_batch t (reqs : Types.cert_request list) =
     else begin
       Stats.Counter.incr t.c_cert_batches;
       Stats.Summary.observe t.cert_batch_sizes (float_of_int (List.length reqs));
+      let sp_batch = Obs.Trace.span t.trace ~stage:"cert.batch" ~actor:t.node_id () in
       let accepted = ref [] in
       List.iter
         (fun (req : Types.cert_request) ->
@@ -208,6 +213,9 @@ let process_batch t (reqs : Types.cert_request list) =
                     if t.cfg.durable then begin
                       Overlay.add t.overlay entry;
                       Hashtbl.replace t.pending_replies version req;
+                      Hashtbl.replace t.dur_spans version
+                        (Obs.Trace.span t.trace ~id:req.trace_id
+                           ~stage:"cert.durability" ~actor:t.node_id ());
                       accepted := entry :: !accepted
                     end
                     else begin
@@ -219,7 +227,7 @@ let process_batch t (reqs : Types.cert_request list) =
                     end
                   end))
         reqs;
-      match List.rev !accepted with
+      (match List.rev !accepted with
       | [] -> ()
       | batch ->
           if Paxos.Node.propose_batch t.paxos_node batch then begin
@@ -231,7 +239,11 @@ let process_batch t (reqs : Types.cert_request list) =
             let wal = Paxos.Node.wal t.paxos_node in
             ignore
               (Engine.spawn t.engine ~name:(t.node_id ^ ".roundsync") (fun () ->
+                   let sp =
+                     Obs.Trace.span t.trace ~stage:"wal.fsync" ~actor:t.node_id ()
+                   in
                    Storage.Wal.sync wal;
+                   Obs.Trace.finish t.trace sp;
                    Mailbox.send t.round_gate ()));
             t.round_waiting <- true;
             Mailbox.recv t.round_gate;
@@ -242,8 +254,10 @@ let process_batch t (reqs : Types.cert_request list) =
             List.iter
               (fun (e : Types.entry) ->
                 Overlay.remove t.overlay e.version;
-                Hashtbl.remove t.pending_replies e.version)
-              batch
+                Hashtbl.remove t.pending_replies e.version;
+                Hashtbl.remove t.dur_spans e.version)
+              batch);
+      Obs.Trace.finish t.trace sp_batch
     end
   end
 
@@ -335,6 +349,11 @@ let on_deliver t _slot (entry : Types.entry) =
   Cert_log.append t.clog entry;
   Hashtbl.replace t.decided entry.req_id entry.version;
   Overlay.remove t.overlay entry.version;
+  (match Hashtbl.find_opt t.dur_spans entry.version with
+  | Some sp ->
+      Hashtbl.remove t.dur_spans entry.version;
+      Obs.Trace.finish t.trace sp
+  | None -> ());
   match Hashtbl.find_opt t.pending_replies entry.version with
   | Some req when is_leader t ->
       Hashtbl.remove t.pending_replies entry.version;
@@ -361,14 +380,19 @@ let spawn_role_watch t =
            let now_leader = is_leader t in
            if t.was_leader && not now_leader then begin
              Overlay.clear t.overlay;
-             Hashtbl.reset t.pending_replies
+             Hashtbl.reset t.pending_replies;
+             Hashtbl.reset t.dur_spans
            end;
            t.was_leader <- now_leader;
            loop ()
          in
          loop ()))
 
-let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
+let create engine ~rng ~net ~id:node_id ~peers ?metrics ?trace ?(config = default_config)
+    () =
+  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
+  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
+  let counter name = Obs.Registry.counter metrics ("certifier." ^ node_id ^ "." ^ name) in
   let mailbox = Net.Network.register net node_id in
   let disk = Storage.Disk.create engine ~rng:(Rng.split rng) ~name:(node_id ^ ".disk") () in
   let rec t =
@@ -402,19 +426,46 @@ let create engine ~rng ~net ~id:node_id ~peers ?(config = default_config) () =
         round_waiting = false;
         was_leader = false;
         up = true;
-        c_requests = Stats.Counter.create ();
-        c_commits = Stats.Counter.create ();
-        c_aborts_ww = Stats.Counter.create ();
-        c_aborts_forced = Stats.Counter.create ();
-        c_fetches = Stats.Counter.create ();
-        c_artificial = Stats.Counter.create ();
-        c_cert_batches = Stats.Counter.create ();
-        cert_batch_sizes = Stats.Summary.create ();
+        trace;
+        dur_spans = Hashtbl.create 64;
+        c_requests = counter "requests";
+        c_commits = counter "commits";
+        c_aborts_ww = counter "aborts_ww";
+        c_aborts_forced = counter "aborts_forced";
+        c_fetches = counter "fetches";
+        c_artificial = counter "artificial_conflicts";
+        c_cert_batches = counter "cert_batches";
+        cert_batch_sizes =
+          Obs.Registry.summary metrics ("certifier." ^ node_id ^ ".cert_batch_size");
         base_log_bytes = 0;
         base_back_certs = 0;
       }
   in
   let t = Lazy.force t in
+  (* Gauges over state owned by sub-components (WAL, Paxos, CPU, disk, the
+     log): read-only views, windowed — where windowing makes sense — by the
+     on_reset hook below rather than by zeroing the owners. *)
+  let g name read = Obs.Registry.gauge metrics ("certifier." ^ node_id ^ "." ^ name) read in
+  let wal () = Paxos.Node.wal t.paxos_node in
+  g "wal.fsyncs" (fun () -> float_of_int (Storage.Wal.sync_count (wal ())));
+  g "wal.records_synced" (fun () -> float_of_int (Storage.Wal.records_synced (wal ())));
+  g "wal.mean_group_size" (fun () -> Storage.Wal.mean_group_size (wal ()));
+  g "paxos.accept_broadcasts" (fun () ->
+      float_of_int (Paxos.Node.accept_broadcasts t.paxos_node));
+  g "paxos.mean_accept_batch" (fun () -> Paxos.Node.mean_accept_batch t.paxos_node);
+  g "log.bytes" (fun () ->
+      float_of_int (Cert_log.bytes_total t.clog - t.base_log_bytes));
+  g "log.back_certifications" (fun () ->
+      float_of_int (Cert_log.back_certifications t.clog - t.base_back_certs));
+  g "cpu.utilization" (fun () -> Resource.utilization t.cpu);
+  g "disk.utilization" (fun () -> Storage.Disk.utilization t.disk);
+  (* Registry reset = the certifier's own window reset: re-baseline the
+     cumulative log stats and restart the WAL / Paxos batch windows. *)
+  Obs.Registry.on_reset metrics (fun () ->
+      t.base_log_bytes <- Cert_log.bytes_total t.clog;
+      t.base_back_certs <- Cert_log.back_certifications t.clog;
+      Paxos.Node.reset_batch_stats t.paxos_node;
+      Storage.Wal.reset_stats (Paxos.Node.wal t.paxos_node));
   ignore
     (Engine.spawn engine ~name:(node_id ^ ".pump") (fun () ->
          let rec loop () =
@@ -464,6 +515,7 @@ let crash t =
     if t.round_waiting then Mailbox.send t.round_gate ();
     t.delivered <- [];
     Hashtbl.reset t.pending_replies;
+    Hashtbl.reset t.dur_spans;
     Hashtbl.reset t.decided;
     t.base_log_bytes <- 0;
     t.base_back_certs <- 0

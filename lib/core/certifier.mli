@@ -36,11 +36,22 @@ val create :
   net:Types.message Net.Network.t ->
   id:string ->
   peers:string list ->
+  ?metrics:Obs.Registry.t ->
+  ?trace:Obs.Trace.t ->
   ?config:config ->
   unit ->
   t
 (** Registers the network endpoint [id], creates the node's log disk and
-    Paxos node, and spawns the message pump. *)
+    Paxos node, and spawns the message pump.
+
+    Observability: counters register under [certifier.<id>.*] in [metrics]
+    (private registry when omitted), with gauges over the WAL, Paxos batch
+    stats, the log and CPU/disk utilization; an [on_reset] hook re-baselines
+    the cumulative log stats and restarts the WAL/Paxos windows, mirroring
+    {!reset_stats}. With a live [trace], the leader records [cert.batch]
+    (one certification round, including the group-commit gate wait),
+    [cert.durability] (per accepted entry, propose → majority delivery,
+    carrying the requester's trace id) and [wal.fsync] spans. *)
 
 val id : t -> string
 val is_leader : t -> bool
@@ -85,4 +96,13 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Counts since creation or the last reset; utilizations are busy-time
+    fractions over the whole run. [log_bytes] and [back_certifications] are
+    windowed against the baseline captured at the last reset (the log itself
+    is state and survives resets). *)
+
 val reset_stats : t -> unit
+(** Restart this certifier's measurement window: zero the counters,
+    re-baseline the cumulative log stats, reset the WAL and Paxos batch
+    windows. Equivalent to what an [Obs.Registry.reset] on the shared
+    registry does for this node. *)

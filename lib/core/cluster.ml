@@ -25,23 +25,34 @@ type t = {
   net : Types.message Net.Network.t;
   certifier_nodes : Certifier.t list;
   replica_nodes : Replica.t list;
+  obs_metrics : Obs.Registry.t;
+  obs_trace : Obs.Trace.t;
   mutable initial_rows : (Mvcc.Key.t * Mvcc.Value.t) list;
 }
 
 let certifier_name i = Printf.sprintf "cert%d" i
 let replica_name i = Printf.sprintf "replica%d" i
 
-let create ?engine cfg =
+let create ?engine ?metrics ?trace cfg =
   let engine = match engine with Some e -> e | None -> Engine.create () in
+  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
+  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
   let rng = Rng.create cfg.seed in
   let net = Net.Network.create engine ~rng:(Rng.split rng) () in
+  List.iter
+    (fun (name, read) -> Obs.Registry.gauge metrics ("net." ^ name) read)
+    [
+      ("messages_sent", fun () -> float_of_int (Net.Network.messages_sent net));
+      ("messages_delivered", fun () -> float_of_int (Net.Network.messages_delivered net));
+      ("messages_dropped", fun () -> float_of_int (Net.Network.messages_dropped net));
+    ];
   let cert_ids = List.init cfg.n_certifiers certifier_name in
   let certifier_nodes =
     List.map
       (fun id ->
         Certifier.create engine ~rng:(Rng.split rng) ~net ~id
           ~peers:(List.filter (fun p -> p <> id) cert_ids)
-          ~config:cfg.certifier ())
+          ~metrics ~trace ~config:cfg.certifier ())
       cert_ids
   in
   let replica_nodes =
@@ -49,14 +60,26 @@ let create ?engine cfg =
         Replica.create engine ~rng:(Rng.split rng) ~net ~name:(replica_name i)
           ~certifiers:cert_ids
           ~req_id_base:((i + 1) * 100_000_000)
+          ~metrics ~trace
           ~config:{ cfg.replica with mode = cfg.mode }
           ())
   in
-  { engine; cfg; net; certifier_nodes; replica_nodes; initial_rows = [] }
+  {
+    engine;
+    cfg;
+    net;
+    certifier_nodes;
+    replica_nodes;
+    obs_metrics = metrics;
+    obs_trace = trace;
+    initial_rows = [];
+  }
 
 let engine t = t.engine
 let network t = t.net
 let config t = t.cfg
+let metrics t = t.obs_metrics
+let trace t = t.obs_trace
 let replicas t = t.replica_nodes
 let replica t i = List.nth t.replica_nodes i
 let certifiers t = t.certifier_nodes
@@ -227,11 +250,10 @@ let total_aborts t =
       acc + s.cert_aborts + s.local_aborts)
     0 t.replica_nodes
 
+(* One registry reset restarts everyone's window (counters zeroed, each
+   component's on_reset hook re-baselines its own cumulative state), and the
+   trace ring starts fresh; the per-module reset_stats calls this used to
+   spell out are now the components' own registry hooks. *)
 let reset_stats t =
-  List.iter (fun r -> Proxy.reset_stats (Replica.proxy r)) t.replica_nodes;
-  List.iter Certifier.reset_stats t.certifier_nodes;
-  List.iter
-    (fun r ->
-      Mvcc.Db.reset_stats (Replica.db r);
-      Storage.Disk.reset_stats (Replica.log_disk r))
-    t.replica_nodes
+  Obs.Registry.reset t.obs_metrics;
+  Obs.Trace.reset t.obs_trace

@@ -14,10 +14,23 @@ val default_config : Types.mode -> config
 
 type t
 
-val create : ?engine:Sim.Engine.t -> config -> t
+val create : ?engine:Sim.Engine.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t -> config -> t
+(** Builds the network, certifier group and replicas. Every component
+    registers its metrics in [metrics] (a fresh registry when omitted) and
+    records lifecycle spans into [trace] (disabled when omitted); the
+    resulting metric namespace is [proxy.*], [cert_client.*], [replica.*],
+    [certifier.*] and [net.*]. *)
+
 val engine : t -> Sim.Engine.t
 val network : t -> Types.message Net.Network.t
 val config : t -> config
+
+val metrics : t -> Obs.Registry.t
+(** The shared registry all components registered into. *)
+
+val trace : t -> Obs.Trace.t
+(** The shared tracer ([Obs.Trace.disabled] unless one was passed in). *)
+
 val replicas : t -> Replica.t list
 val replica : t -> int -> Replica.t
 val certifiers : t -> Certifier.t list
@@ -49,4 +62,9 @@ val check_log_invariants : t -> (unit, string) result
 
 val total_commits : t -> int
 val total_aborts : t -> int
+
 val reset_stats : t -> unit
+(** Start a fresh measurement window for the whole cluster: one
+    [Obs.Registry.reset] (zeroing every registered counter and running each
+    component's re-baselining hook) plus an [Obs.Trace.reset] (emptying the
+    span ring). Used between warmup and the measured phase. *)

@@ -21,7 +21,7 @@ let default_config mode =
     local_certification = true;
   }
 
-type tx = { db_tx : Mvcc.Db.tx; start_version : int }
+type tx = { db_tx : Mvcc.Db.tx; start_version : int; trace_id : int }
 
 type failure = Cert_abort of Types.abort_cause | Local_abort of Mvcc.Db.abort_reason
 
@@ -36,7 +36,11 @@ type work =
       w_tx : tx;
       done_ : (unit, failure) result Ivar.t;
     }
-  | Refresh_batch of { remotes : Types.remote_ws list; done_ : unit Ivar.t }
+  | Refresh_batch of {
+      remotes : Types.remote_ws list;
+      trace_id : int;
+      done_ : unit Ivar.t;
+    }
 
 type stats = {
   commits : int;
@@ -68,6 +72,7 @@ type t = {
   mutable paused : bool;
   mutable applier : Engine.fiber option;
   mutable refresher : Engine.fiber option;
+  trace : Obs.Trace.t;
   c_commits : Stats.Counter.t;
   c_cert_aborts : Stats.Counter.t;
   c_local_aborts : Stats.Counter.t;
@@ -175,11 +180,13 @@ let apply_concurrent t remotes =
       t.rv <- max t.rv r.version;
       ignore
         (Engine.spawn t.engine ~name:(t.address ^ ".apply") (fun () ->
+             let sp = Obs.Trace.span t.trace ~stage:"apply" ~actor:t.address () in
              (match dep with Some div -> Ivar.read div | None -> ());
              charge_apply_cpu t [ r ];
              apply_certified t ~version:r.version ~order r.ws;
              Stats.Counter.incr t.c_applied;
              Stats.Counter.incr t.c_batches;
+             Obs.Trace.finish t.trace sp;
              Ivar.fill ivar ())))
     (fresh_remotes t remotes)
 
@@ -187,8 +194,12 @@ let apply_concurrent t remotes =
 (* The applier fiber: consumes certifier replies in version order. *)
 
 let finish_local_commit t w_tx ~version ~order done_ =
+  (* The durability stage: where Base pays its serialized commit fsync and
+     MW commits in memory — the gap the paper's Figure 7 turns on. *)
+  let sp = Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"durability" ~actor:t.address () in
   match Mvcc.Db.commit_replicated w_tx.db_tx ~version ~order with
   | Ok () ->
+      Obs.Trace.finish t.trace sp;
       Stats.Counter.incr t.c_commits;
       Ivar.fill done_ (Ok ())
   | Error _doomed ->
@@ -206,11 +217,16 @@ let finish_local_commit t w_tx ~version ~order done_ =
       let ws = Mvcc.Db.writeset w_tx.db_tx in
       let order = Mvcc.Db.next_order t.database in
       apply_certified t ~version ~order ws;
+      Obs.Trace.finish t.trace sp;
       Stats.Counter.incr t.c_commits;
       Ivar.fill done_ (Ok ())
 
 let process_commit_serial t reply w_tx done_ =
-  apply_serial t reply.Types.remotes;
+  (if reply.Types.remotes <> [] then begin
+     let sp = Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"apply" ~actor:t.address () in
+     apply_serial t reply.Types.remotes;
+     Obs.Trace.finish t.trace sp
+   end);
   let order = Mvcc.Db.next_order t.database in
   t.rv <- max t.rv reply.commit_version;
   finish_local_commit t w_tx ~version:reply.commit_version ~order done_
@@ -236,8 +252,10 @@ let spawn_applier t =
               match t.cfg.mode with
               | Types.Base | Types.Tashkent_mw -> process_commit_serial t reply w_tx done_
               | Types.Tashkent_api -> process_commit_api t reply w_tx done_)
-          | Refresh_batch { remotes; done_ } ->
+          | Refresh_batch { remotes; trace_id; done_ } ->
+              let sp = Obs.Trace.span t.trace ~id:trace_id ~stage:"apply" ~actor:t.address () in
               apply_serial t remotes;
+              Obs.Trace.finish t.trace sp;
               Stats.Counter.incr t.c_refreshes;
               Ivar.fill done_ ());
           loop ()
@@ -249,7 +267,12 @@ let spawn_applier t =
 (* ------------------------------------------------------------------ *)
 (* Client interface *)
 
-let begin_tx t = { db_tx = Mvcc.Db.begin_tx t.database; start_version = t.rv }
+let begin_tx t =
+  {
+    db_tx = Mvcc.Db.begin_tx t.database;
+    start_version = t.rv;
+    trace_id = Obs.Trace.fresh_id t.trace;
+  }
 let read t w_tx key = ignore t; Mvcc.Db.read w_tx.db_tx key
 
 let write t w_tx key op =
@@ -283,6 +306,9 @@ let commit t w_tx =
         else begin
           t.inflight <- t.inflight + 1;
           t.last_activity <- Engine.now t.engine;
+          let sp_txn =
+            Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"txn.commit" ~actor:t.address ()
+          in
           (* The paper (5.2.1): the version submitted to the certifier is
              the current version of the database — i.e. what has actually
              been announced, not the versions merely in flight — so that
@@ -302,9 +328,14 @@ let commit t w_tx =
             end
             else w_tx.start_version
           in
-          let reply =
-            Cert_client.certify t.client ~start_version ~replica_version:db_version ws
+          let sp_cert =
+            Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"certify" ~actor:t.address ()
           in
+          let reply =
+            Cert_client.certify t.client ~trace_id:w_tx.trace_id ~start_version
+              ~replica_version:db_version ws
+          in
+          Obs.Trace.finish t.trace sp_cert;
           t.last_activity <- Engine.now t.engine;
           let result =
             match reply.decision with
@@ -317,6 +348,7 @@ let commit t w_tx =
                 Mailbox.send t.work (Commit_reply { reply; w_tx; done_ });
                 Ivar.read done_
           in
+          Obs.Trace.finish t.trace sp_txn;
           t.inflight <- t.inflight - 1;
           result
         end
@@ -326,12 +358,15 @@ let commit t w_tx =
 
 let refresh t =
   if (not t.paused) && t.inflight = 0 && Mailbox.is_empty t.work then begin
-    match Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv with
+    let trace_id = Obs.Trace.fresh_id t.trace in
+    let sp = Obs.Trace.span t.trace ~id:trace_id ~stage:"backfill" ~actor:t.address () in
+    (match Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv with
     | Some { fetch_req_id = _; fetch_remotes; certifier_version = _ } when t.inflight = 0 ->
         let done_ = Ivar.create t.engine () in
-        Mailbox.send t.work (Refresh_batch { remotes = fetch_remotes; done_ });
+        Mailbox.send t.work (Refresh_batch { remotes = fetch_remotes; trace_id; done_ });
         Ivar.read done_
-    | Some _ | None -> ()
+    | Some _ | None -> ());
+    Obs.Trace.finish t.trace sp
   end
 
 let spawn_refresher t bound =
@@ -353,12 +388,29 @@ let spawn_refresher t bound =
 (* Lifecycle *)
 
 let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
-    ?config () =
+    ?metrics ?trace ?config () =
   let cfg = Option.value ~default:(default_config Types.Base) config in
+  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
+  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
+  let counter name = Obs.Registry.counter metrics ("proxy." ^ address ^ "." ^ name) in
   let mailbox = Net.Network.register net address in
   let client =
     Cert_client.create engine ~net ~my_addr:address ~certifiers ~req_id_base ()
   in
+  (* Cumulative robustness counters of the certifier client, exported as
+     gauges: chaos accounting reads them over the whole run, so they are
+     deliberately not windowed by [Registry.reset]. *)
+  List.iter
+    (fun (name, read) ->
+      Obs.Registry.gauge metrics
+        ("cert_client." ^ address ^ "." ^ name)
+        (fun () -> float_of_int (read client)))
+    [
+      ("requests_sent", Cert_client.requests_sent);
+      ("retries", Cert_client.retries);
+      ("failovers", Cert_client.failovers);
+      ("refetches", Cert_client.refetches);
+    ];
   let t =
     {
       engine;
@@ -377,17 +429,18 @@ let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
       paused = false;
       applier = None;
       refresher = None;
-      c_commits = Stats.Counter.create ();
-      c_cert_aborts = Stats.Counter.create ();
-      c_local_aborts = Stats.Counter.create ();
-      c_ro_commits = Stats.Counter.create ();
-      c_applied = Stats.Counter.create ();
-      c_batches = Stats.Counter.create ();
-      c_artificial = Stats.Counter.create ();
-      c_refreshes = Stats.Counter.create ();
-      c_promotions = Stats.Counter.create ();
-      c_preempted = Stats.Counter.create ();
-      c_invariant = Stats.Counter.create ();
+      trace;
+      c_commits = counter "commits";
+      c_cert_aborts = counter "cert_aborts";
+      c_local_aborts = counter "local_aborts";
+      c_ro_commits = counter "read_only_commits";
+      c_applied = counter "remote_ws_applied";
+      c_batches = counter "apply_batches";
+      c_artificial = counter "artificial_serializations";
+      c_refreshes = counter "refreshes";
+      c_promotions = counter "local_cert_promotions";
+      c_preempted = counter "preempted_commits";
+      c_invariant = counter "invariant_violations";
     }
   in
   (* Reply dispatcher: long-lived, routes certifier messages to waiters. *)

@@ -52,11 +52,21 @@ val create :
   cpu:Sim.Resource.t ->
   certifiers:string list ->
   req_id_base:int ->
+  ?metrics:Obs.Registry.t ->
+  ?trace:Obs.Trace.t ->
   ?config:config ->
   unit ->
   t
 (** Registers endpoint [addr] and spawns the reply dispatcher, the applier,
-    and (if configured) the staleness refresher. *)
+    and (if configured) the staleness refresher.
+
+    Observability: counters register under [proxy.<addr>.*] in [metrics]
+    (a private throwaway registry when omitted) and the cumulative
+    [Cert_client] robustness counters are exported as
+    [cert_client.<addr>.*] gauges. With a live [trace] (default: disabled),
+    every update transaction gets a trace id at {!begin_tx} and the proxy
+    records [txn.commit], [certify], [durability], [apply] and [backfill]
+    spans on the sim clock (taxonomy in DESIGN.md §10). *)
 
 val addr : t -> string
 val mode : t -> Types.mode
@@ -133,4 +143,11 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Counts since creation or the last reset. Counters are plain counts (not
+    rates); all are also readable through the registry passed to
+    {!create}. *)
+
 val reset_stats : t -> unit
+(** Zero this proxy's counters only. When the proxy shares a registry with
+    the rest of a cluster, prefer [Obs.Registry.reset] on that registry —
+    it resets the same counter objects plus everyone else's. *)

@@ -126,7 +126,8 @@ let spawn_dumper t interval =
          in
          loop ()))
 
-let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ~config:cfg () =
+let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ?metrics ?trace
+    ~config:cfg () =
   let cpu_resource = Resource.create engine ~name:(label ^ ".cpu") ~capacity:1 () in
   let hdd =
     Storage.Disk.create engine ~rng:(Rng.split rng) ~name:(label ^ ".disk") ()
@@ -167,7 +168,7 @@ let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ~config:cfg () 
   in
   let the_proxy =
     Proxy.create engine ~net ~addr:label ~db:database ~cpu:cpu_resource ~certifiers
-      ~req_id_base ~config:proxy_config ()
+      ~req_id_base ?metrics ?trace ~config:proxy_config ()
   in
   let t =
     {
@@ -191,6 +192,25 @@ let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ~config:cfg () 
   (match (cfg.mode, cfg.mw_recovery) with
   | Types.Tashkent_mw, Dump_based { interval } -> spawn_dumper t interval
   | _ -> ());
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      (* The proxy registered its own counters above; here we add views of
+         the replica-owned devices and database, and make a registry reset
+         restart their windows too (mirroring what Cluster.reset_stats used
+         to spell out per module). *)
+      let g name read = Obs.Registry.gauge reg ("replica." ^ label ^ "." ^ name) read in
+      g "db.ws_per_fsync" (fun () ->
+          Storage.Wal.mean_group_size (Mvcc.Db.wal t.database));
+      g "log_disk.fsyncs" (fun () -> float_of_int (Storage.Disk.fsyncs t.log_device));
+      g "log_disk.utilization" (fun () -> Storage.Disk.utilization t.log_device);
+      g "cpu.utilization" (fun () -> Resource.utilization t.cpu_resource);
+      g "dumps_taken" (fun () -> float_of_int t.dump_count);
+      Obs.Registry.on_reset reg (fun () ->
+          Mvcc.Db.reset_stats t.database;
+          Storage.Disk.reset_stats t.log_device;
+          if not (t.data_device == t.log_device) then
+            Storage.Disk.reset_stats t.data_device));
   t
 
 (* ------------------------------------------------------------------ *)

@@ -47,9 +47,16 @@ val create :
   name:string ->
   certifiers:string list ->
   req_id_base:int ->
+  ?metrics:Obs.Registry.t ->
+  ?trace:Obs.Trace.t ->
   config:config ->
   unit ->
   t
+(** [metrics]/[trace] are handed to the {!Proxy}; additionally, with
+    [metrics] the replica registers [replica.<name>.*] gauges over its
+    database WAL, log disk and CPU, and an [on_reset] hook that restarts the
+    database and disk stat windows (so one [Obs.Registry.reset] re-windows
+    the whole replica). *)
 
 val name : t -> string
 val proxy : t -> Proxy.t

@@ -25,6 +25,7 @@ let remote_ws_bytes r = 12 + Mvcc.Writeset.encoded_bytes r.ws
 
 type cert_request = {
   req_id : int;
+  trace_id : int;
   replica : string;
   start_version : int;
   replica_version : int;
@@ -55,7 +56,7 @@ type message =
   | Paxos of entry Paxos.Node.message
 
 let message_bytes = function
-  | Cert_request r -> 40 + Mvcc.Writeset.encoded_bytes r.writeset
+  | Cert_request r -> 48 + Mvcc.Writeset.encoded_bytes r.writeset
   | Cert_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 32 r.remotes
   | Cert_redirect _ -> 24
   | Fetch_request _ -> 28

@@ -36,6 +36,9 @@ val remote_ws_bytes : remote_ws -> int
 
 type cert_request = {
   req_id : int;
+  trace_id : int;
+      (** lifecycle trace id minted at [Proxy.begin_tx]; 0 when tracing is
+          disabled. Stable across certify retries (same transaction). *)
   replica : string;  (** requesting replica (= message reply address) *)
   start_version : int;  (** [tx_start_version] *)
   replica_version : int;  (** replica state at request time, for trimming

@@ -228,6 +228,17 @@ let stats t =
     recoveries = !(t.c_recoveries);
   }
 
+let register_metrics t reg =
+  let g name read = Obs.Registry.gauge reg ("fault." ^ name) read in
+  g "actions_applied" (fun () -> float_of_int t.applied);
+  g "partitions_cut" (fun () -> float_of_int !(t.c_cuts));
+  g "heals" (fun () -> float_of_int !(t.c_heals));
+  g "drop_bursts" (fun () -> float_of_int !(t.c_bursts));
+  g "latency_spikes" (fun () -> float_of_int !(t.c_spikes));
+  g "crashes" (fun () -> float_of_int !(t.c_crashes));
+  g "recoveries" (fun () -> float_of_int !(t.c_recoveries));
+  g "outstanding" (fun () -> float_of_int t.outstanding)
+
 let quiescent t =
   t.outstanding = 0 && t.cut = [] && t.spiked = [] && t.crashed_leaders = []
   && t.crashed_nodes = 0

@@ -69,6 +69,12 @@ val inject : Tashkent.Cluster.t -> plan -> t
     in their own fibers, so actions never delay each other. *)
 
 val stats : t -> stats
+(** Cumulative over the injector's lifetime (fault accounting is never
+    windowed). *)
+
+val register_metrics : t -> Obs.Registry.t -> unit
+(** Export the injector's counters as [fault.*] gauges in [reg] (gauges, so
+    a registry reset does not erase fault history mid-plan). *)
 
 val quiescent : t -> bool
 (** True once every scheduled action has been applied, every timed fault

@@ -16,6 +16,7 @@ type config = {
   duration : Time.t;
   seed : int;
   plan : plan_kind;
+  collect_trace : bool;
 }
 
 let default_config () =
@@ -26,6 +27,7 @@ let default_config () =
     duration = Time.sec 20;
     seed = 1966;
     plan = Scripted;
+    collect_trace = false;
   }
 
 type result = {
@@ -40,6 +42,7 @@ type result = {
   checks : int;
   violations : string list;
   ran_for : Time.t;
+  trace : Obs.Trace.t;
 }
 
 (* The acceptance scenario: a certifier-leader crash with later recovery,
@@ -112,8 +115,12 @@ let check cluster engine violations =
 
 let run ?(config = default_config ()) () =
   let spec = Workload.Tpcb.profile () in
+  let engine = Engine.create () in
+  let trace =
+    if config.collect_trace then Obs.Trace.create engine else Obs.Trace.disabled ()
+  in
   let cluster =
-    Tashkent.Cluster.create
+    Tashkent.Cluster.create ~engine ~trace
       {
         Tashkent.Cluster.mode = config.mode;
         n_replicas = config.n_replicas;
@@ -127,7 +134,6 @@ let run ?(config = default_config ()) () =
         seed = config.seed;
       }
   in
-  let engine = Tashkent.Cluster.engine cluster in
   Tashkent.Cluster.load_all cluster
     (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);
   Tashkent.Cluster.settle cluster;
@@ -147,6 +153,7 @@ let run ?(config = default_config ()) () =
   in
   let started = Engine.now engine in
   let injector = Fault.inject cluster plan in
+  Fault.register_metrics injector (Tashkent.Cluster.metrics cluster);
   let violations = ref [] in
   let checks = ref 0 in
   let checkpoints =
@@ -199,6 +206,7 @@ let run ?(config = default_config ()) () =
     checks = !checks;
     violations = List.rev !violations;
     ran_for = Time.diff (Engine.now engine) started;
+    trace;
   }
 
 let pp_result fmt r =

@@ -17,6 +17,9 @@ type config = {
   duration : Sim.Time.t;
   seed : int;  (** cluster/workload seed (the plan seed is separate) *)
   plan : plan_kind;
+  collect_trace : bool;
+      (** record lifecycle spans for the whole run (including fault
+          windows); read them from [result.trace] *)
 }
 
 val default_config : unit -> config
@@ -35,6 +38,9 @@ type result = {
   checks : int;  (** invariant checkpoints performed *)
   violations : string list;  (** empty on a passing run *)
   ran_for : Sim.Time.t;
+  trace : Obs.Trace.t;
+      (** the run's tracer; disabled (no events) unless
+          [config.collect_trace] was set *)
 }
 
 val scripted_plan : n_certifiers:int -> Fault.plan

@@ -34,6 +34,7 @@ type config = {
   seed : int;
   warmup : Time.t;
   measure : Time.t;
+  trace : bool;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     seed = 20060418;
     warmup = Time.sec 5;
     measure = Time.sec 20;
+    trace = false;
   }
 
 type result = {
@@ -68,6 +70,7 @@ type result = {
   cert_disk_util : float;
   replica_cpu_util : float;
   replica_disk_util : float;
+  stage_latency : (string * Obs.Trace.stage_stats) list;
 }
 
 let replica_config_of cfg (spec : Workload.Spec.t) mode =
@@ -103,8 +106,11 @@ let run_replicated cfg mode ~durable_cert =
       seed = cfg.seed;
     }
   in
-  let cluster = Tashkent.Cluster.create cluster_cfg in
-  let engine = Tashkent.Cluster.engine cluster in
+  let engine = Engine.create () in
+  let trace =
+    if cfg.trace then Obs.Trace.create engine else Obs.Trace.disabled ()
+  in
+  let cluster = Tashkent.Cluster.create ~engine ~trace cluster_cfg in
   Tashkent.Cluster.load_all cluster (spec.Workload.Spec.initial_rows ~n_replicas:cfg.n_replicas);
   Tashkent.Cluster.settle cluster;
   let collector = Workload.Driver.Collector.create () in
@@ -161,6 +167,7 @@ let run_replicated cfg mode ~durable_cert =
       avg (fun r -> Resource.utilization (Tashkent.Replica.cpu r));
     replica_disk_util =
       avg (fun r -> Storage.Disk.utilization (Tashkent.Replica.log_disk r));
+    stage_latency = Obs.Trace.all_stage_stats trace;
   }
 
 let run_standalone cfg =
@@ -217,6 +224,7 @@ let run_standalone cfg =
     cert_disk_util = 0.;
     replica_cpu_util = Resource.utilization cpu;
     replica_disk_util = Storage.Disk.utilization hdd;
+    stage_latency = [];
   }
 
 let run cfg =

@@ -27,6 +27,11 @@ type config = {
   seed : int;
   warmup : Sim.Time.t;
   measure : Sim.Time.t;
+  trace : bool;
+      (** record per-transaction lifecycle spans during the measured window
+          (warmup spans are cleared by the post-warmup reset); populates
+          [stage_latency] in the result. Off by default — the ring buffer
+          bounds memory, but span recording still costs a little time. *)
 }
 
 val default : config
@@ -53,6 +58,14 @@ type result = {
   cert_disk_util : float;
   replica_cpu_util : float;
   replica_disk_util : float;
+  stage_latency : (string * Obs.Trace.stage_stats) list;
+      (** per-stage latency aggregates over the measured window (durations
+          in µs of sim time), sorted by stage name; empty unless
+          [config.trace] was set (and always empty for [Standalone]) *)
 }
 
 val run : config -> result
+(** Blocking (runs the whole simulation): builds the system, warms it up
+    for [warmup], resets every stat window, measures for [measure], and
+    reads the results. Counters in the result are for the measured window
+    only; utilizations are cumulative busy-time fractions. *)

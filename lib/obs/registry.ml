@@ -1,0 +1,83 @@
+open Sim
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of { count : int; mean : float; min : float; max : float }
+  | Histogram of { count : int; mean : float; p50 : float; p95 : float; p99 : float }
+
+type metric =
+  | M_counter of Stats.Counter.t
+  | M_summary of Stats.Summary.t
+  | M_histogram of Stats.Histogram.t
+  | M_gauge of (unit -> float)
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable hooks : (unit -> unit) list; (* reverse registration order *)
+}
+
+let create () = { metrics = Hashtbl.create 64; hooks = [] }
+
+let register t name m =
+  if Hashtbl.mem t.metrics name then
+    invalid_arg (Printf.sprintf "Obs.Registry: duplicate metric %S" name);
+  Hashtbl.replace t.metrics name m
+
+let counter t name =
+  let c = Stats.Counter.create () in
+  register t name (M_counter c);
+  c
+
+let summary t name =
+  let s = Stats.Summary.create () in
+  register t name (M_summary s);
+  s
+
+let histogram ?precision t name =
+  let h = Stats.Histogram.create ?precision () in
+  register t name (M_histogram h);
+  h
+
+let gauge t name read = register t name (M_gauge read)
+let on_reset t hook = t.hooks <- hook :: t.hooks
+
+let read = function
+  | M_counter c -> Counter (Stats.Counter.value c)
+  | M_gauge f -> Gauge (f ())
+  | M_summary s ->
+      Summary
+        {
+          count = Stats.Summary.count s;
+          mean = Stats.Summary.mean s;
+          min = Stats.Summary.min s;
+          max = Stats.Summary.max s;
+        }
+  | M_histogram h ->
+      Histogram
+        {
+          count = Stats.Histogram.count h;
+          mean = Stats.Histogram.mean h;
+          p50 = Stats.Histogram.percentile h 0.50;
+          p95 = Stats.Histogram.percentile h 0.95;
+          p99 = Stats.Histogram.percentile h 0.99;
+        }
+
+let snapshot t =
+  Hashtbl.fold (fun name m acc -> (name, read m) :: acc) t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name = Option.map read (Hashtbl.find_opt t.metrics name)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> Stats.Counter.reset c
+      | M_summary s -> Stats.Summary.reset s
+      | M_histogram h -> Stats.Histogram.reset h
+      | M_gauge _ -> ())
+    t.metrics;
+  List.iter (fun hook -> hook ()) (List.rev t.hooks)
+
+let size t = Hashtbl.length t.metrics

@@ -1,0 +1,83 @@
+(** Central metrics registry.
+
+    One registry instance is shared by every component of a cluster (proxies,
+    certifiers, Paxos nodes, WALs, disks, the network, the fault injector).
+    Components create their counters/summaries/histograms {e through} the
+    registry — the returned handles are the ordinary [Sim.Stats] primitives,
+    so hot-path cost is unchanged — and the registry remembers them by name.
+    [snapshot] then reads every metric in one pass and [reset] restarts the
+    measurement window for all of them, replacing the per-module
+    [reset_stats] plumbing that used to live in [Cluster].
+
+    {2 Naming}
+
+    Metric names follow [component.instance.metric], e.g.
+    [proxy.replica0.commits] or [certifier.cert1.wal.fsyncs]. Names must be
+    unique within a registry; registering a duplicate raises
+    [Invalid_argument]. Instance segments come from the component's network
+    address / node id, so two clusters never share a registry.
+
+    {2 Reset semantics}
+
+    [reset] zeroes every registered counter, summary and histogram, then runs
+    the [on_reset] hooks in registration order. Gauges are read-only views of
+    external state and are {e not} touched by [reset]; components whose
+    gauges must re-baseline on reset (e.g. the certifier's cumulative log
+    bytes) install an [on_reset] hook that captures the baseline.
+
+    {2 Thread of control}
+
+    The registry is not itself concurrency-safe in any OS sense — like the
+    rest of the simulator it is only ever touched from the single-threaded
+    discrete-event engine, so no locking is needed. *)
+
+type t
+
+(** A point-in-time reading of one metric, as returned by {!snapshot}. *)
+type value =
+  | Counter of int  (** monotone count since the last {!reset} *)
+  | Gauge of float  (** instantaneous reading; unaffected by {!reset} *)
+  | Summary of { count : int; mean : float; min : float; max : float }
+      (** Welford summary of observed samples since the last {!reset} *)
+  | Histogram of { count : int; mean : float; p50 : float; p95 : float; p99 : float }
+      (** latency histogram (values in µs by convention) since the last
+          {!reset} *)
+
+val create : unit -> t
+
+val counter : t -> string -> Sim.Stats.Counter.t
+(** Create and register a counter under [name]. The handle is a plain
+    [Sim.Stats.Counter.t]; increments cost the same as an unregistered
+    counter. @raise Invalid_argument on duplicate name. *)
+
+val summary : t -> string -> Sim.Stats.Summary.t
+(** Create and register a summary. @raise Invalid_argument on duplicate. *)
+
+val histogram : ?precision:float -> t -> string -> Sim.Stats.Histogram.t
+(** Create and register a histogram ([precision] as in
+    [Sim.Stats.Histogram.create]). @raise Invalid_argument on duplicate. *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register a read callback evaluated at {!snapshot} time. Use for state
+    owned elsewhere (disk utilization, WAL fsync totals, queue lengths).
+    Gauges are {e not} reset by {!reset}. @raise Invalid_argument on
+    duplicate. *)
+
+val on_reset : t -> (unit -> unit) -> unit
+(** Register a hook run by {!reset} after all registered metrics have been
+    zeroed, in registration order. Components use this to re-baseline
+    windowed gauges or to reset sub-component stats they own (WAL, Paxos
+    batch stats, MVCC store). *)
+
+val snapshot : t -> (string * value) list
+(** Read every metric, sorted by name. Gauge callbacks are invoked here. *)
+
+val find : t -> string -> value option
+(** Read a single metric by exact name. *)
+
+val reset : t -> unit
+(** Start a new measurement window: zero all counters/summaries/histograms,
+    then run the {!on_reset} hooks. Gauges are untouched. *)
+
+val size : t -> int
+(** Number of registered metrics (including gauges). *)

@@ -1,0 +1,182 @@
+open Sim
+
+type event = {
+  id : int;
+  stage : string;
+  actor : string;
+  started : Time.t;
+  finished : Time.t;
+}
+
+type span = { sp_id : int; sp_stage : string; sp_actor : string; sp_started : Time.t }
+
+type stage_stats = {
+  count : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+}
+
+type t = {
+  on : bool;
+  now : unit -> Time.t;
+  capacity : int;
+  ring : event array;
+  mutable next_slot : int;
+  mutable total : int; (* finished spans since last reset *)
+  mutable next_id : int;
+  hists : (string, Stats.Histogram.t) Hashtbl.t;
+}
+
+let dummy_event = { id = 0; stage = ""; actor = ""; started = Time.zero; finished = Time.zero }
+let dummy_span = { sp_id = 0; sp_stage = ""; sp_actor = ""; sp_started = Time.zero }
+
+let create ?(capacity = 65536) engine =
+  if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity must be positive";
+  {
+    on = true;
+    now = (fun () -> Engine.now engine);
+    capacity;
+    ring = Array.make capacity dummy_event;
+    next_slot = 0;
+    total = 0;
+    next_id = 0;
+    hists = Hashtbl.create 16;
+  }
+
+let disabled () =
+  {
+    on = false;
+    now = (fun () -> Time.zero);
+    capacity = 0;
+    ring = [||];
+    next_slot = 0;
+    total = 0;
+    next_id = 0;
+    hists = Hashtbl.create 1;
+  }
+
+let enabled t = t.on
+
+let fresh_id t =
+  if not t.on then 0
+  else (
+    t.next_id <- t.next_id + 1;
+    t.next_id)
+
+let span t ?(id = 0) ~stage ~actor () =
+  if not t.on then dummy_span
+  else { sp_id = id; sp_stage = stage; sp_actor = actor; sp_started = t.now () }
+
+let finish t sp =
+  if t.on then begin
+    let ev =
+      {
+        id = sp.sp_id;
+        stage = sp.sp_stage;
+        actor = sp.sp_actor;
+        started = sp.sp_started;
+        finished = t.now ();
+      }
+    in
+    t.ring.(t.next_slot) <- ev;
+    t.next_slot <- (t.next_slot + 1) mod t.capacity;
+    t.total <- t.total + 1;
+    let h =
+      match Hashtbl.find_opt t.hists sp.sp_stage with
+      | Some h -> h
+      | None ->
+          let h = Stats.Histogram.create () in
+          Hashtbl.replace t.hists sp.sp_stage h;
+          h
+    in
+    Stats.Histogram.observe h (float_of_int Time.(to_us (diff ev.finished ev.started)))
+  end
+
+let recorded t = t.total
+let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
+
+let events t =
+  let n = min t.total t.capacity in
+  let first =
+    if t.total <= t.capacity then 0 else t.next_slot (* oldest surviving slot *)
+  in
+  List.init n (fun i -> t.ring.((first + i) mod t.capacity))
+
+let stages t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.hists [] |> List.sort String.compare
+
+let stats_of_hist h =
+  {
+    count = Stats.Histogram.count h;
+    mean_us = Stats.Histogram.mean h;
+    p50_us = Stats.Histogram.percentile h 0.50;
+    p95_us = Stats.Histogram.percentile h 0.95;
+    p99_us = Stats.Histogram.percentile h 0.99;
+  }
+
+let stage_stats t stage = Option.map stats_of_hist (Hashtbl.find_opt t.hists stage)
+
+let all_stage_stats t =
+  List.map (fun s -> (s, stats_of_hist (Hashtbl.find t.hists s))) (stages t)
+
+let reset t =
+  t.next_slot <- 0;
+  t.total <- 0;
+  Hashtbl.iter (fun _ h -> Stats.Histogram.reset h) t.hists
+
+(* --- Chrome trace_event rendering ------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json t =
+  let evs = events t in
+  (* Stable pid per actor, in order of first appearance. *)
+  let pids = Hashtbl.create 8 in
+  let actors = ref [] in
+  List.iter
+    (fun ev ->
+      if not (Hashtbl.mem pids ev.actor) then begin
+        Hashtbl.replace pids ev.actor (Hashtbl.length pids + 1);
+        actors := ev.actor :: !actors
+      end)
+    evs;
+  let actors = List.rev !actors in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun actor ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           (Hashtbl.find pids actor) (json_escape actor)))
+    actors;
+  List.iter
+    (fun ev ->
+      let dur = Time.(to_us (diff ev.finished ev.started)) in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"tashkent\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"trace_id\":%d,\"actor\":\"%s\"}}"
+           (json_escape ev.stage)
+           (Time.to_us ev.started)
+           dur (Hashtbl.find pids ev.actor) ev.id ev.id (json_escape ev.actor)))
+    evs;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,104 @@
+(** Transaction-lifecycle tracer.
+
+    A trace id is minted at [Proxy.begin_tx] ({!fresh_id}) and threaded
+    through the certify request, the Paxos proposal, the WAL fsync, the
+    certifier reply and the local install/backfill. Each stage brackets its
+    work with {!span}/{!finish}; the tracer timestamps both ends on the
+    {e sim clock} (microseconds of virtual time, not wall time) and records
+    the completed span into a bounded ring buffer.
+
+    {2 Span taxonomy}
+
+    Stages are free-form strings; the conventions used by the system are
+    documented in DESIGN.md §10 ([txn.commit], [certify], [durability],
+    [apply], [backfill], [cert.batch], [cert.durability], [wal.fsync]).
+
+    {2 Bounds and overflow}
+
+    The ring holds [capacity] completed spans (default 65536). When full,
+    the oldest span is overwritten and {!dropped} counts it; aggregate
+    per-stage histograms ({!stage_stats}) still observe every finished span,
+    so percentiles stay exact even after wraparound.
+
+    {2 Reset semantics}
+
+    {!reset} empties the ring and zeroes the per-stage histograms, but does
+    {e not} rewind the id counter — trace ids keep ascending across resets so
+    spans finished after a reset never collide with pre-reset ids.
+
+    {2 Disabled tracer}
+
+    {!disabled} returns a no-op sink: ids are all 0, spans are not recorded
+    and cost one branch on the hot path. Every component takes [?trace] and
+    defaults to it, so tracing is strictly opt-in. *)
+
+type t
+
+type span
+(** An open span, returned by {!span} and closed by {!finish}. *)
+
+(** A completed span as stored in the ring buffer. Times are sim-clock
+    instants. *)
+type event = {
+  id : int;  (** trace id; 0 when the span is not tied to a transaction *)
+  stage : string;
+  actor : string;  (** component instance, e.g. ["replica0"] or ["cert1"] *)
+  started : Sim.Time.t;
+  finished : Sim.Time.t;
+}
+
+(** Aggregate of one stage's finished spans; durations in µs. *)
+type stage_stats = {
+  count : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+}
+
+val create : ?capacity:int -> Sim.Engine.t -> t
+(** A live tracer reading the given engine's clock. [capacity] is the ring
+    size in completed spans (default 65536). *)
+
+val disabled : unit -> t
+(** A sink that records nothing; see module docs. *)
+
+val enabled : t -> bool
+
+val fresh_id : t -> int
+(** Next transaction trace id (1, 2, ...). Always 0 on a {!disabled}
+    tracer. *)
+
+val span : t -> ?id:int -> stage:string -> actor:string -> unit -> span
+(** Open a span starting now. [id] defaults to 0 (not transaction-bound). *)
+
+val finish : t -> span -> unit
+(** Close a span: records the event into the ring and observes its duration
+    (µs) in the stage's histogram. No-op on a {!disabled} tracer. *)
+
+val events : t -> event list
+(** Retained spans, oldest first (at most [capacity]). *)
+
+val recorded : t -> int
+(** Total spans finished since the last {!reset}, including overwritten
+    ones. *)
+
+val dropped : t -> int
+(** Spans overwritten by ring wraparound since the last {!reset}. *)
+
+val stages : t -> string list
+(** Stage names seen since the last {!reset}, sorted. *)
+
+val stage_stats : t -> string -> stage_stats option
+
+val all_stage_stats : t -> (string * stage_stats) list
+(** [(stage, stats)] for every stage, sorted by stage name. *)
+
+val reset : t -> unit
+
+val to_chrome_json : t -> string
+(** Render the retained spans as Chrome [trace_event] JSON (the
+    [chrome://tracing] / Perfetto format): one object with
+    [{"displayTimeUnit":"ms","traceEvents":[...]}], spans as [ph:"X"]
+    complete events with [ts]/[dur] in µs, one [pid] per actor (named via
+    [process_name] metadata events) and [tid] = trace id. *)

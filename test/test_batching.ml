@@ -57,6 +57,7 @@ let request c ~dst ~req_id ~row ~value ~at_version =
     Types.Cert_request
       {
         req_id;
+        trace_id = 0;
         replica = "client";
         start_version = at_version;
         replica_version = at_version;

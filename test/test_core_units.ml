@@ -152,6 +152,7 @@ let certify_via engine net cert ~req_id ~start_version ~replica_version w =
            (Types.Cert_request
               {
                 req_id;
+                trace_id = 0;
                 replica = Printf.sprintf "r%d" req_id;
                 start_version;
                 replica_version;
@@ -200,7 +201,7 @@ let test_certifier_retry_idempotent () =
     (Engine.spawn engine (fun () ->
          Net.Network.send net ~src:"r42b" ~dst:"cert0"
            (Types.Cert_request
-              { req_id = 42; replica = "r42b"; start_version = 0; replica_version = 0;
+              { req_id = 42; trace_id = 0; replica = "r42b"; start_version = 0; replica_version = 0;
                 writeset = ws "a" 1 });
          match Mailbox.recv mb with
          | Types.Cert_reply r -> second := Some r
@@ -252,7 +253,7 @@ let test_certifier_nocert_mode_no_disk () =
          let sent = Engine.now engine in
          Net.Network.send net ~src:"rq" ~dst:"cert0"
            (Types.Cert_request
-              { req_id = 1; replica = "rq"; start_version = 0; replica_version = 0;
+              { req_id = 1; trace_id = 0; replica = "rq"; start_version = 0; replica_version = 0;
                 writeset = ws "a" 1 });
          (match Mailbox.recv mb with Types.Cert_reply _ -> () | _ -> ());
          replied_at := Time.diff (Engine.now engine) sent));
@@ -358,7 +359,7 @@ let test_types_message_bytes_monotone () =
   in
   let req w =
     Types.Cert_request
-      { req_id = 1; replica = "r"; start_version = 0; replica_version = 0; writeset = w }
+      { req_id = 1; trace_id = 0; replica = "r"; start_version = 0; replica_version = 0; writeset = w }
   in
   check_bool "bigger writeset, bigger message" true
     (Types.message_bytes (req big) > Types.message_bytes (req small));
