@@ -16,7 +16,7 @@ let list_only = ref false
 let all_sections =
   [
     "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
-    "ablation"; "micro"; "chaos"; "latency";
+    "ablation"; "micro"; "chaos"; "storage_chaos"; "latency";
   ]
 
 (* Machine-readable metrics for regression tracking, written to
@@ -575,6 +575,53 @@ let chaos () =
       m "violations" (List.length r.violations))
     plans
 
+(* ------------------------------------------------------------------ *)
+(* Storage chaos: disk-fault plans with the durability invariant. *)
+
+let storage_chaos () =
+  Report.section
+    "Storage chaos: TPC-B under disk faults (stalls, torn/corrupt WAL tails)";
+  let plans =
+    if !quick then [ ("scripted-disk", Harness.Chaos_exp.Scripted_disk) ]
+    else
+      [
+        ("scripted-disk", Harness.Chaos_exp.Scripted_disk);
+        ("random-disk-7", Harness.Chaos_exp.Random 7);
+        ("random-disk-13", Harness.Chaos_exp.Random 13);
+      ]
+  in
+  List.iter
+    (fun (name, plan) ->
+      let config =
+        { (Harness.Chaos_exp.default_config ()) with plan; disk_faults = true }
+      in
+      let r = Harness.Chaos_exp.run ~config () in
+      Report.kv (name ^ " commits") (string_of_int r.commits);
+      Report.kv (name ^ " durable acked") (string_of_int r.durable_acked);
+      Report.kv (name ^ " torn discarded") (string_of_int r.torn_discarded);
+      Report.kv (name ^ " corrupt discarded") (string_of_int r.corrupt_discarded);
+      Report.kv (name ^ " stalls injected")
+        (string_of_int r.fault.Fault.disk_stalls);
+      Report.kv (name ^ " disk failovers") (string_of_int r.disk_failovers);
+      Report.kv (name ^ " checks/violations")
+        (Printf.sprintf "%d/%d" r.checks (List.length r.violations));
+      let m key v =
+        record_metric (Printf.sprintf "storage_chaos/%s/%s" name key)
+          (float_of_int v)
+      in
+      m "commits" r.commits;
+      m "durable_acked" r.durable_acked;
+      m "torn_discarded" r.torn_discarded;
+      m "corrupt_discarded" r.corrupt_discarded;
+      m "disk_stalls" r.fault.Fault.disk_stalls;
+      m "disk_degrades" r.fault.Fault.disk_degrades;
+      m "torn_crashes" r.fault.Fault.torn_crashes;
+      m "corrupt_tails" r.fault.Fault.corrupt_tails;
+      m "disk_failovers" r.disk_failovers;
+      m "checks" r.checks;
+      m "violations" (List.length r.violations))
+    plans
+
 let () =
   if !list_only then begin
     List.iter print_endline all_sections;
@@ -606,6 +653,7 @@ let () =
   if wants "ablation" then ablation ();
   if wants "micro" then micro ();
   if wants "chaos" then chaos ();
+  if wants "storage_chaos" then storage_chaos ();
   if wants "latency" then latency ();
   if !json_metrics <> [] then write_json ();
   print_newline ()

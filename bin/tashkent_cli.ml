@@ -171,10 +171,12 @@ let consistency_cmd =
     Term.(const run $ replicas_t $ seconds_t $ seed_t)
 
 let chaos_cmd =
-  let run n certifiers seconds seed plan_seed =
+  let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms =
     let plan =
       match plan_seed with
-      | None -> Harness.Chaos_exp.Scripted
+      | None ->
+          if disk_faults then Harness.Chaos_exp.Scripted_disk
+          else Harness.Chaos_exp.Scripted
       | Some s -> Harness.Chaos_exp.Random s
     in
     let config =
@@ -185,6 +187,8 @@ let chaos_cmd =
         duration = Sim.Time.of_sec seconds;
         seed;
         plan;
+        disk_faults;
+        fsync_stall = Sim.Time.of_ms fsync_stall_ms;
       }
     in
     let r = Harness.Chaos_exp.run ~config () in
@@ -205,12 +209,32 @@ let chaos_cmd =
       value & opt float 20.
       & info [ "seconds" ] ~docv:"S" ~doc:"Simulated run length (the plan spans it).")
   in
+  let disk_faults_t =
+    Arg.(
+      value & flag
+      & info [ "disk-faults" ]
+          ~doc:
+            "Inject storage faults too: fsync stalls, degraded disks, and \
+             torn/corrupt WAL tails. With a random plan this extends it; without \
+             one it selects the scripted storage-fault scenario.")
+  in
+  let fsync_stall_t =
+    Arg.(
+      value & opt float 600.
+      & info [ "fsync-stall-ms" ] ~docv:"MS"
+          ~doc:
+            "Extra per-op disk latency injected by random-plan stalls; above the \
+             certifiers' fsync deadline this forces a degraded-disk failover.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run TPC-B under a fault plan (leader crashes, partitions, loss bursts) and \
-          verify the GSI invariants after every heal; exits 1 on any violation.")
-    Term.(const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t)
+         "Run TPC-B under a fault plan (leader crashes, partitions, loss bursts, and \
+          optionally storage faults) and verify the GSI and durability invariants \
+          after every heal; exits 1 on any violation.")
+    Term.(
+      const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t
+      $ disk_faults_t $ fsync_stall_t)
 
 let trace_cmd =
   let mode_conv =

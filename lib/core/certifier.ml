@@ -5,6 +5,7 @@ type config = {
   forced_abort_rate : float;
   certify_cpu : Time.t;
   paxos : Paxos.Node.config;
+  fsync_deadline : Time.t option;
 }
 
 let default_config =
@@ -13,6 +14,9 @@ let default_config =
     forced_abort_rate = 0.;
     certify_cpu = Time.us 40;
     paxos = Paxos.Node.default_config;
+    (* A healthy log fsync is 6–12 ms; a flush still in flight after this
+       long means the disk has stalled and the leader should hand off. *)
+    fsync_deadline = Some (Time.of_ms 250.);
   }
 
 type stats = {
@@ -33,6 +37,11 @@ type stats = {
   mean_accept_batch : float;
   cpu_utilization : float;
   disk_utilization : float;
+  disk_failovers : int;
+  disk_fsync_stalls : int;
+  disk_io_errors : int;
+  wal_torn_discarded : int;
+  wal_corrupt_discarded : int;
 }
 
 type t = {
@@ -78,6 +87,7 @@ type t = {
   c_fetches : Stats.Counter.t;
   c_artificial : Stats.Counter.t;
   c_cert_batches : Stats.Counter.t;
+  c_disk_failovers : Stats.Counter.t;
   cert_batch_sizes : Stats.Summary.t;
   (* The log and its back-certification scan counter survive reset_stats
      (they are state, not statistics), so windowed stats subtract a
@@ -92,6 +102,8 @@ let leader_hint t = Paxos.Node.leader_hint t.paxos_node
 let system_version t = Cert_log.version t.clog
 let log t = t.clog
 let is_up t = t.up
+let disk t = t.disk
+let disk_failovers t = Stats.Counter.value t.c_disk_failovers
 let set_forced_abort_rate t rate = t.forced_abort_rate <- rate
 
 let send t ~dst msg =
@@ -346,6 +358,20 @@ let flush_replies t =
   if t.up && pending <> [] then send_commit_replies t pending
 
 let on_deliver t _slot (entry : Types.entry) =
+  (* A leader taking over from a crash may find gap slots whose entries
+     died un-acked with the old leader and no-op them; an inherited entry
+     in a later slot still carries the version the dead leader stamped,
+     now too high. Re-stamp it to the next contiguous version: every
+     certifier applies in slot order so the renumbering is identical
+     everywhere, and it can only shrink the window the entry was certified
+     against, never grow it. Entries at or below the expected version are
+     left alone — a duplicate or regression there is a real invariant
+     violation that [Cert_log.append] must still reject. *)
+  let entry =
+    let expected = Cert_log.version t.clog + 1 in
+    if entry.Types.version > expected then { entry with Types.version = expected }
+    else entry
+  in
   Cert_log.append t.clog entry;
   Hashtbl.replace t.decided entry.req_id entry.version;
   Overlay.remove t.overlay entry.version;
@@ -387,6 +413,32 @@ let spawn_role_watch t =
            loop ()
          in
          loop ()))
+
+(* Degraded-disk failover (the disk watchdog): while this node leads, a WAL
+   flush still in flight past [fsync_deadline] means the log device has
+   stalled — every certified-but-unsynced batch is stuck behind it, and so
+   is the whole cluster's commit path. The leader steps down (with a long
+   election backoff, so a healthy-disk acceptor wins) rather than making the
+   group wait out the stall; proxies retry at the new leader. *)
+let spawn_disk_watch t =
+  match t.cfg.fsync_deadline with
+  | None -> ()
+  | Some deadline ->
+      let backoff = Time.scale t.cfg.paxos.Paxos.Node.election_timeout_hi 8. in
+      ignore
+        (Engine.spawn t.engine ~name:(t.node_id ^ ".diskwatch") (fun () ->
+             let rec loop () =
+               Engine.sleep t.engine (Time.div deadline 4);
+               (if t.up && is_leader t then
+                  match Storage.Wal.flushing_since (Paxos.Node.wal t.paxos_node) with
+                  | Some started
+                    when Time.(Time.diff (Engine.now t.engine) started > deadline) ->
+                      Stats.Counter.incr t.c_disk_failovers;
+                      Paxos.Node.abdicate t.paxos_node ~backoff
+                  | Some _ | None -> ());
+               loop ()
+             in
+             loop ()))
 
 let create engine ~rng ~net ~id:node_id ~peers ?metrics ?trace ?(config = default_config)
     () =
@@ -435,6 +487,7 @@ let create engine ~rng ~net ~id:node_id ~peers ?metrics ?trace ?(config = defaul
         c_fetches = counter "fetches";
         c_artificial = counter "artificial_conflicts";
         c_cert_batches = counter "cert_batches";
+        c_disk_failovers = counter "disk_failovers";
         cert_batch_sizes =
           Obs.Registry.summary metrics ("certifier." ^ node_id ^ ".cert_batch_size");
         base_log_bytes = 0;
@@ -459,6 +512,22 @@ let create engine ~rng ~net ~id:node_id ~peers ?metrics ?trace ?(config = defaul
       float_of_int (Cert_log.back_certifications t.clog - t.base_back_certs));
   g "cpu.utilization" (fun () -> Resource.utilization t.cpu);
   g "disk.utilization" (fun () -> Storage.Disk.utilization t.disk);
+  (* Storage-fault visibility: current injected state plus cumulative fault
+     and recovery-scan counters (never windowed — they are fault evidence,
+     not throughput). *)
+  g "disk.stalled" (fun () -> if Storage.Disk.stalled t.disk then 1. else 0.);
+  g "disk.stall_extra_ms" (fun () ->
+      match Storage.Disk.stall_extra t.disk with
+      | None -> 0.
+      | Some extra -> Time.to_ms extra);
+  g "disk.degrade_factor" (fun () -> Storage.Disk.degrade_factor t.disk);
+  g "disk.fsync_stalls" (fun () -> float_of_int (Storage.Disk.fsync_stalls t.disk));
+  g "disk.io_errors" (fun () -> float_of_int (Storage.Disk.io_errors t.disk));
+  g "disk.failovers" (fun () -> float_of_int (Stats.Counter.value t.c_disk_failovers));
+  g "wal.torn_discarded" (fun () ->
+      float_of_int (Storage.Wal.torn_discarded (wal ())));
+  g "wal.corrupt_discarded" (fun () ->
+      float_of_int (Storage.Wal.corrupt_discarded (wal ())));
   (* Registry reset = the certifier's own window reset: re-baseline the
      cumulative log stats and restart the WAL / Paxos batch windows. *)
   Obs.Registry.on_reset metrics (fun () ->
@@ -489,12 +558,13 @@ let create engine ~rng ~net ~id:node_id ~peers ?metrics ?trace ?(config = defaul
          in
          loop ()));
   spawn_role_watch t;
+  spawn_disk_watch t;
   t
 
 (* ------------------------------------------------------------------ *)
 (* Faults *)
 
-let crash t =
+let crash ?wal_fault t =
   if t.up then begin
     t.up <- false;
     (* A dead node has no network presence: drop the endpoint (so in-flight
@@ -503,7 +573,7 @@ let crash t =
        {!recover} to reattach — the pump fiber stays parked on it. *)
     Net.Network.unregister t.net t.node_id;
     Mailbox.clear t.mailbox;
-    Paxos.Node.crash t.paxos_node;
+    Paxos.Node.crash ?wal_fault t.paxos_node;
     (* Volatile certifier state is lost; the log is rebuilt from the durable
        Paxos log on recovery: redelivery re-appends from version 1. *)
     t.clog <- Cert_log.create ();
@@ -548,6 +618,11 @@ let stats t =
     mean_accept_batch = Paxos.Node.mean_accept_batch t.paxos_node;
     cpu_utilization = Resource.utilization t.cpu;
     disk_utilization = Storage.Disk.utilization t.disk;
+    disk_failovers = Stats.Counter.value t.c_disk_failovers;
+    disk_fsync_stalls = Storage.Disk.fsync_stalls t.disk;
+    disk_io_errors = Storage.Disk.io_errors t.disk;
+    wal_torn_discarded = Storage.Wal.torn_discarded wal;
+    wal_corrupt_discarded = Storage.Wal.corrupt_discarded wal;
   }
 
 let reset_stats t =

@@ -24,6 +24,11 @@ type config = {
   forced_abort_rate : float;
   certify_cpu : Sim.Time.t;  (** CPU per certification request *)
   paxos : Paxos.Node.config;
+  fsync_deadline : Sim.Time.t option;
+      (** degraded-disk failover: while leading, a WAL flush still in
+          flight past this deadline makes the leader abdicate so a
+          healthy-disk acceptor can lead. [None] disables the watchdog.
+          Default 250 ms — far above a healthy 6–12 ms fsync. *)
 }
 
 val default_config : config
@@ -64,9 +69,21 @@ val log : t -> Cert_log.t
 
 (** {1 Fault injection} *)
 
-val crash : t -> unit
+val crash : ?wal_fault:Paxos.Node.wal_fault -> t -> unit
+(** Crash-stop this certifier. [wal_fault] additionally leaves the node's
+    Paxos WAL with a torn or corrupt tail for the recovery checksum scan
+    ({!Storage.Wal.recover}) to find on {!recover}. *)
+
 val recover : t -> unit
 val is_up : t -> bool
+
+val disk : t -> Storage.Disk.t
+(** The node's log device — the handle the fault injector uses to stall or
+    degrade it. *)
+
+val disk_failovers : t -> int
+(** Times the disk watchdog made this node abdicate leadership because a
+    WAL flush exceeded [fsync_deadline]. Cumulative. *)
 
 val set_forced_abort_rate : t -> float -> unit
 
@@ -93,6 +110,12 @@ type stats = {
       (** mean entries per multi-entry Paxos Accept (> 1 under load) *)
   cpu_utilization : float;
   disk_utilization : float;
+  disk_failovers : int;  (** abdications forced by the disk watchdog *)
+  disk_fsync_stalls : int;  (** fsyncs served while a stall was injected *)
+  disk_io_errors : int;  (** transient IO errors injected *)
+  wal_torn_discarded : int;  (** torn records dropped by recovery scans *)
+  wal_corrupt_discarded : int;
+      (** corrupt records dropped by recovery scans *)
 }
 
 val stats : t -> stats

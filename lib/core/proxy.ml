@@ -72,6 +72,12 @@ type t = {
   mutable paused : bool;
   mutable applier : Engine.fiber option;
   mutable refresher : Engine.fiber option;
+  (* Opt-in durability oracle for chaos harnesses: every commit acked
+     durable to this proxy, recorded at reply arrival and NEVER cleared by
+     pause/crash paths — so a harness can assert that each acked commit is
+     still present in the certified log after recovery. *)
+  mutable journaling : bool;
+  mutable journal : (int * int) list; (* (req_id, commit_version), newest first *)
   trace : Obs.Trace.t;
   c_commits : Stats.Counter.t;
   c_cert_aborts : Stats.Counter.t;
@@ -91,6 +97,8 @@ let mode t = t.cfg.mode
 let replica_version t = t.rv
 let db t = t.database
 let client t = t.client
+let enable_commit_journal t = t.journaling <- true
+let journaled_commits t = List.rev t.journal
 
 (* ------------------------------------------------------------------ *)
 (* Remote writeset application *)
@@ -344,6 +352,8 @@ let commit t w_tx =
                 Stats.Counter.incr t.c_cert_aborts;
                 Error (Cert_abort cause)
             | Types.Commit ->
+                if t.journaling then
+                  t.journal <- (reply.req_id, reply.commit_version) :: t.journal;
                 let done_ = Ivar.create t.engine () in
                 Mailbox.send t.work (Commit_reply { reply; w_tx; done_ });
                 Ivar.read done_
@@ -429,6 +439,8 @@ let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
       paused = false;
       applier = None;
       refresher = None;
+      journaling = false;
+      journal = [];
       trace;
       c_commits = counter "commits";
       c_cert_aborts = counter "cert_aborts";

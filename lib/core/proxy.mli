@@ -77,6 +77,17 @@ val client : t -> Cert_client.t
 (** The underlying certifier client, exposed for its fault/robustness
     counters (retries, failovers, re-fetches). *)
 
+val enable_commit_journal : t -> unit
+(** Start recording every commit acked durable to this proxy (at
+    commit-reply arrival — i.e. after the certifier group reached majority
+    durability). The journal is a harness-side oracle: it is never cleared
+    by crash/pause paths, so a chaos experiment can assert each acked
+    commit is still present in the certified log after recovery. *)
+
+val journaled_commits : t -> (int * int) list
+(** The journal, oldest first, as [(req_id, commit_version)] pairs. Empty
+    unless {!enable_commit_journal} was called. *)
+
 (** {1 Client interface (the "JDBC" face)} *)
 
 type tx

@@ -6,6 +6,11 @@ let pp_node fmt = function
   | Cert i -> Format.fprintf fmt "cert%d" i
   | Rep i -> Format.fprintf fmt "replica%d" i
 
+(* Disk-fault targets: a certifier by index, or whoever leads at fire time. *)
+let pp_cert_target fmt = function
+  | None -> Format.pp_print_string fmt "leader"
+  | Some i -> Format.fprintf fmt "cert%d" i
+
 type action =
   | Partition of node list * node list
   | Heal of node list * node list
@@ -18,6 +23,10 @@ type action =
   | Recover_crashed
   | Crash_replica of int
   | Recover_replica of int
+  | Disk_stall of { cert : int option; extra : Time.t; duration : Time.t }
+  | Disk_degrade of { cert : int option; factor : float; duration : Time.t }
+  | Torn_crash of { cert : int option }
+  | Corrupt_tail of { cert : int option }
 
 let pp_action fmt = function
   | Partition (g1, g2) ->
@@ -44,6 +53,14 @@ let pp_action fmt = function
   | Recover_crashed -> Format.pp_print_string fmt "recover crashed leader"
   | Crash_replica i -> Format.fprintf fmt "crash replica%d" i
   | Recover_replica i -> Format.fprintf fmt "recover replica%d" i
+  | Disk_stall { cert; extra; duration } ->
+      Format.fprintf fmt "disk-stall %a +%a for %a" pp_cert_target cert Time.pp extra
+        Time.pp duration
+  | Disk_degrade { cert; factor; duration } ->
+      Format.fprintf fmt "disk-degrade %a x%.1f for %a" pp_cert_target cert factor
+        Time.pp duration
+  | Torn_crash { cert } -> Format.fprintf fmt "torn-crash %a" pp_cert_target cert
+  | Corrupt_tail { cert } -> Format.fprintf fmt "corrupt-tail %a" pp_cert_target cert
 
 type plan = (Time.t * action) list
 
@@ -55,6 +72,10 @@ type stats = {
   latency_spikes : int;
   crashes : int;
   recoveries : int;
+  disk_stalls : int;
+  disk_degrades : int;
+  torn_crashes : int;
+  corrupt_tails : int;
 }
 
 type t = {
@@ -68,6 +89,10 @@ type t = {
   (* Crash_leader victims, newest first, for Recover_crashed. *)
   mutable crashed_leaders : int list;
   mutable crashed_nodes : int; (* crashes minus recoveries, any kind *)
+  (* Disks with an outstanding injected stall / degrade, so Heal_all can
+     clear them and [quiescent] can insist they are gone. *)
+  mutable stalled_disks : Storage.Disk.t list;
+  mutable degraded_disks : Storage.Disk.t list;
   (* Actions scheduled but not yet finished (timed faults count until
      their revert fires). *)
   mutable outstanding : int;
@@ -78,6 +103,10 @@ type t = {
   c_spikes : int ref;
   c_crashes : int ref;
   c_recoveries : int ref;
+  c_disk_stalls : int ref;
+  c_disk_degrades : int ref;
+  c_torn : int ref;
+  c_corrupt : int ref;
 }
 
 let addr t = function
@@ -119,6 +148,26 @@ let leader_index t =
       in
       find 0 (Tashkent.Cluster.certifiers t.cluster)
 
+(* [None] targets whichever certifier leads when the action fires (like
+   Crash_leader); skipped when an election is in progress. *)
+let resolve_cert t = function Some i -> Some i | None -> leader_index t
+
+let cert_disk t i = Tashkent.Certifier.disk (certifier_at t i)
+
+(* A disk-fault crash: like Crash_certifier but leaves the WAL with a torn
+   or corrupt tail. Guarded on [is_up] so a plan that races another crash
+   window cannot wedge the crashed_nodes accounting. Leader-targeted
+   victims go onto [crashed_leaders] so Recover_crashed pairs with them. *)
+let crash_with_wal_fault t ~counter ~wal_fault ~was_leader_target i =
+  let c = certifier_at t i in
+  if Tashkent.Certifier.is_up c then begin
+    incr counter;
+    incr t.c_crashes;
+    t.crashed_nodes <- t.crashed_nodes + 1;
+    if was_leader_target then t.crashed_leaders <- i :: t.crashed_leaders;
+    Tashkent.Certifier.crash ~wal_fault c
+  end
+
 (* Apply one action. Runs inside its own fiber: timed faults sleep here
    until their revert, and replica recovery blocks on restore + replay. *)
 let apply t action =
@@ -131,7 +180,11 @@ let apply t action =
       t.cut <- [];
       List.iter (fun (a, b) -> Net.Network.restore_link t.net a b) t.spiked;
       t.spiked <- [];
-      Net.Network.set_drop_rate t.net 0.
+      Net.Network.set_drop_rate t.net 0.;
+      List.iter Storage.Disk.clear_stall t.stalled_disks;
+      t.stalled_disks <- [];
+      List.iter Storage.Disk.clear_degrade t.degraded_disks;
+      t.degraded_disks <- []
   | Drop_burst { rate; duration } ->
       incr t.c_bursts;
       Net.Network.set_drop_rate t.net rate;
@@ -150,9 +203,15 @@ let apply t action =
       t.crashed_nodes <- t.crashed_nodes + 1;
       Tashkent.Certifier.crash (certifier_at t i)
   | Recover_certifier i ->
-      incr t.c_recoveries;
-      t.crashed_nodes <- t.crashed_nodes - 1;
-      Tashkent.Certifier.recover (certifier_at t i)
+      (* Guarded so a recover whose paired crash no-oped (the victim was
+         already down) cannot drive crashed_nodes negative and wedge
+         [quiescent]. *)
+      let c = certifier_at t i in
+      if not (Tashkent.Certifier.is_up c) then begin
+        incr t.c_recoveries;
+        t.crashed_nodes <- t.crashed_nodes - 1;
+        Tashkent.Certifier.recover c
+      end
   | Crash_leader -> (
       match leader_index t with
       | None -> () (* election in progress: nothing to kill *)
@@ -176,7 +235,41 @@ let apply t action =
   | Recover_replica i ->
       incr t.c_recoveries;
       t.crashed_nodes <- t.crashed_nodes - 1;
-      ignore (Tashkent.Replica.recover (Tashkent.Cluster.replica t.cluster i)));
+      ignore (Tashkent.Replica.recover (Tashkent.Cluster.replica t.cluster i))
+  | Disk_stall { cert; extra; duration } -> (
+      match resolve_cert t cert with
+      | None -> ()
+      | Some i ->
+          incr t.c_disk_stalls;
+          let disk = cert_disk t i in
+          Storage.Disk.set_stall disk ~extra;
+          t.stalled_disks <- disk :: t.stalled_disks;
+          Engine.sleep t.engine duration;
+          Storage.Disk.clear_stall disk;
+          t.stalled_disks <- List.filter (fun d -> d != disk) t.stalled_disks)
+  | Disk_degrade { cert; factor; duration } -> (
+      match resolve_cert t cert with
+      | None -> ()
+      | Some i ->
+          incr t.c_disk_degrades;
+          let disk = cert_disk t i in
+          Storage.Disk.set_degrade disk ~factor;
+          t.degraded_disks <- disk :: t.degraded_disks;
+          Engine.sleep t.engine duration;
+          Storage.Disk.clear_degrade disk;
+          t.degraded_disks <- List.filter (fun d -> d != disk) t.degraded_disks)
+  | Torn_crash { cert } -> (
+      match resolve_cert t cert with
+      | None -> ()
+      | Some i ->
+          crash_with_wal_fault t ~counter:t.c_torn ~wal_fault:Paxos.Node.Torn_tail
+            ~was_leader_target:(cert = None) i)
+  | Corrupt_tail { cert } -> (
+      match resolve_cert t cert with
+      | None -> ()
+      | Some i ->
+          crash_with_wal_fault t ~counter:t.c_corrupt
+            ~wal_fault:Paxos.Node.Corrupt_tail ~was_leader_target:(cert = None) i));
   t.applied <- t.applied + 1;
   t.outstanding <- t.outstanding - 1
 
@@ -191,6 +284,8 @@ let inject cluster plan =
       spiked = [];
       crashed_leaders = [];
       crashed_nodes = 0;
+      stalled_disks = [];
+      degraded_disks = [];
       outstanding = List.length plan;
       applied = 0;
       c_cuts = ref 0;
@@ -199,6 +294,10 @@ let inject cluster plan =
       c_spikes = ref 0;
       c_crashes = ref 0;
       c_recoveries = ref 0;
+      c_disk_stalls = ref 0;
+      c_disk_degrades = ref 0;
+      c_torn = ref 0;
+      c_corrupt = ref 0;
     }
   in
   let plan = List.sort (fun (a, _) (b, _) -> Time.compare a b) plan in
@@ -226,6 +325,10 @@ let stats t =
     latency_spikes = !(t.c_spikes);
     crashes = !(t.c_crashes);
     recoveries = !(t.c_recoveries);
+    disk_stalls = !(t.c_disk_stalls);
+    disk_degrades = !(t.c_disk_degrades);
+    torn_crashes = !(t.c_torn);
+    corrupt_tails = !(t.c_corrupt);
   }
 
 let register_metrics t reg =
@@ -237,17 +340,22 @@ let register_metrics t reg =
   g "latency_spikes" (fun () -> float_of_int !(t.c_spikes));
   g "crashes" (fun () -> float_of_int !(t.c_crashes));
   g "recoveries" (fun () -> float_of_int !(t.c_recoveries));
+  g "disk_stalls" (fun () -> float_of_int !(t.c_disk_stalls));
+  g "disk_degrades" (fun () -> float_of_int !(t.c_disk_degrades));
+  g "torn_crashes" (fun () -> float_of_int !(t.c_torn));
+  g "corrupt_tails" (fun () -> float_of_int !(t.c_corrupt));
   g "outstanding" (fun () -> float_of_int t.outstanding)
 
 let quiescent t =
   t.outstanding = 0 && t.cut = [] && t.spiked = [] && t.crashed_leaders = []
-  && t.crashed_nodes = 0
+  && t.crashed_nodes = 0 && t.stalled_disks = [] && t.degraded_disks = []
   && Net.Network.drop_rate t.net = 0.
 
 (* ------------------------------------------------------------------ *)
 (* Seeded random plans *)
 
-let random_plan ~seed ~duration ~n_certifiers ~n_replicas () =
+let random_plan ~seed ~duration ~n_certifiers ~n_replicas
+    ?(disk_faults = false) ?(fsync_stall = Time.of_ms 600.) () =
   let rng = Rng.create (0xFA17 lxor seed) in
   let frac lo hi =
     Rng.time_uniform rng ~lo:(Time.scale duration lo) ~hi:(Time.scale duration hi)
@@ -291,6 +399,38 @@ let random_plan ~seed ~duration ~n_certifiers ~n_replicas () =
            extra = Rng.time_uniform rng ~lo:(Time.of_ms 1.) ~hi:(Time.of_ms 5.);
            duration = frac 0.05 0.1;
          })
+  end;
+  (* Storage faults, opt-in. The windows are drawn after every network
+     fault above, so a plan with [disk_faults = false] is bit-identical to
+     the pre-storage-fault plan for the same seed. They are placed to keep
+     at most one certifier down at a time: the leader crash above recovers
+     by 0.37, the torn victim by 0.58, the corrupt victim by 0.78 — all
+     before the 0.85 Heal_all backstop. *)
+  if disk_faults && n_certifiers > 0 then begin
+    (* Sustained fsync stall on the leader's log device: long enough per op
+       to trip the certifier's fsync-deadline watchdog and force an
+       abdication to a healthy-disk acceptor. *)
+    add (frac 0.24 0.3)
+      (Disk_stall { cert = None; extra = fsync_stall; duration = frac 0.06 0.1 });
+    (* A uniformly slow (but not stuck) disk on a random certifier. *)
+    add (frac 0.3 0.45)
+      (Disk_degrade
+         {
+           cert = Some (Rng.int rng n_certifiers);
+           factor = Rng.uniform rng ~lo:2.0 ~hi:6.0;
+           duration = frac 0.05 0.1;
+         });
+    (* Power-fail the leader mid-write: its WAL keeps a torn tail for the
+       recovery scan to truncate. *)
+    let t_torn = frac 0.4 0.46 in
+    add t_torn (Torn_crash { cert = None });
+    add (Time.add t_torn (frac 0.08 0.12)) Recover_crashed;
+    (* Media corruption of the newest durable record on a random
+       certifier, discovered at recovery. *)
+    let victim = Rng.int rng n_certifiers in
+    let t_corrupt = frac 0.62 0.68 in
+    add t_corrupt (Corrupt_tail { cert = Some victim });
+    add (Time.add t_corrupt (frac 0.06 0.1)) (Recover_certifier victim)
   end;
   (* Backstop: whatever is still broken heals before the measurement tail. *)
   add (Time.scale duration 0.85) Heal_all;

@@ -7,11 +7,21 @@
     drawn from a seeded RNG ({!random_plan}), so every chaos run replays
     bit-identically from its seed.
 
-    The fault model follows the paper's §7: certifier nodes fail by
+    The fault model extends the paper's §7: certifier nodes fail by
     crash-stop and rejoin via Paxos state transfer (a minority may be down
     at any moment); replicas fail independently and recover via dump
     restore or redo plus writeset replay (§7.1 cases 1 and 2); the network
-    may partition, lose, or delay messages but does not corrupt them. *)
+    may partition, lose, or delay messages but does not corrupt them — the
+    {e storage} layer, however, may: disks stall ({!Disk_stall}) or run
+    uniformly slow ({!Disk_degrade}), and a crash can leave the WAL with a
+    partially-written final record ({!Torn_crash}) or one whose checksum no
+    longer verifies ({!Corrupt_tail}). Recovery runs a checksum scan
+    ({!Storage.Wal.recover}) that truncates at the first torn/corrupt
+    record; this is safe because every durability ack follows the sync
+    (write-ahead discipline), so a truncated record was never acked. A
+    certifier leader whose fsyncs exceed its configured deadline abdicates
+    so a healthy-disk acceptor can lead
+    ({!Tashkent.Certifier.config}[.fsync_deadline]). *)
 
 (** A node of the cluster, by role and index (as in
     {!Tashkent.Cluster.create}: certifiers [cert0..], replicas
@@ -45,6 +55,23 @@ type action =
       (** Recover the most recent {!Crash_leader} victim. *)
   | Crash_replica of int
   | Recover_replica of int
+  | Disk_stall of { cert : int option; extra : Sim.Time.t; duration : Sim.Time.t }
+      (** Every op on the target certifier's log disk takes [extra] longer
+          for [duration]. [cert = None] targets whoever leads at fire time
+          (no-op during an election). A stall above the certifier's fsync
+          deadline triggers degraded-disk failover. *)
+  | Disk_degrade of { cert : int option; factor : float; duration : Sim.Time.t }
+      (** Multiply the target disk's op latencies by [factor] for
+          [duration]. *)
+  | Torn_crash of { cert : int option }
+      (** Crash the target certifier mid-write: its WAL keeps a
+          partially-written final record for the recovery scan to truncate.
+          With [cert = None] the victim goes onto the {!Recover_crashed}
+          stack, like {!Crash_leader}. *)
+  | Corrupt_tail of { cert : int option }
+      (** Crash the target certifier and corrupt the newest durable WAL
+          record, so its checksum fails at recovery. Victim handling as in
+          {!Torn_crash}. *)
 
 val pp_action : Format.formatter -> action -> unit
 
@@ -59,6 +86,10 @@ type stats = {
   latency_spikes : int;
   crashes : int;
   recoveries : int;
+  disk_stalls : int;
+  disk_degrades : int;
+  torn_crashes : int;  (** crashes that left a torn WAL tail *)
+  corrupt_tails : int;  (** crashes that corrupted the durable WAL tail *)
 }
 
 type t
@@ -87,6 +118,8 @@ val random_plan :
   duration:Sim.Time.t ->
   n_certifiers:int ->
   n_replicas:int ->
+  ?disk_faults:bool ->
+  ?fsync_stall:Sim.Time.t ->
   unit ->
   plan
 (** A reproducible plan over [duration]: a certifier-leader crash with
@@ -94,4 +127,12 @@ val random_plan :
     with recovery, a drop burst and a latency spike — jittered by [seed],
     never crashing a certifier majority (one certifier down at a time),
     with every fault healed by [0.85 * duration] (a final {!Heal_all}
-    backstop). *)
+    backstop).
+
+    With [disk_faults] (default false) the plan additionally stalls the
+    leader's log disk by [fsync_stall] per op (default 600 ms — above the
+    default fsync deadline, so the leader abdicates), degrades a random
+    certifier's disk, torn-crashes the leader, and corrupt-tail-crashes a
+    random certifier, each recovered before the backstop. Plans with
+    [disk_faults = false] are bit-identical to pre-storage-fault plans for
+    the same seed. *)

@@ -7,7 +7,7 @@ open Sim
    leader crashes and partitions without duplicating, losing or reordering
    any certified writeset. *)
 
-type plan_kind = Scripted | Random of int
+type plan_kind = Scripted | Scripted_disk | Random of int
 
 type config = {
   mode : Tashkent.Types.mode;
@@ -17,6 +17,8 @@ type config = {
   seed : int;
   plan : plan_kind;
   collect_trace : bool;
+  disk_faults : bool;
+  fsync_stall : Time.t;
 }
 
 let default_config () =
@@ -28,6 +30,8 @@ let default_config () =
     seed = 1966;
     plan = Scripted;
     collect_trace = false;
+    disk_faults = false;
+    fsync_stall = Time.of_ms 600.;
   }
 
 type result = {
@@ -43,6 +47,10 @@ type result = {
   violations : string list;
   ran_for : Time.t;
   trace : Obs.Trace.t;
+  durable_acked : int;
+  torn_discarded : int;
+  corrupt_discarded : int;
+  disk_failovers : int;
 }
 
 (* The acceptance scenario: a certifier-leader crash with later recovery,
@@ -59,6 +67,23 @@ let scripted_plan ~n_certifiers =
     (Time.of_sec 14.5, Fault.Heal_all);
   ]
 
+(* The storage-fault acceptance scenario: a leader fsync stall long enough
+   to trip the disk watchdog (degraded-disk failover), a torn-tail leader
+   crash whose recovery scan must truncate the unacked record, and a
+   corrupt-tail crash of a fixed certifier — each recovered, each followed
+   by a checkpoint that now includes the durability invariant. *)
+let scripted_disk_plan () =
+  [
+    ( Time.sec 2,
+      Fault.Disk_stall
+        { cert = None; extra = Time.of_ms 600.; duration = Time.sec 2 } );
+    (Time.sec 6, Fault.Torn_crash { cert = None });
+    (Time.sec 8, Fault.Recover_crashed);
+    (Time.sec 11, Fault.Corrupt_tail { cert = Some 0 });
+    (Time.sec 13, Fault.Recover_certifier 0);
+    (Time.of_sec 15.5, Fault.Heal_all);
+  ]
+
 (* Offsets at which the plan has just healed or recovered something —
    each becomes an invariant checkpoint (after a grace period for retries
    in flight and elections to finish). *)
@@ -70,7 +95,9 @@ let checkpoints_of plan =
       | Fault.Recover_crashed | Fault.Recover_replica _ ->
           Some (Time.add time (Time.sec 2))
       | Fault.Partition _ | Fault.Drop_burst _ | Fault.Latency_spike _
-      | Fault.Crash_certifier _ | Fault.Crash_leader | Fault.Crash_replica _ ->
+      | Fault.Crash_certifier _ | Fault.Crash_leader | Fault.Crash_replica _
+      | Fault.Disk_stall _ | Fault.Disk_degrade _ | Fault.Torn_crash _
+      | Fault.Corrupt_tail _ ->
           None)
     plan
 
@@ -81,17 +108,32 @@ let run_for engine span = Engine.run ~until:(Time.add (Engine.now engine) span) 
    can briefly trail while state transfer / redelivery completes). *)
 let wait_checkable cluster engine =
   let deadline = Time.add (Engine.now engine) (Time.sec 10) in
+  (* Highest commit version acked durable to any proxy: a freshly elected
+     leader must have re-delivered at least this far before the durability
+     invariant is meaningful. *)
+  let max_acked () =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc (_req, v) -> max acc v)
+          acc
+          (Tashkent.Proxy.journaled_commits (Tashkent.Replica.proxy r)))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
   let ready () =
     match Tashkent.Cluster.leader cluster with
     | None -> false
     | Some lead ->
         let lv = Tashkent.Certifier.system_version lead in
-        List.for_all
-          (fun r ->
-            (not (Tashkent.Replica.is_up r))
-            || Mvcc.Store.current_version (Mvcc.Db.store (Tashkent.Replica.db r))
-               <= lv)
-          (Tashkent.Cluster.replicas cluster)
+        lv >= max_acked ()
+        && List.for_all
+             (fun r ->
+               (not (Tashkent.Replica.is_up r))
+               || Mvcc.Store.current_version
+                    (Mvcc.Db.store (Tashkent.Replica.db r))
+                  <= lv)
+             (Tashkent.Cluster.replicas cluster)
   in
   let rec loop () =
     if (not (ready ())) && Time.(Engine.now engine < deadline) then begin
@@ -101,6 +143,41 @@ let wait_checkable cluster engine =
   in
   loop ()
 
+(* The durability invariant (§4/§7 write-ahead discipline, end to end):
+   every commit acked durable to some proxy before a crash must still be
+   present — same origin, same request — at its acked version in the
+   current leader's certified log after recovery. Torn/corrupt-tail
+   truncation may only ever discard records that were never acked. *)
+let check_durability cluster violations stamp =
+  match Tashkent.Cluster.leader cluster with
+  | None -> ()
+  | Some lead ->
+      let log = Tashkent.Certifier.log lead in
+      let top = Tashkent.Cert_log.version log in
+      List.iter
+        (fun r ->
+          let proxy = Tashkent.Replica.proxy r in
+          let origin = Tashkent.Proxy.addr proxy in
+          List.iter
+            (fun (req_id, version) ->
+              let present =
+                version >= 1 && version <= top
+                &&
+                let e = Tashkent.Cert_log.get log version in
+                String.equal e.Tashkent.Types.origin origin
+                && e.Tashkent.Types.req_id = req_id
+              in
+              if not present then
+                violations :=
+                  stamp
+                    (Printf.sprintf
+                       "durability: commit acked to %s (req %d, version %d) \
+                        missing from the certified log after recovery"
+                       origin req_id version)
+                  :: !violations)
+            (Tashkent.Proxy.journaled_commits proxy))
+        (Tashkent.Cluster.replicas cluster)
+
 let check cluster engine violations =
   wait_checkable cluster engine;
   let stamp msg =
@@ -109,9 +186,10 @@ let check cluster engine violations =
   (match Tashkent.Cluster.check_log_invariants cluster with
   | Ok () -> ()
   | Error msg -> violations := stamp msg :: !violations);
-  match Tashkent.Cluster.check_consistency cluster with
+  (match Tashkent.Cluster.check_consistency cluster with
   | Ok () -> ()
-  | Error msg -> violations := stamp msg :: !violations
+  | Error msg -> violations := stamp msg :: !violations);
+  check_durability cluster violations stamp
 
 let run ?(config = default_config ()) () =
   let spec = Workload.Tpcb.profile () in
@@ -137,6 +215,10 @@ let run ?(config = default_config ()) () =
   Tashkent.Cluster.load_all cluster
     (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);
   Tashkent.Cluster.settle cluster;
+  List.iter
+    (fun r ->
+      Tashkent.Proxy.enable_commit_journal (Tashkent.Replica.proxy r))
+    (Tashkent.Cluster.replicas cluster);
   let collector = Workload.Driver.Collector.create () in
   let rng = Rng.create (config.seed + 1) in
   List.iteri
@@ -147,9 +229,11 @@ let run ?(config = default_config ()) () =
   let plan =
     match config.plan with
     | Scripted -> scripted_plan ~n_certifiers:config.n_certifiers
+    | Scripted_disk -> scripted_disk_plan ()
     | Random seed ->
         Fault.random_plan ~seed ~duration:config.duration
-          ~n_certifiers:config.n_certifiers ~n_replicas:config.n_replicas ()
+          ~n_certifiers:config.n_certifiers ~n_replicas:config.n_replicas
+          ~disk_faults:config.disk_faults ~fsync_stall:config.fsync_stall ()
   in
   let started = Engine.now engine in
   let injector = Fault.inject cluster plan in
@@ -194,6 +278,12 @@ let run ?(config = default_config ()) () =
       0
       (Tashkent.Cluster.replicas cluster)
   in
+  let cert_sum f =
+    List.fold_left
+      (fun acc c -> acc + f (Tashkent.Certifier.stats c))
+      0
+      (Tashkent.Cluster.certifiers cluster)
+  in
   {
     commits = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.commits);
     cert_aborts = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.cert_aborts);
@@ -207,6 +297,20 @@ let run ?(config = default_config ()) () =
     violations = List.rev !violations;
     ran_for = Time.diff (Engine.now engine) started;
     trace;
+    durable_acked =
+      List.fold_left
+        (fun acc r ->
+          acc
+          + List.length
+              (Tashkent.Proxy.journaled_commits (Tashkent.Replica.proxy r)))
+        0
+        (Tashkent.Cluster.replicas cluster);
+    torn_discarded =
+      cert_sum (fun (s : Tashkent.Certifier.stats) -> s.wal_torn_discarded);
+    corrupt_discarded =
+      cert_sum (fun (s : Tashkent.Certifier.stats) -> s.wal_corrupt_discarded);
+    disk_failovers =
+      cert_sum (fun (s : Tashkent.Certifier.stats) -> s.disk_failovers);
   }
 
 let pp_result fmt r =
@@ -214,11 +318,17 @@ let pp_result fmt r =
     "@[<v>commits              %d@,cert aborts          %d@,local aborts         %d@,\
      cert requests        %d@,cert retries         %d@,cert failovers       %d@,\
      re-fetches           %d@,faults: %d crashes, %d recoveries, %d cuts, %d heals, \
-     %d bursts, %d spikes@,invariant checks     %d@,violations           %d%a@]"
+     %d bursts, %d spikes@,disk faults: %d stalls, %d degrades, %d torn, \
+     %d corrupt@,durable acked        %d@,torn discarded       %d@,\
+     corrupt discarded    %d@,disk failovers       %d@,\
+     invariant checks     %d@,violations           %d%a@]"
     r.commits r.cert_aborts r.local_aborts r.cert_requests r.cert_retries
     r.cert_failovers r.refetches r.fault.Fault.crashes r.fault.Fault.recoveries
     r.fault.Fault.partitions_cut r.fault.Fault.heals r.fault.Fault.drop_bursts
-    r.fault.Fault.latency_spikes r.checks
+    r.fault.Fault.latency_spikes r.fault.Fault.disk_stalls
+    r.fault.Fault.disk_degrades r.fault.Fault.torn_crashes
+    r.fault.Fault.corrupt_tails r.durable_acked r.torn_discarded
+    r.corrupt_discarded r.disk_failovers r.checks
     (List.length r.violations)
     (fun fmt vs -> List.iter (fun v -> Format.fprintf fmt "@,  %s" v) vs)
     r.violations

@@ -1,13 +1,21 @@
 (** Chaos experiment: TPC-B on a replicated cluster under a fault plan
-    (certifier-leader crashes, partitions, loss bursts, replica outages),
-    asserting the GSI safety invariants after every heal and at the end:
-    no duplicated or lost certified writeset, contiguous log versions,
-    certifier prefix agreement, and replica state equal to the log prefix
-    ({!Tashkent.Cluster.check_log_invariants} and [check_consistency]).
-    Deterministic: the same seed and plan replay bit-identically. *)
+    (certifier-leader crashes, partitions, loss bursts, replica outages,
+    and storage faults — fsync stalls, degraded disks, torn/corrupt WAL
+    tails), asserting the GSI safety invariants after every heal and at
+    the end: no duplicated or lost certified writeset, contiguous log
+    versions, certifier prefix agreement, and replica state equal to the
+    log prefix ({!Tashkent.Cluster.check_log_invariants} and
+    [check_consistency]) — plus the {e durability} invariant: every commit
+    acked durable to a proxy before a crash is still present, at its acked
+    version and with its origin and request id, in the current leader's
+    certified log after recovery (proxies record acks in a harness-side
+    journal, {!Tashkent.Proxy.enable_commit_journal}). Deterministic: the
+    same seed and plan replay bit-identically. *)
 
 type plan_kind =
   | Scripted  (** the fixed acceptance scenario, see {!scripted_plan} *)
+  | Scripted_disk
+      (** the storage-fault acceptance scenario, see {!scripted_disk_plan} *)
   | Random of int  (** seeded {!Fault.random_plan} *)
 
 type config = {
@@ -20,6 +28,13 @@ type config = {
   collect_trace : bool;
       (** record lifecycle spans for the whole run (including fault
           windows); read them from [result.trace] *)
+  disk_faults : bool;
+      (** pass [~disk_faults:true] to {!Fault.random_plan} (no effect on
+          scripted plans) *)
+  fsync_stall : Sim.Time.t;
+      (** per-op stall used by random disk-fault plans; the default 600 ms
+          is above the certifiers' fsync deadline, forcing a
+          degraded-disk failover *)
 }
 
 val default_config : unit -> config
@@ -41,12 +56,26 @@ type result = {
   trace : Obs.Trace.t;
       (** the run's tracer; disabled (no events) unless
           [config.collect_trace] was set *)
+  durable_acked : int;
+      (** commits acked durable to proxies over the run (the journal the
+          durability invariant is checked against) *)
+  torn_discarded : int;
+      (** torn WAL records truncated by certifier recovery scans *)
+  corrupt_discarded : int;
+      (** checksum-failed WAL records truncated by recovery scans *)
+  disk_failovers : int;  (** leader abdications forced by the disk watchdog *)
 }
 
 val scripted_plan : n_certifiers:int -> Fault.plan
 (** Leader crash at 2 s (recovered at 5 s), replica0 partitioned from all
     certifiers at 8 s (healed at 10 s), a 10% drop burst at 12 s, and a
     final heal-all. *)
+
+val scripted_disk_plan : unit -> Fault.plan
+(** A 600 ms fsync stall on the leader's disk at 2 s for 2 s (above the
+    default fsync deadline, so the disk watchdog forces an abdication), a
+    torn-tail leader crash at 6 s (recovered at 8 s), a corrupt-tail crash
+    of certifier 0 at 11 s (recovered at 13 s), and a final heal-all. *)
 
 val run : ?config:config -> unit -> result
 

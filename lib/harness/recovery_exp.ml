@@ -56,6 +56,14 @@ let build_cluster ~mode ~n_replicas ~seed ~dump_interval =
 
 let run_for engine span = Engine.run ~until:(Time.add (Engine.now engine) span) engine
 
+(* The dumper fiber sleeps its interval from replica creation (t ~ 0)
+   before the dump proper begins, while the measurement clock starts
+   earlier (right after warm-up + baseline). The net duration must count
+   only time the dump was actually running — not the tail of that idle
+   lead-in. All three arguments are absolute sim times. *)
+let net_dump_duration ~dump_began ~measured_from ~finished =
+  Time.diff finished (Time.max dump_began measured_from)
+
 (* Goodput of one replica over a window. *)
 let replica_window_tput cluster engine i span =
   let proxy = Tashkent.Replica.proxy (Tashkent.Cluster.replica cluster i) in
@@ -87,8 +95,8 @@ let run ?(n_replicas = 15) ?(seed = 1966) () =
   in
   wait_dump 60;
   let dump_duration =
-    (* the dumper slept 15 s before starting; subtract the idle lead-in *)
-    Time.diff (Engine.now engine) dump_started_at
+    net_dump_duration ~dump_began:dump_start ~measured_from:dump_started_at
+      ~finished:(Engine.now engine)
   in
   (* certifier log growth during normal operation *)
   let leader =

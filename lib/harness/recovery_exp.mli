@@ -19,6 +19,16 @@ type result = {
   update_rate : float;  (** system-wide certified writesets per second *)
 }
 
+val net_dump_duration :
+  dump_began:Sim.Time.t ->
+  measured_from:Sim.Time.t ->
+  finished:Sim.Time.t ->
+  Sim.Time.t
+(** Dump duration net of the dumper's idle lead-in: the dump fiber sleeps
+    its interval before starting, so when measurement begins before the
+    dump does, the time between [measured_from] and [dump_began] must not
+    count. Equals [finished - max dump_began measured_from]. *)
+
 val run : ?n_replicas:int -> ?seed:int -> unit -> result
 (** Runs a Tashkent-MW TPC-W cluster through a full dump cycle, a replica
     crash/restore/replay, a certifier crash/recovery — then a Base cluster

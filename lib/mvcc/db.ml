@@ -439,7 +439,10 @@ let crash t =
   Hashtbl.reset t.active
 
 let recover t =
-  let records = Storage.Wal.records_from t.db_wal 0 in
+  (* Checksum-scan the redo log: replay only the verified prefix, so a torn
+     or corrupt tail record is truncated rather than installed. Anything
+     discarded was never acked durable (redo acks follow the sync). *)
+  let records, _scan = Storage.Wal.recover t.db_wal in
   let by_version = List.sort (fun (a, _) (b, _) -> Int.compare a b) records in
   let fresh = Store.create () in
   List.iter (fun (key, value) -> Store.preload fresh key value) t.initial_rows;

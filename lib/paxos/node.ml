@@ -123,7 +123,17 @@ let fresh_deadline t =
 
 let record_bytes t r = Wal_record.bytes (fun _ -> t.value_bytes_hint) r
 
-let persist t record = ignore (Storage.Wal.append_and_sync t.node_wal ~bytes:(record_bytes t record) record)
+(* Promises are double-written: two consecutive copies of the record, one
+   fsync for the pair. An acceptor that "un-promises" after a restart can
+   let two leaders win the same ballot, so the newest promise must survive
+   every single-record storage fault the recovery scan can hit: a torn
+   final record was never acked (write-ahead: we only send the Promise
+   after the sync returns), and corruption of the final durable record
+   leaves the first copy of the pair intact. *)
+let persist_promise t record =
+  let bytes = record_bytes t record in
+  ignore (Storage.Wal.append t.node_wal ~bytes record);
+  ignore (Storage.Wal.append_and_sync t.node_wal ~bytes record)
 
 let deliver_ready t =
   let rec loop () =
@@ -270,7 +280,7 @@ let start_election t =
   t.role <- Candidate { ballot; promises = [ (t.node_id, own_accepted) ] };
   ignore
     (Engine.spawn t.engine ~name:(t.node_id ^ ".election") (fun () ->
-         persist t (Wal_record.Promised ballot);
+         persist_promise t (Wal_record.Promised ballot);
          if t.up then begin
            match t.role with
            | Candidate c when Ballot.equal c.ballot ballot ->
@@ -278,6 +288,19 @@ let start_election t =
                if majority t = 1 then become_leader t ballot c.promises
            | _ -> ()
          end))
+
+(* Degraded-disk failover: a leader whose log device has gone bad steps
+   down voluntarily so a healthy-disk peer can lead. Unlike {!step_down} it
+   does not learn a higher ballot — it just stops leading and defers its
+   own next election by [backoff], giving the healthy peers (whose timeout
+   is election_timeout_hi at most) first claim on the leadership. *)
+let abdicate t ~backoff =
+  match t.role with
+  | Leader _ ->
+      t.role <- Follower;
+      t.leader_seen <- None;
+      t.election_deadline <- Time.add (Engine.now t.engine) backoff
+  | Follower | Candidate _ -> ()
 
 let step_down t ~higher =
   if Ballot.(higher > t.promised) then t.promised <- higher;
@@ -297,7 +320,7 @@ let handle_prepare t ~ballot ~from ~commit_index =
     t.election_deadline <- fresh_deadline t;
     ignore
       (Engine.spawn t.engine ~name:(t.node_id ^ ".promise") (fun () ->
-           persist t (Wal_record.Promised ballot);
+           persist_promise t (Wal_record.Promised ballot);
            if t.up then begin
              let accepted =
                Hashtbl.fold
@@ -444,9 +467,16 @@ let create engine ~rng ~id:node_id ~peers ~disk ~send ~on_deliver
   spawn_timers t;
   t
 
-let crash t =
+type wal_fault = Torn_tail | Corrupt_tail
+
+let crash ?wal_fault t =
   t.up <- false;
-  ignore (Storage.Wal.crash t.node_wal);
+  (match wal_fault with
+  | None -> ignore (Storage.Wal.crash t.node_wal)
+  | Some Torn_tail -> ignore (Storage.Wal.crash ~torn:true t.node_wal)
+  | Some Corrupt_tail ->
+      ignore (Storage.Wal.crash t.node_wal);
+      ignore (Storage.Wal.corrupt_tail t.node_wal));
   Hashtbl.reset t.accepted;
   Hashtbl.reset t.chosen;
   t.commit <- 0;
@@ -457,6 +487,11 @@ let crash t =
   t.leader_seen <- None
 
 let recover t =
+  (* Checksum-scan the acceptor log: replay only the verified prefix. A
+     torn record was never acked (write-ahead discipline: every Promise /
+     Accept_ok is sent only after its sync returned), so truncating it
+     cannot forget a promise or acceptance the group observed. *)
+  let records, _scan = Storage.Wal.recover t.node_wal in
   List.iter
     (fun record ->
       match record with
@@ -465,7 +500,7 @@ let recover t =
           match Hashtbl.find_opt t.accepted slot with
           | Some sv when Ballot.(sv.ballot >= ballot) -> ()
           | Some _ | None -> Hashtbl.replace t.accepted slot { slot; ballot; value }))
-    (Storage.Wal.records_from t.node_wal 0);
+    records;
   t.up <- true;
   t.role <- Follower;
   t.election_deadline <- fresh_deadline t;

@@ -116,14 +116,35 @@ val mean_accept_batch : 'v t -> float
 
 val reset_batch_stats : 'v t -> unit
 
+val abdicate : 'v t -> backoff:Sim.Time.t -> unit
+(** Degraded-disk failover: if this node is leader, step down to follower
+    without learning a new ballot and defer this node's own next election
+    attempt by [backoff], so a healthy peer (whose randomised timeout is at
+    most [election_timeout_hi]) wins the next election. No-op on
+    non-leaders. *)
+
 (** {1 Crash and recovery} *)
 
-val crash : 'v t -> unit
+type wal_fault =
+  | Torn_tail
+      (** the first un-synced record was mid-write at power-off and
+          survives as a partial record *)
+  | Corrupt_tail
+      (** the newest durable record's payload no longer matches its
+          checksum *)
+
+val crash : ?wal_fault:wal_fault -> 'v t -> unit
 (** Lose volatile state and the un-synced WAL tail; the node stops
-    reacting to messages and timers until {!recover}. *)
+    reacting to messages and timers until {!recover}. [wal_fault] leaves
+    the log with a torn or corrupt tail for the recovery scan to find. *)
 
 val recover : 'v t -> unit
-(** Rebuild promises/accepted values from the durable WAL, resume as a
-    follower, and catch up via state transfer. *)
+(** Checksum-scan the WAL ({!Storage.Wal.recover}), rebuild
+    promises/accepted values from the verified prefix, resume as a
+    follower, and catch up via state transfer. Safe against torn/corrupt
+    tails: a record that failed the scan was never acked to a peer (its
+    Promise/Accept_ok is only sent after the sync returns), except that
+    promises are double-written so even corruption of the newest durable
+    record cannot make this acceptor un-promise. *)
 
 val is_up : 'v t -> bool

@@ -37,6 +37,13 @@ type t = {
   read_count : Stats.Counter.t;
   write_count : Stats.Counter.t;
   synced_bytes : Stats.Counter.t;
+  (* Injectable fault state. All of it is mutated by the fault injector at
+     runtime; the operation paths below consult it on every op. *)
+  mutable stall_extra : Time.t option;
+  mutable degrade_factor : float;
+  mutable write_error_rate : float;
+  fsync_stall_count : Stats.Counter.t;
+  io_error_count : Stats.Counter.t;
 }
 
 let create engine ~rng ?(config = default_hdd) ?(name = "disk") () =
@@ -51,6 +58,11 @@ let create engine ~rng ?(config = default_hdd) ?(name = "disk") () =
     read_count = Stats.Counter.create ();
     write_count = Stats.Counter.create ();
     synced_bytes = Stats.Counter.create ();
+    stall_extra = None;
+    degrade_factor = 1.0;
+    write_error_rate = 0.;
+    fsync_stall_count = Stats.Counter.create ();
+    io_error_count = Stats.Counter.create ();
   }
 
 let create_ram engine ~rng ?(name = "ramdisk") () =
@@ -59,22 +71,60 @@ let create_ram engine ~rng ?(name = "ramdisk") () =
 let name t = t.label
 let is_ram t = t.ram
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+let set_stall t ~extra = t.stall_extra <- Some extra
+let clear_stall t = t.stall_extra <- None
+let stalled t = t.stall_extra <> None
+let stall_extra t = t.stall_extra
+let set_degrade t ~factor = t.degrade_factor <- Float.max 1.0 factor
+let clear_degrade t = t.degrade_factor <- 1.0
+let degrade_factor t = t.degrade_factor
+
+let set_write_error_rate t rate =
+  t.write_error_rate <- Float.min 1.0 (Float.max 0. rate)
+
+let write_error_rate t = t.write_error_rate
+let fsync_stalls t = Stats.Counter.value t.fsync_stall_count
+let io_errors t = Stats.Counter.value t.io_error_count
+
+(* A healthy op takes [base]; a degraded device multiplies it, a stalled
+   one additionally holds the channel for the stall window. *)
+let faulted t base =
+  let lat = if t.degrade_factor > 1.0 then Time.scale base t.degrade_factor else base in
+  match t.stall_extra with None -> lat | Some extra -> Time.add lat extra
+
 let transfer_time t bytes =
   Time.of_sec (float_of_int bytes /. t.config.bandwidth_bytes_per_sec)
 
 let occupy t duration = Resource.use t.channel duration
 
+(* A transient write error is absorbed inside the device model: the failed
+   attempt occupies the channel for a full op time before the driver's
+   retry succeeds. At most one error per operation is modelled — enough to
+   perturb latency without making op cost unbounded. *)
+let maybe_error t ~lo ~hi ~bytes =
+  if t.write_error_rate > 0. && Rng.chance t.rng t.write_error_rate then begin
+    Stats.Counter.incr t.io_error_count;
+    let wasted = Rng.time_uniform t.rng ~lo ~hi in
+    occupy t (faulted t (Time.add wasted (transfer_time t bytes)))
+  end
+
 let fsync t ~bytes =
+  maybe_error t ~lo:t.config.fsync_lo ~hi:t.config.fsync_hi ~bytes;
+  if t.stall_extra <> None then Stats.Counter.incr t.fsync_stall_count;
   let latency = Rng.time_uniform t.rng ~lo:t.config.fsync_lo ~hi:t.config.fsync_hi in
-  occupy t (Time.add latency (transfer_time t bytes));
+  occupy t (faulted t (Time.add latency (transfer_time t bytes)));
   Stats.Counter.incr t.fsync_count;
   Stats.Counter.add t.synced_bytes bytes
 
 let page_io t counter ~bytes =
+  maybe_error t ~lo:t.config.position_lo ~hi:t.config.position_hi ~bytes;
   let latency =
     Rng.time_uniform t.rng ~lo:t.config.position_lo ~hi:t.config.position_hi
   in
-  occupy t (Time.add latency (transfer_time t bytes));
+  occupy t (faulted t (Time.add latency (transfer_time t bytes)));
   Stats.Counter.incr counter
 
 let read t ~bytes = page_io t t.read_count ~bytes

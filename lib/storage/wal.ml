@@ -1,21 +1,37 @@
 open Sim
 
+(* Each log slot models one physical record: the typed payload plus the
+   on-disk framing that recovery validates — a length ([bytes] expected,
+   [written] actually on disk) and a checksum over the payload. A slot is
+   readable iff it is fully written and its checksum verifies. *)
+type 'r slot = { payload : 'r; bytes : int; written : int; crc : int }
+
+let checksum payload = Hashtbl.hash payload
+
+let intact s = s.written = s.bytes && s.crc = checksum s.payload
+
+type scan = { verified : int; torn : int; corrupt : int }
+
 type 'r t = {
   engine : Engine.t;
   disk : Disk.t;
   label : string;
   mutable sync_writes : bool;
-  mutable records : 'r array; (* dense, index = lsn - 1 *)
+  mutable records : 'r slot array; (* dense, index = lsn - 1 *)
   mutable size : int;
   mutable durable : int; (* durable lsn *)
   mutable unsynced_bytes : int;
   mutable syncing : bool;
+  mutable flush_started : Time.t option; (* fsync in flight since *)
+  mutable epoch : int; (* bumped on crash: invalidates in-flight flushes *)
   mutable waiters : (int * (unit -> unit)) list; (* target lsn, resume *)
   syncs : Stats.Counter.t;
   synced_records : Stats.Counter.t;
   group_sizes : Stats.Summary.t;
   batch_appends : Stats.Counter.t;
   append_batch_sizes : Stats.Summary.t;
+  torn_drops : Stats.Counter.t;
+  corrupt_drops : Stats.Counter.t;
 }
 
 let create engine ~disk ?(synchronous = true) ?(name = "wal") () =
@@ -30,12 +46,16 @@ let create engine ~disk ?(synchronous = true) ?(name = "wal") () =
     durable = 0;
     unsynced_bytes = 0;
     syncing = false;
+    flush_started = None;
+    epoch = 0;
     waiters = [];
     syncs = Stats.Counter.create ();
     synced_records = Stats.Counter.create ();
     group_sizes = Stats.Summary.create ();
     batch_appends = Stats.Counter.create ();
     append_batch_sizes = Stats.Summary.create ();
+    torn_drops = Stats.Counter.create ();
+    corrupt_drops = Stats.Counter.create ();
   }
 
 let name t = t.label
@@ -50,7 +70,7 @@ let append t ~bytes r =
     Array.blit t.records 0 bigger 0 t.size;
     t.records <- bigger
   end;
-  t.records.(t.size) <- r;
+  t.records.(t.size) <- { payload = r; bytes; written = bytes; crc = checksum r };
   t.size <- t.size + 1;
   t.unsynced_bytes <- t.unsynced_bytes + bytes;
   t.size
@@ -70,7 +90,11 @@ let append_batch t ~bytes_of records =
   t.size
 
 (* Flush loop: one in-flight fsync at a time; each flush covers everything
-   appended before it starts, so concurrent committers group naturally. *)
+   appended before it starts, so concurrent committers group naturally.
+   A crash while the fsync is in flight bumps [epoch]: the writer must then
+   NOT mark its captured target durable — the tail it was flushing has been
+   truncated, and advancing [durable] past [size] would resurrect stale
+   slots on the next append. *)
 let rec start_flush t =
   if (not t.syncing) && t.durable < t.size then begin
     t.syncing <- true;
@@ -78,21 +102,28 @@ let rec start_flush t =
       (Engine.spawn t.engine ~name:(t.label ^ ".writer") (fun () ->
            (* Capture the batch when the writer actually runs, so appends
               made at the same instant share this fsync. *)
+           let epoch = t.epoch in
            let target = t.size in
            let bytes = t.unsynced_bytes in
            t.unsynced_bytes <- 0;
+           t.flush_started <- Some (Engine.now t.engine);
            Disk.fsync t.disk ~bytes;
-           let group = target - t.durable in
-           t.durable <- target;
-           Stats.Counter.incr t.syncs;
-           Stats.Counter.add t.synced_records group;
-           Stats.Summary.observe t.group_sizes (float_of_int group);
-           let ready, blocked = List.partition (fun (lsn, _) -> lsn <= target) t.waiters in
-           t.waiters <- blocked;
-           List.iter
-             (fun (_, resume) -> Engine.schedule_after t.engine Time.zero resume)
-             (List.rev ready);
            t.syncing <- false;
+           if t.epoch = epoch then begin
+             t.flush_started <- None;
+             let group = target - t.durable in
+             t.durable <- target;
+             Stats.Counter.incr t.syncs;
+             Stats.Counter.add t.synced_records group;
+             Stats.Summary.observe t.group_sizes (float_of_int group);
+             let ready, blocked =
+               List.partition (fun (lsn, _) -> lsn <= target) t.waiters
+             in
+             t.waiters <- blocked;
+             List.iter
+               (fun (_, resume) -> Engine.schedule_after t.engine Time.zero resume)
+               (List.rev ready)
+           end;
            if t.waiters <> [] then start_flush t))
   end
 
@@ -110,16 +141,77 @@ let append_and_sync t ~bytes r =
 
 let sync t = if t.sync_writes then wait_durable t t.size
 
-let records_from t lsn =
-  let rec collect i acc = if i <= lsn then acc else collect (i - 1) (t.records.(i - 1) :: acc) in
-  collect t.durable []
+let flushing_since t = t.flush_started
 
-let crash t =
+(* The redo stream stops at the first unreadable slot: a torn or corrupt
+   record — and everything behind it — must never be replayed. *)
+let records_from t lsn =
+  let rec collect i acc =
+    if i >= t.durable then List.rev acc
+    else
+      let s = t.records.(i) in
+      if intact s then collect (i + 1) (s.payload :: acc) else List.rev acc
+  in
+  collect (max 0 lsn) []
+
+let crash ?(torn = false) ?torn_bytes t =
   let lost = t.size - t.durable in
-  t.size <- t.durable;
+  t.epoch <- t.epoch + 1;
   t.unsynced_bytes <- 0;
   t.waiters <- [];
+  t.flush_started <- None;
+  (if torn && lost > 0 && t.records.(t.durable).bytes > 0 then begin
+     (* The first un-synced record was mid-write when power failed: keep it
+        as a partial slot past the durable prefix. It is only visible to a
+        recovery scan ([records_from] never reads past [durable]); the log
+        MUST be passed through [recover] before reuse. *)
+     let s = t.records.(t.durable) in
+     let written =
+       match torn_bytes with
+       | Some b -> max 0 (min b (s.bytes - 1))
+       | None -> s.bytes / 2
+     in
+     t.records.(t.durable) <- { s with written };
+     t.size <- t.durable + 1
+   end
+   else t.size <- t.durable);
   lost
+
+let corrupt_tail t =
+  if t.durable = 0 then false
+  else begin
+    (* Media corruption of the newest durable record: the payload bits no
+       longer match the stored checksum. Modelled by perturbing the crc. *)
+    let s = t.records.(t.durable - 1) in
+    t.records.(t.durable - 1) <- { s with crc = s.crc lxor 0x5A5A5A };
+    true
+  end
+
+let recover t =
+  let rec prefix i =
+    if i < t.size && intact t.records.(i) then prefix (i + 1) else i
+  in
+  let verified = prefix 0 in
+  let torn = ref 0 and corrupt = ref 0 in
+  for i = verified to t.size - 1 do
+    let s = t.records.(i) in
+    if s.written < s.bytes then incr torn else incr corrupt
+  done;
+  t.size <- verified;
+  t.durable <- min t.durable verified;
+  t.unsynced_bytes <- 0;
+  t.waiters <- [];
+  t.flush_started <- None;
+  t.epoch <- t.epoch + 1;
+  Stats.Counter.add t.torn_drops !torn;
+  Stats.Counter.add t.corrupt_drops !corrupt;
+  let rec collect i acc =
+    if i = 0 then acc else collect (i - 1) (t.records.(i - 1).payload :: acc)
+  in
+  (collect verified [], { verified; torn = !torn; corrupt = !corrupt })
+
+let torn_discarded t = Stats.Counter.value t.torn_drops
+let corrupt_discarded t = Stats.Counter.value t.corrupt_drops
 
 let sync_count t = Stats.Counter.value t.syncs
 let records_synced t = Stats.Counter.value t.synced_records

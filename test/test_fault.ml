@@ -254,6 +254,77 @@ let test_restart_after_unregister_purges_floors () =
   check_bool "not stuck behind the stale floor" true Time.(!at < Time.sec 1)
 
 (* ------------------------------------------------------------------ *)
+(* Degraded-disk failover *)
+
+let test_fsync_stall_forces_abdication () =
+  (* A leader whose fsyncs exceed the configured deadline must step down so
+     a healthy-disk certifier can lead. Needs live commit traffic: only a
+     stuck in-flight flush trips the watchdog. *)
+  let cfg =
+    {
+      Cluster.mode = Types.Tashkent_mw;
+      n_replicas = 1;
+      n_certifiers = 3;
+      certifier = Certifier.default_config;
+      replica = Replica.default_config Types.Tashkent_mw;
+      seed = 5;
+    }
+  in
+  let c = Cluster.create cfg in
+  let e = Cluster.engine c in
+  let key = Mvcc.Key.make ~table:"t" ~row:"a" in
+  Cluster.load_all c [ (key, Mvcc.Value.int 0) ];
+  Cluster.settle c;
+  let p = Replica.proxy (Cluster.replica c 0) in
+  ignore
+    (Engine.spawn e ~name:"committer" (fun () ->
+         let n = ref 0 in
+         while true do
+           incr n;
+           let tx = Proxy.begin_tx p in
+           (match Proxy.write p tx key (Mvcc.Writeset.Update (Mvcc.Value.int !n)) with
+           | Ok () -> ignore (Proxy.commit p tx)
+           | Error _ -> Proxy.abort p tx);
+           Engine.sleep e (Time.of_ms 20.)
+         done));
+  let run_for span = Engine.run ~until:(Time.add (Engine.now e) span) e in
+  run_for (Time.sec 2);
+  let old_leader =
+    match Cluster.leader c with
+    | Some l -> l
+    | None -> Alcotest.fail "no leader before the stall"
+  in
+  Storage.Disk.set_stall (Certifier.disk old_leader) ~extra:(Time.of_ms 600.);
+  run_for (Time.sec 3);
+  check_bool "watchdog forced an abdication" true
+    (Certifier.disk_failovers old_leader >= 1);
+  check_bool "stalled leader stepped down" false (Certifier.is_leader old_leader);
+  Storage.Disk.clear_stall (Certifier.disk old_leader);
+  run_for (Time.sec 3);
+  (match Cluster.leader c with
+  | Some l ->
+      check_bool "a healthy certifier leads" true (Certifier.id l <> Certifier.id old_leader)
+  | None -> Alcotest.fail "no leader after the failover");
+  (* the failover is visible in the metrics registry *)
+  (match
+     Obs.Registry.find (Cluster.metrics c)
+       ("certifier." ^ Certifier.id old_leader ^ ".disk.failovers")
+   with
+  | Some (Obs.Registry.Gauge v) ->
+      check_bool "disk.failovers gauge nonzero" true (v >= 1.)
+  | _ -> Alcotest.fail "disk.failovers gauge missing");
+  (match
+     Obs.Registry.find (Cluster.metrics c)
+       ("certifier." ^ Certifier.id old_leader ^ ".disk.fsync_stalls")
+   with
+  | Some (Obs.Registry.Gauge v) ->
+      check_bool "disk.fsync_stalls gauge nonzero" true (v >= 1.)
+  | _ -> Alcotest.fail "disk.fsync_stalls gauge missing");
+  match Cluster.check_consistency c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
 (* Chaos smoke *)
 
 let chaos_ok name (r : Harness.Chaos_exp.result) =
@@ -271,6 +342,51 @@ let test_chaos_random () =
   in
   chaos_ok "random-1" (Harness.Chaos_exp.run ~config ())
 
+let test_chaos_scripted_disk () =
+  let config =
+    { (Harness.Chaos_exp.default_config ()) with plan = Harness.Chaos_exp.Scripted_disk }
+  in
+  let r = Harness.Chaos_exp.run ~config () in
+  chaos_ok "scripted-disk" r;
+  check_bool "durable acks journaled" true (r.durable_acked > 100);
+  check_bool "disk failover triggered" true (r.disk_failovers >= 1);
+  check_bool "torn record discarded" true (r.torn_discarded >= 1);
+  check_bool "corrupt record discarded" true (r.corrupt_discarded >= 1);
+  check_int "torn crash fired" 1 r.fault.Fault.torn_crashes;
+  check_int "corrupt-tail crash fired" 1 r.fault.Fault.corrupt_tails;
+  check_int "stall fired" 1 r.fault.Fault.disk_stalls
+
+let test_chaos_random_disk () =
+  let config =
+    {
+      (Harness.Chaos_exp.default_config ()) with
+      plan = Harness.Chaos_exp.Random 7;
+      disk_faults = true;
+    }
+  in
+  let r = Harness.Chaos_exp.run ~config () in
+  chaos_ok "random-disk-7" r;
+  check_bool "torn record discarded" true (r.torn_discarded >= 1);
+  check_bool "disk faults fired" true
+    (r.fault.Fault.disk_stalls >= 1
+    && r.fault.Fault.disk_degrades >= 1
+    && r.fault.Fault.torn_crashes >= 1
+    && r.fault.Fault.corrupt_tails >= 1)
+
+let test_chaos_random_disk_renumber () =
+  (* Regression for the version re-stamping of inherited entries: this seed
+     makes a leader die with proposed-but-unacked entries while a later
+     entry survives on the followers, so the new leader no-ops the gap and
+     the survivor must be renumbered at apply time. *)
+  let config =
+    {
+      (Harness.Chaos_exp.default_config ()) with
+      plan = Harness.Chaos_exp.Random 13;
+      disk_faults = true;
+    }
+  in
+  chaos_ok "random-disk-13" (Harness.Chaos_exp.run ~config ())
+
 let suites =
   [
     ( "fault.failover",
@@ -285,10 +401,17 @@ let suites =
           test_bounded_backoff_under_full_partition;
         Alcotest.test_case "restart after unregister" `Quick
           test_restart_after_unregister_purges_floors;
+        Alcotest.test_case "fsync stall forces abdication" `Quick
+          test_fsync_stall_forces_abdication;
       ] );
     ( "fault.chaos",
       [
         Alcotest.test_case "scripted plan" `Quick test_chaos_scripted;
         Alcotest.test_case "random plan (seed 1)" `Quick test_chaos_random;
+        Alcotest.test_case "scripted disk-fault plan" `Quick test_chaos_scripted_disk;
+        Alcotest.test_case "random disk-fault plan (seed 7)" `Quick
+          test_chaos_random_disk;
+        Alcotest.test_case "inherited-entry renumbering (seed 13)" `Quick
+          test_chaos_random_disk_renumber;
       ] );
   ]

@@ -123,6 +123,22 @@ let test_certifier_group_size_free () =
     true
     (three.goodput > 0.85 *. one.goodput)
 
+let test_net_dump_duration () =
+  let ms = Sim.Time.of_ms in
+  (* measurement started before the dump began: the idle lead-in between
+     13.2 s and 15 s must not count toward the dump *)
+  Alcotest.(check int) "lead-in subtracted"
+    (Sim.Time.to_us (ms 85_000.))
+    (Sim.Time.to_us
+       (Harness.Recovery_exp.net_dump_duration ~dump_began:(ms 15_000.)
+          ~measured_from:(ms 13_200.) ~finished:(ms 100_000.)));
+  (* measurement started after the dump began: plain difference *)
+  Alcotest.(check int) "no lead-in to subtract"
+    (Sim.Time.to_us (ms 80_000.))
+    (Sim.Time.to_us
+       (Harness.Recovery_exp.net_dump_duration ~dump_began:(ms 15_000.)
+          ~measured_from:(ms 20_000.) ~finished:(ms 100_000.)))
+
 let test_recovery_experiment_smoke () =
   let r = Harness.Recovery_exp.run ~n_replicas:4 ~seed:77 () in
   check_bool "dump took minutes" true Sim.Time.(r.dump_duration > Sim.Time.sec 60);
@@ -169,8 +185,11 @@ let suites =
           test_certifier_group_size_free;
       ] );
     ( "harness.recovery",
-      [ Alcotest.test_case "recovery experiment smoke" `Slow test_recovery_experiment_smoke ]
-    );
+      [
+        Alcotest.test_case "net dump duration" `Quick test_net_dump_duration;
+        Alcotest.test_case "recovery experiment smoke" `Slow
+          test_recovery_experiment_smoke;
+      ] );
     ( "harness.report",
       [ Alcotest.test_case "table rendering" `Quick test_report_table_renders ] );
   ]

@@ -252,6 +252,82 @@ let test_duplicate_accept_ok_not_double_counted () =
   Alcotest.(check int) "a distinct third ack commits" slot
     (Paxos.Node.commit_index leader)
 
+let test_abdicate_moves_leadership () =
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  propose_ok c "a";
+  run_for c (Time.sec 1);
+  let old_id, old_leader = the_leader c in
+  Paxos.Node.abdicate old_leader ~backoff:(Time.sec 10);
+  Alcotest.(check bool) "stepped down at once" false
+    (Paxos.Node.is_leader old_leader);
+  run_for c (Time.sec 3);
+  let new_id, _ = the_leader c in
+  Alcotest.(check bool) "a different node leads" true (new_id <> old_id);
+  propose_ok c "b";
+  run_for c (Time.sec 1);
+  List.iter
+    (fun (id, _) ->
+      Alcotest.(check (list (pair int string)))
+        (id ^ " consistent after abdication")
+        [ (1, "a"); (2, "b") ]
+        (List.filter (fun (_, v) -> v = "a" || v = "b") (log_of c id)))
+    c.nodes
+
+let test_torn_accepted_never_replayed () =
+  (* A record still being flushed when the node died was never acked to
+     anyone, so the recovery scan must discard it rather than replay it.
+     Single-node cluster: the torn copy is the only copy. *)
+  let c = make_cluster ~n:1 () in
+  run_for c (Time.sec 1);
+  let _, node = the_leader c in
+  Alcotest.(check bool) "proposed" true (Paxos.Node.propose node "doomed");
+  (* run just long enough for the self-accept to append and start its
+     fsync (>= 6 ms on the default disk), then crash mid-write *)
+  run_for c (Time.of_ms 1.);
+  Paxos.Node.crash ~wal_fault:Paxos.Node.Torn_tail node;
+  (Hashtbl.find c.delivered "c0") := [];
+  Paxos.Node.recover node;
+  Alcotest.(check int) "torn record discarded by the scan" 1
+    (Storage.Wal.torn_discarded (Paxos.Node.wal node));
+  run_for c (Time.sec 2);
+  Alcotest.(check (list (pair int string))) "never replayed" [] (log_of c "c0");
+  propose_ok c "next";
+  run_for c (Time.sec 1);
+  Alcotest.(check (list (pair int string)))
+    "slot reused cleanly" [ (1, "next") ] (log_of c "c0")
+
+let test_corrupt_tail_cannot_unpromise () =
+  (* After a quiet election the newest durable record is a promise.
+     Corrupting it must not make the acceptor forget the ballot it
+     promised: promises are double-written, so the checksum scan still
+     replays the surviving copy. *)
+  let c = make_cluster () in
+  run_for c (Time.sec 2);
+  let leader_id, _ = the_leader c in
+  let fid, follower = List.find (fun (id, _) -> id <> leader_id) c.nodes in
+  let ballot_before = Paxos.Node.current_ballot follower in
+  Alcotest.(check bool) "a real promise was made" true
+    Paxos.Ballot.(Paxos.Ballot.initial < ballot_before);
+  Paxos.Node.crash ~wal_fault:Paxos.Node.Corrupt_tail follower;
+  (Hashtbl.find c.delivered fid) := [];
+  Paxos.Node.recover follower;
+  Alcotest.(check int) "corrupt record discarded by the scan" 1
+    (Storage.Wal.corrupt_discarded (Paxos.Node.wal follower));
+  Alcotest.(check bool) "promise survives via its second copy" true
+    Paxos.Ballot.(Paxos.Node.current_ballot follower >= ballot_before);
+  run_for c (Time.sec 3);
+  propose_ok c "a";
+  run_for c (Time.sec 1);
+  List.iter
+    (fun (id, node) ->
+      if Paxos.Node.is_up node then
+        Alcotest.(check (list (pair int string)))
+          (id ^ " consistent after corrupt-tail recovery")
+          [ (1, "a") ]
+          (List.filter (fun (_, v) -> v = "a") (log_of c id)))
+    c.nodes
+
 (* Property: under random crash/recover churn of followers, delivered logs
    on live nodes are always prefix-consistent. *)
 let prop_prefix_consistency =
@@ -331,6 +407,12 @@ let suites =
           test_propose_batch_one_broadcast;
         Alcotest.test_case "duplicate Accept_ok cannot reach majority" `Quick
           test_duplicate_accept_ok_not_double_counted;
+        Alcotest.test_case "abdicate moves leadership" `Quick
+          test_abdicate_moves_leadership;
+        Alcotest.test_case "torn Accepted never replayed" `Quick
+          test_torn_accepted_never_replayed;
+        Alcotest.test_case "corrupt tail cannot un-promise" `Quick
+          test_corrupt_tail_cannot_unpromise;
       ]
       @ [ QCheck_alcotest.to_alcotest prop_prefix_consistency ] );
   ]

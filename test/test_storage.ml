@@ -69,6 +69,57 @@ let test_ramdisk_is_fast () =
   Alcotest.(check bool) "100 fsyncs under 1ms" true Time.(Engine.now e < Time.of_ms 1.)
 
 (* ------------------------------------------------------------------ *)
+(* Disk fault injection *)
+
+let test_disk_stall () =
+  let e = Engine.create () in
+  let disk = make_disk e in
+  Storage.Disk.set_stall disk ~extra:(Time.of_ms 100.);
+  let _ =
+    Engine.spawn e (fun () ->
+        Storage.Disk.fsync disk ~bytes:0;
+        Alcotest.(check int) "8ms + 100ms stall" 108_000 (Time.to_us (Engine.now e));
+        Storage.Disk.clear_stall disk;
+        Storage.Disk.fsync disk ~bytes:0;
+        Alcotest.(check int) "back to 8ms" 116_000 (Time.to_us (Engine.now e)))
+  in
+  Engine.run e;
+  Alcotest.(check bool) "stall cleared" false (Storage.Disk.stalled disk);
+  Alcotest.(check int) "one stalled fsync" 1 (Storage.Disk.fsync_stalls disk)
+
+let test_disk_degrade () =
+  let e = Engine.create () in
+  let disk = make_disk e in
+  Storage.Disk.set_degrade disk ~factor:3.;
+  let _ =
+    Engine.spawn e (fun () ->
+        Storage.Disk.fsync disk ~bytes:0;
+        Alcotest.(check int) "3x the 8ms fsync" 24_000 (Time.to_us (Engine.now e));
+        Storage.Disk.clear_degrade disk;
+        Storage.Disk.fsync disk ~bytes:0;
+        Alcotest.(check int) "healthy again" 32_000 (Time.to_us (Engine.now e)))
+  in
+  Engine.run e;
+  Alcotest.(check (float 0.001)) "factor cleared" 1.0
+    (Storage.Disk.degrade_factor disk)
+
+let test_disk_io_errors () =
+  let e = Engine.create () in
+  let disk = make_disk e in
+  Storage.Disk.set_write_error_rate disk 1.0;
+  let _ =
+    Engine.spawn e (fun () ->
+        Storage.Disk.fsync disk ~bytes:0;
+        (* one failed attempt burns a full op time before the retry *)
+        Alcotest.(check int) "double cost" 16_000 (Time.to_us (Engine.now e)))
+  in
+  Engine.run e;
+  Alcotest.(check int) "error counted" 1 (Storage.Disk.io_errors disk);
+  Storage.Disk.reset_stats disk;
+  Alcotest.(check int) "fault counters survive reset" 1
+    (Storage.Disk.io_errors disk)
+
+(* ------------------------------------------------------------------ *)
 (* WAL group commit *)
 
 let make_wal ?synchronous e =
@@ -177,6 +228,107 @@ let test_wal_sync_idempotent () =
   Alcotest.(check int) "no extra fsyncs when durable" 1 (Storage.Disk.fsyncs disk)
 
 (* ------------------------------------------------------------------ *)
+(* WAL torn/corrupt tails and the checksum recovery scan *)
+
+let test_wal_torn_crash_truncates () =
+  let e = Engine.create () in
+  let wal, _ = make_wal e in
+  let _ =
+    Engine.spawn e (fun () ->
+        ignore (Storage.Wal.append_and_sync wal ~bytes:10 "a");
+        ignore (Storage.Wal.append wal ~bytes:10 "b");
+        ignore (Storage.Wal.append wal ~bytes:10 "c"))
+  in
+  Engine.run e;
+  let lost = Storage.Wal.crash ~torn:true wal in
+  Alcotest.(check int) "b and c lost" 2 lost;
+  (* the torn slot is unreadable even before the scan runs *)
+  Alcotest.(check (list string)) "redo stops at durable prefix" [ "a" ]
+    (Storage.Wal.records_from wal 0);
+  let records, scan = Storage.Wal.recover wal in
+  Alcotest.(check (list string)) "intact prefix replayed" [ "a" ] records;
+  Alcotest.(check int) "verified" 1 scan.Storage.Wal.verified;
+  Alcotest.(check int) "one torn discarded" 1 scan.Storage.Wal.torn;
+  Alcotest.(check int) "no corrupt" 0 scan.Storage.Wal.corrupt;
+  Alcotest.(check int) "log truncated" 1 (Storage.Wal.last_lsn wal);
+  Alcotest.(check int) "cumulative torn count" 1 (Storage.Wal.torn_discarded wal)
+
+let test_wal_torn_position_sweep () =
+  (* A crash can tear the final record at any byte offset; the scan must
+     classify and truncate it identically at every position. *)
+  let bytes = 10 in
+  for torn_bytes = 0 to bytes - 1 do
+    let e = Engine.create () in
+    let wal, _ = make_wal e in
+    let _ =
+      Engine.spawn e (fun () ->
+          ignore (Storage.Wal.append_and_sync wal ~bytes "a");
+          ignore (Storage.Wal.append wal ~bytes "b"))
+    in
+    Engine.run e;
+    ignore (Storage.Wal.crash ~torn:true ~torn_bytes wal);
+    let records, scan = Storage.Wal.recover wal in
+    Alcotest.(check (list string))
+      (Printf.sprintf "prefix intact at torn offset %d" torn_bytes)
+      [ "a" ] records;
+    Alcotest.(check int) "one torn" 1 scan.Storage.Wal.torn;
+    Alcotest.(check int) "no corrupt" 0 scan.Storage.Wal.corrupt;
+    Alcotest.(check int) "verified prefix" 1 scan.Storage.Wal.verified;
+    Alcotest.(check int) "truncated to prefix" 1 (Storage.Wal.last_lsn wal)
+  done
+
+let test_wal_corrupt_tail () =
+  let e = Engine.create () in
+  let wal, _ = make_wal e in
+  let _ =
+    Engine.spawn e (fun () ->
+        ignore (Storage.Wal.append_and_sync wal ~bytes:10 "a");
+        ignore (Storage.Wal.append_and_sync wal ~bytes:10 "b"))
+  in
+  Engine.run e;
+  Alcotest.(check bool) "tail corrupted" true (Storage.Wal.corrupt_tail wal);
+  (* redo refuses to read past the corrupt record even without a scan *)
+  Alcotest.(check (list string)) "redo stops before corrupt record" [ "a" ]
+    (Storage.Wal.records_from wal 0);
+  let records, scan = Storage.Wal.recover wal in
+  Alcotest.(check (list string)) "verified prefix" [ "a" ] records;
+  Alcotest.(check int) "one corrupt discarded" 1 scan.Storage.Wal.corrupt;
+  Alcotest.(check int) "durable rolled back" 1 (Storage.Wal.durable_lsn wal);
+  Alcotest.(check int) "cumulative corrupt count" 1
+    (Storage.Wal.corrupt_discarded wal);
+  Alcotest.(check bool) "empty log has nothing to corrupt" false
+    (Storage.Wal.corrupt_tail (fst (make_wal (Engine.create ()))))
+
+let test_wal_crash_races_inflight_fsync () =
+  (* A crash while an fsync is in flight invalidates that flush: when the
+     writer fiber completes it must NOT mark its captured target durable —
+     that would resurrect truncated pre-crash slots (or post-crash appends
+     that were never synced) as readable. *)
+  let e = Engine.create () in
+  let wal, _ = make_wal e in
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore (Storage.Wal.append_and_sync wal ~bytes:10 "a")));
+  (* stop mid-fsync: the device's fixed latency is 8 ms *)
+  Engine.run ~until:(Time.of_ms 4.) e;
+  Alcotest.(check bool) "flush in flight" true
+    (Storage.Wal.flushing_since wal <> None);
+  ignore (Storage.Wal.crash wal);
+  (* appends racing the doomed flush *)
+  ignore (Storage.Wal.append_batch wal ~bytes_of:(fun _ -> 10) [ "d"; "e" ]);
+  Engine.run e;
+  Alcotest.(check int) "stale flush not marked durable" 0
+    (Storage.Wal.durable_lsn wal);
+  Alcotest.(check (list string)) "nothing resurrected" []
+    (Storage.Wal.records_from wal 0);
+  (* the log still works: a fresh sync makes the new tail durable *)
+  ignore (Engine.spawn e (fun () -> Storage.Wal.sync wal));
+  Engine.run e;
+  Alcotest.(check int) "new tail durable" 2 (Storage.Wal.durable_lsn wal);
+  Alcotest.(check (list string)) "redo is the new tail" [ "d"; "e" ]
+    (Storage.Wal.records_from wal 0)
+
+(* ------------------------------------------------------------------ *)
 (* Dump store *)
 
 let test_dump_keeps_two () =
@@ -245,6 +397,9 @@ let suites =
         Alcotest.test_case "fifo contention" `Quick test_disk_fifo_contention;
         Alcotest.test_case "transfer component" `Quick test_disk_transfer_component;
         Alcotest.test_case "ramdisk fast" `Quick test_ramdisk_is_fast;
+        Alcotest.test_case "stall adds latency" `Quick test_disk_stall;
+        Alcotest.test_case "degrade multiplies latency" `Quick test_disk_degrade;
+        Alcotest.test_case "transient io errors" `Quick test_disk_io_errors;
       ] );
     ( "storage.wal",
       [
@@ -255,6 +410,11 @@ let suites =
         Alcotest.test_case "crash loses volatile tail" `Quick test_wal_crash_loses_tail;
         Alcotest.test_case "records_from" `Quick test_wal_records_from;
         Alcotest.test_case "sync idempotent" `Quick test_wal_sync_idempotent;
+        Alcotest.test_case "torn crash truncates" `Quick test_wal_torn_crash_truncates;
+        Alcotest.test_case "torn position sweep" `Quick test_wal_torn_position_sweep;
+        Alcotest.test_case "corrupt tail" `Quick test_wal_corrupt_tail;
+        Alcotest.test_case "crash races in-flight fsync" `Quick
+          test_wal_crash_races_inflight_fsync;
         QCheck_alcotest.to_alcotest prop_wal_durable_prefix;
       ] );
     ( "storage.dump_store",
