@@ -73,8 +73,17 @@ let abort_rate_t =
 
 let seed_t = Arg.(value & opt int 20060418 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let apply_workers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "apply-workers" ] ~docv:"W"
+        ~doc:
+          "Parallel applier fibers per replica. With more than one, \
+           non-conflicting certified writesets apply concurrently behind a \
+           dependency tracker; version visibility still advances in order.")
+
 let run_cmd =
-  let run system workload io n certifiers seconds abort_rate seed =
+  let run system workload io n certifiers seconds abort_rate seed apply_workers =
     let cfg =
       {
         Harness.Experiment.system;
@@ -85,6 +94,7 @@ let run_cmd =
         abort_rate;
         eager_precert = true;
         group_remote_batches = true;
+        apply_workers;
         seed;
         warmup = Sim.Time.of_sec (Float.min 5. (seconds /. 2.));
         measure = Sim.Time.of_sec seconds;
@@ -104,6 +114,10 @@ let run_cmd =
     kv "writesets per certifier fsync" (f1 r.cert_ws_per_fsync);
     kv "commit records per database fsync" (f1 r.db_ws_per_fsync);
     kv "artificial conflict rate" (pct r.artificial_conflict_pct);
+    (if apply_workers > 1 then begin
+       kv "mean apply parallelism" (f2 r.apply_parallelism);
+       kv "apply stalls (conflicting items)" (string_of_int r.apply_stalls)
+     end);
     kv "replica CPU utilization" (pct r.replica_cpu_util);
     kv "replica log-disk utilization" (pct r.replica_disk_util);
     kv "certifier CPU utilization" (pct r.cert_cpu_util);
@@ -113,7 +127,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one measured experiment and print its metrics.")
     Term.(
       const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t $ seconds_t
-      $ abort_rate_t $ seed_t)
+      $ abort_rate_t $ seed_t $ apply_workers_t)
 
 let recovery_cmd =
   let run n seed =
@@ -137,14 +151,7 @@ let consistency_cmd =
   let run n seconds seed =
     let spec = Workload.Allupdates.profile () in
     let cfg =
-      {
-        Tashkent.Cluster.mode = Tashkent.Types.Tashkent_api;
-        n_replicas = n;
-        n_certifiers = 3;
-        certifier = Tashkent.Certifier.default_config;
-        replica = Tashkent.Replica.default_config Tashkent.Types.Tashkent_api;
-        seed;
-      }
+      Tashkent.Cluster.config ~n_replicas:n ~seed Tashkent.Types.Tashkent_api
     in
     let cluster = Tashkent.Cluster.create cfg in
     let engine = Tashkent.Cluster.engine cluster in
@@ -171,7 +178,7 @@ let consistency_cmd =
     Term.(const run $ replicas_t $ seconds_t $ seed_t)
 
 let chaos_cmd =
-  let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms =
+  let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms apply_workers =
     let plan =
       match plan_seed with
       | None ->
@@ -189,6 +196,7 @@ let chaos_cmd =
         plan;
         disk_faults;
         fsync_stall = Sim.Time.of_ms fsync_stall_ms;
+        apply_workers;
       }
     in
     let r = Harness.Chaos_exp.run ~config () in
@@ -234,7 +242,7 @@ let chaos_cmd =
           after every heal; exits 1 on any violation.")
     Term.(
       const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t
-      $ disk_faults_t $ fsync_stall_t)
+      $ disk_faults_t $ fsync_stall_t $ apply_workers_t)
 
 let trace_cmd =
   let mode_conv =
@@ -253,14 +261,7 @@ let trace_cmd =
     let trace = Obs.Trace.create engine in
     let cluster =
       Tashkent.Cluster.create ~engine ~trace
-        {
-          Tashkent.Cluster.mode;
-          n_replicas = n;
-          n_certifiers = certifiers;
-          certifier = Tashkent.Certifier.default_config;
-          replica = Tashkent.Replica.default_config mode;
-          seed;
-        }
+        (Tashkent.Cluster.config ~n_replicas:n ~n_certifiers:certifiers ~seed mode)
     in
     Tashkent.Cluster.load_all cluster (spec.Workload.Spec.initial_rows ~n_replicas:n);
     Tashkent.Cluster.settle cluster;

@@ -14,8 +14,7 @@ let account i = Mvcc.Key.make ~table:"account" ~row:(Printf.sprintf "%02d" i)
 
 let () =
   let cluster =
-    Cluster.create
-      { (Cluster.default_config Types.Tashkent_mw) with Cluster.n_replicas = 3 }
+    Cluster.create (Cluster.config ~n_replicas:3 Types.Tashkent_mw)
   in
   let engine = Cluster.engine cluster in
   Cluster.load_all cluster

@@ -19,12 +19,7 @@ let () =
     }
   in
   let cluster =
-    Cluster.create
-      {
-        (Cluster.default_config Types.Tashkent_mw) with
-        Cluster.n_replicas = 3;
-        replica = replica_cfg;
-      }
+    Cluster.create (Cluster.config ~n_replicas:3 ~replica:replica_cfg Types.Tashkent_mw)
   in
   let engine = Cluster.engine cluster in
   Cluster.load_all cluster (List.init 32 (fun i -> (key i, Mvcc.Value.int 0)));

@@ -11,8 +11,9 @@ let set n = Mvcc.Writeset.Update (Mvcc.Value.int n)
 
 let () =
   (* A cluster is a certifier group (Paxos-replicated, 3 nodes) plus any
-     number of database replicas, all on a simulated LAN. *)
-  let cluster = Cluster.create (Cluster.default_config Types.Tashkent_mw) in
+     number of database replicas, all on a simulated LAN. [Cluster.config]
+     is the smart constructor: pass only the knobs you care about. *)
+  let cluster = Cluster.create (Cluster.config Types.Tashkent_mw) in
   let engine = Cluster.engine cluster in
 
   (* Populate the same initial rows on every replica (version 0). *)

@@ -1,0 +1,186 @@
+open Sim
+
+(* Dependency-tracked parallel applier (the worker half; the database half
+   is Mvcc.Db's parallel path). Items are submitted in version order; a
+   key-level index over in-flight writesets (the Overlay technique from the
+   certifier) links each item to the newest pending writer of any key it
+   touches, so non-conflicting writesets execute concurrently on a bounded
+   pool of worker fibers while conflicting ones wait on their predecessors.
+   A publisher fiber walks items in submission order and fires their
+   publication callbacks only when every earlier item has finished — the
+   ordered-publish barrier that keeps GSI snapshots gap-free. *)
+
+type handle = {
+  version : int;
+  ws : Mvcc.Writeset.t;
+  deps : handle list;  (* pending predecessors writing an overlapping key *)
+  exec : unit -> unit;
+  on_published : unit -> unit;
+  exec_done : unit Ivar.t;
+  published : unit Ivar.t;
+  mutable wait_span : Obs.Trace.span option;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  workers : int;
+  trace : Obs.Trace.t;
+  queue : handle Mailbox.t;
+  publish_queue : handle Mailbox.t;
+  index : handle Mvcc.Key.Tbl.t; (* key -> newest in-flight writer *)
+  mutable fibers : Engine.fiber list;
+  (* Time-weighted exec concurrency: parallelism = ∫busy dt / ∫[busy>0] dt. *)
+  mutable busy : int;
+  mutable last_change : Time.t;
+  mutable busy_area : float;
+  mutable busy_span : float;
+  c_stalls : Stats.Counter.t;
+  c_submitted : Stats.Counter.t;
+}
+
+let account t =
+  let now = Engine.now t.engine in
+  let dt = Time.to_sec (Time.diff now t.last_change) in
+  if dt > 0. then begin
+    t.busy_area <- t.busy_area +. (float_of_int t.busy *. dt);
+    if t.busy > 0 then t.busy_span <- t.busy_span +. dt
+  end;
+  t.last_change <- now
+
+let enter_busy t =
+  account t;
+  t.busy <- t.busy + 1
+
+let leave_busy t =
+  account t;
+  t.busy <- t.busy - 1
+
+let parallelism t =
+  account t;
+  if t.busy_span > 0. then t.busy_area /. t.busy_span else 0.
+
+let stalls t = Stats.Counter.value t.c_stalls
+let pending t = Mailbox.length t.publish_queue
+
+let worker_loop t () =
+  let rec loop () =
+    let h = Mailbox.recv t.queue in
+    let unmet = List.filter (fun d -> not (Ivar.is_filled d.exec_done)) h.deps in
+    if unmet <> [] then Stats.Counter.incr t.c_stalls;
+    List.iter (fun d -> Ivar.read d.exec_done) unmet;
+    (match h.wait_span with
+    | Some sp ->
+        Obs.Trace.finish t.trace sp;
+        h.wait_span <- None
+    | None -> ());
+    let sp = Obs.Trace.span t.trace ~stage:"apply.exec" ~actor:t.name () in
+    enter_busy t;
+    h.exec ();
+    leave_busy t;
+    Obs.Trace.finish t.trace sp;
+    Ivar.fill h.exec_done ();
+    loop ()
+  in
+  loop ()
+
+let publisher_loop t () =
+  let rec loop () =
+    let h = Mailbox.recv t.publish_queue in
+    Ivar.read h.exec_done;
+    (* Retire this item's key-index entries (unless a later submission
+       already took them over). *)
+    Mvcc.Writeset.iter_keys h.ws (fun key ->
+        match Mvcc.Key.Tbl.find_opt t.index key with
+        | Some h' when h' == h -> Mvcc.Key.Tbl.remove t.index key
+        | Some _ | None -> ());
+    h.on_published ();
+    Ivar.fill h.published ();
+    loop ()
+  in
+  loop ()
+
+let spawn_fibers t =
+  let ws =
+    List.init t.workers (fun i ->
+        Engine.spawn t.engine
+          ~name:(Printf.sprintf "%s.apply_worker%d" t.name i)
+          (worker_loop t))
+  in
+  let p = Engine.spawn t.engine ~name:(t.name ^ ".apply_publisher") (publisher_loop t) in
+  t.fibers <- p :: ws
+
+let create engine ~name ~workers ~metrics ~trace () =
+  if workers < 1 then invalid_arg "Apply_pool.create: workers must be >= 1";
+  let t =
+    {
+      engine;
+      name;
+      workers;
+      trace;
+      queue = Mailbox.create engine ~name:(name ^ ".apply_queue") ();
+      publish_queue = Mailbox.create engine ~name:(name ^ ".apply_publish") ();
+      index = Mvcc.Key.Tbl.create 1024;
+      fibers = [];
+      busy = 0;
+      last_change = Engine.now engine;
+      busy_area = 0.;
+      busy_span = 0.;
+      c_stalls = Obs.Registry.counter metrics ("replica." ^ name ^ ".apply.stalls");
+      c_submitted = Obs.Registry.counter metrics ("replica." ^ name ^ ".apply.submitted");
+    }
+  in
+  Obs.Registry.gauge metrics
+    ("replica." ^ name ^ ".apply.parallelism")
+    (fun () -> parallelism t);
+  Obs.Registry.gauge metrics
+    ("replica." ^ name ^ ".apply.pending")
+    (fun () -> float_of_int (pending t));
+  Obs.Registry.on_reset metrics (fun () ->
+      account t;
+      t.busy_area <- 0.;
+      t.busy_span <- 0.);
+  spawn_fibers t;
+  t
+
+let submit t ~version ~ws ?trace_id ?(on_published = fun () -> ()) ~exec () =
+  let deps = ref [] in
+  Mvcc.Writeset.iter_keys ws (fun key ->
+      match Mvcc.Key.Tbl.find_opt t.index key with
+      | Some d when not (List.memq d !deps) -> deps := d :: !deps
+      | Some _ | None -> ());
+  let h =
+    {
+      version;
+      ws;
+      deps = !deps;
+      exec;
+      on_published;
+      exec_done = Ivar.create t.engine ();
+      published = Ivar.create t.engine ();
+      wait_span =
+        (if Obs.Trace.enabled t.trace then
+           Some (Obs.Trace.span t.trace ?id:trace_id ~stage:"apply.wait" ~actor:t.name ())
+         else None);
+    }
+  in
+  Mvcc.Writeset.iter_keys ws (fun key -> Mvcc.Key.Tbl.replace t.index key h);
+  Stats.Counter.incr t.c_submitted;
+  Mailbox.send t.queue h;
+  Mailbox.send t.publish_queue h;
+  h
+
+let has_deps h = h.deps <> []
+let version h = h.version
+let wait_published h = Ivar.read h.published
+
+let pause t =
+  List.iter (fun f -> Engine.cancel t.engine f) t.fibers;
+  t.fibers <- [];
+  Mailbox.clear t.queue;
+  Mailbox.clear t.publish_queue;
+  Mvcc.Key.Tbl.reset t.index;
+  account t;
+  t.busy <- 0
+
+let resume t = spawn_fibers t

@@ -440,10 +440,11 @@ let spawn_disk_watch t =
              in
              loop ()))
 
-let create engine ~rng ~net ~id:node_id ~peers ?metrics ?trace ?(config = default_config)
-    () =
-  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
-  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
+let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
+  let engine = env.Env.engine and net = env.Env.net in
+  let metrics = env.Env.metrics and trace = env.Env.trace in
+  (* Private stream drawn from the env root, in construction order. *)
+  let rng = Env.split_rng env in
   let counter name = Obs.Registry.counter metrics ("certifier." ^ node_id ^ "." ^ name) in
   let mailbox = Net.Network.register net node_id in
   let disk = Storage.Disk.create engine ~rng:(Rng.split rng) ~name:(node_id ^ ".disk") () in

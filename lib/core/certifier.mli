@@ -36,21 +36,19 @@ val default_config : config
 type t
 
 val create :
-  Sim.Engine.t ->
-  rng:Sim.Rng.t ->
-  net:Types.message Net.Network.t ->
+  Env.t ->
   id:string ->
   peers:string list ->
-  ?metrics:Obs.Registry.t ->
-  ?trace:Obs.Trace.t ->
   ?config:config ->
   unit ->
   t
-(** Registers the network endpoint [id], creates the node's log disk and
-    Paxos node, and spawns the message pump.
+(** Builds the node inside [env]: its private random stream is derived with
+    {!Env.split_rng}, the network endpoint [id] registers on [env]'s
+    network, and the node's log disk and Paxos node are created before the
+    message pump is spawned.
 
-    Observability: counters register under [certifier.<id>.*] in [metrics]
-    (private registry when omitted), with gauges over the WAL, Paxos batch
+    Observability: counters register under [certifier.<id>.*] in
+    [env.metrics], with gauges over the WAL, Paxos batch
     stats, the log and CPU/disk utilization; an [on_reset] hook re-baselines
     the cumulative log stats and restarts the WAL/Paxos windows, mirroring
     {!reset_stats}. With a live [trace], the leader records [cert.batch]

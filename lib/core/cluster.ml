@@ -19,14 +19,58 @@ let default_config mode =
     seed = 42;
   }
 
+let config ?n_replicas ?n_certifiers ?apply_workers ?certifier ?replica ?seed mode =
+  let base = default_config mode in
+  let replica =
+    match replica with Some r -> r | None -> base.replica
+  in
+  let replica =
+    match apply_workers with
+    | Some w -> { replica with Replica.apply_workers = w }
+    | None -> replica
+  in
+  {
+    mode;
+    n_replicas = Option.value ~default:base.n_replicas n_replicas;
+    n_certifiers = Option.value ~default:base.n_certifiers n_certifiers;
+    certifier = Option.value ~default:base.certifier certifier;
+    replica;
+    seed = Option.value ~default:base.seed seed;
+  }
+
+(* Reject impossible configurations with one message naming every problem,
+   instead of letting them surface as a hang or an assert deep inside the
+   simulation. *)
+let validate cfg =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if cfg.n_replicas < 1 then add "n_replicas must be >= 1 (got %d)" cfg.n_replicas;
+  if cfg.n_certifiers < 1 then add "n_certifiers must be >= 1 (got %d)" cfg.n_certifiers
+  else if cfg.n_certifiers mod 2 = 0 then
+    add "n_certifiers must be odd for majority quorums (got %d)" cfg.n_certifiers;
+  if cfg.replica.Replica.apply_workers < 1 then
+    add "replica.apply_workers must be >= 1 (got %d)" cfg.replica.Replica.apply_workers;
+  let non_negative name time =
+    if Time.(time < Time.zero) then add "%s must be non-negative (got %s)" name (Time.to_string time)
+  in
+  non_negative "replica.exec_cpu" cfg.replica.Replica.exec_cpu;
+  non_negative "replica.apply_cpu_per_ws" cfg.replica.Replica.apply_cpu_per_ws;
+  (match cfg.replica.Replica.staleness_bound with
+  | Some bound -> non_negative "replica.staleness_bound" bound
+  | None -> ());
+  non_negative "certifier.certify_cpu" cfg.certifier.Certifier.certify_cpu;
+  (match cfg.certifier.Certifier.fsync_deadline with
+  | Some deadline -> non_negative "certifier.fsync_deadline" deadline
+  | None -> ());
+  match List.rev !problems with
+  | [] -> ()
+  | ps -> invalid_arg ("Cluster.create: " ^ String.concat "; " ps)
+
 type t = {
-  engine : Engine.t;
+  the_env : Env.t;
   cfg : config;
-  net : Types.message Net.Network.t;
   certifier_nodes : Certifier.t list;
   replica_nodes : Replica.t list;
-  obs_metrics : Obs.Registry.t;
-  obs_trace : Obs.Trace.t;
   mutable initial_rows : (Mvcc.Key.t * Mvcc.Value.t) list;
 }
 
@@ -34,52 +78,35 @@ let certifier_name i = Printf.sprintf "cert%d" i
 let replica_name i = Printf.sprintf "replica%d" i
 
 let create ?engine ?metrics ?trace cfg =
-  let engine = match engine with Some e -> e | None -> Engine.create () in
-  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
-  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
-  let rng = Rng.create cfg.seed in
-  let net = Net.Network.create engine ~rng:(Rng.split rng) () in
-  List.iter
-    (fun (name, read) -> Obs.Registry.gauge metrics ("net." ^ name) read)
-    [
-      ("messages_sent", fun () -> float_of_int (Net.Network.messages_sent net));
-      ("messages_delivered", fun () -> float_of_int (Net.Network.messages_delivered net));
-      ("messages_dropped", fun () -> float_of_int (Net.Network.messages_dropped net));
-    ];
+  validate cfg;
+  (* The environment replays the historical stream discipline: root rng
+     from the seed, network on its first split, then one split per
+     component in construction order (certifiers, then replicas). *)
+  let env = Env.create ?engine ?metrics ?trace ~seed:cfg.seed () in
   let cert_ids = List.init cfg.n_certifiers certifier_name in
   let certifier_nodes =
     List.map
       (fun id ->
-        Certifier.create engine ~rng:(Rng.split rng) ~net ~id
+        Certifier.create env ~id
           ~peers:(List.filter (fun p -> p <> id) cert_ids)
-          ~metrics ~trace ~config:cfg.certifier ())
+          ~config:cfg.certifier ())
       cert_ids
   in
   let replica_nodes =
     List.init cfg.n_replicas (fun i ->
-        Replica.create engine ~rng:(Rng.split rng) ~net ~name:(replica_name i)
-          ~certifiers:cert_ids
+        Replica.create env ~name:(replica_name i) ~certifiers:cert_ids
           ~req_id_base:((i + 1) * 100_000_000)
-          ~metrics ~trace
           ~config:{ cfg.replica with mode = cfg.mode }
           ())
   in
-  {
-    engine;
-    cfg;
-    net;
-    certifier_nodes;
-    replica_nodes;
-    obs_metrics = metrics;
-    obs_trace = trace;
-    initial_rows = [];
-  }
+  { the_env = env; cfg; certifier_nodes; replica_nodes; initial_rows = [] }
 
-let engine t = t.engine
-let network t = t.net
-let config t = t.cfg
-let metrics t = t.obs_metrics
-let trace t = t.obs_trace
+let env t = t.the_env
+let engine t = t.the_env.Env.engine
+let network t = t.the_env.Env.net
+let configuration t = t.cfg
+let metrics t = t.the_env.Env.metrics
+let trace t = t.the_env.Env.trace
 let replicas t = t.replica_nodes
 let replica t i = List.nth t.replica_nodes i
 let certifiers t = t.certifier_nodes
@@ -88,10 +115,11 @@ let certifier_ids t = List.map Certifier.id t.certifier_nodes
 let leader t = List.find_opt (fun c -> Certifier.is_up c && Certifier.is_leader c) t.certifier_nodes
 
 let settle t =
-  let deadline = Time.add (Engine.now t.engine) (Time.sec 10) in
+  let engine = engine t in
+  let deadline = Time.add (Engine.now engine) (Time.sec 10) in
   let rec wait () =
-    if leader t = None && Time.(Engine.now t.engine < deadline) then begin
-      Engine.run ~until:(Time.add (Engine.now t.engine) (Time.of_ms 50.)) t.engine;
+    if leader t = None && Time.(Engine.now engine < deadline) then begin
+      Engine.run ~until:(Time.add (Engine.now engine) (Time.of_ms 50.)) engine;
       wait ()
     end
   in
@@ -255,5 +283,5 @@ let total_aborts t =
    trace ring starts fresh; the per-module reset_stats calls this used to
    spell out are now the components' own registry hooks. *)
 let reset_stats t =
-  Obs.Registry.reset t.obs_metrics;
-  Obs.Trace.reset t.obs_trace
+  Obs.Registry.reset t.the_env.Env.metrics;
+  Obs.Trace.reset t.the_env.Env.trace

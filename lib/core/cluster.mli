@@ -12,18 +12,43 @@ type config = {
 
 val default_config : Types.mode -> config
 
+val config :
+  ?n_replicas:int ->
+  ?n_certifiers:int ->
+  ?apply_workers:int ->
+  ?certifier:Certifier.config ->
+  ?replica:Replica.config ->
+  ?seed:int ->
+  Types.mode ->
+  config
+(** Smart constructor over {!default_config}: each optional argument
+    overrides the corresponding field. [apply_workers] is applied to the
+    replica config {e after} [replica], so
+    [config ~replica ~apply_workers:4 mode] parallelises a custom replica
+    setup. *)
+
 type t
 
 val create : ?engine:Sim.Engine.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t -> config -> t
-(** Builds the network, certifier group and replicas. Every component
-    registers its metrics in [metrics] (a fresh registry when omitted) and
-    records lifecycle spans into [trace] (disabled when omitted); the
-    resulting metric namespace is [proxy.*], [cert_client.*], [replica.*],
-    [certifier.*] and [net.*]. *)
+(** Builds an {!Env.t} (network included) and the certifier group and
+    replicas inside it. Every component registers its metrics in [metrics]
+    (a fresh registry when omitted) and records lifecycle spans into
+    [trace] (disabled when omitted); the resulting metric namespace is
+    [proxy.*], [cert_client.*], [replica.*], [certifier.*] and [net.*].
+
+    The configuration is validated first; impossible settings
+    ([n_replicas < 1], an even or non-positive [n_certifiers],
+    [replica.apply_workers < 1], negative CPU/staleness/deadline times)
+    raise one [Invalid_argument] naming every problem. *)
+
+val env : t -> Env.t
+(** The environment the components were built in. *)
 
 val engine : t -> Sim.Engine.t
 val network : t -> Types.message Net.Network.t
-val config : t -> config
+
+val configuration : t -> config
+(** The (validated) configuration the cluster was built from. *)
 
 val metrics : t -> Obs.Registry.t
 (** The shared registry all components registered into. *)

@@ -1,0 +1,34 @@
+open Sim
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  net : Types.message Net.Network.t;
+  metrics : Obs.Registry.t;
+  trace : Obs.Trace.t;
+}
+
+let make ~engine ~rng ~net ~metrics ~trace () = { engine; rng; net; metrics; trace }
+
+let create ?engine ?metrics ?trace ~seed () =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
+  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
+  let rng = Rng.create seed in
+  let net = Net.Network.create engine ~rng:(Rng.split rng) () in
+  List.iter
+    (fun (name, read) -> Obs.Registry.gauge metrics ("net." ^ name) read)
+    [
+      ("messages_sent", fun () -> float_of_int (Net.Network.messages_sent net));
+      ("messages_delivered", fun () -> float_of_int (Net.Network.messages_delivered net));
+      ("messages_dropped", fun () -> float_of_int (Net.Network.messages_dropped net));
+    ];
+  { engine; rng; net; metrics; trace }
+
+let engine t = t.engine
+let rng t = t.rng
+let net t = t.net
+let metrics t = t.metrics
+let trace t = t.trace
+
+let split_rng t = Rng.split t.rng

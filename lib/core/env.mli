@@ -1,0 +1,51 @@
+(** The shared simulation environment a component is constructed in.
+
+    Every Tashkent component needs the same five handles — the event
+    engine, a deterministic random stream, the message network, the metrics
+    registry and the lifecycle tracer. [Env.t] bundles them so constructors
+    take [env] plus their own [config] instead of five repeated labelled
+    arguments ({!Replica.create}, {!Certifier.create}, {!Proxy.create}).
+
+    Determinism: components derive their private random streams with
+    {!split_rng} in creation order, so a cluster built from one seed is
+    reproducible — construct components in a fixed order. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  net : Types.message Net.Network.t;
+  metrics : Obs.Registry.t;
+  trace : Obs.Trace.t;
+}
+
+val create :
+  ?engine:Sim.Engine.t ->
+  ?metrics:Obs.Registry.t ->
+  ?trace:Obs.Trace.t ->
+  seed:int ->
+  unit ->
+  t
+(** Build a fresh environment: a root rng from [seed], a network on a split
+    of it, a fresh engine/registry unless provided, a disabled tracer
+    unless provided. Registers the [net.*] gauges in the registry (so pass
+    a given registry to at most one [create]). *)
+
+val make :
+  engine:Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  net:Types.message Net.Network.t ->
+  metrics:Obs.Registry.t ->
+  trace:Obs.Trace.t ->
+  unit ->
+  t
+(** Bundle pre-built handles verbatim (no gauges registered). *)
+
+val engine : t -> Sim.Engine.t
+val rng : t -> Sim.Rng.t
+val net : t -> Types.message Net.Network.t
+val metrics : t -> Obs.Registry.t
+val trace : t -> Obs.Trace.t
+
+val split_rng : t -> Sim.Rng.t
+(** Derive an independent random stream for one component (advances the
+    env's root stream deterministically). *)

@@ -8,6 +8,9 @@ type config = {
   soft_recovery : bool;
   group_remote_batches : bool;
   local_certification : bool;
+  apply_workers : int;
+      (* > 1 routes every certified commit through the dependency-tracked
+         Apply_pool instead of the per-mode serial/concurrent paths. *)
 }
 
 let default_config mode =
@@ -19,6 +22,7 @@ let default_config mode =
     soft_recovery = true;
     group_remote_batches = true;
     local_certification = true;
+    apply_workers = 1;
   }
 
 type tx = { db_tx : Mvcc.Db.tx; start_version : int; trace_id : int }
@@ -53,6 +57,7 @@ type stats = {
   refreshes : int;
   local_cert_promotions : int;
   preempted_commits : int;
+  apply_stalls : int;
 }
 
 type t = {
@@ -65,6 +70,7 @@ type t = {
   cpu : Resource.t;
   client : Cert_client.t;
   work : work Mailbox.t;
+  pool : Apply_pool.t option;  (* Some iff [cfg.apply_workers > 1] *)
   version_done : (int, unit Ivar.t) Hashtbl.t;
   mutable rv : int;
   mutable inflight : int;
@@ -199,6 +205,82 @@ let apply_concurrent t remotes =
     (fresh_remotes t remotes)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel application (apply_workers > 1): every certified commit —
+   remote writesets and this replica's own — is dispatched to the
+   dependency-tracked pool in version order, with its announce order drawn
+   at dispatch. Workers may then finish out of order; the database's
+   parallel path installs rows immediately but publishes the visible
+   version only through the contiguous-order barrier. *)
+
+let rec apply_certified_parallel t ~version ~order ws =
+  match Mvcc.Db.apply_writeset_parallel t.database ~version ~order ws with
+  | Ok () -> ()
+  | Error (Mvcc.Db.Deadlock cycle) when t.cfg.soft_recovery ->
+      List.iter (fun txid -> Mvcc.Db.doom t.database txid) cycle;
+      apply_certified_parallel t ~version ~order ws
+  | Error reason ->
+      Stats.Counter.incr t.c_invariant;
+      failwith
+        (Format.asprintf "proxy %s: certified writeset failed: %a" t.address
+           Mvcc.Db.pp_abort_reason reason)
+
+let pool_submit_remote t pool ?trace_id ?on_published (r : Types.remote_ws) =
+  let order = Mvcc.Db.next_order t.database in
+  t.rv <- max t.rv r.version;
+  let h =
+    Apply_pool.submit pool ~version:r.version ~ws:r.ws ?trace_id ?on_published
+      ~exec:(fun () ->
+        charge_apply_cpu t [ r ];
+        apply_certified_parallel t ~version:r.version ~order r.ws;
+        Stats.Counter.incr t.c_applied;
+        Stats.Counter.incr t.c_batches)
+      ()
+  in
+  if Apply_pool.has_deps h then Stats.Counter.incr t.c_artificial;
+  h
+
+let pool_submit_local t pool reply w_tx done_ =
+  let version = reply.Types.commit_version in
+  let order = Mvcc.Db.next_order t.database in
+  t.rv <- max t.rv version;
+  let ws = Mvcc.Db.writeset w_tx.db_tx in
+  ignore
+    (Apply_pool.submit pool ~version ~ws ~trace_id:w_tx.trace_id
+       ~on_published:(fun () -> Ivar.fill done_ (Ok ()))
+       ~exec:(fun () ->
+         let sp =
+           Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"durability" ~actor:t.address ()
+         in
+         (match Mvcc.Db.commit_replicated_parallel w_tx.db_tx ~version ~order with
+         | Ok () -> ()
+         | Error _doomed ->
+             (* Same situation as in [finish_local_commit]: the global
+                decision wins, install the buffered writeset. The parallel
+                commit did not consume the order slot, so reuse it. *)
+             Stats.Counter.incr t.c_preempted;
+             apply_certified_parallel t ~version ~order ws);
+         Obs.Trace.finish t.trace sp;
+         Stats.Counter.incr t.c_commits)
+       ())
+
+let process_commit_pool t pool reply w_tx done_ =
+  List.iter
+    (fun r -> ignore (pool_submit_remote t pool ~trace_id:w_tx.trace_id r))
+    (fresh_remotes t reply.Types.remotes);
+  pool_submit_local t pool reply w_tx done_
+
+let process_refresh_pool t pool ~trace_id remotes done_ =
+  let fresh = fresh_remotes t remotes in
+  let n = List.length fresh in
+  List.iteri
+    (fun i r ->
+      let on_published = if i = n - 1 then Some (fun () -> Ivar.fill done_ ()) else None in
+      ignore (pool_submit_remote t pool ~trace_id ?on_published r))
+    fresh;
+  if n = 0 then Ivar.fill done_ ();
+  Stats.Counter.incr t.c_refreshes
+
+(* ------------------------------------------------------------------ *)
 (* The applier fiber: consumes certifier replies in version order. *)
 
 let finish_local_commit t w_tx ~version ~order done_ =
@@ -257,15 +339,24 @@ let spawn_applier t =
         let rec loop () =
           (match Mailbox.recv t.work with
           | Commit_reply { reply; w_tx; done_ } -> (
-              match t.cfg.mode with
-              | Types.Base | Types.Tashkent_mw -> process_commit_serial t reply w_tx done_
-              | Types.Tashkent_api -> process_commit_api t reply w_tx done_)
-          | Refresh_batch { remotes; trace_id; done_ } ->
-              let sp = Obs.Trace.span t.trace ~id:trace_id ~stage:"apply" ~actor:t.address () in
-              apply_serial t remotes;
-              Obs.Trace.finish t.trace sp;
-              Stats.Counter.incr t.c_refreshes;
-              Ivar.fill done_ ());
+              match t.pool with
+              | Some pool -> process_commit_pool t pool reply w_tx done_
+              | None -> (
+                  match t.cfg.mode with
+                  | Types.Base | Types.Tashkent_mw ->
+                      process_commit_serial t reply w_tx done_
+                  | Types.Tashkent_api -> process_commit_api t reply w_tx done_))
+          | Refresh_batch { remotes; trace_id; done_ } -> (
+              match t.pool with
+              | Some pool -> process_refresh_pool t pool ~trace_id remotes done_
+              | None ->
+                  let sp =
+                    Obs.Trace.span t.trace ~id:trace_id ~stage:"apply" ~actor:t.address ()
+                  in
+                  apply_serial t remotes;
+                  Obs.Trace.finish t.trace sp;
+                  Stats.Counter.incr t.c_refreshes;
+                  Ivar.fill done_ ()));
           loop ()
         in
         loop ())
@@ -397,11 +488,13 @@ let spawn_refresher t bound =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
-let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
-    ?metrics ?trace ?config () =
+let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
+    ?config () =
+  let engine = env.Env.engine and net = env.Env.net in
+  let metrics = env.Env.metrics and trace = env.Env.trace in
   let cfg = Option.value ~default:(default_config Types.Base) config in
-  let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
-  let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
+  if cfg.apply_workers < 1 then
+    invalid_arg "Proxy.create: apply_workers must be >= 1";
   let counter name = Obs.Registry.counter metrics ("proxy." ^ address ^ "." ^ name) in
   let mailbox = Net.Network.register net address in
   let client =
@@ -432,6 +525,12 @@ let create engine ~net ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
       cpu;
       client;
       work = Mailbox.create engine ~name:(address ^ ".work") ();
+      pool =
+        (if cfg.apply_workers > 1 then
+           Some
+             (Apply_pool.create engine ~name:address ~workers:cfg.apply_workers
+                ~metrics ~trace ())
+         else None);
       version_done = Hashtbl.create 256;
       rv = 0;
       inflight = 0;
@@ -478,7 +577,8 @@ let pause t =
   t.applier <- None;
   t.refresher <- None;
   Mailbox.clear t.work;
-  Hashtbl.reset t.version_done
+  Hashtbl.reset t.version_done;
+  (match t.pool with Some pool -> Apply_pool.pause pool | None -> ())
 
 let disconnect t =
   (* The host replica crashed: its address must vanish from the network so
@@ -495,6 +595,7 @@ let resume t =
   t.paused <- false;
   t.rv <- Mvcc.Db.current_version t.database;
   t.last_activity <- Engine.now t.engine;
+  (match t.pool with Some pool -> Apply_pool.resume pool | None -> ());
   spawn_applier t;
   (match t.cfg.staleness_bound with Some bound -> spawn_refresher t bound | None -> ())
 
@@ -513,7 +614,11 @@ let stats t =
     refreshes = Stats.Counter.value t.c_refreshes;
     local_cert_promotions = Stats.Counter.value t.c_promotions;
     preempted_commits = Stats.Counter.value t.c_preempted;
+    apply_stalls = (match t.pool with Some p -> Apply_pool.stalls p | None -> 0);
   }
+
+let apply_parallelism t =
+  match t.pool with Some p -> Apply_pool.parallelism p | None -> 1.0
 
 let reset_stats t =
   Stats.Counter.reset t.c_commits;

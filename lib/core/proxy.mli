@@ -38,6 +38,15 @@ type config = {
           locally-verified point before asking the certifier, reducing its
           intersection work. Safe because the transaction's write locks
           guarantee no announced conflict exists. *)
+  apply_workers : int;
+      (** number of parallel applier fibers (default 1). With more than
+          one, every certified commit — remote writesets and this
+          replica's own — is dispatched to a dependency-tracked
+          {!Apply_pool}: non-conflicting writesets apply concurrently
+          (their WAL fsyncs group), conflicting ones wait for their
+          predecessors, and version visibility advances only through the
+          contiguous-order publish barrier, so GSI snapshots are
+          unchanged. Overrides the per-mode serial/concurrent paths. *)
 }
 
 val default_config : Types.mode -> config
@@ -45,28 +54,30 @@ val default_config : Types.mode -> config
 type t
 
 val create :
-  Sim.Engine.t ->
-  net:Types.message Net.Network.t ->
+  Env.t ->
   addr:string ->
   db:Mvcc.Db.t ->
   cpu:Sim.Resource.t ->
   certifiers:string list ->
   req_id_base:int ->
-  ?metrics:Obs.Registry.t ->
-  ?trace:Obs.Trace.t ->
   ?config:config ->
   unit ->
   t
-(** Registers endpoint [addr] and spawns the reply dispatcher, the applier,
-    and (if configured) the staleness refresher.
+(** Registers endpoint [addr] on [env]'s network and spawns the reply
+    dispatcher, the applier (an {!Apply_pool} when
+    [config.apply_workers > 1]), and (if configured) the staleness
+    refresher.
 
-    Observability: counters register under [proxy.<addr>.*] in [metrics]
-    (a private throwaway registry when omitted) and the cumulative
-    [Cert_client] robustness counters are exported as
-    [cert_client.<addr>.*] gauges. With a live [trace] (default: disabled),
-    every update transaction gets a trace id at {!begin_tx} and the proxy
-    records [txn.commit], [certify], [durability], [apply] and [backfill]
-    spans on the sim clock (taxonomy in DESIGN.md §10). *)
+    Observability: counters register under [proxy.<addr>.*] in
+    [env.metrics], the cumulative [Cert_client] robustness counters are
+    exported as [cert_client.<addr>.*] gauges, and a parallel applier adds
+    [replica.<addr>.apply.*]. With a live [env.trace], every update
+    transaction gets a trace id at {!begin_tx} and the proxy records
+    [txn.commit], [certify], [durability], [apply] (or
+    [apply.wait]/[apply.exec] under a parallel applier) and [backfill]
+    spans on the sim clock (taxonomy in DESIGN.md §10).
+
+    @raise Invalid_argument if [config.apply_workers < 1]. *)
 
 val addr : t -> string
 val mode : t -> Types.mode
@@ -151,12 +162,20 @@ type stats = {
           preemption by a remote writeset, §8.2) while their commit reply
           was delayed by a certifier failover; their writesets were
           installed from the buffer under the certifier's decision *)
+  apply_stalls : int;
+      (** parallel-applier items that had to wait for a conflicting
+          predecessor before executing; always 0 with [apply_workers = 1] *)
 }
 
 val stats : t -> stats
 (** Counts since creation or the last reset. Counters are plain counts (not
     rates); all are also readable through the registry passed to
     {!create}. *)
+
+val apply_parallelism : t -> float
+(** Time-weighted mean number of concurrently executing apply items (see
+    {!Apply_pool.parallelism}); 1.0 when running without a parallel
+    applier. *)
 
 val reset_stats : t -> unit
 (** Zero this proxy's counters only. When the proxy shares a registry with

@@ -19,6 +19,7 @@ type config = {
   bg_page_writes_per_sec : float;
   staleness_bound : Time.t option;
   group_remote_batches : bool;
+  apply_workers : int;
   db_size_bytes : int;
   dump_bandwidth : float;
   restore_bandwidth : float;
@@ -38,6 +39,7 @@ let default_config mode =
     bg_page_writes_per_sec = 0.;
     staleness_bound = Some (Time.sec 1);
     group_remote_batches = true;
+    apply_workers = 1;
     db_size_bytes = 50_000_000;
     dump_bandwidth = 3_000_000.;
     restore_bandwidth = 5_000_000.;
@@ -126,8 +128,12 @@ let spawn_dumper t interval =
          in
          loop ()))
 
-let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ?metrics ?trace
-    ~config:cfg () =
+let create (env : Env.t) ~name:label ~certifiers ~req_id_base ~config:cfg () =
+  let engine = env.Env.engine in
+  (* One private stream per replica, drawn from the environment's root in
+     construction order — the same discipline Cluster used to apply
+     externally, so seeds reproduce the same runs. *)
+  let rng = Env.split_rng env in
   let cpu_resource = Resource.create engine ~name:(label ^ ".cpu") ~capacity:1 () in
   let hdd =
     Storage.Disk.create engine ~rng:(Rng.split rng) ~name:(label ^ ".disk") ()
@@ -164,11 +170,12 @@ let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ?metrics ?trace
       soft_recovery = true;
       group_remote_batches = cfg.group_remote_batches;
       local_certification = true;
+      apply_workers = cfg.apply_workers;
     }
   in
   let the_proxy =
-    Proxy.create engine ~net ~addr:label ~db:database ~cpu:cpu_resource ~certifiers
-      ~req_id_base ?metrics ?trace ~config:proxy_config ()
+    Proxy.create env ~addr:label ~db:database ~cpu:cpu_resource ~certifiers
+      ~req_id_base ~config:proxy_config ()
   in
   let t =
     {
@@ -192,25 +199,22 @@ let create engine ~rng ~net ~name:label ~certifiers ~req_id_base ?metrics ?trace
   (match (cfg.mode, cfg.mw_recovery) with
   | Types.Tashkent_mw, Dump_based { interval } -> spawn_dumper t interval
   | _ -> ());
-  (match metrics with
-  | None -> ()
-  | Some reg ->
-      (* The proxy registered its own counters above; here we add views of
-         the replica-owned devices and database, and make a registry reset
-         restart their windows too (mirroring what Cluster.reset_stats used
-         to spell out per module). *)
-      let g name read = Obs.Registry.gauge reg ("replica." ^ label ^ "." ^ name) read in
-      g "db.ws_per_fsync" (fun () ->
-          Storage.Wal.mean_group_size (Mvcc.Db.wal t.database));
-      g "log_disk.fsyncs" (fun () -> float_of_int (Storage.Disk.fsyncs t.log_device));
-      g "log_disk.utilization" (fun () -> Storage.Disk.utilization t.log_device);
-      g "cpu.utilization" (fun () -> Resource.utilization t.cpu_resource);
-      g "dumps_taken" (fun () -> float_of_int t.dump_count);
-      Obs.Registry.on_reset reg (fun () ->
-          Mvcc.Db.reset_stats t.database;
-          Storage.Disk.reset_stats t.log_device;
-          if not (t.data_device == t.log_device) then
-            Storage.Disk.reset_stats t.data_device));
+  (* The proxy registered its own counters above; here we add views of the
+     replica-owned devices and database, and make a registry reset restart
+     their windows too (mirroring what Cluster.reset_stats used to spell
+     out per module). *)
+  let reg = env.Env.metrics in
+  let g name read = Obs.Registry.gauge reg ("replica." ^ label ^ "." ^ name) read in
+  g "db.ws_per_fsync" (fun () -> Storage.Wal.mean_group_size (Mvcc.Db.wal t.database));
+  g "log_disk.fsyncs" (fun () -> float_of_int (Storage.Disk.fsyncs t.log_device));
+  g "log_disk.utilization" (fun () -> Storage.Disk.utilization t.log_device);
+  g "cpu.utilization" (fun () -> Resource.utilization t.cpu_resource);
+  g "dumps_taken" (fun () -> float_of_int t.dump_count);
+  Obs.Registry.on_reset reg (fun () ->
+      Mvcc.Db.reset_stats t.database;
+      Storage.Disk.reset_stats t.log_device;
+      if not (t.data_device == t.log_device) then
+        Storage.Disk.reset_stats t.data_device);
   t
 
 (* ------------------------------------------------------------------ *)

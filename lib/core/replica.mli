@@ -31,6 +31,9 @@ type config = {
   bg_page_writes_per_sec : float;
   staleness_bound : Sim.Time.t option;
   group_remote_batches : bool;  (** §3's grouping optimisation (ablation knob) *)
+  apply_workers : int;
+      (** parallel applier fibers for certified commits (default 1; see
+          {!Proxy.config.apply_workers}) *)
   db_size_bytes : int;  (** logical database size, for dump/restore time *)
   dump_bandwidth : float;  (** bytes/s while dumping (paper: ~3 MB/s) *)
   restore_bandwidth : float;  (** bytes/s while restoring (paper: ~5 MB/s) *)
@@ -41,20 +44,18 @@ val default_config : Types.mode -> config
 type t
 
 val create :
-  Sim.Engine.t ->
-  rng:Sim.Rng.t ->
-  net:Types.message Net.Network.t ->
+  Env.t ->
   name:string ->
   certifiers:string list ->
   req_id_base:int ->
-  ?metrics:Obs.Registry.t ->
-  ?trace:Obs.Trace.t ->
   config:config ->
   unit ->
   t
-(** [metrics]/[trace] are handed to the {!Proxy}; additionally, with
-    [metrics] the replica registers [replica.<name>.*] gauges over its
-    database WAL, log disk and CPU, and an [on_reset] hook that restarts the
+(** Build a replica inside [env]: its private random stream is derived with
+    {!Env.split_rng} (so construction order fixes the run), its proxy joins
+    [env]'s network, and its metrics/trace handles come from [env]. The
+    replica registers [replica.<name>.*] gauges over its database WAL, log
+    disk and CPU in [env.metrics], and an [on_reset] hook that restarts the
     database and disk stat windows (so one [Obs.Registry.reset] re-windows
     the whole replica). *)
 

@@ -19,6 +19,7 @@ type config = {
   collect_trace : bool;
   disk_faults : bool;
   fsync_stall : Time.t;
+  apply_workers : int;
 }
 
 let default_config () =
@@ -32,6 +33,7 @@ let default_config () =
     collect_trace = false;
     disk_faults = false;
     fsync_stall = Time.of_ms 600.;
+    apply_workers = 1;
   }
 
 type result = {
@@ -199,18 +201,15 @@ let run ?(config = default_config ()) () =
   in
   let cluster =
     Tashkent.Cluster.create ~engine ~trace
-      {
-        Tashkent.Cluster.mode = config.mode;
-        n_replicas = config.n_replicas;
-        n_certifiers = config.n_certifiers;
-        certifier = Tashkent.Certifier.default_config;
-        replica =
-          {
-            (Tashkent.Replica.default_config config.mode) with
-            Tashkent.Replica.staleness_bound = Some (Time.sec 1);
-          };
-        seed = config.seed;
-      }
+      (Tashkent.Cluster.config ~n_replicas:config.n_replicas
+         ~n_certifiers:config.n_certifiers
+         ~replica:
+           {
+             (Tashkent.Replica.default_config config.mode) with
+             Tashkent.Replica.staleness_bound = Some (Time.sec 1);
+             apply_workers = config.apply_workers;
+           }
+         ~seed:config.seed config.mode)
   in
   Tashkent.Cluster.load_all cluster
     (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);

@@ -35,6 +35,9 @@ type config = {
       (** per-op stall used by random disk-fault plans; the default 600 ms
           is above the certifiers' fsync deadline, forcing a
           degraded-disk failover *)
+  apply_workers : int;
+      (** parallel applier fibers per replica (default 1) — chaos with
+          [> 1] exercises crash/recovery mid-parallel-apply *)
 }
 
 val default_config : unit -> config

@@ -31,6 +31,7 @@ type config = {
   abort_rate : float;
   eager_precert : bool;
   group_remote_batches : bool;
+  apply_workers : int;
   seed : int;
   warmup : Time.t;
   measure : Time.t;
@@ -47,6 +48,7 @@ let default =
     abort_rate = 0.;
     eager_precert = true;
     group_remote_batches = true;
+    apply_workers = 1;
     seed = 20060418;
     warmup = Time.sec 5;
     measure = Time.sec 20;
@@ -70,6 +72,8 @@ type result = {
   cert_disk_util : float;
   replica_cpu_util : float;
   replica_disk_util : float;
+  apply_parallelism : float;
+  apply_stalls : int;
   stage_latency : (string * Obs.Trace.stage_stats) list;
 }
 
@@ -87,6 +91,7 @@ let replica_config_of cfg (spec : Workload.Spec.t) mode =
     bg_page_writes_per_sec = spec.Workload.Spec.bg_page_writes_per_sec;
     db_size_bytes = spec.Workload.Spec.db_size_bytes;
     staleness_bound = Some (Time.sec 1);
+    apply_workers = cfg.apply_workers;
   }
 
 let run_replicated cfg mode ~durable_cert =
@@ -167,6 +172,12 @@ let run_replicated cfg mode ~durable_cert =
       avg (fun r -> Resource.utilization (Tashkent.Replica.cpu r));
     replica_disk_util =
       avg (fun r -> Storage.Disk.utilization (Tashkent.Replica.log_disk r));
+    apply_parallelism =
+      avg (fun r -> Tashkent.Proxy.apply_parallelism (Tashkent.Replica.proxy r));
+    apply_stalls =
+      List.fold_left
+        (fun a r -> a + (Tashkent.Proxy.stats (Tashkent.Replica.proxy r)).apply_stalls)
+        0 replicas;
     stage_latency = Obs.Trace.all_stage_stats trace;
   }
 
@@ -224,6 +235,8 @@ let run_standalone cfg =
     cert_disk_util = 0.;
     replica_cpu_util = Resource.utilization cpu;
     replica_disk_util = Storage.Disk.utilization hdd;
+    apply_parallelism = 1.0;
+    apply_stalls = 0;
     stage_latency = [];
   }
 

@@ -24,6 +24,9 @@ type config = {
   abort_rate : float;  (** forced aborts at the certifier (§9.5) *)
   eager_precert : bool;  (** §8.2 eager pre-certification (ablation knob) *)
   group_remote_batches : bool;  (** §3 remote-writeset grouping (ablation knob) *)
+  apply_workers : int;
+      (** parallel applier fibers per replica (1 = the serial/concurrent
+          per-mode paths; see {!Tashkent.Proxy.config.apply_workers}) *)
   seed : int;
   warmup : Sim.Time.t;
   measure : Sim.Time.t;
@@ -58,6 +61,13 @@ type result = {
   cert_disk_util : float;
   replica_cpu_util : float;
   replica_disk_util : float;
+  apply_parallelism : float;
+      (** mean over replicas of the parallel applier's time-weighted exec
+          concurrency ({!Tashkent.Proxy.apply_parallelism}); 1.0 when
+          [apply_workers = 1] *)
+  apply_stalls : int;
+      (** total applier items (all replicas) that waited for a conflicting
+          predecessor; 0 when [apply_workers = 1] *)
   stage_latency : (string * Obs.Trace.stage_stats) list;
       (** per-stage latency aggregates over the measured window (durations
           in µs of sim time), sorted by stage name; empty unless

@@ -5,10 +5,19 @@ type t = {
   mutable allocated : int;
   mutable announced_upto : int;
   mutable turnstile : Waitq.t;
+  (* Sequence numbers finished out of order (parallel apply) that are still
+     waiting for every lower number to finish before they can publish. *)
+  completed : (int, unit) Hashtbl.t;
 }
 
 let create engine () =
-  { engine; allocated = 0; announced_upto = 0; turnstile = Waitq.create engine () }
+  {
+    engine;
+    allocated = 0;
+    announced_upto = 0;
+    turnstile = Waitq.create engine ();
+    completed = Hashtbl.create 64;
+  }
 
 let next_seq t =
   t.allocated <- t.allocated + 1;
@@ -29,10 +38,27 @@ let announce t n =
   t.announced_upto <- n;
   Waitq.broadcast t.turnstile
 
+(* Out-of-order completion with ordered publish: mark [n] finished in any
+   order; the announced prefix only advances through a contiguous run of
+   completed numbers, so observers never see [n] published before [n-1]. *)
+let complete t n =
+  if n <= 0 then invalid_arg "Commit_order.complete: sequence numbers are 1-based";
+  if n > t.announced_upto && not (Hashtbl.mem t.completed n) then begin
+    Hashtbl.replace t.completed n ();
+    let advanced = ref false in
+    while Hashtbl.mem t.completed (t.announced_upto + 1) do
+      Hashtbl.remove t.completed (t.announced_upto + 1);
+      t.announced_upto <- t.announced_upto + 1;
+      advanced := true
+    done;
+    if !advanced then Waitq.broadcast t.turnstile
+  end
+
 let announced t = t.announced_upto
 let waiting t = Waitq.waiters t.turnstile
 
 let reset t =
   t.allocated <- 0;
   t.announced_upto <- 0;
+  Hashtbl.reset t.completed;
   t.turnstile <- Waitq.create t.engine ()

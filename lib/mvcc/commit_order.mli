@@ -25,6 +25,16 @@ val announce : t -> int -> unit
 (** Mark [n] announced. Must be called with the exact next number —
     i.e. after [wait_turn t n] — otherwise raises. *)
 
+val complete : t -> int -> unit
+(** Out-of-order completion with ordered publish (parallel apply): mark [n]
+    finished without waiting for a turn. The announced prefix advances only
+    through a contiguous run of completed numbers — [n] stays pending until
+    every lower number has completed — and the turnstile is broadcast when
+    the prefix moves, so {!wait_turn} and {!announced} observers still see a
+    strictly ordered publication. Idempotent; numbers at or below the
+    published prefix are ignored. Do not mix with {!announce} on the same
+    instance. *)
+
 val announced : t -> int
 val waiting : t -> int
 

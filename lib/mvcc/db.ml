@@ -64,7 +64,16 @@ and t = {
   mutable db_store : Store.t;
   mutable locks : Locks.t;
   mutable order : Commit_order.t;
-  db_wal : (int * Writeset.t) Storage.Wal.t;
+  (* Commit records carry (version, prev, writeset): [prev] is the version
+     this replica had applied immediately before [version], so recovery can
+     verify the redo chain and truncate at the first gap — essential once
+     parallel apply lets records reach the log out of version order. *)
+  db_wal : (int * int * Writeset.t) Storage.Wal.t;
+  (* Parallel-apply publish frontier: completed-but-unpublished commits,
+     keyed by announce order, whose store visibility is still waiting for a
+     lower order to finish. *)
+  parallel_versions : (int, int) Hashtbl.t;
+  mutable published_order : int;
   active : (txid, tx) Hashtbl.t;
   mutable initial_rows : (Key.t * Value.t) list;
   mutable next_txid : int;
@@ -88,6 +97,8 @@ let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
       locks = Locks.create ();
       order = Commit_order.create engine ();
       db_wal = Storage.Wal.create engine ~disk:log_disk ~name:(name ^ ".wal") ();
+      parallel_versions = Hashtbl.create 64;
+      published_order = 0;
       active = Hashtbl.create 32;
       initial_rows = [];
       next_txid = 0;
@@ -345,11 +356,21 @@ let schedule_writebacks t ws =
                done))
   | Some _ | None -> ()
 
-let log_commit t ~version ws =
+let log_commit t ~version ?prev ws =
+  (* [prev] defaults to the store's version at log time, clamped below
+     [version]: exact for the serial apply paths (one commit in flight at a
+     time) and for backfilled commits (whose true predecessor in the chain
+     is version - 1). Parallel apply passes [version - 1] explicitly, since
+     at log time the store still sits at the published prefix. *)
+  let prev =
+    match prev with
+    | Some p -> p
+    | None -> min (Store.current_version t.db_store) (version - 1)
+  in
   let bytes = max (Writeset.encoded_bytes ws) t.cfg.commit_record_bytes in
   match t.cfg.durability with
-  | Synchronous -> ignore (Storage.Wal.append_and_sync t.db_wal ~bytes (version, ws))
-  | Asynchronous | Periodic _ -> ignore (Storage.Wal.append t.db_wal ~bytes (version, ws))
+  | Synchronous -> ignore (Storage.Wal.append_and_sync t.db_wal ~bytes (version, prev, ws))
+  | Asynchronous | Periodic _ -> ignore (Storage.Wal.append t.db_wal ~bytes (version, prev, ws))
 
 let finish_commit tx ~version ~order =
   let t = tx.db in
@@ -415,6 +436,77 @@ let apply_writeset t ~version ~order ws =
   apply_entries (Writeset.entries ws)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel apply: out-of-order install, ordered publish.
+
+   Workers finish commits in whatever order their locks, CPU and WAL
+   flushes allow: rows are slotted into the version chains immediately
+   ({!Store.install_at}) and the commit record hits the log right away
+   (grouping fsyncs across workers), but the store's visible version only
+   advances once every lower announce order has finished
+   ({!Commit_order.complete}) — so snapshot reads and [check_consistency]
+   still always see a gap-free prefix of the global history. *)
+
+let publish_parallel t =
+  let upto = Commit_order.announced t.order in
+  let continue_ = ref true in
+  while !continue_ && t.published_order < upto do
+    match Hashtbl.find_opt t.parallel_versions (t.published_order + 1) with
+    | None -> continue_ := false
+    | Some version ->
+        Hashtbl.remove t.parallel_versions (t.published_order + 1);
+        t.published_order <- t.published_order + 1;
+        if version > Store.current_version t.db_store then
+          Store.force_version t.db_store version
+  done
+
+let finish_commit_parallel tx ~version ~order =
+  let t = tx.db in
+  let ws = tx.buffer in
+  charge_commit_cpu t;
+  (* Parallel streams are dense in version: every certified version passes
+     through the pool individually, so this record's chain predecessor is
+     exactly [version - 1] regardless of what is published right now. *)
+  log_commit t ~version ~prev:(version - 1) ws;
+  Store.install_at t.db_store ~version ws;
+  tx.state <- Committed;
+  release_locks tx;
+  Hashtbl.remove t.active tx.id;
+  Stats.Counter.incr t.commit_count;
+  Hashtbl.replace t.parallel_versions order version;
+  Commit_order.complete t.order order;
+  publish_parallel t;
+  schedule_writebacks t ws
+
+let apply_writeset_parallel t ~version ~order ws =
+  let tx = begin_tx_internal t ~remote:true in
+  let rec apply_entries = function
+    | [] ->
+        tx.state <- Committing;
+        finish_commit_parallel tx ~version ~order;
+        Ok ()
+    | { Writeset.key; op } :: rest -> (
+        match write tx key op with
+        | Ok () -> apply_entries rest
+        | Error r -> Error r)
+  in
+  apply_entries (Writeset.entries ws)
+
+let commit_replicated_parallel tx ~version ~order =
+  match tx.state with
+  | Doomed r ->
+      (* Unlike {!commit_replicated}, the order is NOT consumed: the caller
+         re-installs the buffered writeset under the same order via
+         {!apply_writeset_parallel}, keeping the publish chain dense. *)
+      ignore order;
+      fail tx r
+  | Aborted | Committed | Committing ->
+      invalid_arg "Db.commit_replicated_parallel: transaction is finished"
+  | Active ->
+      tx.state <- Committing;
+      finish_commit_parallel tx ~version ~order;
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Queries *)
 
 let read_committed t ?at key =
@@ -428,6 +520,10 @@ let lock_holder t key = Locks.holder t.locks key
 (* ------------------------------------------------------------------ *)
 (* Crash and recovery *)
 
+let reset_parallel t =
+  Hashtbl.reset t.parallel_versions;
+  t.published_order <- 0
+
 let crash t =
   ignore (Storage.Wal.crash t.db_wal);
   t.db_store <- Store.create ();
@@ -436,30 +532,46 @@ let crash t =
   t.locks <- Locks.create ();
   Commit_order.reset t.order;
   t.order <- Commit_order.create t.engine ();
+  reset_parallel t;
   Hashtbl.reset t.active
+
+exception Redo_gap
 
 let recover t =
   (* Checksum-scan the redo log: replay only the verified prefix, so a torn
      or corrupt tail record is truncated rather than installed. Anything
-     discarded was never acked durable (redo acks follow the sync). *)
+     discarded was never acked durable (redo acks follow the sync). Each
+     record names its chain predecessor; replay stops at the first record
+     whose predecessor never made it to disk — under parallel apply the
+     records can be logged out of version order, so a lost middle record
+     must truncate everything above it or recovery would expose a snapshot
+     with a hole in the history. *)
   let records, _scan = Storage.Wal.recover t.db_wal in
-  let by_version = List.sort (fun (a, _) (b, _) -> Int.compare a b) records in
+  let by_version =
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) records
+  in
   let fresh = Store.create () in
   List.iter (fun (key, value) -> Store.preload fresh key value) t.initial_rows;
-  List.iter
-    (fun (version, ws) ->
-      if version > Store.current_version fresh then Store.install fresh ~version ws)
-    by_version;
+  (try
+     List.iter
+       (fun (version, prev, ws) ->
+         if version > Store.current_version fresh then
+           if prev > Store.current_version fresh then raise Redo_gap
+           else Store.install fresh ~version ws)
+       by_version
+   with Redo_gap -> ());
   t.db_store <- fresh;
   (* Announce sequence restarts after recovery. *)
   t.order <- Commit_order.create t.engine ();
+  reset_parallel t;
   Store.current_version fresh
 
 let restore_from_dump t ~version dump =
   let copy = Store.copy dump in
   Store.force_version copy version;
   t.db_store <- copy;
-  t.order <- Commit_order.create t.engine ()
+  t.order <- Commit_order.create t.engine ();
+  reset_parallel t
 
 let dump t = (Store.current_version t.db_store, Store.copy t.db_store)
 

@@ -152,6 +152,32 @@ val apply_writeset :
     must resolve the cycle and retry — with the {e same} [order], which is
     not consumed on failure (call {!skip_order} when giving up). *)
 
+(** {1 Parallel apply: out-of-order install, ordered publish}
+
+    The dependency-tracked parallel applier lets workers finish commits in
+    whatever order their locks, CPU and WAL flushes allow. These variants
+    install rows into the version chains immediately ({!Store.install_at})
+    and log the commit record right away (so fsyncs group across workers),
+    but the store's visible version advances only once every lower announce
+    order has completed ({!Commit_order.complete}) — snapshot reads always
+    see a gap-free prefix of the global history. Orders must be allocated
+    with {!next_order} in version order; versions submitted through these
+    functions must be dense (every certified version individually), which
+    is what lets recovery chain-check the redo records. Do not mix with the
+    serial {!commit_replicated}/{!apply_writeset} on the same instance. *)
+
+val apply_writeset_parallel :
+  t -> version:int -> order:int -> Writeset.t -> (unit, abort_reason) result
+(** {!apply_writeset}, finishing through the parallel path. Deadlock
+    failures leave [order] unconsumed, exactly like the serial variant. *)
+
+val commit_replicated_parallel :
+  tx -> version:int -> order:int -> (unit, abort_reason) result
+(** {!commit_replicated}, finishing through the parallel path. On a doomed
+    transaction the [order] is {e not} consumed: the caller must re-install
+    the buffered writeset under the same order with
+    {!apply_writeset_parallel}, keeping the publish chain dense. *)
+
 val doom : t -> txid -> unit
 (** Force-abort an active transaction (soft recovery / eager
     pre-certification). Its locks are released immediately; its owner
@@ -174,9 +200,12 @@ val crash : t -> unit
 
 val recover : t -> int
 (** Standard recovery (paper §7.2): rebuild the store by redoing the
-    durable WAL, in version order. Returns the recovered version. With
-    [Asynchronous] durability this recovers an {e empty} database —
-    that is why Tashkent-MW needs dumps (§7.1). *)
+    durable WAL, in version order, stopping at the first record whose
+    chain predecessor is missing — parallel apply logs records out of
+    version order, so a lost middle record truncates everything above it
+    and recovery always yields a consistent prefix. Returns the recovered
+    version. With [Asynchronous] durability this recovers an {e empty}
+    database — that is why Tashkent-MW needs dumps (§7.1). *)
 
 val restore_from_dump : t -> version:int -> Store.t -> unit
 (** Tashkent-MW recovery: replace the store with a dump copy taken at
@@ -197,8 +226,9 @@ val backfills : t -> int
     overtook the remote-writeset stream after a certifier failover; see
     {!Store.backfill}. *)
 
-val wal : t -> (int * Writeset.t) Storage.Wal.t
+val wal : t -> (int * int * Writeset.t) Storage.Wal.t
 (** Exposed for fsync/group statistics. The record is
-    [(version, writeset)]. *)
+    [(version, prev, writeset)] where [prev] is the version this replica
+    applied immediately before [version] — the chain recovery verifies. *)
 
 val reset_stats : t -> unit

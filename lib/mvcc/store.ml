@@ -39,13 +39,13 @@ let install t ~version ws =
     (Writeset.entries ws);
   t.version <- version
 
-(* Install a writeset whose global version is at or below the store's
-   current version: slot each write into its key's chain at the right
-   version position, so writes already overtaken by a newer committed
-   version do not clobber it. Used when a commit reply arrives behind the
-   remote-writeset stream (certifier failover re-answering a retried
-   request from its decided table). *)
-let backfill t ~version ws =
+(* Slot each write into its key's chain at the right version position,
+   without touching the store's visible version. Writes already overtaken
+   by a newer committed version do not clobber it; an entry already at
+   [version] wins (idempotent re-apply). This is the out-of-order install
+   half of parallel apply: rows land as workers finish, visibility advances
+   separately via {!force_version} once every lower version is in. *)
+let install_at t ~version ws =
   List.iter
     (fun { Writeset.key; op } ->
       let value =
@@ -54,8 +54,7 @@ let backfill t ~version ws =
         | Writeset.Delete -> None
       in
       let chain = Option.value ~default:[] (Key.Tbl.find_opt t.rows key) in
-      (* Chains are newest-first: insert in descending position; an entry
-         already at [version] wins (idempotent re-apply). *)
+      (* Chains are newest-first: insert in descending position. *)
       let rec ins = function
         | (v, _) :: _ as rest when v < version -> (version, value) :: rest
         | (v, _) :: _ as rest when v = version -> rest
@@ -63,7 +62,14 @@ let backfill t ~version ws =
         | [] -> [ (version, value) ]
       in
       Key.Tbl.replace t.rows key (ins chain))
-    (Writeset.entries ws);
+    (Writeset.entries ws)
+
+(* Install a writeset whose global version is at or below the store's
+   current version. Used when a commit reply arrives behind the
+   remote-writeset stream (certifier failover re-answering a retried
+   request from its decided table). *)
+let backfill t ~version ws =
+  install_at t ~version ws;
   t.version <- max t.version version
 
 let preload t key value = Key.Tbl.replace t.rows key [ (0, Some value) ]

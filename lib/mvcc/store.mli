@@ -29,6 +29,15 @@ val install : t -> version:int -> Writeset.t -> unit
 (** Commit a writeset, creating snapshot [version]. [version] must exceed
     {!current_version}; the store advances to it. *)
 
+val install_at : t -> version:int -> Writeset.t -> unit
+(** Slot a writeset's rows into their version chains at [version] without
+    touching {!current_version} — the out-of-order install half of parallel
+    apply. Rows land as apply workers finish (in any order); visibility is
+    published separately with {!force_version} once every lower version has
+    been installed, so snapshot reads never observe a gap. Idempotent for a
+    version already present in a chain; keys already overwritten by a newer
+    committed version keep the newer value. *)
+
 val backfill : t -> version:int -> Writeset.t -> unit
 (** Install a writeset at a version at or below {!current_version}: each
     write slots into its key's chain at the correct version position, and

@@ -29,14 +29,15 @@ let make_certs ?(n = 3) ?(seed = 11) () =
     { Net.Network.default_lan with latency_lo = Time.us 50; latency_hi = Time.us 50 }
   in
   let net = Net.Network.create engine ~rng:(Rng.split rng) ~config () in
+  let env =
+    Env.make ~engine ~rng ~net ~metrics:(Obs.Registry.create ())
+      ~trace:(Obs.Trace.disabled ()) ()
+  in
   let ids = List.init n (fun i -> Printf.sprintf "c%d" i) in
   let certs =
     List.map
       (fun id ->
-        ( id,
-          Certifier.create engine ~rng:(Rng.split rng) ~net ~id
-            ~peers:(List.filter (fun p -> p <> id) ids)
-            () ))
+        (id, Certifier.create env ~id ~peers:(List.filter (fun p -> p <> id) ids) ()))
       ids
   in
   let client_mb = Net.Network.register net "client" in

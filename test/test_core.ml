@@ -441,6 +441,104 @@ let test_consistency_checker_detects_corruption () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "checker must flag a corrupted replica"
 
+(* ------------------------------------------------------------------ *)
+(* Parallel apply: config validation and serial-equivalence seed sweep *)
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_cluster_config_validation () =
+  let expect_invalid name cfg =
+    match Cluster.create cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "zero replicas" (Cluster.config ~n_replicas:0 Types.Base);
+  expect_invalid "even certifiers" (Cluster.config ~n_certifiers:2 Types.Base);
+  expect_invalid "zero apply workers" (Cluster.config ~apply_workers:0 Types.Base);
+  expect_invalid "negative exec_cpu"
+    (Cluster.config
+       ~replica:{ (quick_replica Types.Base) with Replica.exec_cpu = Time.us (-5) }
+       Types.Base);
+  (* several problems are reported in one message naming each of them *)
+  match Cluster.create (Cluster.config ~n_replicas:0 ~apply_workers:0 Types.Base) with
+  | exception Invalid_argument msg ->
+      check_bool "message names both problems" true
+        (string_contains msg "n_replicas" && string_contains msg "apply_workers")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* Run a fixed conflict-free workload (each client owns one key, committing
+   serially) and return (total commits, sorted final key values). With no
+   conflicts the outcome is timing-independent, so the parallel applier must
+   reproduce the serial applier's result exactly. *)
+let parallel_equiv_run ~seed ~apply_workers =
+  let replica =
+    {
+      (quick_replica Types.Tashkent_mw) with
+      Replica.apply_workers;
+      apply_cpu_per_ws = Time.us 300;
+    }
+  in
+  let c = Cluster.create (Cluster.config ~n_replicas:3 ~replica ~seed Types.Tashkent_mw) in
+  let n_clients = 2 and n_txs = 4 in
+  let key_name i j = Printf.sprintf "r%dc%d" i j in
+  let rows =
+    List.concat
+      (List.init 3 (fun i ->
+           List.init n_clients (fun j -> (k "t" (key_name i j), vi 0))))
+  in
+  Cluster.load_all c rows;
+  Cluster.settle c;
+  let engine = Cluster.engine c in
+  let failures = ref 0 in
+  List.iteri
+    (fun i r ->
+      let p = Replica.proxy r in
+      for j = 0 to n_clients - 1 do
+        let key = k "t" (key_name i j) in
+        ignore
+          (Engine.spawn engine ~name:"client" (fun () ->
+               for t = 1 to n_txs do
+                 let tx = Proxy.begin_tx p in
+                 Replica.use_cpu r (Replica.config r).Replica.exec_cpu;
+                 match Proxy.write p tx key (upd t) with
+                 | Error _ ->
+                     Proxy.abort p tx;
+                     incr failures
+                 | Ok () -> (
+                     match Proxy.commit p tx with Ok () -> () | Error _ -> incr failures)
+               done))
+      done)
+    (Cluster.replicas c);
+  run_for c (Time.sec 10);
+  check_int "workload finished cleanly" 0 !failures;
+  check_consistent c;
+  let finals =
+    List.sort compare
+      (List.map
+         (fun (key, _) ->
+           ( Mvcc.Key.to_string key,
+             match Mvcc.Db.read_committed (Replica.db (Cluster.replica c 0)) key with
+             | Some v -> Mvcc.Value.as_int v
+             | None -> -1 ))
+         rows)
+  in
+  (Cluster.total_commits c, finals)
+
+let test_parallel_apply_matches_serial () =
+  List.iter
+    (fun seed ->
+      let commits1, finals1 = parallel_equiv_run ~seed ~apply_workers:1 in
+      let commits4, finals4 = parallel_equiv_run ~seed ~apply_workers:4 in
+      check_int (Printf.sprintf "seed %d: every tx committed" seed) 24 commits1;
+      check_int (Printf.sprintf "seed %d: same commits" seed) commits1 commits4;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "seed %d: same final values" seed)
+        finals1 finals4)
+    [ 3; 11; 42 ]
+
 (* Property: random non-conflicting and conflicting traffic across random
    modes keeps every replica a consistent prefix, and conflicting
    concurrent writers never both commit. *)
@@ -521,4 +619,10 @@ let suites =
           test_replica_crash_recover_mw_integrity_kept;
       ]
       @ [ QCheck_alcotest.to_alcotest prop_prefix_consistency_under_traffic ] );
+    ( "core.parallel_apply",
+      [
+        Alcotest.test_case "config validation" `Quick test_cluster_config_validation;
+        Alcotest.test_case "seed sweep matches serial applier" `Quick
+          test_parallel_apply_matches_serial;
+      ] );
   ]

@@ -139,7 +139,11 @@ let test_cert_client_timeout_failover () =
 (* Certifier unit behaviour through a real (1-node) instance *)
 
 let one_node_certifier ?(config = Certifier.default_config) engine net =
-  Certifier.create engine ~rng:(Rng.create 9) ~net ~id:"cert0" ~peers:[] ~config ()
+  let env =
+    Env.make ~engine ~rng:(Rng.create 9) ~net ~metrics:(Obs.Registry.create ())
+      ~trace:(Obs.Trace.disabled ()) ()
+  in
+  Certifier.create env ~id:"cert0" ~peers:[] ~config ()
 
 let certify_via engine net cert ~req_id ~start_version ~replica_version w =
   let reply = ref None in

@@ -373,6 +373,23 @@ let test_chaos_random_disk () =
     && r.fault.Fault.torn_crashes >= 1
     && r.fault.Fault.corrupt_tails >= 1)
 
+let test_chaos_parallel_apply_disk () =
+  (* Disk faults with four applier workers per replica: crashes land in the
+     middle of parallel applies, so recovery must come back to a consistent
+     prefix despite out-of-order WAL records (the chain-checked redo scan). *)
+  let config =
+    {
+      (Harness.Chaos_exp.default_config ()) with
+      plan = Harness.Chaos_exp.Random 7;
+      disk_faults = true;
+      apply_workers = 4;
+    }
+  in
+  let r = Harness.Chaos_exp.run ~config () in
+  chaos_ok "parallel-apply-disk-7" r;
+  check_bool "disk faults fired" true
+    (r.fault.Fault.disk_stalls >= 1 && r.fault.Fault.torn_crashes >= 1)
+
 let test_chaos_random_disk_renumber () =
   (* Regression for the version re-stamping of inherited entries: this seed
      makes a leader die with proposed-but-unacked entries while a later
@@ -413,5 +430,7 @@ let suites =
           test_chaos_random_disk;
         Alcotest.test_case "inherited-entry renumbering (seed 13)" `Quick
           test_chaos_random_disk_renumber;
+        Alcotest.test_case "parallel apply under disk faults" `Quick
+          test_chaos_parallel_apply_disk;
       ] );
   ]

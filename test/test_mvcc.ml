@@ -296,6 +296,38 @@ let test_commit_order_wrong_announce () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "expected rejection of out-of-order announce"
 
+let test_commit_order_complete_out_of_order () =
+  let e = Engine.create () in
+  let co = Commit_order.create e () in
+  for _ = 1 to 3 do
+    ignore (Commit_order.next_seq co)
+  done;
+  (* 3 and 2 finish first; the announced prefix stays closed at 0. *)
+  Commit_order.complete co 3;
+  Commit_order.complete co 2;
+  check_int "prefix held back" 0 (Commit_order.announced co);
+  (* 1 closes the run: the prefix advances through 1, 2 and 3 at once. *)
+  Commit_order.complete co 1;
+  check_int "contiguous run published" 3 (Commit_order.announced co);
+  (* duplicate completions of an already-published number are ignored *)
+  Commit_order.complete co 2;
+  check_int "duplicate ignored" 3 (Commit_order.announced co)
+
+let test_commit_order_complete_releases_waiters () =
+  let e = Engine.create () in
+  let co = Commit_order.create e () in
+  let reached = ref false in
+  ignore
+    (Engine.spawn e (fun () ->
+         Commit_order.wait_turn co 3;
+         reached := true));
+  Commit_order.complete co 2;
+  Engine.run e;
+  check_bool "blocked while 1 is outstanding" false !reached;
+  Commit_order.complete co 1;
+  Engine.run e;
+  check_bool "released once the prefix reaches 2" true !reached
+
 (* ------------------------------------------------------------------ *)
 (* Db *)
 
@@ -714,6 +746,87 @@ let test_db_periodic_durability_prefix () =
   Alcotest.check value_opt "first commit survives" (Some (vi 1))
     (Db.read_committed db (k "t" "a"))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel apply: out-of-order install, ordered publish (Apply_pool's
+   database substrate) *)
+
+let test_db_parallel_out_of_order_publish () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0); (k "t" "b", vi 0) ];
+  let seen_at_2 = ref (-1) in
+  ignore
+    (Engine.spawn e (fun () ->
+         (* Hold version 1 back so version 2's worker finishes first. *)
+         Engine.sleep e (Time.of_ms 30.);
+         ignore
+           (Db.apply_writeset_parallel db ~version:1 ~order:1
+              (Writeset.singleton (k "t" "a") (upd 1)))));
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore
+           (Db.apply_writeset_parallel db ~version:2 ~order:2
+              (Writeset.singleton (k "t" "b") (upd 2)));
+         seen_at_2 := Db.current_version db));
+  Engine.run e;
+  (* Version 2 finished first, but must not have been visible before the
+     prefix (version 1) closed. *)
+  check_int "publish barrier held" 0 !seen_at_2;
+  check_int "prefix closed, both published" 2 (Db.current_version db);
+  Alcotest.check value_opt "a at latest" (Some (vi 1)) (Db.read_committed db (k "t" "a"));
+  Alcotest.check value_opt "b at latest" (Some (vi 2)) (Db.read_committed db (k "t" "b"));
+  (* Snapshot at version 1 must not show version 2's row. *)
+  Alcotest.check value_opt "b invisible at snapshot 1" (Some (vi 0))
+    (Db.read_committed db ~at:1 (k "t" "b"))
+
+let test_db_parallel_recover_out_of_order_log () =
+  (* Both records are durable but were logged out of version order (2's
+     fsync completed before 1's). Recovery sorts by version, verifies the
+     redo chain, and reinstates everything. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0); (k "t" "b", vi 0) ];
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.sleep e (Time.of_ms 30.);
+         ignore
+           (Db.apply_writeset_parallel db ~version:1 ~order:1
+              (Writeset.singleton (k "t" "a") (upd 1)))));
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore
+           (Db.apply_writeset_parallel db ~version:2 ~order:2
+              (Writeset.singleton (k "t" "b") (upd 2)))));
+  Engine.run e;
+  Db.crash db;
+  let v = Db.recover db in
+  check_int "recovered through the reordered log" 2 v;
+  Alcotest.check value_opt "a recovered" (Some (vi 1)) (Db.read_committed db (k "t" "a"));
+  Alcotest.check value_opt "b recovered" (Some (vi 2)) (Db.read_committed db (k "t" "b"))
+
+let test_db_parallel_recover_truncates_at_gap () =
+  (* Version 2's record reaches the log but version 1's never does (its
+     worker was still stalled at the crash). The recovered state must be the
+     consistent prefix below the hole — version 2 cannot be kept without 1. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0); (k "t" "b", vi 0) ];
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore
+           (Db.apply_writeset_parallel db ~version:2 ~order:2
+              (Writeset.singleton (k "t" "b") (upd 2)))));
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.sleep e (Time.sec 5);
+         ignore
+           (Db.apply_writeset_parallel db ~version:1 ~order:1
+              (Writeset.singleton (k "t" "a") (upd 1)))));
+  Engine.run ~until:(Time.sec 1) e;
+  Db.crash db;
+  let v = Db.recover db in
+  check_int "orphan suffix truncated" 0 v;
+  Alcotest.check value_opt "b rolled back to the prefix" (Some (vi 0))
+    (Db.read_committed db (k "t" "b"));
+  Alcotest.check value_opt "a untouched" (Some (vi 0)) (Db.read_committed db (k "t" "a"))
+
 let test_db_restore_from_dump () =
   let e, db, _ = make_db () in
   Db.load db [ (k "t" "a", vi 0) ];
@@ -827,6 +940,10 @@ let suites =
         Alcotest.test_case "sequencing" `Quick test_commit_order_sequencing;
         Alcotest.test_case "abuse blocks forever" `Quick test_commit_order_abuse_blocks;
         Alcotest.test_case "wrong announce rejected" `Quick test_commit_order_wrong_announce;
+        Alcotest.test_case "complete publishes contiguous runs" `Quick
+          test_commit_order_complete_out_of_order;
+        Alcotest.test_case "complete releases waiters" `Quick
+          test_commit_order_complete_releases_waiters;
       ] );
     ( "mvcc.db",
       [
@@ -860,6 +977,12 @@ let suites =
           test_db_crash_asynchronous_loses_everything;
         Alcotest.test_case "periodic durability keeps prefix" `Quick
           test_db_periodic_durability_prefix;
+        Alcotest.test_case "parallel apply publishes in order" `Quick
+          test_db_parallel_out_of_order_publish;
+        Alcotest.test_case "parallel recovery replays reordered log" `Quick
+          test_db_parallel_recover_out_of_order_log;
+        Alcotest.test_case "parallel recovery truncates at a gap" `Quick
+          test_db_parallel_recover_truncates_at_gap;
         Alcotest.test_case "restore from dump" `Quick test_db_restore_from_dump;
         Alcotest.test_case "read-only commit is free" `Quick test_db_commit_readonly;
         Alcotest.test_case "vacuum prunes old versions" `Quick test_db_vacuum_prunes_versions;
