@@ -22,6 +22,7 @@ let workload_conv =
     | "allupdates" -> Ok Harness.Experiment.All_updates
     | "tpcb" | "tpc-b" -> Ok Harness.Experiment.Tpc_b
     | "tpcw" | "tpc-w" -> Ok Harness.Experiment.Tpc_w
+    | "hotkey" -> Ok Harness.Experiment.Hotkey
     | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
   in
   let print fmt w = Format.pp_print_string fmt (Harness.Experiment.workload_name w) in
@@ -50,7 +51,8 @@ let workload_t =
   Arg.(
     value
     & opt workload_conv Harness.Experiment.All_updates
-    & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"allupdates, tpcb or tpcw.")
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"allupdates, tpcb, tpcw or hotkey.")
 
 let io_t =
   Arg.(
@@ -82,8 +84,25 @@ let apply_workers_t =
            non-conflicting certified writesets apply concurrently behind a \
            dependency tracker; version visibility still advances in order.")
 
+let deltas_t =
+  Arg.(
+    value & flag
+    & info [ "deltas" ]
+        ~doc:
+          "Ship commutative increment (delta) ops where the workload supports \
+           them (hotkey's hot-row bump, TPC-B's balance updates). Delta-delta \
+           overlaps pass certification without conflicting; only a delta \
+           against a blind write aborts.")
+
+let skew_t =
+  Arg.(
+    value & opt float 0.99
+    & info [ "skew" ] ~docv:"THETA"
+        ~doc:"Zipfian exponent of the hotkey workload's key popularity.")
+
 let run_cmd =
-  let run system workload io n certifiers seconds abort_rate seed apply_workers =
+  let run system workload io n certifiers seconds abort_rate seed apply_workers
+      deltas skew =
     let cfg =
       {
         Harness.Experiment.system;
@@ -91,6 +110,8 @@ let run_cmd =
         n_replicas = n;
         n_certifiers = certifiers;
         workload;
+        deltas;
+        hot_skew = skew;
         abort_rate;
         eager_precert = true;
         group_remote_batches = true;
@@ -127,7 +148,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one measured experiment and print its metrics.")
     Term.(
       const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t $ seconds_t
-      $ abort_rate_t $ seed_t $ apply_workers_t)
+      $ abort_rate_t $ seed_t $ apply_workers_t $ deltas_t $ skew_t)
 
 let recovery_cmd =
   let run n seed =
@@ -178,7 +199,8 @@ let consistency_cmd =
     Term.(const run $ replicas_t $ seconds_t $ seed_t)
 
 let chaos_cmd =
-  let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms apply_workers =
+  let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms apply_workers
+      deltas =
     let plan =
       match plan_seed with
       | None ->
@@ -197,6 +219,7 @@ let chaos_cmd =
         disk_faults;
         fsync_stall = Sim.Time.of_ms fsync_stall_ms;
         apply_workers;
+        deltas;
       }
     in
     let r = Harness.Chaos_exp.run ~config () in
@@ -242,7 +265,7 @@ let chaos_cmd =
           after every heal; exits 1 on any violation.")
     Term.(
       const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t
-      $ disk_faults_t $ fsync_stall_t $ apply_workers_t)
+      $ disk_faults_t $ fsync_stall_t $ apply_workers_t $ deltas_t)
 
 let trace_cmd =
   let mode_conv =

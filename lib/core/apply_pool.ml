@@ -21,6 +21,14 @@ type handle = {
   mutable wait_span : Obs.Trace.span option;
 }
 
+(* Per-key in-flight writers. Delta writers ([Writeset.Add]) commute with
+   each other, so a key tracks the newest pending blind (final-image)
+   writer plus every pending delta writer since it: a new delta depends
+   only on the blind writer (all in-flight deltas can run concurrently
+   with it), while a new blind write depends on everything — the blind
+   writer and the whole delta set. *)
+type key_writers = { mutable blind : handle option; mutable deltas : handle list }
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -28,7 +36,7 @@ type t = {
   trace : Obs.Trace.t;
   queue : handle Mailbox.t;
   publish_queue : handle Mailbox.t;
-  index : handle Mvcc.Key.Tbl.t; (* key -> newest in-flight writer *)
+  index : key_writers Mvcc.Key.Tbl.t;
   mutable fibers : Engine.fiber list;
   (* Time-weighted exec concurrency: parallelism = ∫busy dt / ∫[busy>0] dt. *)
   mutable busy : int;
@@ -92,8 +100,15 @@ let publisher_loop t () =
        already took them over). *)
     Mvcc.Writeset.iter_keys h.ws (fun key ->
         match Mvcc.Key.Tbl.find_opt t.index key with
-        | Some h' when h' == h -> Mvcc.Key.Tbl.remove t.index key
-        | Some _ | None -> ());
+        | None -> ()
+        | Some w ->
+            (match w.blind with
+            | Some h' when h' == h -> w.blind <- None
+            | Some _ | None -> ());
+            w.deltas <- List.filter (fun h' -> not (h' == h)) w.deltas;
+            (match (w.blind, w.deltas) with
+            | None, [] -> Mvcc.Key.Tbl.remove t.index key
+            | _ -> ()));
     h.on_published ();
     Ivar.fill h.published ();
     loop ()
@@ -145,10 +160,16 @@ let create engine ~name ~workers ~metrics ~trace () =
 
 let submit t ~version ~ws ?trace_id ?(on_published = fun () -> ()) ~exec () =
   let deps = ref [] in
-  Mvcc.Writeset.iter_keys ws (fun key ->
+  let depend d = if not (List.memq d !deps) then deps := d :: !deps in
+  Mvcc.Writeset.iter_entries ws (fun key op ->
       match Mvcc.Key.Tbl.find_opt t.index key with
-      | Some d when not (List.memq d !deps) -> deps := d :: !deps
-      | Some _ | None -> ());
+      | None -> ()
+      | Some w ->
+          (* A delta commutes with all pending deltas on the key and only
+             waits for the pending blind writer (its read base). A blind
+             write pins a final value, so it waits for everything. *)
+          (match w.blind with Some d -> depend d | None -> ());
+          if not (Mvcc.Writeset.op_is_delta op) then List.iter depend w.deltas);
   let h =
     {
       version;
@@ -164,7 +185,22 @@ let submit t ~version ~ws ?trace_id ?(on_published = fun () -> ()) ~exec () =
          else None);
     }
   in
-  Mvcc.Writeset.iter_keys ws (fun key -> Mvcc.Key.Tbl.replace t.index key h);
+  Mvcc.Writeset.iter_entries ws (fun key op ->
+      let w =
+        match Mvcc.Key.Tbl.find_opt t.index key with
+        | Some w -> w
+        | None ->
+            let w = { blind = None; deltas = [] } in
+            Mvcc.Key.Tbl.add t.index key w;
+            w
+      in
+      if Mvcc.Writeset.op_is_delta op then w.deltas <- h :: w.deltas
+      else begin
+        (* The new blind writer supersedes every pending writer as the
+           dependency target for later submissions. *)
+        w.blind <- Some h;
+        w.deltas <- []
+      end);
   Stats.Counter.incr t.c_submitted;
   Mailbox.send t.queue h;
   Mailbox.send t.publish_queue h;

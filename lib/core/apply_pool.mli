@@ -10,6 +10,12 @@
     exactly as the paper's commit-order rule requires (§5.2: order enforced
     only where transactions conflict).
 
+    Commutative deltas ({!Mvcc.Writeset.Add}) relax the key-level
+    dependencies: delta writers of the same key do not wait on each other
+    (their store installs commute), only on the newest pending final-image
+    writer of that key; a final-image write still waits on every pending
+    writer of the key, blind or delta.
+
     Publication is decoupled from execution: a publisher fiber fires each
     item's [on_published] callback strictly in submission order, once every
     earlier item has executed. Callers pair this with

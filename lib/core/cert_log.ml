@@ -5,9 +5,13 @@ type slot = { entry : Types.entry; mutable certified_back_to : int }
 type t = {
   mutable slots : slot array;
   mutable size : int;
-  writers : int list ref Key.Tbl.t; (* key -> versions that wrote it, newest first *)
+  (* key -> (version, wrote-a-delta) pairs, newest first. The delta tag
+     lets certification skip commutative delta–delta overlaps without
+     fetching the logged writeset. *)
+  writers : (int * bool) list ref Key.Tbl.t;
   mutable bytes : int;
   mutable extra_scans : int;
+  mutable delta_skips : int;
 }
 
 let dummy_entry =
@@ -20,6 +24,7 @@ let create () =
     writers = Key.Tbl.create 1024;
     bytes = 0;
     extra_scans = 0;
+    delta_skips = 0;
   }
 
 let version t = t.size
@@ -46,27 +51,37 @@ let append t (entry : Types.entry) =
   t.slots.(t.size) <- { entry; certified_back_to = entry.version - 1 };
   t.size <- t.size + 1;
   t.bytes <- t.bytes + Types.entry_bytes entry;
-  Writeset.iter_keys entry.ws (fun key ->
+  Writeset.iter_entries entry.ws (fun key op ->
+      let tagged = (entry.version, Writeset.op_is_delta op) in
       match Key.Tbl.find_opt t.writers key with
-      | Some versions -> versions := entry.version :: !versions
-      | None -> Key.Tbl.replace t.writers key (ref [ entry.version ]))
+      | Some versions -> versions := tagged :: !versions
+      | None -> Key.Tbl.replace t.writers key (ref [ tagged ]))
 
 let conflict_in_window t ws ~lo ~hi =
   if hi <= lo then None
   else begin
     let best = ref None in
-    Writeset.iter_keys ws (fun key ->
+    Writeset.iter_entries ws (fun key op ->
+        let mine_delta = Writeset.op_is_delta op in
         match Key.Tbl.find_opt t.writers key with
         | None -> ()
         | Some versions ->
             let rec scan = function
               | [] -> ()
-              | v :: rest ->
+              | (v, writer_delta) :: rest ->
                   if v > hi then scan rest
                   else if v > lo then
-                    match !best with
-                    | Some b when b >= v -> ()
-                    | _ -> best := Some v
+                    if mine_delta && writer_delta then begin
+                      (* Commutative delta–delta overlap: not a conflict.
+                         Keep scanning — an older in-window blind write to
+                         the same key would still conflict. *)
+                      t.delta_skips <- t.delta_skips + 1;
+                      scan rest
+                    end
+                    else
+                      match !best with
+                      | Some b when b >= v -> ()
+                      | _ -> best := Some v
             in
             scan !versions);
     !best
@@ -98,3 +113,4 @@ let entries_between t ~lo ~hi =
 
 let bytes_total t = t.bytes
 let back_certifications t = t.extra_scans
+let delta_overlaps t = t.delta_skips

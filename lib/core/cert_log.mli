@@ -9,7 +9,14 @@
     Back-certification for Tashkent-API (§5.2.1) asks the same question on
     an arbitrary window and caches how far back each entry has been checked
     ([certified_back_to]), exactly as the paper describes, so repeated
-    responses to other replicas do not repeat the scan. *)
+    responses to other replicas do not repeat the scan.
+
+    Commutative deltas ({!Mvcc.Writeset.Add}) get a fast path: a key
+    overlap where both the logged writer and the candidate wrote deltas is
+    not a conflict — the increments commute and merge at apply time. Only
+    a final-image write on either side makes the overlap abort. The same
+    rule applies to back-certification windows: two delta writers need no
+    artificial ordering between them. *)
 
 type t
 
@@ -45,3 +52,7 @@ val bytes_total : t -> int
 
 val back_certifications : t -> int
 (** How many extra windows {!back_certify} actually scanned. *)
+
+val delta_overlaps : t -> int
+(** Cumulative count of key overlaps skipped because both sides were
+    commutative deltas — the certification fast path at work. *)

@@ -88,6 +88,12 @@ type t = {
   c_artificial : Stats.Counter.t;
   c_cert_batches : Stats.Counter.t;
   c_disk_failovers : Stats.Counter.t;
+  (* Certification outcome visibility: [cert.conflicts] counts requests
+     aborted on a real write–write overlap; [cert.delta_fastpath] counts
+     requests that passed only thanks to the commutative-delta rule (at
+     least one same-key overlap was skipped as delta–delta). *)
+  c_cert_conflicts : Stats.Counter.t;
+  c_delta_fastpath : Stats.Counter.t;
   cert_batch_sizes : Stats.Summary.t;
   (* The log and its back-certification scan counter survive reset_stats
      (they are state, not statistics), so windowed stats subtract a
@@ -144,7 +150,9 @@ let reply_commit t ~(req : Types.cert_request) ~version =
 
 let reply_abort t ~(req : Types.cert_request) ~cause =
   (match cause with
-  | Types.Ww_conflict -> Stats.Counter.incr t.c_aborts_ww
+  | Types.Ww_conflict ->
+      Stats.Counter.incr t.c_aborts_ww;
+      Stats.Counter.incr t.c_cert_conflicts
   | Types.Forced -> Stats.Counter.incr t.c_aborts_forced);
   send t ~dst:req.replica
     (Types.Cert_reply
@@ -198,6 +206,9 @@ let process_batch t (reqs : Types.cert_request list) =
               ()
           | None -> (
               Stats.Counter.incr t.c_requests;
+              let skips_before =
+                Cert_log.delta_overlaps t.clog + Overlay.delta_overlaps t.overlay
+              in
               let conflict =
                 match
                   Cert_log.certify t.clog req.writeset ~start_version:req.start_version
@@ -210,6 +221,10 @@ let process_batch t (reqs : Types.cert_request list) =
               match conflict with
               | Some _ -> reply_abort t ~req ~cause:Types.Ww_conflict
               | None ->
+                  if
+                    Cert_log.delta_overlaps t.clog + Overlay.delta_overlaps t.overlay
+                    > skips_before
+                  then Stats.Counter.incr t.c_delta_fastpath;
                   if t.forced_abort_rate > 0. && Rng.chance t.rng t.forced_abort_rate
                   then reply_abort t ~req ~cause:Types.Forced
                   else begin
@@ -489,6 +504,8 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
         c_artificial = counter "artificial_conflicts";
         c_cert_batches = counter "cert_batches";
         c_disk_failovers = counter "disk_failovers";
+        c_cert_conflicts = counter "cert.conflicts";
+        c_delta_fastpath = counter "cert.delta_fastpath";
         cert_batch_sizes =
           Obs.Registry.summary metrics ("certifier." ^ node_id ^ ".cert_batch_size");
         base_log_bytes = 0;

@@ -169,8 +169,14 @@ let check_consistency t =
                 in
                 if not same then
                   problems :=
-                    Printf.sprintf "%s: key %s diverges at version %d" (Replica.name r)
-                      (Mvcc.Key.to_string key) v
+                    Printf.sprintf "%s: key %s diverges at version %d (expected %s, actual %s)"
+                      (Replica.name r) (Mvcc.Key.to_string key) v
+                      (match expected with
+                      | Some x -> Format.asprintf "%a" Mvcc.Value.pp x
+                      | None -> "<none>")
+                      (match actual with
+                      | Some x -> Format.asprintf "%a" Mvcc.Value.pp x
+                      | None -> "<none>")
                     :: !problems
               in
               List.iter (fun (key, _) -> check key) t.initial_rows;

@@ -2,18 +2,23 @@ open Mvcc
 
 type t = {
   entries : (int, Types.entry) Hashtbl.t; (* version -> entry *)
-  writers : int list ref Key.Tbl.t; (* key -> versions that wrote it, newest first *)
+  (* key -> (version, wrote-a-delta) pairs, newest first (see Cert_log). *)
+  writers : (int * bool) list ref Key.Tbl.t;
+  mutable delta_skips : int;
 }
 
-let create () = { entries = Hashtbl.create 64; writers = Key.Tbl.create 256 }
+let create () =
+  { entries = Hashtbl.create 64; writers = Key.Tbl.create 256; delta_skips = 0 }
+
 let size t = Hashtbl.length t.entries
 
 let add t (entry : Types.entry) =
   Hashtbl.replace t.entries entry.version entry;
-  Writeset.iter_keys entry.ws (fun key ->
+  Writeset.iter_entries entry.ws (fun key op ->
+      let tagged = (entry.version, Writeset.op_is_delta op) in
       match Key.Tbl.find_opt t.writers key with
-      | Some versions -> versions := entry.version :: !versions
-      | None -> Key.Tbl.replace t.writers key (ref [ entry.version ]))
+      | Some versions -> versions := tagged :: !versions
+      | None -> Key.Tbl.replace t.writers key (ref [ tagged ]))
 
 let holds_request t ~origin ~req_id =
   Hashtbl.fold
@@ -23,16 +28,29 @@ let holds_request t ~origin ~req_id =
 
 let conflict t ws ~start_version =
   let best = ref None in
-  Writeset.iter_keys ws (fun key ->
+  Writeset.iter_entries ws (fun key op ->
+      let mine_delta = Writeset.op_is_delta op in
       match Key.Tbl.find_opt t.writers key with
       | None -> ()
-      | Some versions -> (
-          (* Newest first: the head is this key's largest writer, so one
-             comparison per key decides. *)
-          match !versions with
-          | v :: _ when v > start_version -> (
-              match !best with Some b when b >= v -> () | _ -> best := Some v)
-          | _ -> ()));
+      | Some versions ->
+          (* Newest first. A delta candidate must scan past in-flight delta
+             writers (they commute) down to the first blind writer still
+             above its snapshot; a blind candidate conflicts with the head
+             directly. *)
+          let rec scan = function
+            | [] -> ()
+            | (v, writer_delta) :: rest ->
+                if v > start_version then
+                  if mine_delta && writer_delta then begin
+                    t.delta_skips <- t.delta_skips + 1;
+                    scan rest
+                  end
+                  else
+                    match !best with
+                    | Some b when b >= v -> ()
+                    | _ -> best := Some v
+          in
+          scan !versions);
   !best
 
 let remove t version =
@@ -44,8 +62,10 @@ let remove t version =
           match Key.Tbl.find_opt t.writers key with
           | None -> ()
           | Some versions -> (
-              versions := List.filter (fun v -> v <> version) !versions;
+              versions := List.filter (fun (v, _) -> v <> version) !versions;
               match !versions with [] -> Key.Tbl.remove t.writers key | _ -> ()))
+
+let delta_overlaps t = t.delta_skips
 
 let clear t =
   Hashtbl.reset t.entries;

@@ -25,7 +25,13 @@ val holds_request : t -> origin:string -> req_id:int -> bool
 
 val conflict : t -> Mvcc.Writeset.t -> start_version:int -> int option
 (** Largest overlay version above [start_version] writing a key in the
-    writeset, if any. *)
+    writeset, if any. Overlaps where both the in-flight writer and the
+    candidate wrote commutative deltas ({!Mvcc.Writeset.Add}) are skipped,
+    matching {!Cert_log}'s delta fast path. *)
+
+val delta_overlaps : t -> int
+(** Cumulative count of key overlaps skipped because both sides were
+    commutative deltas. *)
 
 val remove : t -> int -> unit
 (** Drop the entry with this version: on delivery (it is now in the

@@ -96,6 +96,14 @@ type t = {
   c_promotions : Stats.Counter.t;
   c_preempted : Stats.Counter.t;
   c_invariant : Stats.Counter.t;
+  (* Per-reason abort breakdown ([proxy.<addr>.abort.*]): the coarse
+     cert/local split above stays for the stats record; these let the
+     registry snapshot answer *why* transactions aborted. *)
+  c_ab_cert_ww : Stats.Counter.t;
+  c_ab_cert_forced : Stats.Counter.t;
+  c_ab_local_ww : Stats.Counter.t;
+  c_ab_local_deadlock : Stats.Counter.t;
+  c_ab_local_preempted : Stats.Counter.t;
 }
 
 let addr t = t.address
@@ -153,21 +161,33 @@ let apply_one_serial t (r : Types.remote_ws) =
   Stats.Counter.incr t.c_applied;
   Stats.Counter.incr t.c_batches
 
+(* Batched grouping keeps one transaction / one fsync for the whole run of
+   fresh writesets, but installs each at its own certified version (see
+   {!Mvcc.Db.apply_writeset_batch} for why renaming versions is unsound). *)
+let rec apply_batch_certified t ~batch ~order =
+  match Mvcc.Db.apply_writeset_batch t.database ~batch ~order with
+  | Ok () -> ()
+  | Error (Mvcc.Db.Deadlock cycle) when t.cfg.soft_recovery ->
+      List.iter (fun txid -> Mvcc.Db.doom t.database txid) cycle;
+      apply_batch_certified t ~batch ~order
+  | Error reason ->
+      Stats.Counter.incr t.c_invariant;
+      Mvcc.Db.skip_order t.database order;
+      failwith
+        (Format.asprintf "proxy %s: certified writeset failed: %a" t.address
+           Mvcc.Db.pp_abort_reason reason)
+
 let apply_serial t remotes =
   match fresh_remotes t remotes with
   | [] -> ()
   | fresh when not t.cfg.group_remote_batches -> List.iter (apply_one_serial t) fresh
   | fresh ->
       let vmax = List.fold_left (fun a (r : Types.remote_ws) -> max a r.version) 0 fresh in
-      let merged =
-        List.fold_left
-          (fun acc (r : Types.remote_ws) -> Mvcc.Writeset.union acc r.ws)
-          Mvcc.Writeset.empty fresh
-      in
+      let batch = List.map (fun (r : Types.remote_ws) -> (r.version, r.ws)) fresh in
       t.rv <- vmax;
       charge_apply_cpu t fresh;
       let order = Mvcc.Db.next_order t.database in
-      apply_certified t ~version:vmax ~order merged;
+      apply_batch_certified t ~batch ~order;
       Stats.Counter.add t.c_applied (List.length fresh);
       Stats.Counter.incr t.c_batches
 
@@ -374,11 +394,26 @@ let begin_tx t =
   }
 let read t w_tx key = ignore t; Mvcc.Db.read w_tx.db_tx key
 
+let record_local_abort t (reason : Mvcc.Db.abort_reason) =
+  Stats.Counter.incr t.c_local_aborts;
+  Stats.Counter.incr
+    (match reason with
+    | Mvcc.Db.Ww_conflict _ -> t.c_ab_local_ww
+    | Mvcc.Db.Deadlock _ -> t.c_ab_local_deadlock
+    | Mvcc.Db.Preempted -> t.c_ab_local_preempted)
+
+let record_cert_abort t (cause : Types.abort_cause) =
+  Stats.Counter.incr t.c_cert_aborts;
+  Stats.Counter.incr
+    (match cause with
+    | Types.Ww_conflict -> t.c_ab_cert_ww
+    | Types.Forced -> t.c_ab_cert_forced)
+
 let write t w_tx key op =
   match Mvcc.Db.write w_tx.db_tx key op with
   | Ok () -> Ok ()
   | Error reason ->
-      Stats.Counter.incr t.c_local_aborts;
+      record_local_abort t reason;
       Error (Local_abort reason)
 
 let abort _t w_tx = Mvcc.Db.abort w_tx.db_tx
@@ -394,12 +429,12 @@ let commit t w_tx =
     match Mvcc.Db.is_doomed w_tx.db_tx with
     | Some reason ->
         Mvcc.Db.abort w_tx.db_tx;
-        Stats.Counter.incr t.c_local_aborts;
+        record_local_abort t reason;
         Error (Local_abort reason)
     | None ->
         if t.paused then begin
           Mvcc.Db.abort w_tx.db_tx;
-          Stats.Counter.incr t.c_local_aborts;
+          record_local_abort t Mvcc.Db.Preempted;
           Error (Local_abort Mvcc.Db.Preempted)
         end
         else begin
@@ -440,7 +475,7 @@ let commit t w_tx =
             match reply.decision with
             | Types.Abort cause ->
                 Mvcc.Db.abort w_tx.db_tx;
-                Stats.Counter.incr t.c_cert_aborts;
+                record_cert_abort t cause;
                 Error (Cert_abort cause)
             | Types.Commit ->
                 if t.journaling then
@@ -552,6 +587,11 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
       c_promotions = counter "local_cert_promotions";
       c_preempted = counter "preempted_commits";
       c_invariant = counter "invariant_violations";
+      c_ab_cert_ww = counter "abort.cert_ww";
+      c_ab_cert_forced = counter "abort.cert_forced";
+      c_ab_local_ww = counter "abort.local_ww";
+      c_ab_local_deadlock = counter "abort.local_deadlock";
+      c_ab_local_preempted = counter "abort.local_preempted";
     }
   in
   (* Reply dispatcher: long-lived, routes certifier messages to waiters. *)
@@ -624,6 +664,11 @@ let reset_stats t =
   Stats.Counter.reset t.c_commits;
   Stats.Counter.reset t.c_cert_aborts;
   Stats.Counter.reset t.c_local_aborts;
+  Stats.Counter.reset t.c_ab_cert_ww;
+  Stats.Counter.reset t.c_ab_cert_forced;
+  Stats.Counter.reset t.c_ab_local_ww;
+  Stats.Counter.reset t.c_ab_local_deadlock;
+  Stats.Counter.reset t.c_ab_local_preempted;
   Stats.Counter.reset t.c_ro_commits;
   Stats.Counter.reset t.c_applied;
   Stats.Counter.reset t.c_batches;

@@ -20,6 +20,7 @@ type config = {
   disk_faults : bool;
   fsync_stall : Time.t;
   apply_workers : int;
+  deltas : bool; (* TPC-B balance updates as commutative Add ops *)
 }
 
 let default_config () =
@@ -34,6 +35,7 @@ let default_config () =
     disk_faults = false;
     fsync_stall = Time.of_ms 600.;
     apply_workers = 1;
+    deltas = false;
   }
 
 type result = {
@@ -194,7 +196,7 @@ let check cluster engine violations =
   check_durability cluster violations stamp
 
 let run ?(config = default_config ()) () =
-  let spec = Workload.Tpcb.profile () in
+  let spec = Workload.Tpcb.profile ~deltas:config.deltas () in
   let engine = Engine.create () in
   let trace =
     if config.collect_trace then Obs.Trace.create engine else Obs.Trace.disabled ()

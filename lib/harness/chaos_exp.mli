@@ -38,6 +38,10 @@ type config = {
   apply_workers : int;
       (** parallel applier fibers per replica (default 1) — chaos with
           [> 1] exercises crash/recovery mid-parallel-apply *)
+  deltas : bool;
+      (** run TPC-B with commutative {!Mvcc.Writeset.Add} balance updates
+          (default off) — chaos with deltas exercises the certification
+          fast path and delta WAL replay through crashes and failovers *)
 }
 
 val default_config : unit -> config

@@ -1,16 +1,12 @@
 open Sim
 
-type workload_kind = All_updates | Tpc_b | Tpc_w
+type workload_kind = All_updates | Tpc_b | Tpc_w | Hotkey
 
 let workload_name = function
   | All_updates -> "allupdates"
   | Tpc_b -> "tpc-b"
   | Tpc_w -> "tpc-w"
-
-let spec_of = function
-  | All_updates -> Workload.Allupdates.profile ()
-  | Tpc_b -> Workload.Tpcb.profile ()
-  | Tpc_w -> Workload.Tpcw.profile ()
+  | Hotkey -> "hotkey"
 
 type system =
   | Standalone
@@ -28,6 +24,10 @@ type config = {
   n_replicas : int;
   n_certifiers : int;
   workload : workload_kind;
+  deltas : bool;
+      (* ship commutative Add ops where the workload supports them
+         (Hotkey's hot-row bump, TPC-B's balance updates) *)
+  hot_skew : float; (* Zipf θ for the Hotkey workload *)
   abort_rate : float;
   eager_precert : bool;
   group_remote_batches : bool;
@@ -45,6 +45,8 @@ let default =
     n_replicas = 3;
     n_certifiers = 3;
     workload = All_updates;
+    deltas = false;
+    hot_skew = 0.99;
     abort_rate = 0.;
     eager_precert = true;
     group_remote_batches = true;
@@ -54,6 +56,13 @@ let default =
     measure = Time.sec 20;
     trace = false;
   }
+
+let spec_of cfg =
+  match cfg.workload with
+  | All_updates -> Workload.Allupdates.profile ()
+  | Tpc_b -> Workload.Tpcb.profile ~deltas:cfg.deltas ()
+  | Tpc_w -> Workload.Tpcw.profile ()
+  | Hotkey -> Workload.Hotkey.profile ~skew:cfg.hot_skew ~deltas:cfg.deltas ()
 
 type result = {
   throughput : float;
@@ -95,7 +104,7 @@ let replica_config_of cfg (spec : Workload.Spec.t) mode =
   }
 
 let run_replicated cfg mode ~durable_cert =
-  let spec = spec_of cfg.workload in
+  let spec = spec_of cfg in
   let cluster_cfg =
     {
       Tashkent.Cluster.mode;
@@ -182,7 +191,7 @@ let run_replicated cfg mode ~durable_cert =
   }
 
 let run_standalone cfg =
-  let spec = spec_of cfg.workload in
+  let spec = spec_of cfg in
   let engine = Engine.create () in
   let rng = Rng.create cfg.seed in
   let cpu = Resource.create engine ~name:"standalone.cpu" ~capacity:1 () in

@@ -1,10 +1,9 @@
 (** One measured run: build a system, warm it up, measure a steady-state
     window, and report the metrics the paper plots. *)
 
-type workload_kind = All_updates | Tpc_b | Tpc_w
+type workload_kind = All_updates | Tpc_b | Tpc_w | Hotkey
 
 val workload_name : workload_kind -> string
-val spec_of : workload_kind -> Workload.Spec.t
 
 type system =
   | Standalone  (** a single unreplicated database (§9.2's control) *)
@@ -21,6 +20,11 @@ type config = {
   n_replicas : int;
   n_certifiers : int;
   workload : workload_kind;
+  deltas : bool;
+      (** ship commutative {!Mvcc.Writeset.Add} ops where the workload
+          supports them (Hotkey's hot-row bump, TPC-B's balance updates);
+          off = the blind read-modify-write baseline *)
+  hot_skew : float;  (** Zipf θ for the {!Hotkey} workload (default 0.99) *)
   abort_rate : float;  (** forced aborts at the certifier (§9.5) *)
   eager_precert : bool;  (** §8.2 eager pre-certification (ablation knob) *)
   group_remote_batches : bool;  (** §3 remote-writeset grouping (ablation knob) *)

@@ -275,11 +275,18 @@ let maybe_page_in t =
 let read tx key =
   maybe_page_in tx.db;
   (* Read-your-own-writes from the buffer first. *)
-  match
-    List.find_opt (fun e -> Key.equal e.Writeset.key key) (Writeset.entries tx.buffer)
-  with
-  | Some { op = Writeset.Insert v | Writeset.Update v; _ } -> Some v
-  | Some { op = Writeset.Delete; _ } -> None
+  match Writeset.find_op tx.buffer key with
+  | Some (Writeset.Insert v | Writeset.Update v) -> Some v
+  | Some Writeset.Delete -> None
+  | Some (Writeset.Add d) ->
+      (* A buffered delta folds onto the snapshot base (missing or
+         non-integer base counts as zero, as at apply time). *)
+      let base =
+        match Store.read tx.db.db_store ~at:tx.snapshot key with
+        | Some (Value.Int n) -> n
+        | Some (Value.Text _) | None -> 0
+      in
+      Some (Value.int (base + d))
   | None -> Store.read tx.db.db_store ~at:tx.snapshot key
 
 let park tx =
@@ -295,9 +302,21 @@ let rec write tx key op =
   | Doomed r -> fail tx r
   | Aborted | Committed | Committing -> invalid_arg "Db.write: transaction is finished"
   | Active -> (
-      (* First-updater-wins against already-committed concurrent writers. *)
-      if (not tx.remote) && Store.latest_writer tx.db.db_store key > tx.snapshot then
-        fail tx (Ww_conflict key)
+      (* First-updater-wins against already-committed concurrent writers. A
+         delta write only conflicts with a committed final image: committed
+         deltas past the snapshot commute with it, mirroring the
+         certifier's delta fast path so local and global certification
+         agree. *)
+      let committed_conflict =
+        (not tx.remote)
+        &&
+        match op with
+        | Writeset.Add _ ->
+            Store.latest_blind_writer tx.db.db_store key > tx.snapshot
+        | Writeset.Insert _ | Writeset.Update _ | Writeset.Delete ->
+            Store.latest_writer tx.db.db_store key > tx.snapshot
+      in
+      if committed_conflict then fail tx (Ww_conflict key)
       else
         match Locks.acquire tx.db.locks tx.id key with
         | Locks.Granted ->
@@ -314,7 +333,24 @@ let rec write tx key op =
               | Ok () -> write tx key op
               | Error r -> fail tx r
             in
-            if tx.remote && tx.db.cfg.remote_priority then begin
+            let holder_delta_on_key =
+              match Hashtbl.find_opt tx.db.active holder with
+              | Some htx -> (
+                  match Writeset.find_op htx.buffer key with
+                  | Some hop -> Writeset.op_is_delta hop
+                  | None -> false)
+              | None -> false
+            in
+            if tx.remote && Writeset.op_is_delta op && holder_delta_on_key then begin
+              (* Commutative bypass: a remote delta slots around a holder
+                 whose own write to this key is a delta, instead of evicting
+                 or queueing behind it. The symbolic store makes the two
+                 installs order-insensitive, and the holder's delta folds on
+                 top of this one when it commits. *)
+              tx.buffer <- Writeset.add tx.buffer key op;
+              Ok ()
+            end
+            else if tx.remote && tx.db.cfg.remote_priority then begin
               (* Priority write: evict an active holder and retry. A holder
                  already in its commit phase cannot be evicted — it will
                  release the lock when it announces, so queue behind it. *)
@@ -434,6 +470,73 @@ let apply_writeset t ~version ~order ws =
         | Error r -> Error r)
   in
   apply_entries (Writeset.entries ws)
+
+let finish_commit_batch tx ~batch ~order =
+  let t = tx.db in
+  charge_commit_cpu t;
+  (* One durable group for the whole batch: a redo record per version,
+     chained through the batch, one sync. *)
+  let records =
+    let prev = ref (min (Store.current_version t.db_store) (fst (List.hd batch) - 1)) in
+    List.map
+      (fun (version, ws) ->
+        let r = (version, !prev, ws) in
+        prev := version;
+        r)
+      batch
+  in
+  let bytes_of (_, _, ws) = max (Writeset.encoded_bytes ws) t.cfg.commit_record_bytes in
+  ignore (Storage.Wal.append_batch t.db_wal ~bytes_of records);
+  (match t.cfg.durability with
+  | Synchronous -> Storage.Wal.sync t.db_wal
+  | Asynchronous | Periodic _ -> ());
+  Commit_order.wait_turn t.order order;
+  List.iter
+    (fun (version, ws) ->
+      if version > Store.current_version t.db_store then
+        Store.install t.db_store ~version ws
+      else begin
+        Stats.Counter.incr t.backfill_count;
+        Store.backfill t.db_store ~version ws
+      end)
+    batch;
+  Commit_order.announce t.order order;
+  tx.state <- Committed;
+  release_locks tx;
+  Hashtbl.remove t.active tx.id;
+  Stats.Counter.incr t.commit_count;
+  schedule_writebacks t tx.buffer
+
+(* Apply a contiguous run of certified writesets as ONE local transaction —
+   the proxy's remote-batch grouping — while still slotting every
+   writeset's rows in at its own certified version. Installing the merged
+   union at the batch's top version would read the same at the head, but
+   it renames history: a delayed commit reply for one of the batched
+   versions (a certifier failover re-answering from its decided table)
+   would then backfill the same writeset beside its renamed copy instead
+   of landing on it idempotently — a harmless shadow for blind images, a
+   double count for commutative deltas. *)
+let apply_writeset_batch t ~batch ~order =
+  match List.sort (fun (a, _) (b, _) -> Int.compare a b) batch with
+  | [] ->
+      skip_order t order;
+      Ok ()
+  | batch ->
+      let merged =
+        List.fold_left (fun acc (_, ws) -> Writeset.union acc ws) Writeset.empty batch
+      in
+      let tx = begin_tx_internal t ~remote:true in
+      let rec apply_entries = function
+        | [] ->
+            tx.state <- Committing;
+            finish_commit_batch tx ~batch ~order;
+            Ok ()
+        | { Writeset.key; op } :: rest -> (
+            match write tx key op with
+            | Ok () -> apply_entries rest
+            | Error r -> Error r)
+      in
+      apply_entries (Writeset.entries merged)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel apply: out-of-order install, ordered publish.

@@ -152,6 +152,18 @@ val apply_writeset :
     must resolve the cycle and retry — with the {e same} [order], which is
     not consumed on failure (call {!skip_order} when giving up). *)
 
+val apply_writeset_batch :
+  t -> batch:(int * Writeset.t) list -> order:int -> (unit, abort_reason) result
+(** Apply a run of certified writesets — [(version, writeset)] pairs — as
+    one local transaction: locks are taken once over the union, the redo
+    records share one sync, but each writeset's rows are installed at its
+    own certified version. Keeping the versions faithful is what makes a
+    later duplicate delivery of any batched writeset (e.g. a delayed
+    commit reply backfilling after a certifier failover) land idempotently
+    instead of double-applying — which blind images shrug off but
+    commutative deltas would double count. Locking and failure behave like
+    {!apply_writeset}; an empty batch consumes [order] and succeeds. *)
+
 (** {1 Parallel apply: out-of-order install, ordered publish}
 
     The dependency-tracked parallel applier lets workers finish commits in

@@ -1,20 +1,48 @@
-(* Version chains are newest-first lists of (commit_version, value option);
-   [None] marks a deletion tombstone. *)
+(* Version chains are newest-first lists of (commit_version, cell). A
+   [Blind] cell is a final image ([None] marks a deletion tombstone); a
+   [Delta] cell records a commutative increment against whatever the chain
+   holds below it. Deltas are kept symbolic in the chain and folded at read
+   time: an out-of-order [install_at] of a delta then needs no re-
+   materialisation of its neighbours, so parallel apply reaches the same
+   chain — and the same reads — whatever order the workers land in. GC and
+   dump flatten delta runs back into blind images at the points where the
+   chain below them is cut. *)
 
-type chain = (int * Value.t option) list
+type cell = Blind of Value.t option | Delta of int
+
+type chain = (int * cell) list
 
 type t = { rows : chain Key.Tbl.t; mutable version : int }
 
 let create () = { rows = Key.Tbl.create 1024; version = 0 }
 let current_version t = t.version
 
+let cell_of_op = function
+  | Writeset.Insert v | Writeset.Update v -> Blind (Some v)
+  | Writeset.Delete -> Blind None
+  | Writeset.Add d -> Delta d
+
+(* Fold a chain suffix down to the value it denotes: accumulate deltas
+   until the first blind image (a non-integer or missing base counts as
+   zero once a delta has touched it). *)
+let rec fold_value acc saw_delta = function
+  | (_, Blind value) :: _ ->
+      if saw_delta then
+        let base = match value with Some (Value.Int n) -> n | _ -> 0 in
+        Some (Value.int (acc + base))
+      else value
+  | (_, Delta d) :: rest -> fold_value (acc + d) true rest
+  | [] -> if saw_delta then Some (Value.int acc) else None
+
 let read t ~at key =
   match Key.Tbl.find_opt t.rows key with
   | None -> None
-  | Some chain -> (
-      match List.find_opt (fun (v, _) -> v <= at) chain with
-      | Some (_, value) -> value
-      | None -> None)
+  | Some chain ->
+      let rec visible = function
+        | (v, _) :: rest when v > at -> visible rest
+        | suffix -> fold_value 0 false suffix
+      in
+      visible chain
 
 let read_latest t key = read t ~at:max_int key
 
@@ -23,19 +51,25 @@ let latest_writer t key =
   | None | Some [] -> 0
   | Some ((v, _) :: _) -> v
 
+let latest_blind_writer t key =
+  match Key.Tbl.find_opt t.rows key with
+  | None -> 0
+  | Some chain ->
+      let rec walk = function
+        | [] -> 0
+        | (v, Blind _) :: _ -> v
+        | (_, Delta _) :: rest -> walk rest
+      in
+      walk chain
+
 let install t ~version ws =
   if version <= t.version then
     invalid_arg
       (Printf.sprintf "Store.install: version %d not beyond current %d" version t.version);
   List.iter
     (fun { Writeset.key; op } ->
-      let value =
-        match op with
-        | Writeset.Insert v | Writeset.Update v -> Some v
-        | Writeset.Delete -> None
-      in
       let chain = Option.value ~default:[] (Key.Tbl.find_opt t.rows key) in
-      Key.Tbl.replace t.rows key ((version, value) :: chain))
+      Key.Tbl.replace t.rows key ((version, cell_of_op op) :: chain))
     (Writeset.entries ws);
   t.version <- version
 
@@ -44,22 +78,20 @@ let install t ~version ws =
    by a newer committed version do not clobber it; an entry already at
    [version] wins (idempotent re-apply). This is the out-of-order install
    half of parallel apply: rows land as workers finish, visibility advances
-   separately via {!force_version} once every lower version is in. *)
+   separately via {!force_version} once every lower version is in. Deltas
+   stay symbolic, so the chain (and every read) is independent of the
+   order in which concurrent delta installs arrive. *)
 let install_at t ~version ws =
   List.iter
     (fun { Writeset.key; op } ->
-      let value =
-        match op with
-        | Writeset.Insert v | Writeset.Update v -> Some v
-        | Writeset.Delete -> None
-      in
+      let cell = cell_of_op op in
       let chain = Option.value ~default:[] (Key.Tbl.find_opt t.rows key) in
       (* Chains are newest-first: insert in descending position. *)
       let rec ins = function
-        | (v, _) :: _ as rest when v < version -> (version, value) :: rest
+        | (v, _) :: _ as rest when v < version -> (version, cell) :: rest
         | (v, _) :: _ as rest when v = version -> rest
         | entry :: rest -> entry :: ins rest
-        | [] -> [ (version, value) ]
+        | [] -> [ (version, cell) ]
       in
       Key.Tbl.replace t.rows key (ins chain))
     (Writeset.entries ws)
@@ -72,7 +104,7 @@ let backfill t ~version ws =
   install_at t ~version ws;
   t.version <- max t.version version
 
-let preload t key value = Key.Tbl.replace t.rows key [ (0, Some value) ]
+let preload t key value = Key.Tbl.replace t.rows key [ (0, Blind (Some value)) ]
 let force_version t v = t.version <- v
 let row_count t = Key.Tbl.length t.rows
 
@@ -84,8 +116,13 @@ let estimated_bytes t =
     (fun key chain acc ->
       let per_version =
         List.fold_left
-          (fun a (_, v) ->
-            a + 16 + match v with Some v -> Value.encoded_bytes v | None -> 0)
+          (fun a (_, cell) ->
+            a + 16
+            +
+            match cell with
+            | Blind (Some v) -> Value.encoded_bytes v
+            | Blind None -> 0
+            | Delta _ -> 8)
           0 chain
       in
       acc + Key.encoded_bytes key + per_version)
@@ -97,18 +134,24 @@ let copy t =
     (fun key chain ->
       match chain with
       | [] -> ()
-      | (v, value) :: _ -> Key.Tbl.replace fresh.rows key [ (v, value) ])
+      | (v, _) :: _ ->
+          (* Flattening cuts the chain below the newest entry, so a delta
+             run at the head must be materialised first. *)
+          Key.Tbl.replace fresh.rows key [ (v, Blind (fold_value 0 false chain)) ])
     t.rows;
   fresh
 
 let gc t ~keep_after =
   let prune chain =
     (* Keep every version newer than [keep_after] plus the newest one at or
-       below it (still visible to snapshots in (keep_after, now]). *)
+       below it (still visible to snapshots in (keep_after, now]). The kept
+       boundary entry becomes the new bottom of the chain: materialise it
+       so delta runs above keep their base. *)
     let rec loop = function
       | [] -> []
-      | (v, value) :: rest ->
-          if v > keep_after then (v, value) :: loop rest else [ (v, value) ]
+      | ((v, _) :: _ as suffix) when v <= keep_after ->
+          [ (v, Blind (fold_value 0 false suffix)) ]
+      | entry :: rest -> entry :: loop rest
     in
     loop chain
   in
@@ -116,6 +159,18 @@ let gc t ~keep_after =
     Key.Tbl.fold (fun key chain acc -> (key, prune chain) :: acc) t.rows []
   in
   List.iter (fun (key, chain) -> Key.Tbl.replace t.rows key chain) updates
+
+let pp_chain fmt t key =
+  match Key.Tbl.find_opt t.rows key with
+  | None -> Format.fprintf fmt "<no chain>"
+  | Some chain ->
+      List.iter
+        (fun (v, cell) ->
+          match cell with
+          | Blind (Some value) -> Format.fprintf fmt "(%d,B%a)" v Value.pp value
+          | Blind None -> Format.fprintf fmt "(%d,Bdel)" v
+          | Delta d -> Format.fprintf fmt "(%d,D%+d)" v d)
+        chain
 
 let pp_stats fmt t =
   Format.fprintf fmt "store{version=%d rows=%d records=%d ~%dB}" t.version (row_count t)

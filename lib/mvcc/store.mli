@@ -4,7 +4,13 @@
     version that created them; a snapshot read at version [v] sees the
     newest version [<= v]. Versions need not be dense at a replica: a
     replica that applies a batched remote writeset jumps straight from,
-    say, version 0 to version 3 (paper §3, "grouping remote writesets"). *)
+    say, version 0 to version 3 (paper §3, "grouping remote writesets").
+
+    Commutative delta writes ({!Writeset.Add}) are kept symbolic in the
+    version chains and folded onto the nearest final image below them at
+    read time, so installing deltas out of order (parallel apply) yields
+    the same chain — and the same snapshot reads — as installing them in
+    version order. *)
 
 type t
 
@@ -24,6 +30,13 @@ val latest_writer : t -> Key.t -> int
 (** Commit version of the newest committed write to this key; 0 if never
     written. This is what the first-updater-wins check compares against a
     transaction's snapshot. *)
+
+val latest_blind_writer : t -> Key.t -> int
+(** Commit version of the newest committed {e final-image} write to this
+    key, skipping commutative delta entries; 0 if never written. A
+    delta-only transaction's first-updater-wins check compares against
+    this instead of {!latest_writer}: committed deltas commute with it and
+    must not abort it. *)
 
 val install : t -> version:int -> Writeset.t -> unit
 (** Commit a writeset, creating snapshot [version]. [version] must exceed
@@ -70,3 +83,7 @@ val gc : t -> keep_after:int -> unit
     [keep_after] (no active snapshot older than [keep_after] exists). *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+val pp_chain : Format.formatter -> t -> Key.t -> unit
+(** Debug view of one key's raw version chain, newest first: [(v,B<img>)]
+    for blind images, [(v,D<+d>)] for symbolic deltas. *)

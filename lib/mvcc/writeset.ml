@@ -1,6 +1,21 @@
-type op = Insert of Value.t | Update of Value.t | Delete
+type op = Insert of Value.t | Update of Value.t | Delete | Add of int
 
 type entry = { key : Key.t; op : op }
+
+let op_is_delta = function Add _ -> true | _ -> false
+
+(* Folding an [Add d] onto an earlier op on the same key. An earlier
+   final-image op absorbs the delta and stays a final image (the pair no
+   longer commutes with concurrent writers, which is exactly right: the
+   transaction pinned a concrete value). Only pure delta chains stay
+   deltas. A delta over a delete re-creates the row from a zero base. *)
+let fold_delta earlier d =
+  let base = function Value.Int n -> n | Value.Text _ -> 0 in
+  match earlier with
+  | Insert v -> Insert (Value.int (base v + d))
+  | Update v -> Update (Value.int (base v + d))
+  | Delete -> Update (Value.int d)
+  | Add d0 -> Add (d0 + d)
 
 (* Writesets are built incrementally while a transaction runs, then read
    many times on the certification and apply paths (every [intersects],
@@ -8,13 +23,14 @@ type entry = { key : Key.t; op : op }
    The write side is a plain prepend log — [add] is O(1) even when it
    supersedes an earlier op on the same key, because duplicates are kept
    and resolved at seal time. The read side is a lazily computed [sealed]
-   form: a first-write-ordered array of final entries plus a sorted key
-   array, so intersection is a linear merge walk and key iteration is
-   allocation-free. The seal is forced at most once per writeset value:
-   writesets are immutable once the transaction ships them. *)
+   form: a first-write-ordered array of final entries plus a key-sorted
+   array of the same entries, so intersection is a linear merge walk and
+   key iteration is allocation-free. The seal is forced at most once per
+   writeset value: writesets are immutable once the transaction ships
+   them. *)
 type sealed = {
   ordered : entry array; (* first-write order, final op per key *)
-  sorted_keys : Key.t array; (* ascending by Key.compare *)
+  sorted : entry array; (* same entries, ascending by Key.compare *)
 }
 
 type t = {
@@ -26,33 +42,38 @@ type t = {
 
 let seal rev_writes count =
   match rev_writes with
-  | [] -> { ordered = [||]; sorted_keys = [||] }
+  | [] -> { ordered = [||]; sorted = [||] }
   | e0 :: _ ->
       let ordered = Array.make count e0 in
       let slot = Key.Tbl.create (2 * count) in
       let next = ref 0 in
-      (* Oldest first: the first write of a key fixes its position, later
-         writes overwrite the op in place. *)
+      (* Oldest first: the first write of a key fixes its position. A later
+         final-image op overwrites the op in place; a later delta folds
+         onto whatever is already there. *)
       List.iter
         (fun e ->
           match Key.Tbl.find_opt slot e.key with
-          | Some i -> ordered.(i) <- e
+          | Some i ->
+              ordered.(i) <-
+                (match e.op with
+                | Add d -> { key = e.key; op = fold_delta ordered.(i).op d }
+                | _ -> e)
           | None ->
               let i = !next in
               incr next;
               Key.Tbl.replace slot e.key i;
               ordered.(i) <- e)
         (List.rev rev_writes);
-      let sorted_keys = Array.map (fun e -> e.key) ordered in
-      Array.sort Key.compare sorted_keys;
-      { ordered; sorted_keys }
+      let sorted = Array.copy ordered in
+      Array.sort (fun a b -> Key.compare a.key b.key) sorted;
+      { ordered; sorted }
 
 let empty =
   {
     rev_writes = [];
     count = 0;
     keyset = Key.Set.empty;
-    sealed = lazy { ordered = [||]; sorted_keys = [||] };
+    sealed = lazy { ordered = [||]; sorted = [||] };
   }
 
 let is_empty t = t.count = 0
@@ -74,18 +95,41 @@ let keys t =
   Array.fold_right (fun e acc -> e.key :: acc) (Lazy.force t.sealed).ordered []
 
 let iter_keys t f = Array.iter (fun e -> f e.key) (Lazy.force t.sealed).ordered
+
+let iter_entries t f =
+  Array.iter (fun e -> f e.key e.op) (Lazy.force t.sealed).ordered
+
 let mem t key = Key.Set.mem key t.keyset
+
+let find_op t key =
+  if not (Key.Set.mem key t.keyset) then None
+  else begin
+    let sorted = (Lazy.force t.sealed).sorted in
+    let rec search lo hi =
+      if lo > hi then None
+      else
+        let mid = (lo + hi) / 2 in
+        let c = Key.compare key sorted.(mid).key in
+        if c = 0 then Some sorted.(mid).op
+        else if c < 0 then search lo (mid - 1)
+        else search (mid + 1) hi
+    in
+    search 0 (Array.length sorted - 1)
+  end
+
+let all_deltas t =
+  Array.for_all (fun e -> op_is_delta e.op) (Lazy.force t.sealed).ordered
 
 let intersects a b =
   if a.count = 0 || b.count = 0 then false
   else begin
-    let ka = (Lazy.force a.sealed).sorted_keys in
-    let kb = (Lazy.force b.sealed).sorted_keys in
+    let ka = (Lazy.force a.sealed).sorted in
+    let kb = (Lazy.force b.sealed).sorted in
     let la = Array.length ka and lb = Array.length kb in
     let rec walk i j =
       if i >= la || j >= lb then false
       else
-        let c = Key.compare ka.(i) kb.(j) in
+        let c = Key.compare ka.(i).key kb.(j).key in
         if c = 0 then true else if c < 0 then walk (i + 1) j else walk i (j + 1)
     in
     walk 0 0
@@ -94,14 +138,14 @@ let intersects a b =
 let inter_keys a b =
   if a.count = 0 || b.count = 0 then []
   else begin
-    let ka = (Lazy.force a.sealed).sorted_keys in
-    let kb = (Lazy.force b.sealed).sorted_keys in
+    let ka = (Lazy.force a.sealed).sorted in
+    let kb = (Lazy.force b.sealed).sorted in
     let la = Array.length ka and lb = Array.length kb in
     let rec walk i j acc =
       if i >= la || j >= lb then List.rev acc
       else
-        let c = Key.compare ka.(i) kb.(j) in
-        if c = 0 then walk (i + 1) (j + 1) (ka.(i) :: acc)
+        let c = Key.compare ka.(i).key kb.(j).key in
+        if c = 0 then walk (i + 1) (j + 1) (ka.(i).key :: acc)
         else if c < 0 then walk (i + 1) j acc
         else walk i (j + 1) acc
     in
@@ -116,6 +160,7 @@ let union earlier later =
 let op_bytes = function
   | Insert v | Update v -> 1 + Value.encoded_bytes v
   | Delete -> 1
+  | Add _ -> 1 + 8
 
 let encoded_bytes t =
   Array.fold_left
@@ -127,6 +172,7 @@ let pp_op fmt = function
   | Insert v -> Format.fprintf fmt "ins %a" Value.pp v
   | Update v -> Format.fprintf fmt "upd %a" Value.pp v
   | Delete -> Format.pp_print_string fmt "del"
+  | Add d -> Format.fprintf fmt "add %+d" d
 
 let pp fmt t =
   Format.fprintf fmt "{%a}"

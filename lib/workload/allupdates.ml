@@ -9,6 +9,7 @@ let profile ?(clients_per_replica = 10) () =
   {
     Spec.name = "allupdates";
     clients_per_replica;
+    skew = 0.;
     think_time = Time.zero;
     exec_cpu = (fun _ -> Time.of_ms 1.65);
     page_read_miss = 0.;

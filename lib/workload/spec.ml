@@ -13,6 +13,7 @@ type tx_body = { kind : kind; run : txctx -> unit }
 type t = {
   name : string;
   clients_per_replica : int;
+  skew : float;
   think_time : Sim.Time.t;
   exec_cpu : Sim.Rng.t -> Sim.Time.t;
   page_read_miss : float;

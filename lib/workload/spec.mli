@@ -20,6 +20,10 @@ type tx_body = { kind : kind; run : txctx -> unit }
 type t = {
   name : string;
   clients_per_replica : int;
+  skew : float;
+      (** Zipfian exponent θ of the workload's key-popularity distribution;
+          0.0 for the uniform-access profiles. Purely descriptive for the
+          harness — the profile's [new_tx] already bakes the skew in. *)
   think_time : Sim.Time.t;
   exec_cpu : Sim.Rng.t -> Sim.Time.t;
       (** CPU service demand of one transaction, drawn per transaction *)

@@ -14,7 +14,8 @@ let history_key ~replica_ix ~client n =
 let history_payload = String.make 64 'h'
 
 let profile ?(clients_per_replica = 10) ?(branches_per_replica = 10)
-    ?(accounts_per_branch = 1_000) ?(remote_branch_fraction = 0.15) () =
+    ?(accounts_per_branch = 1_000) ?(remote_branch_fraction = 0.15)
+    ?(deltas = false) () =
   let history_counters = Hashtbl.create 64 in
   let next_history ~replica_ix ~client =
     let key = (replica_ix, client) in
@@ -25,6 +26,7 @@ let profile ?(clients_per_replica = 10) ?(branches_per_replica = 10)
   {
     Spec.name = "tpcb";
     clients_per_replica;
+    skew = 0.;
     think_time = Time.zero;
     exec_cpu = (fun _ -> Time.of_ms 4.0);
     page_read_miss = 0.06;
@@ -68,12 +70,19 @@ let profile ?(clients_per_replica = 10) ?(branches_per_replica = 10)
           run =
             (fun ctx ->
               let bump key =
-                let current =
-                  match ctx.Spec.read key with
-                  | Some v -> Mvcc.Value.as_int v
-                  | None -> 0
-                in
-                ctx.Spec.write key (Mvcc.Writeset.Update (Mvcc.Value.int (current + delta)))
+                if deltas then
+                  (* Balance updates are pure increments: ship them as
+                     commutative deltas so concurrent bumps of the same
+                     branch/teller row certify without conflicting. *)
+                  ctx.Spec.write key (Mvcc.Writeset.Add delta)
+                else
+                  let current =
+                    match ctx.Spec.read key with
+                    | Some v -> Mvcc.Value.as_int v
+                    | None -> 0
+                  in
+                  ctx.Spec.write key
+                    (Mvcc.Writeset.Update (Mvcc.Value.int (current + delta)))
               in
               bump (account_key branch account);
               bump (teller_key branch teller);

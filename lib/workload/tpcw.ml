@@ -28,6 +28,7 @@ let profile ?(clients_per_replica = 5) ?(items = 10_000) () =
   {
     Spec.name = "tpcw";
     clients_per_replica;
+    skew = 0.;
     think_time = Time.of_ms 100.;
     exec_cpu =
       (fun rng ->

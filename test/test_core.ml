@@ -63,6 +63,41 @@ let test_cert_log_back_certify () =
   ignore (Cert_log.back_certify log ~version:2 ~down_to:0);
   check_int "memoised" scans (Cert_log.back_certifications log)
 
+let test_cert_log_delta_fast_path () =
+  let add key d = Mvcc.Writeset.singleton key (Mvcc.Writeset.Add d) in
+  let log = Cert_log.create () in
+  Cert_log.append log (entry 1 "r0" 1 (add (k "t" "a") 1));
+  Cert_log.append log (entry 2 "r1" 2 (add (k "t" "a") 2));
+  (* delta vs committed deltas: both overlaps are skipped, no conflict *)
+  let skips0 = Cert_log.delta_overlaps log in
+  Alcotest.(check (option int)) "delta certifies over deltas" None
+    (Cert_log.certify log (add (k "t" "a") 5) ~start_version:0);
+  check_bool "fast-path skips counted" true (Cert_log.delta_overlaps log > skips0);
+  (* a blind write of the same key conflicts with the committed deltas *)
+  Alcotest.(check (option int)) "blind write conflicts" (Some 2)
+    (Cert_log.certify log (ws1 (k "t" "a") 9) ~start_version:0);
+  (* and a delta conflicts with a committed blind write below the deltas *)
+  Cert_log.append log (entry 3 "r0" 3 (ws1 (k "t" "a") 9));
+  Cert_log.append log (entry 4 "r1" 4 (add (k "t" "a") 1));
+  Alcotest.(check (option int)) "delta finds the blind write under a delta" (Some 3)
+    (Cert_log.certify log (add (k "t" "a") 5) ~start_version:0);
+  Alcotest.(check (option int)) "delta started after the blind write passes" None
+    (Cert_log.certify log (add (k "t" "a") 5) ~start_version:3)
+
+let test_overlay_delta_fast_path () =
+  let add key d = Mvcc.Writeset.singleton key (Mvcc.Writeset.Add d) in
+  let o = Overlay.create () in
+  Overlay.add o (entry 5 "r0" 1 (add (k "t" "a") 1));
+  Alcotest.(check (option int)) "delta passes an uncertified delta" None
+    (Overlay.conflict o (add (k "t" "a") 2) ~start_version:0);
+  check_bool "skip counted" true (Overlay.delta_overlaps o > 0);
+  Alcotest.(check (option int)) "blind write conflicts with it" (Some 5)
+    (Overlay.conflict o (ws1 (k "t" "a") 9) ~start_version:0);
+  Overlay.add o (entry 6 "r1" 2 (ws1 (k "t" "b") 9));
+  Alcotest.(check (option int)) "delta conflicts with an uncertified blind write"
+    (Some 6)
+    (Overlay.conflict o (add (k "t" "b") 2) ~start_version:0)
+
 (* ------------------------------------------------------------------ *)
 (* Cluster helpers *)
 
@@ -539,6 +574,76 @@ let test_parallel_apply_matches_serial () =
         finals1 finals4)
     [ 3; 11; 42 ]
 
+(* Hot-key delta traffic: every replica's clients increment the same two hot
+   rows with commutative deltas. Certification passes every writeset (the
+   delta fast path), remote deltas commute around local delta holders instead
+   of preempting them, and the symbolic store folds the increments in any
+   install order — so every transaction commits and the final sums are
+   timing-independent. The parallel applier must reproduce the serial
+   applier's commit count and final values exactly, per seed. *)
+let hotkey_equiv_run ~seed ~apply_workers =
+  let replica =
+    {
+      (quick_replica Types.Tashkent_mw) with
+      Replica.apply_workers;
+      apply_cpu_per_ws = Time.us 300;
+    }
+  in
+  let c =
+    Cluster.create (Cluster.config ~n_replicas:3 ~replica ~seed Types.Tashkent_mw)
+  in
+  let hot_keys = [ k "hot" "0"; k "hot" "1" ] in
+  Cluster.load_all c (List.map (fun key -> (key, vi 0)) hot_keys);
+  Cluster.settle c;
+  let engine = Cluster.engine c in
+  let failures = ref 0 in
+  let n_txs = 4 in
+  List.iteri
+    (fun i r ->
+      let p = Replica.proxy r in
+      List.iteri
+        (fun j key ->
+          ignore
+            (Engine.spawn engine ~name:"client" (fun () ->
+                 for t = 1 to n_txs do
+                   let tx = Proxy.begin_tx p in
+                   Replica.use_cpu r (Replica.config r).Replica.exec_cpu;
+                   match
+                     Proxy.write p tx key (Mvcc.Writeset.Add ((100 * i) + (10 * j) + t))
+                   with
+                   | Error _ ->
+                       Proxy.abort p tx;
+                       incr failures
+                   | Ok () -> (
+                       match Proxy.commit p tx with Ok () -> () | Error _ -> incr failures)
+                 done)))
+        hot_keys)
+    (Cluster.replicas c);
+  run_for c (Time.sec 10);
+  check_int "every hot-key delta committed" 0 !failures;
+  check_consistent c;
+  let finals =
+    List.map
+      (fun key ->
+        match Mvcc.Db.read_committed (Replica.db (Cluster.replica c 0)) key with
+        | Some v -> Mvcc.Value.as_int v
+        | None -> -1)
+      hot_keys
+  in
+  (Cluster.total_commits c, finals)
+
+let test_hotkey_deltas_match_across_workers () =
+  List.iter
+    (fun seed ->
+      let commits1, finals1 = hotkey_equiv_run ~seed ~apply_workers:1 in
+      let commits4, finals4 = hotkey_equiv_run ~seed ~apply_workers:4 in
+      check_int (Printf.sprintf "seed %d: every tx committed" seed) 24 commits1;
+      check_int (Printf.sprintf "seed %d: same commits" seed) commits1 commits4;
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: same final sums" seed)
+        finals1 finals4)
+    [ 3; 11; 42 ]
+
 (* Property: random non-conflicting and conflicting traffic across random
    modes keeps every replica a consistent prefix, and conflicting
    concurrent writers never both commit. *)
@@ -578,6 +683,8 @@ let suites =
         Alcotest.test_case "append and certify" `Quick test_cert_log_append_and_certify;
         Alcotest.test_case "entries_between" `Quick test_cert_log_entries_between;
         Alcotest.test_case "back-certification memoised" `Quick test_cert_log_back_certify;
+        Alcotest.test_case "delta fast path" `Quick test_cert_log_delta_fast_path;
+        Alcotest.test_case "overlay delta fast path" `Quick test_overlay_delta_fast_path;
       ] );
     ( "core.end_to_end",
       [
@@ -624,5 +731,7 @@ let suites =
         Alcotest.test_case "config validation" `Quick test_cluster_config_validation;
         Alcotest.test_case "seed sweep matches serial applier" `Quick
           test_parallel_apply_matches_serial;
+        Alcotest.test_case "hot-key deltas match across worker counts" `Quick
+          test_hotkey_deltas_match_across_workers;
       ] );
   ]

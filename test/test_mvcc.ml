@@ -75,6 +75,75 @@ let test_writeset_encoded_bytes () =
   check_int "size" 29 (Writeset.encoded_bytes ws);
   check_int "empty size" 8 (Writeset.encoded_bytes Writeset.empty)
 
+let test_writeset_delta_fold () =
+  let ws =
+    Writeset.of_list
+      [
+        (k "t" "sum", Writeset.Add 2); (k "t" "sum", Writeset.Add 3);
+        (k "t" "img", upd 10); (k "t" "img", Writeset.Add 5);
+        (k "t" "pin", Writeset.Add 9); (k "t" "pin", upd 1);
+        (k "t" "dead", Writeset.Delete); (k "t" "dead", Writeset.Add 4);
+        (k "t" "ins", Writeset.Insert (vi 7)); (k "t" "ins", Writeset.Add 1);
+      ]
+  in
+  let op key =
+    match Writeset.find_op ws key with
+    | Some op -> op
+    | None -> Alcotest.fail ("missing op for " ^ Key.to_string key)
+  in
+  (match op (k "t" "sum") with
+  | Writeset.Add 5 -> ()
+  | _ -> Alcotest.fail "delta after delta must sum");
+  (match op (k "t" "img") with
+  | Writeset.Update v -> check_int "delta folds onto image" 15 (Value.as_int v)
+  | _ -> Alcotest.fail "expected update for img");
+  (match op (k "t" "pin") with
+  | Writeset.Update v -> check_int "image replaces delta" 1 (Value.as_int v)
+  | _ -> Alcotest.fail "expected update for pin");
+  (match op (k "t" "dead") with
+  | Writeset.Update v ->
+      check_int "delete then delta re-creates from zero" 4 (Value.as_int v)
+  | _ -> Alcotest.fail "expected update for dead");
+  (match op (k "t" "ins") with
+  | Writeset.Insert v -> check_int "delta folds onto insert" 8 (Value.as_int v)
+  | _ -> Alcotest.fail "expected insert for ins");
+  check_bool "mixed set is not all deltas" false (Writeset.all_deltas ws);
+  check_bool "pure delta set is" true
+    (Writeset.all_deltas (Writeset.singleton (k "t" "sum") (Writeset.Add 1)));
+  check_bool "empty is vacuously all deltas" true (Writeset.all_deltas Writeset.empty);
+  check_bool "Add is a delta" true (Writeset.op_is_delta (Writeset.Add 1));
+  check_bool "Update is not" false (Writeset.op_is_delta (upd 1))
+
+let test_writeset_delta_union () =
+  let a = Writeset.of_list [ (k "t" "x", upd 10); (k "t" "y", Writeset.Add 2) ] in
+  let b =
+    Writeset.of_list
+      [ (k "t" "x", Writeset.Add 5); (k "t" "y", Writeset.Add 3); (k "t" "z", upd 1) ]
+  in
+  let u = Writeset.union a b in
+  check_int "union size" 3 (Writeset.cardinal u);
+  (match Writeset.find_op u (k "t" "x") with
+  | Some (Writeset.Update v) ->
+      check_int "later delta folds onto earlier image" 15 (Value.as_int v)
+  | _ -> Alcotest.fail "expected update for x");
+  match Writeset.find_op u (k "t" "y") with
+  | Some (Writeset.Add 5) -> ()
+  | _ -> Alcotest.fail "deltas must sum across union"
+
+let test_writeset_delta_encoded_bytes () =
+  (* A delta entry is 1 tag + 8 increment on the wire, same as a final
+     integer image — and the legacy blind-write sizes (the paper's
+     54/158/275 B workload averages) are untouched by the new op. *)
+  check_int "delta entry size" 29
+    (Writeset.encoded_bytes
+       (Writeset.singleton (k "accounts" "42") (Writeset.Add 7)));
+  check_int "blind size unchanged" 29
+    (Writeset.encoded_bytes (Writeset.singleton (k "accounts" "42") (upd 7)));
+  check_int "image + delta on one key stays one entry" 29
+    (Writeset.encoded_bytes
+       (Writeset.of_list
+          [ (k "accounts" "42", upd 1); (k "accounts" "42", Writeset.Add 6) ]))
+
 let writeset_gen =
   let open QCheck in
   let key_gen = Gen.map (fun i -> k "t" (string_of_int i)) (Gen.int_bound 20) in
@@ -84,6 +153,7 @@ let writeset_gen =
         Gen.map (fun n -> Writeset.Insert (vi n)) Gen.small_int;
         Gen.map (fun n -> upd n) Gen.small_int;
         Gen.return Writeset.Delete;
+        Gen.map (fun n -> Writeset.Add n) Gen.small_int;
       ]
   in
   make
@@ -173,6 +243,72 @@ let test_store_gc () =
     (Store.read s ~at:9 (k "t" "a"));
   Alcotest.check value_opt "read at 8 sees anchor" (Some (vi 8))
     (Store.read s ~at:8 (k "t" "a"))
+
+let test_store_delta_reads () =
+  let s = Store.create () in
+  Store.preload s (k "t" "a") (vi 10);
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (Writeset.Add 5));
+  Store.install s ~version:2 (Writeset.singleton (k "t" "a") (Writeset.Add 7));
+  Alcotest.check value_opt "base" (Some (vi 10)) (Store.read s ~at:0 (k "t" "a"));
+  Alcotest.check value_opt "one delta" (Some (vi 15)) (Store.read s ~at:1 (k "t" "a"));
+  Alcotest.check value_opt "two deltas" (Some (vi 22)) (Store.read s ~at:2 (k "t" "a"));
+  check_int "latest_writer sees deltas" 2 (Store.latest_writer s (k "t" "a"));
+  check_int "latest_blind_writer skips them" 0 (Store.latest_blind_writer s (k "t" "a"));
+  Store.install s ~version:3 (Writeset.singleton (k "t" "a") (upd 100));
+  Store.install s ~version:4 (Writeset.singleton (k "t" "a") (Writeset.Add 1));
+  Alcotest.check value_opt "delta over the new image" (Some (vi 101))
+    (Store.read s ~at:4 (k "t" "a"));
+  check_int "blind writer found" 3 (Store.latest_blind_writer s (k "t" "a"));
+  (* a delta with no image below folds from a zero base *)
+  Store.install s ~version:5 (Writeset.singleton (k "t" "fresh") (Writeset.Add 3));
+  Alcotest.check value_opt "zero base" (Some (vi 3)) (Store.read s ~at:5 (k "t" "fresh"))
+
+let test_store_delta_out_of_order_install () =
+  (* Parallel apply slots deltas into the chains in worker-finish order; the
+     symbolic representation makes the chain — and every snapshot read —
+     identical whichever order they land in. *)
+  let build order =
+    let s = Store.create () in
+    Store.install s ~version:3 (Writeset.singleton (k "t" "a") (upd 10));
+    List.iter
+      (fun (v, d) ->
+        Store.install_at s ~version:v (Writeset.singleton (k "t" "a") (Writeset.Add d)))
+      order;
+    Store.force_version s 5;
+    s
+  in
+  let check_reads name s =
+    Alcotest.check value_opt (name ^ ": at 3") (Some (vi 10)) (Store.read s ~at:3 (k "t" "a"));
+    Alcotest.check value_opt (name ^ ": at 4") (Some (vi 12)) (Store.read s ~at:4 (k "t" "a"));
+    Alcotest.check value_opt (name ^ ": at 5") (Some (vi 15)) (Store.read s ~at:5 (k "t" "a"))
+  in
+  check_reads "in order" (build [ (4, 2); (5, 3) ]);
+  check_reads "out of order" (build [ (5, 3); (4, 2) ])
+
+let test_store_gc_materializes_delta_base () =
+  let s = Store.create () in
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (upd 100));
+  for v = 2 to 6 do
+    Store.install s ~version:v (Writeset.singleton (k "t" "a") (Writeset.Add 1))
+  done;
+  Store.gc s ~keep_after:4;
+  check_int "pruned to recent + anchor" 3 (Store.version_records s);
+  (* the boundary entry was materialized so the surviving deltas keep a base *)
+  Alcotest.check value_opt "anchor folds the dropped run" (Some (vi 103))
+    (Store.read s ~at:4 (k "t" "a"));
+  Alcotest.check value_opt "at 5" (Some (vi 104)) (Store.read s ~at:5 (k "t" "a"));
+  Alcotest.check value_opt "at 6" (Some (vi 105)) (Store.read s ~at:6 (k "t" "a"))
+
+let test_store_copy_materializes_deltas () =
+  let s = Store.create () in
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (upd 100));
+  Store.install s ~version:2 (Writeset.singleton (k "t" "a") (Writeset.Add 5));
+  let c = Store.copy s in
+  check_int "flattened" 1 (Store.version_records c);
+  Alcotest.check value_opt "copy folded the delta" (Some (vi 105))
+    (Store.read_latest c (k "t" "a"));
+  Store.install s ~version:3 (Writeset.singleton (k "t" "a") (Writeset.Add 1));
+  Alcotest.check value_opt "copy isolated" (Some (vi 105)) (Store.read_latest c (k "t" "a"))
 
 (* ------------------------------------------------------------------ *)
 (* Locks *)
@@ -747,6 +883,147 @@ let test_db_periodic_durability_prefix () =
     (Db.read_committed db (k "t" "a"))
 
 (* ------------------------------------------------------------------ *)
+(* Commutative deltas at the database layer *)
+
+let test_db_delta_read_your_writes () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 10) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      (match Db.write tx (k "t" "a") (Writeset.Add 5) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "delta write should succeed");
+      Alcotest.check value_opt "own delta folds onto the snapshot" (Some (vi 15))
+        (Db.read tx (k "t" "a"));
+      (match Db.write tx (k "t" "a") (Writeset.Add 2) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "second delta should succeed");
+      Alcotest.check value_opt "deltas accumulate" (Some (vi 17)) (Db.read tx (k "t" "a"));
+      match Db.commit_standalone tx with
+      | Ok _ ->
+          Alcotest.check value_opt "committed" (Some (vi 17))
+            (Db.read_committed db (k "t" "a"))
+      | Error _ -> Alcotest.fail "commit should succeed")
+
+let test_db_delta_first_updater_relaxed () =
+  (* A committed delta does not abort a concurrent delta writer (they
+     commute; this mirrors the certifier's fast path so local and global
+     certification agree), but it still aborts a concurrent blind writer,
+     and a committed blind write still aborts a concurrent delta. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      let t1 = Db.begin_tx db in
+      let t2 = Db.begin_tx db in
+      let t3 = Db.begin_tx db in
+      (match Db.write t1 (k "t" "a") (Writeset.Add 1) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "t1 write");
+      (match Db.commit_standalone t1 with Ok _ -> () | Error _ -> Alcotest.fail "t1 commit");
+      (match Db.write t2 (k "t" "a") (Writeset.Add 2) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "a delta must not conflict with a committed delta");
+      (match Db.commit_standalone t2 with Ok _ -> () | Error _ -> Alcotest.fail "t2 commit");
+      Alcotest.check value_opt "both deltas committed" (Some (vi 3))
+        (Db.read_committed db (k "t" "a"));
+      (match Db.write t3 (k "t" "a") (upd 99) with
+      | Error (Db.Ww_conflict _) -> ()
+      | _ -> Alcotest.fail "a blind write must still abort against committed deltas");
+      let t4 = Db.begin_tx db in
+      let t5 = Db.begin_tx db in
+      (match Db.write t4 (k "t" "a") (upd 50) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "t4 write");
+      (match Db.commit_standalone t4 with Ok _ -> () | Error _ -> Alcotest.fail "t4 commit");
+      match Db.write t5 (k "t" "a") (Writeset.Add 1) with
+      | Error (Db.Ww_conflict _) -> ()
+      | _ -> Alcotest.fail "a delta must abort against a committed blind write")
+
+let test_db_delta_crash_recover () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 10) ];
+  in_fiber e (fun () ->
+      let tx = Db.begin_tx db in
+      ignore (Db.write tx (k "t" "a") (Writeset.Add 5));
+      ignore (Db.commit_standalone tx);
+      let tx2 = Db.begin_tx db in
+      ignore (Db.write tx2 (k "t" "a") (Writeset.Add 7));
+      ignore (Db.commit_standalone tx2));
+  Db.crash db;
+  check_int "recovered both delta commits" 2 (Db.recover db);
+  Alcotest.check value_opt "deltas replayed onto the base" (Some (vi 22))
+    (Db.read_committed db (k "t" "a"))
+
+let test_db_delta_torn_tail_recovery () =
+  (* The second delta's commit record is mid-fsync at the crash: the torn
+     slot must be discarded by the recovery scan, and the surviving prefix
+     must still fold its delta onto the base. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 100) ];
+  let _ =
+    Engine.spawn e (fun () ->
+        let tx = Db.begin_tx db in
+        ignore (Db.write tx (k "t" "a") (Writeset.Add 5));
+        ignore (Db.commit_standalone tx);
+        let tx2 = Db.begin_tx db in
+        ignore (Db.write tx2 (k "t" "a") (Writeset.Add 7));
+        ignore (Db.commit_standalone tx2))
+  in
+  (* Step the clock until the second record is appended but not yet synced,
+     then pull the plug mid-flush. *)
+  let wal = Db.wal db in
+  while
+    not (Storage.Wal.last_lsn wal = 2 && Storage.Wal.durable_lsn wal = 1)
+    && Time.(Engine.now e < sec 1)
+  do
+    Engine.run ~until:(Time.add (Engine.now e) (Time.of_ms 1.)) e
+  done;
+  let lost = Storage.Wal.crash ~torn:true wal in
+  check_bool "second record was still in flight" true (lost >= 1);
+  let torn_before = Storage.Wal.torn_discarded (Db.wal db) in
+  check_int "only the durable prefix replays" 1 (Db.recover db);
+  check_int "the torn record was discarded by the scan" (torn_before + 1)
+    (Storage.Wal.torn_discarded (Db.wal db));
+  Alcotest.check value_opt "surviving prefix folds" (Some (vi 105))
+    (Db.read_committed db (k "t" "a"))
+
+let test_db_batch_apply_version_faithful () =
+  (* A grouped remote batch must slot each writeset in at its own
+     certified version, not rename them all to the batch top: a delayed
+     duplicate delivery of one member (a commit reply overtaking the
+     stream after certifier failover) then backfills onto the existing
+     chain entry idempotently instead of double-counting its deltas. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 10); (k "t" "b", vi 0) ];
+  in_fiber e (fun () ->
+      let dup = Writeset.of_list [ (k "t" "a", Writeset.Add 7); (k "t" "b", upd 3) ] in
+      let batch =
+        [
+          (1, Writeset.singleton (k "t" "a") (Writeset.Add 5));
+          (2, dup);
+          (3, Writeset.singleton (k "t" "b") (Writeset.Add 4));
+        ]
+      in
+      (match Db.apply_writeset_batch db ~batch ~order:(Db.next_order db) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "batch apply should succeed");
+      check_int "store at the batch top" 3 (Db.current_version db);
+      Alcotest.check value_opt "deltas folded across the batch" (Some (vi 22))
+        (Db.read_committed db (k "t" "a"));
+      Alcotest.check value_opt "snapshot below the top sees only v1" (Some (vi 15))
+        (Db.read_committed db ~at:1 (k "t" "a"));
+      Alcotest.check value_opt "blind then delta" (Some (vi 7))
+        (Db.read_committed db (k "t" "b"));
+      (match Db.apply_writeset db ~version:2 ~order:(Db.next_order db) dup with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "duplicate delivery should succeed");
+      check_int "duplicate went through backfill" 1 (Db.backfills db);
+      Alcotest.check value_opt "no double count" (Some (vi 22))
+        (Db.read_committed db (k "t" "a"));
+      Alcotest.check value_opt "blind image undisturbed" (Some (vi 7))
+        (Db.read_committed db (k "t" "b")))
+
+(* ------------------------------------------------------------------ *)
 (* Parallel apply: out-of-order install, ordered publish (Apply_pool's
    database substrate) *)
 
@@ -801,6 +1078,34 @@ let test_db_parallel_recover_out_of_order_log () =
   check_int "recovered through the reordered log" 2 v;
   Alcotest.check value_opt "a recovered" (Some (vi 1)) (Db.read_committed db (k "t" "a"));
   Alcotest.check value_opt "b recovered" (Some (vi 2)) (Db.read_committed db (k "t" "b"))
+
+let test_db_parallel_delta_apply_and_recover () =
+  (* Version 2 (a delta) is installed before version 1 (the blind base it
+     folds onto); reads after publish and replay after a crash must both see
+     base + delta. *)
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.sleep e (Time.of_ms 30.);
+         ignore
+           (Db.apply_writeset_parallel db ~version:1 ~order:1
+              (Writeset.singleton (k "t" "a") (upd 10)))));
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore
+           (Db.apply_writeset_parallel db ~version:2 ~order:2
+              (Writeset.singleton (k "t" "a") (Writeset.Add 3)))));
+  Engine.run e;
+  check_int "both published" 2 (Db.current_version db);
+  Alcotest.check value_opt "delta folded onto the later-installed base" (Some (vi 13))
+    (Db.read_committed db (k "t" "a"));
+  Alcotest.check value_opt "snapshot below the delta" (Some (vi 10))
+    (Db.read_committed db ~at:1 (k "t" "a"));
+  Db.crash db;
+  check_int "recovered" 2 (Db.recover db);
+  Alcotest.check value_opt "recovery refolds the delta" (Some (vi 13))
+    (Db.read_committed db (k "t" "a"))
 
 let test_db_parallel_recover_truncates_at_gap () =
   (* Version 2's record reaches the log but version 1's never does (its
@@ -914,6 +1219,9 @@ let suites =
         Alcotest.test_case "intersection" `Quick test_writeset_intersects;
         Alcotest.test_case "union later wins" `Quick test_writeset_union_later_wins;
         Alcotest.test_case "encoded bytes" `Quick test_writeset_encoded_bytes;
+        Alcotest.test_case "delta folding" `Quick test_writeset_delta_fold;
+        Alcotest.test_case "delta union" `Quick test_writeset_delta_union;
+        Alcotest.test_case "delta encoded bytes" `Quick test_writeset_delta_encoded_bytes;
       ]
       @ qsuite [ prop_intersects_symmetric; prop_intersects_iff_inter_keys; prop_union_keys ]
     );
@@ -925,6 +1233,13 @@ let suites =
         Alcotest.test_case "sparse versions" `Quick test_store_sparse_versions;
         Alcotest.test_case "copy flattens and isolates" `Quick test_store_copy_flattens;
         Alcotest.test_case "gc keeps visibility" `Quick test_store_gc;
+        Alcotest.test_case "delta reads fold onto images" `Quick test_store_delta_reads;
+        Alcotest.test_case "delta install is order-insensitive" `Quick
+          test_store_delta_out_of_order_install;
+        Alcotest.test_case "gc materializes a delta base" `Quick
+          test_store_gc_materializes_delta_base;
+        Alcotest.test_case "copy materializes deltas" `Quick
+          test_store_copy_materializes_deltas;
       ] );
     ( "mvcc.locks",
       [
@@ -983,6 +1298,16 @@ let suites =
           test_db_parallel_recover_out_of_order_log;
         Alcotest.test_case "parallel recovery truncates at a gap" `Quick
           test_db_parallel_recover_truncates_at_gap;
+        Alcotest.test_case "delta read-your-writes" `Quick test_db_delta_read_your_writes;
+        Alcotest.test_case "delta first-updater relaxation" `Quick
+          test_db_delta_first_updater_relaxed;
+        Alcotest.test_case "delta crash/recover" `Quick test_db_delta_crash_recover;
+        Alcotest.test_case "delta torn-tail recovery" `Quick
+          test_db_delta_torn_tail_recovery;
+        Alcotest.test_case "batch apply keeps versions faithful" `Quick
+          test_db_batch_apply_version_faithful;
+        Alcotest.test_case "parallel delta apply and recovery" `Quick
+          test_db_parallel_delta_apply_and_recover;
         Alcotest.test_case "restore from dump" `Quick test_db_restore_from_dump;
         Alcotest.test_case "read-only commit is free" `Quick test_db_commit_readonly;
         Alcotest.test_case "vacuum prunes old versions" `Quick test_db_vacuum_prunes_versions;
