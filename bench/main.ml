@@ -17,7 +17,7 @@ let all_sections =
   [
     "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
     "ablation"; "micro"; "chaos"; "storage_chaos"; "latency"; "parallel_apply";
-    "hotkey";
+    "hotkey"; "soak";
   ]
 
 (* Machine-readable metrics for regression tracking, written to
@@ -414,7 +414,7 @@ let micro () =
     let log = Tashkent.Cert_log.create () in
     for v = 1 to 10_000 do
       Tashkent.Cert_log.append log
-        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997) }
+        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997); gc_floor = 0 }
     done;
     log
   in
@@ -429,7 +429,7 @@ let micro () =
     let o = Tashkent.Overlay.create () in
     for v = 1 to 1_000 do
       Tashkent.Overlay.add o
-        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997) }
+        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997); gc_floor = 0 }
     done;
     o
   in
@@ -745,6 +745,60 @@ let hotkey () =
           then "holds"
           else "violated"))
 
+let soak () =
+  Report.section
+    "Soak: sustained Zipfian delta load under GC watermark, periodic chaos";
+  let config =
+    if !quick then
+      {
+        (Soak_exp.default_config ()) with
+        Soak_exp.duration = Sim.Time.sec 150;
+        window = Sim.Time.sec 15;
+        chaos_period = Sim.Time.sec 45;
+      }
+    else Soak_exp.default_config ()
+  in
+  let r = Soak_exp.run ~config () in
+  Format.printf "%a@." Soak_exp.pp_result r;
+  (* The same early-half vs late-half split the harness asserts on: a
+     bounded run keeps the late maxima level with the early ones and the
+     p99 median flat. *)
+  let measured =
+    List.filteri (fun i _ -> i >= config.Soak_exp.warmup_windows) r.Soak_exp.windows
+  in
+  let n = List.length measured in
+  let early = List.filteri (fun i _ -> i < n / 2) measured in
+  let late = List.filteri (fun i _ -> i >= n / 2) measured in
+  let maxi f ws = List.fold_left (fun acc w -> max acc (f w)) 0 ws in
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0.
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  record_metric "soak/commits" (float_of_int r.Soak_exp.commits);
+  record_metric "soak/store_versions_early_max"
+    (float_of_int (maxi (fun (w : Soak_exp.window_sample) -> w.store_versions) early));
+  record_metric "soak/store_versions_late_max"
+    (float_of_int (maxi (fun (w : Soak_exp.window_sample) -> w.store_versions) late));
+  record_metric "soak/cert_bytes_early_max"
+    (float_of_int (maxi (fun (w : Soak_exp.window_sample) -> w.cert_bytes) early));
+  record_metric "soak/cert_bytes_late_max"
+    (float_of_int (maxi (fun (w : Soak_exp.window_sample) -> w.cert_bytes) late));
+  record_metric "soak/p99_ms_early_median"
+    (median (List.map (fun (w : Soak_exp.window_sample) -> w.p99_ms) early));
+  record_metric "soak/p99_ms_late_median"
+    (median (List.map (fun (w : Soak_exp.window_sample) -> w.p99_ms) late));
+  record_metric "soak/store_pruned" (float_of_int r.Soak_exp.store_pruned);
+  record_metric "soak/cert_pruned" (float_of_int r.Soak_exp.cert_pruned);
+  record_metric "soak/snapshot_installs" (float_of_int r.Soak_exp.snapshot_installs);
+  record_metric "soak/floor_heals" (float_of_int r.Soak_exp.floor_heals);
+  record_metric "soak/violations" (float_of_int (List.length r.Soak_exp.violations));
+  Report.paper_vs ~what:"long-run growth under GC watermark"
+    ~paper:"bounded (plateau)"
+    ~measured:
+      (if r.Soak_exp.violations = [] then "bounded (0 violations)"
+       else Printf.sprintf "%d violations" (List.length r.Soak_exp.violations))
+
 let () =
   if !list_only then begin
     List.iter print_endline all_sections;
@@ -780,5 +834,6 @@ let () =
   if wants "latency" then latency ();
   if wants "parallel_apply" then parallel_apply ();
   if wants "hotkey" then hotkey ();
+  if wants "soak" then soak ();
   if !json_metrics <> [] then write_json ();
   print_newline ()

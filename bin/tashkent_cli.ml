@@ -100,9 +100,20 @@ let skew_t =
     & info [ "skew" ] ~docv:"THETA"
         ~doc:"Zipfian exponent of the hotkey workload's key popularity.")
 
+let gc_interval_t ~default =
+  Arg.(
+    value & opt float default
+    & info [ "gc-interval" ] ~docv:"S"
+        ~doc:
+          "Replica vacuum period in seconds: old row versions below the \
+           cluster GC watermark are pruned this often. 0 disables vacuuming \
+           (the unbounded-growth baseline).")
+
+let gc_interval_of_sec s = if s <= 0. then None else Some (Sim.Time.of_sec s)
+
 let run_cmd =
   let run system workload io n certifiers seconds abort_rate seed apply_workers
-      deltas skew =
+      deltas skew gc_interval =
     let cfg =
       {
         Harness.Experiment.system;
@@ -116,6 +127,7 @@ let run_cmd =
         eager_precert = true;
         group_remote_batches = true;
         apply_workers;
+        gc_interval = gc_interval_of_sec gc_interval;
         seed;
         warmup = Sim.Time.of_sec (Float.min 5. (seconds /. 2.));
         measure = Sim.Time.of_sec seconds;
@@ -148,7 +160,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one measured experiment and print its metrics.")
     Term.(
       const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t $ seconds_t
-      $ abort_rate_t $ seed_t $ apply_workers_t $ deltas_t $ skew_t)
+      $ abort_rate_t $ seed_t $ apply_workers_t $ deltas_t $ skew_t
+      $ gc_interval_t ~default:30.)
 
 let recovery_cmd =
   let run n seed =
@@ -200,7 +213,7 @@ let consistency_cmd =
 
 let chaos_cmd =
   let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms apply_workers
-      deltas =
+      deltas gc_interval =
     let plan =
       match plan_seed with
       | None ->
@@ -220,6 +233,7 @@ let chaos_cmd =
         fsync_stall = Sim.Time.of_ms fsync_stall_ms;
         apply_workers;
         deltas;
+        gc_interval = gc_interval_of_sec gc_interval;
       }
     in
     let r = Harness.Chaos_exp.run ~config () in
@@ -265,7 +279,73 @@ let chaos_cmd =
           after every heal; exits 1 on any violation.")
     Term.(
       const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t
-      $ disk_faults_t $ fsync_stall_t $ apply_workers_t $ deltas_t)
+      $ disk_faults_t $ fsync_stall_t $ apply_workers_t $ deltas_t
+      $ gc_interval_t ~default:5.)
+
+let soak_cmd =
+  let run n certifiers seconds window seed gc_interval no_chaos chaos_period
+      skew deltas =
+    let config =
+      {
+        (Harness.Soak_exp.default_config ()) with
+        n_replicas = n;
+        n_certifiers = certifiers;
+        duration = Sim.Time.of_sec seconds;
+        window = Sim.Time.of_sec window;
+        seed;
+        gc_interval = gc_interval_of_sec gc_interval;
+        chaos = not no_chaos;
+        chaos_period = Sim.Time.of_sec chaos_period;
+        skew;
+        deltas;
+      }
+    in
+    let r = Harness.Soak_exp.run ~config () in
+    Format.printf "%a@." Harness.Soak_exp.pp_result r;
+    if r.violations <> [] then exit 1
+  in
+  let seconds_t =
+    Arg.(
+      value & opt float 600.
+      & info [ "seconds" ] ~docv:"S" ~doc:"Simulated run length.")
+  in
+  let window_t =
+    Arg.(
+      value & opt float 30.
+      & info [ "window" ] ~docv:"S" ~doc:"Gauge-sampling window.")
+  in
+  let no_chaos_t =
+    Arg.(
+      value & flag
+      & info [ "no-chaos" ]
+          ~doc:"Disable the periodic leader/replica crash plan.")
+  in
+  let chaos_period_t =
+    Arg.(
+      value & opt float 120.
+      & info [ "chaos-period" ] ~docv:"S"
+          ~doc:
+            "One fault every this often, alternating a short leader crash \
+             with a replica outage longer than the watermark TTL (so its \
+             recovery needs a snapshot transfer).")
+  in
+  let deltas_t =
+    Arg.(
+      value & opt bool true
+      & info [ "deltas" ] ~docv:"BOOL"
+          ~doc:"Ship hot-row increments as commutative deltas.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run sustained Zipfian delta traffic with GC active (and periodic \
+          chaos), sample version/log-growth gauges per window, and assert \
+          they stay bounded and latency stays flat; exits 1 on any \
+          violation.")
+    Term.(
+      const run $ replicas_t $ certifiers_t $ seconds_t $ window_t $ seed_t
+      $ gc_interval_t ~default:5. $ no_chaos_t $ chaos_period_t $ skew_t
+      $ deltas_t)
 
 let trace_cmd =
   let mode_conv =
@@ -381,4 +461,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "tashkent-cli" ~version:"1.0.0"
              ~doc:"Tashkent (EuroSys 2006) reproduction toolkit")
-          [ run_cmd; recovery_cmd; consistency_cmd; chaos_cmd; trace_cmd ]))
+          [ run_cmd; recovery_cmd; consistency_cmd; chaos_cmd; soak_cmd; trace_cmd ]))

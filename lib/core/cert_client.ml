@@ -87,7 +87,7 @@ let backoff_delay t n =
   let capped = Time.min t.backoff_cap raw in
   Time.scale capped (Rng.uniform t.rng ~lo:0.5 ~hi:1.5)
 
-let certify t ?(trace_id = 0) ~start_version ~replica_version ws =
+let certify t ?(trace_id = 0) ~start_version ~replica_version ~oldest_snapshot ws =
   t.next_req <- t.next_req + 1;
   let req_id = t.next_req in
   let request =
@@ -98,6 +98,7 @@ let certify t ?(trace_id = 0) ~start_version ~replica_version ws =
         replica = t.my_addr;
         start_version;
         replica_version;
+        oldest_snapshot;
         writeset = ws;
       }
   in
@@ -147,7 +148,7 @@ let certify t ?(trace_id = 0) ~start_version ~replica_version ws =
 
 let fetch_attempts = 3
 
-let fetch t ~replica ~from_version =
+let fetch t ~replica ~from_version ~oldest_snapshot =
   (* Unlike certify, each attempt uses a fresh request id: a fetch is a
      read-only snapshot request, so a late reply to an abandoned attempt
      must be discarded rather than fill a newer fetch's waiter. *)
@@ -160,7 +161,13 @@ let fetch t ~replica ~from_version =
     Stats.Counter.incr t.sent;
     send t
       ~dst:t.certifiers.(t.target)
-      (Types.Fetch_request { fetch_req_id = req_id; fetch_replica = replica; from_version });
+      (Types.Fetch_request
+         {
+           fetch_req_id = req_id;
+           fetch_replica = replica;
+           from_version;
+           fetch_oldest_snapshot = oldest_snapshot;
+         });
     Engine.schedule_after t.engine t.timeout (fun () ->
         ignore (Ivar.try_fill ivar Timed_out));
     let outcome = Ivar.read ivar in

@@ -30,9 +30,12 @@ val certify :
   ?trace_id:int ->
   start_version:int ->
   replica_version:int ->
+  oldest_snapshot:int ->
   Mvcc.Writeset.t ->
   Types.cert_reply
-(** Blocking: sends the certification request to the presumed leader and
+(** [oldest_snapshot] is the replica's GC-watermark report (oldest snapshot
+    any of its live transactions still reads), piggybacked on the request.
+    Blocking: sends the certification request to the presumed leader and
     keeps retrying (same request id, so retries are idempotent) across
     redirects, timeouts and certifier failovers until a reply arrives.
     Redirect hints naming an unknown certifier fall back to round-robin;
@@ -40,8 +43,16 @@ val certify :
     jitter) up to [backoff_cap], so a fully partitioned client probes the
     group at a decaying rate instead of spinning at a fixed interval. *)
 
-val fetch : t -> replica:string -> from_version:int -> Types.fetch_reply option
+val fetch :
+  t ->
+  replica:string ->
+  from_version:int ->
+  oldest_snapshot:int ->
+  Types.fetch_reply option
 (** Blocking: used by the bounded-staleness refresher and recovery replay.
+    [oldest_snapshot] piggybacks the watermark report as in {!certify}.
+    A reply whose [fetch_snapshot] is present means the asked-for prefix
+    was truncated and carries a full state transfer instead.
     Each attempt carries a fresh request id, so a stale reply to an
     abandoned (timed-out or superseded) fetch is discarded instead of
     filling a newer fetch's waiter; concurrent fetches are routed

@@ -4,41 +4,72 @@ type slot = { entry : Types.entry; mutable certified_back_to : int }
 
 type t = {
   mutable slots : slot array;
-  mutable size : int;
+  mutable size : int;  (* live entries: versions (floor, floor + size] *)
+  mutable floor : int;  (* newest truncated version; 0 = nothing truncated *)
   (* key -> (version, wrote-a-delta) pairs, newest first. The delta tag
      lets certification skip commutative delta–delta overlaps without
-     fetching the logged writeset. *)
+     fetching the logged writeset. Truncation trims every list to
+     versions above the floor, so no scan can ever observe pruned
+     history. *)
   writers : (int * bool) list ref Key.Tbl.t;
-  mutable bytes : int;
+  (* Database state at [floor], folded from the truncated prefix: the
+     base every snapshot transfer and consistency check starts from.
+     [base_keys] remembers every key a truncated entry ever touched —
+     a key present there but absent from [base] (or reading [None]) is a
+     key the truncated history deleted. *)
+  base : Store.t;
+  base_keys : unit Key.Tbl.t;
+  truncated_by_origin : (string, int) Hashtbl.t;
+  mutable bytes : int;  (* cumulative, survives truncation *)
+  mutable live_bytes : int;  (* bytes held by live slots only *)
+  mutable pruned : int;  (* cumulative entries dropped by truncation *)
   mutable extra_scans : int;
   mutable delta_skips : int;
 }
 
 let dummy_entry =
-  { Types.version = 0; origin = ""; req_id = 0; ws = Writeset.empty }
+  { Types.version = 0; origin = ""; req_id = 0; ws = Writeset.empty; gc_floor = 0 }
+
+let dummy_slot = { entry = dummy_entry; certified_back_to = 0 }
 
 let create () =
   {
-    slots = Array.make 256 { entry = dummy_entry; certified_back_to = 0 };
+    slots = Array.make 256 dummy_slot;
     size = 0;
+    floor = 0;
     writers = Key.Tbl.create 1024;
+    base = Store.create ();
+    base_keys = Key.Tbl.create 64;
+    truncated_by_origin = Hashtbl.create 8;
     bytes = 0;
+    live_bytes = 0;
+    pruned = 0;
     extra_scans = 0;
     delta_skips = 0;
   }
 
-let version t = t.size
+let version t = t.floor + t.size
+let floor t = t.floor
+let entries t = t.size
 
 let get t v =
-  if v < 1 || v > t.size then invalid_arg (Printf.sprintf "Cert_log.get: version %d" v);
-  t.slots.(v - 1).entry
+  if v <= t.floor || v > t.floor + t.size then
+    invalid_arg
+      (Printf.sprintf "Cert_log.get: version %d outside (%d, %d]" v t.floor
+         (t.floor + t.size));
+  t.slots.(v - t.floor - 1).entry
+
+let get_opt t v =
+  if v <= t.floor || v > t.floor + t.size then None
+  else Some t.slots.(v - t.floor - 1).entry
 
 let append t (entry : Types.entry) =
-  if entry.version <> t.size + 1 then
+  if entry.version <> t.floor + t.size + 1 then
     invalid_arg
-      (Printf.sprintf "Cert_log.append: version %d, expected %d" entry.version (t.size + 1));
+      (Printf.sprintf "Cert_log.append: version %d, expected %d" entry.version
+         (t.floor + t.size + 1));
   if t.size = Array.length t.slots then begin
-    let bigger = Array.make (2 * t.size) t.slots.(0) in
+    let bigger = Array.make (2 * t.size) dummy_slot in
     Array.blit t.slots 0 bigger 0 t.size;
     t.slots <- bigger
   end;
@@ -51,13 +82,64 @@ let append t (entry : Types.entry) =
   t.slots.(t.size) <- { entry; certified_back_to = entry.version - 1 };
   t.size <- t.size + 1;
   t.bytes <- t.bytes + Types.entry_bytes entry;
+  t.live_bytes <- t.live_bytes + Types.entry_bytes entry;
   Writeset.iter_entries entry.ws (fun key op ->
       let tagged = (entry.version, Writeset.op_is_delta op) in
       match Key.Tbl.find_opt t.writers key with
       | Some versions -> versions := tagged :: !versions
       | None -> Key.Tbl.replace t.writers key (ref [ tagged ]))
 
+let truncate t ~upto =
+  let upto = min upto (t.floor + t.size) in
+  if upto > t.floor then begin
+    let k = upto - t.floor in
+    (* Fold the dropped prefix into the base state so snapshot transfers
+       and consistency checks can still reconstruct state at the floor. *)
+    for i = 0 to k - 1 do
+      let e = t.slots.(i).entry in
+      t.live_bytes <- t.live_bytes - Types.entry_bytes e;
+      t.pruned <- t.pruned + 1;
+      Hashtbl.replace t.truncated_by_origin e.origin
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.truncated_by_origin e.origin));
+      Writeset.iter_entries e.ws (fun key _ -> Key.Tbl.replace t.base_keys key ());
+      Store.install t.base ~version:e.version e.ws
+    done;
+    (* Flatten the base chains at the new floor; deleted rows read as
+       [None] via [base_keys]. *)
+    Store.gc t.base ~keep_after:upto;
+    let remaining = t.size - k in
+    Array.blit t.slots k t.slots 0 remaining;
+    Array.fill t.slots remaining k dummy_slot;
+    t.size <- remaining;
+    t.floor <- upto;
+    (* Trim the per-key writer index: nothing at or below the floor may
+       ever be scanned again, so drop it (and empty lists with it). *)
+    let dead = ref [] in
+    Key.Tbl.iter
+      (fun key versions ->
+        match List.filter (fun (v, _) -> v > upto) !versions with
+        | [] -> dead := key :: !dead
+        | kept -> versions := kept)
+      t.writers;
+    List.iter (fun key -> Key.Tbl.remove t.writers key) !dead
+  end
+
+let base_rows t =
+  Key.Tbl.fold
+    (fun key () acc -> (key, Store.read_latest t.base key) :: acc)
+    t.base_keys []
+
+let base_version t = Store.current_version t.base
+
+let truncated_for_origin t origin =
+  Option.value ~default:0 (Hashtbl.find_opt t.truncated_by_origin origin)
+
 let conflict_in_window t ws ~lo ~hi =
+  (* The writer index holds nothing at or below the floor, so a window
+     reaching below it could silently miss conflicts — clamp and leave the
+     too-old decision to the caller (the certifier aborts requests whose
+     start version is below the floor before ever scanning). *)
+  let lo = max lo t.floor in
   if hi <= lo then None
   else begin
     let best = ref None in
@@ -87,30 +169,37 @@ let conflict_in_window t ws ~lo ~hi =
     !best
   end
 
-let certify t ws ~start_version = conflict_in_window t ws ~lo:start_version ~hi:t.size
+let certify t ws ~start_version =
+  conflict_in_window t ws ~lo:start_version ~hi:(t.floor + t.size)
 
 let back_certify t ~version ~down_to =
-  let slot = t.slots.(version - 1) in
-  if down_to >= slot.certified_back_to then None
+  if version <= t.floor then None
   else begin
-    t.extra_scans <- t.extra_scans + 1;
-    let ws = slot.entry.ws in
-    let conflict = conflict_in_window t ws ~lo:down_to ~hi:slot.certified_back_to in
-    (match conflict with
-    | None -> slot.certified_back_to <- down_to
-    | Some v ->
-        (* Conflict-free strictly above v. *)
-        slot.certified_back_to <- v);
-    conflict
+    let slot = t.slots.(version - t.floor - 1) in
+    if down_to >= slot.certified_back_to then None
+    else begin
+      t.extra_scans <- t.extra_scans + 1;
+      let ws = slot.entry.ws in
+      let conflict = conflict_in_window t ws ~lo:down_to ~hi:slot.certified_back_to in
+      (match conflict with
+      | None -> slot.certified_back_to <- max down_to t.floor
+      | Some v ->
+          (* Conflict-free strictly above v. *)
+          slot.certified_back_to <- v);
+      conflict
+    end
   end
 
 let entries_between t ~lo ~hi =
-  let hi = min hi t.size in
+  let hi = min hi (t.floor + t.size) in
+  let lo = max lo t.floor in
   let rec collect v acc =
-    if v <= lo then acc else collect (v - 1) (t.slots.(v - 1).entry :: acc)
+    if v <= lo then acc else collect (v - 1) (t.slots.(v - t.floor - 1).entry :: acc)
   in
   collect hi []
 
 let bytes_total t = t.bytes
+let bytes_live t = t.live_bytes
+let pruned t = t.pruned
 let back_certifications t = t.extra_scans
 let delta_overlaps t = t.delta_skips

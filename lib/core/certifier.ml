@@ -6,6 +6,7 @@ type config = {
   certify_cpu : Time.t;
   paxos : Paxos.Node.config;
   fsync_deadline : Time.t option;
+  watermark_ttl : Time.t;
 }
 
 let default_config =
@@ -17,6 +18,10 @@ let default_config =
     (* A healthy log fsync is 6–12 ms; a flush still in flight after this
        long means the disk has stalled and the leader should hand off. *)
     fsync_deadline = Some (Time.of_ms 250.);
+    (* A replica's snapshot report older than this no longer pins the GC
+       floor: a partitioned or dead replica must not stop the cluster from
+       truncating, it heals later via a full snapshot transfer. *)
+    watermark_ttl = Time.sec 10;
   }
 
 type stats = {
@@ -75,6 +80,13 @@ type t = {
   mutable round_waiting : bool;
   mutable was_leader : bool;
   mutable up : bool;
+  (* Cluster GC watermark: freshest oldest-active-snapshot report per
+     replica (with receipt time, for TTL aging) and the folded floor the
+     leader last stamped into a proposed entry. The floor is monotone;
+     truncation itself happens at delivery, from the stamp, identically on
+     every certifier. *)
+  snapshot_reports : (string, int * Time.t) Hashtbl.t;
+  mutable gc_floor : int;
   trace : Obs.Trace.t;
   (* Open [cert.durability] spans for accepted-but-undelivered entries,
      version -> span; mirrors [pending_replies]'s lifetime. *)
@@ -94,6 +106,11 @@ type t = {
      least one same-key overlap was skipped as delta–delta). *)
   c_cert_conflicts : Stats.Counter.t;
   c_delta_fastpath : Stats.Counter.t;
+  (* Watermark visibility: requests refused because their snapshot
+     predates the truncation floor, and fetches answered with a full
+     snapshot transfer because the asked-for prefix was pruned. *)
+  c_too_old : Stats.Counter.t;
+  c_snapshot_transfers : Stats.Counter.t;
   cert_batch_sizes : Stats.Summary.t;
   (* The log and its back-certification scan counter survive reset_stats
      (they are state, not statistics), so windowed stats subtract a
@@ -107,6 +124,12 @@ let is_leader t = Paxos.Node.is_leader t.paxos_node
 let leader_hint t = Paxos.Node.leader_hint t.paxos_node
 let system_version t = Cert_log.version t.clog
 let log t = t.clog
+
+(* The decided table ([req_id -> version] for retry idempotency) is
+   deliberately never pruned by log truncation and is rebuilt by Paxos
+   redelivery after a crash — so it remains the durability witness for
+   commits whose log slots were truncated behind the GC watermark. *)
+let decided_version t ~req_id = Hashtbl.find_opt t.decided req_id
 let is_up t = t.up
 let disk t = t.disk
 let disk_failovers t = Stats.Counter.value t.c_disk_failovers
@@ -119,6 +142,49 @@ let send t ~dst msg =
 (* Certification *)
 
 let next_version t = Cert_log.version t.clog + Overlay.size t.overlay + 1
+
+let record_snapshot_report t ~replica ~oldest =
+  Hashtbl.replace t.snapshot_reports replica (oldest, Engine.now t.engine)
+
+(* Fold the freshest per-replica snapshot reports with every in-flight
+   reply window into the cluster GC floor. Monotone, and only advanced
+   when at least one report is fresh — a silent cluster keeps its floor
+   rather than truncating history someone may still need. Reports older
+   than [watermark_ttl] are ignored so one partitioned or dead replica
+   cannot pin the floor forever; when it comes back asking for a pruned
+   prefix it gets a full snapshot transfer instead. Folding the
+   [replica_version] of every accepted-but-unreplied request keeps the
+   floor below every reply-composition window, so [send_commit_replies]
+   can never need a truncated entry. *)
+let advance_watermark t =
+  let base = max t.gc_floor (Cert_log.floor t.clog) in
+  let now = Engine.now t.engine in
+  let fresh = ref false in
+  let candidate =
+    Hashtbl.fold
+      (fun _ (oldest, at) acc ->
+        if Time.(Time.diff now at <= t.cfg.watermark_ttl) then begin
+          fresh := true;
+          min acc oldest
+        end
+        else acc)
+      t.snapshot_reports max_int
+  in
+  if !fresh then begin
+    let candidate =
+      Hashtbl.fold
+        (fun _ (req : Types.cert_request) acc -> min acc req.replica_version)
+        t.pending_replies candidate
+    in
+    let candidate =
+      List.fold_left
+        (fun acc ((req : Types.cert_request), _) -> min acc req.replica_version)
+        candidate t.delivered
+    in
+    if candidate > base then t.gc_floor <- candidate else t.gc_floor <- base
+  end
+  else t.gc_floor <- base;
+  t.gc_floor
 
 (* Compose the remote writesets for a reply: everything the replica has not
    seen between its reported version and the commit version, each annotated
@@ -146,7 +212,13 @@ let reply_commit t ~(req : Types.cert_request) ~version =
   let remotes = compose_remotes t ~req ~upto:(version - 1) in
   send t ~dst:req.replica
     (Types.Cert_reply
-       { req_id = req.req_id; decision = Types.Commit; commit_version = version; remotes })
+       {
+         req_id = req.req_id;
+         decision = Types.Commit;
+         commit_version = version;
+         gc_floor = Cert_log.floor t.clog;
+         remotes;
+       })
 
 let reply_abort t ~(req : Types.cert_request) ~cause =
   (match cause with
@@ -160,6 +232,7 @@ let reply_abort t ~(req : Types.cert_request) ~cause =
          req_id = req.req_id;
          decision = Types.Abort cause;
          commit_version = 0;
+         gc_floor = Cert_log.floor t.clog;
          remotes = [];
        })
 
@@ -189,6 +262,9 @@ let process_batch t (reqs : Types.cert_request list) =
       Stats.Counter.incr t.c_cert_batches;
       Stats.Summary.observe t.cert_batch_sizes (float_of_int (List.length reqs));
       let sp_batch = Obs.Trace.span t.trace ~stage:"cert.batch" ~actor:t.node_id () in
+      (* One watermark fold per round; every entry accepted this round is
+         stamped with it, so truncation replicates through Paxos. *)
+      let floor_stamp = advance_watermark t in
       let accepted = ref [] in
       List.iter
         (fun (req : Types.cert_request) ->
@@ -204,6 +280,15 @@ let process_batch t (reqs : Types.cert_request list) =
                  it against its own in-flight twin; dropping it is safe —
                  the reply goes out at delivery. *)
               ()
+          | None when req.start_version < Cert_log.floor t.clog ->
+              (* Snapshot too old: the conflict window reaches below the
+                 truncation floor, where the writer index no longer exists,
+                 so absence of a conflict can't be proven. GSI must refuse;
+                 the replica refreshes (snapshot transfer if needed) and
+                 the client retries on a current snapshot. *)
+              Stats.Counter.incr t.c_requests;
+              Stats.Counter.incr t.c_too_old;
+              reply_abort t ~req ~cause:Types.Ww_conflict
           | None -> (
               Stats.Counter.incr t.c_requests;
               let skips_before =
@@ -235,6 +320,7 @@ let process_batch t (reqs : Types.cert_request list) =
                         origin = req.replica;
                         req_id = req.req_id;
                         ws = req.writeset;
+                        gc_floor = floor_stamp;
                       }
                     in
                     if t.cfg.durable then begin
@@ -250,7 +336,8 @@ let process_batch t (reqs : Types.cert_request list) =
                       Cert_log.append t.clog entry;
                       Hashtbl.replace t.decided entry.req_id version;
                       Stats.Counter.incr t.c_commits;
-                      reply_commit t ~req ~version
+                      reply_commit t ~req ~version;
+                      Cert_log.truncate t.clog ~upto:entry.gc_floor
                     end
                   end))
         reqs;
@@ -294,9 +381,21 @@ let handle_fetch t (freq : Types.fetch_request) =
          Resource.use t.cpu t.cfg.certify_cpu;
          if t.up then begin
            Stats.Counter.incr t.c_fetches;
+           let floor = Cert_log.floor t.clog in
+           (* A fetch from below the truncation floor cannot be served
+              incrementally — those entries are gone. The well-defined
+              answer is a full snapshot transfer: the folded base rows at
+              the floor, then the live entries above it. *)
+           let snapshot =
+             if freq.from_version < floor then begin
+               Stats.Counter.incr t.c_snapshot_transfers;
+               Some { Types.snap_version = floor; rows = Cert_log.base_rows t.clog }
+             end
+             else None
+           in
+           let lo = if snapshot = None then freq.from_version else floor in
            let entries =
-             Cert_log.entries_between t.clog ~lo:freq.from_version
-               ~hi:(Cert_log.version t.clog)
+             Cert_log.entries_between t.clog ~lo ~hi:(Cert_log.version t.clog)
            in
            (* Unlike commit replies, fetches do NOT exclude the asking
               replica's own entries: a replica rebuilding after a crash
@@ -309,8 +408,7 @@ let handle_fetch t (freq : Types.fetch_request) =
              List.map
                (fun (entry : Types.entry) ->
                  let conflict_with =
-                   Cert_log.back_certify t.clog ~version:entry.version
-                     ~down_to:freq.from_version
+                   Cert_log.back_certify t.clog ~version:entry.version ~down_to:lo
                  in
                  { Types.version = entry.version; ws = entry.ws; conflict_with })
                entries
@@ -321,6 +419,8 @@ let handle_fetch t (freq : Types.fetch_request) =
                   fetch_req_id = freq.fetch_req_id;
                   fetch_remotes = remotes;
                   certifier_version = Cert_log.version t.clog;
+                  fetch_gc_floor = floor;
+                  fetch_snapshot = snapshot;
                 })
          end))
 
@@ -362,6 +462,7 @@ let send_commit_replies t (pending : (Types.cert_request * int) list) =
              req_id = req.req_id;
              decision = Types.Commit;
              commit_version = version;
+             gc_floor = Cert_log.floor t.clog;
              remotes = !remotes;
            }))
     pending
@@ -389,6 +490,11 @@ let on_deliver t _slot (entry : Types.entry) =
   in
   Cert_log.append t.clog entry;
   Hashtbl.replace t.decided entry.req_id entry.version;
+  (* Replicated truncation: every certifier prunes from the stamp the
+     leader folded at proposal time, in slot order — so the live window
+     (and the base state behind it) is identical everywhere, including
+     during crash-recovery redelivery. *)
+  Cert_log.truncate t.clog ~upto:entry.gc_floor;
   Overlay.remove t.overlay entry.version;
   (match Hashtbl.find_opt t.dur_spans entry.version with
   | Some sp ->
@@ -494,6 +600,8 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
         round_waiting = false;
         was_leader = false;
         up = true;
+        snapshot_reports = Hashtbl.create 8;
+        gc_floor = 0;
         trace;
         dur_spans = Hashtbl.create 64;
         c_requests = counter "requests";
@@ -506,6 +614,8 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
         c_disk_failovers = counter "disk_failovers";
         c_cert_conflicts = counter "cert.conflicts";
         c_delta_fastpath = counter "cert.delta_fastpath";
+        c_too_old = counter "cert.snapshot_too_old";
+        c_snapshot_transfers = counter "snapshot_transfers";
         cert_batch_sizes =
           Obs.Registry.summary metrics ("certifier." ^ node_id ^ ".cert_batch_size");
         base_log_bytes = 0;
@@ -528,6 +638,13 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
       float_of_int (Cert_log.bytes_total t.clog - t.base_log_bytes));
   g "log.back_certifications" (fun () ->
       float_of_int (Cert_log.back_certifications t.clog - t.base_back_certs));
+  (* Truncation visibility: the live window (what memory actually holds)
+     and the cumulative prune count. Never windowed — the soak harness
+     asserts bounds on the raw values. *)
+  g "cert_log.entries" (fun () -> float_of_int (Cert_log.entries t.clog));
+  g "cert_log.bytes" (fun () -> float_of_int (Cert_log.bytes_live t.clog));
+  g "cert_log.pruned" (fun () -> float_of_int (Cert_log.pruned t.clog));
+  g "cert_log.floor" (fun () -> float_of_int (Cert_log.floor t.clog));
   g "cpu.utilization" (fun () -> Resource.utilization t.cpu);
   g "disk.utilization" (fun () -> Storage.Disk.utilization t.disk);
   (* Storage-fault visibility: current injected state plus cumulative fault
@@ -558,8 +675,18 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
          let rec loop () =
            (match Mailbox.recv mailbox with
            | Types.Paxos msg -> if t.up then Paxos.Node.handle t.paxos_node msg
-           | Types.Cert_request req -> if t.up then Mailbox.send t.cert_work req
-           | Types.Fetch_request freq -> if t.up then handle_fetch t freq
+           | Types.Cert_request req ->
+               if t.up then begin
+                 record_snapshot_report t ~replica:req.replica
+                   ~oldest:req.oldest_snapshot;
+                 Mailbox.send t.cert_work req
+               end
+           | Types.Fetch_request freq ->
+               if t.up then begin
+                 record_snapshot_report t ~replica:freq.fetch_replica
+                   ~oldest:freq.fetch_oldest_snapshot;
+                 handle_fetch t freq
+               end
            | Types.Cert_reply _ | Types.Cert_redirect _ | Types.Fetch_reply _ -> ());
            loop ()
          in
@@ -605,6 +732,8 @@ let crash ?wal_fault t =
     Hashtbl.reset t.pending_replies;
     Hashtbl.reset t.dur_spans;
     Hashtbl.reset t.decided;
+    Hashtbl.reset t.snapshot_reports;
+    t.gc_floor <- 0;
     t.base_log_bytes <- 0;
     t.base_back_certs <- 0
   end

@@ -29,6 +29,11 @@ type config = {
           flight past this deadline makes the leader abdicate so a
           healthy-disk acceptor can lead. [None] disables the watchdog.
           Default 250 ms — far above a healthy 6–12 ms fsync. *)
+  watermark_ttl : Sim.Time.t;
+      (** GC-watermark report aging: a replica's oldest-snapshot report
+          older than this no longer pins the cluster floor, so one
+          partitioned or dead replica cannot stop log truncation — it
+          heals later through a full snapshot transfer. Default 10 s. *)
 }
 
 val default_config : config
@@ -64,6 +69,12 @@ val system_version : t -> int
     node. *)
 
 val log : t -> Cert_log.t
+
+val decided_version : t -> req_id:int -> int option
+(** The commit version certified for [req_id], if this node ever delivered
+    it. Unlike the log's slots this mapping survives {!Cert_log.truncate}
+    (and is rebuilt by redelivery after a crash), so harnesses can verify
+    acked commits whose log prefix was pruned behind the GC watermark. *)
 
 (** {1 Fault injection} *)
 

@@ -19,7 +19,8 @@ let default_config mode =
     seed = 42;
   }
 
-let config ?n_replicas ?n_certifiers ?apply_workers ?certifier ?replica ?seed mode =
+let config ?n_replicas ?n_certifiers ?apply_workers ?gc_interval ?max_snapshot_age
+    ?certifier ?replica ?seed mode =
   let base = default_config mode in
   let replica =
     match replica with Some r -> r | None -> base.replica
@@ -27,6 +28,16 @@ let config ?n_replicas ?n_certifiers ?apply_workers ?certifier ?replica ?seed mo
   let replica =
     match apply_workers with
     | Some w -> { replica with Replica.apply_workers = w }
+    | None -> replica
+  in
+  let replica =
+    match gc_interval with
+    | Some g -> { replica with Replica.gc_interval = g }
+    | None -> replica
+  in
+  let replica =
+    match max_snapshot_age with
+    | Some a -> { replica with Replica.max_snapshot_age = a }
     | None -> replica
   in
   {
@@ -58,10 +69,17 @@ let validate cfg =
   (match cfg.replica.Replica.staleness_bound with
   | Some bound -> non_negative "replica.staleness_bound" bound
   | None -> ());
+  (match cfg.replica.Replica.gc_interval with
+  | Some interval -> non_negative "replica.gc_interval" interval
+  | None -> ());
+  (match cfg.replica.Replica.max_snapshot_age with
+  | Some age -> non_negative "replica.max_snapshot_age" age
+  | None -> ());
   non_negative "certifier.certify_cpu" cfg.certifier.Certifier.certify_cpu;
   (match cfg.certifier.Certifier.fsync_deadline with
   | Some deadline -> non_negative "certifier.fsync_deadline" deadline
   | None -> ());
+  non_negative "certifier.watermark_ttl" cfg.certifier.Certifier.watermark_ttl;
   match List.rev !problems with
   | [] -> ()
   | ps -> invalid_arg ("Cluster.create: " ^ String.concat "; " ps)
@@ -135,6 +153,20 @@ let check_consistency t =
   | None -> Error "no certifier leader to check against"
   | Some cert ->
       let clog = Certifier.log cert in
+      let lfloor = Cert_log.floor clog in
+      (* Once the log is truncated the reference can only be rebuilt from
+         the floor upwards: initial rows, then the folded base state as a
+         wedge at the floor, then the live entries. *)
+      let base_ws =
+        lazy
+          (Mvcc.Writeset.of_list
+             (List.map
+                (fun (key, value) ->
+                  match value with
+                  | Some v -> (key, Mvcc.Writeset.Update v)
+                  | None -> (key, Mvcc.Writeset.Delete))
+                (Cert_log.base_rows clog)))
+      in
       let problems = ref [] in
       List.iter
         (fun r ->
@@ -146,6 +178,11 @@ let check_consistency t =
                 Printf.sprintf "%s at version %d beyond certifier log %d" (Replica.name r)
                   v (Cert_log.version clog)
                 :: !problems
+            else if v < lfloor then
+              (* The history this replica is at was pruned; it is about to
+                 heal through a snapshot transfer and cannot be verified
+                 against the log. Nothing to check yet. *)
+              ()
             else begin
               (* Rebuild the reference state for version v and compare every
                  key ever touched. *)
@@ -153,10 +190,12 @@ let check_consistency t =
               List.iter
                 (fun (key, value) -> Mvcc.Store.preload reference key value)
                 t.initial_rows;
+              if lfloor > 0 then
+                Mvcc.Store.install reference ~version:lfloor (Lazy.force base_ws);
               List.iter
                 (fun (entry : Types.entry) ->
                   Mvcc.Store.install reference ~version:entry.version entry.ws)
-                (Cert_log.entries_between clog ~lo:0 ~hi:v);
+                (Cert_log.entries_between clog ~lo:lfloor ~hi:v);
               Mvcc.Store.force_version reference v;
               let check key =
                 let expected = Mvcc.Store.read_latest reference key in
@@ -203,16 +242,19 @@ let check_log_invariants t =
       let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
       let llog = Certifier.log lead in
       let lv = Cert_log.version llog in
+      let lfloor = Cert_log.floor llog in
       let entries = Cert_log.entries_between llog ~lo:0 ~hi:lv in
-      (* 1. Versions are contiguous from 1: a gap means a decided entry was
-         dropped somewhere between Paxos delivery and the log. *)
+      (* 1. Versions are contiguous from the truncation floor: a gap means
+         a decided entry was dropped somewhere between Paxos delivery and
+         the log (truncation only ever removes a prefix, so the live window
+         must still be dense). *)
       ignore
         (List.fold_left
            (fun expect (e : Types.entry) ->
              if e.version <> expect then
                add "leader log gap: expected version %d, found %d" expect e.version;
              e.version + 1)
-           1 entries);
+           (lfloor + 1) entries);
       (* 2. Each (origin, req_id) appears at most once: a duplicate means a
          retried request was certified twice (e.g. by a leader that exposed
          state before finishing recovery). *)
@@ -229,7 +271,8 @@ let check_log_invariants t =
           Hashtbl.replace seen (e.origin, e.req_id) e.version)
         entries;
       (* 3. No lost certified writeset: every commit a replica acknowledged
-         to its clients must be backed by a log entry with that origin.
+         to its clients must be backed by a log entry with that origin —
+         live, or accounted for by the truncation ledger.
          (Assumes proxy stats have not been reset since the run began.) *)
       let per_origin = Hashtbl.create 8 in
       List.iter
@@ -243,6 +286,7 @@ let check_log_invariants t =
             let commits = (Proxy.stats (Replica.proxy r)).commits in
             let backed =
               Option.value ~default:0 (Hashtbl.find_opt per_origin (Replica.name r))
+              + Cert_log.truncated_for_origin llog (Replica.name r)
             in
             if commits > backed then
               add "%s acknowledged %d commits but the log backs only %d (lost writeset)"

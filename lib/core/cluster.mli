@@ -16,16 +16,19 @@ val config :
   ?n_replicas:int ->
   ?n_certifiers:int ->
   ?apply_workers:int ->
+  ?gc_interval:Sim.Time.t option ->
+  ?max_snapshot_age:Sim.Time.t option ->
   ?certifier:Certifier.config ->
   ?replica:Replica.config ->
   ?seed:int ->
   Types.mode ->
   config
 (** Smart constructor over {!default_config}: each optional argument
-    overrides the corresponding field. [apply_workers] is applied to the
-    replica config {e after} [replica], so
-    [config ~replica ~apply_workers:4 mode] parallelises a custom replica
-    setup. *)
+    overrides the corresponding field. [apply_workers], [gc_interval] and
+    [max_snapshot_age] are applied to the replica config {e after}
+    [replica], so [config ~replica ~apply_workers:4 mode] parallelises a
+    custom replica setup; pass [~gc_interval:None] to disable vacuuming
+    entirely (the unbounded-growth baseline). *)
 
 type t
 
@@ -38,7 +41,8 @@ val create : ?engine:Sim.Engine.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace
 
     The configuration is validated first; impossible settings
     ([n_replicas < 1], an even or non-positive [n_certifiers],
-    [replica.apply_workers < 1], negative CPU/staleness/deadline times)
+    [replica.apply_workers < 1], negative
+    CPU/staleness/deadline/GC-interval/snapshot-age/watermark-TTL times)
     raise one [Invalid_argument] naming every problem. *)
 
 val env : t -> Env.t
@@ -74,16 +78,20 @@ val load_all : t -> (Mvcc.Key.t * Mvcc.Value.t) list -> unit
 val check_consistency : t -> (unit, string) result
 (** Safety invariant (§7): every up replica's database state equals the
     certifier log applied up to that replica's version — i.e. each replica
-    is a consistent prefix of the global history. *)
+    is a consistent prefix of the global history. Truncation-aware: the
+    reference state is rebuilt from the log's folded base wedge at the GC
+    floor plus the live entries; a replica still below the floor (about to
+    heal via snapshot transfer) is skipped. *)
 
 val check_log_invariants : t -> (unit, string) result
 (** Structural invariants on the certification log, checked against the
-    current leader: contiguous versions from 1, at-most-once certification
-    per (origin, req_id), every commit acknowledged by an up replica backed
-    by a log entry of that origin (no lost certified writeset), and prefix
-    agreement between every up certifier's log and the leader's. The chaos
-    harness asserts this after each heal; requires proxy stats untouched
-    by {!reset_stats} since the run began. *)
+    current leader: contiguous versions from the truncation floor,
+    at-most-once certification per (origin, req_id), every commit
+    acknowledged by an up replica backed by a log entry of that origin —
+    live or in the truncation ledger (no lost certified writeset) — and
+    prefix agreement between every up certifier's log and the leader's.
+    The chaos harness asserts this after each heal; requires proxy stats
+    untouched by {!reset_stats} since the run began. *)
 
 val total_commits : t -> int
 val total_aborts : t -> int

@@ -104,6 +104,8 @@ type t = {
   c_ab_local_ww : Stats.Counter.t;
   c_ab_local_deadlock : Stats.Counter.t;
   c_ab_local_preempted : Stats.Counter.t;
+  c_snapshot_installs : Stats.Counter.t;
+  c_floor_heals : Stats.Counter.t;
 }
 
 let addr t = t.address
@@ -136,6 +138,23 @@ let rec apply_certified t ~version ~order ws =
 
 let fresh_remotes t remotes =
   List.filter (fun (r : Types.remote_ws) -> r.version > t.rv) remotes
+
+(* A full state transfer (the asked-for log prefix was truncated) is applied
+   as one blind writeset at the snapshot's version: folded images for every
+   key the pruned history wrote, deletions included, so it rides the normal
+   apply paths (serial batch, concurrent, pool) in version order ahead of
+   the accompanying remotes. *)
+let snapshot_remote (snap : Types.snapshot) : Types.remote_ws =
+  let ws =
+    Mvcc.Writeset.of_list
+      (List.map
+         (fun (key, value) ->
+           match value with
+           | Some v -> (key, Mvcc.Writeset.Update v)
+           | None -> (key, Mvcc.Writeset.Delete))
+         snap.rows)
+  in
+  { Types.version = snap.snap_version; ws; conflict_with = None }
 
 let charge_apply_cpu t remotes =
   let cost =
@@ -418,6 +437,57 @@ let write t w_tx key op =
 
 let abort _t w_tx = Mvcc.Db.abort w_tx.db_tx
 
+(* ------------------------------------------------------------------ *)
+(* Bounded staleness (§6.2) *)
+
+let refresh t =
+  if (not t.paused) && t.inflight = 0 && Mailbox.is_empty t.work then begin
+    let trace_id = Obs.Trace.fresh_id t.trace in
+    let sp = Obs.Trace.span t.trace ~id:trace_id ~stage:"backfill" ~actor:t.address () in
+    (match
+       Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv
+         ~oldest_snapshot:(Mvcc.Db.oldest_active_snapshot t.database)
+     with
+    | Some { fetch_remotes; fetch_gc_floor; fetch_snapshot; _ } when t.inflight = 0 ->
+        Mvcc.Db.set_cluster_gc_floor t.database fetch_gc_floor;
+        let remotes =
+          match fetch_snapshot with
+          | Some snap when snap.snap_version > t.rv ->
+              Stats.Counter.incr t.c_snapshot_installs;
+              snapshot_remote snap :: fetch_remotes
+          | Some _ | None -> fetch_remotes
+        in
+        let done_ = Ivar.create t.engine () in
+        Mailbox.send t.work (Refresh_batch { remotes; trace_id; done_ });
+        Ivar.read done_
+    | Some _ | None -> ());
+    Obs.Trace.finish t.trace sp
+  end
+
+(* A certification abort with the certifier's floor above our applied
+   version means this replica's snapshot has fallen below the truncation
+   floor: every request it sends from here on aborts as snapshot-too-old.
+   The idle refresher cannot break the loop — the abort storm keeps
+   [inflight] up and resets [last_activity] on every attempt — so the
+   abort path heals eagerly: wait for the commit pipeline to drain, then
+   refresh (which installs a snapshot transfer when the missing prefix was
+   pruned). An unreachable certifier group is paced by the fetch's own
+   timeouts rather than a hot loop here. *)
+let heal_below_floor t ~floor =
+  if (not t.paused) && t.rv < floor then begin
+    Stats.Counter.incr t.c_floor_heals;
+    let rec loop () =
+      if (not t.paused) && t.rv < floor then begin
+        refresh t;
+        if t.rv < floor then begin
+          Engine.sleep t.engine (Time.of_ms 5.);
+          loop ()
+        end
+      end
+    in
+    loop ()
+  end
+
 let commit t w_tx =
   let ws = Mvcc.Db.writeset w_tx.db_tx in
   if Mvcc.Writeset.is_empty ws then begin
@@ -465,11 +535,18 @@ let commit t w_tx =
           let sp_cert =
             Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"certify" ~actor:t.address ()
           in
+          (* The watermark report is computed while this transaction is
+             still registered in [db.active], so the reported oldest
+             snapshot is <= start_version — the certifier's floor can never
+             climb past the window this reply composes against. *)
           let reply =
             Cert_client.certify t.client ~trace_id:w_tx.trace_id ~start_version
-              ~replica_version:db_version ws
+              ~replica_version:db_version
+              ~oldest_snapshot:(Mvcc.Db.oldest_active_snapshot t.database)
+              ws
           in
           Obs.Trace.finish t.trace sp_cert;
+          Mvcc.Db.set_cluster_gc_floor t.database reply.gc_floor;
           t.last_activity <- Engine.now t.engine;
           let result =
             match reply.decision with
@@ -486,24 +563,12 @@ let commit t w_tx =
           in
           Obs.Trace.finish t.trace sp_txn;
           t.inflight <- t.inflight - 1;
+          (match result with
+          | Error (Cert_abort _) when reply.gc_floor > t.rv ->
+              heal_below_floor t ~floor:reply.gc_floor
+          | Ok _ | Error _ -> ());
           result
         end
-
-(* ------------------------------------------------------------------ *)
-(* Bounded staleness (§6.2) *)
-
-let refresh t =
-  if (not t.paused) && t.inflight = 0 && Mailbox.is_empty t.work then begin
-    let trace_id = Obs.Trace.fresh_id t.trace in
-    let sp = Obs.Trace.span t.trace ~id:trace_id ~stage:"backfill" ~actor:t.address () in
-    (match Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv with
-    | Some { fetch_req_id = _; fetch_remotes; certifier_version = _ } when t.inflight = 0 ->
-        let done_ = Ivar.create t.engine () in
-        Mailbox.send t.work (Refresh_batch { remotes = fetch_remotes; trace_id; done_ });
-        Ivar.read done_
-    | Some _ | None -> ());
-    Obs.Trace.finish t.trace sp
-  end
 
 let spawn_refresher t bound =
   let fiber =
@@ -592,6 +657,8 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
       c_ab_local_ww = counter "abort.local_ww";
       c_ab_local_deadlock = counter "abort.local_deadlock";
       c_ab_local_preempted = counter "abort.local_preempted";
+      c_snapshot_installs = counter "snapshot_installs";
+      c_floor_heals = counter "floor_heals";
     }
   in
   (* Reply dispatcher: long-lived, routes certifier messages to waiters. *)
@@ -660,6 +727,9 @@ let stats t =
 let apply_parallelism t =
   match t.pool with Some p -> Apply_pool.parallelism p | None -> 1.0
 
+let snapshot_installs t = Stats.Counter.value t.c_snapshot_installs
+let floor_heals t = Stats.Counter.value t.c_floor_heals
+
 let reset_stats t =
   Stats.Counter.reset t.c_commits;
   Stats.Counter.reset t.c_cert_aborts;
@@ -676,4 +746,6 @@ let reset_stats t =
   Stats.Counter.reset t.c_refreshes;
   Stats.Counter.reset t.c_promotions;
   Stats.Counter.reset t.c_preempted;
-  Stats.Counter.reset t.c_invariant
+  Stats.Counter.reset t.c_invariant;
+  Stats.Counter.reset t.c_snapshot_installs;
+  Stats.Counter.reset t.c_floor_heals

@@ -177,6 +177,21 @@ val apply_parallelism : t -> float
     {!Apply_pool.parallelism}); 1.0 when running without a parallel
     applier. *)
 
+val snapshot_installs : t -> int
+(** Refreshes whose asked-for log prefix had been truncated at the
+    certifier and were answered with (and installed from) a full state
+    transfer instead. Also exported as [proxy.<addr>.snapshot_installs]. *)
+
+val floor_heals : t -> int
+(** Times a certification abort revealed this replica's applied version had
+    fallen below the certifier's truncation floor (its watermark report
+    went stale — e.g. across a leader election — and the floor passed it),
+    triggering an eager refresh from the commit path. Without the eager
+    heal the replica livelocks: every request re-aborts as
+    snapshot-too-old, the abort traffic keeps the idle refresher from ever
+    firing, and its frozen report pins the cluster floor forever. Also
+    exported as [proxy.<addr>.floor_heals]. *)
+
 val reset_stats : t -> unit
 (** Zero this proxy's counters only. When the proxy shares a registry with
     the rest of a cluster, prefer [Obs.Registry.reset] on that registry —

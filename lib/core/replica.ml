@@ -23,6 +23,8 @@ type config = {
   db_size_bytes : int;
   dump_bandwidth : float;
   restore_bandwidth : float;
+  gc_interval : Time.t option;
+  max_snapshot_age : Time.t option;
 }
 
 let default_config mode =
@@ -43,6 +45,8 @@ let default_config mode =
     db_size_bytes = 50_000_000;
     dump_bandwidth = 3_000_000.;
     restore_bandwidth = 5_000_000.;
+    gc_interval = Some (Time.sec 30);
+    max_snapshot_age = None;
   }
 
 type recovery_report = {
@@ -154,7 +158,8 @@ let create (env : Env.t) ~name:label ~certifiers ~req_id_base ~config:cfg () =
       background_page_writes_per_sec = cfg.bg_page_writes_per_sec;
       commit_cpu = Time.zero;
       remote_priority = cfg.eager_precert;
-      gc_interval = Some (Time.sec 30);
+      gc_interval = cfg.gc_interval;
+      max_snapshot_age = cfg.max_snapshot_age;
     }
   in
   let database =
@@ -210,6 +215,17 @@ let create (env : Env.t) ~name:label ~certifiers ~req_id_base ~config:cfg () =
   g "log_disk.utilization" (fun () -> Storage.Disk.utilization t.log_device);
   g "cpu.utilization" (fun () -> Resource.utilization t.cpu_resource);
   g "dumps_taken" (fun () -> float_of_int t.dump_count);
+  (* GC-watermark health: live row-version count (must stay bounded under
+     sustained load when vacuuming is on), cumulative versions pruned, and
+     stale snapshots expired by the max_snapshot_age escape hatch. *)
+  g "store.versions" (fun () ->
+      float_of_int (Mvcc.Store.version_records (Mvcc.Db.store t.database)));
+  g "store.pruned" (fun () ->
+      float_of_int (Mvcc.Store.pruned (Mvcc.Db.store t.database)));
+  g "db.stale_snapshots_expired" (fun () ->
+      float_of_int (Mvcc.Db.stale_snapshots_expired t.database));
+  g "db.cluster_gc_floor" (fun () ->
+      float_of_int (Mvcc.Db.cluster_gc_floor t.database));
   Obs.Registry.on_reset reg (fun () ->
       Mvcc.Db.reset_stats t.database;
       Storage.Disk.reset_stats t.log_device;

@@ -37,6 +37,15 @@ type config = {
   db_size_bytes : int;  (** logical database size, for dump/restore time *)
   dump_bandwidth : float;  (** bytes/s while dumping (paper: ~3 MB/s) *)
   restore_bandwidth : float;  (** bytes/s while restoring (paper: ~5 MB/s) *)
+  gc_interval : Sim.Time.t option;
+      (** database vacuum period (default 30 s): prune row versions below
+          both the local oldest active snapshot and the cluster GC floor
+          gossiped by the certifier; [None] disables vacuuming (versions
+          grow without bound — the pre-watermark behaviour) *)
+  max_snapshot_age : Sim.Time.t option;
+      (** escape hatch: doom a local transaction still Active after this
+          long so a stalled snapshot cannot pin garbage collection forever
+          (default [None]; see {!Mvcc.Db.config.max_snapshot_age}) *)
 }
 
 val default_config : Types.mode -> config

@@ -7,9 +7,15 @@ let mode_name = function
 
 let pp_mode fmt mode = Format.pp_print_string fmt (mode_name mode)
 
-type entry = { version : int; origin : string; req_id : int; ws : Mvcc.Writeset.t }
+type entry = {
+  version : int;
+  origin : string;
+  req_id : int;
+  ws : Mvcc.Writeset.t;
+  gc_floor : int;
+}
 
-let entry_bytes e = 24 + Mvcc.Writeset.encoded_bytes e.ws
+let entry_bytes e = 28 + Mvcc.Writeset.encoded_bytes e.ws
 
 type decision = Commit | Abort of abort_cause
 and abort_cause = Ww_conflict | Forced
@@ -29,6 +35,7 @@ type cert_request = {
   replica : string;
   start_version : int;
   replica_version : int;
+  oldest_snapshot : int;
   writeset : Mvcc.Writeset.t;
 }
 
@@ -36,15 +43,36 @@ type cert_reply = {
   req_id : int;
   decision : decision;
   commit_version : int;
+  gc_floor : int;
   remotes : remote_ws list;
 }
 
-type fetch_request = { fetch_req_id : int; fetch_replica : string; from_version : int }
+type fetch_request = {
+  fetch_req_id : int;
+  fetch_replica : string;
+  from_version : int;
+  fetch_oldest_snapshot : int;
+}
+
+(* A full state transfer for a replica whose needed log prefix was
+   truncated: folded rows at [snap_version] for every key the truncated
+   history wrote ([None] = deleted). The receiver installs these over its
+   restored state, jumps to [snap_version], then applies the remotes. *)
+type snapshot = { snap_version : int; rows : (Mvcc.Key.t * Mvcc.Value.t option) list }
+
+let snapshot_bytes s =
+  List.fold_left
+    (fun a (key, value) ->
+      a + Mvcc.Key.encoded_bytes key
+      + match value with Some v -> Mvcc.Value.encoded_bytes v | None -> 0)
+    8 s.rows
 
 type fetch_reply = {
   fetch_req_id : int;
   fetch_remotes : remote_ws list;
   certifier_version : int;
+  fetch_gc_floor : int;
+  fetch_snapshot : snapshot option;
 }
 
 type message =
@@ -56,9 +84,11 @@ type message =
   | Paxos of entry Paxos.Node.message
 
 let message_bytes = function
-  | Cert_request r -> 48 + Mvcc.Writeset.encoded_bytes r.writeset
-  | Cert_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 32 r.remotes
+  | Cert_request r -> 52 + Mvcc.Writeset.encoded_bytes r.writeset
+  | Cert_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 36 r.remotes
   | Cert_redirect _ -> 24
-  | Fetch_request _ -> 28
-  | Fetch_reply r -> List.fold_left (fun a rw -> a + remote_ws_bytes rw) 28 r.fetch_remotes
+  | Fetch_request _ -> 32
+  | Fetch_reply r ->
+      List.fold_left (fun a rw -> a + remote_ws_bytes rw) 32 r.fetch_remotes
+      + (match r.fetch_snapshot with Some s -> snapshot_bytes s | None -> 0)
   | Paxos m -> Paxos.Node.message_bytes entry_bytes m

@@ -15,6 +15,11 @@ type entry = {
   origin : string;  (** replica that executed the transaction *)
   req_id : int;  (** idempotency token for request retries *)
   ws : Mvcc.Writeset.t;
+  gc_floor : int;
+      (** cluster GC watermark the leader stamped when proposing this
+          entry: every certifier truncates its {!Cert_log} to this floor
+          at delivery, so truncation replicates (and replays after a
+          crash) deterministically through Paxos *)
 }
 
 val entry_bytes : entry -> int
@@ -43,6 +48,10 @@ type cert_request = {
   start_version : int;  (** [tx_start_version] *)
   replica_version : int;  (** replica state at request time, for trimming
                               and back-certification (§5.2.1) *)
+  oldest_snapshot : int;
+      (** oldest snapshot any transaction on the sending replica still
+          reads (= [replica_version] when idle): the replica's GC
+          watermark report, piggybacked on its normal traffic *)
   writeset : Mvcc.Writeset.t;
 }
 
@@ -50,6 +59,9 @@ type cert_reply = {
   req_id : int;
   decision : decision;
   commit_version : int;  (** valid when [decision = Commit] *)
+  gc_floor : int;
+      (** cluster GC watermark at reply time, gossiped back so every
+          replica can vacuum its version chains up to the floor *)
   remotes : remote_ws list;
       (** intervening remote writesets in [(replica_version, commit_version)],
           oldest first *)
@@ -61,12 +73,25 @@ type fetch_request = {
           longer pending (a timed-out or superseded fetch) is discarded *)
   fetch_replica : string;
   from_version : int;
+  fetch_oldest_snapshot : int;  (** watermark report, as in {!cert_request} *)
 }
+
+(** Full state transfer for a replica whose [from_version] predates the
+    certifier's truncation floor: the folded base rows at [snap_version]
+    ([None] = key deleted below the floor). Installed before
+    [fetch_remotes] (which then cover [(snap_version, certifier_version]]). *)
+type snapshot = { snap_version : int; rows : (Mvcc.Key.t * Mvcc.Value.t option) list }
+
+val snapshot_bytes : snapshot -> int
 
 type fetch_reply = {
   fetch_req_id : int;
   fetch_remotes : remote_ws list;
   certifier_version : int;
+  fetch_gc_floor : int;  (** watermark gossip, as in {!cert_reply} *)
+  fetch_snapshot : snapshot option;
+      (** present iff the requested prefix was truncated — the explicit
+          "too old, take a snapshot" answer *)
 }
 
 (** Everything that travels on the wire. *)

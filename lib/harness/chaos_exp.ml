@@ -21,6 +21,10 @@ type config = {
   fsync_stall : Time.t;
   apply_workers : int;
   deltas : bool; (* TPC-B balance updates as commutative Add ops *)
+  gc_interval : Time.t option;
+      (* replica vacuum period; 5 s by default so log truncation and store
+         pruning are both exercised within a short chaos run *)
+  max_snapshot_age : Time.t option;
 }
 
 let default_config () =
@@ -36,6 +40,8 @@ let default_config () =
     fsync_stall = Time.of_ms 600.;
     apply_workers = 1;
     deltas = false;
+    gc_interval = Some (Time.sec 5);
+    max_snapshot_age = None;
   }
 
 type result = {
@@ -158,6 +164,7 @@ let check_durability cluster violations stamp =
   | Some lead ->
       let log = Tashkent.Certifier.log lead in
       let top = Tashkent.Cert_log.version log in
+      let floor = Tashkent.Cert_log.floor log in
       List.iter
         (fun r ->
           let proxy = Tashkent.Replica.proxy r in
@@ -167,9 +174,16 @@ let check_durability cluster violations stamp =
               let present =
                 version >= 1 && version <= top
                 &&
-                let e = Tashkent.Cert_log.get log version in
-                String.equal e.Tashkent.Types.origin origin
-                && e.Tashkent.Types.req_id = req_id
+                if version <= floor then
+                  (* The slot was truncated behind the GC watermark; the
+                     certifier's decided table (never pruned, rebuilt by
+                     redelivery) is the durability witness instead. *)
+                  Tashkent.Certifier.decided_version lead ~req_id
+                  = Some version
+                else
+                  let e = Tashkent.Cert_log.get log version in
+                  String.equal e.Tashkent.Types.origin origin
+                  && e.Tashkent.Types.req_id = req_id
               in
               if not present then
                 violations :=
@@ -210,6 +224,8 @@ let run ?(config = default_config ()) () =
              (Tashkent.Replica.default_config config.mode) with
              Tashkent.Replica.staleness_bound = Some (Time.sec 1);
              apply_workers = config.apply_workers;
+             gc_interval = config.gc_interval;
+             max_snapshot_age = config.max_snapshot_age;
            }
          ~seed:config.seed config.mode)
   in

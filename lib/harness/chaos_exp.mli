@@ -42,6 +42,13 @@ type config = {
       (** run TPC-B with commutative {!Mvcc.Writeset.Add} balance updates
           (default off) — chaos with deltas exercises the certification
           fast path and delta WAL replay through crashes and failovers *)
+  gc_interval : Sim.Time.t option;
+      (** replica vacuum period (default 5 s — short enough that log
+          truncation {e and} store pruning both fire within a 20 s chaos
+          run, so the invariants are asserted with GC active) *)
+  max_snapshot_age : Sim.Time.t option;
+      (** stale-snapshot escape hatch (default [None]); see
+          {!Mvcc.Db.config.max_snapshot_age} *)
 }
 
 val default_config : unit -> config

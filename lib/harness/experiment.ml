@@ -32,6 +32,7 @@ type config = {
   eager_precert : bool;
   group_remote_batches : bool;
   apply_workers : int;
+  gc_interval : Time.t option;
   seed : int;
   warmup : Time.t;
   measure : Time.t;
@@ -51,6 +52,7 @@ let default =
     eager_precert = true;
     group_remote_batches = true;
     apply_workers = 1;
+    gc_interval = Some (Time.sec 30);
     seed = 20060418;
     warmup = Time.sec 5;
     measure = Time.sec 20;
@@ -101,6 +103,7 @@ let replica_config_of cfg (spec : Workload.Spec.t) mode =
     db_size_bytes = spec.Workload.Spec.db_size_bytes;
     staleness_bound = Some (Time.sec 1);
     apply_workers = cfg.apply_workers;
+    gc_interval = cfg.gc_interval;
   }
 
 let run_replicated cfg mode ~durable_cert =
@@ -206,6 +209,7 @@ let run_standalone cfg =
     {
       Mvcc.Db.default_config with
       commit_record_bytes = 8192;
+      gc_interval = cfg.gc_interval;
       page_read_miss = spec.Workload.Spec.page_read_miss;
       page_writeback_per_op = spec.Workload.Spec.page_writeback_per_op;
       background_page_writes_per_sec = spec.Workload.Spec.bg_page_writes_per_sec;

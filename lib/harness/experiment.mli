@@ -31,6 +31,9 @@ type config = {
   apply_workers : int;
       (** parallel applier fibers per replica (1 = the serial/concurrent
           per-mode paths; see {!Tashkent.Proxy.config.apply_workers}) *)
+  gc_interval : Sim.Time.t option;
+      (** replica vacuum period driven by the cluster GC watermark
+          (default 30 s; [None] disables — the unbounded-growth baseline) *)
   seed : int;
   warmup : Sim.Time.t;
   measure : Sim.Time.t;

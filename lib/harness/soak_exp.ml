@@ -1,0 +1,329 @@
+open Sim
+
+(* Sustained-load soak: hours of simulated Zipfian delta traffic with the
+   GC watermark active, sampling the growth-sensitive gauges every window.
+   The point is the long-run *shape*: with the cluster floor advancing,
+   store version counts and the live certified log must plateau instead of
+   growing with wall-clock, and latency percentiles must stay flat — the
+   regression this harness pins is exactly the unbounded-growth bug the
+   watermark fixes (run with [gc_interval = None] to see the baseline
+   climb). Optional periodic chaos keeps crashing the certifier leader and
+   a replica throughout, with the replica outage longer than the
+   certifier's watermark TTL so the floor passes the dead replica and its
+   recovery must heal via snapshot transfer. *)
+
+type config = {
+  mode : Tashkent.Types.mode;
+  n_replicas : int;
+  n_certifiers : int;
+  seed : int;
+  duration : Time.t;
+  window : Time.t;
+  warmup_windows : int;
+  gc_interval : Time.t option;
+  max_snapshot_age : Time.t option;
+  chaos : bool;
+  chaos_period : Time.t;
+  hot_keys : int;
+  skew : float;
+  deltas : bool;
+  clients_per_replica : int;
+}
+
+let default_config () =
+  {
+    mode = Tashkent.Types.Tashkent_mw;
+    n_replicas = 3;
+    n_certifiers = 3;
+    seed = 2006;
+    duration = Time.sec 600;
+    window = Time.sec 30;
+    warmup_windows = 1;
+    gc_interval = Some (Time.sec 5);
+    max_snapshot_age = Some (Time.sec 30);
+    chaos = true;
+    chaos_period = Time.sec 120;
+    hot_keys = Workload.Hotkey.hot_keys_default;
+    skew = 0.99;
+    deltas = true;
+    clients_per_replica = 10;
+  }
+
+type window_sample = {
+  at : Time.t;  (* offset of the window's end from run start *)
+  goodput : float;
+  p95_ms : float;
+  p99_ms : float;
+  store_versions : int;  (* max version-chain records across up replicas *)
+  cert_entries : int;  (* live slots in the leader's certified log *)
+  cert_bytes : int;  (* bytes held by those live slots *)
+  gc_floor : int;  (* the leader's truncation floor *)
+}
+
+type result = {
+  windows : window_sample list;  (* oldest first, warmup included *)
+  commits : int;
+  store_pruned : int;
+  cert_pruned : int;
+  snapshot_installs : int;
+  floor_heals : int;
+  stale_expired : int;
+  fault : Fault.stats option;  (* [None] when chaos was off *)
+  violations : string list;
+  ran_for : Time.t;
+}
+
+(* Periodic chaos: alternate a certifier-leader crash (5 s outage) with a
+   replica crash whose 30 s outage exceeds the certifier watermark TTL —
+   the floor passes the dead replica, so its recovery exercises the
+   pruned-prefix snapshot transfer. Everything recovers at least 40 s
+   before the run ends so the final checkpoint sees a whole cluster. *)
+let soak_plan ~duration ~period ~n_replicas =
+  let dur = Time.to_sec duration and per = Time.to_sec period in
+  let victim = n_replicas - 1 in
+  let rec go k acc =
+    let t = float_of_int k *. per in
+    if t +. 40. > dur then List.rev acc
+    else
+      let events =
+        if k mod 2 = 1 || n_replicas < 2 then
+          [
+            (Time.of_sec t, Fault.Crash_leader);
+            (Time.of_sec (t +. 5.), Fault.Recover_crashed);
+          ]
+        else
+          [
+            (Time.of_sec t, Fault.Crash_replica victim);
+            (Time.of_sec (t +. 30.), Fault.Recover_replica victim);
+          ]
+      in
+      go (k + 1) (List.rev_append events acc)
+  in
+  go 1 []
+
+let run_for engine span = Engine.run ~until:(Time.add (Engine.now engine) span) engine
+
+let median = function
+  | [] -> 0.
+  | xs ->
+      let sorted = List.sort compare xs in
+      List.nth sorted (List.length sorted / 2)
+
+let run ?(config = default_config ()) () =
+  let spec =
+    Workload.Hotkey.profile ~clients_per_replica:config.clients_per_replica
+      ~hot_keys:config.hot_keys ~skew:config.skew ~deltas:config.deltas ()
+  in
+  let engine = Engine.create () in
+  let cluster =
+    Tashkent.Cluster.create ~engine
+      (Tashkent.Cluster.config ~n_replicas:config.n_replicas
+         ~n_certifiers:config.n_certifiers
+         ~gc_interval:config.gc_interval
+         ~max_snapshot_age:config.max_snapshot_age ~seed:config.seed
+         config.mode)
+  in
+  Tashkent.Cluster.load_all cluster
+    (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);
+  Tashkent.Cluster.settle cluster;
+  let collector = Workload.Driver.Collector.create () in
+  Workload.Driver.Collector.enable collector;
+  let rng = Rng.create (config.seed + 1) in
+  List.iteri
+    (fun replica_ix replica ->
+      Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+        ~rng:(Rng.split rng) ~collector ~replica_ix
+        ~n_replicas:config.n_replicas)
+    (Tashkent.Cluster.replicas cluster);
+  let plan =
+    if config.chaos then
+      soak_plan ~duration:config.duration ~period:config.chaos_period
+        ~n_replicas:config.n_replicas
+    else []
+  in
+  let replica_outages =
+    List.exists (function _, Fault.Crash_replica _ -> true | _ -> false) plan
+  in
+  let injector = if plan = [] then None else Some (Fault.inject cluster plan) in
+  let started = Engine.now engine in
+  let commits = ref 0 in
+  (* Leader gauges carry across an election gap: a window sampled while no
+     certifier claims leadership reuses the previous log shape instead of
+     reporting a bogus zero. *)
+  let last_log = ref (0, 0, 0) in
+  let sample_leader () =
+    match Tashkent.Cluster.leader cluster with
+    | None -> !last_log
+    | Some lead ->
+        let log = Tashkent.Certifier.log lead in
+        let s =
+          ( Tashkent.Cert_log.entries log,
+            Tashkent.Cert_log.bytes_live log,
+            Tashkent.Cert_log.floor log )
+        in
+        last_log := s;
+        s
+  in
+  let store_versions_max () =
+    List.fold_left
+      (fun acc r ->
+        if Tashkent.Replica.is_up r then
+          max acc
+            (Mvcc.Store.version_records (Mvcc.Db.store (Tashkent.Replica.db r)))
+        else acc)
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  let n_windows =
+    max 1 (int_of_float (Time.to_sec config.duration /. Time.to_sec config.window))
+  in
+  let windows = ref [] in
+  for _ = 1 to n_windows do
+    run_for engine config.window;
+    let cert_entries, cert_bytes, gc_floor = sample_leader () in
+    commits := !commits + Workload.Driver.Collector.committed collector;
+    windows :=
+      {
+        at = Time.diff (Engine.now engine) started;
+        goodput = Workload.Driver.Collector.goodput collector ~window:config.window;
+        p95_ms = Workload.Driver.Collector.p95_response_ms collector;
+        p99_ms = Workload.Driver.Collector.p99_response_ms collector;
+        store_versions = store_versions_max ();
+        cert_entries;
+        cert_bytes;
+        gc_floor;
+      }
+      :: !windows;
+    Workload.Driver.Collector.reset collector
+  done;
+  (* Drain outstanding faults, then the end-to-end invariant checkpoint. *)
+  (match injector with
+  | None -> ()
+  | Some inj ->
+      let rec drain limit =
+        if (not (Fault.quiescent inj)) && limit > 0 then begin
+          run_for engine (Time.sec 1);
+          drain (limit - 1)
+        end
+      in
+      drain 60);
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (match Tashkent.Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> violate "consistency: %s" msg);
+  (match Tashkent.Cluster.check_log_invariants cluster with
+  | Ok () -> ()
+  | Error msg -> violate "log invariants: %s" msg);
+  let store_pruned =
+    List.fold_left
+      (fun acc r ->
+        acc + Mvcc.Store.pruned (Mvcc.Db.store (Tashkent.Replica.db r)))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  let cert_pruned =
+    match Tashkent.Cluster.leader cluster with
+    | None -> 0
+    | Some lead -> Tashkent.Cert_log.pruned (Tashkent.Certifier.log lead)
+  in
+  let snapshot_installs =
+    List.fold_left
+      (fun acc r ->
+        acc + Tashkent.Proxy.snapshot_installs (Tashkent.Replica.proxy r))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  let floor_heals =
+    List.fold_left
+      (fun acc r -> acc + Tashkent.Proxy.floor_heals (Tashkent.Replica.proxy r))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  let stale_expired =
+    List.fold_left
+      (fun acc r ->
+        acc + Mvcc.Db.stale_snapshots_expired (Tashkent.Replica.db r))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  (* Boundedness: compare the post-warmup early half against the late
+     half. A plateau passes with room to spare; linear growth (the
+     pre-watermark behaviour) makes the late-half max ~2x the early-half
+     max however long the run is, so the envelope must sit strictly below
+     2x — 1.5x plus an absolute slack for small fluctuating gauges. *)
+  let all = List.rev !windows in
+  let measured =
+    List.filteri (fun i _ -> i >= config.warmup_windows) all
+  in
+  (if config.gc_interval <> None then begin
+     if store_pruned = 0 then
+       violate "store GC never pruned a version (store_pruned = 0)";
+     if cert_pruned = 0 then
+       violate "certified log was never truncated (cert_pruned = 0)"
+   end);
+  if config.chaos && replica_outages && snapshot_installs = 0 then
+    violate
+      "no snapshot transfer happened despite replica outages longer than \
+       the watermark TTL";
+  (match measured with
+  | [] | [ _ ] -> ()
+  | _ ->
+      let n = List.length measured in
+      let early = List.filteri (fun i _ -> i < n / 2) measured in
+      let late = List.filteri (fun i _ -> i >= n / 2) measured in
+      let maxi f ws = List.fold_left (fun acc w -> max acc (f w)) 0 ws in
+      let early_versions = maxi (fun w -> w.store_versions) early in
+      let late_versions = maxi (fun w -> w.store_versions) late in
+      if late_versions > (3 * early_versions / 2) + 512 then
+        violate "store versions grew without bound: early max %d, late max %d"
+          early_versions late_versions;
+      let early_bytes = maxi (fun w -> w.cert_bytes) early in
+      let late_bytes = maxi (fun w -> w.cert_bytes) late in
+      if late_bytes > (3 * early_bytes / 2) + 65_536 then
+        violate "certified log bytes grew without bound: early max %d, late max %d"
+          early_bytes late_bytes;
+      (* Medians, not maxima: a chaos window legitimately spikes p99. *)
+      let early_p99 = median (List.map (fun w -> w.p99_ms) early) in
+      let late_p99 = median (List.map (fun w -> w.p99_ms) late) in
+      if late_p99 > (3. *. early_p99) +. 5. then
+        violate "p99 latency drifted: early median %.2f ms, late median %.2f ms"
+          early_p99 late_p99);
+  {
+    windows = all;
+    commits = !commits;
+    store_pruned;
+    cert_pruned;
+    snapshot_installs;
+    floor_heals;
+    stale_expired;
+    fault = Option.map Fault.stats injector;
+    violations = List.rev !violations;
+    ran_for = Time.diff (Engine.now engine) started;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt
+    "%-8s %10s %9s %9s %9s %11s %11s %9s@," "t" "goodput" "p95ms" "p99ms"
+    "versions" "log entries" "log bytes" "floor";
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "%-8s %10.1f %9.2f %9.2f %9d %11d %11d %9d@,"
+        (Time.to_string w.at) w.goodput w.p95_ms w.p99_ms w.store_versions
+        w.cert_entries w.cert_bytes w.gc_floor)
+    r.windows;
+  Format.fprintf fmt "commits            %d@," r.commits;
+  Format.fprintf fmt "store pruned       %d@," r.store_pruned;
+  Format.fprintf fmt "cert-log pruned    %d@," r.cert_pruned;
+  Format.fprintf fmt "snapshot installs  %d@," r.snapshot_installs;
+  Format.fprintf fmt "floor heals        %d@," r.floor_heals;
+  Format.fprintf fmt "stale expired      %d@," r.stale_expired;
+  (match r.fault with
+  | None -> ()
+  | Some f ->
+      Format.fprintf fmt "faults             %d crashes, %d recoveries@,"
+        f.Fault.crashes f.Fault.recoveries);
+  Format.fprintf fmt "violations         %d" (List.length r.violations);
+  List.iter (fun v -> Format.fprintf fmt "@,  %s" v) r.violations;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,74 @@
+(** Sustained-load soak harness for the GC watermark: simulated hours of
+    Zipfian delta traffic (optionally under periodic leader and replica
+    crashes), sampling the growth-sensitive gauges every window and
+    asserting the long-run shape — row-version counts and the live
+    certified log plateau instead of growing with wall-clock, latency
+    percentiles stay flat after warmup, both GC paths actually fired
+    ([store_pruned > 0], [cert_pruned > 0]), and a replica whose outage
+    outlived the watermark TTL healed via snapshot transfer. Running with
+    [gc_interval = None] reproduces the unbounded-growth baseline (the
+    boundedness assertions then fail, by design). Deterministic in the
+    seed. *)
+
+type config = {
+  mode : Tashkent.Types.mode;
+  n_replicas : int;
+  n_certifiers : int;
+  seed : int;
+  duration : Sim.Time.t;  (** total simulated run (default 600 s) *)
+  window : Sim.Time.t;  (** sampling window (default 30 s) *)
+  warmup_windows : int;
+      (** leading windows excluded from the boundedness and latency
+          assertions (default 1) *)
+  gc_interval : Sim.Time.t option;
+      (** replica vacuum period (default 5 s); [None] disables GC — the
+          unbounded baseline *)
+  max_snapshot_age : Sim.Time.t option;
+      (** stale-snapshot escape hatch (default 30 s) *)
+  chaos : bool;  (** inject the periodic fault plan (default on) *)
+  chaos_period : Sim.Time.t;
+      (** one fault every this often (default 120 s), alternating a 5 s
+          leader crash with a 30 s replica outage — longer than the
+          watermark TTL, so recovery needs a snapshot transfer *)
+  hot_keys : int;
+  skew : float;  (** Zipf exponent of the hot-key workload *)
+  deltas : bool;  (** ship hot-row increments as commutative deltas *)
+  clients_per_replica : int;
+}
+
+val default_config : unit -> config
+(** Tashkent-MW, 3 replicas, 3 certifiers, 600 simulated seconds in 30 s
+    windows, GC every 5 s, chaos every 120 s, Zipfian deltas. *)
+
+type window_sample = {
+  at : Sim.Time.t;  (** offset of the window's end from run start *)
+  goodput : float;  (** committed transactions per second *)
+  p95_ms : float;
+  p99_ms : float;  (** update response percentiles within the window *)
+  store_versions : int;
+      (** max row-version-chain records across up replicas — the gauge
+          that grows without bound when vacuuming is off *)
+  cert_entries : int;  (** live slots in the leader's certified log *)
+  cert_bytes : int;  (** bytes held by those live slots *)
+  gc_floor : int;  (** the leader's truncation floor *)
+}
+
+type result = {
+  windows : window_sample list;  (** oldest first, warmup included *)
+  commits : int;
+  store_pruned : int;  (** row versions vacuumed, summed over replicas *)
+  cert_pruned : int;  (** log entries truncated at the leader *)
+  snapshot_installs : int;
+      (** pruned-prefix recoveries healed by snapshot transfer *)
+  floor_heals : int;
+      (** below-floor livelocks broken by an eager refresh from the commit
+          path (see {!Tashkent.Proxy.floor_heals}), summed over replicas *)
+  stale_expired : int;  (** transactions doomed by [max_snapshot_age] *)
+  fault : Fault.stats option;  (** [None] when chaos was off *)
+  violations : string list;  (** empty on a passing run *)
+  ran_for : Sim.Time.t;
+}
+
+val run : ?config:config -> unit -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -14,6 +14,7 @@ type config = {
   commit_cpu : Time.t;
   remote_priority : bool;
   gc_interval : Time.t option;
+  max_snapshot_age : Time.t option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     commit_cpu = Time.zero;
     remote_priority = false;
     gc_interval = None;
+    max_snapshot_age = None;
   }
 
 type abort_reason = Ww_conflict of Key.t | Deadlock of txid list | Preempted
@@ -48,6 +50,7 @@ type tx = {
   id : txid;
   snapshot : int;
   remote : bool;
+  born : Time.t;  (* begin time, for the max-snapshot-age escape hatch *)
   mutable buffer : Writeset.t;
   mutable state : tx_state;
   mutable parked : ((unit, abort_reason) result -> unit) option;
@@ -77,11 +80,103 @@ and t = {
   active : (txid, tx) Hashtbl.t;
   mutable initial_rows : (Key.t * Value.t) list;
   mutable next_txid : int;
+  (* Cluster GC watermark gossiped back by the certifier (monotone).
+     [None] until the first gossip arrives — a standalone database
+     vacuums on its local watermark alone. *)
+  mutable cluster_floor : int option;
   commit_count : Stats.Counter.t;
   abort_count : Stats.Counter.t;
   deadlock_count : Stats.Counter.t;
   backfill_count : Stats.Counter.t;
+  stale_expired : Stats.Counter.t;
 }
+
+let wake_grants t grants =
+  (* Locks freed by a release were handed to queued waiters; wake their
+     fibers so they can re-run their acquisition check. *)
+  List.iter
+    (fun (_key, holder) ->
+      match Hashtbl.find_opt t.active holder with
+      | Some waiter -> (
+          match waiter.parked with
+          | Some resume ->
+              Engine.schedule_after t.engine Time.zero (fun () -> resume (Ok ()))
+          | None -> ())
+      | None -> ())
+    grants
+
+let doom t txid =
+  match Hashtbl.find_opt t.active txid with
+  | None -> ()
+  (* Remote transactions carry certified writesets: they must commit, so
+     they are never victims. *)
+  | Some tx when tx.remote -> ()
+  | Some tx -> (
+      match tx.state with
+      | Active ->
+          tx.state <- Doomed Preempted;
+          (* Stop waiting and free locks immediately so the preemptor can
+             proceed; the owner fiber observes the doom at its next step. *)
+          (match (tx.parked, tx.parked_key) with
+          | Some resume, Some key ->
+              Locks.cancel_wait t.locks tx.id key;
+              Engine.schedule_after t.engine Time.zero (fun () ->
+                  resume (Error Preempted))
+          | Some resume, None ->
+              Engine.schedule_after t.engine Time.zero (fun () ->
+                  resume (Error Preempted))
+          | None, _ -> ());
+          let grants = Locks.release_all t.locks tx.id in
+          wake_grants t grants
+      | Doomed _ | Committing | Committed | Aborted -> ())
+
+(* The replica's GC watermark: the oldest snapshot any live transaction
+   still reads, defaulting to the current version when idle. Doomed
+   transactions are condemned — their results are discarded on rollback —
+   so they deliberately do not pin the watermark: that is what lets the
+   max-snapshot-age escape hatch (and preemption) free history held by a
+   stalled or leaked transaction. *)
+let oldest_active_snapshot t =
+  Hashtbl.fold
+    (fun _ tx acc -> match tx.state with Doomed _ -> acc | _ -> min acc tx.snapshot)
+    t.active
+    (Store.current_version t.db_store)
+
+let set_cluster_gc_floor t floor =
+  match t.cluster_floor with
+  | Some current when current >= floor -> ()
+  | Some _ | None -> t.cluster_floor <- Some floor
+
+let cluster_gc_floor t = Option.value ~default:0 t.cluster_floor
+
+(* One vacuum pass: expire over-age local snapshots (the escape hatch that
+   keeps GC making progress past a stalled or leaked transaction), then
+   prune the version chains up to the cluster floor capped by the local
+   watermark. *)
+let vacuum t =
+  (match t.cfg.max_snapshot_age with
+  | Some max_age ->
+      let now = Engine.now t.engine in
+      let stale =
+        Hashtbl.fold
+          (fun _ tx acc ->
+            match tx.state with
+            | Active when (not tx.remote) && Time.(Time.diff now tx.born > max_age) ->
+                tx :: acc
+            | _ -> acc)
+          t.active []
+      in
+      List.iter
+        (fun tx ->
+          Stats.Counter.incr t.stale_expired;
+          doom t tx.id)
+        stale
+  | None -> ());
+  let keep_after =
+    let local = oldest_active_snapshot t in
+    match t.cluster_floor with Some floor -> min floor local | None -> local
+  in
+  Store.gc t.db_store ~keep_after
 
 let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
     ?(name = "db") () =
@@ -102,10 +197,12 @@ let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
       active = Hashtbl.create 32;
       initial_rows = [];
       next_txid = 0;
+      cluster_floor = None;
       commit_count = Stats.Counter.create ();
       abort_count = Stats.Counter.create ();
       deadlock_count = Stats.Counter.create ();
       backfill_count = Stats.Counter.create ();
+      stale_expired = Stats.Counter.create ();
     }
   in
   (match (config.background_page_writes_per_sec, data_disk) with
@@ -137,18 +234,13 @@ let create engine ~rng ~log_disk ?data_disk ?cpu ?(config = default_config)
   | Synchronous | Asynchronous -> ());
   (match config.gc_interval with
   | Some interval ->
-      (* Vacuum: drop row versions no active snapshot can still see. *)
+      (* Vacuum: drop row versions no active snapshot (and no replica
+         behind the cluster GC floor) can still see. *)
       ignore
         (Engine.spawn engine ~name:(name ^ ".vacuum") (fun () ->
              let rec loop () =
                Engine.sleep engine interval;
-               let oldest_snapshot =
-                 Hashtbl.fold
-                   (fun _ tx acc -> min acc tx.snapshot)
-                   db.active
-                   (Store.current_version db.db_store)
-               in
-               Store.gc db.db_store ~keep_after:oldest_snapshot;
+               vacuum db;
                loop ()
              in
              loop ()))
@@ -177,6 +269,7 @@ let begin_tx_internal t ~remote =
       id = t.next_txid;
       snapshot = Store.current_version t.db_store;
       remote;
+      born = Engine.now t.engine;
       buffer = Writeset.empty;
       state = Active;
       parked = None;
@@ -189,20 +282,6 @@ let begin_tx_internal t ~remote =
 let begin_tx t = begin_tx_internal t ~remote:false
 let tx_id tx = tx.id
 let snapshot_version tx = tx.snapshot
-
-let wake_grants t grants =
-  (* Locks freed by a release were handed to queued waiters; wake their
-     fibers so they can re-run their acquisition check. *)
-  List.iter
-    (fun (_key, holder) ->
-      match Hashtbl.find_opt t.active holder with
-      | Some waiter -> (
-          match waiter.parked with
-          | Some resume ->
-              Engine.schedule_after t.engine Time.zero (fun () -> resume (Ok ()))
-          | None -> ())
-      | None -> ())
-    grants
 
 let release_locks tx =
   let grants = Locks.release_all tx.db.locks tx.id in
@@ -233,31 +312,6 @@ let commit_readonly tx =
       Hashtbl.remove tx.db.active tx.id
 
 let is_doomed tx = match tx.state with Doomed r -> Some r | _ -> None
-
-let doom t txid =
-  match Hashtbl.find_opt t.active txid with
-  | None -> ()
-  (* Remote transactions carry certified writesets: they must commit, so
-     they are never victims. *)
-  | Some tx when tx.remote -> ()
-  | Some tx -> (
-      match tx.state with
-      | Active ->
-          tx.state <- Doomed Preempted;
-          (* Stop waiting and free locks immediately so the preemptor can
-             proceed; the owner fiber observes the doom at its next step. *)
-          (match (tx.parked, tx.parked_key) with
-          | Some resume, Some key ->
-              Locks.cancel_wait t.locks tx.id key;
-              Engine.schedule_after t.engine Time.zero (fun () ->
-                  resume (Error Preempted))
-          | Some resume, None ->
-              Engine.schedule_after t.engine Time.zero (fun () ->
-                  resume (Error Preempted))
-          | None, _ -> ());
-          let grants = Locks.release_all t.locks tx.id in
-          wake_grants t grants
-      | Doomed _ | Committing | Committed | Aborted -> ())
 
 let fail tx reason =
   rollback tx;
@@ -685,6 +739,7 @@ let commits t = Stats.Counter.value t.commit_count
 let backfills t = Stats.Counter.value t.backfill_count
 let aborts t = Stats.Counter.value t.abort_count
 let deadlocks_detected t = Stats.Counter.value t.deadlock_count
+let stale_snapshots_expired t = Stats.Counter.value t.stale_expired
 let wal t = t.db_wal
 
 let reset_stats t =
@@ -692,4 +747,5 @@ let reset_stats t =
   Stats.Counter.reset t.abort_count;
   Stats.Counter.reset t.deadlock_count;
   Stats.Counter.reset t.backfill_count;
+  Stats.Counter.reset t.stale_expired;
   Storage.Wal.reset_stats t.db_wal

@@ -52,7 +52,14 @@ type config = {
   gc_interval : Sim.Time.t option;
       (** Periodic vacuum of row versions older than the oldest active
           snapshot (PostgreSQL's "garbage collection to delete old
-          snapshots", §8.1). *)
+          snapshots", §8.1), additionally capped by the cluster GC floor
+          once one has been gossiped (see {!set_cluster_gc_floor}). *)
+  max_snapshot_age : Sim.Time.t option;
+      (** Escape hatch for the GC watermark: a {e local} transaction still
+          Active after this long is doomed by the vacuum pass (counted in
+          {!stale_snapshots_expired}), so one stalled or leaked snapshot
+          cannot pin garbage collection — or the cluster floor — forever.
+          [None] disables expiry. *)
 }
 
 val default_config : config
@@ -226,6 +233,25 @@ val restore_from_dump : t -> version:int -> Store.t -> unit
 val dump : t -> int * Store.t
 (** [(version, copy)] of the latest announced snapshot ("DUMP DATA"). The
     time/IO cost of dumping is charged by the caller. *)
+
+(** {1 Garbage collection (the cluster GC watermark)} *)
+
+val oldest_active_snapshot : t -> int
+(** Oldest snapshot version any live (non-doomed) transaction still reads;
+    the current version when none is active. This is the replica's
+    watermark report, piggybacked on certification and fetch requests. *)
+
+val set_cluster_gc_floor : t -> int -> unit
+(** Record the cluster-wide GC floor gossiped by the certifier. Monotone —
+    a floor below the recorded one is ignored. The vacuum pass never prunes
+    versions above [min floor local_oldest]; until the first call the
+    database vacuums on local information alone (standalone behaviour). *)
+
+val cluster_gc_floor : t -> int
+(** The recorded floor (0 until {!set_cluster_gc_floor} is first called). *)
+
+val stale_snapshots_expired : t -> int
+(** Transactions doomed by the [max_snapshot_age] escape hatch. *)
 
 (** {1 Statistics} *)
 

@@ -12,10 +12,11 @@ type cell = Blind of Value.t option | Delta of int
 
 type chain = (int * cell) list
 
-type t = { rows : chain Key.Tbl.t; mutable version : int }
+type t = { rows : chain Key.Tbl.t; mutable version : int; mutable pruned : int }
 
-let create () = { rows = Key.Tbl.create 1024; version = 0 }
+let create () = { rows = Key.Tbl.create 1024; version = 0; pruned = 0 }
 let current_version t = t.version
+let pruned t = t.pruned
 
 let cell_of_op = function
   | Writeset.Insert v | Writeset.Update v -> Blind (Some v)
@@ -33,6 +34,14 @@ let rec fold_value acc saw_delta = function
       else value
   | (_, Delta d) :: rest -> fold_value (acc + d) true rest
   | [] -> if saw_delta then Some (Value.int acc) else None
+
+(* Materialise a chain suffix into the single cell it denotes at a chain
+   cut. This is the one place gc and dump flatten history, and it must
+   agree with {!read} on every chain shape — in particular a [Blind None]
+   tombstone with no deltas above stays a tombstone (the key remains
+   deleted), and a delta run above a tombstone folds from the deletion
+   (missing base = 0), exactly as {!fold_value} resolves a read. *)
+let materialise suffix = Blind (fold_value 0 false suffix)
 
 let read t ~at key =
   match Key.Tbl.find_opt t.rows key with
@@ -129,36 +138,57 @@ let estimated_bytes t =
     t.rows 0
 
 let copy t =
-  let fresh = { rows = Key.Tbl.create (Key.Tbl.length t.rows); version = t.version } in
+  let fresh =
+    { rows = Key.Tbl.create (Key.Tbl.length t.rows); version = t.version; pruned = 0 }
+  in
   Key.Tbl.iter
     (fun key chain ->
       match chain with
       | [] -> ()
       | (v, _) :: _ ->
-          (* Flattening cuts the chain below the newest entry, so a delta
-             run at the head must be materialised first. *)
-          Key.Tbl.replace fresh.rows key [ (v, Blind (fold_value 0 false chain)) ])
+          (* Flattening cuts the chain below the newest entry, so the head
+             must be materialised ({!materialise} keeps a tombstone a
+             tombstone and folds delta runs exactly like a read would). *)
+          Key.Tbl.replace fresh.rows key [ (v, materialise chain) ])
     t.rows;
   fresh
 
 let gc t ~keep_after =
-  let prune chain =
-    (* Keep every version newer than [keep_after] plus the newest one at or
-       below it (still visible to snapshots in (keep_after, now]). The kept
-       boundary entry becomes the new bottom of the chain: materialise it
-       so delta runs above keep their base. *)
-    let rec loop = function
-      | [] -> []
-      | ((v, _) :: _ as suffix) when v <= keep_after ->
-          [ (v, Blind (fold_value 0 false suffix)) ]
-      | entry :: rest -> entry :: loop rest
-    in
-    loop chain
-  in
-  let updates =
-    Key.Tbl.fold (fun key chain acc -> (key, prune chain) :: acc) t.rows []
-  in
-  List.iter (fun (key, chain) -> Key.Tbl.replace t.rows key chain) updates
+  (* Keep every version newer than [keep_after] plus the newest one at or
+     below it (still visible to snapshots in (keep_after, now]). The kept
+     boundary entry becomes the new bottom of the chain: materialise it so
+     delta runs above keep their base — with the same tombstone-preserving
+     fold as {!read}, so gc can never resurrect a deleted key. A row whose
+     entire surviving history is a tombstone at or below the floor is
+     dropped outright: every visible snapshot already reads it as absent. *)
+  let drops = ref [] and updates = ref [] in
+  Key.Tbl.iter
+    (fun key chain ->
+      let rec split above = function
+        | ((v, _) :: _ as suffix) when v <= keep_after -> (List.rev above, suffix)
+        | entry :: rest -> split (entry :: above) rest
+        | [] -> (List.rev above, [])
+      in
+      let above, suffix = split [] chain in
+      match suffix with
+      | [] -> () (* nothing at or below the floor *)
+      | (v, cell) :: below -> (
+          let boundary = materialise suffix in
+          match (above, boundary) with
+          | [], Blind None ->
+              drops := key :: !drops;
+              t.pruned <- t.pruned + List.length suffix
+          | _ ->
+              let already_flat =
+                below = [] && match cell with Blind _ -> true | Delta _ -> false
+              in
+              if not already_flat then begin
+                updates := (key, above @ [ (v, boundary) ]) :: !updates;
+                t.pruned <- t.pruned + List.length below
+              end))
+    t.rows;
+  List.iter (fun key -> Key.Tbl.remove t.rows key) !drops;
+  List.iter (fun (key, chain) -> Key.Tbl.replace t.rows key chain) !updates
 
 let pp_chain fmt t key =
   match Key.Tbl.find_opt t.rows key with

@@ -80,7 +80,16 @@ val copy : t -> t
 
 val gc : t -> keep_after:int -> unit
 (** Drop version-chain entries made obsolete by a newer version [<=]
-    [keep_after] (no active snapshot older than [keep_after] exists). *)
+    [keep_after] (no active snapshot older than [keep_after] exists). The
+    boundary entry at or below [keep_after] is materialised with the same
+    tombstone-preserving fold as {!read} — a deleted key stays deleted, and
+    a delta run above a tombstone keeps folding from the deletion. A row
+    whose whole remaining history is a tombstone at or below the floor is
+    removed outright. *)
+
+val pruned : t -> int
+(** Cumulative version-chain records dropped by {!gc} over this store's
+    lifetime (including rows removed whole). *)
 
 val pp_stats : Format.formatter -> t -> unit
 

@@ -47,6 +47,7 @@ module Collector = struct
   let mean_response_ms t = Stats.Histogram.mean t.update_latency /. 1_000.
   let mean_ro_response_ms t = Stats.Histogram.mean t.ro_latency /. 1_000.
   let p95_response_ms t = Stats.Histogram.percentile t.update_latency 0.95 /. 1_000.
+  let p99_response_ms t = Stats.Histogram.percentile t.update_latency 0.99 /. 1_000.
 
   let goodput t ~window =
     let secs = Time.to_sec window in

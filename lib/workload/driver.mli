@@ -26,6 +26,7 @@ module Collector : sig
 
   val mean_ro_response_ms : t -> float
   val p95_response_ms : t -> float
+  val p99_response_ms : t -> float
 
   val goodput : t -> window:Sim.Time.t -> float
   (** Committed transactions per second over a window. *)

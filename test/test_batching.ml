@@ -62,6 +62,7 @@ let request c ~dst ~req_id ~row ~value ~at_version =
         replica = "client";
         start_version = at_version;
         replica_version = at_version;
+        oldest_snapshot = at_version;
         writeset = ws1 row value;
       }
   in

@@ -15,7 +15,7 @@ let check_bool = Alcotest.(check bool)
 (* ------------------------------------------------------------------ *)
 (* Cert_log *)
 
-let entry version origin req_id ws = { Types.version; origin; req_id; ws }
+let entry version origin req_id ws = { Types.version; origin; req_id; ws; gc_floor = 0 }
 
 let test_cert_log_append_and_certify () =
   let log = Cert_log.create () in
@@ -83,6 +83,73 @@ let test_cert_log_delta_fast_path () =
     (Cert_log.certify log (add (k "t" "a") 5) ~start_version:0);
   Alcotest.(check (option int)) "delta started after the blind write passes" None
     (Cert_log.certify log (add (k "t" "a") 5) ~start_version:3)
+
+let test_cert_log_truncation () =
+  let log = Cert_log.create () in
+  for v = 1 to 10 do
+    Cert_log.append log (entry v "r0" v (ws1 (k "t" (string_of_int v)) v))
+  done;
+  let bytes_before = Cert_log.bytes_total log in
+  Cert_log.truncate log ~upto:6;
+  check_int "floor" 6 (Cert_log.floor log);
+  check_int "live entries" 4 (Cert_log.entries log);
+  check_int "version arithmetic intact" 10 (Cert_log.version log);
+  check_int "pruned counted" 6 (Cert_log.pruned log);
+  check_bool "live bytes shrank" true (Cert_log.bytes_live log < bytes_before);
+  check_int "cumulative bytes kept" bytes_before (Cert_log.bytes_total log);
+  (* idempotent, and a stale (lower) floor is a no-op *)
+  Cert_log.truncate log ~upto:6;
+  Cert_log.truncate log ~upto:3;
+  check_int "idempotent floor" 6 (Cert_log.floor log);
+  check_int "idempotent pruned" 6 (Cert_log.pruned log);
+  (* below-floor slots are unreachable, never served stale *)
+  check_bool "get_opt below the floor" true (Cert_log.get_opt log 6 = None);
+  (match Cert_log.get log 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "get below the floor must raise");
+  (* no certification scan reaches below the floor: a key written only in
+     the truncated prefix no longer conflicts (the certifier answers
+     too-old start versions before ever scanning) *)
+  Alcotest.(check (option int)) "pre-floor writer invisible" None
+    (Cert_log.certify log (ws1 (k "t" "4") 99) ~start_version:0);
+  Alcotest.(check (option int)) "live writer still found" (Some 8)
+    (Cert_log.certify log (ws1 (k "t" "8") 99) ~start_version:0);
+  Alcotest.(check (option int)) "back_certify below the floor" None
+    (Cert_log.back_certify log ~version:4 ~down_to:0);
+  check_int "entries_between clamps at the floor" 4
+    (List.length (Cert_log.entries_between log ~lo:0 ~hi:10));
+  (* appending continues the same version arithmetic *)
+  Cert_log.append log (entry 11 "r1" 11 (ws1 (k "t" "11") 11));
+  check_int "append after truncate" 11 (Cert_log.version log);
+  check_int "five live" 5 (Cert_log.entries log);
+  (* the folded base answers below-floor state *)
+  check_bool "truncated write folded into the base" true
+    (List.exists
+       (fun (key, v) -> Mvcc.Key.equal key (k "t" "4") && v = Some (vi 4))
+       (Cert_log.base_rows log));
+  check_int "per-origin truncation ledger" 6
+    (Cert_log.truncated_for_origin log "r0")
+
+let test_cert_log_truncate_folds_deletes () =
+  let log = Cert_log.create () in
+  Cert_log.append log (entry 1 "r0" 1 (ws1 (k "t" "a") 1));
+  Cert_log.append log
+    (entry 2 "r0" 2 (Mvcc.Writeset.singleton (k "t" "a") Mvcc.Writeset.Delete));
+  Cert_log.append log (entry 3 "r0" 3 (ws1 (k "t" "b") 3));
+  Cert_log.truncate log ~upto:3;
+  check_int "everything truncated" 0 (Cert_log.entries log);
+  let base = Cert_log.base_rows log in
+  check_bool "deleted key reads None in the base" true
+    (List.exists (fun (key, v) -> Mvcc.Key.equal key (k "t" "a") && v = None) base);
+  check_bool "live key folded" true
+    (List.exists
+       (fun (key, v) -> Mvcc.Key.equal key (k "t" "b") && v = Some (vi 3))
+       base);
+  (* a floor beyond the head clamps instead of inventing versions *)
+  Cert_log.truncate log ~upto:99;
+  check_int "clamped to the head" 3 (Cert_log.floor log);
+  Cert_log.append log (entry 4 "r0" 4 (ws1 (k "t" "c") 4));
+  check_int "append after clamped truncate" 4 (Cert_log.version log)
 
 let test_overlay_delta_fast_path () =
   let add key d = Mvcc.Writeset.singleton key (Mvcc.Writeset.Add d) in
@@ -497,6 +564,14 @@ let test_cluster_config_validation () =
     (Cluster.config
        ~replica:{ (quick_replica Types.Base) with Replica.exec_cpu = Time.us (-5) }
        Types.Base);
+  expect_invalid "negative gc_interval"
+    (Cluster.config ~gc_interval:(Some (Time.us (-1))) Types.Base);
+  expect_invalid "negative max_snapshot_age"
+    (Cluster.config ~max_snapshot_age:(Some (Time.us (-1))) Types.Base);
+  expect_invalid "negative watermark_ttl"
+    (Cluster.config
+       ~certifier:{ Certifier.default_config with watermark_ttl = Time.us (-1) }
+       Types.Base);
   (* several problems are reported in one message naming each of them *)
   match Cluster.create (Cluster.config ~n_replicas:0 ~apply_workers:0 Types.Base) with
   | exception Invalid_argument msg ->
@@ -685,6 +760,9 @@ let suites =
         Alcotest.test_case "back-certification memoised" `Quick test_cert_log_back_certify;
         Alcotest.test_case "delta fast path" `Quick test_cert_log_delta_fast_path;
         Alcotest.test_case "overlay delta fast path" `Quick test_overlay_delta_fast_path;
+        Alcotest.test_case "truncation" `Quick test_cert_log_truncation;
+        Alcotest.test_case "truncation folds deletes" `Quick
+          test_cert_log_truncate_folds_deletes;
       ] );
     ( "core.end_to_end",
       [

@@ -45,6 +45,7 @@ let test_cert_client_happy_path () =
              req_id = req.req_id;
              decision = Types.Commit;
              commit_version = 7;
+             gc_floor = 0;
              remotes = [];
            }));
   let client =
@@ -61,7 +62,7 @@ let test_cert_client_happy_path () =
   ignore
     (Engine.spawn engine (fun () ->
          let reply =
-           Cert_client.certify client ~start_version:0 ~replica_version:0 (ws "a" 1)
+           Cert_client.certify client ~start_version:0 ~replica_version:0 ~oldest_snapshot:0 (ws "a" 1)
          in
          got := reply.commit_version));
   Engine.run ~until:(Time.sec 2) engine;
@@ -80,7 +81,7 @@ let test_cert_client_redirect () =
   fake_certifier engine net "c1" (fun req ->
       Net.Network.send net ~src:"c1" ~dst:req.Types.replica
         (Types.Cert_reply
-           { req_id = req.req_id; decision = Types.Commit; commit_version = 9; remotes = [] }));
+           { req_id = req.req_id; decision = Types.Commit; commit_version = 9; gc_floor = 0; remotes = [] }));
   let client =
     Cert_client.create engine ~net ~my_addr:"proxy" ~certifiers:[ "c0"; "c1" ]
       ~req_id_base:0 ()
@@ -96,7 +97,7 @@ let test_cert_client_redirect () =
   ignore
     (Engine.spawn engine (fun () ->
          got :=
-           (Cert_client.certify client ~start_version:0 ~replica_version:0 (ws "a" 1))
+           (Cert_client.certify client ~start_version:0 ~replica_version:0 ~oldest_snapshot:0 (ws "a" 1))
              .commit_version));
   Engine.run ~until:(Time.sec 2) engine;
   check_int "answer came from the leader" 9 !got;
@@ -112,7 +113,7 @@ let test_cert_client_timeout_failover () =
       seen_ids := req.Types.req_id :: !seen_ids;
       Net.Network.send net ~src:"c1" ~dst:req.Types.replica
         (Types.Cert_reply
-           { req_id = req.req_id; decision = Types.Commit; commit_version = 3; remotes = [] }));
+           { req_id = req.req_id; decision = Types.Commit; commit_version = 3; gc_floor = 0; remotes = [] }));
   let client =
     Cert_client.create engine ~net ~my_addr:"proxy" ~certifiers:[ "c0"; "c1" ]
       ~timeout:(Time.of_ms 100.) ~req_id_base:500 ()
@@ -128,7 +129,7 @@ let test_cert_client_timeout_failover () =
   ignore
     (Engine.spawn engine (fun () ->
          got :=
-           (Cert_client.certify client ~start_version:0 ~replica_version:0 (ws "a" 1))
+           (Cert_client.certify client ~start_version:0 ~replica_version:0 ~oldest_snapshot:0 (ws "a" 1))
              .commit_version));
   Engine.run ~until:(Time.sec 5) engine;
   check_int "eventually answered" 3 !got;
@@ -160,6 +161,7 @@ let certify_via engine net cert ~req_id ~start_version ~replica_version w =
                 replica = Printf.sprintf "r%d" req_id;
                 start_version;
                 replica_version;
+                oldest_snapshot = 0;
                 writeset = w;
               });
          match Mailbox.recv mb with
@@ -206,6 +208,7 @@ let test_certifier_retry_idempotent () =
          Net.Network.send net ~src:"r42b" ~dst:"cert0"
            (Types.Cert_request
               { req_id = 42; trace_id = 0; replica = "r42b"; start_version = 0; replica_version = 0;
+                oldest_snapshot = 0;
                 writeset = ws "a" 1 });
          match Mailbox.recv mb with
          | Types.Cert_reply r -> second := Some r
@@ -258,6 +261,7 @@ let test_certifier_nocert_mode_no_disk () =
          Net.Network.send net ~src:"rq" ~dst:"cert0"
            (Types.Cert_request
               { req_id = 1; trace_id = 0; replica = "rq"; start_version = 0; replica_version = 0;
+                oldest_snapshot = 0;
                 writeset = ws "a" 1 });
          (match Mailbox.recv mb with Types.Cert_reply _ -> () | _ -> ());
          replied_at := Time.diff (Engine.now engine) sent));
@@ -284,6 +288,113 @@ let test_certifier_forced_abort_counted () =
   | _ -> Alcotest.fail "expected forced abort");
   check_int "forced abort counted" 1 (Certifier.stats cert).aborts_forced;
   check_int "log unchanged" 0 (Certifier.system_version cert)
+
+(* One replica certifying sequentially, reporting its oldest active
+   snapshot as it goes: the certifier's watermark must follow the reports
+   and truncate the certified log behind them. *)
+let test_certifier_watermark_truncates () =
+  let engine = Engine.create () in
+  let net = fast_net engine in
+  let cert = one_node_certifier engine net in
+  Engine.run ~until:(Time.sec 2) engine;
+  let mb = Net.Network.register net "rA" in
+  let floors = ref [] in
+  ignore
+    (Engine.spawn engine (fun () ->
+         for i = 1 to 5 do
+           Net.Network.send net ~src:"rA" ~dst:"cert0"
+             (Types.Cert_request
+                {
+                  req_id = i;
+                  trace_id = 0;
+                  replica = "rA";
+                  start_version = i - 1;
+                  replica_version = i - 1;
+                  oldest_snapshot = i - 1;
+                  writeset = ws "a" i;
+                });
+           match Mailbox.recv mb with
+           | Types.Cert_reply r -> floors := r.gc_floor :: !floors
+           | _ -> ()
+         done));
+  Engine.run ~until:(Time.sec 5) engine;
+  let log = Certifier.log cert in
+  check_int "five commits" 5 (Cert_log.version log);
+  check_int "floor follows the reports" 4 (Cert_log.floor log);
+  check_int "one live entry" 1 (Cert_log.entries log);
+  check_int "prefix pruned" 4 (Cert_log.pruned log);
+  check_bool "floor gossiped in commit replies" true
+    (List.exists (fun f -> f > 0) !floors);
+  (* the decided table survives truncation: still the durability witness
+     for every pruned slot *)
+  for i = 1 to 5 do
+    check_bool "decided survives truncation" true
+      (Certifier.decided_version cert ~req_id:i = Some i)
+  done
+
+(* A fetch whose start lies below the truncation floor is answered with a
+   full snapshot transfer (base rows at the floor) plus the live entries
+   above it — never by reading freed slots. *)
+let test_certifier_fetch_below_floor_snapshot () =
+  let engine = Engine.create () in
+  let net = fast_net engine in
+  let cert = one_node_certifier engine net in
+  Engine.run ~until:(Time.sec 2) engine;
+  let mb = Net.Network.register net "rA" in
+  ignore
+    (Engine.spawn engine (fun () ->
+         for i = 1 to 5 do
+           Net.Network.send net ~src:"rA" ~dst:"cert0"
+             (Types.Cert_request
+                {
+                  req_id = i;
+                  trace_id = 0;
+                  replica = "rA";
+                  start_version = i - 1;
+                  replica_version = i - 1;
+                  oldest_snapshot = i - 1;
+                  writeset = ws (string_of_int i) i;
+                });
+           match Mailbox.recv mb with Types.Cert_reply _ -> () | _ -> ()
+         done));
+  Engine.run ~until:(Time.sec 5) engine;
+  check_int "floor advanced" 4 (Cert_log.floor (Certifier.log cert));
+  let fetch ~from_version =
+    let name = Printf.sprintf "stale%d" from_version in
+    let fmb = Net.Network.register net name in
+    let got = ref None in
+    ignore
+      (Engine.spawn engine (fun () ->
+           Net.Network.send net ~src:name ~dst:"cert0"
+             (Types.Fetch_request
+                {
+                  fetch_req_id = 100 + from_version;
+                  fetch_replica = name;
+                  from_version;
+                  fetch_oldest_snapshot = from_version;
+                });
+           match Mailbox.recv fmb with
+           | Types.Fetch_reply r -> got := Some r
+           | _ -> ()));
+    Engine.run ~until:(Time.add (Engine.now engine) (Time.sec 1)) engine;
+    match !got with Some r -> r | None -> Alcotest.fail "no fetch reply"
+  in
+  let stale = fetch ~from_version:1 in
+  (match stale.fetch_snapshot with
+  | Some snap ->
+      check_int "snapshot at the floor" 4 snap.snap_version;
+      check_bool "snapshot covers a truncated write" true
+        (List.exists
+           (fun (key, v) ->
+             Mvcc.Key.equal key (k "3") && v = Some (Mvcc.Value.int 3))
+           snap.rows)
+  | None -> Alcotest.fail "below-floor fetch must carry a snapshot");
+  check_int "remotes resume above the floor" 1 (List.length stale.fetch_remotes);
+  check_int "floor gossiped" 4 stale.fetch_gc_floor;
+  (* a fetch at or above the floor needs no snapshot *)
+  let fresh = fetch ~from_version:4 in
+  check_bool "no snapshot above the floor" true (fresh.fetch_snapshot = None);
+  check_int "just the missing entry" 1 (List.length fresh.fetch_remotes)
 
 (* ------------------------------------------------------------------ *)
 (* Property tests: locks single-holder invariant; store last-write-wins *)
@@ -363,12 +474,12 @@ let test_types_message_bytes_monotone () =
   in
   let req w =
     Types.Cert_request
-      { req_id = 1; trace_id = 0; replica = "r"; start_version = 0; replica_version = 0; writeset = w }
+      { req_id = 1; trace_id = 0; replica = "r"; start_version = 0; replica_version = 0; oldest_snapshot = 0; writeset = w }
   in
   check_bool "bigger writeset, bigger message" true
     (Types.message_bytes (req big) > Types.message_bytes (req small));
   let reply remotes =
-    Types.Cert_reply { req_id = 1; decision = Types.Commit; commit_version = 1; remotes }
+    Types.Cert_reply { req_id = 1; decision = Types.Commit; commit_version = 1; gc_floor = 0; remotes }
   in
   check_bool "remotes add bytes" true
     (Types.message_bytes (reply [ { Types.version = 1; ws = big; conflict_with = None } ])
@@ -434,6 +545,10 @@ let suites =
           test_certifier_nocert_mode_no_disk;
         Alcotest.test_case "forced aborts counted, not logged" `Quick
           test_certifier_forced_abort_counted;
+        Alcotest.test_case "watermark truncates behind the reports" `Quick
+          test_certifier_watermark_truncates;
+        Alcotest.test_case "below-floor fetch gets a snapshot" `Quick
+          test_certifier_fetch_below_floor_snapshot;
       ] );
     ( "core.vocabulary",
       [

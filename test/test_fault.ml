@@ -61,6 +61,8 @@ let test_stale_fetch_reply_discarded () =
                         fetch_req_id = freq.fetch_req_id;
                         fetch_remotes = [];
                         certifier_version = n;
+                        fetch_gc_floor = 0;
+                        fetch_snapshot = None;
                       })
                in
                if !seen = 1 then
@@ -73,7 +75,7 @@ let test_stale_fetch_reply_discarded () =
   let result = ref None in
   ignore
     (Engine.spawn e ~name:"fetcher" (fun () ->
-         result := Cert_client.fetch client ~replica:"r0" ~from_version:0));
+         result := Cert_client.fetch client ~replica:"r0" ~from_version:0 ~oldest_snapshot:0));
   Engine.run e;
   (match !result with
   | Some r -> check_int "retry's reply wins" 222 r.Types.certifier_version
@@ -105,16 +107,18 @@ let test_concurrent_fetches_routed_independently () =
                         fetch_req_id = freq.fetch_req_id;
                         fetch_remotes = [];
                         certifier_version = freq.from_version + 1;
+                        fetch_gc_floor = 0;
+                        fetch_snapshot = None;
                       }))
                !held
          done));
   let ra = ref None and rb = ref None in
   ignore
     (Engine.spawn e (fun () ->
-         ra := Cert_client.fetch client ~replica:"r0" ~from_version:10));
+         ra := Cert_client.fetch client ~replica:"r0" ~from_version:10 ~oldest_snapshot:0));
   ignore
     (Engine.spawn e (fun () ->
-         rb := Cert_client.fetch client ~replica:"r0" ~from_version:20));
+         rb := Cert_client.fetch client ~replica:"r0" ~from_version:20 ~oldest_snapshot:0));
   Engine.run e;
   (match (!ra, !rb) with
   | Some a, Some b ->
@@ -152,6 +156,7 @@ let test_redirect_to_unknown_leader_falls_back () =
                       req_id = req.req_id;
                       decision = Types.Commit;
                       commit_version = 7;
+                      gc_floor = 0;
                       remotes = [];
                     })
            | _ -> ()
@@ -161,7 +166,7 @@ let test_redirect_to_unknown_leader_falls_back () =
     (Engine.spawn e (fun () ->
          let ws = Mvcc.Writeset.singleton (Mvcc.Key.make ~table:"t" ~row:"a")
              (Mvcc.Writeset.Update (Mvcc.Value.int 1)) in
-         reply := Some (Cert_client.certify client ~start_version:0 ~replica_version:0 ws)));
+         reply := Some (Cert_client.certify client ~start_version:0 ~replica_version:0 ~oldest_snapshot:0 ws)));
   Engine.run e;
   (match !reply with
   | Some r ->

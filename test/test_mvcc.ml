@@ -310,6 +310,50 @@ let test_store_copy_materializes_deltas () =
   Store.install s ~version:3 (Writeset.singleton (k "t" "a") (Writeset.Add 1));
   Alcotest.check value_opt "copy isolated" (Some (vi 105)) (Store.read_latest c (k "t" "a"))
 
+let test_store_gc_preserves_tombstones () =
+  (* Regression: the boundary entry gc materialises must keep a delete a
+     delete. A value folded over a tombstone would resurrect the row. *)
+  let s = Store.create () in
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (upd 1));
+  Store.install s ~version:2 (Writeset.singleton (k "t" "a") Writeset.Delete);
+  Store.install s ~version:3 (Writeset.singleton (k "t" "a") (Writeset.Add 4));
+  Store.gc s ~keep_after:2;
+  Alcotest.check value_opt "deleted at the floor" None (Store.read s ~at:2 (k "t" "a"));
+  Alcotest.check value_opt "delta folds from the deletion" (Some (vi 4))
+    (Store.read s ~at:3 (k "t" "a"));
+  Alcotest.check value_opt "latest agrees" (Some (vi 4))
+    (Store.read_latest s (k "t" "a"));
+  (* A row whose entire surviving history is a below-floor tombstone is
+     dropped outright — it must read as absent, not as a stale value. *)
+  Store.install s ~version:4 (Writeset.singleton (k "t" "b") (upd 9));
+  Store.install s ~version:5 (Writeset.singleton (k "t" "b") Writeset.Delete);
+  let rows_before = Store.row_count s in
+  Store.gc s ~keep_after:5;
+  check_int "tombstoned row removed" (rows_before - 1) (Store.row_count s);
+  Alcotest.check value_opt "removed row reads as absent" None
+    (Store.read_latest s (k "t" "b"))
+
+let test_store_copy_preserves_tombstones () =
+  (* Same regression through the dump path: a copy flattens each chain to
+     one version, and the flatten must not turn delete-then-delta history
+     into a live pre-delete value. *)
+  let s = Store.create () in
+  Store.install s ~version:1 (Writeset.singleton (k "t" "a") (upd 50));
+  Store.install s ~version:2 (Writeset.singleton (k "t" "a") Writeset.Delete);
+  Store.install s ~version:3 (Writeset.singleton (k "t" "b") (upd 7));
+  let c = Store.copy s in
+  Alcotest.check value_opt "deleted row stays deleted in the copy" None
+    (Store.read_latest c (k "t" "a"));
+  Alcotest.check value_opt "live row copied" (Some (vi 7))
+    (Store.read_latest c (k "t" "b"));
+  (* delete-then-delta: the delta must fold from the deletion (zero base),
+     not from the pre-delete image *)
+  Store.install s ~version:4 (Writeset.singleton (k "t" "a") (Writeset.Add 4));
+  let c2 = Store.copy s in
+  Alcotest.check value_opt "delta over tombstone folds from zero"
+    (Some (vi 4))
+    (Store.read_latest c2 (k "t" "a"))
+
 (* ------------------------------------------------------------------ *)
 (* Locks *)
 
@@ -1208,6 +1252,107 @@ let test_db_vacuum_prunes_versions () =
   Alcotest.check value_opt "latest value intact" (Some (vi 50))
     (Db.read_committed db (k "t" "a"))
 
+let test_db_watermark_and_active_tracking () =
+  let e, db, _ = make_db () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  in_fiber e (fun () ->
+      for i = 1 to 3 do
+        let tx = Db.begin_tx db in
+        (match Db.write tx (k "t" "a") (upd i) with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "write");
+        match Db.commit_standalone tx with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "commit"
+      done;
+      check_int "idle: watermark = current version" 3
+        (Db.oldest_active_snapshot db);
+      let reader = Db.begin_tx db in
+      let writer = Db.begin_tx db in
+      (match Db.write writer (k "t" "a") (upd 9) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "write2");
+      (match Db.commit_standalone writer with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "commit2");
+      check_int "reader pins its snapshot" 3 (Db.oldest_active_snapshot db);
+      Db.abort reader;
+      check_int "abort releases the pin" 4 (Db.oldest_active_snapshot db);
+      let pinned = Db.begin_tx db in
+      Db.doom db (Db.tx_id pinned);
+      check_int "a doomed transaction does not pin" 4
+        (Db.oldest_active_snapshot db);
+      Db.abort pinned;
+      let _hanging = Db.begin_tx db in
+      Db.crash db;
+      check_int "crash empties the active set" 0
+        (List.length (Db.active_txids db)))
+
+let test_db_stale_snapshot_expiry () =
+  (* The max-snapshot-age escape hatch: a transaction parked forever must
+     not pin the watermark past the configured age — the vacuum pass dooms
+     it, counts it, and GC moves on. *)
+  let config =
+    {
+      Db.default_config with
+      gc_interval = Some (Time.sec 1);
+      max_snapshot_age = Some (Time.sec 2);
+    }
+  in
+  let e, db, _ = make_db ~config () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  let stale = ref None in
+  ignore (Engine.spawn e (fun () -> stale := Some (Db.begin_tx db)));
+  Engine.run ~until:(Time.of_ms 10.) e;
+  ignore
+    (Engine.spawn e (fun () ->
+         for i = 1 to 5 do
+           let tx = Db.begin_tx db in
+           (match Db.write tx (k "t" "a") (upd i) with
+           | Ok () -> ()
+           | Error _ -> ());
+           ignore (Db.commit_standalone tx)
+         done));
+  Engine.run ~until:(Time.sec 6) e;
+  check_int "escape hatch fired once" 1 (Db.stale_snapshots_expired db);
+  (match !stale with
+  | Some tx -> check_bool "stale tx doomed" true (Db.is_doomed tx <> None)
+  | None -> Alcotest.fail "leaked tx never began");
+  check_int "watermark freed" 5 (Db.oldest_active_snapshot db)
+
+let test_db_vacuum_capped_by_cluster_floor () =
+  (* The vacuum must not prune past the cluster floor even when no local
+     snapshot needs the history — another replica might. And the floor is
+     monotone: stale gossip cannot move it backwards. *)
+  let config = { Db.default_config with gc_interval = Some (Time.sec 1) } in
+  let e, db, _ = make_db ~config () in
+  Db.load db [ (k "t" "a", vi 0) ];
+  ignore
+    (Engine.spawn e (fun () ->
+         for i = 1 to 10 do
+           let tx = Db.begin_tx db in
+           (match Db.write tx (k "t" "a") (upd i) with
+           | Ok () -> ()
+           | Error _ -> ());
+           ignore (Db.commit_standalone tx)
+         done));
+  Engine.run ~until:(Time.of_ms 900.) e;
+  check_int "all versions present before the first vacuum" 11
+    (Store.version_records (Db.store db));
+  Db.set_cluster_gc_floor db 5;
+  Engine.run ~until:(Time.of_ms 1500.) e;
+  check_int "pruned up to the floor only" 6
+    (Store.version_records (Db.store db));
+  check_int "floor recorded" 5 (Db.cluster_gc_floor db);
+  Db.set_cluster_gc_floor db 3;
+  check_int "floor is monotone" 5 (Db.cluster_gc_floor db);
+  Db.set_cluster_gc_floor db 20;
+  Engine.run ~until:(Time.of_ms 2500.) e;
+  check_int "a floor above the local watermark is capped by it" 1
+    (Store.version_records (Db.store db));
+  Alcotest.check value_opt "latest value intact" (Some (vi 10))
+    (Db.read_committed db (k "t" "a"))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suites =
@@ -1240,6 +1385,10 @@ let suites =
           test_store_gc_materializes_delta_base;
         Alcotest.test_case "copy materializes deltas" `Quick
           test_store_copy_materializes_deltas;
+        Alcotest.test_case "gc preserves tombstones" `Quick
+          test_store_gc_preserves_tombstones;
+        Alcotest.test_case "copy preserves tombstones" `Quick
+          test_store_copy_preserves_tombstones;
       ] );
     ( "mvcc.locks",
       [
@@ -1311,6 +1460,12 @@ let suites =
         Alcotest.test_case "restore from dump" `Quick test_db_restore_from_dump;
         Alcotest.test_case "read-only commit is free" `Quick test_db_commit_readonly;
         Alcotest.test_case "vacuum prunes old versions" `Quick test_db_vacuum_prunes_versions;
+        Alcotest.test_case "watermark tracks active snapshots" `Quick
+          test_db_watermark_and_active_tracking;
+        Alcotest.test_case "stale snapshot expiry (escape hatch)" `Quick
+          test_db_stale_snapshot_expiry;
+        Alcotest.test_case "vacuum capped by the cluster floor" `Quick
+          test_db_vacuum_capped_by_cluster_floor;
       ]
       @ qsuite [ prop_no_lost_updates ] );
   ]
