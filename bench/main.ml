@@ -17,7 +17,7 @@ let all_sections =
   [
     "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
     "ablation"; "micro"; "chaos"; "storage_chaos"; "latency"; "parallel_apply";
-    "hotkey"; "soak";
+    "hotkey"; "soak"; "partition";
   ]
 
 (* Machine-readable metrics for regression tracking, written to
@@ -83,8 +83,9 @@ let systems_for = function
         Experiment.Replicated Tashkent.Types.Tashkent_api;
         Experiment.Replicated Tashkent.Types.Tashkent_mw;
       ]
-  | Experiment.Hotkey ->
-      (* the hotkey section sweeps deltas on/off itself rather than systems *)
+  | Experiment.Hotkey | Experiment.Part_local ->
+      (* these sections sweep their own knobs (deltas, partitions) rather
+         than systems *)
       [ Experiment.Replicated Tashkent.Types.Tashkent_mw ]
 
 let io_name = function
@@ -414,7 +415,8 @@ let micro () =
     let log = Tashkent.Cert_log.create () in
     for v = 1 to 10_000 do
       Tashkent.Cert_log.append log
-        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997); gc_floor = 0 }
+        { Tashkent.Types.version = v; origin = "r"; req_id = v;
+          ws = ws_of 4 (v mod 997); gc_floor = 0; xa = None }
     done;
     log
   in
@@ -429,7 +431,8 @@ let micro () =
     let o = Tashkent.Overlay.create () in
     for v = 1 to 1_000 do
       Tashkent.Overlay.add o
-        { Tashkent.Types.version = v; origin = "r"; req_id = v; ws = ws_of 4 (v mod 997); gc_floor = 0 }
+        { Tashkent.Types.version = v; origin = "r"; req_id = v;
+          ws = ws_of 4 (v mod 997); gc_floor = 0; xa = None }
     done;
     o
   in
@@ -799,6 +802,139 @@ let soak () =
       (if r.Soak_exp.violations = [] then "bounded (0 violations)"
        else Printf.sprintf "%d violations" (List.length r.Soak_exp.violations))
 
+(* ------------------------------------------------------------------ *)
+(* Partitioned certification: goodput scaling with certifier groups on
+   the partition-local workload, the cost of a cross-partition mix, and
+   the partitioned chaos smoke (one certifier group crashed mid-run). *)
+
+let partition () =
+  Report.section
+    "Partitioned certification: sharded certifier groups (partlocal workload)";
+  let n = if !quick then 8 else 12 in
+  let run ~partitions ~cross_ratio =
+    Experiment.run
+      {
+        (base_cfg Experiment.Part_local Tashkent.Replica.Shared_io) with
+        Experiment.system = Experiment.Replicated Tashkent.Types.Tashkent_mw;
+        n_replicas = n;
+        n_partitions = partitions;
+        cross_ratio;
+      }
+  in
+  (* The scaling claim needs the sharded components on the critical path:
+     partial replication (Host_modulo) so the apply stream shards along
+     with certification, an inflated certify cost standing in for the
+     saturated-certifier regime of the paper (large writesets), a light
+     execution cost (client execution is NOT sharded by partitioning), and
+     enough closed-loop clients to keep 4 groups busy. *)
+  let run_scaling ~partitions =
+    Experiment.run
+      {
+        (base_cfg Experiment.Part_local Tashkent.Replica.Shared_io) with
+        Experiment.system = Experiment.Replicated Tashkent.Types.Tashkent_mw;
+        n_replicas = n;
+        n_partitions = partitions;
+        hosting = Tashkent.Cluster.Host_modulo;
+        clients_per_replica = Some 80;
+        certify_cpu = Some (Sim.Time.us 300);
+        part_exec_cpu = Some (Sim.Time.us 150);
+      }
+  in
+  Report.subsection
+    (Printf.sprintf
+       "scaling: certification-bound regime, partial replication \
+        (Host_modulo), %d replicas"
+       n);
+  let t =
+    Report.table
+      ~columns:
+        [ "partitions"; "goodput"; "resp (ms)"; "p99 (ms)"; "abort rate"; "cert cpu" ]
+  in
+  let scaling =
+    List.map
+      (fun p ->
+        let r = run_scaling ~partitions:p in
+        Report.row t
+          [
+            string_of_int p;
+            Report.f1 r.Experiment.goodput;
+            Report.f1 r.Experiment.resp_ms;
+            Report.f1 r.Experiment.p99_ms;
+            Report.pct r.Experiment.abort_rate_measured;
+            Report.pct r.Experiment.cert_cpu_util;
+          ];
+        record_metric
+          (Printf.sprintf "partition/local_goodput_p%d" p)
+          r.Experiment.goodput;
+        (p, r))
+      [ 1; 2; 4 ]
+  in
+  Report.print t;
+  let g p = (List.assoc p scaling).Experiment.goodput in
+  let scale = if g 1 <= 0. then 0. else g 4 /. g 1 in
+  record_metric "partition/local_scaling_p4_over_p1" scale;
+  Report.paper_vs ~what:"certified goodput scaling, 1 -> 4 partitions"
+    ~paper:"near-linear (>= 3x)"
+    ~measured:(Printf.sprintf "%.1fx" scale);
+  Report.subsection
+    (Printf.sprintf "cross-partition mix at 4 partitions, %d replicas" n);
+  let t =
+    Report.table
+      ~columns:
+        [
+          "cross-ratio";
+          "goodput";
+          "cross commits";
+          "cross aborts";
+          "resp (ms)";
+          "p99 (ms)";
+        ]
+  in
+  List.iter
+    (fun ratio ->
+      let r = run ~partitions:4 ~cross_ratio:ratio in
+      Report.row t
+        [
+          Report.pct ratio;
+          Report.f1 r.Experiment.goodput;
+          string_of_int r.Experiment.cross_commits;
+          string_of_int r.Experiment.cross_aborts;
+          Report.f1 r.Experiment.resp_ms;
+          Report.f1 r.Experiment.p99_ms;
+        ];
+      record_metric
+        (Printf.sprintf "partition/cross%02d_goodput" (int_of_float (ratio *. 100.)))
+        r.Experiment.goodput;
+      record_metric
+        (Printf.sprintf "partition/cross%02d_commits" (int_of_float (ratio *. 100.)))
+        (float_of_int r.Experiment.cross_commits))
+    [ 0.1; 0.3 ];
+  Report.print t;
+  Report.subsection "chaos smoke: one certifier group crashed mid-run";
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          (Chaos_exp.default_config ()) with
+          Chaos_exp.n_partitions = 2;
+          seed;
+        }
+      in
+      let r = Chaos_exp.run ~config () in
+      Report.kv
+        (Printf.sprintf "seed %d commits/cross/violations" seed)
+        (Printf.sprintf "%d/%d/%d" r.Chaos_exp.commits r.Chaos_exp.cross_commits
+           (List.length r.Chaos_exp.violations));
+      let m key v =
+        record_metric (Printf.sprintf "partition/chaos_seed%d/%s" seed key)
+          (float_of_int v)
+      in
+      m "commits" r.Chaos_exp.commits;
+      m "cross_commits" r.Chaos_exp.cross_commits;
+      m "cross_aborts" r.Chaos_exp.cross_aborts;
+      m "violations" (List.length r.Chaos_exp.violations))
+    [ 1966; 2006 ]
+
 let () =
   if !list_only then begin
     List.iter print_endline all_sections;
@@ -835,5 +971,6 @@ let () =
   if wants "parallel_apply" then parallel_apply ();
   if wants "hotkey" then hotkey ();
   if wants "soak" then soak ();
+  if wants "partition" then partition ();
   if !json_metrics <> [] then write_json ();
   print_newline ()

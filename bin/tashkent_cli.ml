@@ -23,6 +23,7 @@ let workload_conv =
     | "tpcb" | "tpc-b" -> Ok Harness.Experiment.Tpc_b
     | "tpcw" | "tpc-w" -> Ok Harness.Experiment.Tpc_w
     | "hotkey" -> Ok Harness.Experiment.Hotkey
+    | "partlocal" | "part-local" -> Ok Harness.Experiment.Part_local
     | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
   in
   let print fmt w = Format.pp_print_string fmt (Harness.Experiment.workload_name w) in
@@ -52,7 +53,7 @@ let workload_t =
     value
     & opt workload_conv Harness.Experiment.All_updates
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
-        ~doc:"allupdates, tpcb, tpcw or hotkey.")
+        ~doc:"allupdates, tpcb, tpcw, hotkey or partlocal.")
 
 let io_t =
   Arg.(
@@ -64,7 +65,30 @@ let replicas_t =
   Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Database replicas.")
 
 let certifiers_t =
-  Arg.(value & opt int 3 & info [ "certifiers" ] ~docv:"N" ~doc:"Certifier nodes.")
+  Arg.(
+    value & opt int 3
+    & info [ "certifiers" ] ~docv:"N"
+        ~doc:"Certifier nodes (Paxos ring members per certifier group).")
+
+let partitions_t =
+  Arg.(
+    value & opt int 1
+    & info [ "partitions" ] ~docv:"N"
+        ~doc:
+          "Certifier groups. With more than one, the key space is sharded \
+           by a static hash partitioner, each group certifies one shard on \
+           its own Paxos ring and log, and clients run through the session \
+           router so a transaction spanning groups commits atomically.")
+
+let cross_ratio_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "cross-ratio" ] ~docv:"R"
+        ~doc:
+          "Fraction (0..1) of partlocal transactions that span two \
+           partitions; the rest certify entirely within one certifier \
+           group. Only meaningful with --workload partlocal and \
+           --partitions > 1.")
 
 let seconds_t =
   Arg.(value & opt float 10. & info [ "seconds" ] ~docv:"S" ~doc:"Measurement window.")
@@ -112,14 +136,20 @@ let gc_interval_t ~default =
 let gc_interval_of_sec s = if s <= 0. then None else Some (Sim.Time.of_sec s)
 
 let run_cmd =
-  let run system workload io n certifiers seconds abort_rate seed apply_workers
-      deltas skew gc_interval =
+  let run system workload io n certifiers partitions cross_ratio seconds
+      abort_rate seed apply_workers deltas skew gc_interval =
     let cfg =
       {
         Harness.Experiment.system;
         io;
         n_replicas = n;
         n_certifiers = certifiers;
+        n_partitions = partitions;
+        hosting = Tashkent.Cluster.Host_all;
+        cross_ratio;
+        clients_per_replica = None;
+        certify_cpu = None;
+        part_exec_cpu = None;
         workload;
         deltas;
         hot_skew = skew;
@@ -139,6 +169,11 @@ let run_cmd =
     kv "system" (Harness.Experiment.system_name system);
     kv "workload" (Harness.Experiment.workload_name workload);
     kv "replicas" (string_of_int n);
+    (if partitions > 1 then begin
+       kv "partitions" (string_of_int partitions);
+       kv "cross-partition commits" (string_of_int r.cross_commits);
+       kv "cross-partition aborts" (string_of_int r.cross_aborts)
+     end);
     kv "throughput (committed+aborted req/s)" (f1 r.throughput);
     kv "goodput (committed req/s)" (f1 r.goodput);
     kv "update response time (ms)" (f1 r.resp_ms);
@@ -159,7 +194,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one measured experiment and print its metrics.")
     Term.(
-      const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t $ seconds_t
+      const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t
+      $ partitions_t $ cross_ratio_t $ seconds_t
       $ abort_rate_t $ seed_t $ apply_workers_t $ deltas_t $ skew_t
       $ gc_interval_t ~default:30.)
 
@@ -212,8 +248,8 @@ let consistency_cmd =
     Term.(const run $ replicas_t $ seconds_t $ seed_t)
 
 let chaos_cmd =
-  let run n certifiers seconds seed plan_seed disk_faults fsync_stall_ms apply_workers
-      deltas gc_interval =
+  let run n certifiers partitions seconds seed plan_seed disk_faults
+      fsync_stall_ms apply_workers deltas gc_interval =
     let plan =
       match plan_seed with
       | None ->
@@ -226,6 +262,7 @@ let chaos_cmd =
         (Harness.Chaos_exp.default_config ()) with
         n_replicas = n;
         n_certifiers = certifiers;
+        n_partitions = partitions;
         duration = Sim.Time.of_sec seconds;
         seed;
         plan;
@@ -278,18 +315,19 @@ let chaos_cmd =
           optionally storage faults) and verify the GSI and durability invariants \
           after every heal; exits 1 on any violation.")
     Term.(
-      const run $ replicas_t $ certifiers_t $ seconds_t $ seed_t $ plan_seed_t
-      $ disk_faults_t $ fsync_stall_t $ apply_workers_t $ deltas_t
+      const run $ replicas_t $ certifiers_t $ partitions_t $ seconds_t $ seed_t
+      $ plan_seed_t $ disk_faults_t $ fsync_stall_t $ apply_workers_t $ deltas_t
       $ gc_interval_t ~default:5.)
 
 let soak_cmd =
-  let run n certifiers seconds window seed gc_interval no_chaos chaos_period
-      skew deltas =
+  let run n certifiers partitions seconds window seed gc_interval no_chaos
+      chaos_period skew deltas =
     let config =
       {
         (Harness.Soak_exp.default_config ()) with
         n_replicas = n;
         n_certifiers = certifiers;
+        n_partitions = partitions;
         duration = Sim.Time.of_sec seconds;
         window = Sim.Time.of_sec window;
         seed;
@@ -343,7 +381,8 @@ let soak_cmd =
           they stay bounded and latency stays flat; exits 1 on any \
           violation.")
     Term.(
-      const run $ replicas_t $ certifiers_t $ seconds_t $ window_t $ seed_t
+      const run $ replicas_t $ certifiers_t $ partitions_t $ seconds_t
+      $ window_t $ seed_t
       $ gc_interval_t ~default:5. $ no_chaos_t $ chaos_period_t $ skew_t
       $ deltas_t)
 

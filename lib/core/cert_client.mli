@@ -43,6 +43,26 @@ val certify :
     jitter) up to [backoff_cap], so a fully partitioned client probes the
     group at a decaying rate instead of spinning at a fixed interval. *)
 
+val certify_cross :
+  t ->
+  ?trace_id:int ->
+  gtx:Types.gtx_id ->
+  part:int ->
+  replica_version:int ->
+  oldest_snapshot:int ->
+  fragments:Types.xfragment list ->
+  unit ->
+  Types.cert_reply
+(** Submit one partition's fragment of a cross-partition transaction to
+    the certifier group of partition [part]. [fragments] carries EVERY
+    fragment of the transaction (the receiving group re-gossips them so
+    any surviving leader can finish the commit); [replica_version] is in
+    the receiving partition's version space. Same blocking retry
+    discipline as {!certify} — the request id is stable across attempts
+    and the certifier answers retries of decided transactions from its
+    never-pruned outcome table. The reply's [commit_version] and
+    [remotes] are for partition [part] only. *)
+
 val fetch :
   t ->
   replica:string ->

@@ -28,7 +28,14 @@ type t = {
 }
 
 let dummy_entry =
-  { Types.version = 0; origin = ""; req_id = 0; ws = Writeset.empty; gc_floor = 0 }
+  {
+    Types.version = 0;
+    origin = "";
+    req_id = 0;
+    ws = Writeset.empty;
+    gc_floor = 0;
+    xa = None;
+  }
 
 let dummy_slot = { entry = dummy_entry; certified_back_to = 0 }
 

@@ -47,28 +47,76 @@ type stats = {
   disk_io_errors : int;
   wal_torn_discarded : int;
   wal_corrupt_discarded : int;
+  xprepares : int;
+  xcommits : int;
+  xaborts : int;
+}
+
+(* Work queued for the certify fiber. [Creq] is the classic single-
+   partition request; [Xreq] a cross-partition request from a proxy (a
+   reply is owed); [Xprep] an internally solicited prepare for a
+   transaction learned about through vote gossip (no reply owed). *)
+type task =
+  | Creq of Types.cert_request
+  | Xreq of Types.xcert_request
+  | Xprep of Types.gtx_id * Types.xfragment list
+
+(* Per cross-partition transaction state. Everything here is volatile and
+   rebuilt by Paxos redelivery after a crash; the only durable facts are
+   the Prepared / Decision records in the ring (votes being a
+   deterministic function of the delivered prefix is what makes the vote
+   itself durable). *)
+type xstate = {
+  xs_gtx : Types.gtx_id;
+  mutable xs_parts : int list;  (* involved partitions, sorted *)
+  mutable xs_fragments : Types.xfragment list;
+  mutable xs_proposed : bool;  (* our Prepared record proposed (leader-side) *)
+  mutable xs_prepared : bool;  (* our Prepared record delivered *)
+  mutable xs_vote : bool option;  (* our vote, computed at delivery *)
+  mutable xs_votes : (int * bool) list;  (* sibling votes received via gossip *)
+  mutable xs_reply : Types.xcert_request option;  (* freshest request awaiting a reply *)
+  mutable xs_decided : bool;  (* a Decision record proposed or delivered *)
+  mutable xs_prepared_at : Time.t;  (* for the re-solicitation sweep *)
+  mutable xs_decided_at : Time.t;  (* when the Decision was last proposed *)
 }
 
 type t = {
   engine : Engine.t;
   rng : Rng.t;
   node_id : string;
+  partition : int;
+  (* partition -> member ids of that partition's certifier group (own
+     group included): the static routing table for vote gossip. *)
+  directory : (int * string list) list;
   net : Types.message Net.Network.t;
   mailbox : Types.message Mailbox.t;
   cfg : config;
   mutable forced_abort_rate : float;
   cpu : Resource.t;
   disk : Storage.Disk.t;
-  paxos_node : Types.entry Paxos.Node.t;
+  paxos_node : Types.record Paxos.Node.t;
   mutable clog : Cert_log.t;
   (* Leader-side speculative overlay: certified entries proposed to Paxos
      but not yet delivered, key-indexed (see Overlay). *)
   overlay : Overlay.t;
-  (* Requests queued for the certify fiber; it drains the whole queue each
-     round and certifies the drained set as one batch. *)
-  cert_work : Types.cert_request Mailbox.t;
+  cert_work : task Mailbox.t;
   pending_replies : (int, Types.cert_request) Hashtbl.t; (* version -> request *)
   decided : (int, int) Hashtbl.t; (* req_id -> version, for retry idempotency *)
+  (* Cross-partition machinery. [xstates] holds in-flight transactions
+     (pruned at decision); [x_outcomes] maps gtx key -> Some version
+     (committed here) / None (aborted) and, like [decided], is never
+     pruned — it is the retry-idempotency and durability witness for
+     cross-partition commits. [pins] holds keys locked by delivered
+     yes-voted Prepared records (deterministic, delivery-driven,
+     identical on every ring member); [pins_spec] is the leader's
+     volatile twin for proposed-but-undelivered prepares. *)
+  xstates : (string, xstate) Hashtbl.t;
+  x_outcomes : (string, int option) Hashtbl.t;
+  pins : string Mvcc.Key.Tbl.t;
+  pins_spec : string Mvcc.Key.Tbl.t;
+  (* True once any Prepared/Decision record has been delivered: only then
+     may delivered entries be re-stamped upward (see [on_deliver]). *)
+  mutable x_seen : bool;
   (* Deliveries accumulated within one instant, flushed as one reply batch
      sharing a single log scan. *)
   mutable delivered : (Types.cert_request * int) list; (* newest first *)
@@ -80,7 +128,7 @@ type t = {
   mutable round_waiting : bool;
   mutable was_leader : bool;
   mutable up : bool;
-  (* Cluster GC watermark: freshest oldest-active-snapshot report per
+  (* Group GC watermark: freshest oldest-active-snapshot report per
      replica (with receipt time, for TTL aging) and the folded floor the
      leader last stamped into a proposed entry. The floor is monotone;
      truncation itself happens at delivery, from the stamp, identically on
@@ -100,17 +148,15 @@ type t = {
   c_artificial : Stats.Counter.t;
   c_cert_batches : Stats.Counter.t;
   c_disk_failovers : Stats.Counter.t;
-  (* Certification outcome visibility: [cert.conflicts] counts requests
-     aborted on a real write–write overlap; [cert.delta_fastpath] counts
-     requests that passed only thanks to the commutative-delta rule (at
-     least one same-key overlap was skipped as delta–delta). *)
   c_cert_conflicts : Stats.Counter.t;
   c_delta_fastpath : Stats.Counter.t;
-  (* Watermark visibility: requests refused because their snapshot
-     predates the truncation floor, and fetches answered with a full
-     snapshot transfer because the asked-for prefix was pruned. *)
   c_too_old : Stats.Counter.t;
   c_snapshot_transfers : Stats.Counter.t;
+  (* Cross-partition visibility: prepares delivered, fragments committed,
+     transactions aborted (each counted once per certifier). *)
+  c_xprepares : Stats.Counter.t;
+  c_xcommits : Stats.Counter.t;
+  c_xaborts : Stats.Counter.t;
   cert_batch_sizes : Stats.Summary.t;
   (* The log and its back-certification scan counter survive reset_stats
      (they are state, not statistics), so windowed stats subtract a
@@ -120,6 +166,7 @@ type t = {
 }
 
 let id t = t.node_id
+let partition t = t.partition
 let is_leader t = Paxos.Node.is_leader t.paxos_node
 let leader_hint t = Paxos.Node.leader_hint t.paxos_node
 let system_version t = Cert_log.version t.clog
@@ -130,6 +177,39 @@ let log t = t.clog
    redelivery after a crash — so it remains the durability witness for
    commits whose log slots were truncated behind the GC watermark. *)
 let decided_version t ~req_id = Hashtbl.find_opt t.decided req_id
+
+let xkey (g : Types.gtx_id) = g.gtx_origin ^ "/" ^ string_of_int g.gtx_seq
+
+(* Same contract as [decided_version] for cross-partition transactions:
+   [Some (Some v)] = fragment committed here at [v], [Some None] =
+   transaction aborted, [None] = unknown/undecided. *)
+let x_outcome t ~gtx = Hashtbl.find_opt t.x_outcomes (xkey gtx)
+
+let x_debug t ~gtx =
+  let gk = xkey gtx in
+  match Hashtbl.find_opt t.x_outcomes gk with
+  | Some (Some v) -> Printf.sprintf "%s:committed@%d" t.node_id v
+  | Some None -> Printf.sprintf "%s:aborted" t.node_id
+  | None -> (
+      match Hashtbl.find_opt t.xstates gk with
+      | None -> Printf.sprintf "%s@v%d:no-state(leader=%b,up=%b)" t.node_id
+                  (Cert_log.version t.clog) (is_leader t) t.up
+      | Some xs ->
+          Printf.sprintf
+            "%s@v%d:xs(leader=%b,up=%b,proposed=%b,prepared=%b,decided=%b,vote=%s,votes=[%s],frags=%d,reply=%b)"
+            t.node_id (Cert_log.version t.clog) (is_leader t) t.up xs.xs_proposed xs.xs_prepared
+            xs.xs_decided
+            (match xs.xs_vote with
+            | None -> "?"
+            | Some true -> "y"
+            | Some false -> "n")
+            (String.concat ","
+               (List.map
+                  (fun (p, v) -> Printf.sprintf "p%d=%b" p v)
+                  xs.xs_votes))
+            (List.length xs.xs_fragments)
+            (xs.xs_reply <> None))
+
 let is_up t = t.up
 let disk t = t.disk
 let disk_failovers t = Stats.Counter.value t.c_disk_failovers
@@ -147,15 +227,16 @@ let record_snapshot_report t ~replica ~oldest =
   Hashtbl.replace t.snapshot_reports replica (oldest, Engine.now t.engine)
 
 (* Fold the freshest per-replica snapshot reports with every in-flight
-   reply window into the cluster GC floor. Monotone, and only advanced
+   reply window into the group GC floor. Monotone, and only advanced
    when at least one report is fresh — a silent cluster keeps its floor
    rather than truncating history someone may still need. Reports older
    than [watermark_ttl] are ignored so one partitioned or dead replica
    cannot pin the floor forever; when it comes back asking for a pruned
    prefix it gets a full snapshot transfer instead. Folding the
-   [replica_version] of every accepted-but-unreplied request keeps the
-   floor below every reply-composition window, so [send_commit_replies]
-   can never need a truncated entry. *)
+   [replica_version] of every accepted-but-unreplied request (including
+   undecided cross-partition requests) keeps the floor below every
+   reply-composition window, so reply composition can never need a
+   truncated entry. *)
 let advance_watermark t =
   let base = max t.gc_floor (Cert_log.floor t.clog) in
   let now = Engine.now t.engine in
@@ -181,6 +262,14 @@ let advance_watermark t =
         (fun acc ((req : Types.cert_request), _) -> min acc req.replica_version)
         candidate t.delivered
     in
+    let candidate =
+      Hashtbl.fold
+        (fun _ xs acc ->
+          match xs.xs_reply with
+          | Some (x : Types.xcert_request) -> min acc x.x_replica_version
+          | None -> acc)
+        t.xstates candidate
+    in
     if candidate > base then t.gc_floor <- candidate else t.gc_floor <- base
   end
   else t.gc_floor <- base;
@@ -195,12 +284,12 @@ let advance_watermark t =
    commit's reply is the only other carrier). Self-contained replies keep
    every applied prefix gap-free; the proxy's staleness filter discards the
    own entries it has already installed. *)
-let compose_remotes t ~(req : Types.cert_request) ~upto =
-  let entries = Cert_log.entries_between t.clog ~lo:req.replica_version ~hi:upto in
+let compose_remotes t ~replica_version ~upto =
+  let entries = Cert_log.entries_between t.clog ~lo:replica_version ~hi:upto in
   List.map
     (fun (entry : Types.entry) ->
       let conflict_with =
-        Cert_log.back_certify t.clog ~version:entry.version ~down_to:req.replica_version
+        Cert_log.back_certify t.clog ~version:entry.version ~down_to:replica_version
       in
       (match conflict_with with
       | Some _ -> Stats.Counter.incr t.c_artificial
@@ -209,7 +298,7 @@ let compose_remotes t ~(req : Types.cert_request) ~upto =
     entries
 
 let reply_commit t ~(req : Types.cert_request) ~version =
-  let remotes = compose_remotes t ~req ~upto:(version - 1) in
+  let remotes = compose_remotes t ~replica_version:req.replica_version ~upto:(version - 1) in
   send t ~dst:req.replica
     (Types.Cert_reply
        {
@@ -236,143 +325,383 @@ let reply_abort t ~(req : Types.cert_request) ~cause =
          remotes = [];
        })
 
+let reply_xcommit t ~(xreq : Types.xcert_request) ~version =
+  Stats.Counter.incr t.c_commits;
+  let remotes =
+    compose_remotes t ~replica_version:xreq.x_replica_version ~upto:(version - 1)
+  in
+  send t ~dst:xreq.x_replica
+    (Types.Cert_reply
+       {
+         req_id = xreq.x_req_id;
+         decision = Types.Commit;
+         commit_version = version;
+         gc_floor = Cert_log.floor t.clog;
+         remotes;
+       })
+
+let reply_xabort t ~(xreq : Types.xcert_request) =
+  Stats.Counter.incr t.c_aborts_ww;
+  Stats.Counter.incr t.c_cert_conflicts;
+  send t ~dst:xreq.x_replica
+    (Types.Cert_reply
+       {
+         req_id = xreq.x_req_id;
+         decision = Types.Abort Types.Ww_conflict;
+         commit_version = 0;
+         gc_floor = Cert_log.floor t.clog;
+         remotes = [];
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Cross-partition commit: prepare / vote / decide *)
+
+let xstate t (gtx : Types.gtx_id) =
+  let k = xkey gtx in
+  match Hashtbl.find_opt t.xstates k with
+  | Some xs -> xs
+  | None ->
+      let xs =
+        {
+          xs_gtx = gtx;
+          xs_parts = [];
+          xs_fragments = [];
+          xs_proposed = false;
+          xs_prepared = false;
+          xs_vote = None;
+          xs_votes = [];
+          xs_reply = None;
+          xs_decided = false;
+          xs_prepared_at = Engine.now t.engine;
+          xs_decided_at = Time.zero;
+        }
+      in
+      Hashtbl.add t.xstates k xs;
+      xs
+
+let set_fragments xs (fragments : Types.xfragment list) =
+  if xs.xs_fragments = [] && fragments <> [] then begin
+    xs.xs_fragments <- fragments;
+    xs.xs_parts <-
+      List.sort_uniq compare (List.map (fun f -> f.Types.xf_part) fragments)
+  end
+
+let own_fragment t xs =
+  List.find_opt (fun f -> f.Types.xf_part = t.partition) xs.xs_fragments
+
+let sibling_parts t xs = List.filter (fun p -> p <> t.partition) xs.xs_parts
+
+let pinned t ws =
+  let hit = ref false in
+  Mvcc.Writeset.iter_keys ws (fun key ->
+      if Mvcc.Key.Tbl.mem t.pins key || Mvcc.Key.Tbl.mem t.pins_spec key then
+        hit := true);
+  !hit
+
+let unpin tbl gk =
+  let dead = ref [] in
+  Mvcc.Key.Tbl.iter (fun key g -> if String.equal g gk then dead := key :: !dead) tbl;
+  List.iter (Mvcc.Key.Tbl.remove tbl) !dead
+
+let send_xvote t ~gtx ~vote ~echo ~fragments ~to_parts =
+  List.iter
+    (fun p ->
+      if p <> t.partition then
+        match List.assoc_opt p t.directory with
+        | Some members ->
+            List.iter
+              (fun m ->
+                send t ~dst:m
+                  (Types.Xvote
+                     {
+                       xv_gtx = gtx;
+                       xv_part = t.partition;
+                       xv_vote = vote;
+                       xv_echo = echo;
+                       xv_fragments = fragments;
+                     }))
+              members
+        | None -> ())
+    to_parts
+
+let broadcast_vote t xs ~echo ~to_parts =
+  match xs.xs_vote with
+  | Some vote ->
+      send_xvote t ~gtx:xs.xs_gtx ~vote ~echo ~fragments:xs.xs_fragments ~to_parts
+  | None -> ()
+
+(* Propose the group's Decision record once the outcome is determined:
+   all-yes commits, any-no aborts (no need to wait for stragglers once a
+   no is in). Votes are sticky and deterministic, so every involved
+   group's leader eventually proposes the SAME decision independently —
+   there is no coordinator whose death can block it. *)
+let maybe_decide t xs =
+  if is_leader t && xs.xs_prepared && not xs.xs_decided then
+    match xs.xs_vote with
+    | None -> ()
+    | Some own ->
+        let vote_of p =
+          if p = t.partition then Some own else List.assoc_opt p xs.xs_votes
+        in
+        let votes = List.map vote_of xs.xs_parts in
+        let any_no = List.exists (fun v -> v = Some false) votes in
+        let all_yes = List.for_all (fun v -> v = Some true) votes in
+        if any_no || all_yes then
+          if
+            Paxos.Node.propose_batch t.paxos_node
+              [ Types.Decision { d_gtx = xs.xs_gtx; d_commit = all_yes } ]
+          then begin
+            xs.xs_decided <- true;
+            xs.xs_decided_at <- Engine.now t.engine
+          end
+
+(* Leader-side: put our group's Prepared record in the ring. The keys of
+   our fragment go into [pins_spec] immediately so a single-partition
+   request certified between propose and delivery cannot slip into the
+   conflict window undetected. *)
+let propose_prepare t xs =
+  if (not xs.xs_proposed) && not xs.xs_prepared then
+    if
+      Paxos.Node.propose_batch t.paxos_node
+        [
+          Types.Prepared
+            { p_gtx = xs.xs_gtx; p_part = t.partition; p_fragments = xs.xs_fragments };
+        ]
+    then begin
+      xs.xs_proposed <- true;
+      match own_fragment t xs with
+      | Some frag ->
+          Mvcc.Writeset.iter_keys frag.Types.xf_ws (fun key ->
+              Mvcc.Key.Tbl.replace t.pins_spec key (xkey xs.xs_gtx))
+      | None -> ()
+    end
+
+(* A cross-partition request reaching the leader: answer immediately from
+   the outcome witness if already decided, otherwise (re)prepare, adopt
+   the reply route, and push the vote exchange along. *)
+let handle_xreq t (xreq : Types.xcert_request) =
+  match Hashtbl.find_opt t.x_outcomes (xkey xreq.x_gtx) with
+  | Some (Some version) -> reply_xcommit t ~xreq ~version
+  | Some None -> reply_xabort t ~xreq
+  | None ->
+      let xs = xstate t xreq.x_gtx in
+      if xs.xs_reply = None && not xs.xs_proposed then
+        Stats.Counter.incr t.c_requests;
+      xs.xs_reply <- Some xreq;
+      set_fragments xs xreq.x_fragments;
+      propose_prepare t xs;
+      if xs.xs_prepared then begin
+        broadcast_vote t xs ~echo:false ~to_parts:(sibling_parts t xs);
+        maybe_decide t xs
+      end
+
+(* Vote gossip from a sibling partition's certifier. Votes are stashed on
+   every member (not just the leader) so a failed-over leader inherits
+   them; a non-echo vote is answered with our own so the exchange
+   converges from either side. A vote for a transaction we never prepared
+   carries the fragments — the leader solicits its own prepare from them,
+   which is what un-sticks a group whose original request was lost. *)
+let handle_xvote t (v : Types.xvote) =
+  match Hashtbl.find_opt t.x_outcomes (xkey v.xv_gtx) with
+  | Some outcome ->
+      (* Already decided here: answer with a vote consistent with the
+         global decision so the asking group converges too. *)
+      if is_leader t && not v.xv_echo then
+        send_xvote t ~gtx:v.xv_gtx ~vote:(outcome <> None) ~echo:true ~fragments:[]
+          ~to_parts:[ v.xv_part ]
+  | None ->
+      let xs = xstate t v.xv_gtx in
+      set_fragments xs v.xv_fragments;
+      xs.xs_votes <-
+        (v.xv_part, v.xv_vote) :: List.remove_assoc v.xv_part xs.xs_votes;
+      if is_leader t then begin
+        if (not xs.xs_prepared) && not xs.xs_proposed then begin
+          if xs.xs_fragments <> [] then
+            Mailbox.send t.cert_work (Xprep (xs.xs_gtx, xs.xs_fragments))
+        end
+        else if xs.xs_prepared && not v.xv_echo then
+          broadcast_vote t xs ~echo:true ~to_parts:[ v.xv_part ];
+        maybe_decide t xs
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Single-partition certification rounds *)
+
 (* One scheduling round of the certify fiber: the batch is certified in
    arrival order against the log plus the overlay (which accumulates the
    batch's own accepted entries, so intra-batch ww-conflicts abort the
    later request), then the whole accepted set goes to Paxos as ONE
    multi-entry proposal: one Accept broadcast, one WAL batch per acceptor. *)
-let process_batch t (reqs : Types.cert_request list) =
-  Resource.use t.cpu (Time.mul t.cfg.certify_cpu (List.length reqs));
+let process_cert_batch t (reqs : Types.cert_request list) =
+  if not (is_leader t) then
+    List.iter
+      (fun (req : Types.cert_request) ->
+        send t ~dst:req.replica
+          (Types.Cert_redirect { req_id = req.req_id; leader = leader_hint t }))
+      reqs
+  else begin
+    Stats.Counter.incr t.c_cert_batches;
+    Stats.Summary.observe t.cert_batch_sizes (float_of_int (List.length reqs));
+    let sp_batch = Obs.Trace.span t.trace ~stage:"cert.batch" ~actor:t.node_id () in
+    (* One watermark fold per round; every entry accepted this round is
+       stamped with it, so truncation replicates through Paxos. *)
+    let floor_stamp = advance_watermark t in
+    let accepted = ref [] in
+    List.iter
+      (fun (req : Types.cert_request) ->
+        match Hashtbl.find_opt t.decided req.req_id with
+        | Some version ->
+            (* Retried request whose transaction already committed. *)
+            reply_commit t ~req ~version
+        | None when Overlay.holds_request t.overlay ~origin:req.replica ~req_id:req.req_id
+          ->
+            (* Retried request whose first attempt is proposed but not
+               yet delivered (the client timed out faster than this
+               round's fsync + quorum). Certifying it again would abort
+               it against its own in-flight twin; dropping it is safe —
+               the reply goes out at delivery. *)
+            ()
+        | None when req.start_version < Cert_log.floor t.clog ->
+            (* Snapshot too old: the conflict window reaches below the
+               truncation floor, where the writer index no longer exists,
+               so absence of a conflict can't be proven. GSI must refuse;
+               the replica refreshes (snapshot transfer if needed) and
+               the client retries on a current snapshot. *)
+            Stats.Counter.incr t.c_requests;
+            Stats.Counter.incr t.c_too_old;
+            reply_abort t ~req ~cause:Types.Ww_conflict
+        | None -> (
+            Stats.Counter.incr t.c_requests;
+            let skips_before =
+              Cert_log.delta_overlaps t.clog + Overlay.delta_overlaps t.overlay
+            in
+            let conflict =
+              match
+                Cert_log.certify t.clog req.writeset ~start_version:req.start_version
+              with
+              | Some v -> Some v
+              | None ->
+                  Overlay.conflict t.overlay req.writeset
+                    ~start_version:req.start_version
+            in
+            (* A key pinned by an in-flight prepared cross-partition
+               fragment conflicts with everything: the fragment may
+               commit at any later version, so a certification window
+               closing now cannot be proven conflict-free. First-
+               prepared-wins; the single-partition request retries. *)
+            let conflict =
+              match conflict with
+              | Some _ -> conflict
+              | None -> if pinned t req.writeset then Some (next_version t) else None
+            in
+            match conflict with
+            | Some _ -> reply_abort t ~req ~cause:Types.Ww_conflict
+            | None ->
+                if
+                  Cert_log.delta_overlaps t.clog + Overlay.delta_overlaps t.overlay
+                  > skips_before
+                then Stats.Counter.incr t.c_delta_fastpath;
+                if t.forced_abort_rate > 0. && Rng.chance t.rng t.forced_abort_rate
+                then reply_abort t ~req ~cause:Types.Forced
+                else begin
+                  let version = next_version t in
+                  let entry =
+                    {
+                      Types.version;
+                      origin = req.replica;
+                      req_id = req.req_id;
+                      ws = req.writeset;
+                      gc_floor = floor_stamp;
+                      xa = None;
+                    }
+                  in
+                  if t.cfg.durable then begin
+                    Overlay.add t.overlay entry;
+                    Hashtbl.replace t.pending_replies version req;
+                    Hashtbl.replace t.dur_spans version
+                      (Obs.Trace.span t.trace ~id:req.trace_id
+                         ~stage:"cert.durability" ~actor:t.node_id ());
+                    accepted := entry :: !accepted
+                  end
+                  else begin
+                    (* tashAPInoCERT: no disk write, apply and answer. *)
+                    Cert_log.append t.clog entry;
+                    Hashtbl.replace t.decided entry.req_id version;
+                    Stats.Counter.incr t.c_commits;
+                    reply_commit t ~req ~version;
+                    Cert_log.truncate t.clog ~upto:entry.gc_floor
+                  end
+                end))
+      reqs;
+    (match List.rev !accepted with
+    | [] -> ()
+    | batch ->
+        if
+          Paxos.Node.propose_batch t.paxos_node
+            (List.map (fun e -> Types.Committed e) batch)
+        then begin
+          (* Group-commit pacing: hold the next round until this batch
+             is locally durable. Arrivals meanwhile queue in cert_work,
+             so the fsync cycle that groups the log records also sets
+             the batch boundary — under load the next batch is the
+             whole pile, not one request. *)
+          let wal = Paxos.Node.wal t.paxos_node in
+          ignore
+            (Engine.spawn t.engine ~name:(t.node_id ^ ".roundsync") (fun () ->
+                 let sp =
+                   Obs.Trace.span t.trace ~stage:"wal.fsync" ~actor:t.node_id ()
+                 in
+                 Storage.Wal.sync wal;
+                 Obs.Trace.finish t.trace sp;
+                 Mailbox.send t.round_gate ()));
+          t.round_waiting <- true;
+          Mailbox.recv t.round_gate;
+          t.round_waiting <- false
+        end
+        else
+          (* Lost leadership in the meantime; drop, the proxies retry. *)
+          List.iter
+            (fun (e : Types.entry) ->
+              Overlay.remove t.overlay e.version;
+              Hashtbl.remove t.pending_replies e.version;
+              Hashtbl.remove t.dur_spans e.version)
+            batch);
+    Obs.Trace.finish t.trace sp_batch
+  end
+
+let process_tasks t (tasks : task list) =
+  Resource.use t.cpu (Time.mul t.cfg.certify_cpu (List.length tasks));
   (* A freshly elected leader re-proposes entries inherited from the
      previous term; until those are delivered its log can be missing
      majority-accepted entries, so certifying now could commit a retried
      request twice or abort it against its own twin. Hold the batch until
-     the inherited prefix has applied (or leadership/liveness is lost). *)
+     the inherited prefix has applied (or leadership/liveness is lost).
+     The same gate covers cross-partition prepares: an inherited Prepared
+     record must deliver (and recreate its xstate) before a retried
+     request could propose a duplicate. *)
   while t.up && is_leader t && not (Paxos.Node.leader_ready t.paxos_node) do
     Engine.sleep t.engine (Time.of_ms 1.)
   done;
   if t.up then begin
-    if not (is_leader t) then
-      List.iter
-        (fun (req : Types.cert_request) ->
-          send t ~dst:req.replica
-            (Types.Cert_redirect { req_id = req.req_id; leader = leader_hint t }))
-        reqs
-    else begin
-      Stats.Counter.incr t.c_cert_batches;
-      Stats.Summary.observe t.cert_batch_sizes (float_of_int (List.length reqs));
-      let sp_batch = Obs.Trace.span t.trace ~stage:"cert.batch" ~actor:t.node_id () in
-      (* One watermark fold per round; every entry accepted this round is
-         stamped with it, so truncation replicates through Paxos. *)
-      let floor_stamp = advance_watermark t in
-      let accepted = ref [] in
-      List.iter
-        (fun (req : Types.cert_request) ->
-          match Hashtbl.find_opt t.decided req.req_id with
-          | Some version ->
-              (* Retried request whose transaction already committed. *)
-              reply_commit t ~req ~version
-          | None when Overlay.holds_request t.overlay ~origin:req.replica ~req_id:req.req_id
-            ->
-              (* Retried request whose first attempt is proposed but not
-                 yet delivered (the client timed out faster than this
-                 round's fsync + quorum). Certifying it again would abort
-                 it against its own in-flight twin; dropping it is safe —
-                 the reply goes out at delivery. *)
-              ()
-          | None when req.start_version < Cert_log.floor t.clog ->
-              (* Snapshot too old: the conflict window reaches below the
-                 truncation floor, where the writer index no longer exists,
-                 so absence of a conflict can't be proven. GSI must refuse;
-                 the replica refreshes (snapshot transfer if needed) and
-                 the client retries on a current snapshot. *)
-              Stats.Counter.incr t.c_requests;
-              Stats.Counter.incr t.c_too_old;
-              reply_abort t ~req ~cause:Types.Ww_conflict
-          | None -> (
-              Stats.Counter.incr t.c_requests;
-              let skips_before =
-                Cert_log.delta_overlaps t.clog + Overlay.delta_overlaps t.overlay
-              in
-              let conflict =
-                match
-                  Cert_log.certify t.clog req.writeset ~start_version:req.start_version
-                with
-                | Some v -> Some v
-                | None ->
-                    Overlay.conflict t.overlay req.writeset
-                      ~start_version:req.start_version
-              in
-              match conflict with
-              | Some _ -> reply_abort t ~req ~cause:Types.Ww_conflict
-              | None ->
-                  if
-                    Cert_log.delta_overlaps t.clog + Overlay.delta_overlaps t.overlay
-                    > skips_before
-                  then Stats.Counter.incr t.c_delta_fastpath;
-                  if t.forced_abort_rate > 0. && Rng.chance t.rng t.forced_abort_rate
-                  then reply_abort t ~req ~cause:Types.Forced
-                  else begin
-                    let version = next_version t in
-                    let entry =
-                      {
-                        Types.version;
-                        origin = req.replica;
-                        req_id = req.req_id;
-                        ws = req.writeset;
-                        gc_floor = floor_stamp;
-                      }
-                    in
-                    if t.cfg.durable then begin
-                      Overlay.add t.overlay entry;
-                      Hashtbl.replace t.pending_replies version req;
-                      Hashtbl.replace t.dur_spans version
-                        (Obs.Trace.span t.trace ~id:req.trace_id
-                           ~stage:"cert.durability" ~actor:t.node_id ());
-                      accepted := entry :: !accepted
-                    end
-                    else begin
-                      (* tashAPInoCERT: no disk write, apply and answer. *)
-                      Cert_log.append t.clog entry;
-                      Hashtbl.replace t.decided entry.req_id version;
-                      Stats.Counter.incr t.c_commits;
-                      reply_commit t ~req ~version;
-                      Cert_log.truncate t.clog ~upto:entry.gc_floor
-                    end
-                  end))
-        reqs;
-      (match List.rev !accepted with
-      | [] -> ()
-      | batch ->
-          if Paxos.Node.propose_batch t.paxos_node batch then begin
-            (* Group-commit pacing: hold the next round until this batch
-               is locally durable. Arrivals meanwhile queue in cert_work,
-               so the fsync cycle that groups the log records also sets
-               the batch boundary — under load the next batch is the
-               whole pile, not one request. *)
-            let wal = Paxos.Node.wal t.paxos_node in
-            ignore
-              (Engine.spawn t.engine ~name:(t.node_id ^ ".roundsync") (fun () ->
-                   let sp =
-                     Obs.Trace.span t.trace ~stage:"wal.fsync" ~actor:t.node_id ()
-                   in
-                   Storage.Wal.sync wal;
-                   Obs.Trace.finish t.trace sp;
-                   Mailbox.send t.round_gate ()));
-            t.round_waiting <- true;
-            Mailbox.recv t.round_gate;
-            t.round_waiting <- false
-          end
-          else
-            (* Lost leadership in the meantime; drop, the proxies retry. *)
-            List.iter
-              (fun (e : Types.entry) ->
-                Overlay.remove t.overlay e.version;
-                Hashtbl.remove t.pending_replies e.version;
-                Hashtbl.remove t.dur_spans e.version)
-              batch);
-      Obs.Trace.finish t.trace sp_batch
-    end
+    let creqs = List.filter_map (function Creq r -> Some r | _ -> None) tasks in
+    if creqs <> [] then process_cert_batch t creqs;
+    List.iter
+      (function
+        | Creq _ -> ()
+        | Xreq xreq ->
+            if t.up then
+              if not (is_leader t) then
+                send t ~dst:xreq.Types.x_replica
+                  (Types.Cert_redirect
+                     { req_id = xreq.Types.x_req_id; leader = leader_hint t })
+              else handle_xreq t xreq
+        | Xprep (gtx, fragments) ->
+            if t.up && is_leader t then begin
+              let xs = xstate t gtx in
+              set_fragments xs fragments;
+              if not (Hashtbl.mem t.x_outcomes (xkey gtx)) then propose_prepare t xs
+            end)
+      tasks
   end
 
 let handle_fetch t (freq : Types.fetch_request) =
@@ -473,19 +802,24 @@ let flush_replies t =
   t.flush_scheduled <- false;
   if t.up && pending <> [] then send_commit_replies t pending
 
-let on_deliver t _slot (entry : Types.entry) =
+let on_deliver_entry t (entry : Types.entry) =
   (* A leader taking over from a crash may find gap slots whose entries
      died un-acked with the old leader and no-op them; an inherited entry
      in a later slot still carries the version the dead leader stamped,
      now too high. Re-stamp it to the next contiguous version: every
      certifier applies in slot order so the renumbering is identical
      everywhere, and it can only shrink the window the entry was certified
-     against, never grow it. Entries at or below the expected version are
-     left alone — a duplicate or regression there is a real invariant
-     violation that [Cert_log.append] must still reject. *)
+     against, never grow it. The opposite direction — a proposed version
+     now too LOW — can only happen when a cross-partition Decision
+     delivered between propose and delivery consumed versions out of
+     band; it is allowed only once such a record has been seen, so in a
+     partition-free run a version regression still trips
+     [Cert_log.append]'s invariant as before. *)
+  let proposed = entry.Types.version in
+  let expected = Cert_log.version t.clog + 1 in
   let entry =
-    let expected = Cert_log.version t.clog + 1 in
-    if entry.Types.version > expected then { entry with Types.version = expected }
+    if proposed > expected || (proposed < expected && t.x_seen) then
+      { entry with Types.version = expected }
     else entry
   in
   Cert_log.append t.clog entry;
@@ -495,15 +829,16 @@ let on_deliver t _slot (entry : Types.entry) =
      (and the base state behind it) is identical everywhere, including
      during crash-recovery redelivery. *)
   Cert_log.truncate t.clog ~upto:entry.gc_floor;
-  Overlay.remove t.overlay entry.version;
-  (match Hashtbl.find_opt t.dur_spans entry.version with
+  (* Speculative state is keyed by the PROPOSED version. *)
+  Overlay.remove t.overlay proposed;
+  (match Hashtbl.find_opt t.dur_spans proposed with
   | Some sp ->
-      Hashtbl.remove t.dur_spans entry.version;
+      Hashtbl.remove t.dur_spans proposed;
       Obs.Trace.finish t.trace sp
   | None -> ());
-  match Hashtbl.find_opt t.pending_replies entry.version with
+  match Hashtbl.find_opt t.pending_replies proposed with
   | Some req when is_leader t ->
-      Hashtbl.remove t.pending_replies entry.version;
+      Hashtbl.remove t.pending_replies proposed;
       Stats.Counter.incr t.c_commits;
       t.delivered <- (req, entry.version) :: t.delivered;
       if not t.flush_scheduled then begin
@@ -514,12 +849,119 @@ let on_deliver t _slot (entry : Types.entry) =
       end
   | Some _ | None -> ()
 
+(* Prepared delivery: THE vote point. The vote is a pure function of the
+   delivered log, the truncation floor and the pin table — state that is
+   identical on every ring member at this slot — so every member computes
+   the same vote, and a crash replay or failed-over leader re-derives it
+   unchanged. Yes-votes pin the fragment's keys until the decision. *)
+let on_prepared t (gtx : Types.gtx_id) (fragments : Types.xfragment list) =
+  let xs = xstate t gtx in
+  if not xs.xs_prepared then begin
+    set_fragments xs fragments;
+    let vote =
+      match own_fragment t xs with
+      | None -> false
+      | Some frag ->
+          frag.Types.xf_start_version >= Cert_log.floor t.clog
+          && Cert_log.certify t.clog frag.Types.xf_ws
+               ~start_version:frag.Types.xf_start_version
+             = None
+          && not (Mvcc.Writeset.entries frag.Types.xf_ws
+                  |> List.exists (fun (e : Mvcc.Writeset.entry) ->
+                         Mvcc.Key.Tbl.mem t.pins e.key))
+    in
+    xs.xs_prepared <- true;
+    xs.xs_vote <- Some vote;
+    xs.xs_prepared_at <- Engine.now t.engine;
+    Stats.Counter.incr t.c_xprepares;
+    let gk = xkey gtx in
+    (if vote then
+       match own_fragment t xs with
+       | Some frag ->
+           Mvcc.Writeset.iter_keys frag.Types.xf_ws (fun key ->
+               Mvcc.Key.Tbl.replace t.pins key gk)
+       | None -> ());
+    unpin t.pins_spec gk;
+    if is_leader t then begin
+      broadcast_vote t xs ~echo:false ~to_parts:(sibling_parts t xs);
+      maybe_decide t xs
+    end
+  end
+
+(* Decision delivery: commit appends the local fragment at the next log
+   version (stamped with the atomicity witness), abort just releases the
+   pins. Either way the outcome is recorded in the never-pruned
+   [x_outcomes] table and the in-flight state is dropped. *)
+let on_decision t (gtx : Types.gtx_id) ~commit =
+  let gk = xkey gtx in
+  if not (Hashtbl.mem t.x_outcomes gk) then begin
+    let xs = xstate t gtx in
+    unpin t.pins gk;
+    unpin t.pins_spec gk;
+    xs.xs_decided <- true;
+    (if commit then begin
+       let frag =
+         match own_fragment t xs with
+         | Some frag -> frag
+         | None ->
+             invalid_arg
+               (Printf.sprintf "%s: Decision(commit) for %s without fragments"
+                  t.node_id gk)
+       in
+       let version = Cert_log.version t.clog + 1 in
+       let entry =
+         {
+           Types.version;
+           origin = frag.Types.xf_origin;
+           req_id = gtx.Types.gtx_seq;
+           ws = frag.Types.xf_ws;
+           gc_floor = Cert_log.floor t.clog;
+           xa = Some { Types.gtx; parts = xs.xs_parts };
+         }
+       in
+       Cert_log.append t.clog entry;
+       Hashtbl.replace t.x_outcomes gk (Some version);
+       Stats.Counter.incr t.c_xcommits;
+       if is_leader t then
+         match xs.xs_reply with
+         | Some xreq ->
+             xs.xs_reply <- None;
+             reply_xcommit t ~xreq ~version
+         | None -> ()
+     end
+     else begin
+       Hashtbl.replace t.x_outcomes gk None;
+       Stats.Counter.incr t.c_xaborts;
+       if is_leader t then
+         match xs.xs_reply with
+         | Some xreq ->
+             xs.xs_reply <- None;
+             reply_xabort t ~xreq
+         | None -> ()
+     end);
+    Hashtbl.remove t.xstates gk
+  end
+
+let on_deliver t _slot (record : Types.record) =
+  match record with
+  | Types.Committed entry -> on_deliver_entry t entry
+  | Types.Prepared p ->
+      t.x_seen <- true;
+      on_prepared t p.p_gtx p.p_fragments
+  | Types.Decision d ->
+      t.x_seen <- true;
+      on_decision t d.d_gtx ~commit:d.d_commit
+
 (* ------------------------------------------------------------------ *)
 (* Wiring *)
 
 let spawn_role_watch t =
   (* Clear speculative state when leadership is lost; outstanding requests
-     will time out at the proxies and be retried at the new leader. *)
+     will time out at the proxies and be retried at the new leader. For
+     cross-partition state, only the leader-volatile parts go: proposed-
+     but-undelivered prepares may be re-proposed if leadership returns,
+     and the reply route re-arms from the proxy's retry. Delivered
+     prepares, votes and pins are replicated state and stay. *)
   ignore
     (Engine.spawn t.engine ~name:(t.node_id ^ ".rolewatch") (fun () ->
          let rec loop () =
@@ -528,9 +970,60 @@ let spawn_role_watch t =
            if t.was_leader && not now_leader then begin
              Overlay.clear t.overlay;
              Hashtbl.reset t.pending_replies;
-             Hashtbl.reset t.dur_spans
+             Hashtbl.reset t.dur_spans;
+             Mvcc.Key.Tbl.reset t.pins_spec;
+             Hashtbl.iter
+               (fun gk xs ->
+                 if not (Hashtbl.mem t.x_outcomes gk) then begin
+                   xs.xs_reply <- None;
+                   xs.xs_decided <- false;
+                   if not xs.xs_prepared then xs.xs_proposed <- false
+                 end)
+               t.xstates
            end;
            t.was_leader <- now_leader;
+           loop ()
+         in
+         loop ()))
+
+(* Re-solicitation sweep: while leading, periodically re-gossip our vote
+   for prepared-but-undecided transactions (carrying the full fragments,
+   so a group that lost its request can still join), and prepare any
+   transaction we only know from gossip. This is the liveness half of the
+   coordinator-less commit: any surviving leader can finish any
+   transaction whose Prepared record made it into at least one ring. *)
+let spawn_xsweep t =
+  ignore
+    (Engine.spawn t.engine ~name:(t.node_id ^ ".xsweep") (fun () ->
+         let rec loop () =
+           Engine.sleep t.engine (Time.of_ms 100.);
+           (if t.up && is_leader t then
+              let now = Engine.now t.engine in
+              Hashtbl.iter
+                (fun gk xs ->
+                  if not (Hashtbl.mem t.x_outcomes gk) then begin
+                    (* A proposed Decision can die without a leadership
+                       change (its Accept lost to the network, its slot
+                       no-oped by a leadership blip between rolewatch
+                       polls). Delivery is idempotent, so after a grace
+                       period re-arm and propose it again. *)
+                    if
+                      xs.xs_decided
+                      && Time.(Time.diff now xs.xs_decided_at > Time.of_ms 300.)
+                    then xs.xs_decided <- false;
+                    if not xs.xs_decided then
+                      if xs.xs_prepared then begin
+                        if Time.(Time.diff now xs.xs_prepared_at > Time.of_ms 50.)
+                        then begin
+                          broadcast_vote t xs ~echo:false
+                            ~to_parts:(sibling_parts t xs);
+                          maybe_decide t xs
+                        end
+                      end
+                      else if (not xs.xs_proposed) && xs.xs_fragments <> [] then
+                        Mailbox.send t.cert_work (Xprep (xs.xs_gtx, xs.xs_fragments))
+                  end)
+                t.xstates);
            loop ()
          in
          loop ()))
@@ -561,7 +1054,8 @@ let spawn_disk_watch t =
              in
              loop ()))
 
-let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
+let create (env : Env.t) ~id:node_id ~peers ?(partition = 0) ?(directory = [])
+    ?(config = default_config) () =
   let engine = env.Env.engine and net = env.Env.net in
   let metrics = env.Env.metrics and trace = env.Env.trace in
   (* Private stream drawn from the env root, in construction order. *)
@@ -575,6 +1069,8 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
         engine;
         rng;
         node_id;
+        partition;
+        directory;
         net;
         mailbox;
         cfg = config;
@@ -587,13 +1083,18 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
               let wrapped = Types.Paxos msg in
               Net.Network.send net ~src:node_id ~dst
                 ~size:(Types.message_bytes wrapped) wrapped)
-            ~on_deliver:(fun slot entry -> on_deliver (Lazy.force t) slot entry)
+            ~on_deliver:(fun slot record -> on_deliver (Lazy.force t) slot record)
             ~config:config.paxos ();
         clog = Cert_log.create ();
         overlay = Overlay.create ();
         cert_work = Mailbox.create engine ~name:(node_id ^ ".certwork") ();
         pending_replies = Hashtbl.create 64;
         decided = Hashtbl.create 1024;
+        xstates = Hashtbl.create 64;
+        x_outcomes = Hashtbl.create 256;
+        pins = Mvcc.Key.Tbl.create 64;
+        pins_spec = Mvcc.Key.Tbl.create 64;
+        x_seen = false;
         delivered = [];
         flush_scheduled = false;
         round_gate = Mailbox.create engine ~name:(node_id ^ ".roundgate") ();
@@ -616,6 +1117,9 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
         c_delta_fastpath = counter "cert.delta_fastpath";
         c_too_old = counter "cert.snapshot_too_old";
         c_snapshot_transfers = counter "snapshot_transfers";
+        c_xprepares = counter "xprepares";
+        c_xcommits = counter "xcommits";
+        c_xaborts = counter "xaborts";
         cert_batch_sizes =
           Obs.Registry.summary metrics ("certifier." ^ node_id ^ ".cert_batch_size");
         base_log_bytes = 0;
@@ -679,8 +1183,15 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
                if t.up then begin
                  record_snapshot_report t ~replica:req.replica
                    ~oldest:req.oldest_snapshot;
-                 Mailbox.send t.cert_work req
+                 Mailbox.send t.cert_work (Creq req)
                end
+           | Types.Xcert_request xreq ->
+               if t.up then begin
+                 record_snapshot_report t ~replica:xreq.x_replica
+                   ~oldest:xreq.x_oldest_snapshot;
+                 Mailbox.send t.cert_work (Xreq xreq)
+               end
+           | Types.Xvote v -> if t.up then handle_xvote t v
            | Types.Fetch_request freq ->
                if t.up then begin
                  record_snapshot_report t ~replica:freq.fetch_replica
@@ -698,11 +1209,12 @@ let create (env : Env.t) ~id:node_id ~peers ?(config = default_config) () =
               behind it: the batch formation rule. Under load the queue
               refills while this round's CPU + proposal happen, so batch
               size tracks the arrival rate. *)
-           process_batch t (Mailbox.recv_batch t.cert_work);
+           process_tasks t (Mailbox.recv_batch t.cert_work);
            loop ()
          in
          loop ()));
   spawn_role_watch t;
+  spawn_xsweep t;
   spawn_disk_watch t;
   t
 
@@ -720,7 +1232,10 @@ let crash ?wal_fault t =
     Mailbox.clear t.mailbox;
     Paxos.Node.crash ?wal_fault t.paxos_node;
     (* Volatile certifier state is lost; the log is rebuilt from the durable
-       Paxos log on recovery: redelivery re-appends from version 1. *)
+       Paxos log on recovery: redelivery re-appends from version 1 — and in
+       the same stroke re-derives every cross-partition vote, pin and
+       outcome, because those too are pure functions of the delivered
+       prefix. *)
     t.clog <- Cert_log.create ();
     Overlay.clear t.overlay;
     Mailbox.clear t.cert_work;
@@ -732,6 +1247,11 @@ let crash ?wal_fault t =
     Hashtbl.reset t.pending_replies;
     Hashtbl.reset t.dur_spans;
     Hashtbl.reset t.decided;
+    Hashtbl.reset t.xstates;
+    Hashtbl.reset t.x_outcomes;
+    Mvcc.Key.Tbl.reset t.pins;
+    Mvcc.Key.Tbl.reset t.pins_spec;
+    t.x_seen <- false;
     Hashtbl.reset t.snapshot_reports;
     t.gc_floor <- 0;
     t.base_log_bytes <- 0;
@@ -770,6 +1290,9 @@ let stats t =
     disk_io_errors = Storage.Disk.io_errors t.disk;
     wal_torn_discarded = Storage.Wal.torn_discarded wal;
     wal_corrupt_discarded = Storage.Wal.corrupt_discarded wal;
+    xprepares = Stats.Counter.value t.c_xprepares;
+    xcommits = Stats.Counter.value t.c_xcommits;
+    xaborts = Stats.Counter.value t.c_xaborts;
   }
 
 let reset_stats t =

@@ -12,6 +12,28 @@
       the replica has not seen, each carrying the §5.2.1
       artificial-conflict annotation (computed by back-certification).
 
+    Under partitioned certification each group owns one keyspace
+    partition and the ring replicates {!Types.record}s, not bare entries.
+    A cross-partition transaction runs a coordinator-less two-round
+    commit among the involved groups:
+
+    + {e prepare}: each group's leader replicates a [Prepared] record
+      carrying ALL the transaction's fragments. The group's {e vote} is
+      computed at delivery — a pure function of the delivered log, floor
+      and pin table, hence identical on every member and re-derivable
+      after any crash or failover (the vote is durable because it is
+      deterministic, not because it is written down);
+    + {e vote exchange}: at delivery the leader gossips its vote to the
+      sibling groups' members; a yes-vote pins the fragment's keys
+      (first-prepared-wins) until the decision;
+    + {e decide}: once a leader holds all votes (all-yes) or any no-vote,
+      it replicates a [Decision] record in its own ring; commit appends
+      the local fragment — stamped with the {!Types.xatom} witness — at
+      the group's next version. Every involved leader decides
+      independently and identically, so no coordinator death can block
+      the transaction; a periodic sweep re-gossips votes (with
+      fragments) for anything left hanging.
+
     Durability can be disabled ([durable = false]) to reproduce the paper's
     [tashAPInoCERT] configuration: certification happens as usual but
     nothing is written to disk and replies return immediately.
@@ -31,7 +53,7 @@ type config = {
           Default 250 ms — far above a healthy 6–12 ms fsync. *)
   watermark_ttl : Sim.Time.t;
       (** GC-watermark report aging: a replica's oldest-snapshot report
-          older than this no longer pins the cluster floor, so one
+          older than this no longer pins the group floor, so one
           partitioned or dead replica cannot stop log truncation — it
           heals later through a full snapshot transfer. Default 10 s. *)
 }
@@ -44,6 +66,8 @@ val create :
   Env.t ->
   id:string ->
   peers:string list ->
+  ?partition:int ->
+  ?directory:(int * string list) list ->
   ?config:config ->
   unit ->
   t
@@ -51,6 +75,12 @@ val create :
     {!Env.split_rng}, the network endpoint [id] registers on [env]'s
     network, and the node's log disk and Paxos node are created before the
     message pump is spawned.
+
+    [partition] (default 0) is the keyspace partition this node's group
+    certifies; [directory] maps every partition to the member ids of its
+    certifier group (own group included) and is the static routing table
+    for cross-partition vote gossip. A 1-partition cluster passes the
+    defaults and behaves exactly like the legacy single-group certifier.
 
     Observability: counters register under [certifier.<id>.*] in
     [env.metrics], with gauges over the WAL, Paxos batch
@@ -62,11 +92,15 @@ val create :
     carrying the requester's trace id) and [wal.fsync] spans. *)
 
 val id : t -> string
+
+val partition : t -> int
+(** The keyspace partition this certifier's group owns. *)
+
 val is_leader : t -> bool
 val leader_hint : t -> string option
 val system_version : t -> int
 (** Version of the newest {e delivered} (majority-committed) entry on this
-    node. *)
+    node, in this group's version space. *)
 
 val log : t -> Cert_log.t
 
@@ -75,6 +109,17 @@ val decided_version : t -> req_id:int -> int option
     it. Unlike the log's slots this mapping survives {!Cert_log.truncate}
     (and is rebuilt by redelivery after a crash), so harnesses can verify
     acked commits whose log prefix was pruned behind the GC watermark. *)
+
+val x_outcome : t -> gtx:Types.gtx_id -> int option option
+(** Cross-partition outcome witness, same contract as {!decided_version}:
+    [Some (Some v)] — this group's fragment committed at version [v];
+    [Some None] — the transaction aborted; [None] — unknown or still in
+    flight. Never pruned, rebuilt by redelivery after a crash. *)
+
+val x_debug : t -> gtx:Types.gtx_id -> string
+(** One-line dump of this node's state for a cross-partition transaction
+    (outcome, or the in-flight exchange state) — for harness violation
+    messages and postmortems. *)
 
 (** {1 Fault injection} *)
 
@@ -125,6 +170,9 @@ type stats = {
   wal_torn_discarded : int;  (** torn records dropped by recovery scans *)
   wal_corrupt_discarded : int;
       (** corrupt records dropped by recovery scans *)
+  xprepares : int;  (** cross-partition Prepared records delivered here *)
+  xcommits : int;  (** cross-partition fragments committed here *)
+  xaborts : int;  (** cross-partition transactions aborted here *)
 }
 
 val stats : t -> stats

@@ -1,9 +1,14 @@
 open Sim
 
+(* Which partitions each replica subscribes to (partial replication). *)
+type hosting = Host_all | Host_modulo
+
 type config = {
   mode : Types.mode;
   n_replicas : int;
   n_certifiers : int;
+  n_partitions : int;
+  hosting : hosting;
   certifier : Certifier.config;
   replica : Replica.config;
   seed : int;
@@ -14,13 +19,15 @@ let default_config mode =
     mode;
     n_replicas = 3;
     n_certifiers = 3;
+    n_partitions = 1;
+    hosting = Host_all;
     certifier = Certifier.default_config;
     replica = Replica.default_config mode;
     seed = 42;
   }
 
-let config ?n_replicas ?n_certifiers ?apply_workers ?gc_interval ?max_snapshot_age
-    ?certifier ?replica ?seed mode =
+let config ?n_replicas ?n_certifiers ?n_partitions ?hosting ?apply_workers
+    ?gc_interval ?max_snapshot_age ?certifier ?replica ?seed mode =
   let base = default_config mode in
   let replica =
     match replica with Some r -> r | None -> base.replica
@@ -44,6 +51,8 @@ let config ?n_replicas ?n_certifiers ?apply_workers ?gc_interval ?max_snapshot_a
     mode;
     n_replicas = Option.value ~default:base.n_replicas n_replicas;
     n_certifiers = Option.value ~default:base.n_certifiers n_certifiers;
+    n_partitions = Option.value ~default:base.n_partitions n_partitions;
+    hosting = Option.value ~default:base.hosting hosting;
     certifier = Option.value ~default:base.certifier certifier;
     replica;
     seed = Option.value ~default:base.seed seed;
@@ -59,6 +68,15 @@ let validate cfg =
   if cfg.n_certifiers < 1 then add "n_certifiers must be >= 1 (got %d)" cfg.n_certifiers
   else if cfg.n_certifiers mod 2 = 0 then
     add "n_certifiers must be odd for majority quorums (got %d)" cfg.n_certifiers;
+  if cfg.n_partitions < 1 then
+    add "n_partitions must be >= 1 (got %d)" cfg.n_partitions;
+  (match cfg.hosting with
+  | Host_modulo when cfg.n_replicas < cfg.n_partitions ->
+      add
+        "Host_modulo needs n_replicas >= n_partitions so every partition has a \
+         replica (got %d < %d)"
+        cfg.n_replicas cfg.n_partitions
+  | Host_modulo | Host_all -> ());
   if cfg.replica.Replica.apply_workers < 1 then
     add "replica.apply_workers must be >= 1 (got %d)" cfg.replica.Replica.apply_workers;
   let non_negative name time =
@@ -87,37 +105,77 @@ let validate cfg =
 type t = {
   the_env : Env.t;
   cfg : config;
-  certifier_nodes : Certifier.t list;
+  groups : (int * Certifier.t list) list; (* partition -> its group, ascending *)
   replica_nodes : Replica.t list;
+  key_partitioner : Partitioner.t;
   mutable initial_rows : (Mvcc.Key.t * Mvcc.Value.t) list;
 }
 
-let certifier_name i = Printf.sprintf "cert%d" i
+(* A 1-partition cluster keeps the historical names (cert0, replica0) so
+   seeds, metric dashboards and fault plans stay valid; a partitioned one
+   prefixes certifiers with their group. *)
+let certifier_name ~n_partitions g i =
+  if n_partitions = 1 then Printf.sprintf "cert%d" i
+  else Printf.sprintf "p%d.cert%d" g i
+
 let replica_name i = Printf.sprintf "replica%d" i
+
+let hosted_partitions cfg i =
+  match cfg.hosting with
+  | Host_all -> List.init cfg.n_partitions Fun.id
+  | Host_modulo -> [ i mod cfg.n_partitions ]
 
 let create ?engine ?metrics ?trace cfg =
   validate cfg;
   (* The environment replays the historical stream discipline: root rng
      from the seed, network on its first split, then one split per
-     component in construction order (certifiers, then replicas). *)
+     component in construction order (group 0's certifiers, group 1's,
+     ..., then replicas). With one partition this is exactly the legacy
+     order. *)
   let env = Env.create ?engine ?metrics ?trace ~seed:cfg.seed () in
-  let cert_ids = List.init cfg.n_certifiers certifier_name in
-  let certifier_nodes =
+  let group_ids =
+    List.init cfg.n_partitions (fun g ->
+        (g, List.init cfg.n_certifiers (certifier_name ~n_partitions:cfg.n_partitions g)))
+  in
+  let directory = if cfg.n_partitions = 1 then [] else group_ids in
+  let groups =
     List.map
-      (fun id ->
-        Certifier.create env ~id
-          ~peers:(List.filter (fun p -> p <> id) cert_ids)
-          ~config:cfg.certifier ())
-      cert_ids
+      (fun (g, ids) ->
+        ( g,
+          List.map
+            (fun id ->
+              Certifier.create env ~id
+                ~peers:(List.filter (fun p -> p <> id) ids)
+                ~partition:g ~directory ~config:cfg.certifier ())
+            ids ))
+      group_ids
   in
   let replica_nodes =
     List.init cfg.n_replicas (fun i ->
-        Replica.create env ~name:(replica_name i) ~certifiers:cert_ids
-          ~req_id_base:((i + 1) * 100_000_000)
+        let parts = hosted_partitions cfg i in
+        let rgroups =
+          List.map
+            (fun p ->
+              ( p,
+                List.assoc p group_ids,
+                (* Globally unique per (replica, partition); reduces to the
+                   historical (i+1) * 100_000_000 when n_partitions = 1. *)
+                ((i * cfg.n_partitions) + p + 1) * 100_000_000 ))
+            parts
+        in
+        Replica.create env ~name:(replica_name i)
+          ~n_partitions:cfg.n_partitions ~groups:rgroups
           ~config:{ cfg.replica with mode = cfg.mode }
           ())
   in
-  { the_env = env; cfg; certifier_nodes; replica_nodes; initial_rows = [] }
+  {
+    the_env = env;
+    cfg;
+    groups;
+    replica_nodes;
+    key_partitioner = Partitioner.create ~parts:cfg.n_partitions;
+    initial_rows = [];
+  }
 
 let env t = t.the_env
 let engine t = t.the_env.Env.engine
@@ -127,206 +185,332 @@ let metrics t = t.the_env.Env.metrics
 let trace t = t.the_env.Env.trace
 let replicas t = t.replica_nodes
 let replica t i = List.nth t.replica_nodes i
-let certifiers t = t.certifier_nodes
-let certifier_ids t = List.map Certifier.id t.certifier_nodes
+let partitioner t = t.key_partitioner
+let certifier_groups t = t.groups
+let certifiers t = List.concat_map snd t.groups
+let certifier_ids t = List.map Certifier.id (certifiers t)
 
-let leader t = List.find_opt (fun c -> Certifier.is_up c && Certifier.is_leader c) t.certifier_nodes
+let group t ~part =
+  match List.assoc_opt part t.groups with
+  | Some nodes -> nodes
+  | None -> invalid_arg (Printf.sprintf "Cluster.group: no partition %d" part)
+
+let group_leader t ~part =
+  List.find_opt
+    (fun c -> Certifier.is_up c && Certifier.is_leader c)
+    (group t ~part)
+
+let leaders t =
+  List.filter_map (fun (g, _) -> group_leader t ~part:g) t.groups
+
+let leader t = group_leader t ~part:0
 
 let settle t =
   let engine = engine t in
   let deadline = Time.add (Engine.now engine) (Time.sec 10) in
+  let all_led () = List.length (leaders t) = List.length t.groups in
   let rec wait () =
-    if leader t = None && Time.(Engine.now engine < deadline) then begin
+    if (not (all_led ())) && Time.(Engine.now engine < deadline) then begin
       Engine.run ~until:(Time.add (Engine.now engine) (Time.of_ms 50.)) engine;
       wait ()
     end
   in
   wait ();
-  if leader t = None then failwith "Cluster.settle: no certifier leader elected"
+  if not (all_led ()) then
+    failwith "Cluster.settle: some certifier group elected no leader"
 
 let load_all t rows =
   t.initial_rows <- rows;
   List.iter (fun r -> Replica.load r rows) t.replica_nodes
 
-let check_consistency t =
-  match leader t with
-  | None -> Error "no certifier leader to check against"
-  | Some cert ->
-      let clog = Certifier.log cert in
-      let lfloor = Cert_log.floor clog in
-      (* Once the log is truncated the reference can only be rebuilt from
-         the floor upwards: initial rows, then the folded base state as a
-         wedge at the floor, then the live entries. *)
-      let base_ws =
-        lazy
-          (Mvcc.Writeset.of_list
-             (List.map
-                (fun (key, value) ->
-                  match value with
-                  | Some v -> (key, Mvcc.Writeset.Update v)
-                  | None -> (key, Mvcc.Writeset.Delete))
-                (Cert_log.base_rows clog)))
-      in
-      let problems = ref [] in
-      List.iter
-        (fun r ->
-          if Replica.is_up r then begin
-            let store = Mvcc.Db.store (Replica.db r) in
-            let v = Mvcc.Store.current_version store in
-            if v > Cert_log.version clog then
-              problems :=
-                Printf.sprintf "%s at version %d beyond certifier log %d" (Replica.name r)
-                  v (Cert_log.version clog)
-                :: !problems
-            else if v < lfloor then
-              (* The history this replica is at was pruned; it is about to
-                 heal through a snapshot transfer and cannot be verified
-                 against the log. Nothing to check yet. *)
-              ()
-            else begin
-              (* Rebuild the reference state for version v and compare every
-                 key ever touched. *)
-              let reference = Mvcc.Store.create () in
-              List.iter
-                (fun (key, value) -> Mvcc.Store.preload reference key value)
-                t.initial_rows;
-              if lfloor > 0 then
-                Mvcc.Store.install reference ~version:lfloor (Lazy.force base_ws);
-              List.iter
-                (fun (entry : Types.entry) ->
-                  Mvcc.Store.install reference ~version:entry.version entry.ws)
-                (Cert_log.entries_between clog ~lo:lfloor ~hi:v);
-              Mvcc.Store.force_version reference v;
-              let check key =
-                let expected = Mvcc.Store.read_latest reference key in
-                let actual = Mvcc.Store.read store ~at:v key in
-                let same =
-                  match (expected, actual) with
-                  | None, None -> true
-                  | Some a, Some b -> Mvcc.Value.equal a b
-                  | None, Some _ | Some _, None -> false
-                in
-                if not same then
-                  problems :=
-                    Printf.sprintf "%s: key %s diverges at version %d (expected %s, actual %s)"
-                      (Replica.name r) (Mvcc.Key.to_string key) v
-                      (match expected with
-                      | Some x -> Format.asprintf "%a" Mvcc.Value.pp x
-                      | None -> "<none>")
-                      (match actual with
-                      | Some x -> Format.asprintf "%a" Mvcc.Value.pp x
-                      | None -> "<none>")
-                    :: !problems
-              in
-              List.iter (fun (key, _) -> check key) t.initial_rows;
-              List.iter
-                (fun (entry : Types.entry) ->
-                  List.iter check (Mvcc.Writeset.keys entry.ws))
-                (Cert_log.entries_between clog ~lo:0 ~hi:v)
-            end
-          end)
-        t.replica_nodes;
-      if !problems = [] then Ok () else Error (String.concat "; " !problems)
+(* The per-partition slice of the initial rows — what a hosting replica
+   actually loaded. *)
+let initial_slice t ~part =
+  List.filter
+    (fun (key, _) -> Partitioner.of_key t.key_partitioner key = part)
+    t.initial_rows
 
-(* Structural invariants on the certification log itself, checked against
-   the current leader: version contiguity, at-most-once certification per
+let check_consistency_group t ~part cert =
+  let problems = ref [] in
+  let clog = Certifier.log cert in
+  let lfloor = Cert_log.floor clog in
+  let slice = initial_slice t ~part in
+  (* Once the log is truncated the reference can only be rebuilt from
+     the floor upwards: initial rows, then the folded base state as a
+     wedge at the floor, then the live entries. *)
+  let base_ws =
+    lazy
+      (Mvcc.Writeset.of_list
+         (List.map
+            (fun (key, value) ->
+              match value with
+              | Some v -> (key, Mvcc.Writeset.Update v)
+              | None -> (key, Mvcc.Writeset.Delete))
+            (Cert_log.base_rows clog)))
+  in
+  List.iter
+    (fun r ->
+      match Replica.db_of r ~part with
+      | None -> () (* not subscribed to this partition *)
+      | Some db when Replica.is_up r ->
+          let store = Mvcc.Db.store db in
+          let v = Mvcc.Store.current_version store in
+          if v > Cert_log.version clog then
+            problems :=
+              Printf.sprintf "%s/p%d at version %d beyond certifier log %d"
+                (Replica.name r) part v (Cert_log.version clog)
+              :: !problems
+          else if v < lfloor then
+            (* The history this replica is at was pruned; it is about to
+               heal through a snapshot transfer and cannot be verified
+               against the log. Nothing to check yet. *)
+            ()
+          else begin
+            (* Rebuild the reference state for version v and compare every
+               key ever touched. *)
+            let reference = Mvcc.Store.create () in
+            List.iter
+              (fun (key, value) -> Mvcc.Store.preload reference key value)
+              slice;
+            if lfloor > 0 then
+              Mvcc.Store.install reference ~version:lfloor (Lazy.force base_ws);
+            List.iter
+              (fun (entry : Types.entry) ->
+                Mvcc.Store.install reference ~version:entry.version entry.ws)
+              (Cert_log.entries_between clog ~lo:lfloor ~hi:v);
+            Mvcc.Store.force_version reference v;
+            let check key =
+              let expected = Mvcc.Store.read_latest reference key in
+              let actual = Mvcc.Store.read store ~at:v key in
+              let same =
+                match (expected, actual) with
+                | None, None -> true
+                | Some a, Some b -> Mvcc.Value.equal a b
+                | None, Some _ | Some _, None -> false
+              in
+              if not same then
+                problems :=
+                  Printf.sprintf
+                    "%s/p%d: key %s diverges at version %d (expected %s, actual %s)"
+                    (Replica.name r) part (Mvcc.Key.to_string key) v
+                    (match expected with
+                    | Some x -> Format.asprintf "%a" Mvcc.Value.pp x
+                    | None -> "<none>")
+                    (match actual with
+                    | Some x -> Format.asprintf "%a" Mvcc.Value.pp x
+                    | None -> "<none>")
+                  :: !problems
+            in
+            List.iter (fun (key, _) -> check key) slice;
+            List.iter
+              (fun (entry : Types.entry) ->
+                List.iter check (Mvcc.Writeset.keys entry.ws))
+              (Cert_log.entries_between clog ~lo:0 ~hi:v)
+          end
+      | Some _ -> ())
+    t.replica_nodes;
+  !problems
+
+let check_consistency t =
+  let problems =
+    List.concat_map
+      (fun (part, _) ->
+        match group_leader t ~part with
+        | None -> [ Printf.sprintf "p%d: no certifier leader to check against" part ]
+        | Some cert -> check_consistency_group t ~part cert)
+      t.groups
+  in
+  if problems = [] then Ok () else Error (String.concat "; " problems)
+
+(* Structural invariants on one group's certification log, checked against
+   its current leader: version contiguity, at-most-once certification per
    (origin, req_id), no acknowledged commit missing from the log, and
    prefix agreement among up certifiers. Complements [check_consistency]
    (which checks replica *data* against the log) and is what the chaos
    harness asserts after every heal. *)
+let check_log_invariants_group t ~part lead =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let llog = Certifier.log lead in
+  let lv = Cert_log.version llog in
+  let lfloor = Cert_log.floor llog in
+  let entries = Cert_log.entries_between llog ~lo:0 ~hi:lv in
+  (* 1. Versions are contiguous from the truncation floor: a gap means
+     a decided entry was dropped somewhere between Paxos delivery and
+     the log (truncation only ever removes a prefix, so the live window
+     must still be dense). *)
+  ignore
+    (List.fold_left
+       (fun expect (e : Types.entry) ->
+         if e.version <> expect then
+           add "p%d leader log gap: expected version %d, found %d" part expect
+             e.version;
+         e.version + 1)
+       (lfloor + 1) entries);
+  (* 2. Each (origin, req_id) appears at most once: a duplicate means a
+     retried request was certified twice (e.g. by a leader that exposed
+     state before finishing recovery). Cross-partition fragments take part
+     here too — their req_id is the per-session gtx_seq, disjoint from the
+     >= 100 M client req_id space. *)
+  let seen = Hashtbl.create 1024 in
+  let by_version = Hashtbl.create 1024 in
+  List.iter
+    (fun (e : Types.entry) ->
+      Hashtbl.replace by_version e.version (e.origin, e.req_id);
+      (match Hashtbl.find_opt seen (e.origin, e.req_id) with
+      | Some v ->
+          add "p%d duplicate certification: (%s, req %d) at versions %d and %d"
+            part e.origin e.req_id v e.version
+      | None -> ());
+      Hashtbl.replace seen (e.origin, e.req_id) e.version)
+    entries;
+  (* 3. No lost certified writeset: every commit a replica acknowledged
+     to its clients must be backed by a log entry with that origin —
+     live, or accounted for by the truncation ledger.
+     (Assumes proxy stats have not been reset since the run began.) *)
+  let per_origin = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Types.entry) ->
+      Hashtbl.replace per_origin e.origin
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_origin e.origin)))
+    entries;
+  List.iter
+    (fun r ->
+      match Replica.proxy_of r ~part with
+      | Some proxy when Replica.is_up r ->
+          let origin = Proxy.addr proxy in
+          let commits = (Proxy.stats proxy).commits in
+          let backed =
+            Option.value ~default:0 (Hashtbl.find_opt per_origin origin)
+            + Cert_log.truncated_for_origin llog origin
+          in
+          if commits > backed then
+            add "%s acknowledged %d commits but the p%d log backs only %d (lost writeset)"
+              origin commits part backed
+      | Some _ | None -> ())
+    t.replica_nodes;
+  (* 4. Prefix agreement: every up certifier's log must match the
+     leader's on the versions both hold — Paxos must never let two
+     certifiers decide different entries for the same slot. *)
+  List.iter
+    (fun c ->
+      if Certifier.is_up c && not (String.equal (Certifier.id c) (Certifier.id lead))
+      then
+        let clog = Certifier.log c in
+        let cv = min (Cert_log.version clog) lv in
+        List.iter
+          (fun (e : Types.entry) ->
+            match Hashtbl.find_opt by_version e.version with
+            | Some (origin, req_id)
+              when String.equal origin e.origin && req_id = e.req_id ->
+                ()
+            | Some _ ->
+                add "%s log diverges from leader at version %d" (Certifier.id c)
+                  e.version
+            | None -> ())
+          (Cert_log.entries_between clog ~lo:0 ~hi:cv))
+    (group t ~part);
+  List.rev !problems
+
 let check_log_invariants t =
-  match leader t with
-  | None -> Error "no certifier leader to check against"
-  | Some lead ->
-      let problems = ref [] in
-      let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
-      let llog = Certifier.log lead in
-      let lv = Cert_log.version llog in
-      let lfloor = Cert_log.floor llog in
-      let entries = Cert_log.entries_between llog ~lo:0 ~hi:lv in
-      (* 1. Versions are contiguous from the truncation floor: a gap means
-         a decided entry was dropped somewhere between Paxos delivery and
-         the log (truncation only ever removes a prefix, so the live window
-         must still be dense). *)
-      ignore
-        (List.fold_left
-           (fun expect (e : Types.entry) ->
-             if e.version <> expect then
-               add "leader log gap: expected version %d, found %d" expect e.version;
-             e.version + 1)
-           (lfloor + 1) entries);
-      (* 2. Each (origin, req_id) appears at most once: a duplicate means a
-         retried request was certified twice (e.g. by a leader that exposed
-         state before finishing recovery). *)
-      let seen = Hashtbl.create 1024 in
-      let by_version = Hashtbl.create 1024 in
-      List.iter
-        (fun (e : Types.entry) ->
-          Hashtbl.replace by_version e.version (e.origin, e.req_id);
-          (match Hashtbl.find_opt seen (e.origin, e.req_id) with
-          | Some v ->
-              add "duplicate certification: (%s, req %d) at versions %d and %d" e.origin
-                e.req_id v e.version
-          | None -> ());
-          Hashtbl.replace seen (e.origin, e.req_id) e.version)
-        entries;
-      (* 3. No lost certified writeset: every commit a replica acknowledged
-         to its clients must be backed by a log entry with that origin —
-         live, or accounted for by the truncation ledger.
-         (Assumes proxy stats have not been reset since the run began.) *)
-      let per_origin = Hashtbl.create 8 in
-      List.iter
-        (fun (e : Types.entry) ->
-          Hashtbl.replace per_origin e.origin
-            (1 + Option.value ~default:0 (Hashtbl.find_opt per_origin e.origin)))
-        entries;
-      List.iter
-        (fun r ->
-          if Replica.is_up r then begin
-            let commits = (Proxy.stats (Replica.proxy r)).commits in
-            let backed =
-              Option.value ~default:0 (Hashtbl.find_opt per_origin (Replica.name r))
-              + Cert_log.truncated_for_origin llog (Replica.name r)
-            in
-            if commits > backed then
-              add "%s acknowledged %d commits but the log backs only %d (lost writeset)"
-                (Replica.name r) commits backed
-          end)
-        t.replica_nodes;
-      (* 4. Prefix agreement: every up certifier's log must match the
-         leader's on the versions both hold — Paxos must never let two
-         certifiers decide different entries for the same slot. *)
-      List.iter
-        (fun c ->
-          if Certifier.is_up c && not (String.equal (Certifier.id c) (Certifier.id lead))
-          then
-            let clog = Certifier.log c in
-            let cv = min (Cert_log.version clog) lv in
-            List.iter
-              (fun (e : Types.entry) ->
-                match Hashtbl.find_opt by_version e.version with
-                | Some (origin, req_id)
-                  when String.equal origin e.origin && req_id = e.req_id ->
-                    ()
-                | Some _ ->
-                    add "%s log diverges from leader at version %d" (Certifier.id c)
-                      e.version
-                | None -> ())
-              (Cert_log.entries_between clog ~lo:0 ~hi:cv))
-        t.certifier_nodes;
-      if !problems = [] then Ok () else Error (String.concat "; " (List.rev !problems))
+  let problems =
+    List.concat_map
+      (fun (part, _) ->
+        match group_leader t ~part with
+        | None -> [ Printf.sprintf "p%d: no certifier leader to check against" part ]
+        | Some lead -> check_log_invariants_group t ~part lead)
+      t.groups
+  in
+  if problems = [] then Ok () else Error (String.concat "; " problems)
+
+(* Cross-partition atomicity: every fragment a group committed with an
+   {!Types.xatom} witness must have committed siblings — no sibling group
+   may record the same transaction as aborted or unknown. Checked from the
+   never-pruned outcome tables, so log truncation cannot hide a violation;
+   a sibling group with no up member is skipped (nothing to ask).
+
+   Each group delivers its own Decision record independently, so a scan
+   can catch a transaction milliseconds after one group's log committed
+   it and before the sibling group's Decision delivered. A non-empty
+   first scan therefore runs the simulation for [settle] and keeps only
+   the problems that are still there — in-flight exchanges resolve, a
+   genuinely lost outcome (or a commit/abort split) does not. *)
+let cross_atomicity_problems t =
+  let problems = ref [] in
+  let witness part =
+    match group_leader t ~part with
+    | Some c -> Some c
+    | None -> List.find_opt Certifier.is_up (group t ~part)
+  in
+  List.iter
+    (fun (part, _) ->
+      match witness part with
+      | None -> ()
+      | Some c ->
+          let clog = Certifier.log c in
+          List.iter
+            (fun (e : Types.entry) ->
+              match e.xa with
+              | None -> ()
+              | Some { gtx; parts } ->
+                  List.iter
+                    (fun sibling ->
+                      if sibling <> part then
+                        match witness sibling with
+                        | None -> ()
+                        | Some w -> (
+                            match Certifier.x_outcome w ~gtx with
+                            | Some (Some _) -> ()
+                            | Some None ->
+                                problems := (gtx, part, sibling, `Aborted) :: !problems
+                            | None ->
+                                problems := (gtx, part, sibling, `Unknown) :: !problems))
+                    parts)
+            (Cert_log.entries_between clog ~lo:0 ~hi:(Cert_log.version clog)))
+    t.groups;
+  List.rev !problems
+
+let check_cross_atomicity ?(settle = Time.sec 1) t =
+  let problems =
+    match cross_atomicity_problems t with
+    | [] -> []
+    | first ->
+        let engine = engine t in
+        Engine.run ~until:(Time.add (Engine.now engine) settle) engine;
+        let second = cross_atomicity_problems t in
+        List.filter (fun p -> List.mem p second) first
+  in
+  let describe (gtx, part, sibling, kind) =
+    let gname = Format.asprintf "%a" Types.pp_gtx gtx in
+    match kind with
+    | `Aborted ->
+        Printf.sprintf "%s committed in p%d but aborted in p%d (atomicity broken)"
+          gname part sibling
+    | `Unknown ->
+        Printf.sprintf "%s committed in p%d but unknown in p%d [%s]" gname part
+          sibling
+          (String.concat " "
+             (List.map (fun c -> Certifier.x_debug c ~gtx) (group t ~part:sibling)))
+  in
+  match problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.map describe ps))
+
+let all_proxies t =
+  List.concat_map
+    (fun r ->
+      List.filter_map (fun part -> Replica.proxy_of r ~part) (Replica.partitions r))
+    t.replica_nodes
 
 let total_commits t =
-  List.fold_left
-    (fun acc r -> acc + (Proxy.stats (Replica.proxy r)).commits)
-    0 t.replica_nodes
+  List.fold_left (fun acc p -> acc + (Proxy.stats p).commits) 0 (all_proxies t)
 
 let total_aborts t =
   List.fold_left
-    (fun acc r ->
-      let s = Proxy.stats (Replica.proxy r) in
+    (fun acc p ->
+      let s = Proxy.stats p in
       acc + s.cert_aborts + s.local_aborts)
-    0 t.replica_nodes
+    0 (all_proxies t)
 
 (* One registry reset restarts everyone's window (counters zeroed, each
    component's on_reset hook re-baselines its own cumulative state), and the

@@ -1,10 +1,29 @@
-(** Whole-system wiring: a certifier group and a set of database replicas
-    on one simulated LAN — the architecture of Figure 2. *)
+(** Whole-system wiring: certifier groups and a set of database replicas
+    on one simulated LAN — the architecture of Figure 2, generalised to
+    partitioned certification (DESIGN.md §15).
+
+    The keyspace is split into [n_partitions] static partitions (see
+    {!Partitioner}); each partition gets its own certifier group — its own
+    Paxos ring, WAL, certification log and GC watermark, in its own
+    version space. Replicas host either every partition ([Host_all]) or
+    one partition each ([Host_modulo]: partial replication — a replica
+    loads, applies and refreshes only its subscription). With
+    [n_partitions = 1] (the default) everything reduces to the legacy
+    single-group cluster: same names, same RNG stream, same histories. *)
+
+(** Which partitions each replica subscribes to: [Host_all] — every
+    replica hosts every partition (cross-partition transactions possible
+    on any replica); [Host_modulo] — replica [i] hosts only partition
+    [i mod n_partitions] (pure partial replication; every transaction is
+    partition-local by construction). *)
+type hosting = Host_all | Host_modulo
 
 type config = {
   mode : Types.mode;
   n_replicas : int;
-  n_certifiers : int;
+  n_certifiers : int;  (** per group *)
+  n_partitions : int;
+  hosting : hosting;
   certifier : Certifier.config;
   replica : Replica.config;
   seed : int;
@@ -15,6 +34,8 @@ val default_config : Types.mode -> config
 val config :
   ?n_replicas:int ->
   ?n_certifiers:int ->
+  ?n_partitions:int ->
+  ?hosting:hosting ->
   ?apply_workers:int ->
   ?gc_interval:Sim.Time.t option ->
   ?max_snapshot_age:Sim.Time.t option ->
@@ -33,14 +54,17 @@ val config :
 type t
 
 val create : ?engine:Sim.Engine.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t -> config -> t
-(** Builds an {!Env.t} (network included) and the certifier group and
+(** Builds an {!Env.t} (network included) and the certifier groups and
     replicas inside it. Every component registers its metrics in [metrics]
     (a fresh registry when omitted) and records lifecycle spans into
     [trace] (disabled when omitted); the resulting metric namespace is
     [proxy.*], [cert_client.*], [replica.*], [certifier.*] and [net.*].
+    Certifiers are [cert<i>] in a 1-partition cluster and [p<g>.cert<i>]
+    otherwise; a multi-partition replica's endpoints are [replica<i>#p<g>].
 
     The configuration is validated first; impossible settings
     ([n_replicas < 1], an even or non-positive [n_certifiers],
+    [n_partitions < 1], [Host_modulo] with fewer replicas than partitions,
     [replica.apply_workers < 1], negative
     CPU/staleness/deadline/GC-interval/snapshot-age/watermark-TTL times)
     raise one [Invalid_argument] naming every problem. *)
@@ -62,38 +86,77 @@ val trace : t -> Obs.Trace.t
 
 val replicas : t -> Replica.t list
 val replica : t -> int -> Replica.t
+
+val partitioner : t -> Partitioner.t
+(** The cluster's key → partition map (shared with every replica session;
+    workloads use it to build partition-local key pools). *)
+
 val certifiers : t -> Certifier.t list
+(** Every certifier, group by group in partition order (the construction
+    order — identical to the legacy flat list when [n_partitions = 1]). *)
+
+val certifier_groups : t -> (int * Certifier.t list) list
+(** Partition → its certifier group, ascending. *)
+
+val group : t -> part:int -> Certifier.t list
+(** @raise Invalid_argument on an unknown partition. *)
+
 val certifier_ids : t -> string list
 
 val leader : t -> Certifier.t option
-(** The certifier currently claiming leadership, if any. *)
+(** The certifier currently claiming leadership of {e group 0} — the
+    cluster's only group when [n_partitions = 1] (the historical
+    contract). *)
+
+val group_leader : t -> part:int -> Certifier.t option
+val leaders : t -> Certifier.t list
+(** The current leaders, one per group that has one. *)
 
 val settle : t -> unit
-(** Run the engine until a certifier leader exists (bounded wait);
-    call once after {!create} before submitting work. *)
+(** Run the engine until {e every} certifier group has a leader (bounded
+    wait); call once after {!create} before submitting work. *)
 
 val load_all : t -> (Mvcc.Key.t * Mvcc.Value.t) list -> unit
-(** Install the same initial rows on every replica (version 0). *)
+(** Install the initial rows (version 0) on every replica; each replica
+    keeps only the partitions it hosts. *)
 
 val check_consistency : t -> (unit, string) result
-(** Safety invariant (§7): every up replica's database state equals the
-    certifier log applied up to that replica's version — i.e. each replica
-    is a consistent prefix of the global history. Truncation-aware: the
+(** Safety invariant (§7), per partition: every up replica hosting the
+    partition has database state equal to that group's certifier log
+    applied up to the replica's version — i.e. each hosted partition is a
+    consistent prefix of that partition's history. Truncation-aware: the
     reference state is rebuilt from the log's folded base wedge at the GC
     floor plus the live entries; a replica still below the floor (about to
     heal via snapshot transfer) is skipped. *)
 
 val check_log_invariants : t -> (unit, string) result
-(** Structural invariants on the certification log, checked against the
-    current leader: contiguous versions from the truncation floor,
-    at-most-once certification per (origin, req_id), every commit
-    acknowledged by an up replica backed by a log entry of that origin —
-    live or in the truncation ledger (no lost certified writeset) — and
-    prefix agreement between every up certifier's log and the leader's.
-    The chaos harness asserts this after each heal; requires proxy stats
-    untouched by {!reset_stats} since the run began. *)
+(** Structural invariants on each group's certification log, checked
+    against that group's current leader: contiguous versions from the
+    truncation floor, at-most-once certification per (origin, req_id) —
+    cross-partition fragments included — every commit acknowledged by an
+    up replica backed by a log entry of that origin (live or in the
+    truncation ledger), and prefix agreement between every up member's log
+    and its leader's. The chaos harness asserts this after each heal;
+    requires proxy stats untouched by {!reset_stats} since the run
+    began. *)
+
+val check_cross_atomicity : ?settle:Sim.Time.t -> t -> (unit, string) result
+(** Cross-partition atomicity: for every fragment committed with an
+    {!Types.xatom} witness, every sibling group (that still has an up
+    member to ask) must report the transaction committed in its own
+    never-pruned outcome table — none may report it aborted or unknown.
+    Because each group delivers its own Decision record independently, a
+    scan under live traffic can catch an exchange mid-flight; a non-empty
+    scan runs the simulation for [settle] (default 1 s) and reports only
+    the problems that survive it. Trivially [Ok] (and side-effect-free)
+    when [n_partitions = 1]. *)
 
 val total_commits : t -> int
+(** Summed proxy commit counts over every hosted partition. Under
+    partitioned certification a cross-partition transaction contributes
+    once {e per fragment}; per-transaction counts live in
+    {!Session.stats}. *)
+
 val total_aborts : t -> int
 
 val reset_stats : t -> unit

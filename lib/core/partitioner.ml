@@ -1,0 +1,45 @@
+type t = { parts : int }
+
+let create ~parts =
+  if parts < 1 then invalid_arg "Partitioner.create: parts must be >= 1";
+  { parts }
+
+let parts t = t.parts
+
+(* FNV-1a (32-bit variant) over the key's table and row. Deliberately
+   self-contained (not [Hashtbl.hash]) so the key -> partition map is a
+   stable property of the repo, independent of compiler version — bench
+   numbers and chaos seeds stay comparable across toolchains. *)
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+let fnv_mask = 0xffffffff
+
+let fnv h s =
+  let h = ref h in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime land fnv_mask) s;
+  !h
+
+let hash_key (key : Mvcc.Key.t) =
+  fnv (fnv fnv_offset key.Mvcc.Key.table) key.Mvcc.Key.row
+
+let of_key t key = if t.parts = 1 then 0 else hash_key key mod t.parts
+
+let split t ws =
+  if t.parts = 1 then [ (0, ws) ]
+  else begin
+    let by_part = Hashtbl.create 4 in
+    Mvcc.Writeset.iter_entries ws (fun key op ->
+        let p = of_key t key in
+        let frag =
+          match Hashtbl.find_opt by_part p with
+          | Some frag -> frag
+          | None ->
+              let frag = ref [] in
+              Hashtbl.add by_part p frag;
+              frag
+        in
+        frag := (key, op) :: !frag);
+    Hashtbl.fold (fun p frag acc -> (p, Mvcc.Writeset.of_list (List.rev !frag)) :: acc)
+      by_part []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  end

@@ -1,0 +1,33 @@
+(** Static hash partitioner: the cluster-wide, never-changing map from
+    keys to certifier groups.
+
+    Every component that needs to know where a key lives — the
+    {!Session} routing reads and writes, {!Replica.load} filtering rows
+    under partial replication, the workload generators building
+    partition-local key pools — shares one [t], so the map is consistent
+    by construction. The hash is a self-contained FNV-1a over the key's
+    table and row (not [Hashtbl.hash]), making the assignment a stable
+    property of the repo rather than of the compiler version.
+
+    With [parts = 1] the partitioner is the identity: everything maps to
+    partition 0 and {!split} returns the writeset unchanged, which is
+    what keeps a 1-partition cluster byte-identical to the legacy
+    single-certifier path. *)
+
+type t
+
+val create : parts:int -> t
+(** [create ~parts] builds a partitioner over [parts] partitions,
+    numbered [0 .. parts-1]. Raises [Invalid_argument] if [parts < 1]. *)
+
+val parts : t -> int
+(** Number of partitions. *)
+
+val of_key : t -> Mvcc.Key.t -> int
+(** The partition owning [key]. Pure and deterministic. *)
+
+val split : t -> Mvcc.Writeset.t -> (int * Mvcc.Writeset.t) list
+(** [split t ws] slices a writeset into per-partition fragments, sorted
+    by partition id, omitting empty fragments. Operation order within
+    each fragment is preserved. [split] with [parts = 1] is
+    [[ (0, ws) ]]. *)

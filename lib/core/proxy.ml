@@ -76,6 +76,15 @@ type t = {
   mutable inflight : int;
   mutable last_activity : Time.t;
   mutable paused : bool;
+  mutable incarnation : int;
+      (* Bumped by every {!pause}. A commit captures it before blocking on
+         certification and re-checks it when the reply arrives: a reply
+         addressed to a dead incarnation must not touch the revived state —
+         the crash discarded its db transaction, and installing the reply's
+         remotes window would stamp [rv] past versions the new incarnation
+         never fetched, silently losing the prefix (refresh fetches from
+         [rv]). Entry-level [paused] checks cannot catch this case: by the
+         time the stale reply lands, the replica has already resumed. *)
   mutable applier : Engine.fiber option;
   mutable refresher : Engine.fiber option;
   (* Opt-in durability oracle for chaos harnesses: every commit acked
@@ -84,6 +93,9 @@ type t = {
      still present in the certified log after recovery. *)
   mutable journaling : bool;
   mutable journal : (int * int) list; (* (req_id, commit_version), newest first *)
+  mutable journal_x : (Types.gtx_id * int) list;
+      (* cross-partition commits acked to this proxy: (gtx, local fragment
+         version), newest first; same never-cleared contract as [journal] *)
   trace : Obs.Trace.t;
   c_commits : Stats.Counter.t;
   c_cert_aborts : Stats.Counter.t;
@@ -111,10 +123,15 @@ type t = {
 let addr t = t.address
 let mode t = t.cfg.mode
 let replica_version t = t.rv
+
 let db t = t.database
 let client t = t.client
 let enable_commit_journal t = t.journaling <- true
 let journaled_commits t = List.rev t.journal
+let journaled_cross_commits t = List.rev t.journal_x
+let tx_writeset w_tx = Mvcc.Db.writeset w_tx.db_tx
+let tx_start_version w_tx = w_tx.start_version
+let tx_trace_id w_tx = w_tx.trace_id
 
 (* ------------------------------------------------------------------ *)
 (* Remote writeset application *)
@@ -510,6 +527,7 @@ let commit t w_tx =
         else begin
           t.inflight <- t.inflight + 1;
           t.last_activity <- Engine.now t.engine;
+          let incarnation = t.incarnation in
           let sp_txn =
             Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"txn.commit" ~actor:t.address ()
           in
@@ -546,6 +564,118 @@ let commit t w_tx =
               ws
           in
           Obs.Trace.finish t.trace sp_cert;
+          if t.incarnation <> incarnation then begin
+            (* The replica crashed while this commit was parked inside
+               certification and the reply outlived the outage (client-side
+               retry or an unregistered caller fiber). Everything the reply
+               talks about belongs to the dead incarnation — the db
+               transaction is gone and [rv] was rebased by {!resume} — so
+               touching any state here would corrupt the revived proxy.
+               Drop the reply on the floor and report preemption. *)
+            Obs.Trace.finish t.trace sp_txn;
+            record_local_abort t Mvcc.Db.Preempted;
+            Error (Local_abort Mvcc.Db.Preempted)
+          end
+          else begin
+            Mvcc.Db.set_cluster_gc_floor t.database reply.gc_floor;
+            t.last_activity <- Engine.now t.engine;
+            let result =
+              match reply.decision with
+              | Types.Abort cause ->
+                  Mvcc.Db.abort w_tx.db_tx;
+                  record_cert_abort t cause;
+                  Error (Cert_abort cause)
+              | Types.Commit ->
+                  if t.journaling then
+                    t.journal <- (reply.req_id, reply.commit_version) :: t.journal;
+                  let done_ = Ivar.create t.engine () in
+                  Mailbox.send t.work (Commit_reply { reply; w_tx; done_ });
+                  Ivar.read done_
+            in
+            Obs.Trace.finish t.trace sp_txn;
+            t.inflight <- t.inflight - 1;
+            (match result with
+            | Error (Cert_abort _) when reply.gc_floor > t.rv ->
+                heal_below_floor t ~floor:reply.gc_floor
+            | Ok _ | Error _ -> ());
+            result
+          end
+        end
+
+(* Commit this proxy's fragment of a cross-partition transaction. The
+   session has already split the writeset: [w_tx]'s own writeset IS the
+   fragment for this proxy's partition (reads and writes were routed here
+   by key), so the commit path below is the ordinary one — the only
+   differences are that certification goes through {!Cert_client.certify_cross}
+   (prepare/vote/decide among the involved certifier groups instead of a
+   single certify) and that the commit version arriving in the reply is a
+   decision-time version rather than a proposal-time one. Apply-side
+   machinery (remote batching, pool, artificial conflicts, floor healing)
+   is reused unchanged. *)
+let commit_cross t w_tx ~gtx ~(fragments : Types.xfragment list) =
+  match Mvcc.Db.is_doomed w_tx.db_tx with
+  | Some reason ->
+      Mvcc.Db.abort w_tx.db_tx;
+      record_local_abort t reason;
+      Error (Local_abort reason)
+  | None ->
+      if t.paused then begin
+        Mvcc.Db.abort w_tx.db_tx;
+        record_local_abort t Mvcc.Db.Preempted;
+        Error (Local_abort Mvcc.Db.Preempted)
+      end
+      else begin
+        t.inflight <- t.inflight + 1;
+        t.last_activity <- Engine.now t.engine;
+        let incarnation = t.incarnation in
+        let sp_txn =
+          Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"txn.commit" ~actor:t.address ()
+        in
+        let db_version = Mvcc.Db.current_version t.database in
+        (* Local certification promotion applies to OUR fragment only: the
+           sibling fragments' start versions live in other partitions'
+           version spaces and are promoted by their own proxies. *)
+        let part = ref 0 in
+        let fragments =
+          List.map
+            (fun (f : Types.xfragment) ->
+              if String.equal f.xf_origin t.address then begin
+                part := f.xf_part;
+                if t.cfg.local_certification && db_version > f.xf_start_version
+                then begin
+                  Stats.Counter.incr t.c_promotions;
+                  { f with xf_start_version = db_version }
+                end
+                else f
+              end
+              else f)
+            fragments
+        in
+        let sp_cert =
+          Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"certify" ~actor:t.address ()
+        in
+        let reply =
+          Cert_client.certify_cross t.client ~trace_id:w_tx.trace_id ~gtx ~part:!part
+            ~replica_version:db_version
+            ~oldest_snapshot:(Mvcc.Db.oldest_active_snapshot t.database)
+            ~fragments ()
+        in
+        Obs.Trace.finish t.trace sp_cert;
+        if t.incarnation <> incarnation then begin
+          (* Same stale-reply hazard as {!commit}, and here it is not
+             hypothetical: the session commits fragments from helper fibers
+             that are not registered with the replica, so they survive the
+             crash parked inside [certify_cross] and resume when the reply
+             (re)arrives after recovery. Applying that reply would install
+             its remotes window over the rebuilt store and advance [rv]
+             past the unfetched prefix — permanent silent data loss. The
+             decision itself is not lost: if the group committed the
+             fragment, refresh picks it up like any other remote. *)
+          Obs.Trace.finish t.trace sp_txn;
+          record_local_abort t Mvcc.Db.Preempted;
+          Error (Local_abort Mvcc.Db.Preempted)
+        end
+        else begin
           Mvcc.Db.set_cluster_gc_floor t.database reply.gc_floor;
           t.last_activity <- Engine.now t.engine;
           let result =
@@ -556,7 +686,7 @@ let commit t w_tx =
                 Error (Cert_abort cause)
             | Types.Commit ->
                 if t.journaling then
-                  t.journal <- (reply.req_id, reply.commit_version) :: t.journal;
+                  t.journal_x <- (gtx, reply.commit_version) :: t.journal_x;
                 let done_ = Ivar.create t.engine () in
                 Mailbox.send t.work (Commit_reply { reply; w_tx; done_ });
                 Ivar.read done_
@@ -569,6 +699,7 @@ let commit t w_tx =
           | Ok _ | Error _ -> ());
           result
         end
+      end
 
 let spawn_refresher t bound =
   let fiber =
@@ -636,10 +767,12 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
       inflight = 0;
       last_activity = Engine.now engine;
       paused = false;
+      incarnation = 0;
       applier = None;
       refresher = None;
       journaling = false;
       journal = [];
+      journal_x = [];
       trace;
       c_commits = counter "commits";
       c_cert_aborts = counter "cert_aborts";
@@ -675,6 +808,7 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
 
 let pause t =
   t.paused <- true;
+  t.incarnation <- t.incarnation + 1;
   (* The replica cancels its client fibers before pausing; any of them that
      died between the inflight increment and decrement in [commit] will
      never decrement, which would disable [refresh] forever after resume. *)

@@ -99,6 +99,13 @@ val journaled_commits : t -> (int * int) list
 (** The journal, oldest first, as [(req_id, commit_version)] pairs. Empty
     unless {!enable_commit_journal} was called. *)
 
+val journaled_cross_commits : t -> (Types.gtx_id * int) list
+(** Cross-partition commits acked durable to this proxy, oldest first, as
+    [(gtx, local fragment version)] pairs — the cross-partition half of
+    {!journaled_commits}, verified against the certifier groups'
+    {!Certifier.x_outcome} witnesses. Empty unless
+    {!enable_commit_journal} was called. *)
+
 (** {1 Client interface (the "JDBC" face)} *)
 
 type tx
@@ -119,6 +126,28 @@ val commit : t -> tx -> (unit, failure) result
 (** Blocking. Read-only transactions commit immediately; update
     transactions go through certification, remote-writeset application and
     the local ordered commit. *)
+
+val commit_cross :
+  t -> tx -> gtx:Types.gtx_id -> fragments:Types.xfragment list ->
+  (unit, failure) result
+(** Blocking. Commit this proxy's fragment of a cross-partition
+    transaction: [tx]'s writeset must be the fragment owned by this
+    proxy's partition (the {!Session} routes writes by key, so this holds
+    by construction), and [fragments] lists every fragment of [gtx] with
+    this proxy's own among them (matched by origin address). Runs the
+    same commit pipeline as {!commit} but certifies through
+    {!Cert_client.certify_cross}; the reply's version and remotes are in
+    this partition's version space. *)
+
+val tx_writeset : tx -> Mvcc.Writeset.t
+(** The transaction's accumulated writeset (used by the {!Session} to
+    build cross-partition fragments before commit). *)
+
+val tx_start_version : tx -> int
+(** The snapshot version this transaction started on, in this proxy's
+    partition version space. *)
+
+val tx_trace_id : tx -> int
 
 (** {1 Maintenance} *)
 

@@ -1,6 +1,15 @@
-(** One database replica: CPU, disks, the {!Mvcc.Db} engine and its
-    {!Proxy}, wired for the chosen system ({!Types.mode}) and IO layout,
-    plus the crash/recovery procedures of §7.1–7.2 and §8.1. *)
+(** One database replica: CPU, disks, and — per hosted keyspace partition
+    — an {!Mvcc.Db} engine with its {!Proxy}, wired for the chosen system
+    ({!Types.mode}) and IO layout, plus the crash/recovery procedures of
+    §7.1–7.2 and §8.1.
+
+    Under partitioned certification a replica may host several partitions
+    (each with a private version space, database and proxy, sharing the
+    machine's CPU and devices) or only a subset of them (partial
+    replication: it loads, applies and refreshes nothing outside its
+    subscriptions). A {!Session} fronts the partitions for clients. A
+    1-partition replica is structurally the legacy replica: one database,
+    one proxy named [<name>], same RNG stream, same metric names. *)
 
 (** Where the database log lives relative to the data pages (§9.2):
     [Shared_io] puts WAL fsyncs, page reads and page write-backs on one
@@ -55,22 +64,46 @@ type t
 val create :
   Env.t ->
   name:string ->
-  certifiers:string list ->
-  req_id_base:int ->
+  n_partitions:int ->
+  groups:(int * string list * int) list ->
   config:config ->
   unit ->
   t
 (** Build a replica inside [env]: its private random stream is derived with
-    {!Env.split_rng} (so construction order fixes the run), its proxy joins
-    [env]'s network, and its metrics/trace handles come from [env]. The
-    replica registers [replica.<name>.*] gauges over its database WAL, log
-    disk and CPU in [env.metrics], and an [on_reset] hook that restarts the
-    database and disk stat windows (so one [Obs.Registry.reset] re-windows
-    the whole replica). *)
+    {!Env.split_rng} (so construction order fixes the run), its proxies
+    join [env]'s network, and its metrics/trace handles come from [env].
+
+    [n_partitions] is the cluster-wide partition count (it parameterises
+    the key {!Partitioner}); [groups] lists the partitions this replica
+    hosts as [(partition, certifier group member ids, req_id_base)] —
+    req_id bases must be globally unique per (replica, partition). A
+    legacy single-group replica is [~n_partitions:1 ~groups:[(0, certs,
+    base)]]. Hosted-partition endpoints are named [<name>] when
+    [n_partitions = 1] and [<name>#p<k>] otherwise.
+
+    The replica registers [replica.<name>.*] gauges over its log disk and
+    CPU, per-partition [replica.<endpoint>.*] gauges over each database,
+    and an [on_reset] hook that restarts the database and disk stat
+    windows (so one [Obs.Registry.reset] re-windows the whole replica). *)
 
 val name : t -> string
+
 val proxy : t -> Proxy.t
+(** The lowest hosted partition's proxy — {e the} proxy of a 1-partition
+    replica (every legacy harness path). *)
+
 val db : t -> Mvcc.Db.t
+(** The lowest hosted partition's database. *)
+
+val session : t -> Session.t
+(** The partition router fronting this replica's proxies. *)
+
+val partitions : t -> int list
+(** Hosted partitions, ascending. *)
+
+val hosts : t -> part:int -> bool
+val proxy_of : t -> part:int -> Proxy.t option
+val db_of : t -> part:int -> Mvcc.Db.t option
 val cpu : t -> Sim.Resource.t
 val log_disk : t -> Storage.Disk.t
 val data_disk : t -> Storage.Disk.t
@@ -78,6 +111,9 @@ val is_up : t -> bool
 val config : t -> config
 
 val load : t -> (Mvcc.Key.t * Mvcc.Value.t) list -> unit
+(** Install initial rows (version 0). Each hosted partition takes only its
+    own slice of [rows] (per the {!Partitioner}); rows of partitions this
+    replica does not subscribe to are dropped — partial replication. *)
 
 val use_cpu : t -> Sim.Time.t -> unit
 (** Charge transaction-execution CPU (blocking fiber op). *)

@@ -7,15 +7,34 @@ let mode_name = function
 
 let pp_mode fmt mode = Format.pp_print_string fmt (mode_name mode)
 
+(* Cross-partition transaction identity: minted once by the originating
+   session (origin = the session's replica name, seq = a session-local
+   counter), and carried unchanged through prepare, vote and decision so
+   every involved certifier group agrees on which transaction it is
+   resolving. *)
+type gtx_id = { gtx_origin : string; gtx_seq : int }
+
+let gtx_equal a b = a.gtx_seq = b.gtx_seq && String.equal a.gtx_origin b.gtx_origin
+let pp_gtx fmt g = Format.fprintf fmt "%s/x%d" g.gtx_origin g.gtx_seq
+
+(* Atomicity witness stamped into a committed fragment's log entry: which
+   cross-partition transaction it belongs to and which partitions hold its
+   sibling fragments. The chaos harness checks that no fragment ever
+   commits without every sibling partition committing its own. *)
+type xatom = { gtx : gtx_id; parts : int list }
+
 type entry = {
   version : int;
   origin : string;
   req_id : int;
   ws : Mvcc.Writeset.t;
   gc_floor : int;
+  xa : xatom option;
 }
 
-let entry_bytes e = 28 + Mvcc.Writeset.encoded_bytes e.ws
+let entry_bytes e =
+  28 + Mvcc.Writeset.encoded_bytes e.ws
+  + match e.xa with None -> 0 | Some x -> 20 + (4 * List.length x.parts)
 
 type decision = Commit | Abort of abort_cause
 and abort_cause = Ww_conflict | Forced
@@ -75,13 +94,71 @@ type fetch_reply = {
   fetch_snapshot : snapshot option;
 }
 
+(* One partition's slice of a cross-partition transaction. Every involved
+   certifier receives ALL fragments (its own plus the siblings'): a group
+   whose own copy of the request was lost can be brought into the vote by
+   any sibling leader re-gossiping the fragments, which is what makes the
+   two-round commit coordinator-less — no single node's survival is needed
+   to finish the transaction. *)
+type xfragment = {
+  xf_part : int;
+  xf_origin : string; (* proxy address hosting this fragment at the session's replica *)
+  xf_start_version : int; (* snapshot version in partition [xf_part]'s version space *)
+  xf_ws : Mvcc.Writeset.t;
+}
+
+let xfragment_bytes f = 20 + Mvcc.Writeset.encoded_bytes f.xf_ws
+
+type xcert_request = {
+  x_req_id : int;
+  x_trace_id : int;
+  x_replica : string; (* home proxy address — where the reply goes *)
+  x_part : int; (* partition of the receiving certifier group *)
+  x_gtx : gtx_id;
+  x_replica_version : int;
+  x_oldest_snapshot : int;
+  x_fragments : xfragment list;
+}
+
+(* Leader-to-leader vote gossip. [xv_fragments] rides along so a group
+   that never saw the original request can still prepare and vote;
+   [xv_echo] marks a response to a received vote (and is not echoed again,
+   stopping the ping-pong). *)
+type xvote = {
+  xv_gtx : gtx_id;
+  xv_part : int;
+  xv_vote : bool;
+  xv_echo : bool;
+  xv_fragments : xfragment list;
+}
+
+(* The certifier group's replicated state machine input. [Committed] is
+   the classic certified-writeset entry; [Prepared]/[Decision] are the
+   cross-partition commit records. A [Prepared] record carries no vote:
+   the vote is computed at delivery, identically by every ring member,
+   against the delivered log + pin state — which is exactly what makes it
+   durable (it can always be re-derived after a failover or a crash
+   replay). *)
+type record =
+  | Committed of entry
+  | Prepared of { p_gtx : gtx_id; p_part : int; p_fragments : xfragment list }
+  | Decision of { d_gtx : gtx_id; d_commit : bool }
+
+let record_bytes = function
+  | Committed e -> 4 + entry_bytes e
+  | Prepared p ->
+      List.fold_left (fun a f -> a + xfragment_bytes f) 28 p.p_fragments
+  | Decision _ -> 28
+
 type message =
   | Cert_request of cert_request
   | Cert_reply of cert_reply
   | Cert_redirect of { req_id : int; leader : string option }
   | Fetch_request of fetch_request
   | Fetch_reply of fetch_reply
-  | Paxos of entry Paxos.Node.message
+  | Xcert_request of xcert_request
+  | Xvote of xvote
+  | Paxos of record Paxos.Node.message
 
 let message_bytes = function
   | Cert_request r -> 52 + Mvcc.Writeset.encoded_bytes r.writeset
@@ -91,4 +168,7 @@ let message_bytes = function
   | Fetch_reply r ->
       List.fold_left (fun a rw -> a + remote_ws_bytes rw) 32 r.fetch_remotes
       + (match r.fetch_snapshot with Some s -> snapshot_bytes s | None -> 0)
-  | Paxos m -> Paxos.Node.message_bytes entry_bytes m
+  | Xcert_request r ->
+      List.fold_left (fun a f -> a + xfragment_bytes f) 64 r.x_fragments
+  | Xvote v -> List.fold_left (fun a f -> a + xfragment_bytes f) 40 v.xv_fragments
+  | Paxos m -> Paxos.Node.message_bytes record_bytes m

@@ -9,17 +9,39 @@ type mode =
 val pp_mode : Format.formatter -> mode -> unit
 val mode_name : mode -> string
 
-(** A certified update transaction in the global log. *)
+(** Identity of a cross-partition transaction, minted once by the
+    originating {!Session} ([gtx_origin] = the session's replica name,
+    [gtx_seq] = a session-local counter) and carried unchanged through
+    prepare, vote and decision, so every involved certifier group agrees
+    on which transaction it is resolving. *)
+type gtx_id = { gtx_origin : string; gtx_seq : int }
+
+val gtx_equal : gtx_id -> gtx_id -> bool
+val pp_gtx : Format.formatter -> gtx_id -> unit
+
+(** Atomicity witness stamped into a committed fragment's log entry:
+    which cross-partition transaction it belongs to and which partitions
+    hold its sibling fragments. The chaos harness walks these to check
+    that no fragment ever commits without every sibling partition
+    committing its own. *)
+type xatom = { gtx : gtx_id; parts : int list }
+
+(** A certified update transaction in a certifier group's log. *)
 type entry = {
-  version : int;  (** global commit version (dense, 1-based) *)
-  origin : string;  (** replica that executed the transaction *)
-  req_id : int;  (** idempotency token for request retries *)
+  version : int;  (** commit version in the group's version space (dense, 1-based) *)
+  origin : string;  (** proxy that executed the transaction *)
+  req_id : int;  (** idempotency token for request retries; for a
+                     cross-partition fragment this is the [gtx_seq] (the
+                     [origin] disambiguates sessions) *)
   ws : Mvcc.Writeset.t;
   gc_floor : int;
-      (** cluster GC watermark the leader stamped when proposing this
+      (** group GC watermark the leader stamped when proposing this
           entry: every certifier truncates its {!Cert_log} to this floor
           at delivery, so truncation replicates (and replays after a
           crash) deterministically through Paxos *)
+  xa : xatom option;
+      (** [Some _] iff this entry is one fragment of a cross-partition
+          transaction *)
 }
 
 val entry_bytes : entry -> int
@@ -60,7 +82,7 @@ type cert_reply = {
   decision : decision;
   commit_version : int;  (** valid when [decision = Commit] *)
   gc_floor : int;
-      (** cluster GC watermark at reply time, gossiped back so every
+      (** group GC watermark at reply time, gossiped back so every
           replica can vacuum its version chains up to the floor *)
   remotes : remote_ws list;
       (** intervening remote writesets in [(replica_version, commit_version)],
@@ -94,6 +116,62 @@ type fetch_reply = {
           "too old, take a snapshot" answer *)
 }
 
+(** One partition's slice of a cross-partition transaction. Every
+    involved certifier receives ALL fragments (its own plus the
+    siblings'): a group whose own copy of the request was lost can be
+    brought into the vote by any sibling leader re-gossiping the
+    fragments, which is what makes the two-round commit coordinator-less
+    — no single node's survival is needed to finish the transaction. *)
+type xfragment = {
+  xf_part : int;  (** the partition this fragment writes *)
+  xf_origin : string;
+      (** proxy address hosting this fragment at the session's replica *)
+  xf_start_version : int;
+      (** snapshot version in partition [xf_part]'s version space *)
+  xf_ws : Mvcc.Writeset.t;
+}
+
+val xfragment_bytes : xfragment -> int
+
+(** Cross-partition certification request, sent by {!Cert_client} to the
+    certifier group of each involved partition. *)
+type xcert_request = {
+  x_req_id : int;  (** per-proxy retry-idempotency token, like {!cert_request} *)
+  x_trace_id : int;
+  x_replica : string;  (** home proxy address — where the reply goes *)
+  x_part : int;  (** partition of the receiving certifier group *)
+  x_gtx : gtx_id;
+  x_replica_version : int;  (** in the receiving partition's version space *)
+  x_oldest_snapshot : int;
+  x_fragments : xfragment list;  (** every fragment, home one included *)
+}
+
+(** Leader-to-leader vote gossip for a cross-partition transaction.
+    [xv_fragments] rides along so a group that never saw the original
+    request can still prepare and vote; [xv_echo] marks a response to a
+    received vote (and is not echoed again, stopping the ping-pong). *)
+type xvote = {
+  xv_gtx : gtx_id;
+  xv_part : int;  (** the voter's partition *)
+  xv_vote : bool;
+  xv_echo : bool;
+  xv_fragments : xfragment list;
+}
+
+(** Input to a certifier group's replicated state machine. [Committed]
+    is the classic certified-writeset entry; [Prepared] and [Decision]
+    are the cross-partition commit records. A [Prepared] record carries
+    no vote: the vote is computed at delivery, identically by every ring
+    member, against the delivered log and pin state — which is exactly
+    what makes it durable (it is re-derived unchanged by a failed-over
+    leader or a crash replay). *)
+type record =
+  | Committed of entry
+  | Prepared of { p_gtx : gtx_id; p_part : int; p_fragments : xfragment list }
+  | Decision of { d_gtx : gtx_id; d_commit : bool }
+
+val record_bytes : record -> int
+
 (** Everything that travels on the wire. *)
 type message =
   | Cert_request of cert_request
@@ -101,6 +179,8 @@ type message =
   | Cert_redirect of { req_id : int; leader : string option }
   | Fetch_request of fetch_request
   | Fetch_reply of fetch_reply
-  | Paxos of entry Paxos.Node.message
+  | Xcert_request of xcert_request
+  | Xvote of xvote
+  | Paxos of record Paxos.Node.message
 
 val message_bytes : message -> int

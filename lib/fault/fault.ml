@@ -21,6 +21,8 @@ type action =
   | Recover_certifier of int
   | Crash_leader
   | Recover_crashed
+  | Crash_group_leader of int
+  | Recover_group_crashed of int
   | Crash_replica of int
   | Recover_replica of int
   | Disk_stall of { cert : int option; extra : Time.t; duration : Time.t }
@@ -51,6 +53,8 @@ let pp_action fmt = function
   | Recover_certifier i -> Format.fprintf fmt "recover cert%d" i
   | Crash_leader -> Format.pp_print_string fmt "crash leader"
   | Recover_crashed -> Format.pp_print_string fmt "recover crashed leader"
+  | Crash_group_leader g -> Format.fprintf fmt "crash p%d leader" g
+  | Recover_group_crashed g -> Format.fprintf fmt "recover crashed p%d leader" g
   | Crash_replica i -> Format.fprintf fmt "crash replica%d" i
   | Recover_replica i -> Format.fprintf fmt "recover replica%d" i
   | Disk_stall { cert; extra; duration } ->
@@ -88,6 +92,9 @@ type t = {
   mutable spiked : (string * string) list;
   (* Crash_leader victims, newest first, for Recover_crashed. *)
   mutable crashed_leaders : int list;
+  (* Crash_group_leader victims, newest first per group, for
+     Recover_group_crashed. *)
+  mutable crashed_group_leaders : (int * int) list; (* (group, flat index) *)
   mutable crashed_nodes : int; (* crashes minus recoveries, any kind *)
   (* Disks with an outstanding injected stall / degrade, so Heal_all can
      clear them and [quiescent] can insist they are gone. *)
@@ -135,8 +142,11 @@ let cross t g1 g2 f =
 
 let certifier_at t i = List.nth (Tashkent.Cluster.certifiers t.cluster) i
 
-let leader_index t =
-  match Tashkent.Cluster.leader t.cluster with
+(* Flat index (into the group-major certifier list) of a group's current
+   leader. [leader_index] is the group-0 special case — the only group of
+   a legacy 1-partition cluster. *)
+let group_leader_index t g =
+  match Tashkent.Cluster.group_leader t.cluster ~part:g with
   | None -> None
   | Some lead ->
       let id = Tashkent.Certifier.id lead in
@@ -147,6 +157,8 @@ let leader_index t =
             else find (i + 1) rest
       in
       find 0 (Tashkent.Cluster.certifiers t.cluster)
+
+let leader_index t = group_leader_index t 0
 
 (* [None] targets whichever certifier leads when the action fires (like
    Crash_leader); skipped when an election is in progress. *)
@@ -228,6 +240,31 @@ let apply t action =
           incr t.c_recoveries;
           t.crashed_nodes <- t.crashed_nodes - 1;
           Tashkent.Certifier.recover (certifier_at t i))
+  | Crash_group_leader g -> (
+      match group_leader_index t g with
+      | None -> () (* election in progress: nothing to kill *)
+      | Some i ->
+          incr t.c_crashes;
+          t.crashed_nodes <- t.crashed_nodes + 1;
+          t.crashed_group_leaders <- (g, i) :: t.crashed_group_leaders;
+          Tashkent.Certifier.crash (certifier_at t i))
+  | Recover_group_crashed g -> (
+      match List.assoc_opt g t.crashed_group_leaders with
+      | None -> ()
+      | Some i ->
+          t.crashed_group_leaders <-
+            (let dropped = ref false in
+             List.filter
+               (fun (g', i') ->
+                 if (not !dropped) && g' = g && i' = i then begin
+                   dropped := true;
+                   false
+                 end
+                 else true)
+               t.crashed_group_leaders);
+          incr t.c_recoveries;
+          t.crashed_nodes <- t.crashed_nodes - 1;
+          Tashkent.Certifier.recover (certifier_at t i))
   | Crash_replica i ->
       incr t.c_crashes;
       t.crashed_nodes <- t.crashed_nodes + 1;
@@ -283,6 +320,7 @@ let inject cluster plan =
       cut = [];
       spiked = [];
       crashed_leaders = [];
+      crashed_group_leaders = [];
       crashed_nodes = 0;
       stalled_disks = [];
       degraded_disks = [];
@@ -348,14 +386,15 @@ let register_metrics t reg =
 
 let quiescent t =
   t.outstanding = 0 && t.cut = [] && t.spiked = [] && t.crashed_leaders = []
-  && t.crashed_nodes = 0 && t.stalled_disks = [] && t.degraded_disks = []
+  && t.crashed_group_leaders = [] && t.crashed_nodes = 0
+  && t.stalled_disks = [] && t.degraded_disks = []
   && Net.Network.drop_rate t.net = 0.
 
 (* ------------------------------------------------------------------ *)
 (* Seeded random plans *)
 
 let random_plan ~seed ~duration ~n_certifiers ~n_replicas
-    ?(disk_faults = false) ?(fsync_stall = Time.of_ms 600.) () =
+    ?(n_partitions = 1) ?(disk_faults = false) ?(fsync_stall = Time.of_ms 600.) () =
   let rng = Rng.create (0xFA17 lxor seed) in
   let frac lo hi =
     Rng.time_uniform rng ~lo:(Time.scale duration lo) ~hi:(Time.scale duration hi)
@@ -431,6 +470,18 @@ let random_plan ~seed ~duration ~n_certifiers ~n_replicas
     let t_corrupt = frac 0.62 0.68 in
     add t_corrupt (Corrupt_tail { cert = Some victim });
     add (Time.add t_corrupt (frac 0.06 0.1)) (Recover_certifier victim)
+  end;
+  (* Partitioned certification, opt-in by n_partitions > 1: crash a
+     non-zero group's leader in the middle of the run — cross-partition
+     transactions prepared against it must still decide atomically through
+     the surviving majority and the vote re-gossip sweep. The draws come
+     after every legacy draw, so a 1-partition plan is bit-identical to
+     the pre-partitioning plan for the same seed. *)
+  if n_partitions > 1 then begin
+    let g = 1 + Rng.int rng (n_partitions - 1) in
+    let t_down = frac 0.35 0.45 in
+    add t_down (Crash_group_leader g);
+    add (Time.add t_down (frac 0.1 0.15)) (Recover_group_crashed g)
   end;
   (* Backstop: whatever is still broken heals before the measurement tail. *)
   add (Time.scale duration 0.85) Heal_all;

@@ -53,6 +53,13 @@ type action =
           is up — e.g. during an election). *)
   | Recover_crashed
       (** Recover the most recent {!Crash_leader} victim. *)
+  | Crash_group_leader of int
+      (** Partitioned certification: crash whichever certifier currently
+          leads the given partition's group (no-op during its election).
+          [Crash_group_leader 0] on a 1-partition cluster is
+          {!Crash_leader} with its own recovery stack. *)
+  | Recover_group_crashed of int
+      (** Recover that group's most recent {!Crash_group_leader} victim. *)
   | Crash_replica of int
   | Recover_replica of int
   | Disk_stall of { cert : int option; extra : Sim.Time.t; duration : Sim.Time.t }
@@ -118,6 +125,7 @@ val random_plan :
   duration:Sim.Time.t ->
   n_certifiers:int ->
   n_replicas:int ->
+  ?n_partitions:int ->
   ?disk_faults:bool ->
   ?fsync_stall:Sim.Time.t ->
   unit ->
@@ -135,4 +143,10 @@ val random_plan :
     certifier's disk, torn-crashes the leader, and corrupt-tail-crashes a
     random certifier, each recovered before the backstop. Plans with
     [disk_faults = false] are bit-identical to pre-storage-fault plans for
-    the same seed. *)
+    the same seed.
+
+    With [n_partitions > 1] the plan additionally crash-stops a non-zero
+    group's leader mid-run (recovered before the backstop), exercising
+    cross-partition decisions across a failover; its draws come after
+    every other draw, so 1-partition plans are unchanged for the same
+    seed. *)

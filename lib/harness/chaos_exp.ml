@@ -13,6 +13,9 @@ type config = {
   mode : Tashkent.Types.mode;
   n_replicas : int;
   n_certifiers : int;
+  n_partitions : int;
+      (* certifier groups; > 1 routes clients through Session and adds the
+         cross-partition atomicity/durability invariants to every checkpoint *)
   duration : Time.t;
   seed : int;
   plan : plan_kind;
@@ -32,6 +35,7 @@ let default_config () =
     mode = Tashkent.Types.Tashkent_mw;
     n_replicas = 3;
     n_certifiers = 3;
+    n_partitions = 1;
     duration = Time.sec 20;
     seed = 1966;
     plan = Scripted;
@@ -48,6 +52,10 @@ type result = {
   commits : int;
   cert_aborts : int;
   local_aborts : int;
+  cross_commits : int;
+      (* multi-partition transactions committed atomically (Session stats;
+         0 when n_partitions = 1) *)
+  cross_aborts : int;
   cert_requests : int;
   cert_retries : int;
   cert_failovers : int;
@@ -94,6 +102,22 @@ let scripted_disk_plan () =
     (Time.of_sec 15.5, Fault.Heal_all);
   ]
 
+(* The partitioned acceptance scenario: crash a non-zero certifier
+   group's leader while cross-partition transactions are in flight (its
+   peers must re-derive the group's votes and decisions from the
+   delivered log), recover it, then do the same to group 0, with a
+   message-loss burst layered on top. One group is down at a time, so
+   every group keeps a Paxos majority throughout. *)
+let scripted_partition_plan () =
+  [
+    (Time.sec 2, Fault.Crash_group_leader 1);
+    (Time.sec 5, Fault.Recover_group_crashed 1);
+    (Time.sec 8, Fault.Crash_group_leader 0);
+    (Time.sec 10, Fault.Recover_group_crashed 0);
+    (Time.sec 12, Fault.Drop_burst { rate = 0.1; duration = Time.sec 1 });
+    (Time.of_sec 14.5, Fault.Heal_all);
+  ]
+
 (* Offsets at which the plan has just healed or recovered something —
    each becomes an invariant checkpoint (after a grace period for retries
    in flight and elections to finish). *)
@@ -102,10 +126,12 @@ let checkpoints_of plan =
     (fun (time, action) ->
       match action with
       | Fault.Heal _ | Fault.Heal_all | Fault.Recover_certifier _
-      | Fault.Recover_crashed | Fault.Recover_replica _ ->
+      | Fault.Recover_crashed | Fault.Recover_group_crashed _
+      | Fault.Recover_replica _ ->
           Some (Time.add time (Time.sec 2))
       | Fault.Partition _ | Fault.Drop_burst _ | Fault.Latency_spike _
-      | Fault.Crash_certifier _ | Fault.Crash_leader | Fault.Crash_replica _
+      | Fault.Crash_certifier _ | Fault.Crash_leader
+      | Fault.Crash_group_leader _ | Fault.Crash_replica _
       | Fault.Disk_stall _ | Fault.Disk_degrade _ | Fault.Torn_crash _
       | Fault.Corrupt_tail _ ->
           None)
@@ -113,38 +139,58 @@ let checkpoints_of plan =
 
 let run_for engine span = Engine.run ~until:(Time.add (Engine.now engine) span) engine
 
-(* A checkpoint is only meaningful once a leader exists and its rebuilt
-   log has caught back up with every up replica (a freshly elected leader
-   can briefly trail while state transfer / redelivery completes). *)
+(* Every (up replica, hosted partition) pair, with that partition's
+   proxy and database. *)
+let hosted_pairs cluster ~part =
+  List.filter_map
+    (fun r ->
+      match
+        (Tashkent.Replica.proxy_of r ~part, Tashkent.Replica.db_of r ~part)
+      with
+      | Some proxy, Some db -> Some (r, proxy, db)
+      | _ -> None)
+    (Tashkent.Cluster.replicas cluster)
+
+(* A checkpoint is only meaningful once every certifier group has a
+   leader and each group's rebuilt log has caught back up with every up
+   replica hosting its partition (a freshly elected leader can briefly
+   trail while state transfer / redelivery completes). *)
 let wait_checkable cluster engine =
   let deadline = Time.add (Engine.now engine) (Time.sec 10) in
-  (* Highest commit version acked durable to any proxy: a freshly elected
-     leader must have re-delivered at least this far before the durability
-     invariant is meaningful. *)
-  let max_acked () =
+  let parts = List.map fst (Tashkent.Cluster.certifier_groups cluster) in
+  (* Highest commit version of this partition acked durable to any of its
+     proxies — local and cross-partition acks both count: a freshly
+     elected group leader must have re-delivered at least this far before
+     the durability invariant is meaningful. *)
+  let max_acked part =
     List.fold_left
-      (fun acc r ->
+      (fun acc (_r, proxy, _db) ->
+        let acc =
+          List.fold_left
+            (fun acc (_req, v) -> max acc v)
+            acc
+            (Tashkent.Proxy.journaled_commits proxy)
+        in
         List.fold_left
-          (fun acc (_req, v) -> max acc v)
+          (fun acc (_gtx, v) -> max acc v)
           acc
-          (Tashkent.Proxy.journaled_commits (Tashkent.Replica.proxy r)))
+          (Tashkent.Proxy.journaled_cross_commits proxy))
       0
-      (Tashkent.Cluster.replicas cluster)
+      (hosted_pairs cluster ~part)
   in
-  let ready () =
-    match Tashkent.Cluster.leader cluster with
+  let group_ready part =
+    match Tashkent.Cluster.group_leader cluster ~part with
     | None -> false
     | Some lead ->
         let lv = Tashkent.Certifier.system_version lead in
-        lv >= max_acked ()
+        lv >= max_acked part
         && List.for_all
-             (fun r ->
+             (fun (r, _proxy, db) ->
                (not (Tashkent.Replica.is_up r))
-               || Mvcc.Store.current_version
-                    (Mvcc.Db.store (Tashkent.Replica.db r))
-                  <= lv)
-             (Tashkent.Cluster.replicas cluster)
+               || Mvcc.Store.current_version (Mvcc.Db.store db) <= lv)
+             (hosted_pairs cluster ~part)
   in
+  let ready () = List.for_all group_ready parts in
   let rec loop () =
     if (not (ready ())) && Time.(Engine.now engine < deadline) then begin
       run_for engine (Time.of_ms 100.);
@@ -159,42 +205,71 @@ let wait_checkable cluster engine =
    current leader's certified log after recovery. Torn/corrupt-tail
    truncation may only ever discard records that were never acked. *)
 let check_durability cluster violations stamp =
-  match Tashkent.Cluster.leader cluster with
-  | None -> ()
-  | Some lead ->
-      let log = Tashkent.Certifier.log lead in
-      let top = Tashkent.Cert_log.version log in
-      let floor = Tashkent.Cert_log.floor log in
-      List.iter
-        (fun r ->
-          let proxy = Tashkent.Replica.proxy r in
-          let origin = Tashkent.Proxy.addr proxy in
+  List.iter
+    (fun (part, _members) ->
+      match Tashkent.Cluster.group_leader cluster ~part with
+      | None -> ()
+      | Some lead ->
+          let log = Tashkent.Certifier.log lead in
+          let top = Tashkent.Cert_log.version log in
+          let floor = Tashkent.Cert_log.floor log in
           List.iter
-            (fun (req_id, version) ->
-              let present =
-                version >= 1 && version <= top
-                &&
-                if version <= floor then
-                  (* The slot was truncated behind the GC watermark; the
-                     certifier's decided table (never pruned, rebuilt by
-                     redelivery) is the durability witness instead. *)
-                  Tashkent.Certifier.decided_version lead ~req_id
-                  = Some version
-                else
-                  let e = Tashkent.Cert_log.get log version in
-                  String.equal e.Tashkent.Types.origin origin
-                  && e.Tashkent.Types.req_id = req_id
-              in
-              if not present then
-                violations :=
-                  stamp
-                    (Printf.sprintf
-                       "durability: commit acked to %s (req %d, version %d) \
-                        missing from the certified log after recovery"
-                       origin req_id version)
-                  :: !violations)
-            (Tashkent.Proxy.journaled_commits proxy))
-        (Tashkent.Cluster.replicas cluster)
+            (fun (_r, proxy, _db) ->
+              let origin = Tashkent.Proxy.addr proxy in
+              List.iter
+                (fun (req_id, version) ->
+                  let present =
+                    version >= 1 && version <= top
+                    &&
+                    if version <= floor then
+                      (* The slot was truncated behind the GC watermark;
+                         the certifier's decided table (never pruned,
+                         rebuilt by redelivery) is the durability witness
+                         instead. *)
+                      Tashkent.Certifier.decided_version lead ~req_id
+                      = Some version
+                    else
+                      let e = Tashkent.Cert_log.get log version in
+                      String.equal e.Tashkent.Types.origin origin
+                      && e.Tashkent.Types.req_id = req_id
+                  in
+                  if not present then
+                    violations :=
+                      stamp
+                        (Printf.sprintf
+                           "durability: commit acked to %s (req %d, \
+                            version %d) missing from p%d's certified log \
+                            after recovery"
+                           origin req_id version part)
+                      :: !violations)
+                (Tashkent.Proxy.journaled_commits proxy);
+              (* Cross-partition acks: the group's outcome witness (never
+                 pruned, re-derived by redelivery after a crash) must
+                 record the fragment committed at its acked version. *)
+              List.iter
+                (fun (gtx, version) ->
+                  match Tashkent.Certifier.x_outcome lead ~gtx with
+                  | Some (Some v) when v = version -> ()
+                  | outcome ->
+                      let what =
+                        match outcome with
+                        | None -> "unknown to"
+                        | Some None -> "recorded aborted by"
+                        | Some (Some v) ->
+                            Printf.sprintf "recorded at version %d by" v
+                      in
+                      violations :=
+                        stamp
+                          (Printf.sprintf
+                             "durability: cross-commit %s acked to %s at \
+                              version %d is %s p%d's certifier after \
+                              recovery"
+                             (Format.asprintf "%a" Tashkent.Types.pp_gtx gtx)
+                             origin version what part)
+                        :: !violations)
+                (Tashkent.Proxy.journaled_cross_commits proxy))
+            (hosted_pairs cluster ~part))
+    (Tashkent.Cluster.certifier_groups cluster)
 
 let check cluster engine violations =
   wait_checkable cluster engine;
@@ -207,10 +282,22 @@ let check cluster engine violations =
   (match Tashkent.Cluster.check_consistency cluster with
   | Ok () -> ()
   | Error msg -> violations := stamp msg :: !violations);
+  (match Tashkent.Cluster.check_cross_atomicity cluster with
+  | Ok () -> ()
+  | Error msg -> violations := stamp msg :: !violations);
   check_durability cluster violations stamp
 
 let run ?(config = default_config ()) () =
-  let spec = Workload.Tpcb.profile ~deltas:config.deltas () in
+  let spec =
+    (* Partitioned runs drive the partition-aware profile through Session
+       (a third of the transactions span two certifier groups), so the
+       chaos plan exercises the cross-partition commit protocol;
+       single-partition runs keep the seed TPC-B workload bit-for-bit. *)
+    if config.n_partitions > 1 then
+      Workload.Partlocal.profile ~partitions:config.n_partitions
+        ~cross_ratio:0.33 ()
+    else Workload.Tpcb.profile ~deltas:config.deltas ()
+  in
   let engine = Engine.create () in
   let trace =
     if config.collect_trace then Obs.Trace.create engine else Obs.Trace.disabled ()
@@ -219,6 +306,7 @@ let run ?(config = default_config ()) () =
     Tashkent.Cluster.create ~engine ~trace
       (Tashkent.Cluster.config ~n_replicas:config.n_replicas
          ~n_certifiers:config.n_certifiers
+         ~n_partitions:config.n_partitions
          ~replica:
            {
              (Tashkent.Replica.default_config config.mode) with
@@ -234,23 +322,36 @@ let run ?(config = default_config ()) () =
   Tashkent.Cluster.settle cluster;
   List.iter
     (fun r ->
-      Tashkent.Proxy.enable_commit_journal (Tashkent.Replica.proxy r))
+      List.iter
+        (fun part ->
+          match Tashkent.Replica.proxy_of r ~part with
+          | Some p -> Tashkent.Proxy.enable_commit_journal p
+          | None -> ())
+        (Tashkent.Replica.partitions r))
     (Tashkent.Cluster.replicas cluster);
   let collector = Workload.Driver.Collector.create () in
   let rng = Rng.create (config.seed + 1) in
   List.iteri
     (fun replica_ix replica ->
-      Workload.Driver.spawn_replicated_clients engine ~replica ~spec
-        ~rng:(Rng.split rng) ~collector ~replica_ix ~n_replicas:config.n_replicas)
+      if config.n_partitions > 1 then
+        Workload.Driver.spawn_session_clients engine ~replica ~spec
+          ~rng:(Rng.split rng) ~collector ~replica_ix
+          ~n_replicas:config.n_replicas
+      else
+        Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+          ~rng:(Rng.split rng) ~collector ~replica_ix
+          ~n_replicas:config.n_replicas)
     (Tashkent.Cluster.replicas cluster);
   let plan =
     match config.plan with
+    | Scripted when config.n_partitions > 1 -> scripted_partition_plan ()
     | Scripted -> scripted_plan ~n_certifiers:config.n_certifiers
     | Scripted_disk -> scripted_disk_plan ()
     | Random seed ->
         Fault.random_plan ~seed ~duration:config.duration
           ~n_certifiers:config.n_certifiers ~n_replicas:config.n_replicas
-          ~disk_faults:config.disk_faults ~fsync_stall:config.fsync_stall ()
+          ~n_partitions:config.n_partitions ~disk_faults:config.disk_faults
+          ~fsync_stall:config.fsync_stall ()
   in
   let started = Engine.now engine in
   let injector = Fault.inject cluster plan in
@@ -283,15 +384,22 @@ let run ?(config = default_config ()) () =
   drain 30;
   incr checks;
   check cluster engine violations;
-  let sum f =
+  let hosted_proxies r =
+    List.filter_map
+      (fun part -> Tashkent.Replica.proxy_of r ~part)
+      (Tashkent.Replica.partitions r)
+  in
+  let over_proxies f =
     List.fold_left
-      (fun acc r -> acc + f (Tashkent.Proxy.client (Tashkent.Replica.proxy r)))
+      (fun acc r -> List.fold_left (fun acc p -> acc + f p) acc (hosted_proxies r))
       0
       (Tashkent.Cluster.replicas cluster)
   in
-  let proxy_sum f =
+  let sum f = over_proxies (fun p -> f (Tashkent.Proxy.client p)) in
+  let proxy_sum f = over_proxies (fun p -> f (Tashkent.Proxy.stats p)) in
+  let session_sum f =
     List.fold_left
-      (fun acc r -> acc + f (Tashkent.Proxy.stats (Tashkent.Replica.proxy r)))
+      (fun acc r -> acc + f (Tashkent.Session.stats (Tashkent.Replica.session r)))
       0
       (Tashkent.Cluster.replicas cluster)
   in
@@ -305,6 +413,10 @@ let run ?(config = default_config ()) () =
     commits = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.commits);
     cert_aborts = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.cert_aborts);
     local_aborts = proxy_sum (fun (s : Tashkent.Proxy.stats) -> s.local_aborts);
+    cross_commits =
+      session_sum (fun (s : Tashkent.Session.stats) -> s.cross_commits);
+    cross_aborts =
+      session_sum (fun (s : Tashkent.Session.stats) -> s.cross_aborts);
     cert_requests = sum Tashkent.Cert_client.requests_sent;
     cert_retries = sum Tashkent.Cert_client.retries;
     cert_failovers = sum Tashkent.Cert_client.failovers;
@@ -315,13 +427,9 @@ let run ?(config = default_config ()) () =
     ran_for = Time.diff (Engine.now engine) started;
     trace;
     durable_acked =
-      List.fold_left
-        (fun acc r ->
-          acc
-          + List.length
-              (Tashkent.Proxy.journaled_commits (Tashkent.Replica.proxy r)))
-        0
-        (Tashkent.Cluster.replicas cluster);
+      over_proxies (fun p ->
+          List.length (Tashkent.Proxy.journaled_commits p)
+          + List.length (Tashkent.Proxy.journaled_cross_commits p));
     torn_discarded =
       cert_sum (fun (s : Tashkent.Certifier.stats) -> s.wal_torn_discarded);
     corrupt_discarded =
@@ -333,13 +441,15 @@ let run ?(config = default_config ()) () =
 let pp_result fmt r =
   Format.fprintf fmt
     "@[<v>commits              %d@,cert aborts          %d@,local aborts         %d@,\
+     cross commits        %d@,cross aborts         %d@,\
      cert requests        %d@,cert retries         %d@,cert failovers       %d@,\
      re-fetches           %d@,faults: %d crashes, %d recoveries, %d cuts, %d heals, \
      %d bursts, %d spikes@,disk faults: %d stalls, %d degrades, %d torn, \
      %d corrupt@,durable acked        %d@,torn discarded       %d@,\
      corrupt discarded    %d@,disk failovers       %d@,\
      invariant checks     %d@,violations           %d%a@]"
-    r.commits r.cert_aborts r.local_aborts r.cert_requests r.cert_retries
+    r.commits r.cert_aborts r.local_aborts r.cross_commits r.cross_aborts
+    r.cert_requests r.cert_retries
     r.cert_failovers r.refetches r.fault.Fault.crashes r.fault.Fault.recoveries
     r.fault.Fault.partitions_cut r.fault.Fault.heals r.fault.Fault.drop_bursts
     r.fault.Fault.latency_spikes r.fault.Fault.disk_stalls

@@ -22,6 +22,17 @@ type config = {
   mode : Tashkent.Types.mode;
   n_replicas : int;
   n_certifiers : int;
+  n_partitions : int;
+      (** certifier groups (default 1 — the single-group cluster,
+          bit-identical to pre-partitioning runs). With [> 1] the clients
+          drive {!Workload.Partlocal} through each replica's
+          {!Tashkent.Session} (a third of transactions span two groups),
+          the [Scripted] plan becomes {!scripted_partition_plan}, random
+          plans gain a group-leader crash, and every checkpoint also
+          asserts {!Tashkent.Cluster.check_cross_atomicity} plus the
+          cross-commit durability witness
+          ({!Tashkent.Proxy.journaled_cross_commits} against
+          {!Tashkent.Certifier.x_outcome}). *)
   duration : Sim.Time.t;
   seed : int;  (** cluster/workload seed (the plan seed is separate) *)
   plan : plan_kind;
@@ -59,6 +70,13 @@ type result = {
   commits : int;
   cert_aborts : int;
   local_aborts : int;
+  cross_commits : int;
+      (** multi-partition transactions committed atomically across
+          certifier groups ({!Tashkent.Session} stats; 0 when
+          [n_partitions = 1]) *)
+  cross_aborts : int;
+      (** multi-partition transactions aborted (atomically — no fragment
+          installed) *)
   cert_requests : int;
   cert_retries : int;  (** certify attempts beyond the first *)
   cert_failovers : int;  (** timeouts that rotated the target certifier *)
@@ -84,6 +102,14 @@ val scripted_plan : n_certifiers:int -> Fault.plan
 (** Leader crash at 2 s (recovered at 5 s), replica0 partitioned from all
     certifiers at 8 s (healed at 10 s), a 10% drop burst at 12 s, and a
     final heal-all. *)
+
+val scripted_partition_plan : unit -> Fault.plan
+(** The partitioned acceptance scenario (used for [Scripted] runs with
+    [n_partitions > 1]): group 1's leader crashed at 2 s (recovered at
+    5 s), group 0's at 8 s (recovered at 10 s), a 10% drop burst at 12 s,
+    and a final heal-all. One group down at a time, so every group keeps
+    a Paxos majority and cross-partition transactions keep committing
+    through both failovers. *)
 
 val scripted_disk_plan : unit -> Fault.plan
 (** A 600 ms fsync stall on the leader's disk at 2 s for 2 s (above the

@@ -1,12 +1,13 @@
 open Sim
 
-type workload_kind = All_updates | Tpc_b | Tpc_w | Hotkey
+type workload_kind = All_updates | Tpc_b | Tpc_w | Hotkey | Part_local
 
 let workload_name = function
   | All_updates -> "allupdates"
   | Tpc_b -> "tpc-b"
   | Tpc_w -> "tpc-w"
   | Hotkey -> "hotkey"
+  | Part_local -> "partlocal"
 
 type system =
   | Standalone
@@ -23,6 +24,20 @@ type config = {
   io : Tashkent.Replica.io_layout;
   n_replicas : int;
   n_certifiers : int;
+  n_partitions : int;
+      (* certifier groups; > 1 routes clients through Session so
+         transactions may span groups *)
+  hosting : Tashkent.Cluster.hosting;
+  cross_ratio : float;
+      (* fraction of Part_local transactions spanning two partitions *)
+  clients_per_replica : int option;
+      (* None = the workload profile's default population *)
+  certify_cpu : Time.t option;
+      (* None = Certifier.default_config.certify_cpu; raise it to model a
+         certification-heavy workload (large writesets / saturated group) *)
+  part_exec_cpu : Time.t option;
+      (* Part_local only: per-transaction replica execution CPU (None =
+         the profile's PostgreSQL-calibrated default) *)
   workload : workload_kind;
   deltas : bool;
       (* ship commutative Add ops where the workload supports them
@@ -45,6 +60,12 @@ let default =
     io = Tashkent.Replica.Shared_io;
     n_replicas = 3;
     n_certifiers = 3;
+    n_partitions = 1;
+    hosting = Tashkent.Cluster.Host_all;
+    cross_ratio = 0.;
+    clients_per_replica = None;
+    certify_cpu = None;
+    part_exec_cpu = None;
     workload = All_updates;
     deltas = false;
     hot_skew = 0.99;
@@ -60,20 +81,31 @@ let default =
   }
 
 let spec_of cfg =
+  let clients = cfg.clients_per_replica in
   match cfg.workload with
-  | All_updates -> Workload.Allupdates.profile ()
-  | Tpc_b -> Workload.Tpcb.profile ~deltas:cfg.deltas ()
-  | Tpc_w -> Workload.Tpcw.profile ()
-  | Hotkey -> Workload.Hotkey.profile ~skew:cfg.hot_skew ~deltas:cfg.deltas ()
+  | All_updates -> Workload.Allupdates.profile ?clients_per_replica:clients ()
+  | Tpc_b -> Workload.Tpcb.profile ?clients_per_replica:clients ~deltas:cfg.deltas ()
+  | Tpc_w -> Workload.Tpcw.profile ?clients_per_replica:clients ()
+  | Hotkey ->
+      Workload.Hotkey.profile ?clients_per_replica:clients ~skew:cfg.hot_skew
+        ~deltas:cfg.deltas ()
+  | Part_local ->
+      Workload.Partlocal.profile ?clients_per_replica:clients
+        ?exec_cpu:cfg.part_exec_cpu
+        ~modulo_hosting:(cfg.hosting = Tashkent.Cluster.Host_modulo)
+        ~partitions:cfg.n_partitions ~cross_ratio:cfg.cross_ratio ()
 
 type result = {
   throughput : float;
   goodput : float;
   resp_ms : float;
+  p99_ms : float;
   ro_resp_ms : float;
   commits : int;
   aborts : int;
   abort_rate_measured : float;
+  cross_commits : int; (* multi-partition commits (0 when n_partitions = 1) *)
+  cross_aborts : int;
   cert_ws_per_fsync : float;
   cert_accept_broadcasts : int;
   cert_mean_accept_batch : float;
@@ -113,11 +145,16 @@ let run_replicated cfg mode ~durable_cert =
       Tashkent.Cluster.mode;
       n_replicas = cfg.n_replicas;
       n_certifiers = (if durable_cert then cfg.n_certifiers else 1);
+      n_partitions = cfg.n_partitions;
+      hosting = cfg.hosting;
       certifier =
         {
           Tashkent.Certifier.default_config with
           durable = durable_cert;
           forced_abort_rate = cfg.abort_rate;
+          certify_cpu =
+            Option.value cfg.certify_cpu
+              ~default:Tashkent.Certifier.default_config.certify_cpu;
         };
       replica = replica_config_of cfg spec mode;
       seed = cfg.seed;
@@ -134,8 +171,12 @@ let run_replicated cfg mode ~durable_cert =
   let rng = Rng.create (cfg.seed + 1) in
   List.iteri
     (fun replica_ix replica ->
-      Workload.Driver.spawn_replicated_clients engine ~replica ~spec ~rng:(Rng.split rng)
-        ~collector ~replica_ix ~n_replicas:cfg.n_replicas)
+      if cfg.n_partitions > 1 then
+        Workload.Driver.spawn_session_clients engine ~replica ~spec
+          ~rng:(Rng.split rng) ~collector ~replica_ix ~n_replicas:cfg.n_replicas
+      else
+        Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+          ~rng:(Rng.split rng) ~collector ~replica_ix ~n_replicas:cfg.n_replicas)
     (Tashkent.Cluster.replicas cluster);
   (* Warm up, then measure. *)
   Engine.run ~until:(Time.add (Engine.now engine) cfg.warmup) engine;
@@ -149,47 +190,104 @@ let run_replicated cfg mode ~durable_cert =
     | Some leader -> Tashkent.Certifier.stats leader
     | None -> failwith "experiment: certifier leader lost during measurement"
   in
+  (* Utilization is averaged over every group's leader: with partitioned
+     certification the load splits across groups, and that split is the
+     measurement. *)
+  let leaders = Tashkent.Cluster.leaders cluster in
+  let leader_avg f =
+    match leaders with
+    | [] -> 0.
+    | ls ->
+        List.fold_left (fun a l -> a +. f (Tashkent.Certifier.stats l)) 0. ls
+        /. float_of_int (List.length ls)
+  in
   let replicas = Tashkent.Cluster.replicas cluster in
   let nf = float_of_int (List.length replicas) in
   let avg f = List.fold_left (fun a r -> a +. f r) 0. replicas /. nf in
+  (* Per-(replica, hosted partition) proxies and databases. *)
+  let hosted_proxies r =
+    List.filter_map
+      (fun part -> Tashkent.Replica.proxy_of r ~part)
+      (Tashkent.Replica.partitions r)
+  in
+  let hosted_dbs r =
+    List.filter_map
+      (fun part -> Tashkent.Replica.db_of r ~part)
+      (Tashkent.Replica.partitions r)
+  in
+  let proxy_sum f =
+    List.fold_left
+      (fun a r -> List.fold_left (fun a p -> a + f p) a (hosted_proxies r))
+      0 replicas
+  in
+  let proxy_avg f =
+    let n = ref 0 and total = ref 0. in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun p ->
+            incr n;
+            total := !total +. f p)
+          (hosted_proxies r))
+      replicas;
+    if !n = 0 then 0. else !total /. float_of_int !n
+  in
+  let db_avg f =
+    let n = ref 0 and total = ref 0. in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun db ->
+            incr n;
+            total := !total +. f db)
+          (hosted_dbs r))
+      replicas;
+    if !n = 0 then 0. else !total /. float_of_int !n
+  in
+  let session_sum f =
+    List.fold_left
+      (fun a r -> a + f (Tashkent.Session.stats (Tashkent.Replica.session r)))
+      0 replicas
+  in
   let commits = Workload.Driver.Collector.committed collector in
   let aborts = Workload.Driver.Collector.aborted collector in
   let remote_shipped =
-    List.fold_left
-      (fun a r -> a + (Tashkent.Proxy.stats (Tashkent.Replica.proxy r)).remote_ws_applied)
-      0 replicas
+    proxy_sum (fun p -> (Tashkent.Proxy.stats p).remote_ws_applied)
   in
   {
     throughput = Workload.Driver.Collector.throughput_all collector ~window;
     goodput = Workload.Driver.Collector.goodput collector ~window;
     resp_ms = Workload.Driver.Collector.mean_response_ms collector;
+    p99_ms = Workload.Driver.Collector.p99_response_ms collector;
     ro_resp_ms = Workload.Driver.Collector.mean_ro_response_ms collector;
     commits;
     aborts;
     abort_rate_measured =
       (if commits + aborts = 0 then 0.
        else float_of_int aborts /. float_of_int (commits + aborts));
+    cross_commits =
+      session_sum (fun (s : Tashkent.Session.stats) -> s.cross_commits);
+    cross_aborts =
+      session_sum (fun (s : Tashkent.Session.stats) -> s.cross_aborts);
     cert_ws_per_fsync = leader_stats.mean_group_size;
     cert_accept_broadcasts = leader_stats.accept_broadcasts;
     cert_mean_accept_batch = leader_stats.mean_accept_batch;
     db_ws_per_fsync =
-      avg (fun r -> Storage.Wal.mean_group_size (Mvcc.Db.wal (Tashkent.Replica.db r)));
+      db_avg (fun db -> Storage.Wal.mean_group_size (Mvcc.Db.wal db));
     artificial_conflict_pct =
       (if remote_shipped = 0 then 0.
        else
          float_of_int leader_stats.artificial_conflicts /. float_of_int remote_shipped);
-    cert_cpu_util = leader_stats.cpu_utilization;
-    cert_disk_util = leader_stats.disk_utilization;
+    cert_cpu_util =
+      leader_avg (fun (s : Tashkent.Certifier.stats) -> s.cpu_utilization);
+    cert_disk_util =
+      leader_avg (fun (s : Tashkent.Certifier.stats) -> s.disk_utilization);
     replica_cpu_util =
       avg (fun r -> Resource.utilization (Tashkent.Replica.cpu r));
     replica_disk_util =
       avg (fun r -> Storage.Disk.utilization (Tashkent.Replica.log_disk r));
-    apply_parallelism =
-      avg (fun r -> Tashkent.Proxy.apply_parallelism (Tashkent.Replica.proxy r));
-    apply_stalls =
-      List.fold_left
-        (fun a r -> a + (Tashkent.Proxy.stats (Tashkent.Replica.proxy r)).apply_stalls)
-        0 replicas;
+    apply_parallelism = proxy_avg Tashkent.Proxy.apply_parallelism;
+    apply_stalls = proxy_sum (fun p -> (Tashkent.Proxy.stats p).apply_stalls);
     stage_latency = Obs.Trace.all_stage_stats trace;
   }
 
@@ -233,12 +331,15 @@ let run_standalone cfg =
     throughput = Workload.Driver.Collector.throughput_all collector ~window;
     goodput = Workload.Driver.Collector.goodput collector ~window;
     resp_ms = Workload.Driver.Collector.mean_response_ms collector;
+    p99_ms = Workload.Driver.Collector.p99_response_ms collector;
     ro_resp_ms = Workload.Driver.Collector.mean_ro_response_ms collector;
     commits;
     aborts;
     abort_rate_measured =
       (if commits + aborts = 0 then 0.
        else float_of_int aborts /. float_of_int (commits + aborts));
+    cross_commits = 0;
+    cross_aborts = 0;
     cert_ws_per_fsync = 0.;
     cert_accept_broadcasts = 0;
     cert_mean_accept_batch = 0.;

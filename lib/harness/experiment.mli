@@ -1,7 +1,15 @@
 (** One measured run: build a system, warm it up, measure a steady-state
     window, and report the metrics the paper plots. *)
 
-type workload_kind = All_updates | Tpc_b | Tpc_w | Hotkey
+type workload_kind =
+  | All_updates
+  | Tpc_b
+  | Tpc_w
+  | Hotkey
+  | Part_local
+      (** {!Workload.Partlocal}: two-row updates bucketed by the cluster's
+          key partitioner, with a [cross_ratio] fraction spanning two
+          partitions — the partitioned-certification scaling workload *)
 
 val workload_name : workload_kind -> string
 
@@ -18,7 +26,34 @@ type config = {
   system : system;
   io : Tashkent.Replica.io_layout;
   n_replicas : int;
-  n_certifiers : int;
+  n_certifiers : int;  (** Paxos ring members {e per certifier group} *)
+  n_partitions : int;
+      (** certifier groups (default 1). With [> 1] the key space is
+          sharded by {!Tashkent.Partitioner}, each group certifies one
+          shard on its own ring/WAL/log, and clients run through
+          {!Tashkent.Session} so a transaction may atomically span
+          groups. [1] is bit-identical to the pre-partitioning system. *)
+  hosting : Tashkent.Cluster.hosting;
+      (** [Host_all] (default): every replica hosts every partition.
+          [Host_modulo]: replica [i] hosts only partition
+          [i mod n_partitions] — partial replication. *)
+  cross_ratio : float;
+      (** fraction of {!Part_local} transactions that span two partitions
+          (ignored by the other workloads; default 0) *)
+  clients_per_replica : int option;
+      (** closed-loop client population per replica; [None] (default)
+          keeps each workload profile's own default *)
+  certify_cpu : Sim.Time.t option;
+      (** certifier CPU per certification request; [None] (default) keeps
+          {!Tashkent.Certifier.default_config}. Raising it models a
+          certification-heavy regime (large writesets, saturated group) —
+          the regime partitioned certification is built to relieve. *)
+  part_exec_cpu : Sim.Time.t option;
+      (** {!Part_local} only: per-transaction replica execution CPU;
+          [None] (default) keeps the profile's PostgreSQL-calibrated
+          1.65 ms. The partition-scaling benchmark lowers it so replica
+          execution (which partitioning does {e not} shard) stays off the
+          critical path. *)
   workload : workload_kind;
   deltas : bool;
       (** ship commutative {!Mvcc.Writeset.Add} ops where the workload
@@ -50,10 +85,15 @@ type result = {
   throughput : float;  (** requests (committed + aborted) per second *)
   goodput : float;  (** committed requests per second *)
   resp_ms : float;  (** mean response time of committed update txs *)
+  p99_ms : float;  (** 99th-percentile response time of committed update txs *)
   ro_resp_ms : float;  (** mean response time of read-only txs *)
   commits : int;
   aborts : int;
   abort_rate_measured : float;
+  cross_commits : int;
+      (** multi-partition transactions committed atomically across
+          certifier groups (0 when [n_partitions = 1]) *)
+  cross_aborts : int;
   cert_ws_per_fsync : float;  (** writesets grouped per certifier-log fsync *)
   cert_accept_broadcasts : int;
       (** multi-entry Accept broadcasts sent by the leader *)
@@ -65,6 +105,8 @@ type result = {
       (** fraction of shipped remote writesets flagged as artificially
           conflicting (§5.2.1 / §9.3) *)
   cert_cpu_util : float;
+      (** averaged over every certifier group's leader — with partitioned
+          certification this reads as per-group load *)
   cert_disk_util : float;
   replica_cpu_util : float;
   replica_disk_util : float;

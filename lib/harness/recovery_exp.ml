@@ -37,6 +37,8 @@ let build_cluster ~mode ~n_replicas ~seed ~dump_interval =
         Tashkent.Cluster.mode;
         n_replicas;
         n_certifiers = 3;
+        n_partitions = 1;
+        hosting = Tashkent.Cluster.Host_all;
         certifier = Tashkent.Certifier.default_config;
         replica = replica_cfg;
         seed;

@@ -16,6 +16,10 @@ type config = {
   mode : Tashkent.Types.mode;
   n_replicas : int;
   n_certifiers : int;
+  n_partitions : int;
+      (* certifier groups; > 1 routes the Zipfian clients through Session
+         (hot keys hash across every group) and spreads the periodic
+         chaos' certifier crashes over the groups *)
   seed : int;
   duration : Time.t;
   window : Time.t;
@@ -35,6 +39,7 @@ let default_config () =
     mode = Tashkent.Types.Tashkent_mw;
     n_replicas = 3;
     n_certifiers = 3;
+    n_partitions = 1;
     seed = 2006;
     duration = Time.sec 600;
     window = Time.sec 30;
@@ -78,7 +83,7 @@ type result = {
    the floor passes the dead replica, so its recovery exercises the
    pruned-prefix snapshot transfer. Everything recovers at least 40 s
    before the run ends so the final checkpoint sees a whole cluster. *)
-let soak_plan ~duration ~period ~n_replicas =
+let soak_plan ~duration ~period ~n_replicas ~n_partitions =
   let dur = Time.to_sec duration and per = Time.to_sec period in
   let victim = n_replicas - 1 in
   let rec go k acc =
@@ -87,10 +92,19 @@ let soak_plan ~duration ~period ~n_replicas =
     else
       let events =
         if k mod 2 = 1 || n_replicas < 2 then
-          [
-            (Time.of_sec t, Fault.Crash_leader);
-            (Time.of_sec (t +. 5.), Fault.Recover_crashed);
-          ]
+          if n_partitions > 1 then
+            (* round-robin the certifier crash over the groups so every
+               partition's ring fails over during a long soak *)
+            let g = k / 2 mod n_partitions in
+            [
+              (Time.of_sec t, Fault.Crash_group_leader g);
+              (Time.of_sec (t +. 5.), Fault.Recover_group_crashed g);
+            ]
+          else
+            [
+              (Time.of_sec t, Fault.Crash_leader);
+              (Time.of_sec (t +. 5.), Fault.Recover_crashed);
+            ]
         else
           [
             (Time.of_sec t, Fault.Crash_replica victim);
@@ -119,6 +133,7 @@ let run ?(config = default_config ()) () =
     Tashkent.Cluster.create ~engine
       (Tashkent.Cluster.config ~n_replicas:config.n_replicas
          ~n_certifiers:config.n_certifiers
+         ~n_partitions:config.n_partitions
          ~gc_interval:config.gc_interval
          ~max_snapshot_age:config.max_snapshot_age ~seed:config.seed
          config.mode)
@@ -131,14 +146,19 @@ let run ?(config = default_config ()) () =
   let rng = Rng.create (config.seed + 1) in
   List.iteri
     (fun replica_ix replica ->
-      Workload.Driver.spawn_replicated_clients engine ~replica ~spec
-        ~rng:(Rng.split rng) ~collector ~replica_ix
-        ~n_replicas:config.n_replicas)
+      if config.n_partitions > 1 then
+        Workload.Driver.spawn_session_clients engine ~replica ~spec
+          ~rng:(Rng.split rng) ~collector ~replica_ix
+          ~n_replicas:config.n_replicas
+      else
+        Workload.Driver.spawn_replicated_clients engine ~replica ~spec
+          ~rng:(Rng.split rng) ~collector ~replica_ix
+          ~n_replicas:config.n_replicas)
     (Tashkent.Cluster.replicas cluster);
   let plan =
     if config.chaos then
       soak_plan ~duration:config.duration ~period:config.chaos_period
-        ~n_replicas:config.n_replicas
+        ~n_replicas:config.n_replicas ~n_partitions:config.n_partitions
     else []
   in
   let replica_outages =
@@ -147,29 +167,51 @@ let run ?(config = default_config ()) () =
   let injector = if plan = [] then None else Some (Fault.inject cluster plan) in
   let started = Engine.now engine in
   let commits = ref 0 in
-  (* Leader gauges carry across an election gap: a window sampled while no
-     certifier claims leadership reuses the previous log shape instead of
-     reporting a bogus zero. *)
-  let last_log = ref (0, 0, 0) in
+  (* Leader gauges carry across an election gap, per certifier group: a
+     window sampled while a group has no leader reuses that group's
+     previous log shape instead of reporting a bogus zero. Live entries
+     and bytes sum over groups (total retained state); the floor is the
+     minimum across groups (the laggiest truncation). *)
+  let groups = List.map fst (Tashkent.Cluster.certifier_groups cluster) in
+  let last_log = Hashtbl.create 8 in
   let sample_leader () =
-    match Tashkent.Cluster.leader cluster with
-    | None -> !last_log
-    | Some lead ->
-        let log = Tashkent.Certifier.log lead in
-        let s =
-          ( Tashkent.Cert_log.entries log,
-            Tashkent.Cert_log.bytes_live log,
-            Tashkent.Cert_log.floor log )
+    List.fold_left
+      (fun (entries, bytes, floor) part ->
+        let e, b, f =
+          match Tashkent.Cluster.group_leader cluster ~part with
+          | None ->
+              Option.value (Hashtbl.find_opt last_log part) ~default:(0, 0, 0)
+          | Some lead ->
+              let log = Tashkent.Certifier.log lead in
+              let s =
+                ( Tashkent.Cert_log.entries log,
+                  Tashkent.Cert_log.bytes_live log,
+                  Tashkent.Cert_log.floor log )
+              in
+              Hashtbl.replace last_log part s;
+              s
         in
-        last_log := s;
-        s
+        (entries + e, bytes + b, min floor f))
+      (0, 0, max_int) groups
+  in
+  let hosted_dbs r =
+    List.filter_map
+      (fun part -> Tashkent.Replica.db_of r ~part)
+      (Tashkent.Replica.partitions r)
+  in
+  let hosted_proxies r =
+    List.filter_map
+      (fun part -> Tashkent.Replica.proxy_of r ~part)
+      (Tashkent.Replica.partitions r)
   in
   let store_versions_max () =
     List.fold_left
       (fun acc r ->
         if Tashkent.Replica.is_up r then
-          max acc
-            (Mvcc.Store.version_records (Mvcc.Db.store (Tashkent.Replica.db r)))
+          List.fold_left
+            (fun acc db ->
+              max acc (Mvcc.Store.version_records (Mvcc.Db.store db)))
+            acc (hosted_dbs r)
         else acc)
       0
       (Tashkent.Cluster.replicas cluster)
@@ -215,38 +257,33 @@ let run ?(config = default_config ()) () =
   (match Tashkent.Cluster.check_log_invariants cluster with
   | Ok () -> ()
   | Error msg -> violate "log invariants: %s" msg);
-  let store_pruned =
+  (match Tashkent.Cluster.check_cross_atomicity cluster with
+  | Ok () -> ()
+  | Error msg -> violate "cross atomicity: %s" msg);
+  let over_dbs f =
     List.fold_left
-      (fun acc r ->
-        acc + Mvcc.Store.pruned (Mvcc.Db.store (Tashkent.Replica.db r)))
+      (fun acc r -> List.fold_left (fun acc db -> acc + f db) acc (hosted_dbs r))
       0
       (Tashkent.Cluster.replicas cluster)
   in
+  let over_proxies f =
+    List.fold_left
+      (fun acc r -> List.fold_left (fun acc p -> acc + f p) acc (hosted_proxies r))
+      0
+      (Tashkent.Cluster.replicas cluster)
+  in
+  let store_pruned = over_dbs (fun db -> Mvcc.Store.pruned (Mvcc.Db.store db)) in
   let cert_pruned =
-    match Tashkent.Cluster.leader cluster with
-    | None -> 0
-    | Some lead -> Tashkent.Cert_log.pruned (Tashkent.Certifier.log lead)
-  in
-  let snapshot_installs =
     List.fold_left
-      (fun acc r ->
-        acc + Tashkent.Proxy.snapshot_installs (Tashkent.Replica.proxy r))
-      0
-      (Tashkent.Cluster.replicas cluster)
+      (fun acc part ->
+        match Tashkent.Cluster.group_leader cluster ~part with
+        | None -> acc
+        | Some lead -> acc + Tashkent.Cert_log.pruned (Tashkent.Certifier.log lead))
+      0 groups
   in
-  let floor_heals =
-    List.fold_left
-      (fun acc r -> acc + Tashkent.Proxy.floor_heals (Tashkent.Replica.proxy r))
-      0
-      (Tashkent.Cluster.replicas cluster)
-  in
-  let stale_expired =
-    List.fold_left
-      (fun acc r ->
-        acc + Mvcc.Db.stale_snapshots_expired (Tashkent.Replica.db r))
-      0
-      (Tashkent.Cluster.replicas cluster)
-  in
+  let snapshot_installs = over_proxies Tashkent.Proxy.snapshot_installs in
+  let floor_heals = over_proxies Tashkent.Proxy.floor_heals in
+  let stale_expired = over_dbs Mvcc.Db.stale_snapshots_expired in
   (* Boundedness: compare the post-warmup early half against the late
      half. A plateau passes with room to spare; linear growth (the
      pre-watermark behaviour) makes the late-half max ~2x the early-half

@@ -13,7 +13,15 @@
 type config = {
   mode : Tashkent.Types.mode;
   n_replicas : int;
-  n_certifiers : int;
+  n_certifiers : int;  (** Paxos ring members per certifier group *)
+  n_partitions : int;
+      (** certifier groups (default 1). With [> 1] the Zipfian clients run
+          through {!Tashkent.Session} (hot keys hash across every group,
+          so a multi-key transaction may commit cross-partition), the
+          periodic chaos round-robins its certifier crashes over the
+          groups, the sampled log gauges sum over groups (floor = the
+          minimum), and the final checkpoint also asserts
+          {!Tashkent.Cluster.check_cross_atomicity}. *)
   seed : int;
   duration : Sim.Time.t;  (** total simulated run (default 600 s) *)
   window : Sim.Time.t;  (** sampling window (default 30 s) *)
@@ -48,9 +56,10 @@ type window_sample = {
   store_versions : int;
       (** max row-version-chain records across up replicas — the gauge
           that grows without bound when vacuuming is off *)
-  cert_entries : int;  (** live slots in the leader's certified log *)
+  cert_entries : int;
+      (** live slots in the certified log, summed over group leaders *)
   cert_bytes : int;  (** bytes held by those live slots *)
-  gc_floor : int;  (** the leader's truncation floor *)
+  gc_floor : int;  (** the truncation floor (minimum across groups) *)
 }
 
 type result = {

@@ -418,18 +418,50 @@ let handle t msg =
 (* ------------------------------------------------------------------ *)
 (* Timers, creation, crash/recovery *)
 
+(* Accept retransmission. There is no ack-driven resend: an Accept
+   broadcast (or every Accept_ok for it) lost to the network would wedge
+   its slot forever — the commit index cannot pass an unchosen slot, and
+   the leader keeps heartbeating, so no election ever rescues the group.
+   When the commit index sits still across heartbeat intervals with
+   proposals in flight, re-broadcast the oldest pending slots' Accepts:
+   acceptors re-accept idempotently (equal ballot) and re-send their
+   Accept_ok, and {!leader_ack} dedups per peer. Bounded to a window off
+   the commit index — choosing those unblocks the next window. *)
+let resend_window = 32
+
+let resend_pending t ~ballot ~next_slot =
+  let pending =
+    let hi = min (next_slot - 1) (t.commit + resend_window) in
+    let rec collect slot acc =
+      if slot <= t.commit then acc
+      else
+        match Hashtbl.find_opt t.accepted slot with
+        | Some sv -> collect (slot - 1) ({ sv with ballot } :: acc)
+        | None -> collect (slot - 1) acc
+    in
+    collect hi []
+  in
+  if pending <> [] then
+    broadcast t (Accept { ballot; from = t.node_id; entries = pending })
+
 let spawn_timers t =
   ignore
     (Engine.spawn t.engine ~name:(t.node_id ^ ".timers") (fun () ->
+         (* Commit index at the previous tick: no movement across a full
+            interval with slots in flight means their Accepts are lost. *)
+         let last_commit = ref (-1) in
          let rec loop () =
            Engine.sleep t.engine t.cfg.heartbeat_interval;
            if t.up then begin
              (match t.role with
              | Leader l ->
                  broadcast t
-                   (Heartbeat { ballot = l.ballot; from = t.node_id; commit_index = t.commit })
+                   (Heartbeat { ballot = l.ballot; from = t.node_id; commit_index = t.commit });
+                 if t.commit = !last_commit && l.next_slot > t.commit + 1 then
+                   resend_pending t ~ballot:l.ballot ~next_slot:l.next_slot
              | Follower | Candidate _ ->
-                 if Time.(Engine.now t.engine >= t.election_deadline) then start_election t)
+                 if Time.(Engine.now t.engine >= t.election_deadline) then start_election t);
+             last_commit := t.commit
            end;
            loop ()
          in

@@ -124,6 +124,36 @@ let spawn_replicated_clients engine ~replica ~spec ~rng ~collector ~replica_ix
   spawn_all ();
   R.set_respawn_clients replica spawn_all
 
+let spawn_session_clients engine ~replica ~spec ~rng ~collector ~replica_ix
+    ~n_replicas =
+  let module R = Tashkent.Replica in
+  let module S = Tashkent.Session in
+  let session = R.session replica in
+  let spawn_one client =
+    let client_rng = Rng.split rng in
+    let fiber =
+      Engine.spawn engine ~name:(Printf.sprintf "%s.client%d" (R.name replica) client)
+        (fun () ->
+          client_loop engine ~spec ~rng:client_rng ~collector ~replica_ix ~n_replicas
+            ~client
+            ~begin_tx:(fun () -> S.begin_tx session)
+            ~read:(fun tx key -> S.read session tx key)
+            ~write:(fun tx key op -> S.write session tx key op)
+            ~commit:(fun tx ->
+              match S.commit session tx with Ok () -> Ok () | Error e -> Error e)
+            ~abort:(fun tx -> S.abort session tx)
+            ~use_cpu:(fun cpu -> R.use_cpu replica cpu))
+    in
+    R.register_client replica fiber
+  in
+  let spawn_all () =
+    for client = 0 to spec.Spec.clients_per_replica - 1 do
+      spawn_one client
+    done
+  in
+  spawn_all ();
+  R.set_respawn_clients replica spawn_all
+
 let spawn_standalone_clients engine ~db ~cpu ~spec ~rng ~collector =
   for client = 0 to spec.Spec.clients_per_replica - 1 do
     let client_rng = Rng.split rng in

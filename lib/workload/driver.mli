@@ -49,6 +49,22 @@ val spawn_replicated_clients :
     proxy; each runs until cancelled. Fibers are registered with the
     replica (killed by a crash) and respawned after recovery. *)
 
+val spawn_session_clients :
+  Sim.Engine.t ->
+  replica:Tashkent.Replica.t ->
+  spec:Spec.t ->
+  rng:Sim.Rng.t ->
+  collector:Collector.t ->
+  replica_ix:int ->
+  n_replicas:int ->
+  unit
+(** Like {!spawn_replicated_clients}, but through the replica's
+    {!Tashkent.Session} router, so a transaction may touch any hosted
+    partition and commits atomically across certifier groups when its
+    writes span more than one. Use this (with a partition-aware spec such
+    as {!Partlocal.profile}) whenever the cluster runs with
+    [n_partitions > 1]. *)
+
 val spawn_standalone_clients :
   Sim.Engine.t ->
   db:Mvcc.Db.t ->

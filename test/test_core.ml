@@ -15,7 +15,8 @@ let check_bool = Alcotest.(check bool)
 (* ------------------------------------------------------------------ *)
 (* Cert_log *)
 
-let entry version origin req_id ws = { Types.version; origin; req_id; ws; gc_floor = 0 }
+let entry version origin req_id ws =
+  { Types.version; origin; req_id; ws; gc_floor = 0; xa = None }
 
 let test_cert_log_append_and_certify () =
   let log = Cert_log.create () in
@@ -179,7 +180,8 @@ let make_cluster ?(mode = Types.Base) ?(n_replicas = 3) ?(n_certifiers = 3) ?(se
     ?(certifier = Certifier.default_config) ?replica () =
   let replica = Option.value ~default:(quick_replica mode) replica in
   let cfg =
-    { Cluster.mode; n_replicas; n_certifiers; certifier; replica; seed }
+    { Cluster.mode; n_replicas; n_certifiers; n_partitions = 1;
+      hosting = Cluster.Host_all; certifier; replica; seed }
   in
   let c = Cluster.create cfg in
   Cluster.load_all c

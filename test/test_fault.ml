@@ -184,6 +184,8 @@ let test_bounded_backoff_under_full_partition () =
       Cluster.mode = Types.Tashkent_mw;
       n_replicas = 1;
       n_certifiers = 3;
+      n_partitions = 1;
+      hosting = Cluster.Host_all;
       certifier = Certifier.default_config;
       replica = Replica.default_config Types.Tashkent_mw;
       seed = 5;
@@ -270,6 +272,8 @@ let test_fsync_stall_forces_abdication () =
       Cluster.mode = Types.Tashkent_mw;
       n_replicas = 1;
       n_certifiers = 3;
+      n_partitions = 1;
+      hosting = Cluster.Host_all;
       certifier = Certifier.default_config;
       replica = Replica.default_config Types.Tashkent_mw;
       seed = 5;

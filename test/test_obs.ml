@@ -337,6 +337,8 @@ let test_backfill_trace_ids () =
         Tashkent.Cluster.mode;
         n_replicas = 2;
         n_certifiers = 3;
+        n_partitions = 1;
+        hosting = Tashkent.Cluster.Host_all;
         certifier = Tashkent.Certifier.default_config;
         replica =
           {

@@ -1,0 +1,412 @@
+(* Partitioned certification: the key partitioner, the per-replica
+   session router, cross-partition atomic commit/abort, equivalence of a
+   1-partition cluster with the legacy path, and partial replication
+   (Host_modulo) consistency. *)
+
+open Sim
+open Tashkent
+
+let k table row = Mvcc.Key.make ~table ~row
+let vi n = Mvcc.Value.int n
+let upd n = Mvcc.Writeset.Update (vi n)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioner units *)
+
+let test_partitioner_stable () =
+  let p4 = Partitioner.create ~parts:4 in
+  let key = k "item" "42" in
+  check_int "same key, same partition" (Partitioner.of_key p4 key)
+    (Partitioner.of_key p4 key);
+  (* The map is a function of the key bytes only: a fresh partitioner
+     agrees with the first. *)
+  check_int "fresh partitioner agrees"
+    (Partitioner.of_key p4 key)
+    (Partitioner.of_key (Partitioner.create ~parts:4) key);
+  let p1 = Partitioner.create ~parts:1 in
+  check_int "one partition maps everything to 0" 0 (Partitioner.of_key p1 key);
+  for i = 0 to 199 do
+    let part = Partitioner.of_key p4 (k "item" (string_of_int i)) in
+    check_bool "in range" true (part >= 0 && part < 4)
+  done;
+  (* All four partitions are actually populated by a small row range. *)
+  let seen = Array.make 4 false in
+  for i = 0 to 199 do
+    seen.(Partitioner.of_key p4 (k "item" (string_of_int i))) <- true
+  done;
+  Array.iteri (fun i hit -> check_bool (Printf.sprintf "p%d hit" i) true hit) seen
+
+let test_partitioner_split () =
+  let p = Partitioner.create ~parts:3 in
+  let ws =
+    Mvcc.Writeset.of_list
+      (List.init 30 (fun i -> (k "item" (string_of_int i), upd i)))
+  in
+  let frags = Partitioner.split p ws in
+  (* Fragments are disjoint, partition-pure, and together carry every
+     entry of the original writeset. *)
+  let total = List.fold_left (fun acc (_, f) -> acc + Mvcc.Writeset.cardinal f) 0 frags in
+  check_int "no entry lost or duplicated" (Mvcc.Writeset.cardinal ws) total;
+  List.iter
+    (fun (part, frag) ->
+      Mvcc.Writeset.iter_keys frag (fun key ->
+          check_int "entry routed to its own partition" part (Partitioner.of_key p key)))
+    frags;
+  (* parts = 1 splits to the identity. *)
+  match Partitioner.split (Partitioner.create ~parts:1) ws with
+  | [ (0, same) ] -> check_int "identity" (Mvcc.Writeset.cardinal ws) (Mvcc.Writeset.cardinal same)
+  | _ -> Alcotest.fail "parts=1 must yield a single fragment for partition 0"
+
+(* ------------------------------------------------------------------ *)
+(* Cluster helpers *)
+
+(* A row from [item] that lives in [part] under a [parts]-way split. *)
+let key_in ~parts part =
+  let p = Partitioner.create ~parts in
+  let rec find i =
+    if i > 10_000 then failwith "no row found for partition"
+    else
+      let key = k "item" (string_of_int i) in
+      if Partitioner.of_key p key = part then key else find (i + 1)
+  in
+  find 0
+
+(* Distinct rows of one partition. *)
+let keys_in ~parts part n =
+  let p = Partitioner.create ~parts in
+  let rec collect i acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let key = k "item" (string_of_int i) in
+      if Partitioner.of_key p key = part then collect (i + 1) (key :: acc) (remaining - 1)
+      else collect (i + 1) acc remaining
+  in
+  collect 0 [] n
+
+let quick_replica mode =
+  {
+    (Replica.default_config mode) with
+    Replica.exec_cpu = Time.us 200;
+    staleness_bound = Some (Time.of_ms 200.);
+  }
+
+let make_cluster ?(mode = Types.Tashkent_mw) ?(n_replicas = 2) ?(n_partitions = 2)
+    ?(hosting = Cluster.Host_all) ?(seed = 7) () =
+  let cfg =
+    {
+      Cluster.mode;
+      n_replicas;
+      n_certifiers = 3;
+      n_partitions;
+      hosting;
+      certifier = Certifier.default_config;
+      replica = quick_replica mode;
+      seed;
+    }
+  in
+  let c = Cluster.create cfg in
+  let rows =
+    List.init 64 (fun i -> (k "item" (string_of_int i), vi 0))
+  in
+  Cluster.load_all c rows;
+  Cluster.settle c;
+  c
+
+let run_for c span =
+  Engine.run ~until:(Time.add (Engine.now (Cluster.engine c)) span) (Cluster.engine c)
+
+(* Run one transaction through replica [i]'s session; store the outcome. *)
+let submit_session_tx c i ~writes outcome =
+  let r = Cluster.replica c i in
+  let s = Replica.session r in
+  ignore
+    (Engine.spawn (Cluster.engine c) ~name:"client" (fun () ->
+         let tx = Session.begin_tx s in
+         Replica.use_cpu r (Replica.config r).Replica.exec_cpu;
+         let rec go = function
+           | [] -> outcome := Some (Session.commit s tx)
+           | (key, v) :: rest -> (
+               match Session.write s tx key (upd v) with
+               | Error f ->
+                   Session.abort s tx;
+                   outcome := Some (Error f)
+               | Ok () -> go rest)
+         in
+         go writes))
+
+let expect_commit msg = function
+  | Some (Ok ()) -> ()
+  | Some (Error f) ->
+      Alcotest.fail (Format.asprintf "%s: failed: %a" msg Proxy.pp_failure f)
+  | None -> Alcotest.fail (msg ^ ": transaction never finished")
+
+let expect_cert_abort msg = function
+  | Some (Error (Proxy.Cert_abort _)) -> ()
+  | Some (Ok ()) -> Alcotest.fail (msg ^ ": committed, expected a certification abort")
+  | Some (Error f) ->
+      Alcotest.fail (Format.asprintf "%s: wrong failure: %a" msg Proxy.pp_failure f)
+  | None -> Alcotest.fail (msg ^ ": transaction never finished")
+
+let check_all_invariants c =
+  (match Cluster.check_consistency c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("inconsistent: " ^ m));
+  (match Cluster.check_log_invariants c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("log invariants: " ^ m));
+  match Cluster.check_cross_atomicity c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("cross atomicity: " ^ m)
+
+let committed_value c i key =
+  let r = Cluster.replica c i in
+  let part = Partitioner.of_key (Cluster.partitioner c) key in
+  match Replica.db_of r ~part with
+  | None -> Alcotest.fail (Replica.name r ^ " does not host the key's partition")
+  | Some db -> (
+      match Mvcc.Db.read_committed db key with
+      | Some v -> Mvcc.Value.as_int v
+      | None -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Single-partition equivalence with the legacy path *)
+
+let test_one_partition_matches_legacy () =
+  (* The same seed must produce the same history whether transactions go
+     through Session (partition-aware) or straight at the proxy (legacy):
+     with one partition the session is a transparent shim. *)
+  let history via =
+    let c = make_cluster ~n_partitions:1 ~n_replicas:2 ~seed:11 () in
+    let outcomes = List.init 8 (fun _ -> ref None) in
+    List.iteri
+      (fun n o ->
+        let i = n mod 2 in
+        let key = k "item" (string_of_int (n mod 4)) in
+        match via with
+        | `Session -> submit_session_tx c i ~writes:[ (key, 100 + n) ] o
+        | `Proxy ->
+            let r = Cluster.replica c i in
+            let p = Replica.proxy r in
+            ignore
+              (Engine.spawn (Cluster.engine c) ~name:"client" (fun () ->
+                   let tx = Proxy.begin_tx p in
+                   Replica.use_cpu r (Replica.config r).Replica.exec_cpu;
+                   match Proxy.write p tx key (upd (100 + n)) with
+                   | Error f ->
+                       Proxy.abort p tx;
+                       o := Some (Error f)
+                   | Ok () -> o := Some (Proxy.commit p tx))))
+      outcomes;
+    run_for c (Time.sec 3);
+    check_all_invariants c;
+    let final = List.init 4 (fun n -> committed_value c 0 (k "item" (string_of_int n))) in
+    let oks =
+      List.length
+        (List.filter (fun o -> match !o with Some (Ok ()) -> true | _ -> false) outcomes)
+    in
+    (oks, final, Cluster.total_commits c)
+  in
+  let s_oks, s_final, s_total = history `Session
+  and p_oks, p_final, p_total = history `Proxy in
+  check_int "same commit count" p_oks s_oks;
+  check_int "same cluster total" p_total s_total;
+  List.iteri
+    (fun n (a, b) -> check_int (Printf.sprintf "same final value %d" n) a b)
+    (List.combine p_final s_final)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-partition commit and abort *)
+
+let test_cross_partition_commit () =
+  let c = make_cluster () in
+  let ka = key_in ~parts:2 0 and kb = key_in ~parts:2 1 in
+  let o = ref None in
+  submit_session_tx c 0 ~writes:[ (ka, 7); (kb, 8) ] o;
+  run_for c (Time.sec 3);
+  expect_commit "cross tx" !o;
+  (* Both fragments installed, on every replica (staleness bound). *)
+  List.iteri
+    (fun i _ ->
+      check_int (Printf.sprintf "replica%d p0 value" i) 7 (committed_value c i ka);
+      check_int (Printf.sprintf "replica%d p1 value" i) 8 (committed_value c i kb))
+    (Cluster.replicas c);
+  (* Both groups hold a committed outcome witness and an xa-stamped entry. *)
+  let stats =
+    List.concat_map (fun (_, g) -> List.map Certifier.stats g) (Cluster.certifier_groups c)
+  in
+  check_bool "prepared records delivered" true
+    (List.exists (fun (s : Certifier.stats) -> s.xprepares > 0) stats);
+  check_bool "fragments committed" true
+    (List.exists (fun (s : Certifier.stats) -> s.xcommits > 0) stats);
+  let session_stats = Session.stats (Replica.session (Cluster.replica c 0)) in
+  check_int "session counted one cross commit" 1 session_stats.Session.cross_commits;
+  check_all_invariants c
+
+let test_cross_partition_atomic_abort () =
+  let c = make_cluster () in
+  let ka = key_in ~parts:2 0 and kb = key_in ~parts:2 1 in
+  (* First settle a committed value in both partitions. *)
+  let o0 = ref None in
+  submit_session_tx c 0 ~writes:[ (ka, 1); (kb, 1) ] o0;
+  run_for c (Time.sec 2);
+  expect_commit "setup tx" !o0;
+  (* Two concurrent sessions race on partition 0's key while also writing
+     partition 1: certification must abort one in BOTH partitions. *)
+  let o1 = ref None and o2 = ref None in
+  let kb2 = List.nth (keys_in ~parts:2 1 2) 1 in
+  submit_session_tx c 0 ~writes:[ (ka, 10); (kb, 10) ] o1;
+  submit_session_tx c 1 ~writes:[ (ka, 20); (kb2, 20) ] o2;
+  run_for c (Time.sec 3);
+  let outcomes = [ !o1; !o2 ] in
+  let oks = List.filter (function Some (Ok ()) -> true | _ -> false) outcomes in
+  let aborts =
+    List.filter (function Some (Error (Proxy.Cert_abort _)) -> true | _ -> false) outcomes
+  in
+  check_int "exactly one winner" 1 (List.length oks);
+  check_int "exactly one certification abort" 1 (List.length aborts);
+  (* The loser's partition-1 fragment must NOT have committed: the value
+     of its partition-1 key is whatever the winner (or setup) wrote. *)
+  (if !o1 = None then Alcotest.fail "tx1 never finished");
+  (match (!o1, !o2) with
+  | Some (Ok ()), _ ->
+      check_int "winner's p0 write" 10 (committed_value c 0 ka);
+      check_int "winner's p1 write" 10 (committed_value c 0 kb);
+      check_int "loser's p1 key untouched" 0 (committed_value c 0 kb2)
+  | _, Some (Ok ()) ->
+      check_int "winner's p0 write" 20 (committed_value c 0 ka);
+      check_int "winner's p1 write" 20 (committed_value c 0 kb2);
+      check_int "loser's p1 key untouched" 1 (committed_value c 0 kb)
+  | _ -> Alcotest.fail "no transaction won the race");
+  check_all_invariants c
+
+let test_cross_partition_vs_local_conflict () =
+  (* A cross-partition transaction racing a partition-local one on the
+     same key: exactly one commits, and if the cross one loses, none of
+     its fragments land. *)
+  let c = make_cluster ~seed:13 () in
+  let ka = key_in ~parts:2 0 and kb = key_in ~parts:2 1 in
+  let ox = ref None and ol = ref None in
+  submit_session_tx c 0 ~writes:[ (ka, 30); (kb, 30) ] ox;
+  submit_session_tx c 1 ~writes:[ (ka, 40) ] ol;
+  run_for c (Time.sec 3);
+  let ok o = match !o with Some (Ok ()) -> true | _ -> false in
+  check_int "exactly one winner" 1
+    (List.length (List.filter Fun.id [ ok ox; ok ol ]));
+  if ok ol then begin
+    check_int "local winner's value" 40 (committed_value c 0 ka);
+    check_int "cross loser left p1 untouched" 0 (committed_value c 0 kb)
+  end
+  else begin
+    check_int "cross winner p0" 30 (committed_value c 0 ka);
+    check_int "cross winner p1" 30 (committed_value c 0 kb)
+  end;
+  check_all_invariants c
+
+(* ------------------------------------------------------------------ *)
+(* Crash-tolerance of the cross-partition protocol *)
+
+let test_cross_atomicity_under_group_crash () =
+  (* Sustained cross-partition traffic while one group's leader
+     crash-stops and later recovers: every acknowledged cross commit must
+     stay atomic, and the logs must heal to the usual invariants. *)
+  let c = make_cluster ~seed:21 () in
+  let engine = Cluster.engine c in
+  let keys0 = keys_in ~parts:2 0 8 and keys1 = keys_in ~parts:2 1 8 in
+  let outcomes = ref [] in
+  let spawn_client i =
+    let r = Cluster.replica c i in
+    let s = Replica.session r in
+    ignore
+      (Engine.spawn engine ~name:(Printf.sprintf "xclient%d" i) (fun () ->
+           for n = 0 to 39 do
+             let o = ref None in
+             outcomes := o :: !outcomes;
+             let ka = List.nth keys0 ((n + i) mod 8)
+             and kb = List.nth keys1 ((n + (3 * i)) mod 8) in
+             let tx = Session.begin_tx s in
+             Replica.use_cpu r (Replica.config r).Replica.exec_cpu;
+             (match Session.write s tx ka (upd n) with
+             | Error f -> Session.abort s tx; o := Some (Error f)
+             | Ok () -> (
+                 match Session.write s tx kb (upd n) with
+                 | Error f -> Session.abort s tx; o := Some (Error f)
+                 | Ok () -> o := Some (Session.commit s tx)));
+             Engine.sleep engine (Time.of_ms 40.)
+           done))
+  in
+  spawn_client 0;
+  spawn_client 1;
+  (* Crash group 1's leader mid-run; recover it two seconds later. *)
+  Engine.schedule_after engine (Time.of_ms 500.) (fun () ->
+      match Cluster.group_leader c ~part:1 with
+      | Some cert -> Certifier.crash cert
+      | None -> ());
+  let crashed () =
+    List.filter (fun cert -> not (Certifier.is_up cert)) (Cluster.group c ~part:1)
+  in
+  Engine.schedule_after engine (Time.sec 2) (fun () ->
+      List.iter Certifier.recover (crashed ()));
+  run_for c (Time.sec 8);
+  (* Liveness: the surviving majority keeps certifying. *)
+  let finished =
+    List.length (List.filter (fun o -> !o <> None) !outcomes)
+  in
+  check_bool "most transactions finished" true (finished >= 60);
+  let committed =
+    List.length
+      (List.filter (fun o -> match !o with Some (Ok ()) -> true | _ -> false) !outcomes)
+  in
+  check_bool "commits continued despite the crash" true (committed >= 20);
+  check_all_invariants c
+
+(* ------------------------------------------------------------------ *)
+(* Partial replication *)
+
+let test_host_modulo_partition_local () =
+  (* Two partitions, two replicas, each hosting exactly one partition.
+     Replica i only ever touches its own partition; every replica's data
+     must match its group's log, and neither replica ever stores the
+     other partition's rows. *)
+  let c = make_cluster ~hosting:Cluster.Host_modulo ~seed:5 () in
+  let outcomes = List.init 12 (fun _ -> ref None) in
+  List.iteri
+    (fun n o ->
+      let i = n mod 2 in
+      let key = List.nth (keys_in ~parts:2 i 6) (n / 2) in
+      submit_session_tx c i ~writes:[ (key, 200 + n) ] o)
+    outcomes;
+  run_for c (Time.sec 3);
+  List.iteri (fun n o -> expect_commit (Printf.sprintf "tx%d" n) !o) outcomes;
+  (* Hosting is really partial. *)
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "replica%d subscriptions" i)
+        [ i mod 2 ] (Replica.partitions r))
+    (Cluster.replicas c);
+  check_all_invariants c
+
+let suites =
+  [
+    ( "partition.unit",
+      [
+        Alcotest.test_case "partitioner stable map" `Quick test_partitioner_stable;
+        Alcotest.test_case "writeset split" `Quick test_partitioner_split;
+      ] );
+    ( "partition.cluster",
+      [
+        Alcotest.test_case "1 partition matches legacy path" `Quick
+          test_one_partition_matches_legacy;
+        Alcotest.test_case "cross-partition commit" `Quick test_cross_partition_commit;
+        Alcotest.test_case "cross-partition atomic abort" `Quick
+          test_cross_partition_atomic_abort;
+        Alcotest.test_case "cross vs local conflict" `Quick
+          test_cross_partition_vs_local_conflict;
+        Alcotest.test_case "atomicity under group crash" `Quick
+          test_cross_atomicity_under_group_crash;
+        Alcotest.test_case "Host_modulo partial replication" `Quick
+          test_host_modulo_partition_local;
+      ] );
+  ]
