@@ -17,7 +17,7 @@ let all_sections =
   [
     "fig4"; "fig6"; "fig8"; "fig10"; "fig12"; "fig14"; "standalone"; "recovery";
     "ablation"; "micro"; "chaos"; "storage_chaos"; "latency"; "parallel_apply";
-    "hotkey"; "soak"; "partition";
+    "hotkey"; "soak"; "partition"; "monitor";
   ]
 
 (* Machine-readable metrics for regression tracking, written to
@@ -935,6 +935,45 @@ let partition () =
       m "violations" (List.length r.Chaos_exp.violations))
     [ 1966; 2006 ]
 
+(* ------------------------------------------------------------------ *)
+(* Monitor overhead: the five online protocol monitors are pure
+   observers on the event stream, so goodput with them attached should
+   be indistinguishable from goodput without. CI asserts the measured
+   overhead stays under 5%. *)
+
+let monitor_overhead () =
+  Report.section
+    "Monitor overhead: goodput with online protocol monitors off vs on";
+  let run monitors =
+    Experiment.run
+      {
+        (base_cfg Experiment.Tpc_b Tashkent.Replica.Shared_io) with
+        Experiment.system = Experiment.Replicated Tashkent.Types.Tashkent_mw;
+        n_replicas = (if !quick then 4 else 8);
+        monitors;
+      }
+  in
+  let off = run false in
+  let on_ = run true in
+  let overhead_pct =
+    if off.Experiment.goodput <= 0. then 0.
+    else 100. *. (1. -. (on_.Experiment.goodput /. off.Experiment.goodput))
+  in
+  Report.kv "goodput, monitors off" (Report.f1 off.Experiment.goodput);
+  Report.kv "goodput, monitors on" (Report.f1 on_.Experiment.goodput);
+  Report.kv "monitor events consumed" (string_of_int on_.Experiment.monitor_events);
+  Report.kv "monitor violations"
+    (string_of_int (List.length on_.Experiment.monitor_violations));
+  Report.kv "overhead" (Printf.sprintf "%.1f%%" overhead_pct);
+  record_metric "monitor/goodput_off" off.Experiment.goodput;
+  record_metric "monitor/goodput_on" on_.Experiment.goodput;
+  record_metric "monitor/events" (float_of_int on_.Experiment.monitor_events);
+  record_metric "monitor/violations"
+    (float_of_int (List.length on_.Experiment.monitor_violations));
+  record_metric "monitor/overhead_pct" overhead_pct;
+  Report.paper_vs ~what:"monitor goodput overhead" ~paper:"< 5% (pure observers)"
+    ~measured:(Printf.sprintf "%.1f%%" overhead_pct)
+
 let () =
   if !list_only then begin
     List.iter print_endline all_sections;
@@ -972,5 +1011,6 @@ let () =
   if wants "hotkey" then hotkey ();
   if wants "soak" then soak ();
   if wants "partition" then partition ();
+  if wants "monitor" then monitor_overhead ();
   if !json_metrics <> [] then write_json ();
   print_newline ()

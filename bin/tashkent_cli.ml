@@ -135,9 +135,26 @@ let gc_interval_t ~default =
 
 let gc_interval_of_sec s = if s <= 0. then None else Some (Sim.Time.of_sec s)
 
+let monitors_t =
+  Arg.(
+    value & flag
+    & info [ "monitors" ]
+        ~doc:
+          "Attach the online protocol monitors (durability, serial order, \
+           cross-partition atomicity, GC floor, progress) to the run; any \
+           monitor violation is printed and makes the command exit 1.")
+
+let no_monitors_t =
+  Arg.(
+    value & flag
+    & info [ "no-monitors" ]
+        ~doc:
+          "Detach the online protocol monitors (they are on by default for \
+           this command); for overhead comparison only.")
+
 let run_cmd =
   let run system workload io n certifiers partitions cross_ratio seconds
-      abort_rate seed apply_workers deltas skew gc_interval =
+      abort_rate seed apply_workers deltas skew gc_interval monitors =
     let cfg =
       {
         Harness.Experiment.system;
@@ -162,6 +179,7 @@ let run_cmd =
         warmup = Sim.Time.of_sec (Float.min 5. (seconds /. 2.));
         measure = Sim.Time.of_sec seconds;
         trace = false;
+        monitors;
       }
     in
     let r = Harness.Experiment.run cfg in
@@ -189,15 +207,24 @@ let run_cmd =
     kv "replica CPU utilization" (pct r.replica_cpu_util);
     kv "replica log-disk utilization" (pct r.replica_disk_util);
     kv "certifier CPU utilization" (pct r.cert_cpu_util);
-    kv "certifier disk utilization" (pct r.cert_disk_util)
+    kv "certifier disk utilization" (pct r.cert_disk_util);
+    if monitors then begin
+      kv "monitor events" (string_of_int r.monitor_events);
+      kv "monitor violations" (string_of_int (List.length r.monitor_violations));
+      List.iter (fun v -> Printf.printf "  %s\n" v) r.monitor_violations;
+      if r.monitor_violations <> [] then exit 1
+    end
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one measured experiment and print its metrics.")
+    (Cmd.info "run"
+       ~doc:
+         "Run one measured experiment and print its metrics; with \
+          --monitors, exits 1 on any online protocol-monitor violation.")
     Term.(
       const run $ system_t $ workload_t $ io_t $ replicas_t $ certifiers_t
       $ partitions_t $ cross_ratio_t $ seconds_t
       $ abort_rate_t $ seed_t $ apply_workers_t $ deltas_t $ skew_t
-      $ gc_interval_t ~default:30.)
+      $ gc_interval_t ~default:30. $ monitors_t)
 
 let recovery_cmd =
   let run n seed =
@@ -249,7 +276,7 @@ let consistency_cmd =
 
 let chaos_cmd =
   let run n certifiers partitions seconds seed plan_seed disk_faults
-      fsync_stall_ms apply_workers deltas gc_interval =
+      fsync_stall_ms apply_workers deltas gc_interval no_monitors =
     let plan =
       match plan_seed with
       | None ->
@@ -271,11 +298,12 @@ let chaos_cmd =
         apply_workers;
         deltas;
         gc_interval = gc_interval_of_sec gc_interval;
+        monitors = not no_monitors;
       }
     in
     let r = Harness.Chaos_exp.run ~config () in
     Format.printf "%a@." Harness.Chaos_exp.pp_result r;
-    if r.violations <> [] then exit 1
+    if r.violations <> [] || r.monitor_violations <> [] then exit 1
   in
   let plan_seed_t =
     Arg.(
@@ -313,15 +341,16 @@ let chaos_cmd =
        ~doc:
          "Run TPC-B under a fault plan (leader crashes, partitions, loss bursts, and \
           optionally storage faults) and verify the GSI and durability invariants \
-          after every heal; exits 1 on any violation.")
+          after every heal, with the online protocol monitors attached; exits 1 \
+          on any checkpoint or monitor violation.")
     Term.(
       const run $ replicas_t $ certifiers_t $ partitions_t $ seconds_t $ seed_t
       $ plan_seed_t $ disk_faults_t $ fsync_stall_t $ apply_workers_t $ deltas_t
-      $ gc_interval_t ~default:5.)
+      $ gc_interval_t ~default:5. $ no_monitors_t)
 
 let soak_cmd =
   let run n certifiers partitions seconds window seed gc_interval no_chaos
-      chaos_period skew deltas =
+      chaos_period skew deltas no_monitors =
     let config =
       {
         (Harness.Soak_exp.default_config ()) with
@@ -336,11 +365,12 @@ let soak_cmd =
         chaos_period = Sim.Time.of_sec chaos_period;
         skew;
         deltas;
+        monitors = not no_monitors;
       }
     in
     let r = Harness.Soak_exp.run ~config () in
     Format.printf "%a@." Harness.Soak_exp.pp_result r;
-    if r.violations <> [] then exit 1
+    if r.violations <> [] || r.monitor_violations <> [] then exit 1
   in
   let seconds_t =
     Arg.(
@@ -378,13 +408,118 @@ let soak_cmd =
        ~doc:
          "Run sustained Zipfian delta traffic with GC active (and periodic \
           chaos), sample version/log-growth gauges per window, and assert \
-          they stay bounded and latency stays flat; exits 1 on any \
-          violation.")
+          they stay bounded and latency stays flat, with the online protocol \
+          monitors attached; exits 1 on any violation.")
     Term.(
       const run $ replicas_t $ certifiers_t $ partitions_t $ seconds_t
       $ window_t $ seed_t
       $ gc_interval_t ~default:5. $ no_chaos_t $ chaos_period_t $ skew_t
-      $ deltas_t)
+      $ deltas_t $ no_monitors_t)
+
+let explore_cmd =
+  let run n certifiers partitions seconds seed first_seed n_seeds batch
+      no_targeted no_shrink max_shrink_runs max_repros disk_faults =
+    let config =
+      {
+        Harness.Explore_exp.base =
+          {
+            (Harness.Chaos_exp.default_config ()) with
+            n_replicas = n;
+            n_certifiers = certifiers;
+            n_partitions = partitions;
+            duration = Sim.Time.of_sec seconds;
+            seed;
+            disk_faults;
+          };
+        first_seed;
+        n_seeds;
+        batch;
+        targeted = not no_targeted;
+        shrink = not no_shrink;
+        max_shrink_runs;
+        max_repros;
+      }
+    in
+    let r =
+      Harness.Explore_exp.run
+        ~on_progress:(fun line -> Format.printf "%s@." line)
+        config
+    in
+    Format.printf "%a@." Harness.Explore_exp.pp_result r;
+    if r.repros <> [] then exit 1
+  in
+  let seconds_t =
+    Arg.(
+      value & opt float 20.
+      & info [ "seconds" ] ~docv:"S" ~doc:"Simulated length of each schedule.")
+  in
+  let first_seed_t =
+    Arg.(
+      value & opt int 1
+      & info [ "first-seed" ] ~docv:"SEED" ~doc:"First plan seed of the sweep.")
+  in
+  let n_seeds_t =
+    Arg.(
+      value & opt int 8
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Plan seeds to sweep; each yields a random schedule and (unless \
+             $(b,--no-targeted)) a targeted message-tap schedule.")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Schedules run concurrently (one domain each). Batching changes \
+             wall-clock time only; results are deterministic either way.")
+  in
+  let no_targeted_t =
+    Arg.(
+      value & flag
+      & info [ "no-targeted" ]
+          ~doc:
+            "Sweep only random plans; skip the targeted schedules (precise \
+             message delays/drops and announce-instant crashes).")
+  in
+  let no_shrink_t =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Report violating schedules with their full plans, unshrunk.")
+  in
+  let max_shrink_runs_t =
+    Arg.(
+      value & opt int 48
+      & info [ "max-shrink-runs" ] ~docv:"N"
+          ~doc:"Chaos-run budget per shrink.")
+  in
+  let max_repros_t =
+    Arg.(
+      value & opt int 3
+      & info [ "max-repros" ] ~docv:"N"
+          ~doc:"Stop shrinking after this many distinct repros.")
+  in
+  let disk_faults_t =
+    Arg.(
+      value & flag
+      & info [ "disk-faults" ]
+          ~doc:"Extend the random schedules with storage faults.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep fault-plan seeds in parallel batches — random schedules plus \
+          targeted message-level reorderings (delay the decisive Paxos ack, \
+          drop the Nth certifier reply or cross-partition vote, crash a \
+          certifier at its announce instant) — with the online protocol \
+          monitors attached, and shrink any violating schedule to a minimal \
+          explicit plan suitable as a CI regression; exits 1 if any schedule \
+          violates.")
+    Term.(
+      const run $ replicas_t $ certifiers_t $ partitions_t $ seconds_t $ seed_t
+      $ first_seed_t $ n_seeds_t $ batch_t $ no_targeted_t $ no_shrink_t
+      $ max_shrink_runs_t $ max_repros_t $ disk_faults_t)
 
 let trace_cmd =
   let mode_conv =
@@ -500,4 +635,12 @@ let () =
        (Cmd.group ~default
           (Cmd.info "tashkent-cli" ~version:"1.0.0"
              ~doc:"Tashkent (EuroSys 2006) reproduction toolkit")
-          [ run_cmd; recovery_cmd; consistency_cmd; chaos_cmd; soak_cmd; trace_cmd ]))
+          [
+            run_cmd;
+            recovery_cmd;
+            consistency_cmd;
+            chaos_cmd;
+            soak_cmd;
+            explore_cmd;
+            trace_cmd;
+          ]))

@@ -136,6 +136,7 @@ type t = {
   snapshot_reports : (string, int * Time.t) Hashtbl.t;
   mutable gc_floor : int;
   trace : Obs.Trace.t;
+  events : Obs.Events.t;
   (* Open [cert.durability] spans for accepted-but-undelivered entries,
      version -> span; mirrors [pending_replies]'s lifetime. *)
   dur_spans : (int, Obs.Trace.span) Hashtbl.t;
@@ -297,8 +298,23 @@ let compose_remotes t ~replica_version ~upto =
       { Types.version = entry.version; ws = entry.ws; conflict_with })
     entries
 
+(* Protocol decision points announce themselves on the typed event stream
+   (one branch when disabled); the identities match the log entry fields so
+   the online monitors can join verdicts, acks and appends. *)
+let emit_verdict t ~origin ~req_id ~committed ~version =
+  Obs.Events.emit t.events
+    (Obs.Events.Verdict
+       { actor = t.node_id; part = t.partition; origin; req_id; committed; version })
+
+let emit_ack t ~origin ~req_id ~version =
+  Obs.Events.emit t.events
+    (Obs.Events.Durable_ack
+       { actor = t.node_id; part = t.partition; origin; req_id; version })
+
 let reply_commit t ~(req : Types.cert_request) ~version =
   let remotes = compose_remotes t ~replica_version:req.replica_version ~upto:(version - 1) in
+  emit_verdict t ~origin:req.replica ~req_id:req.req_id ~committed:true ~version;
+  emit_ack t ~origin:req.replica ~req_id:req.req_id ~version;
   send t ~dst:req.replica
     (Types.Cert_reply
        {
@@ -315,6 +331,7 @@ let reply_abort t ~(req : Types.cert_request) ~cause =
       Stats.Counter.incr t.c_aborts_ww;
       Stats.Counter.incr t.c_cert_conflicts
   | Types.Forced -> Stats.Counter.incr t.c_aborts_forced);
+  emit_verdict t ~origin:req.replica ~req_id:req.req_id ~committed:false ~version:0;
   send t ~dst:req.replica
     (Types.Cert_reply
        {
@@ -330,6 +347,11 @@ let reply_xcommit t ~(xreq : Types.xcert_request) ~version =
   let remotes =
     compose_remotes t ~replica_version:xreq.x_replica_version ~upto:(version - 1)
   in
+  (* The fragment entry's identity is (xf_origin, gtx_seq); the asking
+     sub-proxy IS the fragment's origin for this partition. *)
+  emit_verdict t ~origin:xreq.x_replica ~req_id:xreq.x_gtx.Types.gtx_seq
+    ~committed:true ~version;
+  emit_ack t ~origin:xreq.x_replica ~req_id:xreq.x_gtx.Types.gtx_seq ~version;
   send t ~dst:xreq.x_replica
     (Types.Cert_reply
        {
@@ -343,6 +365,8 @@ let reply_xcommit t ~(xreq : Types.xcert_request) ~version =
 let reply_xabort t ~(xreq : Types.xcert_request) =
   Stats.Counter.incr t.c_aborts_ww;
   Stats.Counter.incr t.c_cert_conflicts;
+  emit_verdict t ~origin:xreq.x_replica ~req_id:xreq.x_gtx.Types.gtx_seq
+    ~committed:false ~version:0;
   send t ~dst:xreq.x_replica
     (Types.Cert_reply
        {
@@ -502,6 +526,15 @@ let handle_xreq t (xreq : Types.xcert_request) =
    carries the fragments — the leader solicits its own prepare from them,
    which is what un-sticks a group whose original request was lost. *)
 let handle_xvote t (v : Types.xvote) =
+  Obs.Events.emit t.events
+    (Obs.Events.Xvote
+       {
+         actor = t.node_id;
+         part = t.partition;
+         from_part = v.xv_part;
+         gtx = xkey v.xv_gtx;
+         vote = v.xv_vote;
+       });
   match Hashtbl.find_opt t.x_outcomes (xkey v.xv_gtx) with
   | Some outcome ->
       (* Already decided here: answer with a vote consistent with the
@@ -616,6 +649,15 @@ let process_cert_batch t (reqs : Types.cert_request list) =
                     }
                   in
                   if t.cfg.durable then begin
+                    Obs.Events.emit t.events
+                      (Obs.Events.Request_admitted
+                         {
+                           actor = t.node_id;
+                           part = t.partition;
+                           origin = req.replica;
+                           req_id = req.req_id;
+                           replica_version = req.replica_version;
+                         });
                     Overlay.add t.overlay entry;
                     Hashtbl.replace t.pending_replies version req;
                     Hashtbl.replace t.dur_spans version
@@ -626,6 +668,16 @@ let process_cert_batch t (reqs : Types.cert_request list) =
                   else begin
                     (* tashAPInoCERT: no disk write, apply and answer. *)
                     Cert_log.append t.clog entry;
+                    Obs.Events.emit t.events
+                      (Obs.Events.Log_append
+                         {
+                           actor = t.node_id;
+                           part = t.partition;
+                           version;
+                           origin = entry.origin;
+                           req_id = entry.req_id;
+                           cross = false;
+                         });
                     Hashtbl.replace t.decided entry.req_id version;
                     Stats.Counter.incr t.c_commits;
                     reply_commit t ~req ~version;
@@ -785,6 +837,9 @@ let send_commit_replies t (pending : (Types.cert_request * int) list) =
         | None -> ());
         remotes := { Types.version = v; ws = entry.ws; conflict_with } :: !remotes
       done;
+      emit_verdict t ~origin:req.replica ~req_id:req.req_id ~committed:true
+        ~version;
+      emit_ack t ~origin:req.replica ~req_id:req.req_id ~version;
       send t ~dst:req.replica
         (Types.Cert_reply
            {
@@ -823,12 +878,27 @@ let on_deliver_entry t (entry : Types.entry) =
     else entry
   in
   Cert_log.append t.clog entry;
+  Obs.Events.emit t.events
+    (Obs.Events.Log_append
+       {
+         actor = t.node_id;
+         part = t.partition;
+         version = entry.version;
+         origin = entry.origin;
+         req_id = entry.req_id;
+         cross = false;
+       });
   Hashtbl.replace t.decided entry.req_id entry.version;
   (* Replicated truncation: every certifier prunes from the stamp the
      leader folded at proposal time, in slot order — so the live window
      (and the base state behind it) is identical everywhere, including
      during crash-recovery redelivery. *)
+  let floor_before = Cert_log.floor t.clog in
   Cert_log.truncate t.clog ~upto:entry.gc_floor;
+  if Cert_log.floor t.clog > floor_before then
+    Obs.Events.emit t.events
+      (Obs.Events.Gc_floor
+         { actor = t.node_id; part = t.partition; floor = Cert_log.floor t.clog });
   (* Speculative state is keyed by the PROPOSED version. *)
   Overlay.remove t.overlay proposed;
   (match Hashtbl.find_opt t.dur_spans proposed with
@@ -874,6 +944,9 @@ let on_prepared t (gtx : Types.gtx_id) (fragments : Types.xfragment list) =
     xs.xs_vote <- Some vote;
     xs.xs_prepared_at <- Engine.now t.engine;
     Stats.Counter.incr t.c_xprepares;
+    Obs.Events.emit t.events
+      (Obs.Events.Prepared
+         { actor = t.node_id; part = t.partition; gtx = xkey gtx; vote });
     let gk = xkey gtx in
     (if vote then
        match own_fragment t xs with
@@ -899,6 +972,9 @@ let on_decision t (gtx : Types.gtx_id) ~commit =
     unpin t.pins gk;
     unpin t.pins_spec gk;
     xs.xs_decided <- true;
+    Obs.Events.emit t.events
+      (Obs.Events.Decision
+         { actor = t.node_id; part = t.partition; gtx = gk; committed = commit });
     (if commit then begin
        let frag =
          match own_fragment t xs with
@@ -920,6 +996,16 @@ let on_decision t (gtx : Types.gtx_id) ~commit =
          }
        in
        Cert_log.append t.clog entry;
+       Obs.Events.emit t.events
+         (Obs.Events.Log_append
+            {
+              actor = t.node_id;
+              part = t.partition;
+              version;
+              origin = entry.origin;
+              req_id = entry.req_id;
+              cross = true;
+            });
        Hashtbl.replace t.x_outcomes gk (Some version);
        Stats.Counter.incr t.c_xcommits;
        if is_leader t then
@@ -968,6 +1054,9 @@ let spawn_role_watch t =
            Engine.sleep t.engine (Time.of_ms 5.);
            let now_leader = is_leader t in
            if t.was_leader && not now_leader then begin
+             (* Speculative admissions die with leadership: the monitors'
+                outstanding-request window must not outlive them. *)
+             Obs.Events.emit t.events (Obs.Events.Actor_reset { actor = t.node_id });
              Overlay.clear t.overlay;
              Hashtbl.reset t.pending_replies;
              Hashtbl.reset t.dur_spans;
@@ -1058,6 +1147,7 @@ let create (env : Env.t) ~id:node_id ~peers ?(partition = 0) ?(directory = [])
     ?(config = default_config) () =
   let engine = env.Env.engine and net = env.Env.net in
   let metrics = env.Env.metrics and trace = env.Env.trace in
+  let events = env.Env.events in
   (* Private stream drawn from the env root, in construction order. *)
   let rng = Env.split_rng env in
   let counter name = Obs.Registry.counter metrics ("certifier." ^ node_id ^ "." ^ name) in
@@ -1104,6 +1194,7 @@ let create (env : Env.t) ~id:node_id ~peers ?(partition = 0) ?(directory = [])
         snapshot_reports = Hashtbl.create 8;
         gc_floor = 0;
         trace;
+        events;
         dur_spans = Hashtbl.create 64;
         c_requests = counter "requests";
         c_commits = counter "commits";
@@ -1224,6 +1315,7 @@ let create (env : Env.t) ~id:node_id ~peers ?(partition = 0) ?(directory = [])
 let crash ?wal_fault t =
   if t.up then begin
     t.up <- false;
+    Obs.Events.emit t.events (Obs.Events.Node_crash { actor = t.node_id });
     (* A dead node has no network presence: drop the endpoint (so in-flight
        and future sends to it vanish, and per-link FIFO floors are purged)
        and discard anything already queued. The mailbox object survives for
@@ -1262,6 +1354,7 @@ let recover t =
   if not t.up then begin
     Net.Network.reattach t.net t.node_id t.mailbox;
     t.up <- true;
+    Obs.Events.emit t.events (Obs.Events.Node_recover { actor = t.node_id });
     Paxos.Node.recover t.paxos_node
   end
 

@@ -125,14 +125,14 @@ let hosted_partitions cfg i =
   | Host_all -> List.init cfg.n_partitions Fun.id
   | Host_modulo -> [ i mod cfg.n_partitions ]
 
-let create ?engine ?metrics ?trace cfg =
+let create ?engine ?metrics ?trace ?events cfg =
   validate cfg;
   (* The environment replays the historical stream discipline: root rng
      from the seed, network on its first split, then one split per
      component in construction order (group 0's certifiers, group 1's,
      ..., then replicas). With one partition this is exactly the legacy
      order. *)
-  let env = Env.create ?engine ?metrics ?trace ~seed:cfg.seed () in
+  let env = Env.create ?engine ?metrics ?trace ?events ~seed:cfg.seed () in
   let group_ids =
     List.init cfg.n_partitions (fun g ->
         (g, List.init cfg.n_certifiers (certifier_name ~n_partitions:cfg.n_partitions g)))
@@ -183,6 +183,7 @@ let network t = t.the_env.Env.net
 let configuration t = t.cfg
 let metrics t = t.the_env.Env.metrics
 let trace t = t.the_env.Env.trace
+let events t = t.the_env.Env.events
 let replicas t = t.replica_nodes
 let replica t i = List.nth t.replica_nodes i
 let partitioner t = t.key_partitioner

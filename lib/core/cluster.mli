@@ -53,7 +53,13 @@ val config :
 
 type t
 
-val create : ?engine:Sim.Engine.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t -> config -> t
+val create :
+  ?engine:Sim.Engine.t ->
+  ?metrics:Obs.Registry.t ->
+  ?trace:Obs.Trace.t ->
+  ?events:Obs.Events.t ->
+  config ->
+  t
 (** Builds an {!Env.t} (network included) and the certifier groups and
     replicas inside it. Every component registers its metrics in [metrics]
     (a fresh registry when omitted) and records lifecycle spans into
@@ -82,6 +88,7 @@ val metrics : t -> Obs.Registry.t
 (** The shared registry all components registered into. *)
 
 val trace : t -> Obs.Trace.t
+val events : t -> Obs.Events.t
 (** The shared tracer ([Obs.Trace.disabled] unless one was passed in). *)
 
 val replicas : t -> Replica.t list

@@ -6,14 +6,18 @@ type t = {
   net : Types.message Net.Network.t;
   metrics : Obs.Registry.t;
   trace : Obs.Trace.t;
+  events : Obs.Events.t;
 }
 
-let make ~engine ~rng ~net ~metrics ~trace () = { engine; rng; net; metrics; trace }
+let make ?events ~engine ~rng ~net ~metrics ~trace () =
+  let events = Option.value ~default:(Obs.Events.disabled ()) events in
+  { engine; rng; net; metrics; trace; events }
 
-let create ?engine ?metrics ?trace ~seed () =
+let create ?engine ?metrics ?trace ?events ~seed () =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
   let trace = Option.value ~default:(Obs.Trace.disabled ()) trace in
+  let events = Option.value ~default:(Obs.Events.disabled ()) events in
   let rng = Rng.create seed in
   let net = Net.Network.create engine ~rng:(Rng.split rng) () in
   List.iter
@@ -23,12 +27,18 @@ let create ?engine ?metrics ?trace ~seed () =
       ("messages_delivered", fun () -> float_of_int (Net.Network.messages_delivered net));
       ("messages_dropped", fun () -> float_of_int (Net.Network.messages_dropped net));
     ];
-  { engine; rng; net; metrics; trace }
+  (* Span loss in the trace ring is otherwise silent: percentiles computed
+     from a wrapped ring under-report without any signal. Long soaks alert
+     on this gauge instead. *)
+  Obs.Registry.gauge metrics "trace.dropped" (fun () ->
+      float_of_int (Obs.Trace.dropped trace));
+  { engine; rng; net; metrics; trace; events }
 
 let engine t = t.engine
 let rng t = t.rng
 let net t = t.net
 let metrics t = t.metrics
 let trace t = t.trace
+let events t = t.events
 
 let split_rng t = Rng.split t.rng

@@ -16,21 +16,27 @@ type t = {
   net : Types.message Net.Network.t;
   metrics : Obs.Registry.t;
   trace : Obs.Trace.t;
+  events : Obs.Events.t;
+      (** typed protocol-event stream feeding {!Obs.Monitor}; disabled
+          unless the run opted in *)
 }
 
 val create :
   ?engine:Sim.Engine.t ->
   ?metrics:Obs.Registry.t ->
   ?trace:Obs.Trace.t ->
+  ?events:Obs.Events.t ->
   seed:int ->
   unit ->
   t
 (** Build a fresh environment: a root rng from [seed], a network on a split
-    of it, a fresh engine/registry unless provided, a disabled tracer
-    unless provided. Registers the [net.*] gauges in the registry (so pass
-    a given registry to at most one [create]). *)
+    of it, a fresh engine/registry unless provided, a disabled tracer and
+    event stream unless provided. Registers the [net.*] gauges and the
+    [trace.dropped] gauge in the registry (so pass a given registry to at
+    most one [create]). *)
 
 val make :
+  ?events:Obs.Events.t ->
   engine:Sim.Engine.t ->
   rng:Sim.Rng.t ->
   net:Types.message Net.Network.t ->
@@ -38,13 +44,15 @@ val make :
   trace:Obs.Trace.t ->
   unit ->
   t
-(** Bundle pre-built handles verbatim (no gauges registered). *)
+(** Bundle pre-built handles verbatim (no gauges registered; disabled
+    event stream unless provided). *)
 
 val engine : t -> Sim.Engine.t
 val rng : t -> Sim.Rng.t
 val net : t -> Types.message Net.Network.t
 val metrics : t -> Obs.Registry.t
 val trace : t -> Obs.Trace.t
+val events : t -> Obs.Events.t
 
 val split_rng : t -> Sim.Rng.t
 (** Derive an independent random stream for one component (advances the

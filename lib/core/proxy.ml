@@ -64,6 +64,7 @@ type t = {
   engine : Engine.t;
   cfg : config;
   address : string;
+  part : int;
   net : Types.message Net.Network.t;
   mailbox : Types.message Mailbox.t;
   database : Mvcc.Db.t;
@@ -96,7 +97,12 @@ type t = {
   mutable journal_x : (Types.gtx_id * int) list;
       (* cross-partition commits acked to this proxy: (gtx, local fragment
          version), newest first; same never-cleared contract as [journal] *)
+  mutable submit_seq : int;
+      (* client-transaction ids for the protocol-event stream: trace ids
+         are only fresh when tracing is on, so the progress monitor gets
+         its own counter *)
   trace : Obs.Trace.t;
+  events : Obs.Events.t;
   c_commits : Stats.Counter.t;
   c_cert_aborts : Stats.Counter.t;
   c_local_aborts : Stats.Counter.t;
@@ -118,6 +124,7 @@ type t = {
   c_ab_local_preempted : Stats.Counter.t;
   c_snapshot_installs : Stats.Counter.t;
   c_floor_heals : Stats.Counter.t;
+  c_bridge_heals : Stats.Counter.t;
 }
 
 let addr t = t.address
@@ -132,6 +139,33 @@ let journaled_cross_commits t = List.rev t.journal_x
 let tx_writeset w_tx = Mvcc.Db.writeset w_tx.db_tx
 let tx_start_version w_tx = w_tx.start_version
 let tx_trace_id w_tx = w_tx.trace_id
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-event emission (Obs.Monitor food).
+
+   [Ws_install] is only emitted for writesets that actually extend the
+   store: a version at or below the current one is an idempotent backfill
+   (a certifier failover re-answered a request whose writeset already
+   arrived through the remote stream), not a second install — the
+   serial-order monitor must not see it twice. The fresh/backfill test is
+   taken before the apply call, mirroring the branch the database itself
+   takes at announce time. *)
+
+let emit_install t ~version =
+  Obs.Events.emit t.events
+    (Obs.Events.Ws_install { actor = t.address; part = t.part; version })
+
+let emit_advance t =
+  if Obs.Events.enabled t.events then
+    Obs.Events.emit t.events
+      (Obs.Events.Snapshot_advance
+         {
+           actor = t.address;
+           part = t.part;
+           version = Mvcc.Db.current_version t.database;
+         })
+
+let fresh_install t ~version = version > Mvcc.Db.current_version t.database
 
 (* ------------------------------------------------------------------ *)
 (* Remote writeset application *)
@@ -192,8 +226,13 @@ let charge_apply_cpu t remotes =
 let apply_one_serial t (r : Types.remote_ws) =
   t.rv <- max t.rv r.version;
   charge_apply_cpu t [ r ];
+  let fresh = Obs.Events.enabled t.events && fresh_install t ~version:r.version in
   let order = Mvcc.Db.next_order t.database in
   apply_certified t ~version:r.version ~order r.ws;
+  if fresh then begin
+    emit_install t ~version:r.version;
+    emit_advance t
+  end;
   Stats.Counter.incr t.c_applied;
   Stats.Counter.incr t.c_batches
 
@@ -222,8 +261,15 @@ let apply_serial t remotes =
       let batch = List.map (fun (r : Types.remote_ws) -> (r.version, r.ws)) fresh in
       t.rv <- vmax;
       charge_apply_cpu t fresh;
+      let installs =
+        if Obs.Events.enabled t.events then
+          List.filter (fun (r : Types.remote_ws) -> fresh_install t ~version:r.version) fresh
+        else []
+      in
       let order = Mvcc.Db.next_order t.database in
       apply_batch_certified t ~batch ~order;
+      List.iter (fun (r : Types.remote_ws) -> emit_install t ~version:r.version) installs;
+      if installs <> [] then emit_advance t;
       Stats.Counter.add t.c_applied (List.length fresh);
       Stats.Counter.incr t.c_batches
 
@@ -253,7 +299,14 @@ let apply_concurrent t remotes =
              let sp = Obs.Trace.span t.trace ~stage:"apply" ~actor:t.address () in
              (match dep with Some div -> Ivar.read div | None -> ());
              charge_apply_cpu t [ r ];
+             let fresh =
+               Obs.Events.enabled t.events && fresh_install t ~version:r.version
+             in
              apply_certified t ~version:r.version ~order r.ws;
+             if fresh then begin
+               emit_install t ~version:r.version;
+               emit_advance t
+             end;
              Stats.Counter.incr t.c_applied;
              Stats.Counter.incr t.c_batches;
              Obs.Trace.finish t.trace sp;
@@ -287,7 +340,17 @@ let pool_submit_remote t pool ?trace_id ?on_published (r : Types.remote_ws) =
     Apply_pool.submit pool ~version:r.version ~ws:r.ws ?trace_id ?on_published
       ~exec:(fun () ->
         charge_apply_cpu t [ r ];
+        let fresh =
+          Obs.Events.enabled t.events && fresh_install t ~version:r.version
+        in
         apply_certified_parallel t ~version:r.version ~order r.ws;
+        if fresh then begin
+          emit_install t ~version:r.version;
+          (* The published prefix advances through the pool's contiguous
+             barrier, not at this worker's finish — report whatever is
+             visible now (monotone either way). *)
+          emit_advance t
+        end;
         Stats.Counter.incr t.c_applied;
         Stats.Counter.incr t.c_batches)
       ()
@@ -307,6 +370,7 @@ let pool_submit_local t pool reply w_tx done_ =
          let sp =
            Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"durability" ~actor:t.address ()
          in
+         let fresh = Obs.Events.enabled t.events && fresh_install t ~version in
          (match Mvcc.Db.commit_replicated_parallel w_tx.db_tx ~version ~order with
          | Ok () -> ()
          | Error _doomed ->
@@ -315,6 +379,10 @@ let pool_submit_local t pool reply w_tx done_ =
                 commit did not consume the order slot, so reuse it. *)
              Stats.Counter.incr t.c_preempted;
              apply_certified_parallel t ~version ~order ws);
+         if fresh then begin
+           emit_install t ~version;
+           emit_advance t
+         end;
          Obs.Trace.finish t.trace sp;
          Stats.Counter.incr t.c_commits)
        ())
@@ -337,14 +405,95 @@ let process_refresh_pool t pool ~trace_id remotes done_ =
   Stats.Counter.incr t.c_refreshes
 
 (* ------------------------------------------------------------------ *)
+(* Commit-reply bridging *)
+
+(* Turn a fetch reply into an applicable remote batch: absorb the
+   certifier's floor, and when the asked-for prefix had been truncated,
+   lead with the snapshot transfer. Shared by the idle [refresh] and the
+   commit-path [ensure_bridge] heal. *)
+let remotes_of_fetch t (fetch : Types.fetch_reply) =
+  Mvcc.Db.set_cluster_gc_floor t.database fetch.fetch_gc_floor;
+  match fetch.fetch_snapshot with
+  | Some snap when snap.snap_version > t.rv ->
+      Stats.Counter.incr t.c_snapshot_installs;
+      (* A state transfer is a legal version jump: tell the serial-order
+         monitor the prefix below it is settled. The snapshot itself still
+         rides the apply path as a writeset at [snap_version], hence the
+         [- 1] — that install is the one version above the rebased floor. *)
+      Obs.Events.emit t.events
+        (Obs.Events.Snapshot_load
+           { actor = t.address; part = t.part; version = snap.snap_version - 1 });
+      snapshot_remote snap :: fetch.fetch_remotes
+  | Some _ | None -> fetch.fetch_remotes
+
+let apply_fetched t remotes =
+  match t.pool with
+  | Some pool ->
+      let done_ = Ivar.create t.engine () in
+      let fresh = fresh_remotes t remotes in
+      let n = List.length fresh in
+      List.iteri
+        (fun i r ->
+          let on_published =
+            if i = n - 1 then Some (fun () -> Ivar.fill done_ ()) else None
+          in
+          ignore (pool_submit_remote t pool ?on_published r))
+        fresh;
+      if n > 0 then Ivar.read done_
+  | None -> apply_serial t remotes
+
+(* A commit reply is only sound if it is self-contained: its composed
+   remotes must bridge every version between this replica's applied prefix
+   and the commit version, because installing the commit advances [rv]
+   over that whole range. One schedule breaks the bridge: the certifier
+   re-answers a retried request from its decided table, but the log
+   entries between the replica's version and the decided version were
+   truncated while the replica was partitioned (its watermark report went
+   stale and the GC floor passed it), so [compose_remotes] silently comes
+   up short. Installing anyway would advance [rv] over a hole no later
+   refresh can fill ([fetch] only asks from [rv] up) — permanent silent
+   divergence. Heal before installing: fetch from [rv], which answers a
+   truncated prefix with a snapshot transfer — exactly the missing state. *)
+let bridged t (reply : Types.cert_reply) =
+  reply.commit_version <= t.rv + 1
+  || List.length
+       (List.filter
+          (fun (r : Types.remote_ws) ->
+            r.version > t.rv && r.version < reply.commit_version)
+          reply.remotes)
+     = reply.commit_version - t.rv - 1
+
+let ensure_bridge t (reply : Types.cert_reply) =
+  if not (bridged t reply) then begin
+    Stats.Counter.incr t.c_bridge_heals;
+    let rec loop () =
+      if (not t.paused) && not (bridged t reply) then begin
+        (match
+           Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv
+             ~oldest_snapshot:(Mvcc.Db.oldest_active_snapshot t.database)
+         with
+        | Some fetch -> apply_fetched t (remotes_of_fetch t fetch)
+        | None -> Engine.sleep t.engine (Time.of_ms 5.));
+        loop ()
+      end
+    in
+    loop ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The applier fiber: consumes certifier replies in version order. *)
 
 let finish_local_commit t w_tx ~version ~order done_ =
   (* The durability stage: where Base pays its serialized commit fsync and
      MW commits in memory — the gap the paper's Figure 7 turns on. *)
   let sp = Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"durability" ~actor:t.address () in
+  let fresh = Obs.Events.enabled t.events && fresh_install t ~version in
   match Mvcc.Db.commit_replicated w_tx.db_tx ~version ~order with
   | Ok () ->
+      if fresh then begin
+        emit_install t ~version;
+        emit_advance t
+      end;
       Obs.Trace.finish t.trace sp;
       Stats.Counter.incr t.c_commits;
       Ivar.fill done_ (Ok ())
@@ -363,6 +512,10 @@ let finish_local_commit t w_tx ~version ~order done_ =
       let ws = Mvcc.Db.writeset w_tx.db_tx in
       let order = Mvcc.Db.next_order t.database in
       apply_certified t ~version ~order ws;
+      if fresh then begin
+        emit_install t ~version;
+        emit_advance t
+      end;
       Obs.Trace.finish t.trace sp;
       Stats.Counter.incr t.c_commits;
       Ivar.fill done_ (Ok ())
@@ -395,6 +548,7 @@ let spawn_applier t =
         let rec loop () =
           (match Mailbox.recv t.work with
           | Commit_reply { reply; w_tx; done_ } -> (
+              ensure_bridge t reply;
               match t.pool with
               | Some pool -> process_commit_pool t pool reply w_tx done_
               | None -> (
@@ -465,15 +619,8 @@ let refresh t =
        Cert_client.fetch t.client ~replica:t.address ~from_version:t.rv
          ~oldest_snapshot:(Mvcc.Db.oldest_active_snapshot t.database)
      with
-    | Some { fetch_remotes; fetch_gc_floor; fetch_snapshot; _ } when t.inflight = 0 ->
-        Mvcc.Db.set_cluster_gc_floor t.database fetch_gc_floor;
-        let remotes =
-          match fetch_snapshot with
-          | Some snap when snap.snap_version > t.rv ->
-              Stats.Counter.incr t.c_snapshot_installs;
-              snapshot_remote snap :: fetch_remotes
-          | Some _ | None -> fetch_remotes
-        in
+    | Some fetch when t.inflight = 0 ->
+        let remotes = remotes_of_fetch t fetch in
         let done_ = Ivar.create t.engine () in
         Mailbox.send t.work (Refresh_batch { remotes; trace_id; done_ });
         Ivar.read done_
@@ -528,6 +675,10 @@ let commit t w_tx =
           t.inflight <- t.inflight + 1;
           t.last_activity <- Engine.now t.engine;
           let incarnation = t.incarnation in
+          t.submit_seq <- t.submit_seq + 1;
+          let txid = t.submit_seq in
+          Obs.Events.emit t.events
+            (Obs.Events.Tx_submitted { actor = t.address; tx = txid });
           let sp_txn =
             Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"txn.commit" ~actor:t.address ()
           in
@@ -573,6 +724,8 @@ let commit t w_tx =
                touching any state here would corrupt the revived proxy.
                Drop the reply on the floor and report preemption. *)
             Obs.Trace.finish t.trace sp_txn;
+            Obs.Events.emit t.events
+              (Obs.Events.Tx_resolved { actor = t.address; tx = txid; committed = false });
             record_local_abort t Mvcc.Db.Preempted;
             Error (Local_abort Mvcc.Db.Preempted)
           end
@@ -594,6 +747,9 @@ let commit t w_tx =
             in
             Obs.Trace.finish t.trace sp_txn;
             t.inflight <- t.inflight - 1;
+            Obs.Events.emit t.events
+              (Obs.Events.Tx_resolved
+                 { actor = t.address; tx = txid; committed = Result.is_ok result });
             (match result with
             | Error (Cert_abort _) when reply.gc_floor > t.rv ->
                 heal_below_floor t ~floor:reply.gc_floor
@@ -628,6 +784,10 @@ let commit_cross t w_tx ~gtx ~(fragments : Types.xfragment list) =
         t.inflight <- t.inflight + 1;
         t.last_activity <- Engine.now t.engine;
         let incarnation = t.incarnation in
+        t.submit_seq <- t.submit_seq + 1;
+        let txid = t.submit_seq in
+        Obs.Events.emit t.events
+          (Obs.Events.Tx_submitted { actor = t.address; tx = txid });
         let sp_txn =
           Obs.Trace.span t.trace ~id:w_tx.trace_id ~stage:"txn.commit" ~actor:t.address ()
         in
@@ -672,6 +832,8 @@ let commit_cross t w_tx ~gtx ~(fragments : Types.xfragment list) =
              decision itself is not lost: if the group committed the
              fragment, refresh picks it up like any other remote. *)
           Obs.Trace.finish t.trace sp_txn;
+          Obs.Events.emit t.events
+            (Obs.Events.Tx_resolved { actor = t.address; tx = txid; committed = false });
           record_local_abort t Mvcc.Db.Preempted;
           Error (Local_abort Mvcc.Db.Preempted)
         end
@@ -693,6 +855,9 @@ let commit_cross t w_tx ~gtx ~(fragments : Types.xfragment list) =
           in
           Obs.Trace.finish t.trace sp_txn;
           t.inflight <- t.inflight - 1;
+          Obs.Events.emit t.events
+            (Obs.Events.Tx_resolved
+               { actor = t.address; tx = txid; committed = Result.is_ok result });
           (match result with
           | Error (Cert_abort _) when reply.gc_floor > t.rv ->
               heal_below_floor t ~floor:reply.gc_floor
@@ -719,10 +884,11 @@ let spawn_refresher t bound =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
-let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_base
-    ?config () =
+let create (env : Env.t) ~addr:address ?(part = 0) ~db:database ~cpu ~certifiers
+    ~req_id_base ?config () =
   let engine = env.Env.engine and net = env.Env.net in
   let metrics = env.Env.metrics and trace = env.Env.trace in
+  let events = env.Env.events in
   let cfg = Option.value ~default:(default_config Types.Base) config in
   if cfg.apply_workers < 1 then
     invalid_arg "Proxy.create: apply_workers must be >= 1";
@@ -750,6 +916,7 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
       engine;
       cfg;
       address;
+      part;
       net;
       mailbox;
       database;
@@ -773,7 +940,9 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
       journaling = false;
       journal = [];
       journal_x = [];
+      submit_seq = 0;
       trace;
+      events;
       c_commits = counter "commits";
       c_cert_aborts = counter "cert_aborts";
       c_local_aborts = counter "local_aborts";
@@ -792,6 +961,7 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
       c_ab_local_preempted = counter "abort.local_preempted";
       c_snapshot_installs = counter "snapshot_installs";
       c_floor_heals = counter "floor_heals";
+      c_bridge_heals = counter "bridge_heals";
     }
   in
   (* Reply dispatcher: long-lived, routes certifier messages to waiters. *)
@@ -809,6 +979,10 @@ let create (env : Env.t) ~addr:address ~db:database ~cpu ~certifiers ~req_id_bas
 let pause t =
   t.paused <- true;
   t.incarnation <- t.incarnation + 1;
+  (* Client fibers are cancelled by the host replica: their submitted
+     transactions will never resolve, which the progress monitor must not
+     count against the run. *)
+  Obs.Events.emit t.events (Obs.Events.Actor_reset { actor = t.address });
   (* The replica cancels its client fibers before pausing; any of them that
      died between the inflight increment and decrement in [commit] will
      never decrement, which would disable [refresh] forever after resume. *)
@@ -863,6 +1037,7 @@ let apply_parallelism t =
 
 let snapshot_installs t = Stats.Counter.value t.c_snapshot_installs
 let floor_heals t = Stats.Counter.value t.c_floor_heals
+let bridge_heals t = Stats.Counter.value t.c_bridge_heals
 
 let reset_stats t =
   Stats.Counter.reset t.c_commits;
@@ -882,4 +1057,5 @@ let reset_stats t =
   Stats.Counter.reset t.c_preempted;
   Stats.Counter.reset t.c_invariant;
   Stats.Counter.reset t.c_snapshot_installs;
-  Stats.Counter.reset t.c_floor_heals
+  Stats.Counter.reset t.c_floor_heals;
+  Stats.Counter.reset t.c_bridge_heals

@@ -56,6 +56,7 @@ type t
 val create :
   Env.t ->
   addr:string ->
+  ?part:int ->
   db:Mvcc.Db.t ->
   cpu:Sim.Resource.t ->
   certifiers:string list ->
@@ -75,7 +76,13 @@ val create :
     transaction gets a trace id at {!begin_tx} and the proxy records
     [txn.commit], [certify], [durability], [apply] (or
     [apply.wait]/[apply.exec] under a parallel applier) and [backfill]
-    spans on the sim clock (taxonomy in DESIGN.md §10).
+    spans on the sim clock (taxonomy in DESIGN.md §10). With a live
+    [env.events], the proxy feeds the protocol-event stream —
+    [Tx_submitted]/[Tx_resolved] around every certified commit,
+    [Ws_install]/[Snapshot_advance] at each store-extending install,
+    [Snapshot_load] when a refresh answers with a full state transfer,
+    and [Actor_reset] on {!pause} — tagged with partition [part]
+    (default 0, the single-partition layout).
 
     @raise Invalid_argument if [config.apply_workers < 1]. *)
 
@@ -220,6 +227,17 @@ val floor_heals : t -> int
     snapshot-too-old, the abort traffic keeps the idle refresher from ever
     firing, and its frozen report pins the cluster floor forever. Also
     exported as [proxy.<addr>.floor_heals]. *)
+
+val bridge_heals : t -> int
+(** Times a commit reply arrived whose composed remotes did not bridge
+    every version between this replica's applied prefix and the commit
+    version, forcing a fetch (usually answered with a state transfer)
+    before the install. The schedule that produces such a reply: the
+    certifier re-answers a retried, already-decided request after the GC
+    floor passed the replica's stale watermark, so the bridging log
+    entries are gone. Installing without the heal would advance the
+    replica over a permanent hole — silent divergence. Also exported as
+    [proxy.<addr>.bridge_heals]. *)
 
 val reset_stats : t -> unit
 (** Zero this proxy's counters only. When the proxy shares a registry with

@@ -71,6 +71,7 @@ type part = {
 type t = {
   engine : Engine.t;
   rng : Rng.t;
+  events : Obs.Events.t;
   label : string;
   cfg : config;
   n_partitions : int;
@@ -244,8 +245,8 @@ let create (env : Env.t) ~name:label ~n_partitions ~groups ~config:cfg () =
             ~name:(plabel ^ ".db") ()
         in
         let part_proxy =
-          Proxy.create env ~addr:plabel ~db:database ~cpu:cpu_resource
-            ~certifiers ~req_id_base ~config:proxy_config ()
+          Proxy.create env ~addr:plabel ~part:part_id ~db:database
+            ~cpu:cpu_resource ~certifiers ~req_id_base ~config:proxy_config ()
         in
         { part_id; database; part_proxy; dumps = Storage.Dump_store.create () })
       groups
@@ -258,6 +259,7 @@ let create (env : Env.t) ~name:label ~n_partitions ~groups ~config:cfg () =
     {
       engine;
       rng;
+      events = Env.events env;
       label;
       cfg;
       n_partitions;
@@ -318,8 +320,17 @@ let create (env : Env.t) ~name:label ~n_partitions ~groups ~config:cfg () =
 (* ------------------------------------------------------------------ *)
 (* Crash and recovery *)
 
+let part_actor t p = part_label ~label:t.label ~n_partitions:t.n_partitions p.part_id
+
 let crash t =
   t.up <- false;
+  (* Each hosted partition proxy is its own protocol actor: its store view
+     and any client work die here; recovery re-seeds the view with the
+     Snapshot_load below. *)
+  List.iter
+    (fun p ->
+      Obs.Events.emit t.events (Obs.Events.Node_crash { actor = part_actor t p }))
+    t.parts;
   List.iter (fun fiber -> Engine.cancel t.engine fiber) t.clients;
   t.clients <- [];
   (* Cross-partition commits in flight through the session become orphans
@@ -384,7 +395,18 @@ let recover t =
   List.iter
     (fun p ->
       Proxy.reconnect p.part_proxy;
-      Proxy.resume p.part_proxy)
+      Proxy.resume p.part_proxy;
+      Obs.Events.emit t.events
+        (Obs.Events.Node_recover { actor = part_actor t p });
+      (* The restored store (dump or redo) is the new baseline; everything
+         the replica missed arrives as installs above it via refresh. *)
+      Obs.Events.emit t.events
+        (Obs.Events.Snapshot_load
+           {
+             actor = part_actor t p;
+             part = p.part_id;
+             version = Mvcc.Db.current_version p.database;
+           }))
     t.parts;
   let restore_done = Engine.now t.engine in
   (* Fetch and apply everything missed while down (proxy_log replay),

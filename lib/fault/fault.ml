@@ -11,6 +11,49 @@ let pp_cert_target fmt = function
   | None -> Format.pp_print_string fmt "leader"
   | Some i -> Format.fprintf fmt "cert%d" i
 
+(* Message classes a tap rule can match — the protocol messages whose
+   precise reordering has historically hidden bugs. *)
+type msg_class =
+  | M_cert_request
+  | M_cert_reply
+  | M_fetch_reply
+  | M_xcert_request
+  | M_xvote
+  | M_paxos_prepare
+  | M_paxos_accept
+  | M_paxos_accept_ok
+  | M_paxos_commit
+  | M_paxos_heartbeat
+
+let msg_class_name = function
+  | M_cert_request -> "cert-request"
+  | M_cert_reply -> "cert-reply"
+  | M_fetch_reply -> "fetch-reply"
+  | M_xcert_request -> "xcert-request"
+  | M_xvote -> "xvote"
+  | M_paxos_prepare -> "paxos-prepare"
+  | M_paxos_accept -> "paxos-accept"
+  | M_paxos_accept_ok -> "paxos-accept-ok"
+  | M_paxos_commit -> "paxos-commit"
+  | M_paxos_heartbeat -> "paxos-heartbeat"
+
+let pp_msg_class fmt c = Format.pp_print_string fmt (msg_class_name c)
+
+let msg_class_matches cls (msg : Tashkent.Types.message) =
+  match (cls, msg) with
+  | M_cert_request, Tashkent.Types.Cert_request _
+  | M_cert_reply, Tashkent.Types.Cert_reply _
+  | M_fetch_reply, Tashkent.Types.Fetch_reply _
+  | M_xcert_request, Tashkent.Types.Xcert_request _
+  | M_xvote, Tashkent.Types.Xvote _
+  | M_paxos_prepare, Tashkent.Types.Paxos (Paxos.Node.Prepare _)
+  | M_paxos_accept, Tashkent.Types.Paxos (Paxos.Node.Accept _)
+  | M_paxos_accept_ok, Tashkent.Types.Paxos (Paxos.Node.Accept_ok _)
+  | M_paxos_commit, Tashkent.Types.Paxos (Paxos.Node.Commit _)
+  | M_paxos_heartbeat, Tashkent.Types.Paxos (Paxos.Node.Heartbeat _) ->
+      true
+  | _ -> false
+
 type action =
   | Partition of node list * node list
   | Heal of node list * node list
@@ -29,20 +72,38 @@ type action =
   | Disk_degrade of { cert : int option; factor : float; duration : Time.t }
   | Torn_crash of { cert : int option }
   | Corrupt_tail of { cert : int option }
+  | Delay_msg of {
+      cls : msg_class;
+      src : node option;
+      dst : node option;
+      nth : int;
+      extra : Time.t;
+    }
+  | Drop_msg of { cls : msg_class; src : node option; dst : node option; nth : int }
+  | Crash_on_msg of {
+      cls : msg_class;
+      src : node option;
+      dst : node option;
+      nth : int;
+      victim : node;
+    }
+
+let pp_endpoint fmt = function
+  | None -> Format.pp_print_string fmt "*"
+  | Some n -> pp_node fmt n
+
+(* A literal space, not [pp_print_space]: the break hint turns into a
+   newline outside an enclosing box, and action lines are repro artifacts
+   that must stay one line wherever they are printed. *)
+let pp_nodes fmt nodes =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ' ')
+    pp_node fmt nodes
 
 let pp_action fmt = function
   | Partition (g1, g2) ->
-      Format.fprintf fmt "partition {%a} | {%a}"
-        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
-        g1
-        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
-        g2
-  | Heal (g1, g2) ->
-      Format.fprintf fmt "heal {%a} | {%a}"
-        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
-        g1
-        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_node)
-        g2
+      Format.fprintf fmt "partition {%a} | {%a}" pp_nodes g1 pp_nodes g2
+  | Heal (g1, g2) -> Format.fprintf fmt "heal {%a} | {%a}" pp_nodes g1 pp_nodes g2
   | Heal_all -> Format.pp_print_string fmt "heal-all"
   | Drop_burst { rate; duration } ->
       Format.fprintf fmt "drop-burst %.2f for %a" rate Time.pp duration
@@ -65,6 +126,15 @@ let pp_action fmt = function
         Time.pp duration
   | Torn_crash { cert } -> Format.fprintf fmt "torn-crash %a" pp_cert_target cert
   | Corrupt_tail { cert } -> Format.fprintf fmt "corrupt-tail %a" pp_cert_target cert
+  | Delay_msg { cls; src; dst; nth; extra } ->
+      Format.fprintf fmt "delay-msg %a#%d %a->%a +%a" pp_msg_class cls nth
+        pp_endpoint src pp_endpoint dst Time.pp extra
+  | Drop_msg { cls; src; dst; nth } ->
+      Format.fprintf fmt "drop-msg %a#%d %a->%a" pp_msg_class cls nth pp_endpoint
+        src pp_endpoint dst
+  | Crash_on_msg { cls; src; dst; nth; victim } ->
+      Format.fprintf fmt "crash-on-msg %a#%d %a->%a kill %a" pp_msg_class cls nth
+        pp_endpoint src pp_endpoint dst pp_node victim
 
 type plan = (Time.t * action) list
 
@@ -80,12 +150,31 @@ type stats = {
   disk_degrades : int;
   torn_crashes : int;
   corrupt_tails : int;
+  msg_taps_armed : int;
+  msg_taps_fired : int;
+}
+
+(* An armed message-tap rule: counts matching sends down from [nth] and
+   fires its effect exactly once on the [nth]-th match. *)
+type tap_effect = Tap_drop | Tap_delay of Time.t | Tap_crash of node
+
+type tap_rule = {
+  rule_cls : msg_class;
+  rule_src : string option;
+  rule_dst : string option;
+  mutable rule_nth : int;
+  rule_eff : tap_effect;
 }
 
 type t = {
   engine : Engine.t;
   cluster : Tashkent.Cluster.t;
   net : Tashkent.Types.message Net.Network.t;
+  events : Obs.Events.t;
+  (* Armed {!tap_rule}s; the injector owns the network's single message
+     tap while this list is non-empty. *)
+  mutable rules : tap_rule list;
+  mutable last_healthy : bool;
   (* Undirected address pairs currently cut / spiked by this injector, so
      Heal / Heal_all can undo exactly what was done. *)
   mutable cut : (string * string) list;
@@ -114,6 +203,8 @@ type t = {
   c_disk_degrades : int ref;
   c_torn : int ref;
   c_corrupt : int ref;
+  c_taps_armed : int ref;
+  c_taps_fired : int ref;
 }
 
 let addr t = function
@@ -180,6 +271,107 @@ let crash_with_wal_fault t ~counter ~wal_fault ~was_leader_target i =
     Tashkent.Certifier.crash ~wal_fault c
   end
 
+let is_quiescent t =
+  t.outstanding = 0 && t.cut = [] && t.spiked = [] && t.crashed_leaders = []
+  && t.crashed_group_leaders = [] && t.crashed_nodes = 0
+  && t.stalled_disks = [] && t.degraded_disks = [] && t.rules = []
+  && Net.Network.drop_rate t.net = 0.
+
+(* Health transitions for the progress monitor: [healthy = true] marks the
+   moment every injected fault has healed, restarting its clock. Emitted
+   only on transitions, never per message. *)
+let note_health t =
+  let h = is_quiescent t in
+  if h <> t.last_healthy then begin
+    t.last_healthy <- h;
+    Obs.Events.emit t.events (Obs.Events.Fault_health { healthy = h })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Targeted message taps: precise, schedule-exploration faults. A rule
+   counts sends matching its (class, src, dst) filter and fires exactly
+   once on the nth match. The injector owns the network's single tap
+   while any rule is armed; with no rules the tap is uninstalled, so an
+   idle injector leaves [send] on its zero-cost path. *)
+
+let crash_victim t = function
+  | Cert i ->
+      let c = certifier_at t i in
+      if Tashkent.Certifier.is_up c then begin
+        incr t.c_crashes;
+        t.crashed_nodes <- t.crashed_nodes + 1;
+        Tashkent.Certifier.crash c
+      end
+  | Rep i ->
+      let r = Tashkent.Cluster.replica t.cluster i in
+      if Tashkent.Replica.is_up r then begin
+        incr t.c_crashes;
+        t.crashed_nodes <- t.crashed_nodes + 1;
+        Tashkent.Replica.crash r
+      end
+
+let tap_callback t ~src ~dst msg =
+  let drop = ref false and delay = ref Time.zero in
+  let crash_scheduled = ref false in
+  List.iter
+    (fun r ->
+      let src_ok =
+        match r.rule_src with None -> true | Some a -> String.equal a src
+      in
+      let dst_ok =
+        match r.rule_dst with None -> true | Some a -> String.equal a dst
+      in
+      if src_ok && dst_ok && msg_class_matches r.rule_cls msg then begin
+        r.rule_nth <- r.rule_nth - 1;
+        if r.rule_nth = 0 then begin
+          incr t.c_taps_fired;
+          match r.rule_eff with
+          | Tap_drop -> drop := true
+          | Tap_delay extra -> delay := Time.add !delay extra
+          | Tap_crash victim ->
+              (* Crashing inside [send] would re-enter the network (a
+                 crash purges the victim's links); defer to the next
+                 engine step at the same sim time. *)
+              crash_scheduled := true;
+              Engine.schedule_after t.engine Time.zero (fun () ->
+                  ignore
+                    (Engine.spawn t.engine ~name:"fault.tap-crash" (fun () ->
+                         crash_victim t victim;
+                         note_health t)))
+        end
+      end)
+    t.rules;
+  let live = List.filter (fun r -> r.rule_nth <> 0) t.rules in
+  if List.length live <> List.length t.rules then begin
+    t.rules <- live;
+    if t.rules = [] then Net.Network.set_tap t.net None;
+    (* A fired crash makes the cluster unhealthy in the very next step:
+       announcing "healed" in between would only confuse the monitors. *)
+    if not !crash_scheduled then note_health t
+  end;
+  if !drop then Net.Network.Drop
+  else if Time.is_zero !delay then Net.Network.Pass
+  else Net.Network.Delay !delay
+
+let arm_rule t ~cls ~src ~dst ~nth eff =
+  if nth < 1 then invalid_arg "Fault: tap rule nth must be >= 1";
+  incr t.c_taps_armed;
+  let resolve = Option.map (fun n -> addr t n) in
+  let r =
+    {
+      rule_cls = cls;
+      rule_src = resolve src;
+      rule_dst = resolve dst;
+      rule_nth = nth;
+      rule_eff = eff;
+    }
+  in
+  let install = t.rules = [] in
+  t.rules <- t.rules @ [ r ];
+  if install then
+    Net.Network.set_tap t.net
+      (Some (fun ~src ~dst msg -> tap_callback t ~src ~dst msg))
+
 (* Apply one action. Runs inside its own fiber: timed faults sleep here
    until their revert, and replica recovery blocks on restore + replay. *)
 let apply t action =
@@ -196,7 +388,13 @@ let apply t action =
       List.iter Storage.Disk.clear_stall t.stalled_disks;
       t.stalled_disks <- [];
       List.iter Storage.Disk.clear_degrade t.degraded_disks;
-      t.degraded_disks <- []
+      t.degraded_disks <- [];
+      (* Disarm tap rules that never reached their nth match, so a plan
+         whose targeted message never flowed still converges. *)
+      if t.rules <> [] then begin
+        t.rules <- [];
+        Net.Network.set_tap t.net None
+      end
   | Drop_burst { rate; duration } ->
       incr t.c_bursts;
       Net.Network.set_drop_rate t.net rate;
@@ -211,9 +409,14 @@ let apply t action =
       Net.Network.restore_link t.net a b;
       t.spiked <- List.filter (fun p -> not (pair_eq (a, b) p)) t.spiked
   | Crash_certifier i ->
-      incr t.c_crashes;
-      t.crashed_nodes <- t.crashed_nodes + 1;
-      Tashkent.Certifier.crash (certifier_at t i)
+      (* Guarded for the same reason as the recover below: a plan edited
+         by the explore shrinker may crash a node that is already down. *)
+      let c = certifier_at t i in
+      if Tashkent.Certifier.is_up c then begin
+        incr t.c_crashes;
+        t.crashed_nodes <- t.crashed_nodes + 1;
+        Tashkent.Certifier.crash c
+      end
   | Recover_certifier i ->
       (* Guarded so a recover whose paired crash no-oped (the victim was
          already down) cannot drive crashed_nodes negative and wedge
@@ -266,13 +469,23 @@ let apply t action =
           t.crashed_nodes <- t.crashed_nodes - 1;
           Tashkent.Certifier.recover (certifier_at t i))
   | Crash_replica i ->
-      incr t.c_crashes;
-      t.crashed_nodes <- t.crashed_nodes + 1;
-      Tashkent.Replica.crash (Tashkent.Cluster.replica t.cluster i)
+      (* Guarded like the certifier pair: shrunk/hand-written plans may
+         carry a crash or recover whose partner was edited out, and a
+         double crash (or a recover of an up replica) must be a no-op, not
+         a crashed_nodes miscount or a network reattach error. *)
+      let r = Tashkent.Cluster.replica t.cluster i in
+      if Tashkent.Replica.is_up r then begin
+        incr t.c_crashes;
+        t.crashed_nodes <- t.crashed_nodes + 1;
+        Tashkent.Replica.crash r
+      end
   | Recover_replica i ->
-      incr t.c_recoveries;
-      t.crashed_nodes <- t.crashed_nodes - 1;
-      ignore (Tashkent.Replica.recover (Tashkent.Cluster.replica t.cluster i))
+      let r = Tashkent.Cluster.replica t.cluster i in
+      if not (Tashkent.Replica.is_up r) then begin
+        incr t.c_recoveries;
+        t.crashed_nodes <- t.crashed_nodes - 1;
+        ignore (Tashkent.Replica.recover r)
+      end
   | Disk_stall { cert; extra; duration } -> (
       match resolve_cert t cert with
       | None -> ()
@@ -306,9 +519,15 @@ let apply t action =
       | None -> ()
       | Some i ->
           crash_with_wal_fault t ~counter:t.c_corrupt
-            ~wal_fault:Paxos.Node.Corrupt_tail ~was_leader_target:(cert = None) i));
+            ~wal_fault:Paxos.Node.Corrupt_tail ~was_leader_target:(cert = None) i)
+  | Delay_msg { cls; src; dst; nth; extra } ->
+      arm_rule t ~cls ~src ~dst ~nth (Tap_delay extra)
+  | Drop_msg { cls; src; dst; nth } -> arm_rule t ~cls ~src ~dst ~nth Tap_drop
+  | Crash_on_msg { cls; src; dst; nth; victim } ->
+      arm_rule t ~cls ~src ~dst ~nth (Tap_crash victim));
   t.applied <- t.applied + 1;
-  t.outstanding <- t.outstanding - 1
+  t.outstanding <- t.outstanding - 1;
+  note_health t
 
 let inject cluster plan =
   let engine = Tashkent.Cluster.engine cluster in
@@ -317,6 +536,9 @@ let inject cluster plan =
       engine;
       cluster;
       net = Tashkent.Cluster.network cluster;
+      events = Tashkent.Cluster.events cluster;
+      rules = [];
+      last_healthy = true;
       cut = [];
       spiked = [];
       crashed_leaders = [];
@@ -336,8 +558,12 @@ let inject cluster plan =
       c_disk_degrades = ref 0;
       c_torn = ref 0;
       c_corrupt = ref 0;
+      c_taps_armed = ref 0;
+      c_taps_fired = ref 0;
     }
   in
+  (* A non-empty plan makes the run unhealthy until everything heals. *)
+  note_health t;
   let plan = List.sort (fun (a, _) (b, _) -> Time.compare a b) plan in
   let start = Engine.now engine in
   ignore
@@ -367,6 +593,8 @@ let stats t =
     disk_degrades = !(t.c_disk_degrades);
     torn_crashes = !(t.c_torn);
     corrupt_tails = !(t.c_corrupt);
+    msg_taps_armed = !(t.c_taps_armed);
+    msg_taps_fired = !(t.c_taps_fired);
   }
 
 let register_metrics t reg =
@@ -382,13 +610,11 @@ let register_metrics t reg =
   g "disk_degrades" (fun () -> float_of_int !(t.c_disk_degrades));
   g "torn_crashes" (fun () -> float_of_int !(t.c_torn));
   g "corrupt_tails" (fun () -> float_of_int !(t.c_corrupt));
+  g "msg_taps_armed" (fun () -> float_of_int !(t.c_taps_armed));
+  g "msg_taps_fired" (fun () -> float_of_int !(t.c_taps_fired));
   g "outstanding" (fun () -> float_of_int t.outstanding)
 
-let quiescent t =
-  t.outstanding = 0 && t.cut = [] && t.spiked = [] && t.crashed_leaders = []
-  && t.crashed_group_leaders = [] && t.crashed_nodes = 0
-  && t.stalled_disks = [] && t.degraded_disks = []
-  && Net.Network.drop_rate t.net = 0.
+let quiescent = is_quiescent
 
 (* ------------------------------------------------------------------ *)
 (* Seeded random plans *)

@@ -30,6 +30,27 @@ type node = Cert of int | Rep of int
 
 val pp_node : Format.formatter -> node -> unit
 
+(** Protocol-message classes a targeted tap rule ({!Delay_msg},
+    {!Drop_msg}, {!Crash_on_msg}) can match at the network layer. *)
+type msg_class =
+  | M_cert_request  (** proxy → certifier single-partition certification *)
+  | M_cert_reply  (** certifier → proxy verdict (the durable ack) *)
+  | M_fetch_reply  (** certifier → proxy refresh/backfill answer *)
+  | M_xcert_request  (** proxy → certifier cross-partition fragment *)
+  | M_xvote  (** leader → leader cross-partition vote gossip *)
+  | M_paxos_prepare
+  | M_paxos_accept
+  | M_paxos_accept_ok  (** the acceptor ack that completes a majority *)
+  | M_paxos_commit
+  | M_paxos_heartbeat
+
+val pp_msg_class : Format.formatter -> msg_class -> unit
+val msg_class_name : msg_class -> string
+
+val msg_class_matches : msg_class -> Tashkent.Types.message -> bool
+(** Whether a concrete wire message belongs to the class (exposed for
+    tests). *)
+
 type action =
   | Partition of node list * node list
       (** Cut every link between the two groups (both directions). *)
@@ -79,6 +100,31 @@ type action =
       (** Crash the target certifier and corrupt the newest durable WAL
           record, so its checksum fails at recovery. Victim handling as in
           {!Torn_crash}. *)
+  | Delay_msg of {
+      cls : msg_class;
+      src : node option;  (** [None] matches any sender *)
+      dst : node option;  (** [None] matches any receiver *)
+      nth : int;  (** 1-based: fire on the nth matching send after arming *)
+      extra : Sim.Time.t;
+    }
+      (** Arm a tap that delays exactly the [nth] message matching
+          [(cls, src, dst)] by [extra] — e.g. the decisive Paxos
+          accept-ack. Per-link FIFO still applies, so later messages on
+          the same link queue behind it (a stalled TCP connection). *)
+  | Drop_msg of { cls : msg_class; src : node option; dst : node option; nth : int }
+      (** Arm a tap that drops exactly the [nth] matching message — e.g.
+          the Nth cross-partition vote. *)
+  | Crash_on_msg of {
+      cls : msg_class;
+      src : node option;
+      dst : node option;
+      nth : int;
+      victim : node;
+    }
+      (** Crash [victim] at the instant the [nth] matching message is
+          sent (the message itself still flows) — e.g. a certifier
+          between appending an entry and announcing it. Pair with a
+          recover action; an unfired rule is disarmed by {!Heal_all}. *)
 
 val pp_action : Format.formatter -> action -> unit
 
@@ -97,6 +143,8 @@ type stats = {
   disk_degrades : int;
   torn_crashes : int;  (** crashes that left a torn WAL tail *)
   corrupt_tails : int;  (** crashes that corrupted the durable WAL tail *)
+  msg_taps_armed : int;  (** targeted tap rules armed *)
+  msg_taps_fired : int;  (** targeted tap rules whose nth match arrived *)
 }
 
 type t
@@ -116,9 +164,12 @@ val register_metrics : t -> Obs.Registry.t -> unit
 
 val quiescent : t -> bool
 (** True once every scheduled action has been applied, every timed fault
-    has expired, no partition or spike remains outstanding, and every node
-    this injector crashed has been recovered — i.e. it is sound to assert
-    cluster invariants. *)
+    has expired, no partition, spike or armed tap rule remains
+    outstanding, and every node this injector crashed has been recovered —
+    i.e. it is sound to assert cluster invariants. The injector reports
+    each transition of this predicate into the cluster's protocol-event
+    stream as [Fault_health], which is what restarts the progress
+    monitor's clock after the last heal. *)
 
 val random_plan :
   seed:int ->

@@ -7,7 +7,13 @@ open Sim
    leader crashes and partitions without duplicating, losing or reordering
    any certified writeset. *)
 
-type plan_kind = Scripted | Scripted_disk | Random of int
+type plan_kind =
+  | Scripted
+  | Scripted_disk
+  | Random of int
+  | Explicit of Fault.plan
+      (* a fully spelled-out plan — shrunk explore repros, targeted
+         message-tap schedules *)
 
 type config = {
   mode : Tashkent.Types.mode;
@@ -28,6 +34,13 @@ type config = {
       (* replica vacuum period; 5 s by default so log truncation and store
          pruning are both exercised within a short chaos run *)
   max_snapshot_age : Time.t option;
+  monitors : bool;
+      (* online protocol monitors (Obs.Monitor) checking every event as it
+         is emitted; on by default — disabling is for overhead comparison
+         only *)
+  progress_bound : Time.t;
+      (* how long a submitted transaction may stay unresolved (counted
+         from the last fault heal) before the progress monitor flags it *)
 }
 
 let default_config () =
@@ -46,6 +59,8 @@ let default_config () =
     deltas = false;
     gc_interval = Some (Time.sec 5);
     max_snapshot_age = None;
+    monitors = true;
+    progress_bound = Time.sec 5;
   }
 
 type result = {
@@ -63,6 +78,14 @@ type result = {
   fault : Fault.stats;
   checks : int;
   violations : string list;
+  monitor_violations : string list;
+      (* online monitor findings, formatted with their sim timestamps;
+         empty when [config.monitors] was off *)
+  monitor_events : int; (* protocol events the monitors consumed *)
+  bridge_heals : int;
+      (* commit replies whose remotes failed to bridge the replica's
+         applied prefix and forced a pre-install fetch, summed over
+         proxies — the stale-re-answer schedules regression-pin this *)
   ran_for : Time.t;
   trace : Obs.Trace.t;
   durable_acked : int;
@@ -133,7 +156,8 @@ let checkpoints_of plan =
       | Fault.Crash_certifier _ | Fault.Crash_leader
       | Fault.Crash_group_leader _ | Fault.Crash_replica _
       | Fault.Disk_stall _ | Fault.Disk_degrade _ | Fault.Torn_crash _
-      | Fault.Corrupt_tail _ ->
+      | Fault.Corrupt_tail _ | Fault.Delay_msg _ | Fault.Drop_msg _
+      | Fault.Crash_on_msg _ ->
           None)
     plan
 
@@ -302,8 +326,12 @@ let run ?(config = default_config ()) () =
   let trace =
     if config.collect_trace then Obs.Trace.create engine else Obs.Trace.disabled ()
   in
+  let events =
+    if config.monitors then Obs.Events.create engine
+    else Obs.Events.disabled ()
+  in
   let cluster =
-    Tashkent.Cluster.create ~engine ~trace
+    Tashkent.Cluster.create ~engine ~trace ~events
       (Tashkent.Cluster.config ~n_replicas:config.n_replicas
          ~n_certifiers:config.n_certifiers
          ~n_partitions:config.n_partitions
@@ -316,6 +344,10 @@ let run ?(config = default_config ()) () =
              max_snapshot_age = config.max_snapshot_age;
            }
          ~seed:config.seed config.mode)
+  in
+  let monitor =
+    Obs.Monitor.attach ~progress_bound:config.progress_bound
+      ~metrics:(Tashkent.Cluster.metrics cluster) events
   in
   Tashkent.Cluster.load_all cluster
     (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);
@@ -352,6 +384,7 @@ let run ?(config = default_config ()) () =
           ~n_certifiers:config.n_certifiers ~n_replicas:config.n_replicas
           ~n_partitions:config.n_partitions ~disk_faults:config.disk_faults
           ~fsync_stall:config.fsync_stall ()
+    | Explicit plan -> plan
   in
   let started = Engine.now engine in
   let injector = Fault.inject cluster plan in
@@ -384,6 +417,7 @@ let run ?(config = default_config ()) () =
   drain 30;
   incr checks;
   check cluster engine violations;
+  Obs.Monitor.finalize monitor ~now:(Engine.now engine);
   let hosted_proxies r =
     List.filter_map
       (fun part -> Tashkent.Replica.proxy_of r ~part)
@@ -424,6 +458,12 @@ let run ?(config = default_config ()) () =
     fault = Fault.stats injector;
     checks = !checks;
     violations = List.rev !violations;
+    monitor_violations =
+      List.map
+        (Format.asprintf "%a" Obs.Monitor.pp_violation)
+        (Obs.Monitor.violations monitor);
+    monitor_events = Obs.Monitor.events_seen monitor;
+    bridge_heals = over_proxies Tashkent.Proxy.bridge_heals;
     ran_for = Time.diff (Engine.now engine) started;
     trace;
     durable_acked =
@@ -447,7 +487,9 @@ let pp_result fmt r =
      %d bursts, %d spikes@,disk faults: %d stalls, %d degrades, %d torn, \
      %d corrupt@,durable acked        %d@,torn discarded       %d@,\
      corrupt discarded    %d@,disk failovers       %d@,\
-     invariant checks     %d@,violations           %d%a@]"
+     invariant checks     %d@,violations           %d%a@,\
+     monitor events       %d@,monitor violations   %d%a@,\
+     bridge heals         %d@]"
     r.commits r.cert_aborts r.local_aborts r.cross_commits r.cross_aborts
     r.cert_requests r.cert_retries
     r.cert_failovers r.refetches r.fault.Fault.crashes r.fault.Fault.recoveries
@@ -458,4 +500,7 @@ let pp_result fmt r =
     r.corrupt_discarded r.disk_failovers r.checks
     (List.length r.violations)
     (fun fmt vs -> List.iter (fun v -> Format.fprintf fmt "@,  %s" v) vs)
-    r.violations
+    r.violations r.monitor_events
+    (List.length r.monitor_violations)
+    (fun fmt vs -> List.iter (fun v -> Format.fprintf fmt "@,  %s" v) vs)
+    r.monitor_violations r.bridge_heals

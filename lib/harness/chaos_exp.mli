@@ -17,6 +17,9 @@ type plan_kind =
   | Scripted_disk
       (** the storage-fault acceptance scenario, see {!scripted_disk_plan} *)
   | Random of int  (** seeded {!Fault.random_plan} *)
+  | Explicit of Fault.plan
+      (** a fully spelled-out plan — shrunk explore repros and targeted
+          message-tap schedules run through the same harness *)
 
 type config = {
   mode : Tashkent.Types.mode;
@@ -60,6 +63,15 @@ type config = {
   max_snapshot_age : Sim.Time.t option;
       (** stale-snapshot escape hatch (default [None]); see
           {!Mvcc.Db.config.max_snapshot_age} *)
+  monitors : bool;
+      (** attach the five online protocol monitors ({!Obs.Monitor}) to the
+          cluster's event stream (default on). Monitors are pure
+          observers, so the run is bit-identical either way; disabling is
+          for overhead measurement only. *)
+  progress_bound : Sim.Time.t;
+      (** progress-monitor deadline: how long a submitted transaction may
+          stay unresolved, counted from submission or the last fault heal
+          (default 5 s) *)
 }
 
 val default_config : unit -> config
@@ -84,6 +96,16 @@ type result = {
   fault : Fault.stats;
   checks : int;  (** invariant checkpoints performed *)
   violations : string list;  (** empty on a passing run *)
+  monitor_violations : string list;
+      (** online monitor findings (formatted with their sim timestamps);
+          empty on a passing run or when [config.monitors] was off *)
+  monitor_events : int;  (** protocol events the monitors consumed *)
+  bridge_heals : int;
+      (** commit replies whose composed remotes failed to bridge the
+          replica's applied prefix, forcing a fetch before the install
+          ({!Tashkent.Proxy.bridge_heals}, summed over proxies). The
+          stale-re-answer regression schedules assert this stayed > 0 —
+          i.e. the pathological interleaving still occurs and is healed. *)
   ran_for : Sim.Time.t;
   trace : Obs.Trace.t;
       (** the run's tracer; disabled (no events) unless

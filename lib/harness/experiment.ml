@@ -52,6 +52,9 @@ type config = {
   warmup : Time.t;
   measure : Time.t;
   trace : bool;
+  monitors : bool;
+      (* attach the online protocol monitors (Obs.Monitor) for the whole
+         run, including warmup; off by default for performance baselines *)
 }
 
 let default =
@@ -78,6 +81,7 @@ let default =
     warmup = Time.sec 5;
     measure = Time.sec 20;
     trace = false;
+    monitors = false;
   }
 
 let spec_of cfg =
@@ -118,6 +122,8 @@ type result = {
   apply_parallelism : float;
   apply_stalls : int;
   stage_latency : (string * Obs.Trace.stage_stats) list;
+  monitor_violations : string list;
+  monitor_events : int;
 }
 
 let replica_config_of cfg (spec : Workload.Spec.t) mode =
@@ -164,7 +170,13 @@ let run_replicated cfg mode ~durable_cert =
   let trace =
     if cfg.trace then Obs.Trace.create engine else Obs.Trace.disabled ()
   in
-  let cluster = Tashkent.Cluster.create ~engine ~trace cluster_cfg in
+  let events =
+    if cfg.monitors then Obs.Events.create engine else Obs.Events.disabled ()
+  in
+  let cluster = Tashkent.Cluster.create ~engine ~trace ~events cluster_cfg in
+  let monitor =
+    Obs.Monitor.attach ~metrics:(Tashkent.Cluster.metrics cluster) events
+  in
   Tashkent.Cluster.load_all cluster (spec.Workload.Spec.initial_rows ~n_replicas:cfg.n_replicas);
   Tashkent.Cluster.settle cluster;
   let collector = Workload.Driver.Collector.create () in
@@ -289,6 +301,12 @@ let run_replicated cfg mode ~durable_cert =
     apply_parallelism = proxy_avg Tashkent.Proxy.apply_parallelism;
     apply_stalls = proxy_sum (fun p -> (Tashkent.Proxy.stats p).apply_stalls);
     stage_latency = Obs.Trace.all_stage_stats trace;
+    monitor_violations =
+      (Obs.Monitor.finalize monitor ~now:(Engine.now engine);
+       List.map
+         (Format.asprintf "%a" Obs.Monitor.pp_violation)
+         (Obs.Monitor.violations monitor));
+    monitor_events = Obs.Monitor.events_seen monitor;
   }
 
 let run_standalone cfg =
@@ -352,6 +370,8 @@ let run_standalone cfg =
     apply_parallelism = 1.0;
     apply_stalls = 0;
     stage_latency = [];
+    monitor_violations = [];
+    monitor_events = 0;
   }
 
 let run cfg =

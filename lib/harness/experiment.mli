@@ -77,6 +77,12 @@ type config = {
           (warmup spans are cleared by the post-warmup reset); populates
           [stage_latency] in the result. Off by default — the ring buffer
           bounds memory, but span recording still costs a little time. *)
+  monitors : bool;
+      (** attach the five online protocol monitors ({!Obs.Monitor}) for the
+          whole run (warmup included); populates [monitor_violations].
+          Off by default so performance baselines stay cost-free; the
+          monitor-overhead benchmark flips exactly this knob. Ignored by
+          [Standalone]. *)
 }
 
 val default : config
@@ -121,6 +127,10 @@ type result = {
       (** per-stage latency aggregates over the measured window (durations
           in µs of sim time), sorted by stage name; empty unless
           [config.trace] was set (and always empty for [Standalone]) *)
+  monitor_violations : string list;
+      (** online monitor findings over the whole run; empty on a clean run
+          or with [monitors] off *)
+  monitor_events : int;  (** protocol events the monitors consumed *)
 }
 
 val run : config -> result

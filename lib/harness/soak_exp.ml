@@ -32,6 +32,10 @@ type config = {
   skew : float;
   deltas : bool;
   clients_per_replica : int;
+  monitors : bool;
+      (* online protocol monitors checking every event through the whole
+         soak — hours of simulated time, every decision point *)
+  progress_bound : Time.t;
 }
 
 let default_config () =
@@ -52,6 +56,8 @@ let default_config () =
     skew = 0.99;
     deltas = true;
     clients_per_replica = 10;
+    monitors = true;
+    progress_bound = Time.sec 10;
   }
 
 type window_sample = {
@@ -75,6 +81,8 @@ type result = {
   stale_expired : int;
   fault : Fault.stats option;  (* [None] when chaos was off *)
   violations : string list;
+  monitor_violations : string list;
+  monitor_events : int;
   ran_for : Time.t;
 }
 
@@ -129,14 +137,22 @@ let run ?(config = default_config ()) () =
       ~hot_keys:config.hot_keys ~skew:config.skew ~deltas:config.deltas ()
   in
   let engine = Engine.create () in
+  let events =
+    if config.monitors then Obs.Events.create engine
+    else Obs.Events.disabled ()
+  in
   let cluster =
-    Tashkent.Cluster.create ~engine
+    Tashkent.Cluster.create ~engine ~events
       (Tashkent.Cluster.config ~n_replicas:config.n_replicas
          ~n_certifiers:config.n_certifiers
          ~n_partitions:config.n_partitions
          ~gc_interval:config.gc_interval
          ~max_snapshot_age:config.max_snapshot_age ~seed:config.seed
          config.mode)
+  in
+  let monitor =
+    Obs.Monitor.attach ~progress_bound:config.progress_bound
+      ~metrics:(Tashkent.Cluster.metrics cluster) events
   in
   Tashkent.Cluster.load_all cluster
     (spec.Workload.Spec.initial_rows ~n_replicas:config.n_replicas);
@@ -249,6 +265,7 @@ let run ?(config = default_config ()) () =
         end
       in
       drain 60);
+  Obs.Monitor.finalize monitor ~now:(Engine.now engine);
   let violations = ref [] in
   let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   (match Tashkent.Cluster.check_consistency cluster with
@@ -336,6 +353,11 @@ let run ?(config = default_config ()) () =
     stale_expired;
     fault = Option.map Fault.stats injector;
     violations = List.rev !violations;
+    monitor_violations =
+      List.map
+        (Format.asprintf "%a" Obs.Monitor.pp_violation)
+        (Obs.Monitor.violations monitor);
+    monitor_events = Obs.Monitor.events_seen monitor;
     ran_for = Time.diff (Engine.now engine) started;
   }
 
@@ -363,4 +385,8 @@ let pp_result fmt r =
         f.Fault.crashes f.Fault.recoveries);
   Format.fprintf fmt "violations         %d" (List.length r.violations);
   List.iter (fun v -> Format.fprintf fmt "@,  %s" v) r.violations;
+  Format.fprintf fmt "@,monitor events     %d" r.monitor_events;
+  Format.fprintf fmt "@,monitor violations %d"
+    (List.length r.monitor_violations);
+  List.iter (fun v -> Format.fprintf fmt "@,  %s" v) r.monitor_violations;
   Format.fprintf fmt "@]"

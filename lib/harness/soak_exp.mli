@@ -42,6 +42,12 @@ type config = {
   skew : float;  (** Zipf exponent of the hot-key workload *)
   deltas : bool;  (** ship hot-row increments as commutative deltas *)
   clients_per_replica : int;
+  monitors : bool;
+      (** attach the five online protocol monitors ({!Obs.Monitor}) for
+          the whole soak (default on); pure observers, bit-identical runs *)
+  progress_bound : Sim.Time.t;
+      (** progress-monitor deadline (default 10 s), counted from
+          submission or the last fault heal *)
 }
 
 val default_config : unit -> config
@@ -75,6 +81,10 @@ type result = {
   stale_expired : int;  (** transactions doomed by [max_snapshot_age] *)
   fault : Fault.stats option;  (** [None] when chaos was off *)
   violations : string list;  (** empty on a passing run *)
+  monitor_violations : string list;
+      (** online monitor findings; empty on a passing run or with
+          [monitors] off *)
+  monitor_events : int;  (** protocol events the monitors consumed *)
   ran_for : Sim.Time.t;
 }
 

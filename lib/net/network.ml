@@ -13,6 +13,8 @@ let default_lan =
     bandwidth_bytes_per_sec = 125_000_000.; (* 1 Gb/s *)
   }
 
+type verdict = Pass | Drop | Delay of Time.t
+
 type 'a t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -22,6 +24,7 @@ type 'a t = {
   partitions : (string * string, unit) Hashtbl.t;
   link_extra : (string * string, Time.t) Hashtbl.t;
   mutable drop_rate : float;
+  mutable tap : (src:string -> dst:string -> 'a -> verdict) option;
   sent : Stats.Counter.t;
   delivered : Stats.Counter.t;
   dropped : Stats.Counter.t;
@@ -37,6 +40,7 @@ let create engine ~rng ?(config = default_lan) () =
     partitions = Hashtbl.create 8;
     link_extra = Hashtbl.create 8;
     drop_rate = 0.;
+    tap = None;
     sent = Stats.Counter.create ();
     delivered = Stats.Counter.create ();
     dropped = Stats.Counter.create ();
@@ -78,6 +82,7 @@ let set_drop_rate t rate = t.drop_rate <- rate
 let drop_rate t = t.drop_rate
 let slow_link t a b ~extra = Hashtbl.replace t.link_extra (link_key a b) extra
 let restore_link t a b = Hashtbl.remove t.link_extra (link_key a b)
+let set_tap t tap = t.tap <- tap
 
 let transfer_time t size =
   Time.of_sec (float_of_int size /. t.config.bandwidth_bytes_per_sec)
@@ -85,7 +90,15 @@ let transfer_time t size =
 let send t ~src ~dst ?(size = 256) msg =
   Stats.Counter.incr t.sent;
   let drop () = Stats.Counter.incr t.dropped in
-  if Hashtbl.mem t.partitions (link_key src dst) then drop ()
+  (* The tap (targeted fault injection) rules first: a surgically dropped or
+     delayed message must not depend on the link's random state, so the
+     verdict is computed before any latency draw. With no tap installed the
+     random stream is untouched and delivery is bit-identical. *)
+  let tap_verdict =
+    match t.tap with None -> Pass | Some f -> f ~src ~dst msg
+  in
+  if tap_verdict = Drop then drop ()
+  else if Hashtbl.mem t.partitions (link_key src dst) then drop ()
   else if t.drop_rate > 0. && Rng.chance t.rng t.drop_rate then drop ()
   else begin
     let latency =
@@ -95,6 +108,9 @@ let send t ~src ~dst ?(size = 256) msg =
       match Hashtbl.find_opt t.link_extra (link_key src dst) with
       | Some extra -> Time.add latency extra
       | None -> latency
+    in
+    let latency =
+      match tap_verdict with Delay extra -> Time.add latency extra | _ -> latency
     in
     let arrival =
       Time.add (Engine.now t.engine) (Time.add latency (transfer_time t size))

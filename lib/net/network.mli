@@ -54,6 +54,19 @@ val slow_link : 'a t -> string -> string -> extra:Sim.Time.t -> unit
 
 val restore_link : 'a t -> string -> string -> unit
 
+type verdict = Pass | Drop | Delay of Sim.Time.t
+(** Per-message ruling from a {!set_tap} callback. *)
+
+val set_tap : 'a t -> (src:string -> dst:string -> 'a -> verdict) option -> unit
+(** Install (or clear, with [None]) a message tap consulted on every
+    {!send} before the latency draw, so a [Pass] verdict leaves delivery
+    bit-identical to an untapped network. [Drop] discards the message (it
+    counts as dropped); [Delay extra] adds [extra] to the one-way latency —
+    later traffic on the same directed link still queues FIFO behind the
+    delayed message, as over a stalled TCP connection. Targeted fault
+    injection (delay the decisive Paxos ack, drop the Nth cross-partition
+    vote) hangs off this hook. *)
+
 val messages_sent : 'a t -> int
 val messages_delivered : 'a t -> int
 val messages_dropped : 'a t -> int

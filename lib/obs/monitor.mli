@@ -1,0 +1,57 @@
+(** Online protocol invariant monitors.
+
+    Five always-on monitors subscribe to an {!Events} stream and check each
+    event as it is emitted, during the run — so a violation that
+    self-corrects before the next post-hoc checkpoint (a transiently skipped
+    version, a floor that briefly passed a live snapshot) is still caught
+    at the moment it happens:
+
+    - {b durability}: every durably-acked commit keeps its (origin, req_id,
+      version) identity across any later recovery's log rebuild, no other
+      writeset ever takes an acked version, and no acked commit is later
+      answered with an abort.
+    - {b serial-order}: each certifier appends versions in contiguous
+      certified order and never applies the same writeset twice; each
+      replica store installs every version exactly once, and its visible
+      snapshot only advances (never retreats) through the contiguous
+      installed prefix — GSI's consistent-prefix rule. Dump restores and
+      below-floor snapshot transfers announce themselves as
+      [Snapshot_load], a legal jump.
+    - {b cross-atomicity}: one global decision per cross-partition
+      transaction — no group applies a Decision another group decided
+      differently, group votes never diverge or flip, and no transaction
+      commits over a recorded abort vote.
+    - {b gc-floor}: a certifier's GC floor is monotone between crashes and
+      never advances past the snapshot version of a request it has admitted
+      but not yet answered (a live snapshot).
+    - {b progress}: every submitted transaction resolves (commit or abort)
+      within [progress_bound] of simulated time, counted from submission or
+      from the last fault heal, whichever is later. Work abandoned by a
+      crash or proxy reset is excused by the corresponding lifecycle event.
+
+    Monitors are pure observers: they never touch the simulation, draw
+    randomness, or mutate protocol state, so enabling them leaves every
+    fixed seed bit-identical. *)
+
+type violation = { at : Sim.Time.t; monitor : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val attach : ?progress_bound:Sim.Time.t -> ?metrics:Registry.t -> Events.t -> t
+(** Subscribe the five monitors to [events]. [progress_bound] defaults to
+    20 simulated seconds. When [metrics] is given, registers the
+    [monitor.violations] and [monitor.events] gauges (pass each registry to
+    at most one [attach]). *)
+
+val finalize : t -> now:Sim.Time.t -> unit
+(** Run the progress check one final time at the end of a run: transactions
+    still unresolved after the drain are stuck for good, even though the
+    event stream has gone silent. *)
+
+val violations : t -> violation list
+(** Oldest first. *)
+
+val violation_count : t -> int
+val events_seen : t -> int

@@ -338,7 +338,13 @@ let test_fsync_stall_forces_abdication () =
 
 let chaos_ok name (r : Harness.Chaos_exp.result) =
   List.iter (fun v -> Printf.printf "%s violation: %s\n" name v) r.violations;
+  List.iter
+    (fun v -> Printf.printf "%s monitor violation: %s\n" name v)
+    r.monitor_violations;
   check_int (name ^ ": no invariant violations") 0 (List.length r.violations);
+  check_int (name ^ ": no monitor violations") 0
+    (List.length r.monitor_violations);
+  check_bool (name ^ ": monitors consumed events") true (r.monitor_events > 0);
   check_bool (name ^ ": made progress") true (r.commits > 1000);
   check_bool (name ^ ": checkpoints ran") true (r.checks >= 3);
   check_bool (name ^ ": faults actually fired") true (r.fault.Fault.crashes >= 1)
@@ -413,6 +419,136 @@ let test_chaos_random_disk_renumber () =
   in
   chaos_ok "random-disk-13" (Harness.Chaos_exp.run ~config ())
 
+(* ------------------------------------------------------------------ *)
+(* Plan generation and pretty-printing *)
+
+let test_random_plan_deterministic () =
+  let gen ?(n_partitions = 1) ?(disk_faults = false) seed =
+    Fault.random_plan ~seed ~duration:(Time.sec 20) ~n_certifiers:3
+      ~n_replicas:3 ~n_partitions ~disk_faults ()
+  in
+  check_bool "same seed, same plan" true (gen 5 = gen 5);
+  check_bool "same seed, same partitioned plan" true
+    (gen ~n_partitions:2 5 = gen ~n_partitions:2 5);
+  check_bool "same seed, same disk plan" true
+    (gen ~disk_faults:true 5 = gen ~disk_faults:true 5);
+  check_bool "different seeds diverge" true (gen 5 <> gen 6);
+  check_bool "non-empty" true (List.length (gen 5) >= 4);
+  (* The generator promises every fault healed by a final backstop. *)
+  check_bool "heal-all backstop present" true
+    (List.exists (fun (_, a) -> a = Fault.Heal_all) (gen 5))
+
+let test_pp_action_golden () =
+  (* One case per action variant: the printed plan is the repro artifact
+     explore emits, so its format is pinned. *)
+  let cases =
+    [
+      ( Fault.Partition ([ Fault.Rep 0 ], [ Fault.Cert 0; Fault.Cert 1 ]),
+        "partition {replica0} | {cert0 cert1}" );
+      ( Fault.Heal ([ Fault.Rep 0 ], [ Fault.Cert 0; Fault.Cert 1 ]),
+        "heal {replica0} | {cert0 cert1}" );
+      (Fault.Heal_all, "heal-all");
+      ( Fault.Drop_burst { rate = 0.1; duration = Time.sec 2 },
+        "drop-burst 0.10 for 2.000s" );
+      ( Fault.Latency_spike
+          {
+            a = Fault.Cert 0;
+            b = Fault.Rep 1;
+            extra = Time.of_ms 5.;
+            duration = Time.sec 1;
+          },
+        "latency-spike cert0-replica1 +5.000ms for 1.000s" );
+      (Fault.Crash_certifier 2, "crash cert2");
+      (Fault.Recover_certifier 2, "recover cert2");
+      (Fault.Crash_leader, "crash leader");
+      (Fault.Recover_crashed, "recover crashed leader");
+      (Fault.Crash_group_leader 1, "crash p1 leader");
+      (Fault.Recover_group_crashed 1, "recover crashed p1 leader");
+      (Fault.Crash_replica 0, "crash replica0");
+      (Fault.Recover_replica 0, "recover replica0");
+      ( Fault.Disk_stall
+          { cert = None; extra = Time.of_ms 600.; duration = Time.sec 2 },
+        "disk-stall leader +600.000ms for 2.000s" );
+      ( Fault.Disk_degrade { cert = Some 1; factor = 4.; duration = Time.sec 1 },
+        "disk-degrade cert1 x4.0 for 1.000s" );
+      (Fault.Torn_crash { cert = None }, "torn-crash leader");
+      (Fault.Corrupt_tail { cert = Some 0 }, "corrupt-tail cert0");
+      ( Fault.Delay_msg
+          {
+            cls = Fault.M_paxos_accept_ok;
+            src = None;
+            dst = Some (Fault.Cert 1);
+            nth = 3;
+            extra = Time.of_ms 250.;
+          },
+        "delay-msg paxos-accept-ok#3 *->cert1 +250.000ms" );
+      ( Fault.Drop_msg
+          { cls = Fault.M_xvote; src = Some (Fault.Cert 0); dst = None; nth = 2 },
+        "drop-msg xvote#2 cert0->*" );
+      ( Fault.Crash_on_msg
+          {
+            cls = Fault.M_paxos_commit;
+            src = Some (Fault.Cert 1);
+            dst = None;
+            nth = 1;
+            victim = Fault.Cert 1;
+          },
+        "crash-on-msg paxos-commit#1 cert1->* kill cert1" );
+    ]
+  in
+  List.iter
+    (fun (action, expected) ->
+      Alcotest.(check string)
+        expected expected
+        (Format.asprintf "%a" Fault.pp_action action))
+    cases;
+  (* Every message class has a distinct printed name (tap rules in a repro
+     plan must be unambiguous). *)
+  let classes =
+    [
+      Fault.M_cert_request;
+      Fault.M_cert_reply;
+      Fault.M_fetch_reply;
+      Fault.M_xcert_request;
+      Fault.M_xvote;
+      Fault.M_paxos_prepare;
+      Fault.M_paxos_accept;
+      Fault.M_paxos_accept_ok;
+      Fault.M_paxos_commit;
+      Fault.M_paxos_heartbeat;
+    ]
+  in
+  let names = List.map Fault.msg_class_name classes in
+  check_int "distinct class names" (List.length classes)
+    (List.length (List.sort_uniq compare names))
+
+let test_orphaned_crash_recover_noop () =
+  (* A shrunk plan may keep a crash or recover whose partner was edited
+     out; the injector must treat a double crash / spurious recover as a
+     no-op (not a crashed-node miscount or a network reattach error). *)
+  let plan =
+    [
+      (Time.of_sec 1.0, Fault.Recover_replica 1);
+      (Time.of_sec 1.5, Fault.Recover_certifier 0);
+      (Time.of_sec 2.0, Fault.Crash_replica 1);
+      (Time.of_sec 2.5, Fault.Crash_replica 1);
+      (Time.of_sec 4.0, Fault.Recover_replica 1);
+      (Time.of_sec 5.0, Fault.Heal_all);
+    ]
+  in
+  let config =
+    {
+      (Harness.Chaos_exp.default_config ()) with
+      plan = Harness.Chaos_exp.Explicit plan;
+      duration = Time.sec 10;
+    }
+  in
+  let r = Harness.Chaos_exp.run ~config () in
+  check_int "no invariant violations" 0 (List.length r.violations);
+  check_int "no monitor violations" 0 (List.length r.monitor_violations);
+  check_int "one crash counted" 1 r.fault.Fault.crashes;
+  check_int "one recovery counted" 1 r.fault.Fault.recoveries
+
 let suites =
   [
     ( "fault.failover",
@@ -441,5 +577,14 @@ let suites =
           test_chaos_random_disk_renumber;
         Alcotest.test_case "parallel apply under disk faults" `Quick
           test_chaos_parallel_apply_disk;
+      ] );
+    ( "fault.plan",
+      [
+        Alcotest.test_case "random_plan is deterministic" `Quick
+          test_random_plan_deterministic;
+        Alcotest.test_case "pp_action golden (every variant)" `Quick
+          test_pp_action_golden;
+        Alcotest.test_case "orphaned crash/recover are no-ops" `Quick
+          test_orphaned_crash_recover_noop;
       ] );
   ]

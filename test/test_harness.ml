@@ -224,6 +224,103 @@ let test_report_table_renders () =
   Alcotest.(check string) "f1" "1.2" (Harness.Report.f1 1.25);
   Alcotest.(check string) "pct" "50%" (Harness.Report.pct 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* Schedule exploration *)
+
+let test_targeted_plan_deterministic () =
+  let gen ?(n_partitions = 1) seed =
+    Harness.Explore_exp.targeted_plan ~seed ~duration:(Sim.Time.sec 20)
+      ~n_certifiers:3 ~n_replicas:3 ~n_partitions ()
+  in
+  check_bool "same seed, same plan" true (gen 3 = gen 3);
+  check_bool "different seeds diverge" true (gen 3 <> gen 4);
+  check_bool "heal-all backstop" true
+    (List.exists (fun (_, a) -> a = Fault.Heal_all) (gen 3));
+  (* Every generated plan carries at least one precise message tap. *)
+  let has_tap plan =
+    List.exists
+      (fun (_, a) ->
+        match a with
+        | Fault.Delay_msg _ | Fault.Drop_msg _ | Fault.Crash_on_msg _ -> true
+        | _ -> false)
+      plan
+  in
+  List.iter
+    (fun s -> check_bool "tap present" true (has_tap (gen s)))
+    [ 1; 2; 3; 4; 5 ];
+  (* Any certifier crashed by a tap has a recovery scheduled after it. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t, a) ->
+          match a with
+          | Fault.Crash_on_msg { victim = Fault.Cert v; _ } ->
+              check_bool "paired recovery" true
+                (List.exists
+                   (fun (t', a') ->
+                     a' = Fault.Recover_certifier v && Sim.Time.(t < t'))
+                   (gen s))
+          | _ -> ())
+        (gen s))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_explore_smoke () =
+  (* A small sweep over a healthy model: every schedule must come back
+     clean (each run also exercises the five online monitors). *)
+  let cfg =
+    {
+      (Harness.Explore_exp.default_config ()) with
+      Harness.Explore_exp.base =
+        {
+          (Harness.Chaos_exp.default_config ()) with
+          duration = Sim.Time.sec 10;
+          seed = 20060418;
+        };
+      first_seed = 1;
+      n_seeds = 2;
+      batch = 2;
+    }
+  in
+  let r = Harness.Explore_exp.run cfg in
+  List.iter
+    (fun rp ->
+      Format.printf "explore repro: %a@." Harness.Explore_exp.pp_repro rp)
+    r.repros;
+  Alcotest.(check int) "scenarios" 4 r.scenarios_run;
+  Alcotest.(check int) "no repros" 0 (List.length r.repros);
+  Alcotest.(check int) "all clean" 4 r.clean
+
+let test_seed11_stale_reanswer_regression () =
+  (* Named regression, found by `tashkent-cli explore` (random schedule,
+     plan seed 11, workload seed 20060418) and shrunk to one action: a
+     bare leader crash at 4.131 s. The failover re-answers a retried,
+     already-decided commit; meanwhile the GC floor has passed the
+     requesting replica's stale watermark, so the re-answer's composed
+     remotes cannot bridge the replica's applied prefix — before the fix
+     the proxy installed the commit over the truncated hole and the
+     serial-order monitor flagged the snapshot advancing across the
+     missing versions. The proxy now detects the unbridged reply and
+     fetches (a snapshot transfer) before installing: the run must be
+     clean AND the heal must actually fire, proving the schedule still
+     reaches the pathological interleaving. *)
+  let config =
+    {
+      (Harness.Chaos_exp.default_config ()) with
+      seed = 20060418;
+      plan =
+        Harness.Chaos_exp.Explicit
+          [ (Sim.Time.of_ms 4131., Fault.Crash_leader) ];
+    }
+  in
+  let r = Harness.Chaos_exp.run ~config () in
+  List.iter (Printf.printf "seed11 violation: %s\n") r.violations;
+  List.iter (Printf.printf "seed11 monitor violation: %s\n") r.monitor_violations;
+  Alcotest.(check int) "no invariant violations" 0 (List.length r.violations);
+  Alcotest.(check int) "no monitor violations" 0
+    (List.length r.monitor_violations);
+  check_bool "bridge heal fired" true (r.bridge_heals >= 1);
+  check_bool "made progress" true (r.commits > 1000)
+
 let suites =
   [
     ( "harness.experiment",
@@ -253,6 +350,15 @@ let suites =
           test_soak_smoke;
         Alcotest.test_case "no-GC baseline grows unbounded" `Slow
           test_soak_no_gc_baseline_grows;
+      ] );
+    ( "harness.explore",
+      [
+        Alcotest.test_case "targeted plan is deterministic" `Quick
+          test_targeted_plan_deterministic;
+        Alcotest.test_case "explore smoke (healthy model sweeps clean)" `Slow
+          test_explore_smoke;
+        Alcotest.test_case "seed-11 stale re-answer over truncated hole" `Quick
+          test_seed11_stale_reanswer_regression;
       ] );
     ( "harness.report",
       [ Alcotest.test_case "table rendering" `Quick test_report_table_renders ] );

@@ -399,6 +399,162 @@ let test_backfill_trace_ids () =
   | Some v -> check_bool "value backfilled" true (v = Mvcc.Value.int 1)
   | None -> Alcotest.fail "key missing on idle replica"
 
+(* ------------------------------------------------------------------ *)
+(* Online protocol monitors, driven by synthetic event streams: each test
+   feeds a hand-built sequence into a fresh monitor and checks exactly
+   which invariant fires (or that a legal sequence stays clean). *)
+
+let make_monitor ?progress_bound () =
+  let e = Engine.create () in
+  let events = Obs.Events.create e in
+  let monitor = Obs.Monitor.attach ?progress_bound events in
+  (e, events, monitor)
+
+let emit = Obs.Events.emit
+
+let monitor_names m =
+  List.map (fun (v : Obs.Monitor.violation) -> v.monitor) (Obs.Monitor.violations m)
+
+let test_monitor_clean_stream () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Request_admitted
+       { actor = "cert0"; part = 0; origin = "r0"; req_id = 1; replica_version = 0 });
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 1; origin = "r0"; req_id = 1; cross = false });
+  emit ev (Obs.Events.Durable_ack
+       { actor = "cert0"; part = 0; origin = "r0"; req_id = 1; version = 1 });
+  emit ev (Obs.Events.Verdict
+       { actor = "cert0"; part = 0; origin = "r0"; req_id = 1; committed = true; version = 1 });
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  emit ev (Obs.Events.Snapshot_advance { actor = "r0#p0"; part = 0; version = 1 });
+  emit ev (Obs.Events.Gc_floor { actor = "cert0"; part = 0; floor = 1 });
+  Obs.Monitor.finalize m ~now:(Time.sec 1);
+  check_int "clean" 0 (Obs.Monitor.violation_count m);
+  check_int "events counted" 7 (Obs.Monitor.events_seen m)
+
+let test_monitor_serial_order_double_install () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  check_int "flagged" 1 (Obs.Monitor.violation_count m);
+  check_bool "serial-order" true (monitor_names m = [ "serial-order" ])
+
+let test_monitor_serial_order_gap () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 2 });
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 4 });
+  emit ev (Obs.Events.Snapshot_advance { actor = "r0#p0"; part = 0; version = 2 });
+  check_int "contiguous prefix clean" 0 (Obs.Monitor.violation_count m);
+  (* Advancing visibility over the uninstalled v=3 is the violation the
+     seed-11 stale re-answer produced. *)
+  emit ev (Obs.Events.Snapshot_advance { actor = "r0#p0"; part = 0; version = 4 });
+  check_int "gap flagged" 1 (Obs.Monitor.violation_count m);
+  (* And the snapshot must never go backwards. *)
+  emit ev (Obs.Events.Snapshot_advance { actor = "r0#p0"; part = 0; version = 3 });
+  check_int "backwards flagged" 2 (Obs.Monitor.violation_count m)
+
+let test_monitor_snapshot_load_legalizes_jump () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  emit ev (Obs.Events.Snapshot_advance { actor = "r0#p0"; part = 0; version = 1 });
+  (* A state transfer rebases the store: the jump to v=10 is legal, and
+     only versions above it need installs from here on. *)
+  emit ev (Obs.Events.Snapshot_load { actor = "r0#p0"; part = 0; version = 10 });
+  emit ev (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 11 });
+  emit ev (Obs.Events.Snapshot_advance { actor = "r0#p0"; part = 0; version = 11 });
+  check_int "clean" 0 (Obs.Monitor.violation_count m)
+
+let test_monitor_durability_ack_then_abort () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Durable_ack
+       { actor = "cert0"; part = 0; origin = "r0"; req_id = 7; version = 3 });
+  emit ev (Obs.Events.Verdict
+       { actor = "cert1"; part = 0; origin = "r0"; req_id = 7; committed = false; version = 0 });
+  check_bool "durability" true (monitor_names m = [ "durability" ])
+
+let test_monitor_durability_recovery_reappend () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 1; origin = "a"; req_id = 1; cross = false });
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 2; origin = "r0"; req_id = 7; cross = false });
+  emit ev (Obs.Events.Durable_ack
+       { actor = "cert0"; part = 0; origin = "r0"; req_id = 7; version = 2 });
+  (* Crash: the monitor's per-actor log view resets, recovery redelivers
+     from slot 1 — same entries, same versions: clean. *)
+  emit ev (Obs.Events.Node_crash { actor = "cert0" });
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 1; origin = "a"; req_id = 1; cross = false });
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 2; origin = "r0"; req_id = 7; cross = false });
+  check_int "faithful recovery clean" 0 (Obs.Monitor.violation_count m);
+  (* A second recovery that hands the acked commit's version to some other
+     transaction has lost it: flagged. *)
+  emit ev (Obs.Events.Node_crash { actor = "cert0" });
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 1; origin = "a"; req_id = 1; cross = false });
+  emit ev (Obs.Events.Log_append
+       { actor = "cert0"; part = 0; version = 2; origin = "r0"; req_id = 8; cross = false });
+  check_bool "lost acked commit flagged" true
+    (List.mem "durability" (monitor_names m))
+
+let test_monitor_cross_atomicity () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Prepared { actor = "cert0"; part = 0; gtx = "g1"; vote = false });
+  emit ev (Obs.Events.Decision { actor = "cert3"; part = 1; gtx = "g1"; committed = true });
+  check_bool "commit over abort vote" true
+    (List.mem "cross-atomicity" (monitor_names m));
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Decision { actor = "cert0"; part = 0; gtx = "g2"; committed = true });
+  emit ev (Obs.Events.Decision { actor = "cert3"; part = 1; gtx = "g2"; committed = false });
+  check_bool "split decision" true
+    (List.mem "cross-atomicity" (monitor_names m))
+
+let test_monitor_gc_floor () =
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Request_admitted
+       { actor = "cert0"; part = 0; origin = "r2"; req_id = 5; replica_version = 3 });
+  emit ev (Obs.Events.Gc_floor { actor = "cert0"; part = 0; floor = 5 });
+  check_bool "floor over live snapshot" true
+    (List.mem "gc-floor" (monitor_names m));
+  let _e, ev, m = make_monitor () in
+  emit ev (Obs.Events.Gc_floor { actor = "cert0"; part = 0; floor = 5 });
+  emit ev (Obs.Events.Gc_floor { actor = "cert0"; part = 0; floor = 4 });
+  check_bool "floor went backwards" true
+    (List.mem "gc-floor" (monitor_names m))
+
+let test_monitor_progress () =
+  let _e, ev, m = make_monitor ~progress_bound:(Time.sec 5) () in
+  emit ev (Obs.Events.Tx_submitted { actor = "r0#p0"; tx = 1 });
+  emit ev (Obs.Events.Tx_submitted { actor = "r0#p0"; tx = 2 });
+  emit ev (Obs.Events.Tx_resolved { actor = "r0#p0"; tx = 1; committed = true });
+  Obs.Monitor.finalize m ~now:(Time.sec 30);
+  (* tx 1 resolved; tx 2 is stuck past the bound. *)
+  check_int "one overdue" 1 (Obs.Monitor.violation_count m);
+  check_bool "progress" true (monitor_names m = [ "progress" ]);
+  (* An actor reset (proxy pause cancels its clients) clears obligations. *)
+  let _e, ev, m = make_monitor ~progress_bound:(Time.sec 5) () in
+  emit ev (Obs.Events.Tx_submitted { actor = "r0#p0"; tx = 1 });
+  emit ev (Obs.Events.Actor_reset { actor = "r0#p0" });
+  Obs.Monitor.finalize m ~now:(Time.sec 30);
+  check_int "reset clears pending" 0 (Obs.Monitor.violation_count m)
+
+let test_monitor_registry_gauges () =
+  let e = Engine.create () in
+  let events = Obs.Events.create e in
+  let reg = Obs.Registry.create () in
+  let m = Obs.Monitor.attach ~metrics:reg events in
+  emit events (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  emit events (Obs.Events.Ws_install { actor = "r0#p0"; part = 0; version = 1 });
+  ignore m;
+  (match Obs.Registry.find reg "monitor.violations" with
+  | Some (Obs.Registry.Gauge v) -> check_int "violations gauge" 1 (int_of_float v)
+  | _ -> Alcotest.fail "monitor.violations gauge missing");
+  match Obs.Registry.find reg "monitor.events" with
+  | Some (Obs.Registry.Gauge v) -> check_int "events gauge" 2 (int_of_float v)
+  | _ -> Alcotest.fail "monitor.events gauge missing"
+
 let suites =
   [
     ( "obs.registry",
@@ -433,5 +589,28 @@ let suites =
           test_backfill_trace_ids;
         Alcotest.test_case "chaos: trace ids survive retries and faults" `Slow
           test_chaos_trace_ids_survive_faults;
+      ] );
+    ( "obs.monitor",
+      [
+        Alcotest.test_case "clean stream stays clean" `Quick
+          test_monitor_clean_stream;
+        Alcotest.test_case "serial-order: double install" `Quick
+          test_monitor_serial_order_double_install;
+        Alcotest.test_case "serial-order: advance over gap" `Quick
+          test_monitor_serial_order_gap;
+        Alcotest.test_case "serial-order: snapshot load legalizes jump" `Quick
+          test_monitor_snapshot_load_legalizes_jump;
+        Alcotest.test_case "durability: acked then aborted" `Quick
+          test_monitor_durability_ack_then_abort;
+        Alcotest.test_case "durability: recovery re-append" `Quick
+          test_monitor_durability_recovery_reappend;
+        Alcotest.test_case "cross-atomicity: vote/decision conflicts" `Quick
+          test_monitor_cross_atomicity;
+        Alcotest.test_case "gc-floor: live snapshot and monotonicity" `Quick
+          test_monitor_gc_floor;
+        Alcotest.test_case "progress: overdue and reset" `Quick
+          test_monitor_progress;
+        Alcotest.test_case "registry gauges exported" `Quick
+          test_monitor_registry_gauges;
       ] );
   ]
